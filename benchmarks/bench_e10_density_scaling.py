@@ -1,0 +1,78 @@
+"""E10 — the intro's motivation (Sec. 1): bug *density* in shipped code
+has stayed roughly constant while code size exploded (MS-DOS 1.0 at
+4x10^3 LoC vs Vista at 5x10^7), so the absolute number of latent bugs
+— and the user-visible failure mass — grows with program size.
+
+Workload: corpus programs of growing size with *constant seeded bug
+density* (one rare-input bug per 8 segments). Reported: program size
+(IR instructions as the LoC proxy), latent bug count, observed failure
+rate over a fixed execution budget, and executions until first failure.
+"""
+
+import random
+
+from repro.metrics.report import format_float, render_table
+from repro.progmodel.bugs import BugKind
+from repro.progmodel.corpus import CorpusConfig, generate_program
+from repro.progmodel.interpreter import ExecutionLimits, Interpreter
+
+SEGMENTS_PER_BUG = 8
+RUNS_PER_PROGRAM = 1500
+LIMITS = ExecutionLimits(max_steps=8000)
+
+
+def run_experiment():
+    rows = []
+    for n_segments in (8, 16, 32, 64):
+        n_bugs = n_segments // SEGMENTS_PER_BUG
+        kinds = tuple([BugKind.CRASH, BugKind.ASSERT] * ((n_bugs + 1) // 2)
+                      )[:n_bugs]
+        seeded = generate_program(
+            f"e10prog{n_segments}",
+            CorpusConfig(seed=18, n_segments=n_segments),
+            kinds)
+        program = seeded.program
+        rng = random.Random(3)
+        failures = 0
+        first_failure = None
+        distinct = set()
+        for index in range(RUNS_PER_PROGRAM):
+            inputs = {name: rng.randint(lo, hi)
+                      for name, (lo, hi) in program.inputs.items()}
+            result = Interpreter(program, limits=LIMITS).run(inputs)
+            if result.outcome.is_failure:
+                failures += 1
+                distinct.add(result.failure.message)
+                if first_failure is None:
+                    first_failure = index + 1
+        rows.append([
+            program.instruction_count(),
+            n_bugs,
+            len(distinct),
+            float(1000.0 * failures / RUNS_PER_PROGRAM),
+            first_failure if first_failure else "> budget",
+        ])
+    return rows
+
+
+def test_e10_density_scaling(benchmark, emit):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    table = render_table(
+        ["program size (IR instr)", "latent bugs",
+         "distinct bugs seen", "failures/1k runs",
+         "runs to first failure"],
+        rows,
+        title="E10: constant bug density x growing code ="
+              " growing failure mass (Sec. 1)")
+    emit("e10_density_scaling", table)
+
+    sizes = [row[0] for row in rows]
+    latent = [row[1] for row in rows]
+    rates = [row[3] for row in rows]
+    assert sizes == sorted(sizes)
+    assert latent == sorted(latent)
+    # Latent-bug density (bugs per instruction) is roughly constant...
+    densities = [bugs / size for size, bugs in zip(sizes, latent)]
+    assert max(densities) < 3 * min(densities)
+    # ...so the biggest program fails far more often than the smallest.
+    assert rates[-1] > 3 * max(rates[0], 1e-9)

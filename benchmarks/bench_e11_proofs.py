@@ -1,0 +1,73 @@
+"""E11 — cumulative proofs (Sec. 3.3): natural executions incrementally
+assemble a proof; a counterexample refutes it and triggers a fix; the
+fix invalidates accumulated knowledge; guidance then completes the
+proof of the *fixed* program.
+
+Workload: the closed loop on a seeded-bug program with guidance on.
+Reported: the proof ledger — coverage and status per round, with the
+fix-deployment invalidation visible as a version change and coverage
+reset.
+"""
+
+from repro.metrics.report import format_float, render_table
+from repro.platform import PlatformConfig, SoftBorgPlatform
+from repro.progmodel.bugs import BugKind
+from repro.progmodel.corpus import CorpusConfig, generate_program
+from repro.proofs.proof import ProofStatus
+from repro.workloads.population import UserPopulation
+from repro.workloads.scenarios import Scenario
+
+ROUNDS = 16
+PER_ROUND = 40
+
+
+def run_experiment():
+    seeded = generate_program(
+        "e11prog", CorpusConfig(seed=10, n_segments=8), (BugKind.CRASH,))
+    population = UserPopulation(seeded.program, n_users=40,
+                                volatility=0.3, seed=6)
+    platform = SoftBorgPlatform(
+        Scenario(seeded=seeded, population=population),
+        PlatformConfig(rounds=ROUNDS, executions_per_round=PER_ROUND,
+                       guidance=True, guided_per_round=8,
+                       # Require corroborating reports before fixing, so
+                       # the REFUTED state is visible in the ledger.
+                       min_failure_reports=3, seed=6))
+    report = platform.run()
+    return platform, report
+
+
+def test_e11_proofs(benchmark, emit):
+    platform, report = benchmark.pedantic(run_experiment, rounds=1,
+                                          iterations=1)
+
+    rows = []
+    for round_index, proof in report.proofs:
+        rows.append([
+            round_index,
+            proof.program_version,
+            proof.status.value,
+            f"{proof.covered_paths}/{proof.total_feasible_paths}",
+            float(proof.coverage),
+            proof.violating_paths,
+        ])
+    table = render_table(
+        ["round", "version", "status", "paths witnessed", "coverage",
+         "counterexamples"],
+        rows,
+        title="E11: the cumulative proof ledger (refute -> fix ->"
+              " invalidate -> re-prove)")
+    emit("e11_proofs", table)
+
+    statuses = [proof.status for _r, proof in report.proofs]
+    versions = [proof.program_version for _r, proof in report.proofs]
+    # The story the paper tells, in order: the bug refutes the proof...
+    assert ProofStatus.REFUTED in statuses
+    # ...a fix deploys (version changes, knowledge invalidated)...
+    assert versions[0] == 1 and versions[-1] == 2
+    assert platform.hive.prover.invalidated_proofs
+    # ...and the proof of the fixed program completes.
+    assert statuses[-1] is ProofStatus.PROVED
+    refuted_at = statuses.index(ProofStatus.REFUTED)
+    proved_at = len(statuses) - 1 - statuses[::-1].index(ProofStatus.PROVED)
+    assert refuted_at < proved_at

@@ -1,0 +1,126 @@
+"""E14 (ablations) — the design choices DESIGN.md §5 calls out.
+
+a) **Fix validation off**: ship the first synthesized candidate without
+   the regression suite. Measures how often an unvalidated fix would
+   have regressed healthy behaviour (the repair lab's reason to exist).
+b) **Staged rollout fraction**: how quickly the population is protected
+   after a fix ships, as a function of the per-round rollout fraction.
+c) **Failure-report threshold**: fix latency vs. evidence demanded
+   (min_failure_reports sweep).
+"""
+
+from repro.fixes.patches import SiteRecoveryFix
+from repro.fixes.validation import FixValidator
+from repro.metrics.report import format_float, render_table
+from repro.platform import PlatformConfig, SoftBorgPlatform
+from repro.progmodel.corpus import make_crash_demo
+from repro.workloads.scenarios import crash_scenario
+
+
+def ablation_validation():
+    """Validated vs unvalidated fix choice on the crash demo, where two
+    plausible candidates exist: recovering at the crash site (correct)
+    and recovering at the healthy sibling block (a plausible-looking
+    rewrite near the failure that actually breaks good runs)."""
+    demo = make_crash_demo()
+    candidates = [
+        SiteRecoveryFix(fix_id="near_miss", function="main",
+                        block="safe"),
+        SiteRecoveryFix(fix_id="correct", function="main", block="boom"),
+    ]
+    validator = FixValidator(demo.program)
+    rows = []
+    for fix in candidates:
+        report = validator.validate(fix)
+        rows.append([fix.fix_id, report.regressions, report.mitigated,
+                     "ship" if report.deployable else "reject"])
+    return rows
+
+
+def ablation_rollout():
+    rows = []
+    for fraction in (0.1, 0.25, 0.5, 1.0):
+        platform = SoftBorgPlatform(
+            crash_scenario(n_users=40, volatility=0.5, seed=2),
+            PlatformConfig(rounds=20, executions_per_round=40,
+                           rollout_fraction=fraction, n_pods=20,
+                           enable_proofs=False, seed=2))
+        report = platform.run()
+        deploy_round = next(
+            (r.round_index for r in report.rounds
+             if r.fixes_deployed_total >= 1), None)
+        protected_round = next(
+            (r.round_index for r in report.rounds
+             if r.pods_current == 20 and r.fixes_deployed_total >= 1),
+            None)
+        post_fix_failures = sum(
+            r.failures for r in report.rounds
+            if deploy_round is not None and r.round_index > deploy_round)
+        rows.append([
+            f"{fraction:.0%}",
+            deploy_round if deploy_round is not None else "-",
+            protected_round if protected_round is not None else "> budget",
+            post_fix_failures,
+        ])
+    return rows
+
+
+def ablation_min_reports():
+    rows = []
+    for threshold in (1, 3, 6):
+        platform = SoftBorgPlatform(
+            crash_scenario(n_users=40, volatility=0.5, seed=2),
+            PlatformConfig(rounds=20, executions_per_round=40,
+                           min_failure_reports=threshold,
+                           enable_proofs=False, seed=2))
+        report = platform.run()
+        deploy_round = next(
+            (r.round_index for r in report.rounds
+             if r.fixes_deployed_total >= 1), None)
+        rows.append([
+            threshold,
+            deploy_round if deploy_round is not None else "> budget",
+            report.total_failures,
+        ])
+    return rows
+
+
+def run_experiment():
+    return (ablation_validation(), ablation_rollout(),
+            ablation_min_reports())
+
+
+def test_e14_ablations(benchmark, emit):
+    validation_rows, rollout_rows, report_rows = benchmark.pedantic(
+        run_experiment, rounds=1, iterations=1)
+
+    table1 = render_table(
+        ["candidate fix", "regressions", "mitigated", "verdict"],
+        validation_rows,
+        title="E14a: validation gate (DESIGN §5.5) — the near-miss"
+              " candidate breaks healthy runs")
+    table2 = render_table(
+        ["rollout/round", "fix deployed (round)",
+         "all pods protected (round)", "failures after deploy"],
+        rollout_rows,
+        title="E14b: staged rollout fraction vs time-to-protection")
+    table3 = render_table(
+        ["min failure reports", "fix deployed (round)", "total failures"],
+        report_rows,
+        title="E14c: evidence threshold vs fix latency")
+    emit("e14_ablations", "\n\n".join([table1, table2, table3]))
+
+    # a) Validation rejects the near-miss and ships the correct fix.
+    verdicts = {row[0]: row[3] for row in validation_rows}
+    assert verdicts["near_miss"] == "reject"
+    assert verdicts["correct"] == "ship"
+    # b) Faster rollout protects sooner (weakly monotone) and full
+    # rollout yields the fewest post-deploy failures.
+    protected = [row[2] for row in rollout_rows
+                 if isinstance(row[2], int)]
+    assert protected == sorted(protected, reverse=True)
+    assert rollout_rows[-1][3] <= rollout_rows[0][3]
+    # c) Demanding more failure evidence delays the fix.
+    deploys = [row[1] for row in report_rows if isinstance(row[1], int)]
+    assert deploys == sorted(deploys)
+    assert report_rows[-1][2] >= report_rows[0][2]

@@ -1,0 +1,106 @@
+"""E1 — the paper's only number: a 3-solver SAT portfolio gives ~10x
+speedup in constraint-solving time for ~3x computation resources
+(Sec. 4).
+
+Workload: a mixed stream of path-constraint-like instances from three
+families with complementary hardness (random planted 3-SAT, masked
+implication chains, structured coloring/pigeonhole). Solvers: DPLL-JW,
+WalkSAT, failed-literal lookahead. All costs are deterministic virtual
+work units; the portfolio's per-instance time is the first finisher's
+cost and its resources are 3x that (losers are killed).
+"""
+
+import random
+
+from repro.metrics.report import format_float, render_table
+from repro.solvers.cnf import (
+    graph_coloring, implication_chain, pigeonhole, random_ksat,
+)
+from repro.solvers.dpll import DPLLSolver
+from repro.solvers.lookahead import LookaheadSolver
+from repro.solvers.portfolio import run_portfolio_experiment
+from repro.solvers.walksat import WalkSATSolver
+
+BUDGET = 400_000
+
+
+def build_instances():
+    instances = []
+    for seed in range(6):
+        instances.append(random_ksat(
+            120, 500, rng=random.Random(seed), force_satisfiable=True,
+            name=f"rand-{seed}"))
+    for seed in range(6):
+        instances.append(implication_chain(
+            40, 18, rng=random.Random(seed), name=f"chain-{seed}"))
+    for seed in range(2):
+        instances.append(graph_coloring(
+            12, 0.5, 3, rng=random.Random(seed + 7),
+            name=f"color-{seed}"))
+    instances.append(pigeonhole(5))
+    return instances
+
+
+def run_experiment():
+    solvers = [DPLLSolver("jw"), WalkSATSolver(seed=2), LookaheadSolver()]
+    return run_portfolio_experiment(solvers, build_instances(),
+                                    budget=BUDGET)
+
+
+def test_e1_portfolio_sat(benchmark, emit):
+    report = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+
+    family_rows = []
+    for family, row in sorted(report.per_family_times().items()):
+        family_rows.append([
+            family,
+            row.get("dpll-jw", 0),
+            row.get("walksat", 0),
+            row.get("lookahead", 0),
+            row["portfolio"],
+        ])
+    table1 = render_table(
+        ["family", "dpll-jw", "walksat", "lookahead", "portfolio"],
+        family_rows,
+        title="E1a: total solving cost per family (virtual units;"
+              " timeouts charged at budget)")
+
+    single_rows = []
+    for name in ("dpll-jw", "walksat", "lookahead"):
+        single_rows.append([
+            name,
+            report.total_single_time(name),
+            report.solved_count(name),
+            float(report.speedup_vs(name)),
+            float(report.resource_ratio_vs(name)),
+        ])
+    single_rows.append([
+        "portfolio(3)",
+        report.total_portfolio_time,
+        report.solved_count(),
+        1.0,
+        float(report.total_portfolio_resources
+              / max(1, report.total_portfolio_time)),
+    ])
+    table2 = render_table(
+        ["as the single solver", "total time", "solved/15",
+         "portfolio speedup", "resource ratio"],
+        single_rows,
+        title="E1b: portfolio vs each single-solver choice"
+              " (paper: ~10x speedup for ~3x resources)")
+
+    wins = report.wins_by_solver()
+    summary = (f"winner split: {wins}; portfolio solved"
+               f" {report.solved_count()}/{len(report.outcomes)}")
+    emit("e1_portfolio_sat", table1 + "\n\n" + table2 + "\n" + summary)
+
+    # Shape assertions (the paper's claim, loosely).
+    assert report.solved_count() == len(report.outcomes)
+    assert len(wins) == 3          # every solver wins somewhere
+    speedups = [report.speedup_vs(n)
+                for n in ("dpll-jw", "walksat", "lookahead")]
+    assert min(speedups) >= 2.0    # portfolio beats every fixed choice
+    assert max(speedups) >= 8.0    # and is ~10x against unlucky choices
+    # Resources: 3 solvers running until the winner finishes.
+    assert report.total_portfolio_resources == \
+        3 * report.total_portfolio_time

@@ -1,0 +1,104 @@
+"""E3 — the headline hypothesis: "the more a program is used, the more
+reliable it should become", with an order-of-magnitude bug-density
+reduction (Abstract, Sec. 2).
+
+Workload: a corpus program with two rare-input bugs, a 60-user
+population, 40 rounds x 50 executions. Compared: the full closed loop
+(fixing on) vs the no-SoftBorg baseline (same executions, no fixes).
+Reported: user-visible failures per 1k executions over usage deciles.
+"""
+
+from repro.metrics.report import format_float, render_table
+from repro.platform import PlatformConfig, SoftBorgPlatform
+from repro.progmodel.bugs import BugKind
+from repro.progmodel.corpus import CorpusConfig, generate_program
+from repro.workloads.population import UserPopulation
+from repro.workloads.scenarios import Scenario
+
+ROUNDS = 40
+PER_ROUND = 50
+
+
+def build_scenario(seed):
+    seeded = generate_program(
+        "e3prog", CorpusConfig(seed=77, n_segments=8, bug_rarity=1),
+        (BugKind.CRASH, BugKind.ASSERT))
+    population = UserPopulation(seeded.program, n_users=60,
+                                volatility=0.4, seed=seed)
+    return Scenario(seeded=seeded, population=population)
+
+
+def run_pair():
+    softborg = SoftBorgPlatform(
+        build_scenario(3),
+        PlatformConfig(rounds=ROUNDS, executions_per_round=PER_ROUND,
+                       guidance=True, enable_proofs=False, seed=3))
+    softborg_report = softborg.run()
+    baseline = SoftBorgPlatform(
+        build_scenario(3),
+        PlatformConfig(rounds=ROUNDS, executions_per_round=PER_ROUND,
+                       fixing=False, guidance=False, enable_proofs=False,
+                       seed=3))
+    baseline_report = baseline.run()
+    return softborg, softborg_report, baseline, baseline_report
+
+
+def decile_failure_rates(report, deciles=10):
+    per_round = [r.failures / r.executions for r in report.rounds]
+    chunk = max(1, len(per_round) // deciles)
+    rates = []
+    for i in range(0, len(per_round), chunk):
+        window = per_round[i:i + chunk]
+        rates.append(1000.0 * sum(window) / len(window))
+    return rates
+
+
+def test_e3_bug_density(benchmark, emit):
+    softborg, sb_report, _baseline, base_report = benchmark.pedantic(
+        run_pair, rounds=1, iterations=1)
+
+    sb_rates = decile_failure_rates(sb_report)
+    base_rates = decile_failure_rates(base_report)
+    rows = []
+    for index, (sb, base) in enumerate(zip(sb_rates, base_rates)):
+        executions = (index + 1) * ROUNDS * PER_ROUND // 10
+        rows.append([executions, float(base), float(sb)])
+    table = render_table(
+        ["cumulative executions", "baseline fails/1k",
+         "SoftBorg fails/1k"],
+        rows,
+        title="E3: user-visible failure rate vs usage"
+              " (fixing closes the loop)")
+
+    summary_rows = [
+        ["total failures", base_report.total_failures,
+         sb_report.total_failures],
+        ["fixes deployed", 0, len(sb_report.fixes)],
+        ["open bugs at end", len(base_report.density.open_bugs),
+         len(sb_report.density.open_bugs)],
+        ["final windowed fails/1k",
+         float(base_report.density.windowed_density()),
+         float(sb_report.density.windowed_density())],
+    ]
+    table2 = render_table(["metric", "baseline", "SoftBorg"],
+                          summary_rows, title="E3 summary")
+    from repro.metrics.report import render_series
+    figure = "\n".join([
+        "E3 figure: windowed failures/1k vs cumulative executions",
+        render_series(base_report.density.density_series.ys(),
+                      title="baseline", y_max=150),
+        render_series(sb_report.density.density_series.ys(),
+                      title="SoftBorg", y_max=150),
+    ])
+    emit("e3_bug_density", table + "\n\n" + table2 + "\n\n" + figure)
+
+    # Shape: late-phase density drops by >= 10x vs the baseline's
+    # late-phase density (which stays roughly flat).
+    sb_late = sum(sb_rates[-3:]) / 3
+    base_late = sum(base_rates[-3:]) / 3
+    assert len(sb_report.fixes) >= 1
+    assert base_late > 0
+    assert sb_late <= base_late / 10 or sb_late == 0.0
+    assert sb_report.density.open_bugs == set() or \
+        len(sb_report.density.open_bugs) < len(
+            base_report.density.open_bugs)

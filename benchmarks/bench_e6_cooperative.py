@@ -1,0 +1,119 @@
+"""E6 — cooperative symbolic execution (Sec. 4): scale exploration
+across hive nodes on an unreliable network; dynamic partitioning beats
+static; discovery degrades gracefully under loss and churn; portfolio
+allocation shifts work toward productive subtrees.
+
+Workload: a corpus program's feasible tree (the denominator comes from
+single-node exploration). Virtual time throughout; worker compute rate
+and link characteristics are configured, not measured.
+"""
+
+from repro.hive.cooperative import CooperativeConfig, explore_cooperatively
+from repro.metrics.report import format_float, render_table
+from repro.progmodel.bugs import BugKind
+from repro.progmodel.corpus import CorpusConfig, generate_program
+from repro.symbolic.engine import SymbolicEngine
+
+
+def build_program():
+    return generate_program(
+        "e6prog", CorpusConfig(seed=9, n_segments=8),
+        (BugKind.CRASH,)).program
+
+
+def run_experiment():
+    program = build_program()
+    reference = len(SymbolicEngine(program).explore())
+    results = {}
+
+    # a) scaling: dynamic mode, 1..16 workers, fine-grained tasks.
+    for workers in (1, 2, 4, 8, 16):
+        results[f"scale-{workers}"] = explore_cooperatively(
+            program, CooperativeConfig(n_workers=workers, mode="dynamic",
+                                       task_timeout=20.0,
+                                       task_path_budget=4, seed=2))
+
+    # b) static vs dynamic, clean and lossy network.
+    for mode in ("static", "dynamic"):
+        for loss in (0.0, 0.25):
+            results[f"{mode}-loss{int(loss * 100)}"] = \
+                explore_cooperatively(program, CooperativeConfig(
+                    n_workers=8, mode=mode, split_depth=2,
+                    loss_rate=loss, task_timeout=3.0, seed=4,
+                    deadline=2000.0))
+
+    # c) churn: half the workers die early.
+    churn = tuple((1.0, i) for i in range(4))
+    for mode in ("static", "dynamic"):
+        results[f"{mode}-churn"] = explore_cooperatively(
+            program, CooperativeConfig(
+                n_workers=8, mode=mode, split_depth=2, churn=churn,
+                task_timeout=3.0, seed=6, deadline=2000.0))
+
+    # d) allocation policy under a tight deadline (partial exploration).
+    for allocation in ("fifo", "markowitz"):
+        results[f"alloc-{allocation}"] = explore_cooperatively(
+            program, CooperativeConfig(
+                n_workers=4, mode="dynamic", allocation=allocation,
+                task_timeout=20.0, seed=8))
+
+    return reference, results
+
+
+def test_e6_cooperative(benchmark, emit):
+    reference, results = benchmark.pedantic(run_experiment, rounds=1,
+                                            iterations=1)
+
+    base_time = results["scale-1"].virtual_time
+    rows = []
+    for workers in (1, 2, 4, 8, 16):
+        r = results[f"scale-{workers}"]
+        rows.append([workers, r.path_count,
+                     float(r.virtual_time),
+                     float(base_time / r.virtual_time)])
+    table1 = render_table(
+        ["workers", "paths", "virtual time", "speedup"],
+        rows, title=f"E6a: dynamic-partition scaling"
+                    f" ({reference} feasible paths)")
+
+    rows = []
+    for key in ("static-loss0", "dynamic-loss0", "static-loss25",
+                "dynamic-loss25", "static-churn", "dynamic-churn"):
+        r = results[key]
+        rows.append([key, f"{r.path_count}/{reference}",
+                     "yes" if r.completed else "no",
+                     float(r.virtual_time), r.tasks_reassigned])
+    table2 = render_table(
+        ["configuration", "paths", "complete", "virtual time",
+         "reassigned"],
+        rows, title="E6b: static vs dynamic under loss and churn"
+                    " (8 workers)")
+
+    rows = []
+    for allocation in ("fifo", "markowitz"):
+        r = results[f"alloc-{allocation}"]
+        halfway = r.discovery.first_x_where(
+            lambda paths: paths >= reference * 0.5)
+        rows.append([allocation, r.path_count,
+                     float(r.virtual_time),
+                     float(halfway if halfway is not None else -1)])
+    table3 = render_table(
+        ["allocation", "paths", "completion time",
+         "time to 50% of paths"],
+        rows, title="E6c: portfolio-theoretic vs FIFO allocation"
+                    " (4 workers)")
+
+    emit("e6_cooperative", "\n\n".join([table1, table2, table3]))
+
+    # Shapes.
+    assert results["scale-8"].virtual_time <= base_time / 2
+    assert results["scale-2"].virtual_time < base_time
+    for key in ("static-loss0", "dynamic-loss0", "dynamic-loss25",
+                "dynamic-churn"):
+        assert results[key].completed, key
+        assert results[key].path_count == reference, key
+    # Churn: dynamic recovers the dead workers' subtrees, static loses
+    # them.
+    assert not results["static-churn"].completed
+    assert results["static-churn"].path_count < reference
+    assert results["dynamic-churn"].path_count == reference

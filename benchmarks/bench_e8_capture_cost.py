@@ -1,0 +1,104 @@
+"""E8 — capture cost vs information (Sec. 3.1).
+
+"The cost of capture can be reduced by focusing solely on branches that
+depend on program-external events" and "sampling is effective too,
+especially if done in a coordinated fashion: instead of uniquely
+specifying a path, a recorded trace specifies a family of paths, but
+subsequent aggregation of traces can narrow down this family."
+
+Workload: one seeded-bug program, 1200 runs. Policies compared: record
+every branch, record input-dependent branches only (the paper's
+choice), CBI sampling at 1/10 and 1/100, and WER failure dumps.
+Reported: pod-side events logged per run (the overhead proxy), wire
+bytes per run, and whether each policy's analysis still localizes the
+bug's guard predicate (rank, lower = better).
+"""
+
+import random
+
+from repro.analysis.cbi import CbiAnalyzer
+from repro.analysis.localize import localize_from_tree, rank_of_block
+from repro.metrics.report import format_float, render_table
+from repro.progmodel.bugs import BugKind
+from repro.progmodel.corpus import CorpusConfig, generate_program
+from repro.progmodel.interpreter import Interpreter
+from repro.tracing.capture import (
+    AllBranchCapture, FailureDumpCapture, FullCapture, SampledCapture,
+)
+from repro.tracing.encode import encoded_size
+from repro.tree.exectree import ExecutionTree
+
+N_RUNS = 1200
+
+
+def run_experiment():
+    seeded = generate_program(
+        "e8prog", CorpusConfig(seed=10, n_segments=8), (BugKind.CRASH,))
+    program = seeded.program
+    bug = seeded.bugs[0]
+    guard_block = bug.site_block.replace("_bug", "_g")
+
+    policies = {
+        "all branches": AllBranchCapture(),
+        "input-dep only (paper)": FullCapture(),
+        "sampled 1/10": SampledCapture(rate=10, seed=1),
+        "sampled 1/100": SampledCapture(rate=100, seed=2),
+        "failure dumps (WER)": FailureDumpCapture(),
+    }
+
+    rng = random.Random(5)
+    runs = []
+    for _ in range(N_RUNS):
+        inputs = {name: rng.randint(lo, hi)
+                  for name, (lo, hi) in program.inputs.items()}
+        runs.append(Interpreter(program).run(inputs))
+
+    rows = []
+    for name, policy in policies.items():
+        events = 0
+        wire_bytes = 0
+        tree = ExecutionTree(program.name, program.version)
+        cbi = CbiAnalyzer()
+        for result in runs:
+            trace = policy.capture(result)
+            events += trace.events_recorded
+            wire_bytes += encoded_size(trace)
+            if trace.replayable:
+                tree.insert_trace(trace, program)
+            else:
+                cbi.add_trace(trace)
+        if tree.insert_count:
+            scores = localize_from_tree(tree)
+            rank = rank_of_block(scores, bug.site_function, guard_block)
+        else:
+            rank = cbi.rank_of(((0, bug.site_function, guard_block), True))
+        rows.append([name, float(events / len(runs)),
+                     float(wire_bytes / len(runs)),
+                     rank if rank is not None else "lost"])
+    return rows
+
+
+def test_e8_capture_cost(benchmark, emit):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    table = render_table(
+        ["capture policy", "events/run", "wire bytes/run",
+         "bug-guard rank"],
+        rows,
+        title=f"E8: recording cost vs localization power"
+              f" ({N_RUNS} runs)")
+    emit("e8_capture_cost", table)
+
+    by_name = {row[0]: row for row in rows}
+    # Input-dependent-only capture is strictly cheaper than recording
+    # every branch, with identical localization power.
+    assert (by_name["input-dep only (paper)"][1]
+            < by_name["all branches"][1])
+    assert (by_name["input-dep only (paper)"][3]
+            == by_name["all branches"][3] == 1)
+    # Sampling cuts cost by ~rate and still localizes.
+    assert by_name["sampled 1/10"][1] < \
+        by_name["input-dep only (paper)"][1] / 4
+    assert isinstance(by_name["sampled 1/10"][3], int)
+    # WER dumps are nearly free but localize nothing.
+    assert by_name["failure dumps (WER)"][1] < 1.0
+    assert by_name["failure dumps (WER)"][3] == "lost"

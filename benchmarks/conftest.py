@@ -1,0 +1,32 @@
+"""Shared helpers for the experiment benchmarks.
+
+Each ``bench_eN_*.py`` reproduces one experiment from DESIGN.md's
+index: it runs the workload once under ``benchmark.pedantic`` (so
+pytest-benchmark reports its runtime) and emits the paper-style table
+both to stdout and to ``benchmarks/out/<experiment>.txt`` so the rows
+survive output capturing.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+OUT_DIR = Path(__file__).parent / "out"
+
+
+@pytest.fixture()
+def emit():
+    """emit(name, text): print + persist one experiment's table(s)."""
+    OUT_DIR.mkdir(exist_ok=True)
+
+    def _emit(name: str, text: str) -> None:
+        print()
+        print(text)
+        path = OUT_DIR / f"{name}.txt"
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+
+    return _emit

@@ -1,0 +1,89 @@
+#!/usr/bin/env python
+"""Deadlock immunity: from one observed deadlock to a validated fix.
+
+Two threads take locks A and B in opposite orders; whether the run
+deadlocks depends on the interleaving. This example walks the paper's
+deadlock story explicitly (Sec. 3, ref [16]):
+
+1. observe executions under many schedules — some deadlock;
+2. the hive replays traces, builds the lock-order graph, and finds the
+   A->B->A cycle;
+3. a gate-lock serialization fix is synthesized and validated over
+   inputs x schedules (zero regressions required);
+4. the fixed program survives every adversarial schedule we throw at it.
+
+Run:  python examples/deadlock_immunity.py
+"""
+
+from repro.analysis.deadlock import DeadlockAnalyzer
+from repro.fixes.deadlock_immunity import synthesize_immunity_fix
+from repro.fixes.validation import FixValidator
+from repro.metrics.report import render_table
+from repro.progmodel.corpus import make_deadlock_demo
+from repro.progmodel.interpreter import Interpreter, Outcome
+from repro.sched.scheduler import PCTScheduler, RandomScheduler
+
+
+def deadlock_rate(program, n_schedules: int = 100) -> float:
+    deadlocks = 0
+    for seed in range(n_schedules):
+        result = Interpreter(program).run(
+            {"go": 1}, scheduler=RandomScheduler(seed=seed))
+        deadlocks += result.outcome is Outcome.DEADLOCK
+    return deadlocks / n_schedules
+
+
+def main() -> None:
+    demo = make_deadlock_demo()
+    program = demo.program
+    print(f"Program: {program.name}, threads={program.threads},"
+          f" locks={program.lock_names()}")
+
+    # 1. Run under many schedules; feed the hive's analyzer.
+    analyzer = DeadlockAnalyzer()
+    outcomes = {"ok": 0, "deadlock": 0}
+    for seed in range(60):
+        result = Interpreter(program).run(
+            {"go": 1}, scheduler=RandomScheduler(seed=seed))
+        analyzer.add_execution(result)
+        outcomes["deadlock" if result.outcome is Outcome.DEADLOCK
+                 else "ok"] += 1
+    print(f"\n60 natural runs: {outcomes['ok']} ok,"
+          f" {outcomes['deadlock']} deadlocked")
+
+    # 2. Diagnose the lock-order cycle.
+    diagnosis = analyzer.diagnoses()[0]
+    print(f"Diagnosed cycle: {' -> '.join(diagnosis.cycle)} ->"
+          f" {diagnosis.cycle[0]}")
+    for lock, sites in diagnosis.sites.items():
+        print(f"  lock {lock!r} acquired at: "
+              + ", ".join(f"{fn}:{blk}" for fn, blk in sites))
+
+    # 3. Synthesize and validate the immunity fix.
+    fix = synthesize_immunity_fix(diagnosis, program.name)
+    print(f"\nSynthesized fix: {fix.description}")
+    report = FixValidator(program).validate(fix)
+    print(f"Validation: {report.cases_run} cases,"
+          f" {report.regressions} regressions,"
+          f" {report.mitigated} mitigated"
+          f" -> deployable={report.deployable}")
+
+    # 4. Adversarial evaluation: random + PCT schedules.
+    fixed = fix.apply(program)
+    before = deadlock_rate(program)
+    after = deadlock_rate(fixed)
+    pct_deadlocks = 0
+    for seed in range(100):
+        scheduler = PCTScheduler(n_threads=2, depth=3, seed=seed)
+        result = Interpreter(fixed).run({"go": 1}, scheduler=scheduler)
+        pct_deadlocks += result.outcome is Outcome.DEADLOCK
+    print()
+    print(render_table(
+        ["program", "deadlocks/100 random", "deadlocks/100 PCT"],
+        [["original", f"{before * 100:.0f}", "-"],
+         ["fixed", f"{after * 100:.0f}", str(pct_deadlocks)]],
+        title="Deadlock rate before/after the immunity fix"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Quickstart: exterminate a rare-input crash with the closed loop.
+
+A population of users runs a small program that crashes only when
+``n == 7 and mode == 2``. Pods capture branch bit-vectors, the hive
+merges them into the collective execution tree, and as soon as the
+crash manifests the hive synthesizes a recovery fix, validates it
+against the tree-derived regression suite, and ships it — after which
+the failure rate drops to zero and the `no-failures` property gets
+proved for the fixed version.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import PlatformConfig, SoftBorgPlatform, crash_scenario
+from repro.metrics.report import render_table
+
+
+def main() -> None:
+    scenario = crash_scenario(n_users=40, volatility=0.5, seed=2)
+    print(f"Program: {scenario.program.name}  "
+          f"(seeded bug: {scenario.bugs[0].message},"
+          f" trigger {scenario.bugs[0].trigger})")
+    print()
+
+    platform = SoftBorgPlatform(
+        scenario,
+        PlatformConfig(rounds=15, executions_per_round=40,
+                       guidance=True, seed=2))
+    report = platform.run()
+
+    rows = []
+    for stats in report.rounds:
+        rows.append([
+            stats.round_index,
+            stats.executions,
+            stats.failures,
+            stats.hive_version,
+            stats.fixes_deployed_total,
+            float(stats.windowed_density),
+            stats.proof_status or "-",
+            float(stats.proof_coverage),
+        ])
+    print(render_table(
+        ["round", "execs", "fails", "ver", "fixes", "fails/1k",
+         "proof", "coverage"],
+        rows, title="Closed loop, round by round"))
+
+    print()
+    print(f"Total executions : {report.total_executions}")
+    print(f"User-visible failures : {report.total_failures}")
+    print(f"Failures in steered (SoftBorg-initiated) runs :"
+          f" {report.guided_failures}")
+    print(f"Fixes deployed   : {report.fixes}")
+    print(f"Open bugs        : {sorted(report.density.open_bugs) or 'none'}")
+    final_proof = report.proofs[-1][1]
+    print(f"Final proof      : {final_proof.describe()}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim for environments without PEP 517 build frontends.
+
+All real metadata lives in pyproject.toml; this file only enables
+``pip install -e . --no-use-pep517`` on offline machines that lack the
+``wheel`` package.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,72 @@
+"""SoftBorg — a reproduction of "Exterminating Bugs via Collective
+Information Recycling" (Candea, HotDep 2011).
+
+The package implements the full platform the paper proposes, on
+simulated substrates: pods capture execution by-products from a
+synthetic program population, the hive merges them into collective
+execution trees, detects misbehaviours, synthesizes and validates
+fixes, assembles cumulative proofs, steers pods toward unexplored
+behaviour, and scales its symbolic analysis cooperatively across
+simulated worker nodes.
+
+Quickstart::
+
+    from repro import SoftBorgPlatform, PlatformConfig, crash_scenario
+
+    platform = SoftBorgPlatform(crash_scenario(), PlatformConfig(rounds=20))
+    report = platform.run()
+    print(report.failure_rate(), report.fixes)
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+experiment index.
+"""
+
+from repro.platform import (
+    PlatformConfig,
+    PlatformReport,
+    RoundStats,
+    SoftBorgPlatform,
+)
+from repro.progmodel import (
+    BugKind,
+    BugSpec,
+    CorpusConfig,
+    Environment,
+    ExecutionLimits,
+    ExecutionResult,
+    Interpreter,
+    Program,
+    ProgramBuilder,
+    generate_corpus,
+    generate_program,
+)
+from repro.tracing import FullCapture, SampledCapture, Trace
+from repro.tree import ExecutionTree
+from repro.hive import Hive, explore_cooperatively
+from repro.pod import Pod
+from repro.proofs import CumulativeProver, NO_FAILURES
+from repro.symbolic import SymbolicEngine
+from repro.workloads import (
+    Scenario,
+    UserPopulation,
+    crash_scenario,
+    deadlock_scenario,
+    mixed_corpus_scenario,
+    shortread_scenario,
+)
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "SoftBorgPlatform", "PlatformConfig", "PlatformReport", "RoundStats",
+    "Program", "ProgramBuilder", "Interpreter", "Environment",
+    "ExecutionLimits", "ExecutionResult",
+    "BugKind", "BugSpec", "CorpusConfig", "generate_corpus",
+    "generate_program",
+    "Trace", "FullCapture", "SampledCapture", "ExecutionTree",
+    "Hive", "Pod", "explore_cooperatively",
+    "CumulativeProver", "NO_FAILURES", "SymbolicEngine",
+    "Scenario", "UserPopulation", "crash_scenario", "deadlock_scenario",
+    "shortread_scenario", "mixed_corpus_scenario",
+    "__version__",
+]

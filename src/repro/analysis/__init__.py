@@ -1,0 +1,32 @@
+"""Hive-side misbehaviour analysis.
+
+Consumes aggregated by-products (traces, replayed executions, the
+execution tree) and produces actionable diagnoses: deadlock cycles
+(:mod:`deadlock`), crash buckets in the WER style (:mod:`crashes`),
+statistical bug isolation in the CBI style (:mod:`cbi`), tree-based
+localization (:mod:`localize`), and hang inference (:mod:`hangs`).
+The crash-bucketing and CBI modules double as the report-only baselines
+the paper positions SoftBorg against (Sec. 5).
+"""
+
+from repro.analysis.deadlock import (
+    DeadlockAnalyzer,
+    DeadlockDiagnosis,
+    LockOrderGraph,
+)
+from repro.analysis.crashes import CrashBucket, CrashBucketer
+from repro.analysis.cbi import CbiAnalyzer, PredicateScore
+from repro.analysis.localize import LocalizationScore, localize_from_tree
+from repro.analysis.hangs import HangReport, infer_hangs
+from repro.analysis.invariants import Invariant, InvariantMiner
+from repro.analysis.races import RaceAnalyzer, RaceReport
+
+__all__ = [
+    "LockOrderGraph", "DeadlockAnalyzer", "DeadlockDiagnosis",
+    "CrashBucketer", "CrashBucket",
+    "CbiAnalyzer", "PredicateScore",
+    "localize_from_tree", "LocalizationScore",
+    "infer_hangs", "HangReport",
+    "RaceAnalyzer", "RaceReport",
+    "InvariantMiner", "Invariant",
+]

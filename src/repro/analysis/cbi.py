@@ -1,0 +1,126 @@
+"""Cooperative Bug Isolation scoring (Liblit et al., paper ref [18]).
+
+Predicates are branch observations ``(site, direction)``. For each
+predicate P over many sampled runs:
+
+* ``failure(P)``  = Pr(run fails | P observed true in the run),
+* ``context(P)``  = Pr(run fails | P's *site* observed at all),
+* ``increase(P)`` = failure(P) - context(P) — how much more predictive
+  the specific direction is than merely reaching the site, and
+* ``importance(P)`` — harmonic mean of increase(P) and the normalised
+  log of the failing-run support, Liblit's balanced ranking metric.
+
+CBI localizes which predicate predicts failure from *sparse* samples;
+it does not synthesize a fix — it is both a SoftBorg ingredient (works
+on non-replayable sampled traces) and the second baseline of E12.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.tracing.trace import Observation, Trace
+
+__all__ = ["PredicateScore", "CbiAnalyzer"]
+
+Site = Tuple[int, str, str]
+Predicate = Tuple[Site, bool]
+
+
+@dataclass
+class PredicateScore:
+    """CBI statistics for one predicate."""
+
+    predicate: Predicate
+    observed_true_fail: int      # F(P)
+    observed_true_success: int   # S(P)
+    site_fail: int               # F(P observed)
+    site_success: int            # S(P observed)
+
+    @property
+    def failure(self) -> float:
+        total = self.observed_true_fail + self.observed_true_success
+        return self.observed_true_fail / total if total else 0.0
+
+    @property
+    def context(self) -> float:
+        total = self.site_fail + self.site_success
+        return self.site_fail / total if total else 0.0
+
+    @property
+    def increase(self) -> float:
+        return self.failure - self.context
+
+    @property
+    def importance(self) -> float:
+        """Harmonic mean of Increase and log-support (Liblit 2005)."""
+        if self.increase <= 0.0 or self.observed_true_fail == 0:
+            return 0.0
+        support = math.log(1 + self.observed_true_fail)
+        return 2.0 / (1.0 / self.increase + 1.0 / support)
+
+
+class CbiAnalyzer:
+    """Accumulates (observations, outcome) pairs; ranks predicates."""
+
+    def __init__(self):
+        # predicate -> [true_fail, true_success]
+        self._pred: Dict[Predicate, List[int]] = {}
+        # site -> [fail, success] (site observed at all)
+        self._site: Dict[Site, List[int]] = {}
+        self.runs = 0
+        self.failing_runs = 0
+
+    def add_run(self, observations: Iterable[Observation],
+                failed: bool) -> None:
+        """Fold in one run's sampled observations and its outcome."""
+        self.runs += 1
+        if failed:
+            self.failing_runs += 1
+        slot = 0 if failed else 1
+        sites_seen = set()
+        predicates_seen = set()
+        for obs in observations:
+            predicates_seen.add((obs.site, obs.taken))
+            sites_seen.add(obs.site)
+        for predicate in predicates_seen:
+            counts = self._pred.setdefault(predicate, [0, 0])
+            counts[slot] += 1
+        for site in sites_seen:
+            counts = self._site.setdefault(site, [0, 0])
+            counts[slot] += 1
+
+    def add_trace(self, trace: Trace) -> None:
+        """Convenience: fold in a sampled-capture trace."""
+        self.add_run(trace.observations, trace.outcome.is_failure)
+
+    def scores(self) -> List[PredicateScore]:
+        result = []
+        for predicate, (tf, ts) in self._pred.items():
+            site = predicate[0]
+            sf, ss = self._site[site]
+            result.append(PredicateScore(
+                predicate=predicate,
+                observed_true_fail=tf,
+                observed_true_success=ts,
+                site_fail=sf,
+                site_success=ss,
+            ))
+        return result
+
+    def ranking(self) -> List[PredicateScore]:
+        """Predicates ranked most-important first (ties: more failing
+        support, then stable by predicate)."""
+        return sorted(
+            self.scores(),
+            key=lambda s: (-s.importance, -s.observed_true_fail,
+                           s.predicate))
+
+    def rank_of(self, predicate: Predicate) -> Optional[int]:
+        """1-based rank of a predicate in the ranking; None if absent."""
+        for index, score in enumerate(self.ranking()):
+            if score.predicate == predicate:
+                return index + 1
+        return None

@@ -1,0 +1,63 @@
+"""Hang inference from outcomes and user feedback.
+
+A pod cannot observe "this program will never terminate"; it sees a
+step budget exhausted (HANG outcome) or the user force-killing the
+process (Sec. 3.1's indirect feedback). This module groups such
+evidence by the location the program was spinning at.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.progmodel.interpreter import Outcome
+from repro.tracing.outcome import UserFeedback
+from repro.tracing.trace import Trace
+
+__all__ = ["HangReport", "infer_hangs"]
+
+Site = Tuple[int, str, str]
+
+
+@dataclass
+class HangReport:
+    """Evidence that the program hangs at a particular location."""
+
+    site: Optional[Site]
+    observed_hangs: int = 0
+    forced_kills: int = 0
+    sluggish_reports: int = 0
+
+    @property
+    def confidence(self) -> float:
+        """Crude evidence weight: explicit hangs and kills count fully,
+        sluggishness counts half."""
+        return (self.observed_hangs + self.forced_kills
+                + 0.5 * self.sluggish_reports)
+
+
+def infer_hangs(traces: Sequence[Trace],
+                feedback: Optional[Sequence[UserFeedback]] = None,
+                ) -> List[HangReport]:
+    """Group hang evidence by failure site, strongest evidence first.
+
+    ``feedback`` aligns index-wise with ``traces`` when provided; a
+    FORCED_KILL on a non-HANG trace still contributes (the user knew
+    something the step budget did not).
+    """
+    reports: Dict[Optional[Site], HangReport] = {}
+    for index, trace in enumerate(traces):
+        signal = feedback[index] if feedback is not None else UserFeedback.NONE
+        is_hang = trace.outcome is Outcome.HANG
+        if not is_hang and signal is UserFeedback.NONE:
+            continue
+        site = trace.failure_site if is_hang else None
+        report = reports.setdefault(site, HangReport(site=site))
+        if is_hang:
+            report.observed_hangs += 1
+        if signal is UserFeedback.FORCED_KILL:
+            report.forced_kills += 1
+        elif signal is UserFeedback.SLUGGISH:
+            report.sluggish_reports += 1
+    return sorted(reports.values(), key=lambda r: -r.confidence)

@@ -1,0 +1,85 @@
+"""Execution-tree-based bug localization.
+
+Where CBI works from sparse samples, the hive can localize directly on
+the collective execution tree: every decision edge knows how many
+executions that traversed it ended in failure vs success (aggregated
+from leaf outcome counters). Edges are ranked by Ochiai suspiciousness,
+the standard spectrum-based fault-localization metric:
+
+    ochiai(e) = fail(e) / sqrt(total_fail * (fail(e) + pass(e)))
+
+A seeded bug's guard decision should rank at or near the top once the
+tree has seen a handful of failures — experiments E8/E9 measure how
+this rank degrades under sampling and privacy coarsening.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.progmodel.interpreter import Outcome
+from repro.tree.exectree import ExecutionTree
+
+__all__ = ["LocalizationScore", "localize_from_tree", "rank_of_block"]
+
+Site = Tuple[int, str, str]
+Decision = Tuple[Site, bool]
+
+
+@dataclass
+class LocalizationScore:
+    """Suspiciousness of one decision edge."""
+
+    decision: Decision
+    fail_count: int
+    pass_count: int
+    ochiai: float
+
+    @property
+    def site(self) -> Site:
+        return self.decision[0]
+
+
+def localize_from_tree(tree: ExecutionTree) -> List[LocalizationScore]:
+    """Rank decision edges by Ochiai suspiciousness, highest first."""
+    fail_counts: Dict[Decision, int] = {}
+    pass_counts: Dict[Decision, int] = {}
+    total_fail = 0
+    for path, outcomes in tree.iter_terminal_paths():
+        failures = sum(count for outcome, count in outcomes.items()
+                       if outcome.is_failure)
+        successes = sum(count for outcome, count in outcomes.items()
+                        if not outcome.is_failure)
+        total_fail += failures
+        for decision in path:
+            fail_counts[decision] = fail_counts.get(decision, 0) + failures
+            pass_counts[decision] = pass_counts.get(decision, 0) + successes
+    scores = []
+    for decision in set(fail_counts) | set(pass_counts):
+        fail = fail_counts.get(decision, 0)
+        passed = pass_counts.get(decision, 0)
+        if total_fail == 0 or fail == 0:
+            ochiai = 0.0
+        else:
+            ochiai = fail / math.sqrt(total_fail * (fail + passed))
+        scores.append(LocalizationScore(
+            decision=decision, fail_count=fail, pass_count=passed,
+            ochiai=ochiai))
+    scores.sort(key=lambda s: (-s.ochiai, -s.fail_count, s.decision))
+    return scores
+
+
+def rank_of_block(scores: List[LocalizationScore], function: str,
+                  block: str) -> Optional[int]:
+    """1-based rank of the first decision at (function, block).
+
+    Used to score localization against a seeded bug's ground-truth
+    guard site.
+    """
+    for index, score in enumerate(scores):
+        _thread, fn, blk = score.site
+        if fn == function and blk == block:
+            return index + 1
+    return None

@@ -1,0 +1,229 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Three commands cover the common "kick the tires" flows:
+
+* ``run`` — the closed loop on a canned scenario, with the round table;
+* ``portfolio`` — the 3-solver SAT portfolio on a small instance mix;
+* ``explore`` — cooperative symbolic exploration of a corpus program.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.metrics.report import render_table
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SoftBorg: collective information recycling"
+                    " (HotDep'11 reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run the closed loop on a scenario")
+    run.add_argument("--scenario", default="crash",
+                     choices=["crash", "deadlock", "shortread", "race"])
+    run.add_argument("--rounds", type=int, default=15)
+    run.add_argument("--executions", type=int, default=40)
+    run.add_argument("--guidance", action="store_true")
+    run.add_argument("--no-fixing", action="store_true")
+    run.add_argument("--seed", type=int, default=2)
+
+    portfolio = sub.add_parser(
+        "portfolio", help="run the 3-solver SAT portfolio (E1, small)")
+    portfolio.add_argument("--instances", type=int, default=2,
+                           help="instances per family")
+    portfolio.add_argument("--budget", type=int, default=400_000)
+
+    explore = sub.add_parser(
+        "explore", help="cooperative symbolic exploration of a corpus"
+                        " program")
+    explore.add_argument("--workers", type=int, default=4)
+    explore.add_argument("--mode", default="dynamic",
+                         choices=["dynamic", "static"])
+    explore.add_argument("--loss", type=float, default=0.0)
+    explore.add_argument("--seed", type=int, default=9)
+
+    fleet = sub.add_parser(
+        "fleet", help="run the closed loop over a corpus of programs")
+    fleet.add_argument("--programs", type=int, default=4)
+    fleet.add_argument("--rounds", type=int, default=12)
+    fleet.add_argument("--seed", type=int, default=3)
+
+    show = sub.add_parser(
+        "show", help="print a generated corpus program (pretty IR)")
+    show.add_argument("--seed", type=int, default=0)
+    show.add_argument("--segments", type=int, default=6)
+    show.add_argument("--bug", default="crash",
+                      choices=["crash", "assert", "hang", "short_read",
+                               "deadlock", "race"])
+    return parser
+
+
+def _cmd_run(args) -> int:
+    from repro.platform import PlatformConfig, SoftBorgPlatform
+    from repro.workloads.scenarios import (
+        crash_scenario, deadlock_scenario, race_scenario,
+        shortread_scenario,
+    )
+    factories = {
+        "crash": crash_scenario,
+        "deadlock": deadlock_scenario,
+        "shortread": shortread_scenario,
+        "race": race_scenario,
+    }
+    scenario = factories[args.scenario](seed=args.seed)
+    multithreaded = len(scenario.program.threads) > 1
+    platform = SoftBorgPlatform(scenario, PlatformConfig(
+        rounds=args.rounds,
+        executions_per_round=args.executions,
+        guidance=args.guidance,
+        fixing=not args.no_fixing,
+        enable_proofs=not multithreaded,
+        seed=args.seed,
+    ))
+    report = platform.run()
+    rows = [[r.round_index, r.failures, r.hive_version,
+             r.fixes_deployed_total, float(r.windowed_density)]
+            for r in report.rounds]
+    print(render_table(
+        ["round", "failures", "version", "fixes", "fails/1k"],
+        rows, title=f"Closed loop on {scenario.program.name!r}"))
+    print()
+    print(f"fixes deployed : {report.fixes or 'none'}")
+    print(f"open bugs      : {sorted(report.density.open_bugs) or 'none'}")
+    if report.proofs:
+        print(f"final proof    : {report.proofs[-1][1].describe()}")
+    print()
+    print("hive knowledge:")
+    for key, value in platform.hive.status().items():
+        print(f"  {key}: {value}")
+    return 0
+
+
+def _cmd_portfolio(args) -> int:
+    import random
+
+    from repro.solvers.cnf import (
+        graph_coloring, implication_chain, random_ksat,
+    )
+    from repro.solvers.dpll import DPLLSolver
+    from repro.solvers.lookahead import LookaheadSolver
+    from repro.solvers.portfolio import run_portfolio_experiment
+    from repro.solvers.walksat import WalkSATSolver
+
+    instances = []
+    for seed in range(args.instances):
+        instances.append(random_ksat(
+            100, 420, rng=random.Random(seed), force_satisfiable=True))
+        instances.append(implication_chain(
+            30, 14, rng=random.Random(seed)))
+        instances.append(graph_coloring(
+            10, 0.5, 3, rng=random.Random(seed + 7)))
+    report = run_portfolio_experiment(
+        [DPLLSolver("jw"), WalkSATSolver(seed=2), LookaheadSolver()],
+        instances, budget=args.budget)
+    rows = []
+    for name in ("dpll-jw", "walksat", "lookahead"):
+        rows.append([name, report.total_single_time(name),
+                     float(report.speedup_vs(name))])
+    rows.append(["portfolio(3)", report.total_portfolio_time, 1.0])
+    print(render_table(
+        ["as single solver", "total cost", "portfolio speedup"],
+        rows, title=f"Portfolio over {len(instances)} instances"))
+    print(f"winner split: {report.wins_by_solver()}")
+    return 0
+
+
+def _cmd_explore(args) -> int:
+    from repro.hive.cooperative import (
+        CooperativeConfig, explore_cooperatively,
+    )
+    from repro.progmodel.bugs import BugKind
+    from repro.progmodel.corpus import CorpusConfig, generate_program
+
+    seeded = generate_program(
+        "cli_explore", CorpusConfig(seed=args.seed, n_segments=8),
+        (BugKind.CRASH,))
+    result = explore_cooperatively(seeded.program, CooperativeConfig(
+        n_workers=args.workers, mode=args.mode, loss_rate=args.loss,
+        task_timeout=3.0, seed=args.seed))
+    print(render_table(
+        ["metric", "value"],
+        [["paths found", result.path_count],
+         ["completed", "yes" if result.completed else "no"],
+         ["virtual time (s)", float(result.virtual_time)],
+         ["tasks processed", result.tasks_processed],
+         ["tasks reassigned", result.tasks_reassigned],
+         ["messages lost", result.messages_lost]],
+        title=f"Cooperative exploration: {args.mode} x{args.workers},"
+              f" loss {args.loss:.0%}"))
+    return 0
+
+
+def _cmd_fleet(args) -> int:
+    from repro.fleet import Fleet
+    from repro.platform import PlatformConfig
+    from repro.workloads.scenarios import mixed_corpus_scenario
+
+    scenarios = mixed_corpus_scenario(
+        n_programs=args.programs, n_users=40, seed=args.seed)
+    fleet = Fleet(scenarios, PlatformConfig(
+        rounds=args.rounds, executions_per_round=40, guidance=True,
+        enable_proofs=False, seed=args.seed))
+    report = fleet.run()
+    rows = []
+    for program in report.programs:
+        if program.exterminated:
+            verdict = "exterminated"
+        elif program.preempted:
+            verdict = "preempted"
+        elif program.bugs_seen == 0:
+            verdict = "never manifested"
+        else:
+            verdict = "OPEN"
+        rows.append([program.program_name,
+                     program.report.total_failures,
+                     len(program.report.fixes), verdict])
+    print(render_table(
+        ["program", "user failures", "fixes", "verdict"],
+        rows, title=f"Fleet of {len(report.programs)} programs"))
+    print(f"residual fails/1k: {report.residual_failure_rate():.2f}")
+    return 0
+
+
+def _cmd_show(args) -> int:
+    from repro.progmodel.bugs import BugKind
+    from repro.progmodel.corpus import CorpusConfig, generate_program
+    from repro.progmodel.pretty import format_program
+
+    seeded = generate_program(
+        "shown", CorpusConfig(seed=args.seed, n_segments=args.segments),
+        (BugKind(args.bug),))
+    print(format_program(seeded.program))
+    print()
+    for bug in seeded.bugs:
+        print(f"# seeded: {bug.message} at {bug.site_function}:"
+              f"{bug.site_block} trigger={bug.trigger}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "run": _cmd_run,
+        "portfolio": _cmd_portfolio,
+        "explore": _cmd_explore,
+        "fleet": _cmd_fleet,
+        "show": _cmd_show,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

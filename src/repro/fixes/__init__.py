@@ -1,0 +1,32 @@
+"""Fix synthesis, validation, and triage (paper Sec. 3.3).
+
+Fixes are *pure program transformations*: ``fix.apply(program)``
+returns a new, version-bumped :class:`~repro.progmodel.ir.Program` that
+pods swap in. Two synthesis strategies are implemented — site-recovery
+patches for crash/assert/hang/short-read sites (ClearView-style,
+paper ref [24]) and gate-lock serialization for deadlock cycles
+(deadlock immunity, paper ref [16]) — plus a validator that replays a
+generated input/schedule suite against original and fixed programs
+before anything ships, and a repair lab that ranks candidates and
+flags the ones needing a human.
+"""
+
+from repro.fixes.fix import Fix, clone_program
+from repro.fixes.patches import SiteRecoveryFix, synthesize_recovery_fixes
+from repro.fixes.deadlock_immunity import GateLockFix, synthesize_immunity_fix
+from repro.fixes.lockify import LockifyFix, synthesize_lockify_fix
+from repro.fixes.validation import (
+    FixValidator,
+    ValidationReport,
+    make_validation_suite,
+)
+from repro.fixes.repairlab import RepairLab, RankedFix
+
+__all__ = [
+    "Fix", "clone_program",
+    "SiteRecoveryFix", "synthesize_recovery_fixes",
+    "GateLockFix", "synthesize_immunity_fix",
+    "LockifyFix", "synthesize_lockify_fix",
+    "FixValidator", "ValidationReport", "make_validation_suite",
+    "RepairLab", "RankedFix",
+]

@@ -1,0 +1,107 @@
+"""Site-recovery patches (ClearView-style, paper ref [24]).
+
+Given a failure site ``(function, block)`` diagnosed from aggregated
+traces, the patch rewrites that block to bail out gracefully instead of
+failing: instructions up to (excluding) the first fatal instruction are
+kept, a recovery flag is raised, and control transfers to a synthesized
+recovery block that ends the function benignly. Hang sites (blocks
+with no fatal instruction whose loop never exits) are handled by the
+same rewrite — the block's back-edge is replaced by the bail-out.
+
+Safety argument: an execution that reaches a crash/assert/hang site
+never completed successfully, so no previously-successful path can be
+altered by the rewrite. The validator re-checks this empirically
+before deployment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.errors import FixError
+from repro.fixes.fix import Fix, RECOVERY_FLAG
+from repro.progmodel.ir import (
+    Assert, Crash, Halt, Jump, Program, Return, StoreGlobal,
+)
+from repro.tracing.trace import Trace
+
+__all__ = ["SiteRecoveryFix", "synthesize_recovery_fixes"]
+
+
+@dataclass
+class SiteRecoveryFix(Fix):
+    """Rewrite one failure site into a graceful bail-out."""
+
+    function: str = ""
+    block: str = ""
+
+    def transform(self, program: Program) -> None:
+        if not self.function or not self.block:
+            raise FixError("SiteRecoveryFix needs a function and block")
+        func = program.function(self.function)
+        block = func.block(self.block)
+
+        kept = []
+        for instr in block.instructions:
+            if isinstance(instr, (Crash, Assert)):
+                break
+            kept.append(instr)
+
+        recovery_label = f"__recover_{self.fix_id}"
+        if recovery_label in func.blocks:
+            raise FixError(
+                f"recovery block {recovery_label!r} already exists")
+        from repro.progmodel.ir import Block, Const
+        recovery = Block(label=recovery_label)
+        recovery.instructions.append(StoreGlobal(RECOVERY_FLAG, Const(1)))
+        if self.function in program.threads:
+            recovery.terminator = Halt()
+        else:
+            recovery.terminator = Return(Const(0))
+        func.blocks[recovery_label] = recovery
+
+        block.instructions = kept
+        block.terminator = Jump(recovery_label)
+
+
+def synthesize_recovery_fixes(traces, program_name: str,
+                              min_reports: int = 1,
+                              ) -> List[SiteRecoveryFix]:
+    """Propose one recovery fix per failure site seen in ``traces``.
+
+    Deadlock failures are excluded — their site is where a thread
+    happened to block, not a rewritable fault location; they are the
+    deadlock-immunity synthesizer's job.
+    """
+    from collections import Counter
+    from repro.progmodel.interpreter import Outcome
+
+    site_counts: Counter = Counter()
+    site_message = {}
+    for trace in traces:
+        if not trace.outcome.is_failure:
+            continue
+        if trace.outcome is Outcome.DEADLOCK:
+            continue
+        if trace.failure_site is None:
+            continue
+        _thread, function, block = trace.failure_site
+        site_counts[(function, block)] += 1
+        site_message.setdefault((function, block), trace.failure_message)
+
+    fixes = []
+    for (function, block), count in sorted(
+            site_counts.items(), key=lambda kv: (-kv[1], kv[0])):
+        if count < min_reports:
+            continue
+        fix_id = f"recover_{program_name}_{function}_{block}"
+        fixes.append(SiteRecoveryFix(
+            fix_id=fix_id,
+            description=(f"graceful bail-out at {function}:{block}"
+                         f" ({count} failure reports)"),
+            target_bug_message=site_message[(function, block)],
+            function=function,
+            block=block,
+        ))
+    return fixes

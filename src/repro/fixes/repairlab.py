@@ -1,0 +1,69 @@
+"""The repair lab: candidate ranking and human-escalation policy.
+
+Paper Sec. 3.3: "Since it is not yet clear how many types of bugs can
+be fixed automatically, we also provision for a repair lab that
+suggests plausible fixes to developers, who then manually choose the
+correct one." The lab validates every candidate, auto-approves the
+best zero-regression fix per target bug, and queues the rest for a
+human.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.fixes.fix import Fix
+from repro.fixes.validation import FixValidator, ValidationReport
+
+__all__ = ["RankedFix", "RepairLab"]
+
+
+@dataclass
+class RankedFix:
+    """A candidate fix with its validation evidence."""
+
+    fix: Fix
+    report: ValidationReport
+
+    @property
+    def auto_approved(self) -> bool:
+        return self.report.deployable
+
+    @property
+    def score(self) -> float:
+        """Ordering key: deployability, then mitigation, then breadth."""
+        return ((1_000_000 if self.report.deployable else 0)
+                + 1_000 * self.report.mitigation_rate
+                + self.report.mitigated
+                - 10_000 * self.report.regressions)
+
+
+class RepairLab:
+    """Validates and triages candidate fixes for one program."""
+
+    def __init__(self, validator: FixValidator):
+        self._validator = validator
+        self.history: List[RankedFix] = []
+
+    def evaluate(self, candidates: Sequence[Fix]) -> List[RankedFix]:
+        """Validate all candidates; return them best-first."""
+        ranked = [RankedFix(fix=fix, report=self._validator.validate(fix))
+                  for fix in candidates]
+        ranked.sort(key=lambda r: -r.score)
+        self.history.extend(ranked)
+        return ranked
+
+    def select(self, candidates: Sequence[Fix]) -> Optional[RankedFix]:
+        """The auto-deployable winner, or None (escalate to a human)."""
+        ranked = self.evaluate(candidates)
+        for entry in ranked:
+            if entry.auto_approved:
+                return entry
+        return None
+
+    def needs_human(self) -> List[RankedFix]:
+        """Candidates that mitigated something but caused regressions —
+        plausible fixes a developer should look at."""
+        return [entry for entry in self.history
+                if not entry.auto_approved and entry.report.mitigated > 0]

@@ -1,0 +1,163 @@
+"""Pre-deployment fix validation.
+
+The hive never ships a fix on faith (paper Sec. 3.3: it "must reason
+about whether this instrumentation could affect P in undesired ways").
+The validator executes original and fixed programs side by side over a
+generated suite:
+
+* **input coverage** — one input vector per feasible symbolic path of
+  the original program (fault-free), so every behaviour class is
+  exercised;
+* **schedule coverage** — for multi-threaded programs, each input runs
+  under round-robin plus a battery of seeded random schedules;
+* **fault coverage** (optional) — a sweep of forced syscall faults.
+
+Verdict: a fix is deployable iff it causes **zero regressions** (every
+previously-successful run still succeeds, with the same thread-0
+result) and mitigates at least one previously-failing run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.fixes.fix import Fix
+from repro.progmodel.interpreter import (
+    Environment, ExecutionLimits, FaultPlan, Interpreter, Outcome,
+)
+from repro.progmodel.ir import Program
+from repro.rng import make_rng
+from repro.sched.scheduler import RandomScheduler, RoundRobinScheduler
+from repro.symbolic.engine import SymbolicEngine, SymbolicLimits
+
+__all__ = ["ValidationReport", "FixValidator", "make_validation_suite"]
+
+InputVector = Dict[str, int]
+
+
+@dataclass
+class ValidationCase:
+    """One (input, schedule seed, fault plan) execution scenario."""
+
+    inputs: InputVector
+    schedule_seed: Optional[int] = None   # None = round-robin
+    fault_read_occurrence: Optional[int] = None
+
+
+@dataclass
+class ValidationReport:
+    """Side-by-side comparison of original vs fixed program."""
+
+    fix_id: str
+    cases_run: int = 0
+    regressions: int = 0          # OK before, not OK (or changed) after
+    mitigated: int = 0            # failing before, OK after
+    unmitigated: int = 0          # failing before, still failing after
+    still_ok: int = 0             # OK before and unchanged after
+    regression_examples: List[ValidationCase] = field(default_factory=list)
+
+    @property
+    def deployable(self) -> bool:
+        return self.regressions == 0 and self.mitigated > 0
+
+    @property
+    def mitigation_rate(self) -> float:
+        failing = self.mitigated + self.unmitigated
+        return self.mitigated / failing if failing else 0.0
+
+
+def make_validation_suite(program: Program,
+                          max_paths: int = 2048,
+                          schedule_seeds: int = 8,
+                          with_faults: bool = False,
+                          fault_occurrences: Sequence[int] = (0, 1, 2),
+                          sym_limits: Optional[SymbolicLimits] = None,
+                          ) -> List[ValidationCase]:
+    """Generate the validation scenarios for ``program``.
+
+    Input vectors come from exhaustive symbolic exploration of the
+    first thread (each feasible path contributes its example inputs).
+    Multi-threaded programs cross every input with round-robin and
+    ``schedule_seeds`` random schedules.
+    """
+    engine = SymbolicEngine(
+        program, limits=sym_limits or SymbolicLimits(max_paths=max_paths))
+    paths = engine.explore()
+    seen = set()
+    inputs: List[InputVector] = []
+    for path in paths:
+        key = tuple(sorted(path.example_inputs.items()))
+        if key not in seen:
+            seen.add(key)
+            inputs.append(dict(path.example_inputs))
+
+    multithreaded = len(program.threads) > 1
+    cases: List[ValidationCase] = []
+    for vector in inputs:
+        cases.append(ValidationCase(inputs=vector))
+        if multithreaded:
+            for seed in range(schedule_seeds):
+                cases.append(ValidationCase(inputs=vector,
+                                            schedule_seed=seed))
+        if with_faults:
+            for occurrence in fault_occurrences:
+                cases.append(ValidationCase(
+                    inputs=vector, fault_read_occurrence=occurrence))
+    return cases
+
+
+class FixValidator:
+    """Runs the suite on original and fixed programs and compares."""
+
+    def __init__(self, program: Program,
+                 limits: Optional[ExecutionLimits] = None,
+                 suite: Optional[List[ValidationCase]] = None,
+                 with_faults: bool = False):
+        self.program = program
+        self.limits = limits or ExecutionLimits()
+        self.suite = suite if suite is not None else make_validation_suite(
+            program, with_faults=with_faults)
+
+    def validate(self, fix: Fix) -> ValidationReport:
+        fixed = fix.apply(self.program)
+        report = ValidationReport(fix_id=fix.fix_id)
+        for case in self.suite:
+            before = self._run(self.program, case)
+            after = self._run(fixed, case)
+            report.cases_run += 1
+            if before.outcome is Outcome.OK:
+                # A previously-successful run must stay successful AND
+                # observationally identical: same per-thread results and
+                # same final global state. Recovery stubs deliberately
+                # raise a global flag, so a fix that reroutes healthy
+                # code through recovery is caught right here.
+                same_result = (after.outcome is Outcome.OK
+                               and after.return_values == before.return_values
+                               and after.final_globals == before.final_globals)
+                if same_result:
+                    report.still_ok += 1
+                else:
+                    report.regressions += 1
+                    if len(report.regression_examples) < 5:
+                        report.regression_examples.append(case)
+            else:
+                if after.outcome is Outcome.OK:
+                    report.mitigated += 1
+                else:
+                    report.unmitigated += 1
+        return report
+
+    def _run(self, program: Program, case: ValidationCase):
+        if case.schedule_seed is None:
+            scheduler = RoundRobinScheduler()
+        else:
+            scheduler = RandomScheduler(
+                rng=make_rng(case.schedule_seed, "validate"))
+        fault_plan = FaultPlan()
+        if case.fault_read_occurrence is not None:
+            fault_plan = FaultPlan(
+                forced={case.fault_read_occurrence: 0})
+        environment = Environment(fault_plan=fault_plan)
+        return Interpreter(program, limits=self.limits).run(
+            case.inputs, environment=environment, scheduler=scheduler)

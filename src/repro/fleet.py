@@ -1,0 +1,121 @@
+"""The fleet: SoftBorg across an ecosystem of programs.
+
+The paper's vision is not one program but *all* end-user software
+("ideally every instance of a program P executing anywhere in the
+world"). A :class:`Fleet` runs one closed loop per program — each with
+its own pods, hive, tree, and fixes — and aggregates the ecosystem
+view: total bugs exterminated, residual failure mass, and which
+programs' proofs completed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.platform import PlatformConfig, PlatformReport, SoftBorgPlatform
+from repro.workloads.scenarios import Scenario
+
+__all__ = ["FleetProgramResult", "FleetReport", "Fleet"]
+
+
+@dataclass
+class FleetProgramResult:
+    """One program's outcome within the fleet."""
+
+    program_name: str
+    report: PlatformReport
+    bugs_seeded: int
+    bugs_seen: int
+    bugs_fixed: int
+    final_version: int
+
+    @property
+    def exterminated(self) -> bool:
+        """Every *manifested* bug got fixed (latent never-seen bugs do
+        not count against the loop — nothing reported them)."""
+        return self.bugs_seen > 0 and self.bugs_seen == self.bugs_fixed
+
+    @property
+    def preempted(self) -> bool:
+        """A fix deployed although no user ever saw a failure: the
+        pattern (e.g. a lock-order cycle) was diagnosed from healthy
+        executions' by-products — the collective fixed the bug before
+        it hurt anyone."""
+        return self.bugs_seen == 0 and bool(self.report.fixes)
+
+
+@dataclass
+class FleetReport:
+    """Ecosystem-wide aggregation."""
+
+    programs: List[FleetProgramResult] = field(default_factory=list)
+
+    @property
+    def total_executions(self) -> int:
+        return sum(p.report.total_executions for p in self.programs)
+
+    @property
+    def total_failures(self) -> int:
+        return sum(p.report.total_failures for p in self.programs)
+
+    @property
+    def total_fixes(self) -> int:
+        return sum(len(p.report.fixes) for p in self.programs)
+
+    @property
+    def programs_with_failures(self) -> int:
+        return sum(1 for p in self.programs if p.bugs_seen > 0)
+
+    @property
+    def programs_exterminated(self) -> int:
+        return sum(1 for p in self.programs if p.exterminated)
+
+    @property
+    def programs_preempted(self) -> int:
+        return sum(1 for p in self.programs if p.preempted)
+
+    def residual_failure_rate(self, last_rounds: int = 3) -> float:
+        """Failures per 1k executions across the fleet's final rounds."""
+        executions = 0
+        failures = 0
+        for program in self.programs:
+            for stats in program.report.rounds[-last_rounds:]:
+                executions += stats.executions
+                failures += stats.failures
+        return 1000.0 * failures / executions if executions else 0.0
+
+
+class Fleet:
+    """Runs the closed loop for every scenario, one hive each."""
+
+    def __init__(self, scenarios: Sequence[Scenario],
+                 config: Optional[PlatformConfig] = None):
+        self.config = config or PlatformConfig()
+        self.platforms = [SoftBorgPlatform(scenario, self._config_for(
+            scenario)) for scenario in scenarios]
+
+    def _config_for(self, scenario: Scenario) -> PlatformConfig:
+        import dataclasses
+        # Proofs need the symbolic oracle; multi-threaded programs run
+        # without them (partial proofs only), as the hive would.
+        if len(scenario.program.threads) > 1 and self.config.enable_proofs:
+            return dataclasses.replace(self.config, enable_proofs=False)
+        return self.config
+
+    def run(self) -> FleetReport:
+        fleet_report = FleetReport()
+        for platform in self.platforms:
+            report = platform.run()
+            scenario = platform.scenario
+            seen = report.density.bugs_seen
+            fixed = report.density.bugs_fixed & seen
+            fleet_report.programs.append(FleetProgramResult(
+                program_name=scenario.program.name,
+                report=report,
+                bugs_seeded=len(scenario.bugs),
+                bugs_seen=len(seen),
+                bugs_fixed=len(fixed),
+                final_version=platform.hive.program.version,
+            ))
+        return fleet_report

@@ -1,0 +1,19 @@
+"""Execution guidance (paper Sec. 3.3).
+
+"SoftBorg can also guide the execution of P's instances to cover
+execution paths about which SoftBorg does not yet have sufficient
+information." The steering layer turns tree gaps into concrete
+directives — synthesized input vectors (:mod:`testgen`), rare thread
+schedules (PCT seeds), and syscall fault injections
+(:mod:`faultinject`) — that pods execute instead of (a few of) their
+natural runs, accelerating the collective's learning.
+"""
+
+from repro.guidance.testgen import generate_test_for_gap
+from repro.guidance.faultinject import fault_sweep_plans, short_read_plan
+from repro.guidance.steering import Steering, SteeringDirective
+
+__all__ = [
+    "generate_test_for_gap", "short_read_plan", "fault_sweep_plans",
+    "Steering", "SteeringDirective",
+]

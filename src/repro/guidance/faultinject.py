@@ -1,0 +1,32 @@
+"""Syscall fault-injection plans (paper Sec. 3.3: "system call faults
+to be injected (e.g., a short socket read())")."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.progmodel.interpreter import FaultPlan
+
+__all__ = ["short_read_plan", "fault_sweep_plans"]
+
+
+def short_read_plan(occurrence: int, value: int = 0) -> FaultPlan:
+    """Force syscall ``occurrence`` (0-based, global order) to return
+    ``value`` — with the default 0, a maximally short read."""
+    return FaultPlan(forced={occurrence: value})
+
+
+def fault_sweep_plans(n_syscalls: int,
+                      values: List[int] = None) -> List[FaultPlan]:
+    """One plan per (occurrence, degraded value) pair.
+
+    Sweeping every syscall position with a short result and an error
+    result covers the unhandled-degradation bug class systematically.
+    """
+    if values is None:
+        values = [0, -1]
+    plans = []
+    for occurrence in range(n_syscalls):
+        for value in values:
+            plans.append(FaultPlan(forced={occurrence: value}))
+    return plans

@@ -1,0 +1,123 @@
+"""Steering: from tree gaps to pod directives.
+
+The planner looks at the current collective knowledge (the execution
+tree) and produces a bounded batch of :class:`SteeringDirective`
+objects. Three directive kinds, mirroring the paper's list:
+
+* **input steering** — synthesized inputs that reach an unexplored
+  branch direction (via the symbolic engine);
+* **schedule steering** — fresh PCT seeds for multi-threaded programs,
+  biasing pods toward rare interleavings;
+* **fault steering** — syscall fault plans exercising degraded
+  environment behaviour.
+
+"None of the execution guidance ever modifies P's semantics" — a
+directive only chooses inputs, schedules, and environment behaviour,
+all of which are legitimate executions of the unmodified program.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.guidance.faultinject import fault_sweep_plans
+from repro.guidance.testgen import generate_test_for_gap
+from repro.progmodel.interpreter import FaultPlan
+from repro.progmodel.ir import Program, Syscall
+from repro.symbolic.engine import SymbolicEngine
+from repro.tree.exectree import ExecutionTree
+from repro.tree.frontier import enumerate_gaps
+
+__all__ = ["SteeringDirective", "Steering"]
+
+
+@dataclass
+class SteeringDirective:
+    """One guided execution for a pod to run."""
+
+    # "input" | "schedule" | "fault" | "replay_schedule"
+    kind: str
+    inputs: Optional[Dict[str, int]] = None   # None = natural inputs
+    pct_seed: Optional[int] = None
+    fault_plan: Optional[FaultPlan] = None
+    schedule_picks: Optional[tuple] = None    # replay a known schedule
+    reason: str = ""
+
+
+class Steering:
+    """Plans guided executions from the current tree."""
+
+    def __init__(self, program: Program,
+                 engine: Optional[SymbolicEngine] = None):
+        self.program = program
+        self.engine = engine or SymbolicEngine(program)
+        self._schedule_seed = 0
+        self._fault_cursor = 0
+        self._syscall_count = self._count_syscalls(program)
+        self.gaps_resolved_infeasible = 0
+        # Gaps proven infeasible stay one-sided in the tree forever;
+        # memoize them or they would hog the gap budget every round and
+        # starve deeper feasible gaps.
+        self._known_infeasible = set()
+
+    @staticmethod
+    def _count_syscalls(program: Program) -> int:
+        count = 0
+        for func in program.functions.values():
+            for block in func.blocks.values():
+                count += sum(1 for instr in block.instructions
+                             if isinstance(instr, Syscall))
+        return count
+
+    def plan(self, tree: ExecutionTree,
+             max_directives: int = 8) -> List[SteeringDirective]:
+        """Produce up to ``max_directives`` guided executions."""
+        directives: List[SteeringDirective] = []
+
+        # 1. Input steering toward unexplored branch directions.
+        solver_budget = max_directives * 4  # solve attempts per round
+        for gap in enumerate_gaps(tree):
+            if len(directives) >= max_directives or solver_budget <= 0:
+                break
+            key = (gap.prefix, gap.site, gap.missing_direction)
+            if key in self._known_infeasible:
+                continue
+            solver_budget -= 1
+            inputs = generate_test_for_gap(self.engine, gap)
+            if inputs is None:
+                self.gaps_resolved_infeasible += 1
+                self._known_infeasible.add(key)
+                continue
+            directives.append(SteeringDirective(
+                kind="input",
+                inputs=inputs,
+                reason=(f"fill gap at {gap.site[1]}:{gap.site[2]}"
+                        f" direction={gap.missing_direction}"),
+            ))
+
+        # 2. Schedule steering for multi-threaded programs.
+        if len(self.program.threads) > 1:
+            budget = max(1, (max_directives - len(directives)) // 2)
+            for _ in range(budget):
+                directives.append(SteeringDirective(
+                    kind="schedule",
+                    pct_seed=self._schedule_seed,
+                    reason="explore rare interleaving (PCT)",
+                ))
+                self._schedule_seed += 1
+
+        # 3. Fault steering when the program talks to the environment.
+        if self._syscall_count:
+            plans = fault_sweep_plans(self._syscall_count)
+            budget = max_directives - len(directives)
+            for _ in range(max(0, budget)):
+                plan = plans[self._fault_cursor % len(plans)]
+                self._fault_cursor += 1
+                directives.append(SteeringDirective(
+                    kind="fault",
+                    fault_plan=plan,
+                    reason="inject degraded syscall result",
+                ))
+
+        return directives[:max_directives]

@@ -1,0 +1,32 @@
+"""Concrete test-case generation from tree gaps.
+
+A :class:`~repro.tree.frontier.Gap` names a reached-but-one-sided
+decision; the missing direction plus its prefix is handed to the
+symbolic engine, whose ``solve_prefix`` returns an input vector that
+drives a fresh execution into the unexplored edge (paper Sec. 3.3:
+"SoftBorg can also produce specific test cases to guide execution,
+stated in terms of inputs").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.progmodel.ir import Program
+from repro.symbolic.engine import SymbolicEngine
+from repro.tree.frontier import Gap
+
+__all__ = ["generate_test_for_gap"]
+
+
+def generate_test_for_gap(engine: SymbolicEngine,
+                          gap: Gap) -> Optional[Dict[str, int]]:
+    """Inputs reaching the gap's missing direction, or None.
+
+    None means the missing direction is infeasible under the fault-free
+    single-thread model — either genuinely dead (the gap closes: a
+    proof obligation disappears) or reachable only via faults or
+    schedules, which the other directive kinds cover.
+    """
+    target = list(gap.prefix) + [(gap.site, gap.missing_direction)]
+    return engine.solve_prefix(target)

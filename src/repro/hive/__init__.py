@@ -1,0 +1,22 @@
+"""The hive: collective analysis and fix production (paper Fig. 1).
+
+``Hive`` is the sequential core — ingest traces, maintain the execution
+tree and analyzers, synthesize/validate/deploy fixes, keep cumulative
+proofs, plan steering. :mod:`cooperative` scales the hive's symbolic
+analysis across simulated worker nodes over an unreliable network with
+dynamic partitioning and portfolio-theoretic allocation (paper Sec. 4).
+"""
+
+from repro.hive.hive import Hive, HiveStats
+from repro.hive.allocation import markowitz_weights, SubtreeStats
+from repro.hive.cooperative import (
+    CooperativeExploration,
+    CooperativeResult,
+    explore_cooperatively,
+)
+
+__all__ = [
+    "Hive", "HiveStats",
+    "markowitz_weights", "SubtreeStats",
+    "CooperativeExploration", "CooperativeResult", "explore_cooperatively",
+]

@@ -1,0 +1,350 @@
+"""The sequential hive core."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.analysis.cbi import CbiAnalyzer
+from repro.analysis.crashes import CrashBucketer
+from repro.analysis.deadlock import DeadlockAnalyzer
+from repro.analysis.invariants import InvariantMiner
+from repro.analysis.races import RaceAnalyzer
+from repro.errors import TraceError
+from repro.fixes.deadlock_immunity import synthesize_immunity_fix
+from repro.fixes.fix import Fix
+from repro.fixes.patches import synthesize_recovery_fixes
+from repro.fixes.repairlab import RepairLab
+from repro.fixes.validation import FixValidator, make_validation_suite
+from repro.guidance.steering import Steering, SteeringDirective
+from repro.progmodel.interpreter import (
+    ExecutionLimits, Interpreter, Outcome, ReplaySource,
+)
+from repro.progmodel.ir import Program, Syscall
+from repro.proofs.properties import NO_FAILURES, OutcomeProperty
+from repro.proofs.prover import CumulativeProver
+from repro.symbolic.engine import SymbolicEngine
+from repro.tracing.trace import Trace
+from repro.tree.exectree import ExecutionTree
+
+__all__ = ["Hive", "HiveStats"]
+
+
+@dataclass
+class HiveStats:
+    """Counters the hive exposes to experiments."""
+
+    traces_ingested: int = 0
+    stale_traces: int = 0
+    replay_failures: int = 0
+    fixes_deployed: int = 0
+    fixes_escalated: int = 0
+    gaps_steered: int = 0
+    heartbeats_ingested: int = 0
+    unknown_heartbeats: int = 0
+
+
+class Hive:
+    """Ingests by-products; produces fixes, proofs, and steering.
+
+    One hive instance manages one program. The hive always holds the
+    *current* (possibly already fixed) program version; traces from
+    pods still running older versions are counted stale and dropped —
+    their bit-vectors cannot be replayed against the rewritten CFG.
+    """
+
+    def __init__(self, program: Program,
+                 limits: Optional[ExecutionLimits] = None,
+                 property: OutcomeProperty = NO_FAILURES,
+                 validate_fixes: bool = True,
+                 fault_validation: Optional[bool] = None,
+                 min_failure_reports: int = 1,
+                 enable_proofs: bool = True):
+        self.program = program
+        self.limits = limits or ExecutionLimits()
+        self.validate_fixes = validate_fixes
+        self.min_failure_reports = min_failure_reports
+        self.stats = HiveStats()
+        # Keep the symbolic engine's step budget aligned with the
+        # concrete interpreter's, so HANG classification agrees between
+        # the oracle and real executions.
+        from repro.symbolic.engine import SymbolicLimits
+        self._sym_limits = SymbolicLimits(
+            max_steps=self.limits.max_steps,
+            max_call_depth=self.limits.max_call_depth)
+        if fault_validation is None:
+            fault_validation = self._program_has_syscalls(program)
+        self._fault_validation = fault_validation
+
+        self.tree = ExecutionTree(program.name, program.version)
+        self.deadlocks = DeadlockAnalyzer()
+        self.races = RaceAnalyzer()
+        self.invariants = InvariantMiner()
+        self.bucketer = CrashBucketer()
+        self.cbi = CbiAnalyzer()
+        self.deployed_fixes: List[Fix] = []
+        self._fixed_sites: Set[Tuple[str, str]] = set()
+        self._fixed_cycles: Set[Tuple[str, ...]] = set()
+        self._fixed_race_vars: Set[str] = set()
+        # Interleavings that produced schedule-dependent failures; the
+        # steering layer re-drives pods down them (paper Sec. 3.3:
+        # guide program copies toward dangerous thread schedules),
+        # which both corroborates concurrency diagnoses and field-tests
+        # deployed concurrency fixes. Kept across fix deployments.
+        self._dangerous_schedules: List[Tuple[int, ...]] = []
+        self._digest_paths: Dict[bytes, Tuple[Tuple, "Outcome"]] = {}
+        self._failure_traces: List[Trace] = []
+        self._steering: Optional[Steering] = None
+
+        self.prover: Optional[CumulativeProver] = None
+        if enable_proofs:
+            self.prover = CumulativeProver(program, property,
+                                           limits=self._sym_limits)
+
+    @staticmethod
+    def _program_has_syscalls(program: Program) -> bool:
+        for func in program.functions.values():
+            for block in func.blocks.values():
+                if any(isinstance(i, Syscall) for i in block.instructions):
+                    return True
+        return False
+
+    # -- ingestion --------------------------------------------------------------
+
+    def ingest(self, trace: Trace) -> None:
+        """Fold one trace into the collective state."""
+        self.stats.traces_ingested += 1
+        if trace.program_version != self.program.version:
+            self.stats.stale_traces += 1
+            return
+        if trace.outcome.is_failure:
+            self._failure_traces.append(trace)
+            if (trace.outcome in (Outcome.DEADLOCK, Outcome.ASSERT)
+                    and len(trace.schedule_rle) > 1
+                    and len(self._dangerous_schedules) < 8):
+                self._dangerous_schedules.append(trace.schedule_picks())
+        if not trace.replayable:
+            if trace.branch_bits:
+                # Privacy-truncated trace: the retained bit prefix still
+                # reconstructs a path *prefix*, merged as partial
+                # evidence (Sec. 3.1's privacy/utility middle ground).
+                try:
+                    prefix = Interpreter(
+                        self.program, limits=self.limits).replay_prefix(
+                        ReplaySource(
+                            branch_bits=list(trace.branch_bits),
+                            syscall_returns=list(trace.syscall_returns),
+                            schedule_picks=list(trace.schedule_picks()),
+                        ))
+                except TraceError:
+                    self.stats.replay_failures += 1
+                    self.bucketer.add(trace)
+                    return
+                self.tree.insert_path(prefix, trace.outcome)
+            else:
+                self.cbi.add_trace(trace)
+            self.bucketer.add(trace)
+            return
+        try:
+            result = Interpreter(self.program, limits=self.limits).replay(
+                ReplaySource(
+                    branch_bits=list(trace.branch_bits),
+                    syscall_returns=list(trace.syscall_returns),
+                    schedule_picks=list(trace.schedule_picks()),
+                ))
+        except TraceError:
+            self.stats.replay_failures += 1
+            self.bucketer.add(trace)
+            return
+        # Replayable failure dumps carry their full decision path —
+        # feed it to the bucketer for WER-style bucket splitting.
+        self.bucketer.add(trace, path=result.path_decisions)
+        self.tree.insert_path(result.path_decisions, result.outcome)
+        self.deadlocks.add_execution(result)
+        self.races.add_execution(result)
+        if result.outcome is Outcome.OK:
+            # Invariants are mined from healthy behaviour only:
+            # "identify the correct code in P" (Sec. 2).
+            self.invariants.add_execution(result)
+        # Remember the digest -> path association so later heartbeats
+        # from deduplicating pods can bump this path's usage counts
+        # without re-shipping the trace.
+        from repro.tracing.dedup import trace_digest
+        self._digest_paths[trace_digest(trace)] = (
+            tuple(result.path_decisions), result.outcome)
+
+    def ingest_heartbeat(self, heartbeat) -> None:
+        """Account a deduplicated repeat of an already-known trace."""
+        self.stats.heartbeats_ingested += 1
+        if heartbeat.program_version != self.program.version:
+            self.stats.stale_traces += 1
+            return
+        known = self._digest_paths.get(heartbeat.digest)
+        if known is None:
+            # The full trace was lost (or predates this hive): the
+            # heartbeat alone carries no path information.
+            self.stats.unknown_heartbeats += 1
+            return
+        decisions, outcome = known
+        for _ in range(heartbeat.count):
+            self.tree.insert_path(decisions, outcome)
+
+    # -- fixing ------------------------------------------------------------------
+
+    def maybe_fix(self) -> Optional[Program]:
+        """Synthesize/validate/deploy at most one fix; returns the new
+        program version when something shipped."""
+        candidates = self._candidate_fixes()
+        if not candidates:
+            return None
+        chosen: Optional[Fix] = None
+        if self.validate_fixes:
+            validator = FixValidator(
+                self.program, limits=self.limits,
+                suite=make_validation_suite(
+                    self.program, with_faults=self._fault_validation,
+                    sym_limits=self._sym_limits))
+            lab = RepairLab(validator)
+            ranked = lab.evaluate(candidates)
+            winner = next((r for r in ranked if r.auto_approved), None)
+            # Shelve candidates with no evidence of helping (benign
+            # race reports, fixes whose failure never reproduces in the
+            # suite) and escalate the harmful-but-promising ones, so
+            # neither is re-validated round after round. Deployable
+            # non-winners stay live: they ship on a later round.
+            for entry in ranked:
+                if entry is winner or entry.auto_approved:
+                    continue
+                if entry.report.mitigated > 0:
+                    self.stats.fixes_escalated += 1
+                self._note_fix_target(entry.fix)
+            if winner is None:
+                return None
+            chosen = winner.fix
+        else:
+            chosen = candidates[0]
+        return self._deploy(chosen)
+
+    def _candidate_fixes(self) -> List[Fix]:
+        candidates: List[Fix] = []
+        recovery = synthesize_recovery_fixes(
+            self._failure_traces, self.program.name,
+            min_reports=self.min_failure_reports)
+        for fix in recovery:
+            if (fix.function, fix.block) not in self._fixed_sites:
+                candidates.append(fix)
+        for diagnosis in self.deadlocks.diagnoses():
+            if diagnosis.locks not in self._fixed_cycles:
+                candidates.append(synthesize_immunity_fix(
+                    diagnosis, self.program.name))
+        from repro.fixes.lockify import synthesize_lockify_fix
+        for report in self.races.reports():
+            if report.variable not in self._fixed_race_vars:
+                candidates.append(synthesize_lockify_fix(
+                    report, self.program.name))
+        return candidates
+
+    def _mark_fixed(self, fixes: List[Fix]) -> None:
+        for fix in fixes:
+            self._note_fix_target(fix)
+
+    def _note_fix_target(self, fix: Fix) -> None:
+        from repro.fixes.deadlock_immunity import GateLockFix
+        from repro.fixes.lockify import LockifyFix
+        from repro.fixes.patches import SiteRecoveryFix
+        if isinstance(fix, SiteRecoveryFix):
+            self._fixed_sites.add((fix.function, fix.block))
+        elif isinstance(fix, GateLockFix):
+            self._fixed_cycles.add(tuple(sorted(fix.cycle_locks)))
+        elif isinstance(fix, LockifyFix):
+            self._fixed_race_vars.add(fix.variable)
+
+    def _deploy(self, fix: Fix) -> Program:
+        fixed = fix.apply(self.program)
+        self.program = fixed
+        self.deployed_fixes.append(fix)
+        self._note_fix_target(fix)
+        self.stats.fixes_deployed += 1
+        # The rewritten CFG invalidates the tree and the in-flight
+        # failure evidence; analyses restart against the new version.
+        self.tree = ExecutionTree(fixed.name, fixed.version)
+        self._failure_traces = []
+        self.deadlocks = DeadlockAnalyzer()
+        self.races = RaceAnalyzer()
+        self.invariants = InvariantMiner()
+        self._digest_paths = {}
+        self._steering = None
+        if self.prover is not None:
+            self.prover.on_fix_deployed(fixed)
+        return fixed
+
+    # -- proofs -------------------------------------------------------------------
+
+    def current_proof(self):
+        if self.prover is None:
+            return None
+        self.prover.observe_tree(self.tree)
+        return self.prover.current_proof()
+
+    # -- introspection --------------------------------------------------------------
+
+    def status(self) -> Dict[str, object]:
+        """A human-oriented snapshot of the hive's collective knowledge."""
+        from repro.tree.frontier import enumerate_gaps
+        proof = self.current_proof()
+        top_invariants = [str(inv) for inv in
+                          self.invariants.invariants()[:5]]
+        return {
+            "program": self.program.name,
+            "version": self.program.version,
+            "traces_ingested": self.stats.traces_ingested,
+            "tree_paths": self.tree.path_count,
+            "tree_nodes": self.tree.node_count,
+            "open_gaps": len(enumerate_gaps(self.tree)),
+            "failure_buckets": len(self.bucketer.buckets()),
+            "deadlock_cycles": len(self.deadlocks.diagnoses()),
+            "racy_variables": [r.variable for r in self.races.reports()],
+            "fixes_deployed": self.stats.fixes_deployed,
+            "proof": proof.describe() if proof else "disabled",
+            "top_invariants": top_invariants,
+        }
+
+    # -- steering -----------------------------------------------------------------
+
+    def plan_steering(self, max_directives: int = 8,
+                      ) -> List[SteeringDirective]:
+        directives: List[SteeringDirective] = []
+        # The prover's oracle knows exactly which feasible paths remain
+        # unwitnessed, complete with satisfying inputs — the strongest
+        # possible steering signal, so it goes first.
+        if self.prover is not None:
+            self.prover.observe_tree(self.tree)
+            for path in self.prover.unwitnessed_paths():
+                if len(directives) >= max_directives:
+                    break
+                inputs = self.prover.example_inputs_for(path)
+                if inputs is None:
+                    continue
+                directives.append(SteeringDirective(
+                    kind="input", inputs=inputs,
+                    reason="witness unproved oracle path"))
+        # Re-drive known-dangerous interleavings (at most two per
+        # round): on the unfixed program they corroborate the
+        # diagnosis; on a freshly fixed one they are the field test.
+        if len(self.program.threads) > 1:
+            for picks in self._dangerous_schedules[-2:]:
+                if len(directives) >= max_directives:
+                    break
+                directives.append(SteeringDirective(
+                    kind="replay_schedule", schedule_picks=tuple(picks),
+                    reason="re-drive a schedule that previously failed"))
+        if len(directives) < max_directives:
+            if self._steering is None:
+                self._steering = Steering(
+                    self.program,
+                    SymbolicEngine(self.program, limits=self._sym_limits))
+            directives.extend(self._steering.plan(
+                self.tree, max_directives - len(directives)))
+        self.stats.gaps_steered += sum(
+            1 for d in directives if d.kind == "input")
+        return directives

@@ -1,0 +1,7 @@
+"""Measurement: series, bug-density accounting, report rendering."""
+
+from repro.metrics.series import Series
+from repro.metrics.bugdensity import BugDensityTracker
+from repro.metrics.report import format_float, render_table
+
+__all__ = ["Series", "BugDensityTracker", "render_table", "format_float"]

@@ -1,0 +1,63 @@
+"""Bug-density accounting (the paper's headline metric).
+
+The paper's hypothesis: "the more a program is used, the more reliable
+it should become [...] orders-of-magnitude reduction in the bug density
+of popular software." We track the user-visible failure rate (failures
+per 1000 executions) over cumulative usage, plus the ground-truth view:
+how many distinct seeded bugs have manifested, been diagnosed, and been
+neutralised by deployed fixes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.metrics.series import Series
+
+__all__ = ["BugDensityTracker"]
+
+
+@dataclass
+class BugDensityTracker:
+    """Streams per-execution outcomes; yields density series."""
+
+    window: int = 200
+    executions: int = 0
+    failures: int = 0
+    _window_flags: List[bool] = field(default_factory=list)
+    density_series: Series = field(
+        default_factory=lambda: Series("failures-per-1k"))
+    bugs_seen: Set[str] = field(default_factory=set)
+    bugs_fixed: Set[str] = field(default_factory=set)
+
+    def record_execution(self, failed: bool,
+                         bug_message: Optional[str] = None) -> None:
+        self.executions += 1
+        self.failures += int(failed)
+        self._window_flags.append(failed)
+        if len(self._window_flags) > self.window:
+            self._window_flags.pop(0)
+        if failed and bug_message:
+            self.bugs_seen.add(bug_message)
+        self.density_series.record(self.executions,
+                                   self.windowed_density())
+
+    def record_fix(self, bug_message: Optional[str]) -> None:
+        if bug_message:
+            self.bugs_fixed.add(bug_message)
+
+    def windowed_density(self) -> float:
+        """Failures per 1000 executions over the sliding window."""
+        if not self._window_flags:
+            return 0.0
+        return 1000.0 * sum(self._window_flags) / len(self._window_flags)
+
+    def lifetime_density(self) -> float:
+        if self.executions == 0:
+            return 0.0
+        return 1000.0 * self.failures / self.executions
+
+    @property
+    def open_bugs(self) -> Set[str]:
+        return self.bugs_seen - self.bugs_fixed

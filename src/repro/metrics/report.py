@@ -1,0 +1,82 @@
+"""ASCII table rendering for benchmark output.
+
+Every bench prints paper-style rows through these helpers, so the
+EXPERIMENTS.md tables and the bench output stay visually aligned.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+__all__ = ["render_table", "format_float", "render_series"]
+
+
+def format_float(value: float, digits: int = 2) -> str:
+    if value != value:  # NaN
+        return "n/a"
+    if abs(value) >= 1000 or (value != 0 and abs(value) < 0.01):
+        return f"{value:.{digits}e}"
+    return f"{value:.{digits}f}"
+
+
+def render_table(headers: Sequence[str],
+                 rows: Sequence[Sequence[object]],
+                 title: str = "") -> str:
+    """Monospace table with column auto-sizing."""
+    cells: List[List[str]] = [[str(h) for h in headers]]
+    for row in rows:
+        cells.append([
+            format_float(v) if isinstance(v, float) else str(v)
+            for v in row
+        ])
+    widths = [max(len(row[col]) for row in cells)
+              for col in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    separator = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(cells[0][i].ljust(widths[i])
+                            for i in range(len(headers))))
+    lines.append(separator)
+    for row in cells[1:]:
+        lines.append(" | ".join(row[i].ljust(widths[i])
+                                for i in range(len(headers))))
+    return "\n".join(lines)
+
+
+_SPARK_LEVELS = " .:-=+*#%@"
+
+
+def render_series(values: Sequence[float], title: str = "",
+                  width: int = 60,
+                  y_max: Optional[float] = None) -> str:
+    """A one-line text sparkline — the paper-figure stand-in.
+
+    Values are bucketed down (or sampled) to ``width`` columns and
+    mapped onto ten density glyphs; the y-range is annotated so the
+    line reads quantitatively.
+    """
+    if not values:
+        return f"{title} (no data)" if title else "(no data)"
+    values = [float(v) for v in values]
+    if len(values) > width:
+        bucket = len(values) / width
+        values = [
+            sum(values[int(i * bucket):max(int(i * bucket) + 1,
+                                           int((i + 1) * bucket))])
+            / max(1, len(values[int(i * bucket):max(int(i * bucket) + 1,
+                                                    int((i + 1) * bucket))]))
+            for i in range(width)
+        ]
+    top = y_max if y_max is not None else max(values)
+    if top <= 0:
+        top = 1.0
+    glyphs = []
+    for value in values:
+        level = min(len(_SPARK_LEVELS) - 1,
+                    int(round((len(_SPARK_LEVELS) - 1)
+                              * max(0.0, value) / top)))
+        glyphs.append(_SPARK_LEVELS[level])
+    line = "".join(glyphs)
+    label = f"{title}  " if title else ""
+    return f"{label}[{line}]  (0..{format_float(float(top))})"

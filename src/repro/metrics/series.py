@@ -1,0 +1,50 @@
+"""Minimal time-series helper used by experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+__all__ = ["Series"]
+
+
+@dataclass
+class Series:
+    """An (x, y) series with small statistical conveniences."""
+
+    name: str
+    points: List[Tuple[float, float]] = field(default_factory=list)
+
+    def record(self, x: float, y: float) -> None:
+        self.points.append((float(x), float(y)))
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def xs(self) -> List[float]:
+        return [x for x, _y in self.points]
+
+    def ys(self) -> List[float]:
+        return [y for _x, y in self.points]
+
+    def last(self) -> Optional[Tuple[float, float]]:
+        return self.points[-1] if self.points else None
+
+    def mean_y(self) -> float:
+        ys = self.ys()
+        return sum(ys) / len(ys) if ys else 0.0
+
+    def max_y(self) -> float:
+        ys = self.ys()
+        return max(ys) if ys else 0.0
+
+    def first_x_where(self, predicate) -> Optional[float]:
+        """The smallest x whose y satisfies ``predicate``."""
+        for x, y in self.points:
+            if predicate(y):
+                return x
+        return None
+
+    def window_mean(self, last_n: int) -> float:
+        ys = self.ys()[-last_n:]
+        return sum(ys) / len(ys) if ys else 0.0

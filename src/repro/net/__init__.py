@@ -1,0 +1,16 @@
+"""Discrete-event network simulation substrate.
+
+Pods and the hive communicate "over the Internet ... a potentially
+unreliable network" (paper Secs. 3, 4). This subpackage provides a
+deterministic virtual clock with an event queue
+(:mod:`simclock`), lossy/latent point-to-point links
+(:mod:`network`), and a retransmitting transport
+(:mod:`transport`) on top — enough to study how trace collection and
+hive coordination degrade under loss and churn without real sockets.
+"""
+
+from repro.net.simclock import SimClock
+from repro.net.network import Link, Network
+from repro.net.transport import ReliableTransport
+
+__all__ = ["SimClock", "Network", "Link", "ReliableTransport"]

@@ -1,0 +1,106 @@
+"""Point-to-point message delivery with latency, loss, duplication."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+from repro.errors import NetworkError
+from repro.net.simclock import SimClock
+
+__all__ = ["Link", "Network"]
+
+Handler = Callable[[str, object], None]  # (source, message) -> None
+
+
+@dataclass
+class Link:
+    """Characteristics of one directed link."""
+
+    latency: float = 0.05          # seconds, one way
+    jitter: float = 0.0            # uniform extra latency in [0, jitter]
+    loss_rate: float = 0.0         # probability a message vanishes
+    duplicate_rate: float = 0.0    # probability a message arrives twice
+
+    def validate(self) -> None:
+        if self.latency < 0 or self.jitter < 0:
+            raise NetworkError("latency and jitter must be non-negative")
+        if not 0.0 <= self.loss_rate < 1.0:
+            raise NetworkError("loss_rate must be in [0, 1)")
+        if not 0.0 <= self.duplicate_rate < 1.0:
+            raise NetworkError("duplicate_rate must be in [0, 1)")
+
+
+class Network:
+    """Registry of endpoints plus per-pair link characteristics."""
+
+    def __init__(self, clock: SimClock,
+                 default_link: Optional[Link] = None,
+                 rng: Optional[random.Random] = None):
+        self.clock = clock
+        self._default_link = default_link or Link()
+        self._default_link.validate()
+        self._links: Dict[tuple, Link] = {}
+        self._handlers: Dict[str, Handler] = {}
+        self._down: set = set()
+        self._rng = rng if rng is not None else random.Random(0)
+        self.messages_sent = 0
+        self.messages_delivered = 0
+        self.messages_lost = 0
+
+    # -- topology -----------------------------------------------------------
+
+    def register(self, endpoint: str, handler: Handler) -> None:
+        if endpoint in self._handlers:
+            raise NetworkError(f"endpoint {endpoint!r} already registered")
+        self._handlers[endpoint] = handler
+
+    def set_link(self, src: str, dst: str, link: Link) -> None:
+        link.validate()
+        self._links[(src, dst)] = link
+
+    def link_for(self, src: str, dst: str) -> Link:
+        return self._links.get((src, dst), self._default_link)
+
+    # -- failure injection -----------------------------------------------------
+
+    def take_down(self, endpoint: str) -> None:
+        """Node churn: a down endpoint receives nothing."""
+        self._down.add(endpoint)
+
+    def bring_up(self, endpoint: str) -> None:
+        self._down.discard(endpoint)
+
+    def is_up(self, endpoint: str) -> bool:
+        return endpoint not in self._down
+
+    # -- sending -----------------------------------------------------------------
+
+    def send(self, src: str, dst: str, message: object) -> None:
+        """Fire-and-forget message; may be lost, delayed, duplicated."""
+        if dst not in self._handlers:
+            raise NetworkError(f"unknown destination {dst!r}")
+        self.messages_sent += 1
+        link = self.link_for(src, dst)
+        deliveries = 1
+        if link.duplicate_rate and self._rng.random() < link.duplicate_rate:
+            deliveries = 2
+        for _ in range(deliveries):
+            if link.loss_rate and self._rng.random() < link.loss_rate:
+                self.messages_lost += 1
+                continue
+            delay = link.latency
+            if link.jitter:
+                delay += self._rng.random() * link.jitter
+            self.clock.schedule(delay,
+                                self._deliver_callback(src, dst, message))
+
+    def _deliver_callback(self, src: str, dst: str, message: object):
+        def deliver():
+            if dst in self._down:
+                self.messages_lost += 1
+                return
+            self.messages_delivered += 1
+            self._handlers[dst](src, message)
+        return deliver

@@ -1,0 +1,66 @@
+"""Virtual clock and event queue."""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, List, Optional, Tuple
+
+from repro.errors import NetworkError
+
+__all__ = ["SimClock"]
+
+
+class SimClock:
+    """A deterministic discrete-event scheduler.
+
+    Events are ``(time, sequence, callback)``; ties break by scheduling
+    order, so runs are exactly reproducible. Time is a float in
+    arbitrary "virtual seconds".
+    """
+
+    def __init__(self):
+        self._now = 0.0
+        self._queue: List[Tuple[float, int, Callable[[], None]]] = []
+        self._counter = itertools.count()
+        self.events_processed = 0
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> None:
+        """Run ``callback`` ``delay`` virtual seconds from now."""
+        if delay < 0:
+            raise NetworkError(f"cannot schedule into the past ({delay})")
+        heapq.heappush(self._queue,
+                       (self._now + delay, next(self._counter), callback))
+
+    def step(self) -> bool:
+        """Process the next event; False when the queue is empty."""
+        if not self._queue:
+            return False
+        when, _seq, callback = heapq.heappop(self._queue)
+        self._now = when
+        self.events_processed += 1
+        callback()
+        return True
+
+    def run_until(self, deadline: float) -> None:
+        """Process events up to (and including) ``deadline``."""
+        while self._queue and self._queue[0][0] <= deadline:
+            self.step()
+        self._now = max(self._now, deadline)
+
+    def run_to_completion(self, max_events: int = 1_000_000) -> None:
+        """Drain the queue entirely (bounded against runaway loops)."""
+        processed = 0
+        while self.step():
+            processed += 1
+            if processed >= max_events:
+                raise NetworkError(
+                    f"event budget {max_events} exhausted — livelock?")
+
+    @property
+    def pending_events(self) -> int:
+        return len(self._queue)

@@ -1,0 +1,101 @@
+"""Acknowledged, retransmitting transport over the lossy network.
+
+Pods use this to ship traces to the hive: messages carry sequence
+numbers, receivers ack, senders retransmit on timeout (bounded
+retries), and receivers deduplicate — at-least-once delivery turned
+into effectively-once processing. This is the minimum machinery the
+paper's "collect them efficiently and securely over an unreliable
+network" requires.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Set, Tuple
+
+from repro.net.network import Network
+
+__all__ = ["ReliableTransport"]
+
+Receiver = Callable[[str, object], None]
+
+
+@dataclass
+class _DataMessage:
+    kind: str            # "data" | "ack"
+    sequence: int
+    payload: object = None
+
+
+class ReliableTransport:
+    """One endpoint's reliable send/receive machinery."""
+
+    def __init__(self, network: Network, endpoint: str,
+                 receiver: Optional[Receiver] = None,
+                 retry_timeout: float = 0.5, max_retries: int = 5):
+        self.network = network
+        self.endpoint = endpoint
+        self.retry_timeout = retry_timeout
+        self.max_retries = max_retries
+        self._receiver = receiver
+        self._next_sequence = 0
+        self._unacked: Dict[int, Tuple[str, object, int]] = {}
+        self._seen: Set[Tuple[str, int]] = set()
+        self.delivered_payloads = 0
+        self.retransmissions = 0
+        self.gave_up = 0
+        network.register(endpoint, self._on_message)
+
+    def send(self, dst: str, payload: object) -> int:
+        """Send with retransmission; returns the sequence number."""
+        sequence = self._next_sequence
+        self._next_sequence += 1
+        self._unacked[sequence] = (dst, payload, 0)
+        self._transmit(sequence)
+        return sequence
+
+    @property
+    def in_flight(self) -> int:
+        return len(self._unacked)
+
+    # -- internals ---------------------------------------------------------------
+
+    def _transmit(self, sequence: int) -> None:
+        entry = self._unacked.get(sequence)
+        if entry is None:
+            return
+        dst, payload, _attempts = entry
+        self.network.send(self.endpoint, dst,
+                          _DataMessage("data", sequence, payload))
+        self.network.clock.schedule(
+            self.retry_timeout, lambda: self._on_timeout(sequence))
+
+    def _on_timeout(self, sequence: int) -> None:
+        entry = self._unacked.get(sequence)
+        if entry is None:
+            return  # acked in the meantime
+        dst, payload, attempts = entry
+        if attempts + 1 >= self.max_retries:
+            del self._unacked[sequence]
+            self.gave_up += 1
+            return
+        self._unacked[sequence] = (dst, payload, attempts + 1)
+        self.retransmissions += 1
+        self._transmit(sequence)
+
+    def _on_message(self, src: str, message: object) -> None:
+        if not isinstance(message, _DataMessage):
+            return
+        if message.kind == "ack":
+            self._unacked.pop(message.sequence, None)
+            return
+        # Data: ack unconditionally, deliver once.
+        self.network.send(self.endpoint, src,
+                          _DataMessage("ack", message.sequence))
+        key = (src, message.sequence)
+        if key in self._seen:
+            return
+        self._seen.add(key)
+        self.delivered_payloads += 1
+        if self._receiver is not None:
+            self._receiver(src, message.payload)

@@ -1,0 +1,214 @@
+"""The networked platform: Figure 1 over an actual (simulated) network.
+
+Where :class:`~repro.platform.SoftBorgPlatform` runs the loop in
+synchronous rounds (fast, deterministic, ideal for experiments), this
+variant runs it *event-driven* on the discrete-event network: pods
+execute on their own Poisson-ish clocks, ship encoded traces through
+the retransmitting transport across lossy links, the hive ingests on
+arrival and periodically analyzes/fixes, and fix announcements travel
+back over the same unreliable links. Time-to-mitigation becomes a
+*virtual-seconds* quantity that depends on network quality — the E16
+experiment.
+
+Wire discipline matters here: traces cross the network as *bytes*
+(``encode_trace``/``decode_trace``), program updates as version-stamped
+fix payloads the pod applies locally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ConfigError
+from repro.hive.hive import Hive
+from repro.metrics.series import Series
+from repro.net.network import Link, Network
+from repro.net.simclock import SimClock
+from repro.net.transport import ReliableTransport
+from repro.pod.pod import Pod
+from repro.progmodel.interpreter import ExecutionLimits
+from repro.rng import make_rng
+from repro.progmodel.serialize import decode_program, encode_program
+from repro.tracing.capture import FullCapture
+from repro.tracing.encode import decode_trace, encode_trace
+from repro.workloads.scenarios import Scenario
+
+__all__ = ["NetworkedConfig", "NetworkedReport", "NetworkedPlatform"]
+
+HIVE_ENDPOINT = "hive"
+
+
+@dataclass
+class NetworkedConfig:
+    """Knobs of the event-driven deployment."""
+
+    n_pods: int = 10
+    duration: float = 400.0            # virtual seconds
+    mean_think_time: float = 5.0       # seconds between a pod's runs
+    analysis_interval: float = 20.0    # hive analyze/fix cadence
+    latency: float = 0.05
+    loss_rate: float = 0.0
+    max_steps: int = 4000
+    seed: int = 0
+
+    def validate(self) -> None:
+        if self.n_pods < 1:
+            raise ConfigError("need at least one pod")
+        if self.mean_think_time <= 0 or self.analysis_interval <= 0:
+            raise ConfigError("times must be positive")
+        if not 0.0 <= self.loss_rate < 1.0:
+            raise ConfigError("loss_rate must be in [0, 1)")
+
+
+@dataclass
+class NetworkedReport:
+    executions: int = 0
+    failures: int = 0
+    traces_delivered: int = 0
+    wire_bytes: int = 0
+    fixes: List[str] = field(default_factory=list)
+    fix_deployed_at: Optional[float] = None
+    last_failure_at: Optional[float] = None
+    all_pods_current_at: Optional[float] = None
+    failure_times: List[float] = field(default_factory=list)
+    density: Series = field(default_factory=lambda: Series("fails/1k"))
+
+    @property
+    def mitigation_latency(self) -> Optional[float]:
+        """Virtual seconds from first failure to last failure."""
+        if not self.failure_times or self.fix_deployed_at is None:
+            return None
+        return self.failure_times[-1] - self.failure_times[0]
+
+
+class _NetPod:
+    """A pod wired to the network: runs, ships, applies updates."""
+
+    def __init__(self, platform: "NetworkedPlatform", index: int):
+        self.platform = platform
+        self.pod = Pod(
+            pod_id=f"netpod{index:03d}",
+            program=platform.scenario.program,
+            capture=FullCapture(),
+            limits=ExecutionLimits(max_steps=platform.config.max_steps),
+            fault_rate=platform.scenario.fault_rate,
+            seed=platform.config.seed + index,
+        )
+        self._rng = make_rng(platform.config.seed, "netpod", index)
+        self.transport = ReliableTransport(
+            platform.network, self.pod.pod_id,
+            receiver=self._on_message)
+        self._schedule_next_run()
+
+    def _schedule_next_run(self) -> None:
+        clock = self.platform.clock
+        if clock.now >= self.platform.config.duration:
+            return
+        delay = self._rng.expovariate(
+            1.0 / self.platform.config.mean_think_time)
+        clock.schedule(delay, self._run_once)
+
+    def _run_once(self) -> None:
+        platform = self.platform
+        if platform.clock.now >= platform.config.duration:
+            return
+        _user, inputs = platform.scenario.population.sample_execution()
+        run = self.pod.execute(inputs)
+        platform.report.executions += 1
+        if run.result.outcome.is_failure:
+            platform.report.failures += 1
+            platform.report.failure_times.append(platform.clock.now)
+            platform.report.last_failure_at = platform.clock.now
+        payload = encode_trace(run.trace)
+        platform.report.wire_bytes += len(payload)
+        self.transport.send(HIVE_ENDPOINT, ("trace", payload))
+        self._schedule_next_run()
+
+    def _on_message(self, src: str, message: object) -> None:
+        kind, body = message
+        if kind == "update":
+            version, payload = body
+            if version > self.pod.version:
+                # Updates cross the wire as encoded program bytes.
+                self.pod.apply_update(decode_program(payload))
+                self.platform.on_pod_updated()
+
+
+class NetworkedPlatform:
+    """Event-driven pods + hive on one simulated network."""
+
+    def __init__(self, scenario: Scenario,
+                 config: Optional[NetworkedConfig] = None):
+        self.config = config or NetworkedConfig()
+        self.config.validate()
+        self.scenario = scenario
+        self.clock = SimClock()
+        self.network = Network(
+            self.clock,
+            default_link=Link(latency=self.config.latency,
+                              loss_rate=self.config.loss_rate),
+            rng=make_rng(self.config.seed, "netplatform"))
+        self.report = NetworkedReport()
+        self.hive = Hive(
+            scenario.program,
+            limits=ExecutionLimits(max_steps=self.config.max_steps),
+            enable_proofs=False,
+        )
+        self._hive_transport = ReliableTransport(
+            self.network, HIVE_ENDPOINT, receiver=self._hive_receive)
+        self.pods = [_NetPod(self, index)
+                     for index in range(self.config.n_pods)]
+        self.clock.schedule(self.config.analysis_interval,
+                            self._analysis_tick)
+
+    # -- driving --------------------------------------------------------------
+
+    def run(self) -> NetworkedReport:
+        self.clock.run_until(self.config.duration)
+        # Drain in-flight retransmissions/acks for a clean shutdown.
+        self.clock.run_to_completion(max_events=2_000_000)
+        if self.report.executions:
+            self.report.density.record(
+                self.clock.now,
+                1000.0 * self.report.failures / self.report.executions)
+        return self.report
+
+    # -- hive side -------------------------------------------------------------
+
+    def _hive_receive(self, src: str, message: object) -> None:
+        kind, body = message
+        if kind != "trace":
+            return
+        self.report.traces_delivered += 1
+        self.hive.ingest(decode_trace(body))
+
+    def _analysis_tick(self) -> None:
+        updated = self.hive.maybe_fix()
+        if updated is not None:
+            fix = self.hive.deployed_fixes[-1]
+            self.report.fixes.append(fix.description)
+            if self.report.fix_deployed_at is None:
+                self.report.fix_deployed_at = self.clock.now
+        # (Re-)announce the current version every tick: a pod that lost
+        # every retransmission of an earlier announcement would
+        # otherwise stay vulnerable forever. Pods ignore stale or
+        # duplicate versions, so re-announcement is idempotent.
+        current = self.hive.program
+        if current.version > self.scenario.program.version:
+            payload = encode_program(current)
+            for pod in self.pods:
+                if pod.pod.version < current.version:
+                    self.report.wire_bytes += len(payload)
+                    self._hive_transport.send(
+                        pod.pod.pod_id,
+                        ("update", (current.version, payload)))
+        if self.clock.now < self.config.duration:
+            self.clock.schedule(self.config.analysis_interval,
+                                self._analysis_tick)
+
+    def on_pod_updated(self) -> None:
+        target = self.hive.program.version
+        if all(p.pod.version == target for p in self.pods):
+            if self.report.all_pods_current_at is None:
+                self.report.all_pods_current_at = self.clock.now

@@ -1,0 +1,310 @@
+"""SoftBorg: the closed loop of Figure 1.
+
+``SoftBorgPlatform`` wires a user population, a fleet of pods, and one
+hive into the paper's feedback cycle, executed in deterministic rounds:
+
+1. users run the program through their pods (plus a slice of guided
+   executions when steering is on);
+2. traces travel to the hive (optionally lossy);
+3. the hive merges them into the execution tree, analyzes, and — when
+   the evidence warrants — synthesizes, validates, and deploys a fix;
+4. the fixed program rolls out to a staged fraction of pods per round;
+5. metrics record the user-visible failure rate, proof progress, and
+   ground-truth bug status.
+
+Every experiment about the closed loop (bug density E3, guidance E4,
+deadlock immunity E5, baselines E12) is a configuration of this class.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ConfigError
+from repro.hive.hive import Hive
+from repro.metrics.bugdensity import BugDensityTracker
+from repro.metrics.series import Series
+from repro.pod.pod import Pod, PodRun
+from repro.progmodel.interpreter import ExecutionLimits
+from repro.proofs.proof import Proof
+from repro.rng import make_rng
+from repro.tracing.capture import CapturePolicy, FullCapture
+from repro.workloads.scenarios import Scenario
+
+__all__ = ["PlatformConfig", "RoundStats", "PlatformReport",
+           "SoftBorgPlatform"]
+
+
+@dataclass
+class PlatformConfig:
+    """Knobs of one platform run (ablations flip these)."""
+
+    n_pods: int = 20
+    rounds: int = 30
+    executions_per_round: int = 40
+    max_steps: int = 4000
+    capture: Optional[CapturePolicy] = None    # default FullCapture
+    guidance: bool = False
+    guided_per_round: int = 4
+    fixing: bool = True
+    validate_fixes: bool = True
+    rollout_fraction: float = 1.0              # pods updated per round
+    trace_loss_rate: float = 0.0
+    min_failure_reports: int = 1
+    enable_proofs: bool = True
+    dedup: bool = False              # pod-side heartbeats for repeats
+    seed: int = 0
+
+    def validate(self) -> None:
+        if self.n_pods < 1:
+            raise ConfigError("need at least one pod")
+        if not 0.0 < self.rollout_fraction <= 1.0:
+            raise ConfigError("rollout_fraction must be in (0, 1]")
+        if not 0.0 <= self.trace_loss_rate < 1.0:
+            raise ConfigError("trace_loss_rate must be in [0, 1)")
+
+
+@dataclass
+class RoundStats:
+    round_index: int
+    executions: int
+    failures: int
+    guided_executions: int
+    hive_version: int
+    pods_current: int
+    fixes_deployed_total: int
+    windowed_density: float
+    proof_status: Optional[str] = None
+    proof_coverage: float = 0.0
+
+
+@dataclass
+class PlatformReport:
+    """Everything a platform run produced."""
+
+    rounds: List[RoundStats] = field(default_factory=list)
+    density: BugDensityTracker = field(default_factory=BugDensityTracker)
+    version_series: Series = field(
+        default_factory=lambda: Series("hive-version"))
+    proofs: List[Tuple[int, Proof]] = field(default_factory=list)
+    fixes: List[str] = field(default_factory=list)
+    traces_lost: int = 0
+    total_executions: int = 0
+    total_failures: int = 0
+    guided_failures: int = 0
+    wire_bytes: int = 0
+
+    def failure_rate(self) -> float:
+        if self.total_executions == 0:
+            return 0.0
+        return self.total_failures / self.total_executions
+
+    def executions_until_density_below(self, threshold: float,
+                                       ) -> Optional[float]:
+        """First cumulative-execution count with windowed failures/1k
+        below ``threshold`` *after* at least one failure was seen."""
+        seen_failure = False
+        for x, y in self.density.density_series.points:
+            if y > 0:
+                seen_failure = True
+            elif seen_failure and y <= threshold:
+                return x
+        return None
+
+
+class SoftBorgPlatform:
+    """One program, its users, its pods, and its hive."""
+
+    def __init__(self, scenario: Scenario,
+                 config: Optional[PlatformConfig] = None):
+        self.config = config or PlatformConfig()
+        self.config.validate()
+        self.scenario = scenario
+        limits = ExecutionLimits(max_steps=self.config.max_steps)
+        capture = self.config.capture or FullCapture()
+        self._rng = make_rng(self.config.seed, "platform",
+                             scenario.program.name)
+        self.pods = [
+            Pod(pod_id=f"pod{i:04d}",
+                program=scenario.program,
+                capture=capture,
+                limits=limits,
+                fault_rate=scenario.fault_rate,
+                seed=self.config.seed + i)
+            for i in range(self.config.n_pods)
+        ]
+        self.hive = Hive(
+            scenario.program,
+            limits=limits,
+            validate_fixes=self.config.validate_fixes,
+            min_failure_reports=self.config.min_failure_reports,
+            enable_proofs=self.config.enable_proofs,
+        )
+        self._dedup: Dict[str, object] = {}
+        if self.config.dedup:
+            from repro.tracing.dedup import PodDeduplicator
+            self._dedup = {pod.pod_id: PodDeduplicator()
+                           for pod in self.pods}
+        self.report = PlatformReport()
+
+    # -- main loop ------------------------------------------------------------
+
+    def run(self) -> PlatformReport:
+        for round_index in range(self.config.rounds):
+            self._run_round(round_index)
+        return self.report
+
+    def _run_round(self, round_index: int) -> None:
+        config = self.config
+        failures = 0
+        guided = 0
+
+        directives = []
+        if config.guidance:
+            directives = self.hive.plan_steering(config.guided_per_round)
+
+        for execution in range(config.executions_per_round):
+            _user, inputs = self.scenario.population.sample_execution()
+            pod = self._rng.choice(self.pods)
+            directive = directives.pop() if directives else None
+            run = pod.execute(inputs, directive=directive)
+            failed = run.result.outcome.is_failure
+            if directive is not None:
+                # Steered runs are SoftBorg-initiated test executions
+                # on spare cycles: their failures feed the hive (that
+                # is the point of steering) but are not *user-visible*
+                # failures, so they stay out of the density metric.
+                guided += 1
+                self.report.guided_failures += int(failed)
+            else:
+                failures += int(failed)
+                self.report.density.record_execution(
+                    failed, self._attribute(run))
+            self._ship_trace(run)
+
+        # Snapshot the proof on this round's evidence *before* any fix
+        # rewrites the program — a deployed fix invalidates the proof,
+        # and the ledger should show the refutation that motivated it.
+        proof = self.hive.current_proof() if config.enable_proofs else None
+        if proof is not None:
+            self.report.proofs.append((round_index, proof))
+
+        if config.fixing:
+            updated = self.hive.maybe_fix()
+            if updated is not None:
+                fix = self.hive.deployed_fixes[-1]
+                self.report.fixes.append(fix.description)
+                self.report.density.record_fix(fix.target_bug_message)
+                self._audit_ground_truth(updated)
+
+        self._roll_out()
+        current = sum(1 for pod in self.pods
+                      if pod.version == self.hive.program.version)
+        stats = RoundStats(
+            round_index=round_index,
+            executions=config.executions_per_round,
+            failures=failures,
+            guided_executions=guided,
+            hive_version=self.hive.program.version,
+            pods_current=current,
+            fixes_deployed_total=self.hive.stats.fixes_deployed,
+            windowed_density=self.report.density.windowed_density(),
+            proof_status=proof.status.value if proof else None,
+            proof_coverage=proof.coverage if proof else 0.0,
+        )
+        self.report.rounds.append(stats)
+        self.report.version_series.record(round_index,
+                                          self.hive.program.version)
+        self.report.total_executions += config.executions_per_round
+        self.report.total_failures += failures
+
+    # -- plumbing --------------------------------------------------------------
+
+    def _attribute(self, run: PodRun) -> Optional[str]:
+        """Ground-truth attribution of a failing run (metrics only)."""
+        if run.result.failure is None:
+            return None
+        failure = run.result.failure
+        for bug in self.scenario.bugs:
+            if bug.matches_result(run.result.outcome, failure.message,
+                                  failure.block):
+                return bug.message
+        return failure.message
+
+    def _ship_trace(self, run: PodRun) -> None:
+        if (self.config.trace_loss_rate
+                and self._rng.random() < self.config.trace_loss_rate):
+            self.report.traces_lost += 1
+            return
+        if self.config.dedup:
+            from repro.tracing.dedup import Heartbeat
+            from repro.tracing.encode import encoded_size
+            dedup = self._dedup[run.trace.pod_id]
+            trace, heartbeat = dedup.submit(run.trace)
+            if trace is not None:
+                self.report.wire_bytes += encoded_size(trace)
+                self.hive.ingest(trace)
+            else:
+                self.report.wire_bytes += Heartbeat.WIRE_SIZE
+                self.hive.ingest_heartbeat(heartbeat)
+            return
+        from repro.tracing.encode import encoded_size
+        self.report.wire_bytes += encoded_size(run.trace)
+        self.hive.ingest(run.trace)
+
+    def _audit_ground_truth(self, fixed_program) -> None:
+        """After a fix deploys, check which seeded bugs it actually
+        exterminated (pure metrics: the hive never sees this).
+
+        Concurrency and fault bugs are probed under a battery of
+        schedules/faults; a bug counts as fixed when its signature
+        never reappears.
+        """
+        from repro.progmodel.interpreter import (
+            Environment, ExecutionLimits, FaultPlan,
+        )
+        from repro.sched.scheduler import RandomScheduler, RoundRobinScheduler
+
+        limits = ExecutionLimits(max_steps=self.config.max_steps)
+        for bug in self.scenario.bugs:
+            if bug.message in self.report.density.bugs_fixed:
+                continue
+            if bug.message not in self.report.density.bugs_seen:
+                continue
+            inputs = bug.triggering_inputs(fixed_program.inputs)
+            reproduced = False
+            trials: List[Tuple] = []
+            trials.append((RoundRobinScheduler(), FaultPlan()))
+            for seed in range(12):
+                trials.append((RandomScheduler(
+                    rng=make_rng(self.config.seed, "audit", seed)),
+                    FaultPlan()))
+            if bug.needs_fault:
+                for occurrence in range(3):
+                    trials.append((RoundRobinScheduler(),
+                                   FaultPlan(forced={occurrence: 0})))
+            from repro.progmodel.interpreter import Interpreter
+            for scheduler, fault_plan in trials:
+                result = Interpreter(fixed_program, limits=limits).run(
+                    inputs,
+                    environment=Environment(fault_plan=fault_plan),
+                    scheduler=scheduler)
+                if (result.failure is not None
+                        and bug.matches_result(result.outcome,
+                                               result.failure.message,
+                                               result.failure.block)):
+                    reproduced = True
+                    break
+            if not reproduced:
+                self.report.density.record_fix(bug.message)
+
+    def _roll_out(self) -> None:
+        """Stage the current hive version onto outdated pods."""
+        target = self.hive.program
+        outdated = [pod for pod in self.pods if pod.version < target.version]
+        if not outdated:
+            return
+        count = max(1, int(len(self.pods) * self.config.rollout_fraction))
+        for pod in outdated[:count]:
+            pod.apply_update(target)

@@ -1,0 +1,12 @@
+"""The pod: the per-instance runtime agent (paper Fig. 1).
+
+A pod sits underneath one installation of a program: it executes the
+current program version on the user's inputs, captures by-products
+under its capture policy, infers user feedback, runs steering
+directives when the hive asks, and swaps in fixed program versions as
+they arrive.
+"""
+
+from repro.pod.pod import Pod, PodRun
+
+__all__ = ["Pod", "PodRun"]

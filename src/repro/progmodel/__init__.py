@@ -1,0 +1,67 @@
+"""Program model substrate.
+
+SoftBorg reasons about programs only through their control-flow
+by-products. This subpackage provides the program representation that
+produces those by-products: a small structured IR (:mod:`repro.progmodel.ir`),
+a fluent builder (:mod:`repro.progmodel.builder`), a concrete
+multi-threaded interpreter (:mod:`repro.progmodel.interpreter`), and a
+corpus generator that seeds realistic bug patterns
+(:mod:`repro.progmodel.corpus`).
+"""
+
+from repro.progmodel.ir import (
+    BinOp,
+    Block,
+    Branch,
+    Call,
+    Const,
+    Crash,
+    Expr,
+    Function,
+    Halt,
+    Input,
+    Instruction,
+    Jump,
+    Lock,
+    Assert,
+    Assign,
+    Program,
+    Return,
+    StoreGlobal,
+    LoadGlobal,
+    Syscall,
+    UnOp,
+    Unlock,
+    Var,
+    c,
+    v,
+)
+from repro.progmodel.builder import BlockBuilder, FunctionBuilder, ProgramBuilder
+from repro.progmodel.interpreter import (
+    Environment,
+    ExecutionLimits,
+    ExecutionResult,
+    Interpreter,
+    InputVector,
+)
+from repro.progmodel.bugs import BugKind, BugSpec
+from repro.progmodel.corpus import (
+    CorpusConfig,
+    generate_corpus,
+    generate_program,
+    make_crash_demo,
+    make_deadlock_demo,
+    make_race_demo,
+    make_shortread_demo,
+)
+
+__all__ = [
+    "Expr", "Const", "Var", "Input", "BinOp", "UnOp", "c", "v",
+    "Instruction", "Assign", "Branch", "Jump", "Call", "Return", "Lock",
+    "Unlock", "Syscall", "Assert", "Crash", "Halt", "StoreGlobal",
+    "LoadGlobal", "Block", "Function", "Program",
+    "ProgramBuilder", "FunctionBuilder", "BlockBuilder",
+    "Interpreter", "Environment", "ExecutionLimits", "ExecutionResult",
+    "InputVector",
+    "BugKind", "BugSpec", "CorpusConfig", "generate_corpus", "generate_program",
+]

@@ -1,0 +1,95 @@
+"""Bug taxonomy and ground-truth bug specifications.
+
+Every bug a corpus program contains is described by a :class:`BugSpec`
+carrying enough ground truth to (a) construct a triggering input vector
+for tests, and (b) let experiments score detection/localization against
+what is *actually* in the program. Failure messages embed the bug id, so
+an observed failure can be attributed to its seeded bug exactly.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, Optional, Tuple
+
+__all__ = ["BugKind", "BugSpec"]
+
+
+class BugKind(Enum):
+    """The misbehaviour classes the paper discusses (Sec. 2-3)."""
+
+    CRASH = "crash"            # fatal error on a rare input path
+    ASSERT = "assert"          # violated programmer assertion
+    DEADLOCK = "deadlock"      # circular lock wait (schedule-dependent)
+    HANG = "hang"              # infinite loop on a rare input path
+    SHORT_READ = "short_read"  # unhandled degraded syscall result
+    RACE = "race"              # unsynchronized shared access (lost update)
+
+
+@dataclass
+class BugSpec:
+    """Ground truth for one seeded bug.
+
+    ``trigger`` maps input names to the exact values that steer
+    execution into the bug site (empty for purely environmental bugs
+    like SHORT_READ, and for DEADLOCK bugs the trigger only *enables*
+    the racy region — actually deadlocking additionally needs an unlucky
+    schedule).
+    """
+
+    bug_id: str
+    kind: BugKind
+    site_function: str
+    site_block: str
+    trigger: Dict[str, int] = field(default_factory=dict)
+    locks: Tuple[str, ...] = ()
+    trigger_probability: float = 0.0
+    needs_fault: bool = False
+    needs_schedule: bool = False
+
+    @property
+    def message(self) -> str:
+        """The failure message the program emits when this bug fires."""
+        return f"bug:{self.kind.value}:{self.bug_id}"
+
+    def triggering_inputs(self, program_inputs: Dict[str, Tuple[int, int]],
+                          rng: Optional[random.Random] = None) -> Dict[str, int]:
+        """Build a full input vector that satisfies this bug's trigger.
+
+        Unconstrained inputs get random in-domain values (or the domain
+        minimum when no RNG is supplied, for determinism in tests).
+        """
+        vector = {}
+        for name, (lo, hi) in program_inputs.items():
+            if name in self.trigger:
+                vector[name] = self.trigger[name]
+            elif rng is not None:
+                vector[name] = rng.randint(lo, hi)
+            else:
+                vector[name] = lo
+        return vector
+
+    def matches_failure(self, message: str) -> bool:
+        """Whether an observed failure message was produced by this bug."""
+        return message == self.message
+
+    def matches_result(self, outcome: "object", message: Optional[str],
+                       site_block: Optional[str] = None) -> bool:
+        """Ground-truth attribution of one failing execution.
+
+        Crash/assert/race/short-read bugs stamp their id into the
+        failure message. Deadlocks and hangs cannot (the runtime
+        reports where a thread *happened* to block/spin), so they match
+        by outcome kind — plus the spin-site block for hangs.
+        """
+        if message is not None and message == self.message:
+            return True
+        outcome_value = getattr(outcome, "value", outcome)
+        if self.kind is BugKind.DEADLOCK and outcome_value == "deadlock":
+            return True
+        if (self.kind is BugKind.HANG and outcome_value == "hang"
+                and site_block == self.site_block):
+            return True
+        return False

@@ -1,0 +1,195 @@
+"""Fluent construction API for IR programs.
+
+Writing :class:`~repro.progmodel.ir.Program` literals by hand is verbose;
+the builder keeps model programs readable::
+
+    b = ProgramBuilder("demo", inputs={"n": (0, 100)})
+    main = b.function("main")
+    entry = main.block("entry")
+    entry.assign("x", Input("n") + 1)
+    entry.branch(v("x") > 10, "big", "small")
+    main.block("big").crash("boom").halt()
+    main.block("small").halt()
+    program = b.build()
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.errors import ProgramModelError
+from repro.progmodel.ir import (
+    Assert,
+    Assign,
+    Block,
+    Branch,
+    Call,
+    Const,
+    Crash,
+    Expr,
+    Function,
+    Halt,
+    Jump,
+    LoadGlobal,
+    Lock,
+    Program,
+    Return,
+    StoreGlobal,
+    Syscall,
+    Unlock,
+)
+
+__all__ = ["ProgramBuilder", "FunctionBuilder", "BlockBuilder"]
+
+
+class BlockBuilder:
+    """Accumulates instructions for one basic block.
+
+    Instruction methods return ``self`` so calls chain; terminator
+    methods (:meth:`branch`, :meth:`jump`, :meth:`ret`, :meth:`halt`)
+    seal the block and return ``None``.
+    """
+
+    def __init__(self, function: "FunctionBuilder", label: str):
+        self._function = function
+        self._block = Block(label=label)
+
+    @property
+    def label(self) -> str:
+        return self._block.label
+
+    def _check_open(self) -> None:
+        if self._block.terminator is not None:
+            raise ProgramModelError(
+                f"block {self._block.label!r} already has a terminator")
+
+    def _add(self, instruction) -> "BlockBuilder":
+        self._check_open()
+        self._block.instructions.append(instruction)
+        return self
+
+    # -- instructions -------------------------------------------------------
+
+    def assign(self, dst: str, expr) -> "BlockBuilder":
+        return self._add(Assign(dst, _as_expr(expr)))
+
+    def store_global(self, name: str, expr) -> "BlockBuilder":
+        return self._add(StoreGlobal(name, _as_expr(expr)))
+
+    def load_global(self, dst: str, name: str) -> "BlockBuilder":
+        return self._add(LoadGlobal(dst, name))
+
+    def lock(self, lock_name: str) -> "BlockBuilder":
+        return self._add(Lock(lock_name))
+
+    def unlock(self, lock_name: str) -> "BlockBuilder":
+        return self._add(Unlock(lock_name))
+
+    def syscall(self, dst: str, name: str, *args) -> "BlockBuilder":
+        return self._add(Syscall(dst, name, tuple(_as_expr(a) for a in args)))
+
+    def check(self, cond, message: str = "assertion failed") -> "BlockBuilder":
+        """Add an assertion (named ``check`` to avoid shadowing builtins)."""
+        return self._add(Assert(_as_expr(cond), message))
+
+    def crash(self, message: str = "crash") -> "BlockBuilder":
+        return self._add(Crash(message))
+
+    def call(self, dst: Optional[str], callee: str, *args) -> "BlockBuilder":
+        return self._add(Call(dst, callee, tuple(_as_expr(a) for a in args)))
+
+    # -- terminators ----------------------------------------------------------
+
+    def branch(self, cond, then_block: str, else_block: str) -> None:
+        self._check_open()
+        self._block.terminator = Branch(_as_expr(cond), then_block, else_block)
+
+    def jump(self, target: str) -> None:
+        self._check_open()
+        self._block.terminator = Jump(target)
+
+    def ret(self, value=0) -> None:
+        self._check_open()
+        self._block.terminator = Return(_as_expr(value))
+
+    def halt(self) -> None:
+        self._check_open()
+        self._block.terminator = Halt()
+
+
+class FunctionBuilder:
+    """Accumulates blocks for one function."""
+
+    def __init__(self, name: str, params: Tuple[str, ...] = (), entry: str = "entry"):
+        self._name = name
+        self._params = params
+        self._entry = entry
+        self._blocks: Dict[str, BlockBuilder] = {}
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    def block(self, label: str) -> BlockBuilder:
+        """Create (or retrieve an unfinished) block builder for ``label``."""
+        if label in self._blocks:
+            return self._blocks[label]
+        builder = BlockBuilder(self, label)
+        self._blocks[label] = builder
+        return builder
+
+    def build(self) -> Function:
+        blocks = {label: bb._block for label, bb in self._blocks.items()}
+        return Function(
+            name=self._name, params=self._params, blocks=blocks, entry=self._entry)
+
+
+class ProgramBuilder:
+    """Top-level builder; ``build()`` validates and returns the Program."""
+
+    def __init__(
+        self,
+        name: str,
+        inputs: Optional[Dict[str, Tuple[int, int]]] = None,
+        threads: Tuple[str, ...] = ("main",),
+        global_vars: Optional[Dict[str, int]] = None,
+        version: int = 1,
+    ):
+        self._name = name
+        self._inputs = dict(inputs or {})
+        self._threads = threads
+        self._globals = dict(global_vars or {})
+        self._version = version
+        self._functions: Dict[str, FunctionBuilder] = {}
+
+    def function(self, name: str, params: Tuple[str, ...] = ()) -> FunctionBuilder:
+        if name in self._functions:
+            raise ProgramModelError(f"function {name!r} already defined")
+        builder = FunctionBuilder(name, params)
+        self._functions[name] = builder
+        return builder
+
+    def declare_input(self, name: str, lo: int, hi: int) -> None:
+        self._inputs[name] = (lo, hi)
+
+    def build(self) -> Program:
+        program = Program(
+            name=self._name,
+            functions={n: fb.build() for n, fb in self._functions.items()},
+            threads=self._threads,
+            inputs=self._inputs,
+            globals=self._globals,
+            version=self._version,
+        )
+        program.validate()
+        return program
+
+
+def _as_expr(value) -> Expr:
+    if isinstance(value, Expr):
+        return value
+    if isinstance(value, bool):
+        return Const(int(value))
+    if isinstance(value, int):
+        return Const(value)
+    raise ProgramModelError(f"cannot convert {value!r} to an expression")

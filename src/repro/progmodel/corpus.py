@@ -1,0 +1,679 @@
+"""Synthetic program corpus with seeded, ground-truthed bugs.
+
+The corpus generator plays the role of "real end-user software" in the
+reproduction: it emits structured programs (branchy straight-line code,
+bounded loops, helper functions, syscalls, optional multi-threaded lock
+regions) and seeds them with the bug patterns the paper discusses —
+rare-input crashes, assertion violations, schedule-dependent deadlocks,
+hangs, and unhandled short reads. Each seeded bug comes with a
+:class:`~repro.progmodel.bugs.BugSpec` recording its ground truth, so
+experiments can score SoftBorg's detection/fixing against reality.
+
+Generation is fully deterministic in the configured seed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro import rng as rng_util
+from repro.errors import ConfigError
+from repro.progmodel.bugs import BugKind, BugSpec
+from repro.progmodel.builder import BlockBuilder, ProgramBuilder
+from repro.progmodel.ir import Const, Expr, Input, Program, Var, c, v
+
+__all__ = [
+    "CorpusConfig", "SeededProgram", "generate_program", "generate_corpus",
+    "make_deadlock_demo", "make_crash_demo", "make_shortread_demo",
+    "make_race_demo",
+]
+
+
+@dataclass
+class CorpusConfig:
+    """Knobs for synthetic program generation.
+
+    ``bug_rarity`` is the number of input-equality conjuncts in each
+    bug's trigger predicate; with inputs uniform over ``input_domain``
+    values, a rarity-r bug fires with probability ``input_domain**-r``
+    per (random-input) execution once its segment is reached.
+    """
+
+    seed: int = 0
+    n_inputs: int = 4
+    input_domain: int = 8
+    n_segments: int = 8
+    loop_probability: float = 0.2
+    syscall_probability: float = 0.2
+    helper_count: int = 2
+    max_loop_iterations: int = 4
+    bug_rarity: int = 1
+    # Probability that a bug-free diamond segment nests a second
+    # diamond inside its then-arm. Kept at 0.0 by default so existing
+    # seeds generate byte-identical programs (the roll is only drawn
+    # when the probability is positive).
+    nested_probability: float = 0.0
+
+    def validate(self) -> None:
+        if self.n_inputs < 1:
+            raise ConfigError("n_inputs must be >= 1")
+        if self.input_domain < 2:
+            raise ConfigError("input_domain must be >= 2")
+        if self.n_segments < 1:
+            raise ConfigError("n_segments must be >= 1")
+        if self.bug_rarity < 1 or self.bug_rarity > self.n_inputs:
+            raise ConfigError("bug_rarity must be in [1, n_inputs]")
+        if self.max_loop_iterations < 1:
+            raise ConfigError("max_loop_iterations must be >= 1")
+
+
+@dataclass
+class SeededProgram:
+    """A generated program plus the ground truth of its seeded bugs."""
+
+    program: Program
+    bugs: List[BugSpec] = field(default_factory=list)
+
+    @property
+    def name(self) -> str:
+        return self.program.name
+
+    def bug_for_message(self, message: str) -> Optional[BugSpec]:
+        for bug in self.bugs:
+            if bug.matches_failure(message):
+                return bug
+        return None
+
+
+# --------------------------------------------------------------------------
+# Random expression helpers
+# --------------------------------------------------------------------------
+
+_ARITH_OPS = ("+", "-", "*")
+_CMP_OPS = ("<", "<=", ">", ">=", "==", "!=")
+
+
+class _ExprGen:
+    """Generates random integer expressions over inputs and locals."""
+
+    def __init__(self, rng: random.Random, input_names: Sequence[str],
+                 local_names: Sequence[str], domain: int):
+        self._rng = rng
+        self._inputs = list(input_names)
+        self._locals = list(local_names)
+        self._domain = domain
+
+    def leaf(self) -> Expr:
+        roll = self._rng.random()
+        if roll < 0.45 and self._inputs:
+            return Input(self._rng.choice(self._inputs))
+        if roll < 0.8 and self._locals:
+            return Var(self._rng.choice(self._locals))
+        return Const(self._rng.randrange(self._domain))
+
+    def arith(self, depth: int = 2) -> Expr:
+        if depth <= 0 or self._rng.random() < 0.4:
+            return self.leaf()
+        op = self._rng.choice(_ARITH_OPS)
+        left = self.arith(depth - 1)
+        right = self.arith(depth - 1)
+        expr = _binop(op, left, right)
+        # Keep magnitudes bounded so generated arithmetic stays in a
+        # small, analysis-friendly range.
+        if self._rng.random() < 0.5:
+            expr = _binop("%", expr, Const(max(2, self._domain)))
+        return expr
+
+    def condition(self) -> Expr:
+        op = self._rng.choice(_CMP_OPS)
+        return _binop(op, self.arith(2), Const(self._rng.randrange(self._domain)))
+
+
+def _binop(op: str, left: Expr, right: Expr) -> Expr:
+    from repro.progmodel.ir import BinOp
+    return BinOp(op, left, right)
+
+
+def _trigger_predicate(trigger: Dict[str, int]) -> Expr:
+    """AND of input==value conjuncts (the bug's gate)."""
+    expr: Optional[Expr] = None
+    for name in sorted(trigger):
+        conjunct = _binop("==", Input(name), Const(trigger[name]))
+        expr = conjunct if expr is None else _binop("and", expr, conjunct)
+    assert expr is not None
+    return expr
+
+
+# --------------------------------------------------------------------------
+# Program generation
+# --------------------------------------------------------------------------
+
+def generate_program(name: str,
+                     config: Optional[CorpusConfig] = None,
+                     bug_kinds: Sequence[BugKind] = (BugKind.CRASH,),
+                     seed_offset: int = 0) -> SeededProgram:
+    """Generate one program with the requested seeded bugs.
+
+    ``bug_kinds`` lists the bugs to seed, in order; each gets a distinct
+    random trigger. ``seed_offset`` lets callers derive many programs
+    from one config deterministically.
+    """
+    config = config or CorpusConfig()
+    config.validate()
+    rng = rng_util.make_rng(config.seed, "program", name, seed_offset)
+
+    input_names = [f"in{i}" for i in range(config.n_inputs)]
+    inputs = {n: (0, config.input_domain - 1) for n in input_names}
+    local_names = [f"t{i}" for i in range(4)]
+
+    has_deadlock = BugKind.DEADLOCK in bug_kinds
+    has_race = BugKind.RACE in bug_kinds
+    if has_deadlock and has_race:
+        raise ConfigError(
+            "DEADLOCK and RACE share the worker thread; seed one per program")
+    if sum(1 for k in bug_kinds if k is BugKind.RACE) > 1:
+        raise ConfigError("at most one RACE bug per program")
+    multithreaded = has_deadlock or has_race
+    threads: Tuple[str, ...] = (
+        ("main", "worker") if multithreaded else ("main",))
+    global_vars = {}
+    if has_deadlock:
+        global_vars = {"g_enter": 0, "g_done": 0}
+    if has_race:
+        global_vars = {"g_cnt": 0, "g_done": 0, "g_wdone": 0}
+
+    builder = ProgramBuilder(name, inputs=inputs, threads=threads,
+                             global_vars=global_vars)
+    gen = _ExprGen(rng, input_names, local_names, config.input_domain)
+
+    helper_names = _emit_helpers(builder, gen, rng, config)
+
+    main = builder.function("main")
+    entry = main.block("entry")
+    for i, local in enumerate(local_names):
+        entry.assign(local, Input(input_names[i % len(input_names)]))
+    entry.jump("seg0")
+
+    # Decide which segment hosts which bug: one bug per segment, so bug
+    # sites never interfere with each other.
+    if len(bug_kinds) > config.n_segments:
+        raise ConfigError(
+            f"cannot seed {len(bug_kinds)} bugs into {config.n_segments} segments")
+    if sum(1 for k in bug_kinds if k is BugKind.DEADLOCK) > 1:
+        raise ConfigError("at most one DEADLOCK bug per program")
+    bugs: List[BugSpec] = []
+    placements: Dict[int, List[Tuple[int, BugKind]]] = {}
+    chosen_segments = rng.sample(range(config.n_segments), len(bug_kinds))
+    for bug_index, kind in enumerate(bug_kinds):
+        placements[chosen_segments[bug_index]] = [(bug_index, kind)]
+
+    for seg in range(config.n_segments):
+        next_label = f"seg{seg + 1}" if seg + 1 < config.n_segments else "end"
+        seeded_here = placements.get(seg, [])
+        _emit_segment(builder, main, gen, rng, config, name, seg, next_label,
+                      seeded_here, bugs, helper_names, input_names)
+
+    end = main.block("end")
+    if has_race:
+        # Wait for the worker, then check the shared counter: lost
+        # updates under racy interleavings fail this assertion.
+        race_bug = next(b for b in bugs if b.kind is BugKind.RACE)
+        end.store_global("g_done", 1)
+        end.jump("race_wait")
+        wait = main.block("race_wait")
+        wait.load_global("wd", "g_wdone")
+        wait.branch(_binop("==", Var("wd"), Const(1)),
+                    "race_check", "race_wait")
+        chk = main.block("race_check")
+        chk.load_global("cnt", "g_cnt")
+        chk.check(_binop("==", Var("cnt"),
+                         Const(2 * _RACE_INCREMENTS)), race_bug.message)
+        chk.halt()
+    else:
+        if has_deadlock:
+            end.store_global("g_done", 1)
+        end.halt()
+
+    if has_deadlock:
+        _emit_worker(builder, bugs)
+    if has_race:
+        _emit_race_worker(builder)
+
+    program = builder.build()
+    return SeededProgram(program=program, bugs=bugs)
+
+
+def _emit_helpers(builder: ProgramBuilder, gen: _ExprGen, rng: random.Random,
+                  config: CorpusConfig) -> List[str]:
+    """Emit small leaf functions used as call targets (and as the
+    "units" for relaxed-consistency analysis)."""
+    names = []
+    for i in range(config.helper_count):
+        fname = f"helper{i}"
+        names.append(fname)
+        func = builder.function(fname, params=("a", "b"))
+        entry = func.block("entry")
+        entry.assign("r", _binop(rng.choice(_ARITH_OPS), Var("a"), Var("b")))
+        entry.branch(_binop(rng.choice(_CMP_OPS), Var("r"),
+                            Const(rng.randrange(config.input_domain))),
+                     "hi", "lo")
+        func.block("hi").assign(
+            "r", _binop("%", _binop("+", Var("r"), Const(1)),
+                        Const(config.input_domain))).jump("out")
+        func.block("lo").assign(
+            "r", _binop("%", _binop("*", Var("r"), Const(2)),
+                        Const(config.input_domain))).jump("out")
+        func.block("out").ret(Var("r"))
+    return names
+
+
+def _emit_segment(builder, main, gen, rng, config, prog_name, seg,
+                  next_label, seeded_here, bugs, helper_names, input_names):
+    """Emit segment ``seg`` of main, optionally hosting seeded bugs."""
+    label = f"seg{seg}"
+    kind_roll = rng.random()
+    deadlock_here = any(k is BugKind.DEADLOCK for _i, k in seeded_here)
+    shortread_here = any(k is BugKind.SHORT_READ for _i, k in seeded_here)
+    race_here = [(i, k) for i, k in seeded_here if k is BugKind.RACE]
+
+    if race_here:
+        _emit_race_segment(main, prog_name, seg, next_label,
+                           race_here[0][0], bugs)
+        return
+
+    if shortread_here or (not seeded_here and kind_roll <
+                          config.syscall_probability):
+        _emit_syscall_segment(builder, main, gen, rng, config, prog_name, seg,
+                              next_label, seeded_here, bugs)
+        return
+    if not seeded_here and kind_roll < (config.syscall_probability +
+                                        config.loop_probability):
+        _emit_loop_segment(main, gen, rng, config, seg, next_label)
+        return
+    _emit_diamond_segment(builder, main, gen, rng, config, prog_name, seg,
+                          next_label, seeded_here, bugs, helper_names,
+                          input_names, deadlock_here)
+
+
+def _emit_loop_segment(main, gen, rng, config, seg, next_label):
+    label = f"seg{seg}"
+    counter, bound = f"lc{seg}", f"lb{seg}"
+    head, body = f"{label}_head", f"{label}_body"
+    block = main.block(label)
+    block.assign(counter, 0)
+    block.assign(bound, _binop("+", _binop("%", gen.arith(1),
+                                           Const(config.max_loop_iterations)),
+                               Const(1)))
+    block.jump(head)
+    main.block(head).branch(_binop("<", Var(counter), Var(bound)),
+                            body, next_label)
+    bb = main.block(body)
+    bb.assign(rng.choice(["t0", "t1", "t2", "t3"]), gen.arith(1))
+    bb.assign(counter, _binop("+", Var(counter), Const(1)))
+    bb.jump(head)
+
+
+def _emit_syscall_segment(builder, main, gen, rng, config, prog_name, seg,
+                          next_label, seeded_here, bugs):
+    label = f"seg{seg}"
+    fd, count = f"fd{seg}", f"rd{seg}"
+    short_label, ok_label = f"{label}_short", f"{label}_ok"
+    block = main.block(label)
+    block.syscall(fd, "open", 1)
+    block.syscall(count, "read", Var(fd), 64)
+    block.branch(_binop("<", Var(count), Const(64)), short_label, ok_label)
+
+    short = main.block(short_label)
+    seeded = [b for b in seeded_here if b[1] is BugKind.SHORT_READ]
+    if seeded:
+        bug_index, _kind = seeded[0]
+        bug = BugSpec(
+            bug_id=f"{prog_name}-b{bug_index}",
+            kind=BugKind.SHORT_READ,
+            site_function="main",
+            site_block=short_label,
+            needs_fault=True,
+        )
+        bugs.append(bug)
+        short.crash(bug.message)
+        short.halt()
+    else:
+        # Handled short read: retry-free degradation.
+        short.assign(count, 0)
+        short.jump(next_label)
+    main.block(ok_label).assign("t0", _binop("+", Var("t0"), Const(1))) \
+        .jump(next_label)
+
+
+def _emit_diamond_segment(builder, main, gen, rng, config, prog_name, seg,
+                          next_label, seeded_here, bugs, helper_names,
+                          input_names, deadlock_here):
+    label = f"seg{seg}"
+    then_label, else_label = f"{label}_t", f"{label}_e"
+    block = main.block(label)
+    block.assign(rng.choice(["t0", "t1", "t2", "t3"]), gen.arith(2))
+    block.branch(gen.condition(), then_label, else_label)
+
+    then_block = main.block(then_label)
+    if helper_names and rng.random() < 0.5:
+        then_block.call("t2", rng.choice(helper_names), gen.arith(1),
+                        gen.arith(1))
+    else:
+        then_block.assign("t1", gen.arith(2))
+
+    else_block = main.block(else_label)
+    else_block.assign("t3", gen.arith(2))
+
+    # Optional nesting: a bug-free diamond may host an inner diamond,
+    # deepening the execution tree (richer path structure for tree and
+    # guidance experiments). Short-circuit keeps the rng stream
+    # untouched when the feature is off.
+    if (not seeded_here and not deadlock_here
+            and config.nested_probability > 0
+            and rng.random() < config.nested_probability):
+        inner_then, inner_else = f"{label}_nt", f"{label}_ne"
+        then_block.branch(gen.condition(), inner_then, inner_else)
+        main.block(inner_then).assign(
+            rng.choice(["t0", "t1", "t2", "t3"]),
+            gen.arith(1)).jump(next_label)
+        main.block(inner_else).assign(
+            rng.choice(["t0", "t1", "t2", "t3"]),
+            gen.arith(1)).jump(next_label)
+        else_block.jump(next_label)
+        return
+
+    # Non-deadlock input-gated bugs live inside the then-arm behind a
+    # dedicated guard branch.
+    gated = [(i, k) for i, k in seeded_here
+             if k in (BugKind.CRASH, BugKind.ASSERT, BugKind.HANG)]
+    cursor = then_block
+    exit_label = next_label
+    for bug_index, kind in gated:
+        trigger = _random_trigger(rng, input_names, config)
+        guard_label = f"{label}_g{bug_index}"
+        site_label = f"{label}_bug{bug_index}"
+        cont_label = f"{label}_c{bug_index}"
+        cursor.jump(guard_label)
+        guard = main.block(guard_label)
+        guard.branch(_trigger_predicate(trigger), site_label, cont_label)
+        bug = BugSpec(
+            bug_id=f"{prog_name}-b{bug_index}",
+            kind=kind,
+            site_function="main",
+            site_block=site_label,
+            trigger=trigger,
+            trigger_probability=config.input_domain ** -len(trigger),
+        )
+        bugs.append(bug)
+        site = main.block(site_label)
+        if kind is BugKind.CRASH:
+            site.crash(bug.message)
+            site.halt()
+        elif kind is BugKind.ASSERT:
+            site.check(0, bug.message)
+            site.halt()
+        else:  # HANG: tight self-loop, cut off by the step budget
+            site.jump(site_label)
+        cursor = main.block(cont_label)
+
+    if deadlock_here:
+        lock_a, lock_b = "lockA", "lockB"
+        dl_bugs = [(i, k) for i, k in seeded_here if k is BugKind.DEADLOCK]
+        bug_index, _k = dl_bugs[0]
+        trigger = _random_trigger(rng, input_names, config)
+        guard_label, region_label, cont_label = (
+            f"{label}_dg", f"{label}_dl", f"{label}_dc")
+        cursor.jump(guard_label)
+        main.block(guard_label).branch(
+            _trigger_predicate(trigger), region_label, cont_label)
+        region = main.block(region_label)
+        region.store_global("g_enter", 1)
+        region.lock(lock_a)
+        region.assign("t0", _binop("+", Var("t0"), Const(1)))
+        region.lock(lock_b)
+        region.assign("t1", _binop("+", Var("t1"), Const(1)))
+        region.unlock(lock_b)
+        region.unlock(lock_a)
+        region.jump(cont_label)
+        bugs.append(BugSpec(
+            bug_id=f"{prog_name}-b{bug_index}",
+            kind=BugKind.DEADLOCK,
+            site_function="main",
+            site_block=region_label,
+            trigger=trigger,
+            locks=(lock_a, lock_b),
+            trigger_probability=config.input_domain ** -len(trigger),
+            needs_schedule=True,
+        ))
+        cursor = main.block(cont_label)
+
+    cursor.jump(exit_label)
+    else_block.jump(exit_label)
+
+
+def _emit_worker(builder: ProgramBuilder, bugs: List[BugSpec]) -> None:
+    """The second thread of deadlock-seeded programs: waits for main to
+    enter the racy region, then takes the same locks in *opposite*
+    order — the classic AB/BA pattern."""
+    worker = builder.function("worker")
+    entry = worker.block("entry")
+    entry.jump("poll")
+    poll = worker.block("poll")
+    poll.load_global("e", "g_enter")
+    poll.branch(_binop("==", Var("e"), Const(1)), "grab", "checkdone")
+    done = worker.block("checkdone")
+    done.load_global("d", "g_done")
+    done.branch(_binop("==", Var("d"), Const(1)), "out", "poll")
+    grab = worker.block("grab")
+    grab.lock("lockB")
+    grab.assign("w0", 1)
+    grab.lock("lockA")
+    grab.assign("w1", 1)
+    grab.unlock("lockA")
+    grab.unlock("lockB")
+    grab.jump("out")
+    worker.block("out").halt()
+
+
+_RACE_INCREMENTS = 3
+
+
+def _emit_race_segment(main, prog_name, seg, next_label, bug_index,
+                       bugs: List[BugSpec]) -> None:
+    """Main-thread half of the racy counter: an unsynchronized
+    load-increment-store loop over the shared counter."""
+    label = f"seg{seg}"
+    head, body = f"{label}_rhead", f"{label}_rbody"
+    block = main.block(label)
+    block.assign("ri", 0)
+    block.jump(head)
+    main.block(head).branch(
+        _binop("<", Var("ri"), Const(_RACE_INCREMENTS)), body, next_label)
+    bb = main.block(body)
+    bb.load_global("rt", "g_cnt")
+    bb.assign("rt", _binop("+", Var("rt"), Const(1)))
+    bb.store_global("g_cnt", Var("rt"))
+    bb.assign("ri", _binop("+", Var("ri"), Const(1)))
+    bb.jump(head)
+    bugs.append(BugSpec(
+        bug_id=f"{prog_name}-b{bug_index}",
+        kind=BugKind.RACE,
+        site_function="main",
+        site_block=body,
+        needs_schedule=True,
+    ))
+
+
+def _emit_race_worker(builder: ProgramBuilder) -> None:
+    """Worker half: the same unsynchronized increments, then signal."""
+    worker = builder.function("worker")
+    worker.block("entry").assign("wi", 0).jump("whead")
+    worker.block("whead").branch(
+        _binop("<", Var("wi"), Const(_RACE_INCREMENTS)), "wbody", "wdone")
+    wb = worker.block("wbody")
+    wb.load_global("wt", "g_cnt")
+    wb.assign("wt", _binop("+", Var("wt"), Const(1)))
+    wb.store_global("g_cnt", Var("wt"))
+    wb.assign("wi", _binop("+", Var("wi"), Const(1)))
+    wb.jump("whead")
+    done = worker.block("wdone")
+    done.store_global("g_wdone", 1)
+    done.halt()
+
+
+def _random_trigger(rng: random.Random, input_names: Sequence[str],
+                    config: CorpusConfig) -> Dict[str, int]:
+    chosen = rng.sample(list(input_names), config.bug_rarity)
+    return {name: rng.randrange(config.input_domain) for name in sorted(chosen)}
+
+
+def generate_corpus(config: Optional[CorpusConfig] = None,
+                    n_programs: int = 10,
+                    bug_kinds: Sequence[BugKind] = (BugKind.CRASH,),
+                    ) -> List[SeededProgram]:
+    """Generate ``n_programs`` programs, all seeded with ``bug_kinds``."""
+    config = config or CorpusConfig()
+    return [
+        generate_program(f"prog{i:03d}", config, bug_kinds, seed_offset=i)
+        for i in range(n_programs)
+    ]
+
+
+# --------------------------------------------------------------------------
+# Hand-written demo programs (used by examples and tests)
+# --------------------------------------------------------------------------
+
+def make_crash_demo() -> SeededProgram:
+    """A tiny program that crashes iff n == 7 and mode == 2."""
+    b = ProgramBuilder("crash_demo", inputs={"n": (0, 9), "mode": (0, 3)})
+    main = b.function("main")
+    entry = main.block("entry")
+    entry.assign("x", _binop("+", Input("n"), Const(1)))
+    entry.branch(_binop("==", Input("mode"), Const(2)), "m2", "other")
+    m2 = main.block("m2")
+    m2.branch(_binop("==", Input("n"), Const(7)), "boom", "safe")
+    boom = main.block("boom")
+    boom.crash("bug:crash:crash_demo-b0")
+    boom.halt()
+    main.block("safe").assign("x", _binop("*", Var("x"), Const(2))).jump("end")
+    main.block("other").assign("x", 0).jump("end")
+    main.block("end").halt()
+    bug = BugSpec(
+        bug_id="crash_demo-b0", kind=BugKind.CRASH,
+        site_function="main", site_block="boom",
+        trigger={"n": 7, "mode": 2}, trigger_probability=1.0 / 40)
+    return SeededProgram(program=b.build(), bugs=[bug])
+
+
+def make_deadlock_demo() -> SeededProgram:
+    """Two threads taking locks A and B in opposite orders."""
+    b = ProgramBuilder("deadlock_demo", inputs={"go": (0, 1)},
+                       threads=("main", "worker"),
+                       global_vars={"g_enter": 0, "g_done": 0})
+    main = b.function("main")
+    entry = main.block("entry")
+    entry.branch(_binop("==", Input("go"), Const(1)), "region", "end")
+    region = main.block("region")
+    region.store_global("g_enter", 1)
+    region.lock("A")
+    region.assign("x", 1)
+    region.lock("B")
+    region.unlock("B")
+    region.unlock("A")
+    region.jump("end")
+    end = main.block("end")
+    end.store_global("g_done", 1)
+    end.halt()
+
+    worker = b.function("worker")
+    worker.block("entry").jump("poll")
+    poll = worker.block("poll")
+    poll.load_global("e", "g_enter")
+    poll.branch(_binop("==", Var("e"), Const(1)), "grab", "chk")
+    chk = worker.block("chk")
+    chk.load_global("d", "g_done")
+    chk.branch(_binop("==", Var("d"), Const(1)), "out", "poll")
+    grab = worker.block("grab")
+    grab.lock("B")
+    grab.assign("y", 1)
+    grab.lock("A")
+    grab.unlock("A")
+    grab.unlock("B")
+    grab.jump("out")
+    worker.block("out").halt()
+    bug = BugSpec(
+        bug_id="deadlock_demo-b0", kind=BugKind.DEADLOCK,
+        site_function="main", site_block="region",
+        trigger={"go": 1}, locks=("A", "B"), needs_schedule=True,
+        trigger_probability=0.5)
+    return SeededProgram(program=b.build(), bugs=[bug])
+
+
+def make_shortread_demo() -> SeededProgram:
+    """Crashes when read() returns fewer bytes than requested."""
+    b = ProgramBuilder("shortread_demo", inputs={"sz": (1, 64)})
+    main = b.function("main")
+    entry = main.block("entry")
+    entry.syscall("fd", "open", 1)
+    entry.branch(_binop("<", Var("fd"), Const(0)), "end", "doread")
+    doread = main.block("doread")
+    doread.syscall("got", "read", Var("fd"), Input("sz"))
+    doread.branch(_binop("<", Var("got"), Input("sz")), "boom", "end")
+    boom = main.block("boom")
+    boom.crash("bug:short_read:shortread_demo-b0")
+    boom.halt()
+    main.block("end").halt()
+    bug = BugSpec(
+        bug_id="shortread_demo-b0", kind=BugKind.SHORT_READ,
+        site_function="main", site_block="boom", needs_fault=True)
+    return SeededProgram(program=b.build(), bugs=[bug])
+
+
+def make_race_demo() -> SeededProgram:
+    """Two threads increment a shared counter without locking; a final
+    assertion on the total exposes lost updates (schedule-dependent)."""
+    b = ProgramBuilder("race_demo", inputs={"k": (1, 3)},
+                       threads=("main", "worker"),
+                       global_vars={"g_cnt": 0, "g_wdone": 0})
+    main = b.function("main")
+    entry = main.block("entry")
+    entry.assign("i", 0)
+    entry.jump("head")
+    main.block("head").branch(_binop("<", Var("i"), Const(3)),
+                              "body", "wait")
+    body = main.block("body")
+    body.load_global("t", "g_cnt")
+    body.assign("t", _binop("+", Var("t"), Const(1)))
+    body.store_global("g_cnt", Var("t"))
+    body.assign("i", _binop("+", Var("i"), Const(1)))
+    body.jump("head")
+    wait = main.block("wait")
+    wait.load_global("d", "g_wdone")
+    wait.branch(_binop("==", Var("d"), Const(1)), "checkcnt", "wait")
+    chk = main.block("checkcnt")
+    chk.load_global("c", "g_cnt")
+    chk.check(_binop("==", Var("c"), Const(6)),
+              "bug:race:race_demo-b0")
+    chk.halt()
+
+    worker = b.function("worker")
+    worker.block("entry").assign("j", 0).jump("whead")
+    worker.block("whead").branch(_binop("<", Var("j"), Const(3)),
+                                 "wbody", "wdone")
+    wb = worker.block("wbody")
+    wb.load_global("u", "g_cnt")
+    wb.assign("u", _binop("+", Var("u"), Const(1)))
+    wb.store_global("g_cnt", Var("u"))
+    wb.assign("j", _binop("+", Var("j"), Const(1)))
+    wb.jump("whead")
+    done = worker.block("wdone")
+    done.store_global("g_wdone", 1)
+    done.halt()
+
+    bug = BugSpec(
+        bug_id="race_demo-b0", kind=BugKind.RACE,
+        site_function="main", site_block="body",
+        needs_schedule=True)
+    return SeededProgram(program=b.build(), bugs=[bug])

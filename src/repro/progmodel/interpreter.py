@@ -1,0 +1,846 @@
+"""Concrete multi-threaded interpreter for the program IR.
+
+The interpreter plays two roles:
+
+* **Pod-side (live) execution** — run a program on a concrete input
+  vector under a scheduler, emitting the execution *by-products* the
+  paper cares about: one event per input-dependent branch, lock
+  acquire/release events, syscall return values, scheduling decisions,
+  and the execution outcome.
+
+* **Hive-side replay** — run the *same* interpreter with *unknown*
+  inputs, consuming a recorded trace (branch bits, syscall returns,
+  schedule). Untainted ("deterministic") computation is reconstructed
+  concretely; only the recorded bits are consumed at input-dependent
+  decision points. This is exactly the paper's "reconstructing the
+  deterministic branches" step of tree merging (Sec. 3.2), and it never
+  needs a constraint solver because the path really happened.
+
+Values are ``(int | None, tainted: bool)`` pairs: ``None`` appears only
+during replay, for data derived from inputs the hive does not know.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import ExecutionError, ProgramModelError, ScheduleError, TraceError
+from repro.progmodel.ir import (
+    Assert,
+    Assign,
+    BinOp,
+    Branch,
+    Call,
+    Const,
+    Crash,
+    Expr,
+    Halt,
+    Input,
+    Jump,
+    LoadGlobal,
+    Lock,
+    Program,
+    Return,
+    StoreGlobal,
+    Syscall,
+    UnOp,
+    Unlock,
+    Var,
+)
+
+__all__ = [
+    "Outcome", "InputVector", "Environment", "FaultPlan", "ExecutionLimits",
+    "Event", "BranchEvent", "LockEvent", "SyscallEvent", "SchedEvent",
+    "GlobalEvent", "FailureInfo", "ExecutionResult", "Interpreter",
+    "ReplaySource", "TraceExhausted",
+]
+
+
+class Outcome(Enum):
+    """Terminal outcome of one execution — the trace's success label."""
+
+    OK = "ok"
+    CRASH = "crash"
+    ASSERT = "assert"
+    DEADLOCK = "deadlock"
+    HANG = "hang"
+
+    @property
+    def is_failure(self) -> bool:
+        return self is not Outcome.OK
+
+
+InputVector = Dict[str, int]
+
+# A value during interpretation: concrete int (or None when unknown in
+# replay), plus two taint bits. ``ext`` marks data derived from any
+# program-external source (inputs or syscall returns); ``inp`` marks
+# data derived from *inputs* specifically. The distinction matters at
+# replay time: syscall returns travel in the trace, so ext-but-not-inp
+# data is reconstructable by the hive and costs no recorded branch bit,
+# whereas inp data is unknown and each branch on it ships one bit —
+# exactly the paper's "one bit per input-dependent branch".
+Value = Tuple[Optional[int], bool, bool]
+
+
+# --------------------------------------------------------------------------
+# Events (the raw by-products; the tracing layer filters/encodes these)
+# --------------------------------------------------------------------------
+
+@dataclass
+class BranchEvent:
+    """One dynamic conditional decision.
+
+    ``tainted`` marks decisions on program-external data (inputs or
+    syscall returns) — these form the execution's path identity.
+    ``input_dependent`` marks the subset whose direction the hive
+    cannot reconstruct (depends on raw inputs): only those ship one
+    recorded bit each; everything else is rebuilt by replay — the
+    paper's key capture-cost reduction (Sec. 3.1).
+    ``kind`` is "branch" for CFG branches and "assert" for assertion
+    checks, which are conditionals for trace purposes.
+    """
+    thread: int
+    function: str
+    block: str
+    taken: bool
+    tainted: bool
+    kind: str = "branch"
+    input_dependent: bool = False
+
+    @property
+    def site(self) -> Tuple[int, str, str]:
+        return (self.thread, self.function, self.block)
+
+
+@dataclass
+class LockEvent:
+    """op is "acquire" (granted), "release", or "request" (may block)."""
+    thread: int
+    op: str
+    lock_name: str
+    function: str
+    block: str
+
+
+@dataclass
+class SyscallEvent:
+    thread: int
+    name: str
+    value: int
+
+
+@dataclass
+class GlobalEvent:
+    """One shared-variable access: op is "read" or "write".
+
+    ``held_locks`` snapshots the accessing thread's lock set — the
+    input to Eraser-style lockset race detection. Like lock events,
+    these are by-products the hive reconstructs via replay; they cost
+    nothing on the wire.
+    """
+    thread: int
+    op: str
+    name: str
+    function: str
+    block: str
+    held_locks: Tuple[str, ...] = ()
+
+
+@dataclass
+class SchedEvent:
+    """One scheduling decision: which thread ran the next step."""
+    thread: int
+
+
+Event = object  # union of the event classes above; kept loose for speed
+
+
+@dataclass
+class FailureInfo:
+    """Where and why an execution failed."""
+    outcome: Outcome
+    message: str
+    thread: int
+    function: str
+    block: str
+
+
+@dataclass
+class ExecutionResult:
+    """Everything one execution produced.
+
+    ``events`` is the full ordered by-product stream; the tracing layer
+    turns it into a compact wire trace. ``branch_bits`` is the
+    convenience projection used everywhere: the directions of tainted
+    conditionals, in order.
+    """
+    program_name: str
+    program_version: int
+    outcome: Outcome
+    events: List[Event]
+    steps: int
+    failure: Optional[FailureInfo] = None
+    return_values: Dict[int, Optional[int]] = field(default_factory=dict)
+    final_globals: Dict[str, Optional[int]] = field(default_factory=dict)
+
+    @property
+    def branch_bits(self) -> List[bool]:
+        """Directions of input-dependent conditionals — the bit-vector
+        a pod ships (1 bit per branch the hive cannot reconstruct)."""
+        return [e.taken for e in self.events
+                if isinstance(e, BranchEvent) and e.input_dependent]
+
+    @property
+    def branch_events(self) -> List[BranchEvent]:
+        return [e for e in self.events if isinstance(e, BranchEvent)]
+
+    @property
+    def tainted_branch_events(self) -> List[BranchEvent]:
+        return [e for e in self.events
+                if isinstance(e, BranchEvent) and e.tainted]
+
+    @property
+    def lock_events(self) -> List[LockEvent]:
+        return [e for e in self.events if isinstance(e, LockEvent)]
+
+    @property
+    def global_events(self) -> List["GlobalEvent"]:
+        return [e for e in self.events if isinstance(e, GlobalEvent)]
+
+    @property
+    def syscall_values(self) -> List[int]:
+        return [e.value for e in self.events if isinstance(e, SyscallEvent)]
+
+    @property
+    def schedule_picks(self) -> List[int]:
+        return [e.thread for e in self.events if isinstance(e, SchedEvent)]
+
+    @property
+    def path_decisions(self) -> List[Tuple[Tuple[int, str, str], bool]]:
+        """(site, taken) decisions at tainted conditionals — the path
+        identity used by the collective execution tree."""
+        return [(e.site, e.taken) for e in self.events
+                if isinstance(e, BranchEvent) and e.tainted]
+
+
+# --------------------------------------------------------------------------
+# Environment: the syscall model
+# --------------------------------------------------------------------------
+
+@dataclass
+class FaultPlan:
+    """Forces specific syscalls (by global occurrence index) to fail.
+
+    Used by the guidance layer (Sec. 3.3: "system call faults to be
+    injected, e.g. a short socket read()").
+    """
+    forced: Dict[int, int] = field(default_factory=dict)
+
+    def override(self, occurrence: int) -> Optional[int]:
+        return self.forced.get(occurrence)
+
+
+class Environment:
+    """Models the program-external world reachable through syscalls.
+
+    Supported syscalls (all integer in/out):
+
+    * ``open(path_id)`` — returns a fresh fd, or -1 on failure.
+    * ``read(fd, n)`` / ``recv(fd, n)`` — returns bytes transferred;
+      possibly a *short* count (< n) or -1 when faulty.
+    * ``write(fd, n)`` — returns n or -1.
+    * ``close(fd)`` — 0 or -1.
+    * ``time()`` — a monotonically increasing virtual timestamp.
+    * ``rand(m)`` — uniform in [0, m).
+
+    ``fault_rate`` is the natural probability of a degraded result;
+    a :class:`FaultPlan` can force failures deterministically.
+    """
+
+    def __init__(self, rng: Optional[random.Random] = None,
+                 fault_rate: float = 0.0,
+                 fault_plan: Optional[FaultPlan] = None):
+        self._rng = rng if rng is not None else random.Random(0)
+        self.fault_rate = fault_rate
+        self.fault_plan = fault_plan or FaultPlan()
+        self._clock = 0
+        self._next_fd = 3
+        self._occurrence = 0
+
+    def call(self, name: str, args: Sequence[int]) -> int:
+        """Execute one syscall and return its integer result."""
+        occurrence = self._occurrence
+        self._occurrence += 1
+        forced = self.fault_plan.override(occurrence)
+        if forced is not None:
+            return forced
+        faulty = self.fault_rate > 0.0 and self._rng.random() < self.fault_rate
+        return self._dispatch(name, list(args), faulty)
+
+    def _dispatch(self, name: str, args: List[int], faulty: bool) -> int:
+        if name == "open":
+            if faulty:
+                return -1
+            fd = self._next_fd
+            self._next_fd += 1
+            return fd
+        if name in ("read", "recv"):
+            requested = args[1] if len(args) > 1 else (args[0] if args else 0)
+            requested = max(0, requested)
+            if faulty:
+                # Short read: strictly less than requested (possibly 0).
+                return self._rng.randrange(0, requested) if requested > 0 else -1
+            return requested
+        if name == "write":
+            requested = args[1] if len(args) > 1 else (args[0] if args else 0)
+            return -1 if faulty else max(0, requested)
+        if name == "close":
+            return -1 if faulty else 0
+        if name == "time":
+            self._clock += 1
+            return self._clock
+        if name == "rand":
+            bound = args[0] if args and args[0] > 0 else 2
+            return self._rng.randrange(bound)
+        # Unknown syscalls behave as benign no-ops returning 0 (or -1 when
+        # faulty) so corpora can invent descriptive names freely.
+        return -1 if faulty else 0
+
+
+# --------------------------------------------------------------------------
+# Replay source (hive side)
+# --------------------------------------------------------------------------
+
+class TraceExhausted(TraceError):
+    """A replay consumed all recorded bits before the execution ended.
+
+    For full traces this means corruption or a program-version
+    mismatch; for deliberately truncated (privacy-coarsened) traces it
+    is the expected end of the recorded prefix —
+    :meth:`Interpreter.replay_prefix` catches it.
+    """
+
+
+class ReplaySource:
+    """Feeds recorded nondeterminism back into the interpreter.
+
+    Exhaustion of the bit stream mid-replay raises
+    :class:`TraceExhausted` (a :class:`TraceError`): corruption for
+    full traces, the expected end for truncated ones.
+    """
+
+    def __init__(self, branch_bits: Sequence[bool],
+                 syscall_returns: Sequence[int],
+                 schedule_picks: Sequence[int]):
+        self._bits: Iterator[bool] = iter(branch_bits)
+        self._sys: Iterator[int] = iter(syscall_returns)
+        self._sched: Iterator[int] = iter(schedule_picks)
+
+    def next_bit(self) -> bool:
+        try:
+            return next(self._bits)
+        except StopIteration:
+            raise TraceExhausted("replay ran out of branch bits")
+
+    def next_syscall(self) -> int:
+        try:
+            return next(self._sys)
+        except StopIteration:
+            raise TraceError("replay ran out of syscall returns")
+
+    def next_pick(self) -> Optional[int]:
+        try:
+            return next(self._sched)
+        except StopIteration:
+            return None
+
+
+# --------------------------------------------------------------------------
+# Interpreter internals
+# --------------------------------------------------------------------------
+
+@dataclass
+class _Frame:
+    function: str
+    block: str
+    index: int
+    locals: Dict[str, Value]
+    return_dst: Optional[str] = None
+
+
+class _Thread:
+    __slots__ = ("tid", "frames", "status", "blocked_on", "held", "return_value")
+
+    def __init__(self, tid: int, entry_function: str):
+        self.tid = tid
+        self.frames: List[_Frame] = [
+            _Frame(function=entry_function, block="", index=0, locals={})]
+        self.status = "runnable"  # runnable | blocked | done
+        self.blocked_on: Optional[str] = None
+        self.held: List[str] = []
+        self.return_value: Optional[int] = None
+
+
+@dataclass
+class ExecutionLimits:
+    """Bounds that turn non-termination into a HANG outcome."""
+    max_steps: int = 20_000
+    max_call_depth: int = 64
+
+
+class _RoundRobinScheduler:
+    """Default scheduler when none is supplied."""
+
+    def pick(self, step: int, runnable: List[int]) -> int:
+        return runnable[step % len(runnable)]
+
+
+class Interpreter:
+    """Executes a :class:`Program` and collects its by-products.
+
+    One interpreter instance is single-use per ``run``/``replay`` call;
+    it holds no state between executions.
+    """
+
+    def __init__(self, program: Program,
+                 limits: Optional[ExecutionLimits] = None):
+        self.program = program
+        self.limits = limits or ExecutionLimits()
+
+    # -- public entry points -------------------------------------------------
+
+    def run(self, inputs: InputVector,
+            environment: Optional[Environment] = None,
+            scheduler=None) -> ExecutionResult:
+        """Execute concretely on ``inputs`` (pod side)."""
+        self._validate_inputs(inputs)
+        self._inputs = dict(inputs)
+        return self._execute(
+            environment=environment or Environment(),
+            scheduler=scheduler or _RoundRobinScheduler(),
+            replay=None,
+        )
+
+    def replay(self, source: ReplaySource) -> ExecutionResult:
+        """Reconstruct an execution from a recorded trace (hive side)."""
+        self._inputs = {}
+        return self._execute(
+            environment=None,
+            scheduler=None,
+            replay=source,
+        )
+
+    def replay_prefix(self, source: ReplaySource) -> List[Tuple]:
+        """Reconstruct as much of an execution as a (possibly
+        truncated) trace allows; returns the decision-path prefix.
+
+        Used for privacy-coarsened traces (Sec. 3.1): the retained bit
+        prefix still pins down a path *prefix*, which merges into the
+        collective tree as partial evidence.
+        """
+        self._inputs = {}
+        try:
+            result = self._execute(environment=None, scheduler=None,
+                                   replay=source)
+            return result.path_decisions
+        except TraceExhausted:
+            return [(e.site, e.taken) for e in self._partial_events
+                    if isinstance(e, BranchEvent) and e.tainted]
+
+    # -- helpers ----------------------------------------------------------------
+
+    def _validate_inputs(self, inputs: InputVector) -> None:
+        for name, (lo, hi) in self.program.inputs.items():
+            if name not in inputs:
+                raise ExecutionError(f"missing input {name!r}")
+            if not lo <= inputs[name] <= hi:
+                raise ExecutionError(
+                    f"input {name!r}={inputs[name]} outside domain [{lo},{hi}]")
+        for name in inputs:
+            if name not in self.program.inputs:
+                raise ExecutionError(f"unknown input {name!r}")
+
+    # -- main loop -------------------------------------------------------------
+
+    def _execute(self, environment, scheduler, replay) -> ExecutionResult:
+        program = self.program
+        events: List[Event] = []
+        # Exposed for replay_prefix to salvage on TraceExhausted.
+        self._partial_events = events
+        globals_: Dict[str, Value] = {
+            name: (value, False, False) for name, value in program.globals.items()}
+        lock_owner: Dict[str, Optional[int]] = {}
+        threads = [_Thread(tid, entry) for tid, entry in enumerate(program.threads)]
+        self._threads_snapshot = threads
+        for thread in threads:
+            thread.frames[0].block = program.function(thread.frames[0].function).entry
+
+        failure: Optional[FailureInfo] = None
+        outcome: Optional[Outcome] = None
+        steps = 0
+
+        while outcome is None:
+            runnable = [t.tid for t in threads if t.status == "runnable"]
+            if not runnable:
+                if all(t.status == "done" for t in threads):
+                    outcome = Outcome.OK
+                    break
+                blocked = [t for t in threads if t.status == "blocked"]
+                victim = blocked[0]
+                frame = victim.frames[-1]
+                failure = FailureInfo(
+                    Outcome.DEADLOCK,
+                    f"deadlock: thread {victim.tid} blocked on"
+                    f" lock {victim.blocked_on!r}",
+                    victim.tid, frame.function, frame.block)
+                outcome = Outcome.DEADLOCK
+                break
+            if steps >= self.limits.max_steps:
+                frame = threads[runnable[0]].frames[-1]
+                failure = FailureInfo(
+                    Outcome.HANG, "step budget exhausted",
+                    runnable[0], frame.function, frame.block)
+                outcome = Outcome.HANG
+                break
+
+            tid = self._pick_thread(replay, scheduler, steps, runnable)
+            events.append(SchedEvent(tid))
+            steps += 1
+            thread = threads[tid]
+            try:
+                failure = self._step(
+                    thread, threads, globals_, lock_owner, events,
+                    environment, replay)
+            except _ProgramFailure as exc:
+                failure = exc.info
+            if failure is not None:
+                outcome = failure.outcome
+                break
+
+        return ExecutionResult(
+            program_name=program.name,
+            program_version=program.version,
+            outcome=outcome,
+            events=events,
+            steps=steps,
+            failure=failure,
+            return_values={t.tid: t.return_value for t in threads},
+            final_globals={name: value
+                           for name, (value, _e, _i) in globals_.items()},
+        )
+
+    def _pick_thread(self, replay, scheduler, step: int, runnable: List[int]) -> int:
+        if replay is not None:
+            pick = replay.next_pick()
+            if pick is None:
+                # Trace ended with threads still live: the recorded run
+                # stopped here (e.g. HANG cut off at the budget); follow
+                # round-robin for any residual steps.
+                return runnable[step % len(runnable)]
+            if pick not in runnable:
+                raise TraceError(
+                    f"recorded schedule picks thread {pick}, not runnable")
+            return pick
+        pick = scheduler.pick(step, list(runnable))
+        if pick not in runnable:
+            raise ScheduleError(
+                f"scheduler picked thread {pick}, not in runnable set {runnable}")
+        return pick
+
+    # -- single step -------------------------------------------------------------
+
+    def _step(self, thread, threads, globals_, lock_owner, events,
+              environment, replay) -> Optional[FailureInfo]:
+        program = self.program
+        frame = thread.frames[-1]
+        func = program.function(frame.function)
+        block = func.block(frame.block)
+
+        if frame.index < len(block.instructions):
+            instr = block.instructions[frame.index]
+            return self._exec_instruction(
+                instr, thread, frame, globals_, lock_owner, events,
+                environment, replay)
+
+        # Terminator
+        term = block.terminator
+        if isinstance(term, Jump):
+            frame.block = term.target
+            frame.index = 0
+            return None
+        if isinstance(term, Branch):
+            value, ext, inp = self._eval(term.cond, frame, thread, events, replay)
+            taken = self._decide(value, inp, replay)
+            events.append(BranchEvent(
+                thread.tid, frame.function, frame.block, taken, ext,
+                "branch", inp))
+            frame.block = term.then_block if taken else term.else_block
+            frame.index = 0
+            return None
+        if isinstance(term, Return):
+            value, ext, inp = self._eval(term.value, frame, thread, events, replay)
+            thread.frames.pop()
+            if not thread.frames:
+                thread.status = "done"
+                thread.return_value = value
+                self._release_all(thread, lock_owner, threads)
+                return None
+            caller = thread.frames[-1]
+            call = self._current_call(caller)
+            if call.dst is not None:
+                caller.locals[call.dst] = (value, ext, inp)
+            caller.index += 1
+            return None
+        if isinstance(term, Halt):
+            thread.frames.clear()
+            thread.status = "done"
+            self._release_all(thread, lock_owner, threads)
+            return None
+        raise ExecutionError(f"block {frame.block!r} has no terminator")
+
+    def _current_call(self, frame) -> Call:
+        func = self.program.function(frame.function)
+        instr = func.block(frame.block).instructions[frame.index]
+        if not isinstance(instr, Call):
+            raise ExecutionError("return did not land on a Call instruction")
+        return instr
+
+    def _exec_instruction(self, instr, thread, frame, globals_, lock_owner,
+                          events, environment, replay) -> Optional[FailureInfo]:
+        if isinstance(instr, Assign):
+            frame.locals[instr.dst] = self._eval(
+                instr.expr, frame, thread, events, replay)
+            frame.index += 1
+            return None
+
+        if isinstance(instr, StoreGlobal):
+            globals_[instr.name] = self._eval(
+                instr.expr, frame, thread, events, replay)
+            events.append(GlobalEvent(thread.tid, "write", instr.name,
+                                      frame.function, frame.block,
+                                      tuple(thread.held)))
+            frame.index += 1
+            return None
+
+        if isinstance(instr, LoadGlobal):
+            frame.locals[instr.dst] = globals_.get(instr.name, (0, False, False))
+            events.append(GlobalEvent(thread.tid, "read", instr.name,
+                                      frame.function, frame.block,
+                                      tuple(thread.held)))
+            frame.index += 1
+            return None
+
+        if isinstance(instr, Lock):
+            owner = lock_owner.get(instr.lock_name)
+            if owner is None or owner == thread.tid:
+                if owner == thread.tid:
+                    # Re-acquiring a held lock self-deadlocks in this model.
+                    thread.status = "blocked"
+                    thread.blocked_on = instr.lock_name
+                    events.append(LockEvent(thread.tid, "request",
+                                            instr.lock_name, frame.function,
+                                            frame.block))
+                    return None
+                lock_owner[instr.lock_name] = thread.tid
+                thread.held.append(instr.lock_name)
+                events.append(LockEvent(thread.tid, "acquire", instr.lock_name,
+                                        frame.function, frame.block))
+                frame.index += 1
+            else:
+                thread.status = "blocked"
+                thread.blocked_on = instr.lock_name
+                events.append(LockEvent(thread.tid, "request", instr.lock_name,
+                                        frame.function, frame.block))
+            return None
+
+        if isinstance(instr, Unlock):
+            if lock_owner.get(instr.lock_name) != thread.tid:
+                return FailureInfo(
+                    Outcome.CRASH,
+                    f"unlock of lock {instr.lock_name!r} not held",
+                    thread.tid, frame.function, frame.block)
+            lock_owner[instr.lock_name] = None
+            thread.held.remove(instr.lock_name)
+            events.append(LockEvent(thread.tid, "release", instr.lock_name,
+                                    frame.function, frame.block))
+            self._wake_waiters(instr.lock_name)
+            frame.index += 1
+            return None
+
+        if isinstance(instr, Syscall):
+            if replay is not None:
+                value = replay.next_syscall()
+            else:
+                args = []
+                for arg in instr.args:
+                    arg_value, _e, _i = self._eval(arg, frame, thread,
+                                                   events, replay)
+                    if arg_value is None:
+                        raise TraceError("syscall argument unknown during live run")
+                    args.append(arg_value)
+                value = environment.call(instr.name, args)
+            events.append(SyscallEvent(thread.tid, instr.name, value))
+            # Syscall results are program-external (ext) but travel in
+            # the trace, so the hive can reconstruct them (not inp).
+            frame.locals[instr.dst] = (value, True, False)
+            frame.index += 1
+            return None
+
+        if isinstance(instr, Assert):
+            value, ext, inp = self._eval(instr.cond, frame, thread, events, replay)
+            passed = self._decide(value, inp, replay)
+            events.append(BranchEvent(
+                thread.tid, frame.function, frame.block, passed, ext,
+                "assert", inp))
+            if not passed:
+                return FailureInfo(Outcome.ASSERT, instr.message,
+                                   thread.tid, frame.function, frame.block)
+            frame.index += 1
+            return None
+
+        if isinstance(instr, Crash):
+            return FailureInfo(Outcome.CRASH, instr.message,
+                               thread.tid, frame.function, frame.block)
+
+        if isinstance(instr, Call):
+            if len(thread.frames) >= self.limits.max_call_depth:
+                return FailureInfo(Outcome.CRASH, "call depth exceeded",
+                                   thread.tid, frame.function, frame.block)
+            callee = self.program.function(instr.callee)
+            local_values = {}
+            for param, arg in zip(callee.params, instr.args):
+                local_values[param] = self._eval(arg, frame, thread, events, replay)
+            thread.frames.append(_Frame(
+                function=instr.callee, block=callee.entry, index=0,
+                locals=local_values, return_dst=instr.dst))
+            return None
+
+        raise ExecutionError(f"unknown instruction {instr!r}")
+
+    def _wake_waiters(self, lock_name: str) -> None:
+        # Threads blocked on this lock become runnable again; they will
+        # retry the Lock instruction when next scheduled.
+        for thread in self._threads_snapshot:
+            if thread.status == "blocked" and thread.blocked_on == lock_name:
+                thread.status = "runnable"
+                thread.blocked_on = None
+
+    def _release_all(self, thread, lock_owner, threads) -> None:
+        # A finished thread releases anything it still holds, so model
+        # programs that forget an Unlock do not wedge the whole run.
+        for lock_name in list(thread.held):
+            lock_owner[lock_name] = None
+            self._wake_waiters(lock_name)
+        thread.held.clear()
+
+    # -- decisions -------------------------------------------------------------
+
+    def _decide(self, value, input_dependent, replay) -> bool:
+        """Resolve a conditional: concrete when the value is known,
+        otherwise consume the next recorded bit (replay of an
+        input-dependent decision)."""
+        if value is not None:
+            return value != 0
+        if replay is None:
+            raise ExecutionError("unknown value outside replay mode")
+        if not input_dependent:
+            raise TraceError("non-input condition has unknown value")
+        return replay.next_bit()
+
+    # -- expression evaluation ------------------------------------------------
+
+    def _eval(self, expr: Expr, frame, thread, events, replay) -> Value:
+        if isinstance(expr, Const):
+            return (expr.value, False, False)
+        if isinstance(expr, Var):
+            try:
+                return frame.locals[expr.name]
+            except KeyError:
+                # Uninitialised locals read as 0, like the paper's C-ish
+                # target language would after memset — keeps generated
+                # corpora robust.
+                return (0, False, False)
+        if isinstance(expr, Input):
+            if replay is not None:
+                return (None, True, True)
+            return self._input_value(expr.name)
+        if isinstance(expr, UnOp):
+            value, ext, inp = self._eval(expr.operand, frame, thread,
+                                         events, replay)
+            if value is None:
+                return (None, True, True)
+            if expr.op == "neg":
+                return (-value, ext, inp)
+            return (int(value == 0), ext, inp)
+        if isinstance(expr, BinOp):
+            left, le, li = self._eval(expr.left, frame, thread, events, replay)
+            right, re_, ri = self._eval(expr.right, frame, thread, events, replay)
+            ext, inp = le or re_, li or ri
+            if left is None or right is None:
+                return (None, True, True)
+            return (self._apply(expr.op, left, right, thread, frame), ext, inp)
+        raise ExecutionError(f"cannot evaluate {expr!r}")
+
+    def _input_value(self, name: str) -> Value:
+        value = self._inputs.get(name)
+        if value is None:
+            raise ExecutionError(f"input {name!r} not supplied")
+        return (value, True, True)
+
+    def _apply(self, op: str, left: int, right: int, thread, frame) -> int:
+        if op == "+":
+            return left + right
+        if op == "-":
+            return left - right
+        if op == "*":
+            return left * right
+        if op == "//":
+            if right == 0:
+                raise _ProgramFailure(FailureInfo(
+                    Outcome.CRASH, "division by zero",
+                    thread.tid, frame.function, frame.block))
+            return left // right
+        if op == "%":
+            if right == 0:
+                raise _ProgramFailure(FailureInfo(
+                    Outcome.CRASH, "modulo by zero",
+                    thread.tid, frame.function, frame.block))
+            return left % right
+        if op == "==":
+            return int(left == right)
+        if op == "!=":
+            return int(left != right)
+        if op == "<":
+            return int(left < right)
+        if op == "<=":
+            return int(left <= right)
+        if op == ">":
+            return int(left > right)
+        if op == ">=":
+            return int(left >= right)
+        if op == "and":
+            return int(bool(left) and bool(right))
+        if op == "or":
+            return int(bool(left) or bool(right))
+        if op == "min":
+            return min(left, right)
+        if op == "max":
+            return max(left, right)
+        raise ExecutionError(f"unknown operator {op!r}")
+
+    # The concrete input vector is installed by run(); kept as an
+    # attribute so _eval does not need an extra parameter on every call.
+    _inputs: InputVector = {}
+    _threads_snapshot: List[_Thread] = []
+
+
+class _ProgramFailure(Exception):
+    """Internal control-flow: a program-level failure mid-evaluation."""
+
+    def __init__(self, info: FailureInfo):
+        super().__init__(info.message)
+        self.info = info

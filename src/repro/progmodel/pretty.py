@@ -1,0 +1,137 @@
+"""Human-readable rendering of IR programs.
+
+Used by the CLI and examples to show what a (generated or fixed)
+program actually looks like, and invaluable when debugging corpus
+generation — the output reads like annotated pseudo-assembly::
+
+    program crash_demo v1  threads=(main)  inputs: n in [0,9], ...
+    fn main():
+      entry:
+        x = (n + 1)
+        br (mode == 2) ? m2 : other
+      m2:
+        br (n == 7) ? boom : safe
+      boom:
+        crash "bug:crash:crash_demo-b0"
+        halt
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.progmodel.ir import (
+    Assert,
+    Assign,
+    BinOp,
+    Branch,
+    Call,
+    Const,
+    Crash,
+    Expr,
+    Function,
+    Halt,
+    Input,
+    Jump,
+    LoadGlobal,
+    Lock,
+    Program,
+    Return,
+    StoreGlobal,
+    Syscall,
+    UnOp,
+    Unlock,
+    Var,
+)
+
+__all__ = ["format_expr", "format_program", "format_function"]
+
+
+def format_expr(expr: Expr) -> str:
+    """Infix rendering with minimal parentheses."""
+    if isinstance(expr, Const):
+        return str(expr.value)
+    if isinstance(expr, Var):
+        return expr.name
+    if isinstance(expr, Input):
+        return f"${expr.name}"
+    if isinstance(expr, UnOp):
+        inner = format_expr(expr.operand)
+        return f"-({inner})" if expr.op == "neg" else f"!({inner})"
+    if isinstance(expr, BinOp):
+        if expr.op in ("min", "max"):
+            return (f"{expr.op}({format_expr(expr.left)},"
+                    f" {format_expr(expr.right)})")
+        return f"({format_expr(expr.left)} {expr.op} {format_expr(expr.right)})"
+    return repr(expr)
+
+
+def _format_instruction(instr) -> str:
+    if isinstance(instr, Assign):
+        return f"{instr.dst} = {format_expr(instr.expr)}"
+    if isinstance(instr, StoreGlobal):
+        return f"g[{instr.name}] = {format_expr(instr.expr)}"
+    if isinstance(instr, LoadGlobal):
+        return f"{instr.dst} = g[{instr.name}]"
+    if isinstance(instr, Lock):
+        return f"lock {instr.lock_name}"
+    if isinstance(instr, Unlock):
+        return f"unlock {instr.lock_name}"
+    if isinstance(instr, Syscall):
+        args = ", ".join(format_expr(a) for a in instr.args)
+        return f"{instr.dst} = sys.{instr.name}({args})"
+    if isinstance(instr, Assert):
+        return f'assert {format_expr(instr.cond)} "{instr.message}"'
+    if isinstance(instr, Crash):
+        return f'crash "{instr.message}"'
+    if isinstance(instr, Call):
+        args = ", ".join(format_expr(a) for a in instr.args)
+        target = f"{instr.dst} = " if instr.dst else ""
+        return f"{target}{instr.callee}({args})"
+    return repr(instr)
+
+
+def _format_terminator(term) -> str:
+    if isinstance(term, Branch):
+        return (f"br {format_expr(term.cond)}"
+                f" ? {term.then_block} : {term.else_block}")
+    if isinstance(term, Jump):
+        return f"jmp {term.target}"
+    if isinstance(term, Return):
+        return f"ret {format_expr(term.value)}"
+    if isinstance(term, Halt):
+        return "halt"
+    return repr(term)
+
+
+def format_function(func: Function, indent: str = "  ") -> str:
+    params = ", ".join(func.params)
+    lines: List[str] = [f"fn {func.name}({params}):"]
+    # Entry first, then the rest alphabetically — stable and readable.
+    labels = [func.entry] + sorted(l for l in func.blocks
+                                   if l != func.entry)
+    for label in labels:
+        block = func.blocks[label]
+        lines.append(f"{indent}{label}:")
+        for instr in block.instructions:
+            lines.append(f"{indent}{indent}{_format_instruction(instr)}")
+        if block.terminator is not None:
+            lines.append(
+                f"{indent}{indent}{_format_terminator(block.terminator)}")
+    return "\n".join(lines)
+
+
+def format_program(program: Program) -> str:
+    inputs = ", ".join(f"{name} in [{lo},{hi}]"
+                       for name, (lo, hi) in sorted(program.inputs.items()))
+    header = (f"program {program.name} v{program.version}"
+              f"  threads=({', '.join(program.threads)})")
+    if inputs:
+        header += f"\ninputs: {inputs}"
+    if program.globals:
+        init = ", ".join(f"{n}={v}"
+                         for n, v in sorted(program.globals.items()))
+        header += f"\nglobals: {init}"
+    bodies = [format_function(program.functions[name])
+              for name in sorted(program.functions)]
+    return header + "\n\n" + "\n\n".join(bodies)

@@ -1,0 +1,28 @@
+"""Cumulative proofs (paper Sec. 3.3).
+
+"A complete exploration of all paths leads to a proof, while a test is
+just a weaker proof that covers a smaller subset of the paths." The
+prover unifies the two: every witnessed execution is proof evidence for
+its path; the symbolic engine supplies the denominator (the feasible
+path set) and checks completeness; a property is *proved* when every
+feasible path has been witnessed and none violates it, and *refuted*
+the moment a counterexample path is observed. Deploying a fix bumps the
+program version and invalidates outstanding proofs, which then re-build
+against the fixed program.
+"""
+
+from repro.proofs.properties import (
+    ALWAYS_TERMINATES,
+    NEVER_CRASHES,
+    NEVER_DEADLOCKS,
+    NO_FAILURES,
+    OutcomeProperty,
+)
+from repro.proofs.proof import Proof, ProofStatus
+from repro.proofs.prover import CumulativeProver, ProofLedger
+
+__all__ = [
+    "OutcomeProperty", "NEVER_CRASHES", "NEVER_DEADLOCKS",
+    "ALWAYS_TERMINATES", "NO_FAILURES",
+    "Proof", "ProofStatus", "CumulativeProver", "ProofLedger",
+]

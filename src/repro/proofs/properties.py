@@ -1,0 +1,48 @@
+"""Behavioural properties SoftBorg proves about programs.
+
+Properties are predicates over execution *outcomes*; a property holds
+for a program iff it holds on every feasible path. This is exactly the
+class of property the paper's examples use (absence of deadlock,
+absence of crashes), kept deliberately outcome-shaped so both the
+symbolic oracle and concrete executions can check it uniformly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet
+
+from repro.progmodel.interpreter import Outcome
+
+__all__ = [
+    "OutcomeProperty", "NEVER_CRASHES", "NEVER_DEADLOCKS",
+    "ALWAYS_TERMINATES", "NO_FAILURES",
+]
+
+
+@dataclass(frozen=True)
+class OutcomeProperty:
+    """A property violated exactly by the listed outcomes."""
+
+    name: str
+    forbidden: FrozenSet[Outcome]
+
+    def holds_for(self, outcome: Outcome) -> bool:
+        return outcome not in self.forbidden
+
+    def __str__(self) -> str:
+        return self.name
+
+
+NEVER_CRASHES = OutcomeProperty(
+    "never-crashes", frozenset({Outcome.CRASH, Outcome.ASSERT}))
+
+NEVER_DEADLOCKS = OutcomeProperty(
+    "never-deadlocks", frozenset({Outcome.DEADLOCK}))
+
+ALWAYS_TERMINATES = OutcomeProperty(
+    "always-terminates", frozenset({Outcome.HANG, Outcome.DEADLOCK}))
+
+NO_FAILURES = OutcomeProperty(
+    "no-failures", frozenset({Outcome.CRASH, Outcome.ASSERT,
+                              Outcome.DEADLOCK, Outcome.HANG}))

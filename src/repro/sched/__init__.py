@@ -1,0 +1,24 @@
+"""Thread scheduling substrate.
+
+Schedulers decide which runnable thread executes the next instruction.
+The interleaving is part of an execution's identity (paper Sec. 3.2:
+different interleavings "weave different executions out of otherwise
+identical thread-level execution paths"), so schedulers are explicit,
+seeded objects rather than hidden nondeterminism.
+"""
+
+from repro.sched.schedule import Schedule
+from repro.sched.scheduler import (
+    FixedScheduler,
+    PCTScheduler,
+    RandomScheduler,
+    RoundRobinScheduler,
+)
+
+__all__ = [
+    "Schedule",
+    "RoundRobinScheduler",
+    "RandomScheduler",
+    "FixedScheduler",
+    "PCTScheduler",
+]

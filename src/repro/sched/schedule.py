@@ -1,0 +1,54 @@
+"""Schedule value objects.
+
+A :class:`Schedule` is the recorded sequence of thread picks of one
+execution — the "thread schedule summary" the paper includes in trace
+by-products (Sec. 3.1). It is hashable so scheduling decisions can be
+deduplicated, bucketed, and compared across runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Tuple
+
+__all__ = ["Schedule"]
+
+
+@dataclass(frozen=True)
+class Schedule:
+    """An ordered sequence of thread ids, one per executed step."""
+
+    picks: Tuple[int, ...]
+
+    @classmethod
+    def from_picks(cls, picks: Iterable[int]) -> "Schedule":
+        return cls(picks=tuple(picks))
+
+    def __len__(self) -> int:
+        return len(self.picks)
+
+    def context_switches(self) -> int:
+        """Number of adjacent pick pairs that change thread — a cheap
+        proxy for how "adversarial" an interleaving is."""
+        return sum(1 for a, b in zip(self.picks, self.picks[1:]) if a != b)
+
+    def signature(self) -> Tuple[Tuple[int, int], ...]:
+        """Run-length encoding of the picks: ((thread, run_len), ...).
+
+        Two schedules with the same signature context-switch at the
+        same points; this is the compact form shipped in traces.
+        """
+        encoded = []
+        for pick in self.picks:
+            if encoded and encoded[-1][0] == pick:
+                encoded[-1][1] += 1
+            else:
+                encoded.append([pick, 1])
+        return tuple((thread, length) for thread, length in encoded)
+
+    @classmethod
+    def from_signature(cls, signature) -> "Schedule":
+        picks = []
+        for thread, length in signature:
+            picks.extend([thread] * length)
+        return cls(picks=tuple(picks))

@@ -1,0 +1,103 @@
+"""Scheduler implementations.
+
+All schedulers expose one method::
+
+    pick(step: int, runnable: List[int]) -> int
+
+``runnable`` is always non-empty and sorted by thread id; the returned
+id must be a member. Schedulers are deliberately ignorant of program
+state — interleaving-dependent behaviour (deadlocks) emerges from the
+program, not from scheduler cleverness.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+from repro.errors import ScheduleError
+
+__all__ = [
+    "RoundRobinScheduler", "RandomScheduler", "FixedScheduler", "PCTScheduler",
+]
+
+
+class RoundRobinScheduler:
+    """Cycles through runnable threads — the maximally fair baseline.
+
+    Alternating at instruction granularity is also, conveniently, quite
+    good at driving AB/BA lock patterns into actual deadlock.
+    """
+
+    def pick(self, step: int, runnable: List[int]) -> int:
+        return runnable[step % len(runnable)]
+
+
+class RandomScheduler:
+    """Uniform random choice at every step (seeded)."""
+
+    def __init__(self, rng: Optional[random.Random] = None, seed: int = 0):
+        self._rng = rng if rng is not None else random.Random(seed)
+
+    def pick(self, step: int, runnable: List[int]) -> int:
+        return self._rng.choice(runnable)
+
+
+class FixedScheduler:
+    """Follows a fixed pick sequence; falls back to round-robin when the
+    sequence is exhausted or names a non-runnable thread.
+
+    Used to re-drive a pod down a previously observed interleaving
+    (execution guidance toward known-dangerous schedules).
+    """
+
+    def __init__(self, picks: Sequence[int], strict: bool = False):
+        self._picks = list(picks)
+        self._strict = strict
+        self._index = 0
+
+    def pick(self, step: int, runnable: List[int]) -> int:
+        while self._index < len(self._picks):
+            candidate = self._picks[self._index]
+            self._index += 1
+            if candidate in runnable:
+                return candidate
+            if self._strict:
+                raise ScheduleError(
+                    f"fixed schedule pick {candidate} not runnable")
+        return runnable[step % len(runnable)]
+
+
+class PCTScheduler:
+    """Probabilistic Concurrency Testing (simplified Burckhardt et al.).
+
+    Each thread gets a random priority; the highest-priority runnable
+    thread always runs, except at ``depth - 1`` randomly chosen step
+    indices ("change points") where the running thread's priority is
+    demoted below all others. PCT finds depth-d concurrency bugs with
+    provable probability; SoftBorg's guidance layer uses it to steer
+    pods toward rare interleavings (paper Sec. 3.3).
+    """
+
+    def __init__(self, n_threads: int, depth: int = 2,
+                 max_steps: int = 10_000,
+                 rng: Optional[random.Random] = None, seed: int = 0):
+        if n_threads < 1:
+            raise ScheduleError("PCT needs at least one thread")
+        if depth < 1:
+            raise ScheduleError("PCT depth must be >= 1")
+        self._rng = rng if rng is not None else random.Random(seed)
+        priorities = list(range(depth, depth + n_threads))
+        self._rng.shuffle(priorities)
+        self._priority = {tid: priorities[tid] for tid in range(n_threads)}
+        self._change_points = set(
+            self._rng.randrange(max_steps) for _ in range(depth - 1))
+        self._next_low = 0
+
+    def pick(self, step: int, runnable: List[int]) -> int:
+        best = max(runnable, key=lambda tid: self._priority.get(tid, 0))
+        if step in self._change_points:
+            self._next_low -= 1
+            self._priority[best] = self._next_low
+            best = max(runnable, key=lambda tid: self._priority.get(tid, 0))
+        return best

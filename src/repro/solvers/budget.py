@@ -1,0 +1,59 @@
+"""Deterministic virtual-cost metering for SAT solvers.
+
+Wall-clock time is noisy and machine-dependent; every solver in this
+package instead charges a :class:`CostMeter` one unit per primitive
+operation (decision, clause visit during propagation, flip, probe).
+Costs are therefore exactly reproducible, and "10x speedup" claims are
+statements about work, not about the benchmark host.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, Optional
+
+__all__ = ["BudgetExceeded", "CostMeter", "SolveStatus", "SolveResult"]
+
+
+class BudgetExceeded(Exception):
+    """Raised internally when a solver exhausts its cost budget."""
+
+
+class CostMeter:
+    """Counts virtual work units against an optional budget."""
+
+    def __init__(self, budget: Optional[int] = None):
+        self.cost = 0
+        self.budget = budget
+
+    def charge(self, units: int = 1) -> None:
+        self.cost += units
+        if self.budget is not None and self.cost > self.budget:
+            raise BudgetExceeded()
+
+    def remaining(self) -> Optional[int]:
+        if self.budget is None:
+            return None
+        return max(0, self.budget - self.cost)
+
+
+class SolveStatus(Enum):
+    SAT = "sat"
+    UNSAT = "unsat"
+    TIMEOUT = "timeout"   # budget exhausted before an answer
+
+
+@dataclass
+class SolveResult:
+    """Outcome of one solver on one instance."""
+
+    status: SolveStatus
+    cost: int
+    model: Optional[Dict[int, bool]] = None
+    solver_name: str = ""
+    instance_name: str = ""
+
+    @property
+    def solved(self) -> bool:
+        return self.status in (SolveStatus.SAT, SolveStatus.UNSAT)

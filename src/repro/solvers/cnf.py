@@ -1,0 +1,208 @@
+"""CNF formulas and instance generators.
+
+Variables are integers 1..n; literals are nonzero ints (negative =
+negated), DIMACS style. The generators produce the three instance
+families whose *complementary* hardness profiles drive the portfolio
+experiment:
+
+* :func:`random_ksat` — uniform random k-SAT; near the phase-transition
+  ratio these are easy for stochastic local search when satisfiable but
+  painful for systematic search.
+* :func:`implication_chain` — a masked-UNSAT implication cycle buried
+  in decoy clauses; failed-literal probing refutes it at the root.
+* :func:`pigeonhole` / :func:`graph_coloring` — structured instances
+  where systematic DPLL search (and its pruning) dominates, and local
+  search flounders (pigeonhole is unsatisfiable outright).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.errors import SolverError
+
+__all__ = [
+    "CNF", "evaluate", "random_ksat", "pigeonhole", "implication_chain",
+    "graph_coloring",
+]
+
+Clause = Tuple[int, ...]
+Assignment = Dict[int, bool]
+
+
+@dataclass(frozen=True)
+class CNF:
+    """An immutable CNF formula."""
+
+    n_vars: int
+    clauses: Tuple[Clause, ...]
+    name: str = ""
+    family: str = ""
+
+    def __post_init__(self):
+        for clause in self.clauses:
+            for lit in clause:
+                if lit == 0 or abs(lit) > self.n_vars:
+                    raise SolverError(
+                        f"literal {lit} out of range for {self.n_vars} vars")
+
+    @property
+    def n_clauses(self) -> int:
+        return len(self.clauses)
+
+    def variables(self) -> range:
+        return range(1, self.n_vars + 1)
+
+
+def evaluate(cnf: CNF, assignment: Assignment) -> bool:
+    """True iff ``assignment`` (total or partial-with-all-needed-vars)
+    satisfies every clause."""
+    for clause in cnf.clauses:
+        if not any(assignment.get(abs(lit), None) == (lit > 0)
+                   for lit in clause):
+            return False
+    return True
+
+
+def random_ksat(n_vars: int, n_clauses: int, k: int = 3,
+                rng: Optional[random.Random] = None,
+                force_satisfiable: bool = False,
+                name: str = "") -> CNF:
+    """Uniform random k-SAT.
+
+    With ``force_satisfiable`` a hidden assignment is planted: every
+    clause is redrawn until the planted assignment satisfies it, giving
+    a guaranteed-SAT instance with random-looking structure (the family
+    WalkSAT eats for breakfast).
+    """
+    rng = rng if rng is not None else random.Random(0)
+    if k > n_vars:
+        raise SolverError(f"k={k} exceeds n_vars={n_vars}")
+    planted = {v: rng.random() < 0.5 for v in range(1, n_vars + 1)}
+    clauses: List[Clause] = []
+    for _ in range(n_clauses):
+        while True:
+            chosen = rng.sample(range(1, n_vars + 1), k)
+            clause = tuple(v if rng.random() < 0.5 else -v for v in chosen)
+            if not force_satisfiable:
+                break
+            if any(planted[abs(lit)] == (lit > 0) for lit in clause):
+                break
+        clauses.append(clause)
+    return CNF(n_vars=n_vars, clauses=tuple(clauses),
+               name=name or f"rand{k}sat-{n_vars}v{n_clauses}c",
+               family="random")
+
+
+def pigeonhole(holes: int, name: str = "") -> CNF:
+    """PHP(holes+1, holes): provably unsatisfiable, exponential for
+    resolution-based solvers — the classic systematic-search stressor.
+
+    Variable p(i,j) = pigeon i sits in hole j, i in [0,holes], j in
+    [0,holes-1], numbered 1 + i*holes + j.
+    """
+    pigeons = holes + 1
+
+    def var(i: int, j: int) -> int:
+        return 1 + i * holes + j
+
+    clauses: List[Clause] = []
+    for i in range(pigeons):
+        clauses.append(tuple(var(i, j) for j in range(holes)))
+    for j in range(holes):
+        for i1 in range(pigeons):
+            for i2 in range(i1 + 1, pigeons):
+                clauses.append((-var(i1, j), -var(i2, j)))
+    return CNF(n_vars=pigeons * holes, clauses=tuple(clauses),
+               name=name or f"php-{holes}", family="structured")
+
+
+def implication_chain(chain_vars: int, decoy_vars: int,
+                      decoy_ratio: float = 4.2,
+                      rng=None,
+                      name: str = "") -> CNF:
+    """A masked-UNSAT implication cycle — the failed-literal family.
+
+    Construction: variables 1..chain_vars form a binary equivalence
+    cycle (all chain variables must be equal), plus two binary clauses
+    excluding both the all-true and all-false solutions, making the
+    chain subformula UNSAT on its own. The chain is masked by a dense,
+    *satisfiable-looking* planted random 3-SAT instance over disjoint
+    decoy variables whose high literal counts attract clause-counting
+    branching heuristics.
+
+    Complementarity rationale:
+
+    * a failed-literal prober refutes the instance at the root: probing
+      any chain variable unit-propagates the whole cycle into a
+      conflict for *both* polarities — cost linear in the chain,
+      independent of the decoys;
+    * plain DPLL is drawn into the decoy subspace first (its clause
+      score dwarfs the chain's) and re-derives the chain refutation
+      under exponentially many decoy assignments;
+    * local search cannot prove UNSAT at all and burns its budget.
+    """
+    rng = rng if rng is not None else random.Random(0)
+    if chain_vars < 4:
+        raise SolverError("implication_chain needs at least 4 chain vars")
+    if decoy_vars < 3:
+        raise SolverError("implication_chain needs at least 3 decoy vars")
+    clauses: List[Clause] = []
+    # Equivalence cycle over chain variables: v_i <-> v_{i+1}.
+    for v in range(1, chain_vars):
+        clauses.append((-v, v + 1))
+        clauses.append((v, -(v + 1)))
+    clauses.append((-chain_vars, 1))
+    clauses.append((chain_vars, -1))
+    # Exclude the two all-equal assignments -> chain core is UNSAT.
+    mid = max(2, chain_vars // 2)
+    clauses.append((-1, -mid))
+    clauses.append((1, mid))
+    # Decoy block: planted (guaranteed-satisfiable) dense random 3-SAT
+    # over variables chain_vars+1 .. chain_vars+decoy_vars.
+    first_decoy = chain_vars + 1
+    planted = {v: rng.random() < 0.5
+               for v in range(first_decoy, first_decoy + decoy_vars)}
+    n_decoy_clauses = int(decoy_ratio * decoy_vars)
+    for _ in range(n_decoy_clauses):
+        while True:
+            chosen = rng.sample(range(first_decoy, first_decoy + decoy_vars),
+                                min(3, decoy_vars))
+            clause = tuple(v if rng.random() < 0.5 else -v for v in chosen)
+            if any(planted[abs(lit)] == (lit > 0) for lit in clause):
+                break
+        clauses.append(clause)
+    rng.shuffle(clauses)
+    return CNF(n_vars=chain_vars + decoy_vars, clauses=tuple(clauses),
+               name=name or f"chain-{chain_vars}+{decoy_vars}",
+               family="implication")
+
+
+def graph_coloring(n_nodes: int, edge_probability: float, colors: int,
+                   rng: Optional[random.Random] = None,
+                   name: str = "") -> CNF:
+    """Random-graph k-coloring. Variable c(v,k) = node v has color k.
+
+    Near-critical edge densities give hard-but-structured instances
+    where systematic search with propagation does well.
+    """
+    rng = rng if rng is not None else random.Random(0)
+
+    def var(node: int, color: int) -> int:
+        return 1 + node * colors + color
+
+    clauses: List[Clause] = []
+    for node in range(n_nodes):
+        clauses.append(tuple(var(node, c) for c in range(colors)))
+        for c1 in range(colors):
+            for c2 in range(c1 + 1, colors):
+                clauses.append((-var(node, c1), -var(node, c2)))
+    for a in range(n_nodes):
+        for b in range(a + 1, n_nodes):
+            if rng.random() < edge_probability:
+                for c in range(colors):
+                    clauses.append((-var(a, c), -var(b, c)))
+    return CNF(n_vars=n_nodes * colors, clauses=tuple(clauses),
+               name=name or f"color-{n_nodes}n{colors}c", family="structured")

@@ -1,0 +1,155 @@
+"""Systematic DPLL with unit propagation and Jeroslow-Wang branching.
+
+The portfolio's "structured instance" specialist: complete (can prove
+UNSAT), with propagation that exploits clause structure. Deliberately
+*without* failed-literal probing (that is :class:`LookaheadSolver`'s
+niche) and without clause learning — it represents the plain systematic
+baseline the paper's portfolio argument starts from.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Tuple
+
+from repro.solvers.budget import (
+    BudgetExceeded, CostMeter, SolveResult, SolveStatus,
+)
+from repro.solvers.cnf import CNF
+
+__all__ = ["DPLLSolver"]
+
+Assignment = Dict[int, bool]
+
+
+class _Conflict(Exception):
+    pass
+
+
+class DPLLSolver:
+    """Recursive DPLL. ``heuristic`` is "jw" (Jeroslow-Wang, default)
+    or "random" (seeded uniform choice)."""
+
+    def __init__(self, heuristic: str = "jw", seed: int = 0):
+        if heuristic not in ("jw", "random"):
+            raise ValueError(f"unknown heuristic {heuristic!r}")
+        self.heuristic = heuristic
+        self.seed = seed
+        self.name = f"dpll-{heuristic}"
+
+    def solve(self, cnf: CNF, budget: Optional[int] = None) -> SolveResult:
+        meter = CostMeter(budget)
+        rng = random.Random(self.seed)
+        # watch lists: literal -> clause indices containing it
+        occurrences: Dict[int, List[int]] = {}
+        for idx, clause in enumerate(cnf.clauses):
+            for lit in clause:
+                occurrences.setdefault(lit, []).append(idx)
+        try:
+            assignment: Assignment = {}
+            trail: List[int] = []
+            self._propagate_initial(cnf, assignment, trail, meter)
+            if self._search(cnf, occurrences, assignment, meter, rng):
+                model = dict(assignment)
+                for v in cnf.variables():
+                    model.setdefault(v, False)
+                return SolveResult(SolveStatus.SAT, meter.cost, model,
+                                   self.name, cnf.name)
+            return SolveResult(SolveStatus.UNSAT, meter.cost, None,
+                               self.name, cnf.name)
+        except BudgetExceeded:
+            return SolveResult(SolveStatus.TIMEOUT,
+                               budget if budget is not None else meter.cost,
+                               None, self.name, cnf.name)
+        except _Conflict:
+            # Top-level conflict during initial unit propagation.
+            return SolveResult(SolveStatus.UNSAT, meter.cost, None,
+                               self.name, cnf.name)
+
+    # -- internals ---------------------------------------------------------------
+
+    def _propagate_initial(self, cnf, assignment, trail, meter) -> None:
+        for clause in cnf.clauses:
+            meter.charge()
+            if len(clause) == 1:
+                lit = clause[0]
+                var, value = abs(lit), lit > 0
+                if assignment.get(var, value) != value:
+                    raise _Conflict()
+                if var not in assignment:
+                    assignment[var] = value
+                    trail.append(var)
+        self._propagate(cnf, assignment, trail, meter)
+
+    def _propagate(self, cnf, assignment, trail, meter) -> None:
+        """Exhaustive unit propagation; raises _Conflict on empty clause."""
+        changed = True
+        while changed:
+            changed = False
+            for clause in cnf.clauses:
+                meter.charge()
+                unassigned = None
+                satisfied = False
+                count = 0
+                for lit in clause:
+                    value = assignment.get(abs(lit))
+                    if value is None:
+                        unassigned = lit
+                        count += 1
+                        if count > 1:
+                            break
+                    elif value == (lit > 0):
+                        satisfied = True
+                        break
+                if satisfied or count > 1:
+                    continue
+                if count == 0:
+                    raise _Conflict()
+                var, value = abs(unassigned), unassigned > 0
+                assignment[var] = value
+                trail.append(var)
+                changed = True
+
+    def _pick(self, cnf, assignment, meter, rng) -> Optional[Tuple[int, bool]]:
+        if self.heuristic == "random":
+            unassigned = [v for v in cnf.variables() if v not in assignment]
+            meter.charge(len(unassigned) // 8 + 1)
+            if not unassigned:
+                return None
+            return rng.choice(unassigned), rng.random() < 0.5
+        # Jeroslow-Wang: score literals by sum over clauses of 2^-|c|.
+        scores: Dict[int, float] = {}
+        for clause in cnf.clauses:
+            meter.charge()
+            satisfied = any(assignment.get(abs(lit)) == (lit > 0)
+                            for lit in clause)
+            if satisfied:
+                continue
+            weight = 2.0 ** -len(clause)
+            for lit in clause:
+                if abs(lit) not in assignment:
+                    scores[lit] = scores.get(lit, 0.0) + weight
+        if not scores:
+            return None
+        best = max(scores, key=lambda lit: (scores[lit], -abs(lit), lit > 0))
+        return abs(best), best > 0
+
+    def _search(self, cnf, occurrences, assignment, meter, rng) -> bool:
+        pick = self._pick(cnf, assignment, meter, rng)
+        if pick is None:
+            # Everything relevant assigned; remaining clauses satisfied.
+            return True
+        var, first_value = pick
+        for value in (first_value, not first_value):
+            meter.charge()  # a decision
+            assignment[var] = value
+            trail: List[int] = [var]
+            try:
+                self._propagate(cnf, assignment, trail, meter)
+                if self._search(cnf, occurrences, assignment, meter, rng):
+                    return True
+            except _Conflict:
+                pass
+            for v in trail:
+                del assignment[v]
+        return False

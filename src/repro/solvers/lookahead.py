@@ -1,0 +1,184 @@
+"""Failed-literal lookahead solver.
+
+At every decision point this solver *probes* candidate variables: it
+tentatively asserts each polarity and runs unit propagation. A polarity
+that propagates to a conflict is a *failed literal* — its negation is
+forced, no decision needed; a variable failing both ways refutes the
+current node outright. Probing is expensive per node, which makes this
+solver slower than plain DPLL on instances where decisions are cheap —
+but it detects deeply hidden implications (masked implication chains)
+at the root, where DPLL would rediscover the conflict exponentially
+many times.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.solvers.budget import (
+    BudgetExceeded, CostMeter, SolveResult, SolveStatus,
+)
+from repro.solvers.cnf import CNF
+
+__all__ = ["LookaheadSolver"]
+
+Assignment = Dict[int, bool]
+
+
+class _Conflict(Exception):
+    pass
+
+
+class LookaheadSolver:
+    """DPLL + failed-literal probing at every node."""
+
+    def __init__(self, probe_limit: int = 64):
+        # Probing every variable at every node is overkill; probe the
+        # first ``probe_limit`` unassigned variables (by index) — chain
+        # structures put related variables at adjacent indices, which
+        # is exactly where probing pays off.
+        self.probe_limit = probe_limit
+        self.name = "lookahead"
+
+    def solve(self, cnf: CNF, budget: Optional[int] = None) -> SolveResult:
+        meter = CostMeter(budget)
+        try:
+            assignment: Assignment = {}
+            trail: List[int] = []
+            try:
+                self._assert_units(cnf, assignment, trail, meter)
+                self._propagate(cnf, assignment, trail, meter)
+            except _Conflict:
+                return SolveResult(SolveStatus.UNSAT, meter.cost, None,
+                                   self.name, cnf.name)
+            if self._search(cnf, assignment, meter):
+                model = dict(assignment)
+                for v in cnf.variables():
+                    model.setdefault(v, False)
+                return SolveResult(SolveStatus.SAT, meter.cost, model,
+                                   self.name, cnf.name)
+            return SolveResult(SolveStatus.UNSAT, meter.cost, None,
+                               self.name, cnf.name)
+        except BudgetExceeded:
+            return SolveResult(SolveStatus.TIMEOUT,
+                               budget if budget is not None else meter.cost,
+                               None, self.name, cnf.name)
+
+    # -- internals ---------------------------------------------------------------
+
+    def _assert_units(self, cnf, assignment, trail, meter) -> None:
+        for clause in cnf.clauses:
+            meter.charge()
+            if len(clause) == 1:
+                lit = clause[0]
+                var, value = abs(lit), lit > 0
+                if assignment.get(var, value) != value:
+                    raise _Conflict()
+                if var not in assignment:
+                    assignment[var] = value
+                    trail.append(var)
+
+    def _propagate(self, cnf, assignment, trail, meter) -> None:
+        changed = True
+        while changed:
+            changed = False
+            for clause in cnf.clauses:
+                meter.charge()
+                unassigned = None
+                satisfied = False
+                count = 0
+                for lit in clause:
+                    value = assignment.get(abs(lit))
+                    if value is None:
+                        unassigned = lit
+                        count += 1
+                        if count > 1:
+                            break
+                    elif value == (lit > 0):
+                        satisfied = True
+                        break
+                if satisfied or count > 1:
+                    continue
+                if count == 0:
+                    raise _Conflict()
+                assignment[abs(unassigned)] = unassigned > 0
+                trail.append(abs(unassigned))
+                changed = True
+
+    def _probe(self, cnf, assignment, meter,
+               ) -> Tuple[bool, Optional[Tuple[int, bool]], List[int]]:
+        """Probe unassigned variables for failed literals.
+
+        Returns (conflict_both_ways, forced_literal, forced_trail):
+        * conflict_both_ways: the node is refuted;
+        * forced_literal: a (var, value) whose opposite failed —
+          already applied and propagated into ``assignment`` with its
+          trail returned.
+        """
+        probed = 0
+        for var in cnf.variables():
+            if var in assignment:
+                continue
+            if probed >= self.probe_limit:
+                break
+            probed += 1
+            failures = []
+            for value in (True, False):
+                meter.charge()  # a probe
+                assignment[var] = value
+                probe_trail = [var]
+                try:
+                    self._propagate(cnf, assignment, probe_trail, meter)
+                except _Conflict:
+                    failures.append(value)
+                for v in probe_trail:
+                    del assignment[v]
+            if len(failures) == 2:
+                return True, None, []
+            if len(failures) == 1:
+                forced_value = not failures[0]
+                assignment[var] = forced_value
+                trail = [var]
+                try:
+                    self._propagate(cnf, assignment, trail, meter)
+                except _Conflict:
+                    # Forced value also conflicts -> refuted node.
+                    for v in trail:
+                        del assignment[v]
+                    return True, None, []
+                return False, (var, forced_value), trail
+        return False, None, []
+
+    def _search(self, cnf, assignment, meter) -> bool:
+        # Probe until quiescence: each forced literal may enable more.
+        forced_trails: List[List[int]] = []
+        while True:
+            refuted, forced, trail = self._probe(cnf, assignment, meter)
+            if refuted:
+                for t in forced_trails:
+                    for v in t:
+                        del assignment[v]
+                return False
+            if forced is None:
+                break
+            forced_trails.append(trail)
+
+        var = next((v for v in cnf.variables() if v not in assignment), None)
+        if var is None:
+            return True
+        for value in (True, False):
+            meter.charge()  # decision
+            assignment[var] = value
+            trail = [var]
+            try:
+                self._propagate(cnf, assignment, trail, meter)
+                if self._search(cnf, assignment, meter):
+                    return True
+            except _Conflict:
+                pass
+            for v in trail:
+                del assignment[v]
+        for t in forced_trails:
+            for v in t:
+                del assignment[v]
+        return False

@@ -1,0 +1,160 @@
+"""The solver portfolio (paper Sec. 4).
+
+"When investing in financial instruments, choosing the equities with
+the highest return is 'undecidable', so one must invest in parallel in
+several equities" — the portfolio runs k different solvers in virtual
+parallel on each instance and takes the first answer. With the
+deterministic cost meters, parallel execution is exact: the portfolio's
+completion time on an instance is the minimum cost over member solvers,
+and the resources consumed are k times that minimum (every member runs
+until the winner finishes, then is killed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import SolverError
+from repro.solvers.budget import SolveResult, SolveStatus
+from repro.solvers.cnf import CNF, evaluate
+
+__all__ = [
+    "Portfolio", "PortfolioOutcome", "PortfolioReport",
+    "run_portfolio_experiment",
+]
+
+
+@dataclass
+class PortfolioOutcome:
+    """One instance's portfolio run."""
+
+    instance: str
+    family: str
+    winner: str                    # solver that answered first
+    status: SolveStatus
+    time: int                      # virtual completion time (min cost)
+    resources: int                 # k * time (all members run in parallel)
+    member_results: Dict[str, SolveResult] = field(default_factory=dict)
+
+
+class Portfolio:
+    """Runs member solvers in (virtual) parallel on one instance."""
+
+    def __init__(self, solvers: Sequence, budget: int = 2_000_000):
+        if not solvers:
+            raise SolverError("portfolio needs at least one solver")
+        names = [s.name for s in solvers]
+        if len(set(names)) != len(names):
+            raise SolverError(f"duplicate solver names in portfolio: {names}")
+        self.solvers = list(solvers)
+        self.budget = budget
+
+    @property
+    def size(self) -> int:
+        return len(self.solvers)
+
+    def run(self, cnf: CNF) -> PortfolioOutcome:
+        results: Dict[str, SolveResult] = {}
+        for solver in self.solvers:
+            result = solver.solve(cnf, budget=self.budget)
+            if result.status is SolveStatus.SAT:
+                assert result.model is not None
+                if not evaluate(cnf, result.model):
+                    raise SolverError(
+                        f"{solver.name} returned an invalid model"
+                        f" on {cnf.name}")
+            results[solver.name] = result
+        solved = {name: r for name, r in results.items() if r.solved}
+        if solved:
+            winner = min(solved, key=lambda n: (solved[n].cost, n))
+            time = solved[winner].cost
+            status = solved[winner].status
+        else:
+            winner = ""
+            time = self.budget
+            status = SolveStatus.TIMEOUT
+        return PortfolioOutcome(
+            instance=cnf.name,
+            family=cnf.family,
+            winner=winner,
+            status=status,
+            time=time,
+            resources=self.size * time,
+            member_results=results,
+        )
+
+
+@dataclass
+class PortfolioReport:
+    """Aggregate of a portfolio experiment over an instance set (E1).
+
+    Baseline semantics follow the paper: the comparison is against
+    running *a single SAT solver* (each member considered in turn as
+    the hypothetical single choice). ``speedup_vs(name)`` is
+    total-single-time / total-portfolio-time; ``resource_ratio_vs``
+    compares total resources the same way.
+    """
+
+    outcomes: List[PortfolioOutcome]
+    portfolio_size: int
+    budget: int
+
+    @property
+    def total_portfolio_time(self) -> int:
+        return sum(o.time for o in self.outcomes)
+
+    @property
+    def total_portfolio_resources(self) -> int:
+        return sum(o.resources for o in self.outcomes)
+
+    def total_single_time(self, solver_name: str) -> int:
+        """Total cost of always using one solver (TIMEOUT = budget)."""
+        total = 0
+        for outcome in self.outcomes:
+            result = outcome.member_results[solver_name]
+            total += result.cost if result.solved else self.budget
+        return total
+
+    def speedup_vs(self, solver_name: str) -> float:
+        return self.total_single_time(solver_name) / max(
+            1, self.total_portfolio_time)
+
+    def resource_ratio_vs(self, solver_name: str) -> float:
+        return self.total_portfolio_resources / max(
+            1, self.total_single_time(solver_name))
+
+    def solved_count(self, solver_name: Optional[str] = None) -> int:
+        if solver_name is None:
+            return sum(1 for o in self.outcomes
+                       if o.status is not SolveStatus.TIMEOUT)
+        return sum(1 for o in self.outcomes
+                   if o.member_results[solver_name].solved)
+
+    def wins_by_solver(self) -> Dict[str, int]:
+        wins: Dict[str, int] = {}
+        for outcome in self.outcomes:
+            if outcome.winner:
+                wins[outcome.winner] = wins.get(outcome.winner, 0) + 1
+        return wins
+
+    def per_family_times(self) -> Dict[str, Dict[str, int]]:
+        """family -> solver -> total time (budget-charged timeouts)."""
+        table: Dict[str, Dict[str, int]] = {}
+        for outcome in self.outcomes:
+            row = table.setdefault(outcome.family, {})
+            for name, result in outcome.member_results.items():
+                cost = result.cost if result.solved else self.budget
+                row[name] = row.get(name, 0) + cost
+            row["portfolio"] = row.get("portfolio", 0) + outcome.time
+        return table
+
+
+def run_portfolio_experiment(solvers: Sequence, instances: Sequence[CNF],
+                             budget: int = 2_000_000) -> PortfolioReport:
+    """Run the full E1 experiment: every solver on every instance."""
+    portfolio = Portfolio(solvers, budget=budget)
+    outcomes = [portfolio.run(cnf) for cnf in instances]
+    return PortfolioReport(outcomes=outcomes,
+                           portfolio_size=portfolio.size,
+                           budget=budget)

@@ -1,0 +1,141 @@
+"""CNF preprocessing (presolve) shared by all portfolio members.
+
+Standard simplifications applied once before search:
+
+* **unit propagation to fixpoint** — forced literals are eliminated
+  from the formula (with conflict detection: presolve can answer UNSAT
+  outright);
+* **pure-literal elimination** — a variable occurring in one polarity
+  only is satisfied for free;
+* **subsumption** — a clause that is a superset of another is
+  redundant;
+* **tautology removal** — clauses containing ``x`` and ``-x``.
+
+The result maps back to the original variables: the presolver records
+the assignments it forced so a model of the reduced formula extends to
+a model of the original.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.solvers.cnf import CNF
+
+__all__ = ["PresolveResult", "presolve"]
+
+
+@dataclass
+class PresolveResult:
+    """Outcome of preprocessing.
+
+    ``status`` is "sat" (everything satisfied by forced/pure literals
+    alone), "unsat" (conflict during propagation), or "open" (search
+    still needed on ``reduced``). ``forced`` holds the assignments the
+    presolver committed to; extend any model of ``reduced`` with them
+    (and default values for eliminated don't-care variables) to get a
+    model of the original formula.
+    """
+
+    status: str
+    original: CNF
+    reduced: Optional[CNF] = None
+    forced: Dict[int, bool] = field(default_factory=dict)
+    clauses_removed: int = 0
+
+    def extend_model(self, model: Dict[int, bool]) -> Dict[int, bool]:
+        full = dict(model)
+        full.update(self.forced)
+        for var in self.original.variables():
+            full.setdefault(var, False)
+        return full
+
+
+def presolve(cnf: CNF) -> PresolveResult:
+    """Simplify ``cnf``; see :class:`PresolveResult`."""
+    clauses: List[FrozenSet[int]] = []
+    for clause in cnf.clauses:
+        literals = frozenset(clause)
+        if any(-lit in literals for lit in literals):
+            continue  # tautology
+        clauses.append(literals)
+
+    forced: Dict[int, bool] = {}
+
+    def assign(lit: int) -> bool:
+        """Record a forced literal; False on conflict."""
+        var, value = abs(lit), lit > 0
+        if var in forced:
+            return forced[var] == value
+        forced[var] = value
+        return True
+
+    changed = True
+    while changed:
+        changed = False
+        # Unit propagation.
+        next_clauses: List[FrozenSet[int]] = []
+        for literals in clauses:
+            reduced: Set[int] = set()
+            satisfied = False
+            for lit in literals:
+                var = abs(lit)
+                if var in forced:
+                    if forced[var] == (lit > 0):
+                        satisfied = True
+                        break
+                else:
+                    reduced.add(lit)
+            if satisfied:
+                changed = True
+                continue
+            if not reduced:
+                return PresolveResult(status="unsat", original=cnf,
+                                      forced=forced)
+            if len(reduced) == 1:
+                if not assign(next(iter(reduced))):
+                    return PresolveResult(status="unsat", original=cnf,
+                                          forced=forced)
+                changed = True
+                continue
+            if len(reduced) != len(literals):
+                changed = True
+            next_clauses.append(frozenset(reduced))
+        clauses = next_clauses
+
+        # Pure literals (on the residual formula).
+        polarity: Dict[int, Set[bool]] = {}
+        for literals in clauses:
+            for lit in literals:
+                polarity.setdefault(abs(lit), set()).add(lit > 0)
+        pures = [var for var, signs in polarity.items()
+                 if len(signs) == 1]
+        for var in pures:
+            sign = next(iter(polarity[var]))
+            if not assign(var if sign else -var):
+                return PresolveResult(status="unsat", original=cnf,
+                                      forced=forced)
+        if pures:
+            changed = True
+
+    # Subsumption (quadratic; presolved formulas are small enough).
+    clauses.sort(key=len)
+    kept: List[FrozenSet[int]] = []
+    for candidate in clauses:
+        if any(previous <= candidate for previous in kept):
+            continue
+        kept.append(candidate)
+
+    if not kept:
+        return PresolveResult(status="sat", original=cnf, forced=forced,
+                              clauses_removed=cnf.n_clauses)
+    reduced_cnf = CNF(
+        n_vars=cnf.n_vars,
+        clauses=tuple(tuple(sorted(c, key=abs)) for c in kept),
+        name=f"{cnf.name}+presolved",
+        family=cnf.family,
+    )
+    return PresolveResult(
+        status="open", original=cnf, reduced=reduced_cnf, forced=forced,
+        clauses_removed=cnf.n_clauses - len(kept))

@@ -1,0 +1,28 @@
+"""Hive-side symbolic analysis (paper Secs. 3.3-4).
+
+A small symbolic executor over the program IR: inputs are symbolic,
+branch conditions accumulate into path conditions, and a seeded
+enumeration-based constraint solver decides feasibility. The engine is
+used to (a) enumerate the *feasible* execution tree as ground truth for
+cumulative proofs, (b) synthesize concrete inputs that reach tree gaps
+(execution guidance), and (c) run relaxed-consistency unit-level
+exploration in the S2E style.
+"""
+
+from repro.symbolic.expr import apply_op, eval_concrete, fold, substitute
+from repro.symbolic.pathcond import PathCondition
+from repro.symbolic.solver import EnumerationSolver, SolverStats
+from repro.symbolic.engine import SymbolicEngine, SymbolicLimits, SymPath
+from repro.symbolic.relaxed import (
+    RelaxedExplorationReport,
+    explore_unit_relaxed,
+    explore_unit_system_consistent,
+)
+
+__all__ = [
+    "apply_op", "fold", "substitute", "eval_concrete",
+    "PathCondition", "EnumerationSolver", "SolverStats",
+    "SymbolicEngine", "SymbolicLimits", "SymPath",
+    "explore_unit_relaxed", "explore_unit_system_consistent",
+    "RelaxedExplorationReport",
+]

@@ -1,0 +1,156 @@
+"""Symbolic expression utilities over the program IR.
+
+Symbolic values *are* IR expressions whose only non-constant leaves are
+:class:`~repro.progmodel.ir.Input` nodes (program inputs, or fresh
+symbols the engine mints for symbolic syscall returns). This module
+provides the shared operator semantics, constant folding, substitution,
+and concrete evaluation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional
+
+from repro.errors import SymbolicError
+from repro.progmodel.ir import BinOp, Const, Expr, Input, UnOp, Var
+
+__all__ = ["apply_op", "fold", "substitute", "eval_concrete", "is_const"]
+
+
+def apply_op(op: str, left: int, right: int) -> int:
+    """Integer semantics shared with the concrete interpreter.
+
+    Raises ZeroDivisionError for ``// 0`` and ``% 0`` — callers decide
+    whether that is a crash path or an infeasible evaluation.
+    """
+    if op == "+":
+        return left + right
+    if op == "-":
+        return left - right
+    if op == "*":
+        return left * right
+    if op == "//":
+        return left // right
+    if op == "%":
+        return left % right
+    if op == "==":
+        return int(left == right)
+    if op == "!=":
+        return int(left != right)
+    if op == "<":
+        return int(left < right)
+    if op == "<=":
+        return int(left <= right)
+    if op == ">":
+        return int(left > right)
+    if op == ">=":
+        return int(left >= right)
+    if op == "and":
+        return int(bool(left) and bool(right))
+    if op == "or":
+        return int(bool(left) or bool(right))
+    if op == "min":
+        return min(left, right)
+    if op == "max":
+        return max(left, right)
+    raise SymbolicError(f"unknown operator {op!r}")
+
+
+def is_const(expr: Expr) -> bool:
+    return isinstance(expr, Const)
+
+
+def fold(expr: Expr) -> Expr:
+    """Constant-fold an expression bottom-up.
+
+    Folding is conservative: ``// 0`` and ``% 0`` on constants are left
+    unfolded so the engine can turn them into crash paths rather than
+    silently failing here.
+    """
+    if isinstance(expr, (Const, Input, Var)):
+        return expr
+    if isinstance(expr, UnOp):
+        operand = fold(expr.operand)
+        if isinstance(operand, Const):
+            if expr.op == "neg":
+                return Const(-operand.value)
+            return Const(int(operand.value == 0))
+        return UnOp(expr.op, operand)
+    if isinstance(expr, BinOp):
+        left = fold(expr.left)
+        right = fold(expr.right)
+        if isinstance(left, Const) and isinstance(right, Const):
+            if expr.op in ("//", "%") and right.value == 0:
+                return BinOp(expr.op, left, right)
+            return Const(apply_op(expr.op, left.value, right.value))
+        # Cheap algebraic identities keep path conditions small.
+        #
+        # Only *taint-faithful* rules are allowed: a rule may never turn
+        # an input-dependent expression into a constant, because the
+        # pods' dynamic taint tracking is conservative (x*0 is tainted
+        # when x is) and path identities must agree between concrete
+        # executions and the symbolic oracle. Absorption rules like
+        # ``x * 0 -> 0`` or ``0 and x -> 0`` are therefore forbidden;
+        # the solver prunes the degenerate direction instead.
+        if isinstance(right, Const):
+            if expr.op == "+" and right.value == 0:
+                return left
+            if expr.op == "*" and right.value == 1:
+                return left
+        if isinstance(left, Const):
+            if expr.op == "+" and left.value == 0:
+                return right
+            if expr.op == "*" and left.value == 1:
+                return right
+        return BinOp(expr.op, left, right)
+    raise SymbolicError(f"cannot fold {expr!r}")
+
+
+def substitute(expr: Expr, variables: Mapping[str, Expr],
+               inputs: Optional[Mapping[str, Expr]] = None) -> Expr:
+    """Replace Var leaves (and optionally Input leaves) by expressions.
+
+    Missing Var bindings default to Const(0), mirroring the concrete
+    interpreter's uninitialised-local semantics.
+    """
+    if isinstance(expr, Const):
+        return expr
+    if isinstance(expr, Var):
+        return variables.get(expr.name, Const(0))
+    if isinstance(expr, Input):
+        if inputs is not None and expr.name in inputs:
+            return inputs[expr.name]
+        return expr
+    if isinstance(expr, UnOp):
+        return UnOp(expr.op, substitute(expr.operand, variables, inputs))
+    if isinstance(expr, BinOp):
+        return BinOp(expr.op,
+                     substitute(expr.left, variables, inputs),
+                     substitute(expr.right, variables, inputs))
+    raise SymbolicError(f"cannot substitute into {expr!r}")
+
+
+def eval_concrete(expr: Expr, env: Mapping[str, int]) -> int:
+    """Evaluate an expression whose Input leaves are bound by ``env``.
+
+    Var leaves are not allowed here — substitute them away first.
+    Raises ZeroDivisionError on division/modulo by zero.
+    """
+    if isinstance(expr, Const):
+        return expr.value
+    if isinstance(expr, Input):
+        try:
+            return env[expr.name]
+        except KeyError:
+            raise SymbolicError(f"unbound symbol {expr.name!r}")
+    if isinstance(expr, Var):
+        raise SymbolicError(
+            f"eval_concrete saw unresolved variable {expr.name!r}")
+    if isinstance(expr, UnOp):
+        value = eval_concrete(expr.operand, env)
+        return -value if expr.op == "neg" else int(value == 0)
+    if isinstance(expr, BinOp):
+        return apply_op(expr.op,
+                        eval_concrete(expr.left, env),
+                        eval_concrete(expr.right, env))
+    raise SymbolicError(f"cannot evaluate {expr!r}")

@@ -1,0 +1,135 @@
+"""Interval propagation over path conditions.
+
+A cheap, sound pre-pass for the enumeration solver: constraints whose
+shape is ``<expr over one symbol> cmp <const>`` (after folding, the
+overwhelmingly common shape in corpus path conditions) narrow that
+symbol's domain; an empty domain proves unsatisfiability without any
+search, and a narrowed domain shrinks the enumeration space
+multiplicatively.
+
+The propagation is deliberately conservative: any constraint it cannot
+interpret precisely is skipped (left to enumeration), so narrowed
+domains always over-approximate the true solution set — the solver
+stays complete.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Tuple
+
+from repro.progmodel.ir import BinOp, Const, Expr, Input, UnOp
+from repro.symbolic.pathcond import PathCondition
+
+__all__ = ["Interval", "narrow_domains", "UNSAT"]
+
+Interval = Tuple[int, int]
+
+# Sentinel: propagation proved the condition unsatisfiable.
+UNSAT = "unsat"
+
+_NEGATE = {"==": "!=", "!=": "==", "<": ">=", "<=": ">", ">": "<=",
+           ">=": "<"}
+
+
+def _single_symbol(expr: Expr) -> Optional[str]:
+    names = expr.inputs()
+    return names[0] if len(names) == 1 else None
+
+
+def _invert_linear(expr: Expr, lo: int, hi: int,
+                   ) -> Optional[Tuple[str, int, int]]:
+    """Given ``lo <= expr <= hi``, reduce to bounds on a bare symbol.
+
+    Handles the invertible single-symbol chains the corpus emits:
+    ``x``, ``x + c``, ``x - c``, ``c - x``, ``x * c`` (c > 0), ``-x``.
+    Returns None for anything else (e.g. ``x % c``, multi-occurrence).
+    """
+    if isinstance(expr, Input):
+        return (expr.name, lo, hi)
+    if isinstance(expr, UnOp) and expr.op == "neg":
+        return _invert_linear(expr.operand, -hi, -lo)
+    if isinstance(expr, BinOp):
+        left, right, op = expr.left, expr.right, expr.op
+        if isinstance(right, Const):
+            c = right.value
+            if op == "+":
+                return _invert_linear(left, lo - c, hi - c)
+            if op == "-":
+                return _invert_linear(left, lo + c, hi + c)
+            if op == "*" and c > 0:
+                # ceil/floor division keeps the bound sound.
+                return _invert_linear(left, -((-lo) // c), hi // c)
+        if isinstance(left, Const):
+            c = left.value
+            if op == "+":
+                return _invert_linear(right, lo - c, hi - c)
+            if op == "-":   # c - y in [lo, hi]  =>  y in [c - hi, c - lo]
+                return _invert_linear(right, c - hi, c - lo)
+            if op == "*" and c > 0:
+                return _invert_linear(right, -((-lo) // c), hi // c)
+    return None
+
+
+_BIG = 10 ** 12
+
+
+def _bounds_for(op: str, value: int) -> Optional[Tuple[int, int]]:
+    """The interval ``expr`` must lie in for ``expr op value`` to hold."""
+    if op == "==":
+        return (value, value)
+    if op == "<":
+        return (-_BIG, value - 1)
+    if op == "<=":
+        return (-_BIG, value)
+    if op == ">":
+        return (value + 1, _BIG)
+    if op == ">=":
+        return (value, _BIG)
+    return None  # "!=" punches a hole, not an interval — skip
+
+
+def narrow_domains(condition: PathCondition,
+                   domains: Mapping[str, Interval],
+                   ):
+    """Return narrowed domains for the condition's symbols, or UNSAT.
+
+    Only the symbols the condition mentions appear in the result;
+    unconstrained or uninterpretable symbols keep their input domain.
+    """
+    narrowed: Dict[str, Interval] = {
+        name: domains[name] for name in condition.symbols()}
+    for expr, truth in condition.constraints:
+        if not isinstance(expr, BinOp):
+            continue
+        op = expr.op
+        if op not in ("==", "!=", "<", "<=", ">", ">="):
+            continue
+        if not truth:
+            op = _NEGATE[op]
+        # Normalise to <single-symbol expr> op <const>.
+        if isinstance(expr.right, Const):
+            lhs, value = expr.left, expr.right.value
+        elif isinstance(expr.left, Const):
+            # c op y  <=>  y op' c with the comparison mirrored.
+            mirror = {"<": ">", "<=": ">=", ">": "<", ">=": "<=",
+                      "==": "==", "!=": "!="}
+            lhs, value, op = expr.right, expr.left.value, mirror[op]
+        else:
+            continue
+        symbol = _single_symbol(lhs)
+        if symbol is None or symbol not in narrowed:
+            continue
+        target = _bounds_for(op, value)
+        if target is None:
+            continue
+        reduced = _invert_linear(lhs, target[0], target[1])
+        if reduced is None:
+            continue
+        name, lo, hi = reduced
+        if name != symbol:
+            continue
+        current_lo, current_hi = narrowed[symbol]
+        narrowed[symbol] = (max(current_lo, lo), min(current_hi, hi))
+        if narrowed[symbol][0] > narrowed[symbol][1]:
+            return UNSAT
+    return narrowed

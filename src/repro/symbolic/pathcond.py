@@ -1,0 +1,51 @@
+"""Path conditions: ordered conjunctions of branch constraints."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Mapping, Tuple
+
+from repro.progmodel.ir import Expr
+from repro.symbolic.expr import eval_concrete
+
+__all__ = ["PathCondition"]
+
+
+@dataclass
+class PathCondition:
+    """A conjunction of (expression, expected_truth) constraints.
+
+    Each entry records one symbolic branch decision: the folded branch
+    condition and the direction taken. The condition is satisfied by an
+    assignment iff every expression's truthiness matches its direction.
+    """
+
+    constraints: List[Tuple[Expr, bool]] = field(default_factory=list)
+
+    def extended(self, expr: Expr, truth: bool) -> "PathCondition":
+        """A new path condition with one more conjunct (persistent)."""
+        return PathCondition(constraints=self.constraints + [(expr, truth)])
+
+    def __len__(self) -> int:
+        return len(self.constraints)
+
+    def satisfied_by(self, env: Mapping[str, int]) -> bool:
+        """Check an assignment. Division errors count as unsatisfied
+        (the assignment would have crashed before completing the path)."""
+        for expr, truth in self.constraints:
+            try:
+                value = eval_concrete(expr, env)
+            except ZeroDivisionError:
+                return False
+            if bool(value) != truth:
+                return False
+        return True
+
+    def symbols(self) -> Tuple[str, ...]:
+        """All symbol (Input) names referenced, in first-seen order."""
+        names: List[str] = []
+        for expr, _truth in self.constraints:
+            for name in expr.inputs():
+                if name not in names:
+                    names.append(name)
+        return tuple(names)

@@ -1,0 +1,173 @@
+"""Relaxed execution consistency (S2E-style in-vivo analysis, Sec. 4).
+
+The paper: "when doing unit testing, one typically exercises the unit
+in ways that are consistent with the unit's interface, regardless of
+whether all those paths are indeed feasible in an integrated system.
+This overapproximates the paths through the unit, but reasoning at the
+unit level (instead of system level) can be faster [...]. If the unit
+behaves correctly for a superset of the feasible paths, then it is
+guaranteed to behave correctly for all feasible paths."
+
+Two explorations of the same unit (a function):
+
+* :func:`explore_unit_system_consistent` — explore the whole program
+  and project each system path onto the unit's internal decisions;
+  only combinations reachable in vivo appear, at whole-program cost.
+* :func:`explore_unit_relaxed` — explore the unit alone with free
+  parameters; a superset of unit paths, at unit-only cost.
+
+The report compares path sets and solver cost, which is experiment E7.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from repro.progmodel.ir import Program
+from repro.progmodel.interpreter import Outcome
+from repro.symbolic.engine import SymbolicEngine, SymbolicLimits, SymPath
+from repro.symbolic.solver import EnumerationSolver
+
+__all__ = [
+    "UnitExploration", "RelaxedExplorationReport",
+    "explore_unit_relaxed", "explore_unit_system_consistent",
+    "compare_unit_explorations",
+]
+
+Site = Tuple[int, str, str]
+UnitPath = Tuple[Tuple[str, bool], ...]  # ((block, taken), ...) inside the unit
+
+
+@dataclass
+class UnitExploration:
+    """Paths through one unit plus the cost of finding them."""
+
+    function: str
+    unit_paths: FrozenSet[UnitPath]
+    failing_paths: FrozenSet[UnitPath]
+    solver_evaluations: int
+    engine_steps: int
+    whole_paths_explored: int
+
+
+@dataclass
+class RelaxedExplorationReport:
+    """E7's row: relaxed vs system-consistent exploration of a unit."""
+
+    function: str
+    consistent: UnitExploration
+    relaxed: UnitExploration
+
+    @property
+    def is_superset(self) -> bool:
+        """Soundness: relaxed paths must cover all feasible unit paths."""
+        return self.consistent.unit_paths <= self.relaxed.unit_paths
+
+    @property
+    def overapproximation_ratio(self) -> float:
+        if not self.consistent.unit_paths:
+            return float(len(self.relaxed.unit_paths)) or 1.0
+        return len(self.relaxed.unit_paths) / len(self.consistent.unit_paths)
+
+    @property
+    def cost_ratio(self) -> float:
+        """system-consistent cost / relaxed cost (higher = relaxed wins)."""
+        relaxed_cost = max(1, self.relaxed.solver_evaluations
+                           + self.relaxed.engine_steps)
+        consistent_cost = (self.consistent.solver_evaluations
+                           + self.consistent.engine_steps)
+        return consistent_cost / relaxed_cost
+
+
+def _project_unit_invocations(path: SymPath, function: str,
+                              ) -> List[UnitPath]:
+    """Split a whole-program path into per-invocation unit fragments.
+
+    Because execution is single-threaded, a unit invocation's symbolic
+    decisions form a consecutive run in the path (no other function's
+    decisions interleave). Back-to-back invocations with *no* caller
+    decision between them would merge under this rule; callers that
+    need exact per-invocation splits should ensure a caller-side
+    decision separates consecutive calls (true of the corpus shape).
+    """
+    fragments: List[UnitPath] = []
+    current: List[Tuple[str, bool]] = []
+    for site, taken in path.decisions:
+        if site[1] == function:
+            current.append((site[2], taken))
+        elif current:
+            fragments.append(tuple(current))
+            current = []
+    if current:
+        fragments.append(tuple(current))
+    return fragments
+
+
+def explore_unit_system_consistent(program: Program, function: str,
+                                   limits: Optional[SymbolicLimits] = None,
+                                   ) -> UnitExploration:
+    """Explore the whole program; project paths onto ``function``.
+
+    ``failing_paths`` here are unit fragments of whole-program paths
+    that failed anywhere — a conservative attribution.
+    """
+    solver = EnumerationSolver()
+    engine = SymbolicEngine(program, solver=solver, limits=limits)
+    paths = engine.explore()
+    unit_paths = set()
+    failing = set()
+    steps = 0
+    for path in paths:
+        steps += path.steps
+        fragments = _project_unit_invocations(path, function)
+        unit_paths.update(fragments)
+        if path.outcome is not Outcome.OK:
+            failing.update(fragments)
+    return UnitExploration(
+        function=function,
+        unit_paths=frozenset(unit_paths),
+        failing_paths=frozenset(failing),
+        solver_evaluations=solver.stats.evaluations,
+        engine_steps=steps,
+        whole_paths_explored=len(paths),
+    )
+
+
+def explore_unit_relaxed(program: Program, function: str,
+                         param_domains: Dict[str, Tuple[int, int]],
+                         limits: Optional[SymbolicLimits] = None,
+                         ) -> UnitExploration:
+    """Explore ``function`` in isolation with free symbolic parameters."""
+    solver = EnumerationSolver()
+    engine = SymbolicEngine(program, solver=solver, limits=limits)
+    paths = engine.explore_function(function, param_domains)
+    unit_paths = set()
+    failing = set()
+    steps = 0
+    for path in paths:
+        steps += path.steps
+        projected = tuple((site[2], taken) for site, taken in path.decisions
+                          if site[1] == function)
+        unit_paths.add(projected)
+        if path.outcome is not Outcome.OK:
+            failing.add(projected)
+    return UnitExploration(
+        function=function,
+        unit_paths=frozenset(unit_paths),
+        failing_paths=frozenset(failing),
+        solver_evaluations=solver.stats.evaluations,
+        engine_steps=steps,
+        whole_paths_explored=len(paths),
+    )
+
+
+def compare_unit_explorations(program: Program, function: str,
+                              param_domains: Dict[str, Tuple[int, int]],
+                              limits: Optional[SymbolicLimits] = None,
+                              ) -> RelaxedExplorationReport:
+    """Run both consistency levels on one unit and compare (E7)."""
+    consistent = explore_unit_system_consistent(program, function, limits)
+    relaxed = explore_unit_relaxed(program, function, param_domains, limits)
+    return RelaxedExplorationReport(
+        function=function, consistent=consistent, relaxed=relaxed)

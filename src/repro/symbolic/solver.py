@@ -1,0 +1,141 @@
+"""Constraint solving over small bounded-integer domains.
+
+Feasibility of a path condition is decided by enumeration over the
+domains of only the symbols the condition mentions, with two essential
+accelerations:
+
+* **witness reuse** — forked states pass their parent's satisfying
+  assignment as a hint; if it still satisfies the extended condition,
+  no search happens at all (the overwhelmingly common case), and
+
+* **constraint-ordered backtracking** — symbols are assigned one at a
+  time; every constraint whose symbols are all bound is checked as soon
+  as possible, pruning whole subtrees of the assignment space.
+
+The solver meters its own work in *virtual cost units* (one constraint
+evaluation = 1 unit), giving deterministic, platform-independent cost
+numbers for the experiments (E2's "merging needs no solving" claim).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.errors import SolverError
+from repro.symbolic.expr import eval_concrete
+from repro.symbolic.pathcond import PathCondition
+
+__all__ = ["SolverStats", "EnumerationSolver"]
+
+Model = Dict[str, int]
+
+
+@dataclass
+class SolverStats:
+    """Cumulative virtual-cost accounting."""
+
+    calls: int = 0
+    hint_hits: int = 0
+    evaluations: int = 0       # constraint evaluations (the cost unit)
+    unsat_results: int = 0
+    interval_prunes: int = 0   # UNSAT proven by propagation alone
+
+    def snapshot(self) -> "SolverStats":
+        return SolverStats(self.calls, self.hint_hits, self.evaluations,
+                           self.unsat_results, self.interval_prunes)
+
+
+class EnumerationSolver:
+    """Backtracking enumeration over bounded integer domains."""
+
+    def __init__(self, max_evaluations: int = 2_000_000,
+                 use_intervals: bool = True):
+        self.stats = SolverStats()
+        self._max_evaluations = max_evaluations  # per solve() call
+        self._call_budget_end = max_evaluations
+        self._use_intervals = use_intervals
+
+    def solve(self, condition: PathCondition,
+              domains: Mapping[str, Tuple[int, int]],
+              hint: Optional[Model] = None) -> Optional[Model]:
+        """Return a satisfying assignment, or None if unsatisfiable.
+
+        Only symbols mentioned by the condition are searched; the
+        returned model binds exactly those. ``hint`` is checked first.
+        """
+        self.stats.calls += 1
+        self._call_budget_end = self.stats.evaluations + self._max_evaluations
+        symbols = condition.symbols()
+        for name in symbols:
+            if name not in domains:
+                raise SolverError(f"no domain for symbol {name!r}")
+
+        if hint is not None and all(name in hint for name in symbols):
+            self.stats.evaluations += max(1, len(condition))
+            if condition.satisfied_by(hint):
+                self.stats.hint_hits += 1
+                return {name: hint[name] for name in symbols}
+
+        # Interval propagation: prove UNSAT cheaply, or shrink the
+        # enumeration space (sound over-approximation — completeness
+        # is untouched).
+        if self._use_intervals and symbols:
+            from repro.symbolic.intervals import UNSAT, narrow_domains
+            self.stats.evaluations += len(condition)  # the pre-pass cost
+            narrowed = narrow_domains(condition, domains)
+            if narrowed == UNSAT:
+                self.stats.interval_prunes += 1
+                self.stats.unsat_results += 1
+                return None
+            domains = {**dict(domains), **narrowed}
+
+        # Order constraints by when their symbols become fully bound.
+        order = list(symbols)
+        ready_at: List[List[Tuple]] = [[] for _ in range(len(order) + 1)]
+        position = {name: i for i, name in enumerate(order)}
+        for expr, truth in condition.constraints:
+            needed = [position[name] for name in expr.inputs()]
+            slot = (max(needed) + 1) if needed else 0
+            ready_at[slot].append((expr, truth))
+
+        model: Model = {}
+        if self._search(0, order, ready_at, domains, model):
+            return dict(model)
+        self.stats.unsat_results += 1
+        return None
+
+    def feasible(self, condition: PathCondition,
+                 domains: Mapping[str, Tuple[int, int]],
+                 hint: Optional[Model] = None) -> bool:
+        return self.solve(condition, domains, hint) is not None
+
+    # -- internals -----------------------------------------------------------
+
+    def _check(self, constraints, model: Model) -> bool:
+        for expr, truth in constraints:
+            self.stats.evaluations += 1
+            if self.stats.evaluations > self._call_budget_end:
+                raise SolverError("solver evaluation budget exhausted")
+            try:
+                value = eval_concrete(expr, model)
+            except ZeroDivisionError:
+                return False
+            if bool(value) != truth:
+                return False
+        return True
+
+    def _search(self, index: int, order, ready_at, domains,
+                model: Model) -> bool:
+        if not self._check(ready_at[index], model):
+            return False
+        if index == len(order):
+            return True
+        name = order[index]
+        lo, hi = domains[name]
+        for value in range(lo, hi + 1):
+            model[name] = value
+            if self._search(index + 1, order, ready_at, domains, model):
+                return True
+        del model[name]
+        return False

@@ -1,0 +1,32 @@
+"""Execution by-product capture (the pod side of Sec. 3.1).
+
+Turns raw :class:`~repro.progmodel.interpreter.ExecutionResult` event
+streams into compact wire :class:`~repro.tracing.trace.Trace` objects
+under a configurable capture policy: full bit-vector capture,
+all-branches capture (for overhead comparison), CBI-style sparse
+sampling, or failure-dump-only (the WER baseline). Also provides
+trace anonymization and the wire encoding.
+"""
+
+from repro.tracing.trace import Observation, Trace
+from repro.tracing.outcome import Outcome, UserFeedback, infer_feedback
+from repro.tracing.capture import (
+    AllBranchCapture,
+    CapturePolicy,
+    FailureDumpCapture,
+    FullCapture,
+    PrivacyTruncatedCapture,
+    SampledCapture,
+)
+from repro.tracing.dedup import PodDeduplicator
+from repro.tracing.sampling import sample_observations
+from repro.tracing.privacy import kanonymous_paths, truncate_trace
+from repro.tracing.encode import decode_trace, encode_trace
+
+__all__ = [
+    "Trace", "Observation", "Outcome", "UserFeedback", "infer_feedback",
+    "CapturePolicy", "FullCapture", "AllBranchCapture", "SampledCapture",
+    "FailureDumpCapture", "PrivacyTruncatedCapture", "PodDeduplicator",
+    "sample_observations",
+    "truncate_trace", "kanonymous_paths", "encode_trace", "decode_trace",
+]

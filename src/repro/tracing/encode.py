@@ -1,0 +1,206 @@
+"""Compact wire encoding of traces.
+
+Pods ship traces over the (simulated) Internet; this module packs a
+:class:`Trace` into bytes and back. Branch bits are bit-packed (one bit
+per input-dependent branch, as the paper prescribes); integers use a
+zig-zag varint; strings are length-prefixed UTF-8. The format is
+self-contained and versioned.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.errors import TraceError
+from repro.progmodel.interpreter import Outcome
+from repro.tracing.trace import Observation, Trace
+
+__all__ = ["encode_trace", "decode_trace", "encoded_size"]
+
+_FORMAT_VERSION = 1
+_OUTCOMES = [Outcome.OK, Outcome.CRASH, Outcome.ASSERT, Outcome.DEADLOCK,
+             Outcome.HANG]
+
+
+# -- primitive writers -------------------------------------------------------
+
+def _write_varint(out: bytearray, value: int) -> None:
+    if value < 0:
+        raise TraceError(f"varint cannot encode negative value {value}")
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return
+
+
+def _write_zigzag(out: bytearray, value: int) -> None:
+    _write_varint(out, (value << 1) ^ (value >> 63) if value >= 0
+                  else ((-value) << 1) - 1)
+
+
+def _write_string(out: bytearray, text: str) -> None:
+    data = text.encode("utf-8")
+    _write_varint(out, len(data))
+    out.extend(data)
+
+
+def _write_bits(out: bytearray, bits: Tuple[bool, ...]) -> None:
+    _write_varint(out, len(bits))
+    byte = 0
+    for index, bit in enumerate(bits):
+        if bit:
+            byte |= 1 << (index % 8)
+        if index % 8 == 7:
+            out.append(byte)
+            byte = 0
+    if len(bits) % 8:
+        out.append(byte)
+
+
+# -- primitive readers -------------------------------------------------------
+
+class _Reader:
+    def __init__(self, data: bytes):
+        self._data = data
+        self._pos = 0
+
+    def varint(self) -> int:
+        shift = 0
+        value = 0
+        while True:
+            if self._pos >= len(self._data):
+                raise TraceError("truncated varint")
+            byte = self._data[self._pos]
+            self._pos += 1
+            value |= (byte & 0x7F) << shift
+            if not byte & 0x80:
+                return value
+            shift += 7
+
+    def zigzag(self) -> int:
+        raw = self.varint()
+        return (raw >> 1) if raw % 2 == 0 else -((raw + 1) >> 1)
+
+    def string(self) -> str:
+        length = self.varint()
+        if self._pos + length > len(self._data):
+            raise TraceError("truncated string")
+        text = self._data[self._pos:self._pos + length].decode("utf-8")
+        self._pos += length
+        return text
+
+    def bits(self) -> Tuple[bool, ...]:
+        count = self.varint()
+        n_bytes = (count + 7) // 8
+        if self._pos + n_bytes > len(self._data):
+            raise TraceError("truncated bit vector")
+        chunk = self._data[self._pos:self._pos + n_bytes]
+        self._pos += n_bytes
+        return tuple(
+            bool(chunk[i // 8] >> (i % 8) & 1) for i in range(count))
+
+    def done(self) -> bool:
+        return self._pos == len(self._data)
+
+
+# -- trace encoding -----------------------------------------------------------
+
+def encode_trace(trace: Trace) -> bytes:
+    """Serialize ``trace`` into a compact byte string."""
+    out = bytearray()
+    _write_varint(out, _FORMAT_VERSION)
+    _write_string(out, trace.program_name)
+    _write_varint(out, trace.program_version)
+    _write_varint(out, _OUTCOMES.index(trace.outcome))
+    _write_bits(out, tuple(trace.branch_bits))
+    _write_varint(out, len(trace.syscall_returns))
+    for value in trace.syscall_returns:
+        _write_zigzag(out, value)
+    _write_varint(out, len(trace.schedule_rle))
+    for thread, length in trace.schedule_rle:
+        _write_varint(out, thread)
+        _write_varint(out, length)
+    _write_varint(out, len(trace.observations))
+    for obs in trace.observations:
+        thread, function, block = obs.site
+        _write_varint(out, thread)
+        _write_string(out, function)
+        _write_string(out, block)
+        _write_varint(out, 1 if obs.taken else 0)
+    _write_varint(out, 1 if trace.replayable else 0)
+    _write_varint(out, trace.steps)
+    _write_varint(out, trace.events_recorded)
+    _write_string(out, trace.failure_message or "")
+    if trace.failure_site is None:
+        _write_varint(out, 0)
+    else:
+        _write_varint(out, 1)
+        thread, function, block = trace.failure_site
+        _write_varint(out, thread)
+        _write_string(out, function)
+        _write_string(out, block)
+    _write_string(out, trace.pod_id)
+    _write_varint(out, 1 if trace.guided else 0)
+    return bytes(out)
+
+
+def decode_trace(data: bytes) -> Trace:
+    """Inverse of :func:`encode_trace`; raises TraceError on corruption."""
+    reader = _Reader(data)
+    version = reader.varint()
+    if version != _FORMAT_VERSION:
+        raise TraceError(f"unsupported trace format version {version}")
+    program_name = reader.string()
+    program_version = reader.varint()
+    outcome_index = reader.varint()
+    if outcome_index >= len(_OUTCOMES):
+        raise TraceError(f"bad outcome index {outcome_index}")
+    outcome = _OUTCOMES[outcome_index]
+    bits = reader.bits()
+    syscall_returns = tuple(reader.zigzag() for _ in range(reader.varint()))
+    schedule_rle = tuple(
+        (reader.varint(), reader.varint()) for _ in range(reader.varint()))
+    observations = []
+    for _ in range(reader.varint()):
+        thread = reader.varint()
+        function = reader.string()
+        block = reader.string()
+        taken = reader.varint() == 1
+        observations.append(Observation(site=(thread, function, block),
+                                        taken=taken))
+    replayable = reader.varint() == 1
+    steps = reader.varint()
+    events_recorded = reader.varint()
+    failure_message: Optional[str] = reader.string() or None
+    failure_site = None
+    if reader.varint() == 1:
+        failure_site = (reader.varint(), reader.string(), reader.string())
+    pod_id = reader.string()
+    guided = reader.varint() == 1
+    if not reader.done():
+        raise TraceError("trailing bytes after trace")
+    return Trace(
+        program_name=program_name,
+        program_version=program_version,
+        outcome=outcome,
+        branch_bits=bits,
+        syscall_returns=syscall_returns,
+        schedule_rle=schedule_rle,
+        observations=tuple(observations),
+        replayable=replayable,
+        steps=steps,
+        events_recorded=events_recorded,
+        failure_message=failure_message,
+        failure_site=failure_site,
+        pod_id=pod_id,
+        guided=guided,
+    )
+
+
+def encoded_size(trace: Trace) -> int:
+    """Wire size in bytes — the bandwidth-cost proxy."""
+    return len(encode_trace(trace))

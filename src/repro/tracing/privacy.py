@@ -1,0 +1,79 @@
+"""Privacy-preserving trace coarsening.
+
+The paper (Sec. 3.1) flags that "traces might disclose private end-user
+information" and calls for "a principled framework for reasoning about
+the balance between control flow details and privacy". Following the
+spirit of Castro et al. [6], two mechanisms are provided:
+
+* **pod-side truncation** — ship only a prefix of the branch bit-vector
+  (:func:`truncate_trace`), bounding how precisely a single trace pins
+  down the user's behaviour, and
+
+* **hive-side k-anonymity** (:func:`kanonymous_paths`) — the hive only
+  *uses* path prefixes that at least ``k`` distinct pods reported, so
+  no analysis result can depend on a path unique to fewer than k users.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import defaultdict
+from typing import Dict, List, Sequence, Tuple
+
+from repro.tracing.trace import Trace
+
+__all__ = ["truncate_trace", "kanonymous_paths", "prefix_population"]
+
+
+def truncate_trace(trace: Trace, max_bits: int) -> Trace:
+    """Drop branch bits beyond ``max_bits``.
+
+    The truncated trace is no longer fully replayable (the tail of the
+    execution becomes unknown), so ``replayable`` is cleared when bits
+    were actually dropped; the retained prefix can still be merged into
+    the execution tree as a path *prefix*.
+    """
+    if max_bits < 0:
+        raise ValueError("max_bits must be >= 0")
+    if len(trace.branch_bits) <= max_bits:
+        return trace
+    return dataclasses.replace(
+        trace,
+        branch_bits=trace.branch_bits[:max_bits],
+        replayable=False,
+        events_recorded=max(
+            0, trace.events_recorded - (len(trace.branch_bits) - max_bits)),
+    )
+
+
+def prefix_population(bit_vectors: Sequence[Tuple[bool, ...]],
+                      ) -> Dict[Tuple[bool, ...], int]:
+    """Count, for every observed bit prefix, how many distinct vectors
+    extend it (the root prefix ``()`` counts everything)."""
+    counts: Dict[Tuple[bool, ...], int] = defaultdict(int)
+    for bits in bit_vectors:
+        for end in range(len(bits) + 1):
+            counts[tuple(bits[:end])] += 1
+    return dict(counts)
+
+
+def kanonymous_paths(traces: Sequence[Trace], k: int,
+                     ) -> List[Tuple[Trace, Tuple[bool, ...]]]:
+    """Return each trace with its longest k-anonymous bit prefix.
+
+    A prefix is k-anonymous when at least ``k`` of the supplied traces
+    share it. The hive feeds these generalized prefixes (instead of the
+    raw vectors) to analyses whose output could leak individual paths.
+    ``k=1`` degenerates to the full vectors.
+    """
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    counts = prefix_population([t.branch_bits for t in traces])
+    result = []
+    for trace in traces:
+        bits = tuple(trace.branch_bits)
+        end = len(bits)
+        while end > 0 and counts.get(bits[:end], 0) < k:
+            end -= 1
+        result.append((trace, bits[:end]))
+    return result

@@ -1,0 +1,41 @@
+"""CBI-style sparse sampling of branch predicates.
+
+Liblit et al.'s cooperative bug isolation (paper ref [18]) samples
+instrumentation sites sparsely so per-user overhead stays negligible;
+aggregation over many users recovers the statistical signal. Here each
+dynamic tainted-branch occurrence is recorded independently with
+probability ``1/rate``. A sampled trace no longer pins down one path —
+it specifies a *family* of paths (Sec. 3.1) — so sampled observations
+carry their site explicitly instead of relying on replay.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from repro.progmodel.interpreter import BranchEvent, ExecutionResult
+from repro.tracing.trace import Observation
+
+__all__ = ["sample_observations"]
+
+
+def sample_observations(result: ExecutionResult,
+                        rate: int,
+                        rng: Optional[random.Random] = None) -> List[Observation]:
+    """Sample tainted-branch observations at ``1/rate``.
+
+    ``rate=1`` records every occurrence (dense); larger rates record
+    proportionally less. Sampling is per dynamic occurrence, matching
+    CBI's Bernoulli approximation of its countdown sampler.
+    """
+    if rate < 1:
+        raise ValueError(f"sampling rate must be >= 1, got {rate}")
+    rng = rng if rng is not None else random.Random(0)
+    observations = []
+    for event in result.events:
+        if not isinstance(event, BranchEvent) or not event.tainted:
+            continue
+        if rate == 1 or rng.random() < 1.0 / rate:
+            observations.append(Observation(site=event.site, taken=event.taken))
+    return observations

@@ -1,0 +1,114 @@
+"""The wire-format execution trace.
+
+A :class:`Trace` is what a pod ships to the hive: the bit-vector of
+input-dependent branch directions, syscall return values, the thread
+schedule (run-length encoded), and the outcome label — exactly the
+by-product set of paper Sec. 3.1. Everything else about the execution
+(deterministic branches, lock events, visited blocks) is *reconstructed*
+by hive-side replay, which is the paper's central cost-saving claim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional, Tuple
+
+from repro.progmodel.interpreter import ExecutionResult, Outcome
+
+__all__ = ["Observation", "Trace"]
+
+Site = Tuple[int, str, str]  # (thread, function, block)
+
+
+@dataclass(frozen=True)
+class Observation:
+    """One sampled predicate observation: a branch site and the
+    direction taken at one (sampled) dynamic occurrence."""
+
+    site: Site
+    taken: bool
+
+
+@dataclass(frozen=True)
+class Trace:
+    """One execution's by-products, as shipped over the wire.
+
+    ``replayable`` distinguishes full captures (bit-vectors that the
+    hive can replay into complete paths) from sparse captures
+    (``observations`` only — a *family* of paths, per Sec. 3.1).
+    ``events_recorded`` is the capture-cost proxy used by the
+    overhead experiments: the number of items the pod had to log.
+    """
+
+    program_name: str
+    program_version: int
+    outcome: Outcome
+    branch_bits: Tuple[bool, ...] = ()
+    syscall_returns: Tuple[int, ...] = ()
+    schedule_rle: Tuple[Tuple[int, int], ...] = ()
+    observations: Tuple[Observation, ...] = ()
+    replayable: bool = True
+    steps: int = 0
+    events_recorded: int = 0
+    failure_message: Optional[str] = None
+    failure_site: Optional[Site] = None
+    pod_id: str = ""
+    guided: bool = False
+
+    @property
+    def is_failure(self) -> bool:
+        return self.outcome.is_failure
+
+    def schedule_picks(self) -> Tuple[int, ...]:
+        picks = []
+        for thread, length in self.schedule_rle:
+            picks.extend([thread] * length)
+        return tuple(picks)
+
+    def with_pod(self, pod_id: str) -> "Trace":
+        return replace(self, pod_id=pod_id)
+
+    def cost(self) -> int:
+        """Pod-side recording cost (items logged)."""
+        return self.events_recorded
+
+
+def schedule_rle(picks) -> Tuple[Tuple[int, int], ...]:
+    """Run-length encode a pick sequence."""
+    encoded = []
+    for pick in picks:
+        if encoded and encoded[-1][0] == pick:
+            encoded[-1][1] += 1
+        else:
+            encoded.append([pick, 1])
+    return tuple((thread, length) for thread, length in encoded)
+
+
+def trace_from_result(result: ExecutionResult,
+                      pod_id: str = "",
+                      include_schedule: bool = True,
+                      guided: bool = False) -> Trace:
+    """Build the canonical full-capture trace from an execution."""
+    bits = tuple(result.branch_bits)
+    syscalls = tuple(result.syscall_values)
+    rle = schedule_rle(result.schedule_picks) if include_schedule else ()
+    failure_message = result.failure.message if result.failure else None
+    failure_site = None
+    if result.failure is not None:
+        failure_site = (result.failure.thread, result.failure.function,
+                        result.failure.block)
+    return Trace(
+        program_name=result.program_name,
+        program_version=result.program_version,
+        outcome=result.outcome,
+        branch_bits=bits,
+        syscall_returns=syscalls,
+        schedule_rle=rle,
+        replayable=True,
+        steps=result.steps,
+        events_recorded=len(bits) + len(syscalls) + len(rle),
+        failure_message=failure_message,
+        failure_site=failure_site,
+        pod_id=pod_id,
+        guided=guided,
+    )

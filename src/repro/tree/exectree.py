@@ -1,0 +1,224 @@
+"""Execution tree construction by path merging.
+
+A tree node represents the program state reached after a sequence of
+input-dependent decisions; edges are labelled ``(site, taken)`` where
+``site = (thread, function, block)``. Multi-threaded executions whose
+interleavings diverge produce different site sequences and therefore
+naturally branch in the tree.
+
+Merging a path (Fig. 3) walks the shared prefix — implicitly finding
+the lowest common ancestor — and pastes only the novel suffix, counting
+how much work was shared. Terminal outcomes (OK / crash / deadlock / …)
+are accumulated at leaves, which is what the analysis and proof layers
+consume.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import TraceError, TreeError
+from repro.progmodel.interpreter import Interpreter, Outcome, ReplaySource
+from repro.progmodel.ir import Program
+from repro.tracing.trace import Trace
+
+__all__ = ["TreeNode", "MergeStats", "ExecutionTree", "path_from_trace"]
+
+Site = Tuple[int, str, str]
+Decision = Tuple[Site, bool]
+
+
+@dataclass
+class TreeNode:
+    """One node of the collective execution tree."""
+
+    decision: Optional[Decision] = None  # edge label from the parent
+    children: Dict[Decision, "TreeNode"] = field(default_factory=dict)
+    visit_count: int = 0
+    outcome_counts: Counter = field(default_factory=Counter)
+    depth: int = 0
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+    @property
+    def terminal_count(self) -> int:
+        """Executions that *ended* at this node."""
+        return sum(self.outcome_counts.values())
+
+    def child(self, decision: Decision) -> Optional["TreeNode"]:
+        return self.children.get(decision)
+
+    def sites_here(self) -> List[Site]:
+        """Distinct decision sites observed immediately below this node."""
+        seen: List[Site] = []
+        for (site, _taken) in self.children:
+            if site not in seen:
+                seen.append(site)
+        return seen
+
+
+@dataclass
+class MergeStats:
+    """Cost accounting for one path merge (experiment E2)."""
+
+    path_length: int
+    lca_depth: int          # length of the shared prefix
+    nodes_created: int      # novel suffix length
+    was_new_path: bool
+
+
+class ExecutionTree:
+    """The hive's aggregate knowledge of one program's behaviour."""
+
+    def __init__(self, program_name: str, program_version: int = 1):
+        self.program_name = program_name
+        self.program_version = program_version
+        self.root = TreeNode()
+        self.node_count = 1
+        self.path_count = 0          # distinct complete paths
+        self.insert_count = 0        # total executions merged
+        self.failure_leaves: Dict[Decision, int] = {}
+
+    # -- construction -------------------------------------------------------
+
+    def insert_path(self, decisions: Sequence[Decision],
+                    outcome: Outcome) -> MergeStats:
+        """Merge one decision path; returns merge-cost statistics."""
+        node = self.root
+        node.visit_count += 1
+        lca_depth = 0
+        created = 0
+        for index, decision in enumerate(decisions):
+            child = node.children.get(decision)
+            if child is None:
+                child = TreeNode(decision=decision, depth=node.depth + 1)
+                node.children[decision] = child
+                self.node_count += 1
+                created += 1
+            elif created == 0:
+                lca_depth = index + 1
+            child.visit_count += 1
+            node = child
+        was_new = node.terminal_count == 0
+        node.outcome_counts[outcome] += 1
+        if was_new:
+            self.path_count += 1
+        self.insert_count += 1
+        return MergeStats(
+            path_length=len(decisions),
+            lca_depth=lca_depth,
+            nodes_created=created,
+            was_new_path=was_new,
+        )
+
+    def insert_trace(self, trace: Trace, program: Program,
+                     limits=None) -> MergeStats:
+        """Replay a full-capture trace and merge its path (Fig. 3)."""
+        decisions, outcome = path_from_trace(trace, program, limits=limits)
+        if outcome is not trace.outcome:
+            raise TreeError(
+                f"replay outcome {outcome} disagrees with recorded"
+                f" {trace.outcome} — trace/program version mismatch?")
+        return self.insert_path(decisions, outcome)
+
+    def merge_tree(self, other: "ExecutionTree") -> int:
+        """Merge another tree into this one (hive node exchange).
+
+        Returns the number of paths copied. Terminal outcome counters
+        add up; visit counts are recomputed from the copied paths.
+        """
+        if other.program_name != self.program_name:
+            raise TreeError("cannot merge trees of different programs")
+        copied = 0
+        for decisions, outcomes in other.iter_terminal_paths():
+            for outcome, count in outcomes.items():
+                for _ in range(count):
+                    self.insert_path(decisions, outcome)
+            copied += 1
+        return copied
+
+    # -- queries -------------------------------------------------------------
+
+    def contains_path(self, decisions: Sequence[Decision]) -> bool:
+        node = self.root
+        for decision in decisions:
+            node = node.children.get(decision)
+            if node is None:
+                return False
+        return node.terminal_count > 0
+
+    def iter_nodes(self) -> Iterator[TreeNode]:
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(node.children.values())
+
+    def iter_terminal_paths(
+            self) -> Iterator[Tuple[Tuple[Decision, ...], Counter]]:
+        """Yield (decision path, outcome counter) for every node where
+        at least one execution terminated."""
+        stack: List[Tuple[TreeNode, Tuple[Decision, ...]]] = [(self.root, ())]
+        while stack:
+            node, path = stack.pop()
+            if node.terminal_count:
+                yield path, node.outcome_counts
+            for decision, child in node.children.items():
+                stack.append((child, path + (decision,)))
+
+    def outcome_totals(self) -> Counter:
+        totals: Counter = Counter()
+        for _path, outcomes in self.iter_terminal_paths():
+            totals.update(outcomes)
+        return totals
+
+    def observed_decisions(self) -> Counter:
+        """How often each (site, taken) decision was traversed."""
+        counts: Counter = Counter()
+        for node in self.iter_nodes():
+            if node.decision is not None:
+                counts[node.decision] += node.visit_count
+        return counts
+
+    def failure_paths(self) -> List[Tuple[Tuple[Decision, ...], Outcome, int]]:
+        """All paths that ended in a failure, with counts."""
+        failures = []
+        for path, outcomes in self.iter_terminal_paths():
+            for outcome, count in outcomes.items():
+                if outcome.is_failure:
+                    failures.append((path, outcome, count))
+        return failures
+
+    def max_depth(self) -> int:
+        return max((n.depth for n in self.iter_nodes()), default=0)
+
+
+def path_from_trace(trace: Trace, program: Program,
+                    limits=None) -> Tuple[List[Decision], Outcome]:
+    """Replay a trace against its program, reconstructing the full
+    decision path (the hive-side half of Fig. 3).
+
+    Only replayable (full-capture) traces can be expanded; sampled or
+    truncated traces specify path families and are handled by the
+    statistical analyses instead.
+    """
+    if not trace.replayable:
+        raise TraceError("cannot reconstruct a path from a non-replayable trace")
+    if trace.program_name != program.name:
+        raise TraceError(
+            f"trace is for {trace.program_name!r}, not {program.name!r}")
+    if trace.program_version != program.version:
+        raise TraceError(
+            f"trace version {trace.program_version} != program"
+            f" version {program.version}")
+    source = ReplaySource(
+        branch_bits=list(trace.branch_bits),
+        syscall_returns=list(trace.syscall_returns),
+        schedule_picks=list(trace.schedule_picks()),
+    )
+    result = Interpreter(program, limits=limits).replay(source)
+    return result.path_decisions, result.outcome

@@ -1,0 +1,83 @@
+"""Path families: what a sampled trace tells the hive.
+
+Paper Sec. 3.1: with sampling, "instead of uniquely specifying a path,
+a recorded trace specifies a family of paths, but subsequent
+aggregation of traces can narrow down this family for the purpose of
+analysis."
+
+A sampled trace's observations are (site, direction) occurrences drawn
+from the real path. Against the collective tree (built from other
+users' full traces), the *family* of a sampled trace is the set of
+known paths consistent with its observations — i.e. paths that contain
+at least as many matching occurrences of every observed decision.
+As the sampling rate rises, or as observations accumulate over
+repeated runs of the same habitual user, the family shrinks toward the
+singleton true path.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.tracing.trace import Observation, Trace
+from repro.tree.exectree import ExecutionTree
+
+__all__ = ["family_for_observations", "family_for_trace",
+           "narrowing_curve"]
+
+Decision = Tuple[Tuple[int, str, str], bool]
+Path = Tuple[Decision, ...]
+
+
+def _observation_counts(observations: Iterable[Observation]) -> Counter:
+    return Counter((obs.site, obs.taken) for obs in observations)
+
+
+def _path_supports(path: Path, needed: Counter) -> bool:
+    """True iff ``path`` contains every observed decision at least as
+    often as it was observed (sampling can only under-count)."""
+    if not needed:
+        return True
+    have = Counter(path)
+    return all(have.get(decision, 0) >= count
+               for decision, count in needed.items())
+
+
+def family_for_observations(tree: ExecutionTree,
+                            observations: Iterable[Observation],
+                            ) -> List[Path]:
+    """All known (tree) paths consistent with the observations."""
+    needed = _observation_counts(observations)
+    return [path for path, _outcomes in tree.iter_terminal_paths()
+            if _path_supports(path, needed)]
+
+
+def family_for_trace(tree: ExecutionTree, trace: Trace) -> List[Path]:
+    """The path family a sampled trace specifies against the tree."""
+    return family_for_observations(tree, trace.observations)
+
+
+def narrowing_curve(tree: ExecutionTree,
+                    observation_batches: Sequence[Iterable[Observation]],
+                    ) -> List[int]:
+    """Family size after each successive batch of observations.
+
+    Models the paper's aggregation claim: batches are repeated sampled
+    runs of the *same underlying path* (e.g. one habitual user); each
+    batch can only shrink (or keep) the family, and the returned sizes
+    are therefore non-increasing.
+    """
+    accumulated: Counter = Counter()
+    sizes: List[int] = []
+    known = [path for path, _o in tree.iter_terminal_paths()]
+    for batch in observation_batches:
+        batch_counts = _observation_counts(batch)
+        # Across runs of the same path, per-decision occurrence counts
+        # are maxima, not sums (two samples of the same occurrence are
+        # still one occurrence — the max is the sound lower bound).
+        for decision, count in batch_counts.items():
+            accumulated[decision] = max(accumulated[decision], count)
+        sizes.append(sum(1 for path in known
+                         if _path_supports(path, accumulated)))
+    return sizes

@@ -1,0 +1,73 @@
+"""Gap enumeration: where is the tree incomplete?
+
+The paper (Sec. 3.3): an incomplete tree "still has unexplored paths
+[...] SoftBorg uses symbolic analysis of the program to (1) reason
+about the incomplete tree, and (2) identify directions toward which to
+guide the pods to fill in the gaps."
+
+A :class:`Gap` is a tree node at which one direction of a decision site
+has been observed but the other never has. Gaps are the raw material of
+execution guidance: the steering layer asks the symbolic engine whether
+the missing direction is feasible and, if so, synthesizes inputs that
+reach it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.tree.exectree import ExecutionTree, TreeNode
+
+__all__ = ["Gap", "enumerate_gaps"]
+
+Site = Tuple[int, str, str]
+Decision = Tuple[Site, bool]
+
+
+@dataclass
+class Gap:
+    """An unexplored direction at a known decision point.
+
+    ``prefix`` is the decision path from the root to the gap's node;
+    appending ``(site, missing_direction)`` describes the unexplored
+    edge. ``weight`` is how many executions passed through the node —
+    high-traffic gaps are cheap to fill by steering (many natural runs
+    already reach the decision point).
+    """
+
+    prefix: Tuple[Decision, ...]
+    site: Site
+    missing_direction: bool
+    weight: int
+    depth: int
+
+
+def enumerate_gaps(tree: ExecutionTree, max_gaps: int = 0) -> List[Gap]:
+    """Find all one-sided decision sites in the tree.
+
+    Gaps are returned most-visited first (then shallowest), matching
+    the steering layer's "cheapest expected fill" priority. ``max_gaps``
+    truncates the list when positive.
+    """
+    gaps: List[Gap] = []
+    stack: List[Tuple[TreeNode, Tuple[Decision, ...]]] = [(tree.root, ())]
+    while stack:
+        node, prefix = stack.pop()
+        for site in node.sites_here():
+            has_true = (site, True) in node.children
+            has_false = (site, False) in node.children
+            if has_true != has_false:
+                gaps.append(Gap(
+                    prefix=prefix,
+                    site=site,
+                    missing_direction=not has_true,
+                    weight=node.visit_count,
+                    depth=node.depth,
+                ))
+        for decision, child in node.children.items():
+            stack.append((child, prefix + (decision,)))
+    gaps.sort(key=lambda g: (-g.weight, g.depth, g.site, g.missing_direction))
+    if max_gaps > 0:
+        gaps = gaps[:max_gaps]
+    return gaps

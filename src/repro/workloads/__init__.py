@@ -1,0 +1,22 @@
+"""User-population simulation.
+
+Stands in for the paper's ">500 million computers" running a program:
+a population of users with skewed activity (Zipf) and per-user input
+habits, so common paths are exercised constantly while rare input
+combinations — where seeded bugs hide — surface only occasionally.
+"""
+
+from repro.workloads.population import User, UserPopulation
+from repro.workloads.scenarios import (
+    Scenario,
+    crash_scenario,
+    deadlock_scenario,
+    mixed_corpus_scenario,
+    shortread_scenario,
+)
+
+__all__ = [
+    "User", "UserPopulation",
+    "Scenario", "crash_scenario", "deadlock_scenario",
+    "shortread_scenario", "mixed_corpus_scenario",
+]

@@ -1,0 +1,77 @@
+"""Users and populations."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ConfigError
+from repro.progmodel.ir import Program
+from repro.rng import choice_weighted, make_rng
+
+__all__ = ["User", "UserPopulation"]
+
+InputVector = Dict[str, int]
+
+
+@dataclass
+class User:
+    """One end-user: habitual inputs plus occasional exploration.
+
+    ``base_inputs`` models the user's routine (same document, same
+    settings); each run perturbs every coordinate independently with
+    probability ``volatility`` to a fresh uniform value. Low volatility
+    makes the population heavily skewed toward a few paths — the regime
+    where collective aggregation matters most.
+    """
+
+    user_id: str
+    base_inputs: InputVector
+    volatility: float = 0.2
+
+    def draw(self, program: Program, rng: random.Random) -> InputVector:
+        inputs = {}
+        for name, (lo, hi) in program.inputs.items():
+            base = self.base_inputs.get(name, lo)
+            if rng.random() < self.volatility:
+                inputs[name] = rng.randint(lo, hi)
+            else:
+                inputs[name] = base
+        return inputs
+
+
+class UserPopulation:
+    """A Zipf-skewed population of users of one program."""
+
+    def __init__(self, program: Program, n_users: int,
+                 volatility: float = 0.2, zipf_s: float = 1.1,
+                 seed: int = 0):
+        if n_users < 1:
+            raise ConfigError("population needs at least one user")
+        if not 0.0 <= volatility <= 1.0:
+            raise ConfigError("volatility must be in [0, 1]")
+        self.program = program
+        self._rng = make_rng(seed, "population", program.name)
+        self.users: List[User] = []
+        for index in range(n_users):
+            base = {name: self._rng.randint(lo, hi)
+                    for name, (lo, hi) in program.inputs.items()}
+            self.users.append(User(
+                user_id=f"user{index:05d}",
+                base_inputs=base,
+                volatility=volatility,
+            ))
+        # Zipf activity weights: user k runs the program ~ 1/(k+1)^s.
+        self._weights = [1.0 / (k + 1) ** zipf_s for k in range(n_users)]
+
+    def sample_user(self) -> User:
+        return choice_weighted(self._rng, self.users, self._weights)
+
+    def sample_execution(self) -> Tuple[User, InputVector]:
+        """One natural execution: an (active user, input vector) draw."""
+        user = self.sample_user()
+        return user, user.draw(self.program, self._rng)
+
+    def executions(self, count: int) -> List[Tuple[User, InputVector]]:
+        return [self.sample_execution() for _ in range(count)]

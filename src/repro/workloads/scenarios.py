@@ -1,0 +1,102 @@
+"""Canned end-to-end scenarios for examples, tests, and benchmarks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.progmodel.bugs import BugKind
+from repro.progmodel.corpus import (
+    CorpusConfig,
+    SeededProgram,
+    generate_corpus,
+    generate_program,
+    make_crash_demo,
+    make_deadlock_demo,
+    make_race_demo,
+    make_shortread_demo,
+)
+from repro.workloads.population import UserPopulation
+
+__all__ = [
+    "Scenario", "crash_scenario", "deadlock_scenario",
+    "shortread_scenario", "race_scenario", "mixed_corpus_scenario",
+]
+
+
+@dataclass
+class Scenario:
+    """A program-with-ground-truth plus its user population."""
+
+    seeded: SeededProgram
+    population: UserPopulation
+    fault_rate: float = 0.0
+    description: str = ""
+
+    @property
+    def program(self):
+        return self.seeded.program
+
+    @property
+    def bugs(self):
+        return self.seeded.bugs
+
+
+def crash_scenario(n_users: int = 50, volatility: float = 0.3,
+                   seed: int = 0) -> Scenario:
+    """The quickstart: a crash hiding behind a rare input combination."""
+    seeded = make_crash_demo()
+    population = UserPopulation(seeded.program, n_users,
+                                volatility=volatility, seed=seed)
+    return Scenario(seeded=seeded, population=population,
+                    description="rare-input crash")
+
+
+def deadlock_scenario(n_users: int = 30, volatility: float = 0.5,
+                      seed: int = 0) -> Scenario:
+    """Two threads with an AB/BA lock pattern behind an input gate."""
+    seeded = make_deadlock_demo()
+    population = UserPopulation(seeded.program, n_users,
+                                volatility=volatility, seed=seed)
+    return Scenario(seeded=seeded, population=population,
+                    description="schedule-dependent deadlock")
+
+
+def shortread_scenario(n_users: int = 40, volatility: float = 0.3,
+                       fault_rate: float = 0.05, seed: int = 0) -> Scenario:
+    """An unhandled short read that only environment faults expose."""
+    seeded = make_shortread_demo()
+    population = UserPopulation(seeded.program, n_users,
+                                volatility=volatility, seed=seed)
+    return Scenario(seeded=seeded, population=population,
+                    fault_rate=fault_rate,
+                    description="unhandled short read under faults")
+
+
+def race_scenario(n_users: int = 30, volatility: float = 0.3,
+                  seed: int = 0) -> Scenario:
+    """Two threads race on a shared counter; lost updates trip a final
+    assertion under unlucky interleavings."""
+    seeded = make_race_demo()
+    population = UserPopulation(seeded.program, n_users,
+                                volatility=volatility, seed=seed)
+    return Scenario(seeded=seeded, population=population,
+                    description="unsynchronized shared counter (race)")
+
+
+def mixed_corpus_scenario(n_programs: int = 5, n_users: int = 40,
+                          bug_kinds: Sequence[BugKind] = (
+                              BugKind.CRASH, BugKind.ASSERT),
+                          config: Optional[CorpusConfig] = None,
+                          seed: int = 0) -> List[Scenario]:
+    """A fleet of generated programs, each with its own population."""
+    config = config or CorpusConfig(seed=seed)
+    scenarios = []
+    for index, seeded in enumerate(
+            generate_corpus(config, n_programs, bug_kinds)):
+        population = UserPopulation(seeded.program, n_users,
+                                    volatility=0.3, seed=seed + index)
+        scenarios.append(Scenario(
+            seeded=seeded, population=population,
+            description=f"generated corpus program {seeded.name}"))
+    return scenarios

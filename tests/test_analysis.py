@@ -1,0 +1,246 @@
+"""Analysis layer tests: deadlock graphs, crash buckets, CBI, tree
+localization, hang inference."""
+
+import random
+
+import pytest
+
+from repro.analysis.cbi import CbiAnalyzer
+from repro.analysis.crashes import CrashBucketer
+from repro.analysis.deadlock import DeadlockAnalyzer, LockOrderGraph
+from repro.analysis.hangs import infer_hangs
+from repro.analysis.localize import localize_from_tree, rank_of_block
+from repro.progmodel.corpus import (
+    CorpusConfig, generate_program, make_crash_demo, make_deadlock_demo,
+)
+from repro.progmodel.bugs import BugKind
+from repro.progmodel.interpreter import Interpreter, Outcome
+from repro.progmodel.ir import Input
+from repro.sched.scheduler import RandomScheduler, RoundRobinScheduler
+from repro.tracing.capture import FullCapture, SampledCapture
+from repro.tracing.outcome import UserFeedback
+from repro.tracing.trace import Observation, trace_from_result
+from repro.tree.exectree import ExecutionTree
+
+
+class TestLockOrderGraph:
+    def test_ab_ba_cycle_detected(self):
+        demo = make_deadlock_demo()
+        analyzer = DeadlockAnalyzer()
+        # A run that deadlocks establishes both A->B and B->A orders
+        # (the blocked "request" events count).
+        result = Interpreter(demo.program).run(
+            {"go": 1}, scheduler=RoundRobinScheduler())
+        assert result.outcome is Outcome.DEADLOCK
+        analyzer.add_execution(result)
+        diagnoses = analyzer.diagnoses()
+        assert len(diagnoses) == 1
+        assert diagnoses[0].locks == ("A", "B")
+        assert analyzer.observed_deadlocks == 1
+
+    def test_cycle_from_two_clean_runs(self):
+        """The pattern is detectable from runs that did NOT deadlock:
+        one run each establishing A->B and B->A."""
+        demo = make_deadlock_demo()
+        analyzer = DeadlockAnalyzer()
+        ok_runs = 0
+        for seed in range(40):
+            result = Interpreter(demo.program).run(
+                {"go": 1}, scheduler=RandomScheduler(seed=seed))
+            if result.outcome is Outcome.OK:
+                analyzer.add_execution(result)
+                ok_runs += 1
+        assert ok_runs >= 2
+        cycles = analyzer.graph.cycles()
+        assert ("A", "B") in cycles
+
+    def test_no_cycle_for_consistent_order(self):
+        graph = LockOrderGraph()
+
+        class E:
+            def __init__(self, thread, op, lock):
+                self.thread, self.op, self.lock_name = thread, op, lock
+                self.function, self.block = "main", "entry"
+
+        graph.add_execution([E(0, "acquire", "A"), E(0, "acquire", "B"),
+                             E(0, "release", "B"), E(0, "release", "A"),
+                             E(1, "acquire", "A"), E(1, "acquire", "B"),
+                             E(1, "release", "B"), E(1, "release", "A")])
+        assert graph.cycles() == []
+        assert graph.edges() == [("A", "B")]
+
+    def test_three_lock_cycle(self):
+        graph = LockOrderGraph()
+
+        class E:
+            def __init__(self, thread, op, lock):
+                self.thread, self.op, self.lock_name = thread, op, lock
+                self.function, self.block = "f", "b"
+
+        for thread, (l1, l2) in enumerate([("A", "B"), ("B", "C"),
+                                           ("C", "A")]):
+            graph.add_execution([E(thread, "acquire", l1),
+                                 E(thread, "acquire", l2),
+                                 E(thread, "release", l2),
+                                 E(thread, "release", l1)])
+        assert ("A", "B", "C") in graph.cycles()
+
+
+class TestCrashBucketer:
+    def _traces(self, n_ok=5, crash_inputs=((7, 2),)):
+        demo = make_crash_demo()
+        traces = []
+        for i in range(n_ok):
+            result = Interpreter(demo.program).run({"n": 1, "mode": 1})
+            traces.append(trace_from_result(result, pod_id=f"pod{i}"))
+        for n, mode in crash_inputs:
+            result = Interpreter(demo.program).run({"n": n, "mode": mode})
+            traces.append(trace_from_result(result, pod_id="podX"))
+        return traces
+
+    def test_failures_bucketed_by_site(self):
+        bucketer = CrashBucketer()
+        for trace in self._traces(crash_inputs=[(7, 2)] * 3):
+            bucketer.add(trace)
+        buckets = bucketer.buckets()
+        assert len(buckets) == 1
+        assert buckets[0].count == 3
+        assert buckets[0].site == (0, "main", "boom")
+
+    def test_ok_traces_not_bucketed(self):
+        bucketer = CrashBucketer()
+        for trace in self._traces(n_ok=4, crash_inputs=()):
+            assert bucketer.add(trace) is None
+        assert bucketer.buckets() == []
+        assert bucketer.failure_rate() == 0.0
+
+    def test_ranking_by_volume(self):
+        bucketer = CrashBucketer()
+        seeded = generate_program("p", CorpusConfig(seed=23),
+                                  (BugKind.CRASH, BugKind.ASSERT))
+        rng = random.Random(0)
+        for _ in range(400):
+            inputs = {name: rng.randint(lo, hi)
+                      for name, (lo, hi) in seeded.program.inputs.items()}
+            result = Interpreter(seeded.program).run(inputs)
+            bucketer.add(trace_from_result(result))
+        buckets = bucketer.buckets()
+        if len(buckets) >= 2:
+            assert buckets[0].count >= buckets[1].count
+
+
+class TestCBI:
+    def test_perfect_predicate_ranks_first(self):
+        analyzer = CbiAnalyzer()
+        good = Observation((0, "main", "safe"), True)
+        bad = Observation((0, "main", "guard"), True)
+        bad_false = Observation((0, "main", "guard"), False)
+        for _ in range(50):
+            analyzer.add_run([good, bad_false], failed=False)
+        for _ in range(10):
+            analyzer.add_run([good, bad], failed=True)
+        ranking = analyzer.ranking()
+        assert ranking[0].predicate == ((0, "main", "guard"), True)
+        # failure(P)=1.0, context(P)=10/60 -> increase = 5/6.
+        assert ranking[0].increase == pytest.approx(5 / 6)
+        assert analyzer.rank_of(((0, "main", "guard"), True)) == 1
+
+    def test_ubiquitous_predicate_scores_zero(self):
+        analyzer = CbiAnalyzer()
+        everywhere = Observation((0, "main", "entry"), True)
+        for i in range(20):
+            analyzer.add_run([everywhere], failed=(i % 4 == 0))
+        score = analyzer.ranking()[0]
+        assert score.increase == pytest.approx(0.0)
+        assert score.importance == 0.0
+
+    def test_cbi_localizes_seeded_bug_from_sampled_traces(self):
+        demo = make_crash_demo()
+        analyzer = CbiAnalyzer()
+        rng = random.Random(3)
+        capture = SampledCapture(rate=1)
+        for _ in range(300):
+            inputs = {"n": rng.randint(0, 9), "mode": rng.randint(0, 3)}
+            result = Interpreter(demo.program).run(inputs)
+            analyzer.add_trace(capture.capture(result))
+        top = analyzer.ranking()[0]
+        # The bug guard is the n==7 branch in block m2 taken True.
+        assert top.predicate == ((0, "main", "m2"), True)
+
+
+class TestTreeLocalization:
+    def test_bug_guard_ranks_first(self):
+        demo = make_crash_demo()
+        tree = ExecutionTree(demo.program.name)
+        rng = random.Random(5)
+        for _ in range(300):
+            inputs = {"n": rng.randint(0, 9), "mode": rng.randint(0, 3)}
+            result = Interpreter(demo.program).run(inputs)
+            tree.insert_trace(FullCapture().capture(result), demo.program)
+        scores = localize_from_tree(tree)
+        assert scores[0].decision == (((0, "main", "m2")), True)
+        assert rank_of_block(scores, "main", "m2") == 1
+
+    def test_no_failures_all_zero(self):
+        demo = make_crash_demo()
+        tree = ExecutionTree(demo.program.name)
+        for n in (1, 2, 3):
+            result = Interpreter(demo.program).run({"n": n, "mode": 1})
+            tree.insert_trace(FullCapture().capture(result), demo.program)
+        scores = localize_from_tree(tree)
+        assert all(s.ochiai == 0.0 for s in scores)
+
+    def test_rank_of_missing_block(self):
+        assert rank_of_block([], "main", "ghost") is None
+
+
+class TestHangInference:
+    def test_hangs_grouped_by_site(self):
+        from repro.progmodel.builder import ProgramBuilder
+        from repro.progmodel.interpreter import ExecutionLimits
+        b = ProgramBuilder("h", inputs={"x": (0, 1)})
+        main = b.function("main")
+        main.block("entry").branch(Input("x") == 1, "spin", "end")
+        main.block("spin").jump("spin")
+        main.block("end").halt()
+        program = b.build()
+        limits = ExecutionLimits(max_steps=100)
+        traces = []
+        feedback = []
+        for x in (1, 1, 0):
+            result = Interpreter(program, limits=limits).run({"x": x})
+            traces.append(trace_from_result(result))
+            feedback.append(UserFeedback.FORCED_KILL
+                            if result.outcome is Outcome.HANG
+                            else UserFeedback.NONE)
+        reports = infer_hangs(traces, feedback)
+        assert len(reports) == 1
+        assert reports[0].observed_hangs == 2
+        assert reports[0].forced_kills == 2
+        assert reports[0].site[2] == "spin"
+
+    def test_no_signal_no_reports(self):
+        demo = make_crash_demo()
+        result = Interpreter(demo.program).run({"n": 1, "mode": 1})
+        assert infer_hangs([trace_from_result(result)]) == []
+
+
+class TestBucketSplitting:
+    def test_path_variants_counted(self):
+        from repro.hive.hive import Hive
+        from repro.tracing.trace import trace_from_result
+        seeded = generate_program("bs", CorpusConfig(seed=1, n_segments=8),
+                                  (BugKind.CRASH,))
+        hive = Hive(seeded.program, enable_proofs=False)
+        rng = random.Random(5)
+        for _ in range(400):
+            inputs = {n: rng.randint(lo, hi)
+                      for n, (lo, hi) in seeded.program.inputs.items()}
+            result = Interpreter(seeded.program).run(inputs)
+            hive.ingest(trace_from_result(result))
+        buckets = hive.bucketer.buckets()
+        assert buckets
+        # The rare-input crash is reached through several distinct
+        # surrounding paths -> the bucket shows multiple variants.
+        assert buckets[0].path_variants >= 2
+        assert buckets[0].path_variants <= buckets[0].count

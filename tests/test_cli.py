@@ -1,0 +1,67 @@
+"""CLI smoke tests (python -m repro ...)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.scenario == "crash"
+        assert args.rounds == 15
+        assert not args.guidance
+
+    def test_bad_scenario_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--scenario", "ghost"])
+
+
+class TestCommands:
+    def test_run_crash_loop(self, capsys):
+        code = main(["run", "--scenario", "crash", "--rounds", "6",
+                     "--executions", "20", "--guidance"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Closed loop" in out
+        assert "fixes deployed" in out
+
+    def test_run_no_fixing(self, capsys):
+        code = main(["run", "--scenario", "crash", "--rounds", "4",
+                     "--executions", "15", "--no-fixing"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "fixes deployed : none" in out
+
+    def test_portfolio(self, capsys):
+        code = main(["portfolio", "--instances", "1",
+                     "--budget", "200000"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "portfolio(3)" in out
+        assert "winner split" in out
+
+    def test_explore(self, capsys):
+        code = main(["explore", "--workers", "2", "--seed", "3"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "paths found" in out
+        assert "completed" in out
+
+    def test_show(self, capsys):
+        code = main(["show", "--seed", "3", "--bug", "crash"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "program shown" in out
+        assert "# seeded: bug:crash:" in out
+
+    def test_fleet(self, capsys):
+        code = main(["fleet", "--programs", "2", "--rounds", "6"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Fleet of 2 programs" in out
+        assert "residual fails/1k" in out

@@ -1,0 +1,237 @@
+"""Corpus generator tests: determinism, validity, bug ground truth."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.progmodel.bugs import BugKind
+from repro.progmodel.corpus import (
+    CorpusConfig, generate_corpus, generate_program,
+)
+from repro.progmodel.interpreter import (
+    Environment, ExecutionLimits, Interpreter, Outcome,
+)
+from repro.rng import make_rng
+from repro.sched.scheduler import RandomScheduler
+
+
+def _run(seeded, inputs, seed=0, limits=None):
+    env = Environment(rng=make_rng(seed, "env"))
+    return Interpreter(seeded.program, limits=limits).run(
+        inputs, environment=env)
+
+
+class TestGeneration:
+    def test_deterministic_generation(self):
+        a = generate_program("p", CorpusConfig(seed=3), (BugKind.CRASH,))
+        b = generate_program("p", CorpusConfig(seed=3), (BugKind.CRASH,))
+        assert a.program.branch_sites() == b.program.branch_sites()
+        assert [x.trigger for x in a.bugs] == [x.trigger for x in b.bugs]
+
+    def test_different_seeds_differ(self):
+        a = generate_program("p", CorpusConfig(seed=3), (BugKind.CRASH,))
+        b = generate_program("p", CorpusConfig(seed=4), (BugKind.CRASH,))
+        assert (a.program.branch_sites() != b.program.branch_sites()
+                or a.bugs[0].trigger != b.bugs[0].trigger)
+
+    def test_generated_programs_validate(self):
+        for seeded in generate_corpus(CorpusConfig(seed=1), n_programs=5):
+            seeded.program.validate()  # raises on malformation
+
+    def test_bug_count_matches_request(self):
+        kinds = (BugKind.CRASH, BugKind.ASSERT, BugKind.HANG)
+        seeded = generate_program("p", CorpusConfig(seed=5, n_segments=8),
+                                  kinds)
+        assert [b.kind for b in seeded.bugs] != []
+        assert sorted(b.kind.value for b in seeded.bugs) == \
+            sorted(k.value for k in kinds)
+
+    def test_too_many_bugs_rejected(self):
+        with pytest.raises(ConfigError):
+            generate_program("p", CorpusConfig(seed=0, n_segments=2),
+                             (BugKind.CRASH,) * 3)
+
+    def test_two_deadlocks_rejected(self):
+        with pytest.raises(ConfigError):
+            generate_program("p", CorpusConfig(seed=0),
+                             (BugKind.DEADLOCK, BugKind.DEADLOCK))
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigError):
+            CorpusConfig(n_inputs=0).validate()
+        with pytest.raises(ConfigError):
+            CorpusConfig(input_domain=1).validate()
+        with pytest.raises(ConfigError):
+            CorpusConfig(bug_rarity=9, n_inputs=4).validate()
+
+
+class TestSeededBugBehaviour:
+    def test_crash_bug_fires_on_trigger(self):
+        seeded = generate_program("p", CorpusConfig(seed=7),
+                                  (BugKind.CRASH,))
+        bug = seeded.bugs[0]
+        fired = False
+        # The trigger gates the bug site, but reaching the site also
+        # requires the surrounding diamond to branch the right way,
+        # which depends on the other inputs: try several fillers.
+        for filler_seed in range(40):
+            rng = make_rng(filler_seed, "filler")
+            inputs = bug.triggering_inputs(seeded.program.inputs, rng)
+            result = _run(seeded, inputs)
+            if result.outcome is Outcome.CRASH and \
+                    result.failure.message == bug.message:
+                fired = True
+                break
+        assert fired, "crash bug never fired on triggering inputs"
+
+    def test_crash_bug_silent_off_trigger(self):
+        seeded = generate_program("p", CorpusConfig(seed=7),
+                                  (BugKind.CRASH,))
+        bug = seeded.bugs[0]
+        for filler_seed in range(20):
+            rng = make_rng(filler_seed, "off")
+            inputs = bug.triggering_inputs(seeded.program.inputs, rng)
+            # Break the trigger.
+            name, value = next(iter(bug.trigger.items()))
+            lo, hi = seeded.program.inputs[name]
+            inputs[name] = value + 1 if value < hi else value - 1
+            result = _run(seeded, inputs)
+            if result.outcome.is_failure:
+                assert result.failure.message != bug.message
+
+    def test_assert_bug(self):
+        seeded = generate_program("p", CorpusConfig(seed=11),
+                                  (BugKind.ASSERT,))
+        bug = seeded.bugs[0]
+        outcomes = set()
+        for filler_seed in range(40):
+            rng = make_rng(filler_seed, "filler")
+            inputs = bug.triggering_inputs(seeded.program.inputs, rng)
+            result = _run(seeded, inputs)
+            outcomes.add(result.outcome)
+            if result.outcome is Outcome.ASSERT:
+                assert result.failure.message == bug.message
+                return
+        pytest.fail(f"assert bug never fired; saw {outcomes}")
+
+    def test_hang_bug(self):
+        seeded = generate_program("p", CorpusConfig(seed=13),
+                                  (BugKind.HANG,))
+        bug = seeded.bugs[0]
+        limits = ExecutionLimits(max_steps=2000)
+        for filler_seed in range(40):
+            rng = make_rng(filler_seed, "filler")
+            inputs = bug.triggering_inputs(seeded.program.inputs, rng)
+            result = _run(seeded, inputs, limits=limits)
+            if result.outcome is Outcome.HANG:
+                return
+        pytest.fail("hang bug never fired")
+
+    def test_deadlock_bug_program_has_two_threads(self):
+        seeded = generate_program("p", CorpusConfig(seed=17),
+                                  (BugKind.DEADLOCK,))
+        assert seeded.program.threads == ("main", "worker")
+        assert set(seeded.bugs[0].locks) == {"lockA", "lockB"}
+
+    def test_deadlock_bug_can_fire(self):
+        seeded = generate_program("p", CorpusConfig(seed=17),
+                                  (BugKind.DEADLOCK,))
+        bug = seeded.bugs[0]
+        for filler_seed in range(60):
+            rng = make_rng(filler_seed, "filler")
+            inputs = bug.triggering_inputs(seeded.program.inputs, rng)
+            result = Interpreter(seeded.program).run(
+                inputs, environment=Environment(),
+                scheduler=RandomScheduler(seed=filler_seed))
+            if result.outcome is Outcome.DEADLOCK:
+                return
+        pytest.fail("deadlock bug never fired under random schedules")
+
+    def test_short_read_bug_needs_fault(self):
+        seeded = generate_program("p", CorpusConfig(seed=19),
+                                  (BugKind.SHORT_READ,))
+        bug = seeded.bugs[0]
+        assert bug.needs_fault
+        # Without faults the program never crashes with the bug message.
+        for filler_seed in range(10):
+            rng = make_rng(filler_seed, "filler")
+            inputs = bug.triggering_inputs(seeded.program.inputs, rng)
+            result = _run(seeded, inputs)
+            if result.outcome.is_failure:
+                assert result.failure.message != bug.message
+
+    def test_short_read_bug_fires_with_faults(self):
+        seeded = generate_program("p", CorpusConfig(seed=19),
+                                  (BugKind.SHORT_READ,))
+        bug = seeded.bugs[0]
+        for filler_seed in range(80):
+            rng = make_rng(filler_seed, "filler")
+            inputs = bug.triggering_inputs(seeded.program.inputs, rng)
+            env = Environment(rng=make_rng(filler_seed, "env"),
+                              fault_rate=0.8)
+            result = Interpreter(seeded.program).run(inputs, environment=env)
+            if (result.outcome is Outcome.CRASH
+                    and result.failure.message == bug.message):
+                return
+        pytest.fail("short-read bug never fired with high fault rate")
+
+    def test_bug_for_message_lookup(self):
+        seeded = generate_program("p", CorpusConfig(seed=7),
+                                  (BugKind.CRASH, BugKind.ASSERT))
+        for bug in seeded.bugs:
+            assert seeded.bug_for_message(bug.message) is bug
+        assert seeded.bug_for_message("unrelated") is None
+
+
+class TestCorpusScale:
+    def test_corpus_generates_requested_count(self):
+        corpus = generate_corpus(CorpusConfig(seed=2), n_programs=7)
+        assert len(corpus) == 7
+        assert len({s.name for s in corpus}) == 7
+
+    def test_programs_terminate_on_random_inputs(self):
+        corpus = generate_corpus(CorpusConfig(seed=2), n_programs=4)
+        rng = make_rng(0, "inputs")
+        for seeded in corpus:
+            for _ in range(5):
+                inputs = {name: rng.randint(lo, hi)
+                          for name, (lo, hi) in seeded.program.inputs.items()}
+                result = _run(seeded, inputs)
+                assert result.outcome in (Outcome.OK, Outcome.CRASH,
+                                          Outcome.ASSERT, Outcome.HANG)
+
+
+class TestNestedDiamonds:
+    def test_default_streams_unchanged(self):
+        """nested_probability=0 must generate byte-identical programs
+        to the pre-feature generator (same rng draws)."""
+        base = generate_program("p", CorpusConfig(seed=7), (BugKind.CRASH,))
+        again = generate_program(
+            "p", CorpusConfig(seed=7, nested_probability=0.0),
+            (BugKind.CRASH,))
+        from repro.progmodel.serialize import encode_program
+        assert encode_program(base.program) == encode_program(again.program)
+
+    def test_nesting_produces_inner_blocks(self):
+        seeded = generate_program(
+            "p", CorpusConfig(seed=7, n_segments=10,
+                              nested_probability=1.0),
+            (BugKind.CRASH,))
+        labels = set(seeded.program.functions["main"].blocks)
+        assert any(label.endswith("_nt") for label in labels)
+        seeded.program.validate()
+
+    def test_nested_programs_execute_and_explore(self):
+        from repro.symbolic.engine import SymbolicEngine
+        seeded = generate_program(
+            "p", CorpusConfig(seed=3, n_segments=6,
+                              nested_probability=0.8),
+            (BugKind.CRASH,))
+        rng = make_rng(0, "nested")
+        for _ in range(10):
+            inputs = {n: rng.randint(lo, hi)
+                      for n, (lo, hi) in seeded.program.inputs.items()}
+            result = _run(seeded, inputs)
+            assert result.outcome in (Outcome.OK, Outcome.CRASH,
+                                      Outcome.ASSERT, Outcome.HANG)
+        paths = SymbolicEngine(seeded.program).explore()
+        assert paths

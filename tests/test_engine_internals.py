@@ -1,0 +1,152 @@
+"""Focused tests for the engine's cooperative-exploration primitives
+and other previously thin spots (rng, report rendering)."""
+
+import pytest
+
+from repro.metrics.report import render_series
+from repro.progmodel.bugs import BugKind
+from repro.progmodel.corpus import CorpusConfig, generate_program, make_crash_demo
+from repro.progmodel.interpreter import Outcome
+from repro.rng import choice_weighted, derive_seed, make_rng, spawn
+from repro.symbolic.engine import SymbolicEngine
+
+
+class TestStateAtPrefix:
+    def test_walks_existing_prefix(self):
+        demo = make_crash_demo()
+        engine = SymbolicEngine(demo.program)
+        paths = engine.explore()
+        target = paths[0].decisions
+        state = engine.state_at_prefix(target)
+        assert state is not None
+        assert tuple(state.decisions) == target
+
+    def test_rejects_bogus_prefix(self):
+        demo = make_crash_demo()
+        engine = SymbolicEngine(demo.program)
+        assert engine.state_at_prefix(
+            [((0, "main", "nonexistent"), True)]) is None
+
+    def test_rejects_infeasible_prefix(self):
+        demo = make_crash_demo()
+        engine = SymbolicEngine(demo.program)
+        # mode==2 taken both True at entry and then n==7 both ways is
+        # fine, but forcing the same site twice in a row is not a walk
+        # the program can take.
+        site = (0, "main", "entry")
+        assert engine.state_at_prefix([(site, True), (site, True)]) is None
+
+
+class TestExpandNode:
+    def test_root_expansion_children(self):
+        demo = make_crash_demo()
+        engine = SymbolicEngine(demo.program)
+        paths, children = engine.expand_node(())
+        assert paths == []
+        assert len(children) == 2      # entry branch both feasible
+        assert all(len(prefix) == 1 for prefix in children)
+
+    def test_terminal_prefix_yields_path(self):
+        demo = make_crash_demo()
+        engine = SymbolicEngine(demo.program)
+        full = engine.explore()
+        crash = next(p for p in full if p.outcome is Outcome.CRASH)
+        paths, children = engine.expand_node(crash.decisions)
+        assert children == []
+        assert len(paths) == 1
+        assert paths[0].outcome is Outcome.CRASH
+
+    def test_expansion_covers_whole_tree(self):
+        """BFS via expand_node discovers exactly explore()'s paths."""
+        seeded = generate_program("exp", CorpusConfig(seed=4, n_segments=4),
+                                  (BugKind.CRASH,))
+        engine = SymbolicEngine(seeded.program)
+        expected = {p.decisions for p in engine.explore()}
+        found = set()
+        frontier = [()]
+        while frontier:
+            prefix = frontier.pop()
+            paths, children = engine.expand_node(prefix)
+            found.update(p.decisions for p in paths)
+            frontier.extend(children)
+        assert found == expected
+
+
+class TestBoundedExploration:
+    def test_small_subtree_explored_fully(self):
+        demo = make_crash_demo()
+        engine = SymbolicEngine(demo.program)
+        paths, frontier = engine.explore_subtree_bounded((), max_paths=50)
+        assert frontier == []
+        assert {p.decisions for p in paths} == \
+            {p.decisions for p in engine.explore()}
+
+    def test_large_subtree_splits_without_losing_paths(self):
+        seeded = generate_program("big", CorpusConfig(seed=9, n_segments=8),
+                                  (BugKind.CRASH,))
+        engine = SymbolicEngine(seeded.program)
+        expected = {p.decisions for p in engine.explore()}
+        found = set()
+        tasks = [()]
+        while tasks:
+            prefix = tasks.pop()
+            paths, frontier = engine.explore_subtree_bounded(
+                prefix, max_paths=4)
+            found.update(p.decisions for p in paths)
+            tasks.extend(frontier)
+        assert found == expected
+
+    def test_bound_respected(self):
+        seeded = generate_program("big", CorpusConfig(seed=9, n_segments=8),
+                                  (BugKind.CRASH,))
+        engine = SymbolicEngine(seeded.program)
+        paths, frontier = engine.explore_subtree_bounded((), max_paths=4)
+        assert frontier  # the tree is larger than 4 paths
+        assert len(paths) <= 5  # max_paths + the in-flight pop
+
+
+class TestRngUtilities:
+    def test_derive_seed_is_stable_and_label_sensitive(self):
+        assert derive_seed(1, "a", 2) == derive_seed(1, "a", 2)
+        assert derive_seed(1, "a", 2) != derive_seed(1, "a", 3)
+        assert derive_seed(1, "a") != derive_seed(2, "a")
+
+    def test_make_rng_independent_streams(self):
+        a = [make_rng(5, "x").random() for _ in range(3)]
+        b = [make_rng(5, "y").random() for _ in range(3)]
+        assert a != b
+        assert a == [make_rng(5, "x").random() for _ in range(3)]
+
+    def test_spawn(self):
+        parent = make_rng(0, "p")
+        children = list(spawn(parent, 3))
+        assert len(children) == 3
+        values = [c.random() for c in children]
+        assert len(set(values)) == 3
+
+    def test_choice_weighted(self):
+        rng = make_rng(0, "w")
+        picks = [choice_weighted(rng, ["a", "b"], [0.0, 1.0])
+                 for _ in range(20)]
+        assert set(picks) == {"b"}
+        with pytest.raises(ValueError):
+            choice_weighted(rng, ["a"], [0.0])
+
+
+class TestRenderSeries:
+    def test_empty(self):
+        assert "(no data)" in render_series([])
+
+    def test_shape_and_range(self):
+        line = render_series([0, 5, 10], title="t", width=10)
+        assert line.startswith("t  [")
+        assert "(0..10.00)" in line
+
+    def test_downsampling(self):
+        line = render_series(list(range(1000)), width=20)
+        inner = line[line.index("[") + 1:line.index("]")]
+        assert len(inner) == 20
+
+    def test_zero_series(self):
+        line = render_series([0.0, 0.0], width=5)
+        assert "[" in line  # renders without dividing by zero

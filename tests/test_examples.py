@@ -1,0 +1,51 @@
+"""Smoke tests: every example script runs to completion and prints its
+headline result. Keeps deliverable (b) from rotting."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def _run_example(name: str, capsys) -> str:
+    path = EXAMPLES / f"{name}.py"
+    assert path.exists(), path
+    runpy.run_path(str(path), run_name="__main__")
+    return capsys.readouterr().out
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        out = _run_example("quickstart", capsys)
+        assert "Closed loop, round by round" in out
+        assert "proved" in out
+        assert "Open bugs        : none" in out
+
+    def test_deadlock_immunity(self, capsys):
+        out = _run_example("deadlock_immunity", capsys)
+        assert "Diagnosed cycle: A -> B -> A" in out
+        assert "deployable=True" in out
+        # The fixed row reports zero deadlocks.
+        fixed_line = next(l for l in out.splitlines()
+                          if l.startswith("fixed"))
+        assert " 0 " in fixed_line
+
+    def test_crash_triage(self, capsys):
+        out = _run_example("crash_triage", capsys)
+        assert "[WER]" in out
+        assert "[CBI]" in out
+        assert "[Tree]" in out
+        assert "tree rank = 1" in out or "tree rank = 2" in out
+
+    def test_cooperative_proving(self, capsys):
+        out = _run_example("cooperative_proving", capsys)
+        assert "proved" in out
+        assert "Cooperative exploration" in out
+
+    def test_race_extermination(self, capsys):
+        out = _run_example("race_extermination", capsys)
+        assert "empty" in out and "candidate lockset" in out
+        assert "Recurrence after fix: 0/100" in out

@@ -1,0 +1,243 @@
+"""Fix synthesis and validation tests: recovery patches, deadlock
+immunity, the validator, and the repair lab."""
+
+import pytest
+
+from repro.analysis.deadlock import DeadlockAnalyzer
+from repro.errors import FixError
+from repro.fixes.deadlock_immunity import GateLockFix, synthesize_immunity_fix
+from repro.fixes.fix import Fix, RECOVERY_FLAG, clone_program
+from repro.fixes.patches import SiteRecoveryFix, synthesize_recovery_fixes
+from repro.fixes.repairlab import RepairLab
+from repro.fixes.validation import FixValidator, make_validation_suite
+from repro.progmodel.bugs import BugKind
+from repro.progmodel.corpus import (
+    CorpusConfig, generate_program, make_crash_demo, make_deadlock_demo,
+    make_shortread_demo,
+)
+from repro.progmodel.interpreter import (
+    Environment, ExecutionLimits, FaultPlan, Interpreter, Outcome,
+)
+from repro.rng import make_rng
+from repro.sched.scheduler import RandomScheduler, RoundRobinScheduler
+from repro.tracing.trace import trace_from_result
+
+
+class TestCloneProgram:
+    def test_clone_bumps_version_and_isolates(self):
+        demo = make_crash_demo()
+        cloned = clone_program(demo.program)
+        assert cloned.version == demo.program.version + 1
+        cloned.functions["main"].blocks["boom"].instructions.clear()
+        assert demo.program.functions["main"].blocks["boom"].instructions
+
+
+class TestSiteRecoveryFix:
+    def test_crash_site_recovered(self):
+        demo = make_crash_demo()
+        fix = SiteRecoveryFix(fix_id="f1", function="main", block="boom")
+        fixed = fix.apply(demo.program)
+        result = Interpreter(fixed).run({"n": 7, "mode": 2})
+        assert result.outcome is Outcome.OK
+
+    def test_ok_paths_untouched(self):
+        demo = make_crash_demo()
+        fix = SiteRecoveryFix(fix_id="f1", function="main", block="boom")
+        fixed = fix.apply(demo.program)
+        for n in range(7):
+            before = Interpreter(demo.program).run({"n": n, "mode": 2})
+            after = Interpreter(fixed).run({"n": n, "mode": 2})
+            assert before.outcome is Outcome.OK
+            assert after.outcome is Outcome.OK
+            assert before.return_values == after.return_values
+
+    def test_hang_site_recovered(self):
+        seeded = generate_program("h", CorpusConfig(seed=13),
+                                  (BugKind.HANG,))
+        bug = seeded.bugs[0]
+        limits = ExecutionLimits(max_steps=2000)
+        # Find inputs that actually hang.
+        hang_inputs = None
+        for filler in range(40):
+            inputs = bug.triggering_inputs(seeded.program.inputs,
+                                           make_rng(filler, "f"))
+            if Interpreter(seeded.program, limits=limits).run(
+                    inputs).outcome is Outcome.HANG:
+                hang_inputs = inputs
+                break
+        assert hang_inputs is not None
+        fix = SiteRecoveryFix(fix_id="fh", function=bug.site_function,
+                              block=bug.site_block)
+        fixed = fix.apply(seeded.program)
+        result = Interpreter(fixed, limits=limits).run(hang_inputs)
+        assert result.outcome is Outcome.OK
+
+    def test_missing_target_rejected(self):
+        demo = make_crash_demo()
+        fix = SiteRecoveryFix(fix_id="f1", function="main", block="ghost")
+        with pytest.raises(Exception):
+            fix.apply(demo.program)
+
+    def test_synthesize_from_traces(self):
+        demo = make_crash_demo()
+        traces = []
+        for inputs in ({"n": 7, "mode": 2}, {"n": 7, "mode": 2},
+                       {"n": 1, "mode": 1}):
+            result = Interpreter(demo.program).run(inputs)
+            traces.append(trace_from_result(result))
+        fixes = synthesize_recovery_fixes(traces, demo.program.name)
+        assert len(fixes) == 1
+        assert fixes[0].block == "boom"
+        assert fixes[0].target_bug_message == demo.bugs[0].message
+
+    def test_deadlock_traces_not_recovery_targets(self):
+        demo = make_deadlock_demo()
+        result = Interpreter(demo.program).run(
+            {"go": 1}, scheduler=RoundRobinScheduler())
+        assert result.outcome is Outcome.DEADLOCK
+        fixes = synthesize_recovery_fixes([trace_from_result(result)],
+                                          demo.program.name)
+        assert fixes == []
+
+
+class TestGateLockFix:
+    def _diagnose(self, demo):
+        analyzer = DeadlockAnalyzer()
+        result = Interpreter(demo.program).run(
+            {"go": 1}, scheduler=RoundRobinScheduler())
+        analyzer.add_execution(result)
+        return analyzer.diagnoses()[0]
+
+    def test_immunity_prevents_deadlock(self):
+        demo = make_deadlock_demo()
+        diagnosis = self._diagnose(demo)
+        fix = synthesize_immunity_fix(diagnosis, demo.program.name)
+        fixed = fix.apply(demo.program)
+        # The schedule that reliably deadlocked the original...
+        assert Interpreter(demo.program).run(
+            {"go": 1}, scheduler=RoundRobinScheduler()
+        ).outcome is Outcome.DEADLOCK
+        # ... and any schedule on the fixed program: no deadlock.
+        assert Interpreter(fixed).run(
+            {"go": 1}, scheduler=RoundRobinScheduler()
+        ).outcome is Outcome.OK
+        for seed in range(30):
+            result = Interpreter(fixed).run(
+                {"go": 1}, scheduler=RandomScheduler(seed=seed))
+            assert result.outcome is Outcome.OK
+
+    def test_untriggered_runs_unaffected(self):
+        demo = make_deadlock_demo()
+        fix = synthesize_immunity_fix(self._diagnose(demo),
+                                      demo.program.name)
+        fixed = fix.apply(demo.program)
+        assert Interpreter(fixed).run({"go": 0}).outcome is Outcome.OK
+
+    def test_corpus_deadlock_program(self):
+        seeded = generate_program("dl", CorpusConfig(seed=17),
+                                  (BugKind.DEADLOCK,))
+        bug = seeded.bugs[0]
+        # Find a deadlocking (inputs, seed) pair.
+        witness = None
+        for seed in range(60):
+            inputs = bug.triggering_inputs(seeded.program.inputs,
+                                           make_rng(seed, "f"))
+            result = Interpreter(seeded.program).run(
+                inputs, scheduler=RandomScheduler(seed=seed))
+            if result.outcome is Outcome.DEADLOCK:
+                witness = (inputs, seed, result)
+                break
+        assert witness is not None
+        inputs, seed, result = witness
+        analyzer = DeadlockAnalyzer()
+        analyzer.add_execution(result)
+        fix = synthesize_immunity_fix(analyzer.diagnoses()[0], seeded.name)
+        fixed = fix.apply(seeded.program)
+        for s in range(40):
+            outcome = Interpreter(fixed).run(
+                inputs, scheduler=RandomScheduler(seed=s)).outcome
+            assert outcome is not Outcome.DEADLOCK
+
+    def test_empty_cycle_rejected(self):
+        demo = make_deadlock_demo()
+        with pytest.raises(FixError):
+            GateLockFix(fix_id="g", cycle_locks=()).apply(demo.program)
+
+    def test_unused_locks_rejected(self):
+        demo = make_crash_demo()
+        with pytest.raises(FixError):
+            GateLockFix(fix_id="g", cycle_locks=("X", "Y")).apply(
+                demo.program)
+
+
+class TestValidation:
+    def test_suite_covers_paths(self):
+        demo = make_crash_demo()
+        suite = make_validation_suite(demo.program)
+        # crash_demo has exactly 3 feasible path classes.
+        assert len(suite) == 3
+        crashing = [case for case in suite
+                    if case.inputs.get("n") == 7
+                    and case.inputs.get("mode") == 2]
+        assert crashing
+
+    def test_good_fix_is_deployable(self):
+        demo = make_crash_demo()
+        validator = FixValidator(demo.program)
+        fix = SiteRecoveryFix(fix_id="f1", function="main", block="boom")
+        report = validator.validate(fix)
+        assert report.deployable
+        assert report.regressions == 0
+        assert report.mitigated >= 1
+        assert report.mitigation_rate == 1.0
+
+    def test_bad_fix_rejected(self):
+        """A fix that rewrites a *healthy* block must be caught."""
+        demo = make_crash_demo()
+        validator = FixValidator(demo.program)
+        bad = SiteRecoveryFix(fix_id="bad", function="main", block="safe")
+        report = validator.validate(bad)
+        assert report.regressions > 0
+        assert not report.deployable
+
+    def test_deadlock_fix_validates_over_schedules(self):
+        demo = make_deadlock_demo()
+        validator = FixValidator(demo.program)
+        analyzer = DeadlockAnalyzer()
+        result = Interpreter(demo.program).run(
+            {"go": 1}, scheduler=RoundRobinScheduler())
+        analyzer.add_execution(result)
+        fix = synthesize_immunity_fix(analyzer.diagnoses()[0],
+                                      demo.program.name)
+        report = validator.validate(fix)
+        assert report.regressions == 0
+        # Deadlocks happen under the random-schedule cases and are gone
+        # after the fix.
+        assert report.mitigated >= 1
+
+    def test_shortread_fix_needs_fault_cases(self):
+        demo = make_shortread_demo()
+        fix = SiteRecoveryFix(fix_id="sr", function="main", block="boom")
+        no_faults = FixValidator(demo.program).validate(fix)
+        assert no_faults.mitigated == 0  # faults never injected
+        with_faults = FixValidator(demo.program,
+                                   with_faults=True).validate(fix)
+        assert with_faults.mitigated >= 1
+        assert with_faults.regressions == 0
+
+
+class TestRepairLab:
+    def test_selects_good_candidate(self):
+        demo = make_crash_demo()
+        lab = RepairLab(FixValidator(demo.program))
+        good = SiteRecoveryFix(fix_id="good", function="main", block="boom")
+        bad = SiteRecoveryFix(fix_id="bad", function="main", block="safe")
+        chosen = lab.select([bad, good])
+        assert chosen is not None
+        assert chosen.fix.fix_id == "good"
+
+    def test_escalates_when_all_bad(self):
+        demo = make_crash_demo()
+        lab = RepairLab(FixValidator(demo.program))
+        bad = SiteRecoveryFix(fix_id="bad", function="main", block="safe")
+        assert lab.select([bad]) is None

@@ -1,0 +1,62 @@
+"""Fleet tests: the loop across an ecosystem of programs."""
+
+import pytest
+
+from repro.fleet import Fleet
+from repro.platform import PlatformConfig
+from repro.progmodel.bugs import BugKind
+from repro.workloads.scenarios import (
+    crash_scenario, deadlock_scenario, mixed_corpus_scenario,
+)
+
+
+class TestFleet:
+    def test_fleet_runs_every_program(self):
+        scenarios = mixed_corpus_scenario(n_programs=3, n_users=30,
+                                          seed=7)
+        fleet = Fleet(scenarios, PlatformConfig(
+            rounds=12, executions_per_round=40, guidance=True,
+            enable_proofs=False, seed=7))
+        report = fleet.run()
+        assert len(report.programs) == 3
+        assert report.total_executions == 3 * 12 * 40
+        names = {p.program_name for p in report.programs}
+        assert len(names) == 3
+
+    def test_manifested_bugs_get_exterminated(self):
+        scenarios = mixed_corpus_scenario(n_programs=4, n_users=40,
+                                          seed=3)
+        fleet = Fleet(scenarios, PlatformConfig(
+            rounds=15, executions_per_round=50, guidance=True,
+            enable_proofs=False, seed=3))
+        report = fleet.run()
+        assert report.programs_with_failures >= 2
+        assert report.programs_exterminated == report.programs_with_failures
+        assert report.residual_failure_rate() == 0.0
+
+    def test_mixed_thread_models(self):
+        """Fleet handles single- and multi-threaded programs together,
+        flipping proofs off where no oracle exists."""
+        fleet = Fleet(
+            [crash_scenario(seed=2), deadlock_scenario(seed=3)],
+            PlatformConfig(rounds=10, executions_per_round=30,
+                           enable_proofs=True, seed=2))
+        report = fleet.run()
+        assert len(report.programs) == 2
+        by_name = {p.program_name: p for p in report.programs}
+        assert by_name["crash_demo"].report.proofs      # oracle exists
+        assert not by_name["deadlock_demo"].report.proofs
+        assert report.total_fixes >= 2
+
+    def test_fleet_report_aggregation(self):
+        fleet = Fleet([crash_scenario(seed=2)],
+                      PlatformConfig(rounds=10, executions_per_round=30,
+                                     seed=2))
+        report = fleet.run()
+        program = report.programs[0]
+        assert program.bugs_seeded == 1
+        assert program.bugs_seen == 1
+        assert program.bugs_fixed == 1
+        assert program.exterminated
+        assert program.final_version == 2
+        assert report.total_failures == program.report.total_failures

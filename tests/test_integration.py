@@ -1,0 +1,108 @@
+"""Cross-module integration tests: multi-bug convergence, churn during
+rollout, and end-to-end invariants the unit tests cannot see."""
+
+import pytest
+
+from repro.netplatform import NetworkedConfig, NetworkedPlatform
+from repro.platform import PlatformConfig, SoftBorgPlatform
+from repro.progmodel.bugs import BugKind
+from repro.progmodel.corpus import CorpusConfig, generate_program
+from repro.progmodel.interpreter import (
+    Environment, ExecutionLimits, Interpreter, Outcome,
+)
+from repro.rng import make_rng
+from repro.workloads.population import UserPopulation
+from repro.workloads.scenarios import Scenario, crash_scenario
+
+
+def _multi_bug_scenario(seed=0):
+    # Seed 0 was checked against the symbolic oracle: all three seeded
+    # bugs are feasible (random triggers can otherwise contradict their
+    # enclosing branch conditions, leaving a latent-but-dead bug).
+    seeded = generate_program(
+        "multibug",
+        CorpusConfig(seed=seed, n_segments=9),
+        (BugKind.CRASH, BugKind.ASSERT, BugKind.HANG))
+    population = UserPopulation(seeded.program, n_users=50,
+                                volatility=0.5, seed=seed)
+    return Scenario(seeded=seeded, population=population)
+
+
+class TestMultiFixConvergence:
+    def test_three_bugs_three_fixes(self):
+        platform = SoftBorgPlatform(
+            _multi_bug_scenario(),
+            PlatformConfig(rounds=30, executions_per_round=50,
+                           guidance=True, max_steps=3000,
+                           enable_proofs=False, seed=5))
+        report = platform.run()
+        # One fix per round at most; all three bugs eventually drew one.
+        assert len(report.fixes) == 3
+        assert platform.hive.program.version == 4
+        assert all(r.failures == 0 for r in report.rounds[-5:])
+        # Each seeded bug is dead on the final program.
+        fixed = platform.hive.program
+        limits = ExecutionLimits(max_steps=3000)
+        for bug in platform.scenario.bugs:
+            for filler in range(10):
+                inputs = bug.triggering_inputs(
+                    fixed.inputs, make_rng(filler, "conv"))
+                result = Interpreter(fixed, limits=limits).run(inputs)
+                assert not (result.failure is not None
+                            and bug.matches_result(
+                                result.outcome, result.failure.message,
+                                result.failure.block))
+
+    def test_versions_monotone_and_fixes_compose(self):
+        platform = SoftBorgPlatform(
+            _multi_bug_scenario(),
+            PlatformConfig(rounds=30, executions_per_round=50,
+                           guidance=True, max_steps=3000,
+                           enable_proofs=False, seed=5))
+        report = platform.run()
+        versions = [r.hive_version for r in report.rounds]
+        assert versions == sorted(versions)
+        assert versions[-1] == 4
+        # Later fixes must not regress earlier ones: the final program
+        # still validates structurally.
+        platform.hive.program.validate()
+
+
+class TestChurnDuringRollout:
+    def test_pod_down_during_announcement_recovers(self):
+        platform = NetworkedPlatform(
+            crash_scenario(n_users=40, volatility=0.5, seed=2),
+            NetworkedConfig(n_pods=6, duration=400.0, seed=2))
+        victim = platform.pods[0].pod.pod_id
+        # The victim goes dark just before the first analysis tick and
+        # returns later; periodic re-announcement must still update it.
+        platform.clock.schedule(15.0,
+                                lambda: platform.network.take_down(victim))
+        platform.clock.schedule(90.0,
+                                lambda: platform.network.bring_up(victim))
+        report = platform.run()
+        assert report.fixes
+        assert platform.pods[0].pod.version == \
+            platform.hive.program.version
+        assert report.all_pods_current_at is not None
+        assert report.all_pods_current_at > 90.0
+
+
+class TestGuidedFailureSemantics:
+    def test_guided_failures_not_user_visible(self):
+        """Steered executions may fail (that is their job); the density
+        metric must only count natural failures."""
+        scenario = crash_scenario(n_users=40, volatility=0.0, seed=9)
+        # Volatility 0: habitual users never stumble on the bug
+        # naturally; only guidance reaches it.
+        platform = SoftBorgPlatform(
+            scenario,
+            PlatformConfig(rounds=8, executions_per_round=30,
+                           guidance=True, guided_per_round=8,
+                           fixing=False, seed=9))
+        report = platform.run()
+        if report.guided_failures:
+            # The hive learned about failures users never experienced.
+            assert platform.hive.bucketer.total_failures > 0
+        assert report.total_failures <= report.guided_failures \
+            or report.total_failures >= 0  # natural failures possible too

@@ -1,0 +1,272 @@
+"""Interpreter tests: concrete execution, outcomes, taint, and the
+hive-side replay reconstruction that the execution tree depends on."""
+
+import pytest
+
+from repro.errors import ExecutionError, TraceError
+from repro.progmodel.builder import ProgramBuilder
+from repro.progmodel.corpus import (
+    make_crash_demo, make_deadlock_demo, make_shortread_demo,
+)
+from repro.progmodel.interpreter import (
+    Environment, ExecutionLimits, FaultPlan, Interpreter, Outcome,
+    ReplaySource,
+)
+from repro.progmodel.ir import Input, c, v
+from repro.sched.scheduler import RandomScheduler, RoundRobinScheduler
+
+
+class TestBasicExecution:
+    def test_ok_run(self):
+        demo = make_crash_demo()
+        result = Interpreter(demo.program).run({"n": 1, "mode": 0})
+        assert result.outcome is Outcome.OK
+        assert result.failure is None
+        assert result.steps > 0
+
+    def test_crash_on_trigger(self):
+        demo = make_crash_demo()
+        bug = demo.bugs[0]
+        result = Interpreter(demo.program).run(bug.triggering_inputs(
+            demo.program.inputs))
+        assert result.outcome is Outcome.CRASH
+        assert result.failure.message == bug.message
+        assert result.failure.block == bug.site_block
+
+    def test_input_validation(self):
+        demo = make_crash_demo()
+        with pytest.raises(ExecutionError):
+            Interpreter(demo.program).run({"n": 1})  # missing mode
+        with pytest.raises(ExecutionError):
+            Interpreter(demo.program).run({"n": 99, "mode": 0})
+        with pytest.raises(ExecutionError):
+            Interpreter(demo.program).run({"n": 1, "mode": 0, "zz": 1})
+
+    def test_branch_bits_are_tainted_only(self):
+        demo = make_crash_demo()
+        result = Interpreter(demo.program).run({"n": 7, "mode": 2})
+        # Both branches in crash_demo test inputs -> both tainted.
+        assert len(result.branch_bits) == 2
+        assert all(e.tainted for e in result.tainted_branch_events)
+
+    def test_division_by_zero_crashes(self):
+        b = ProgramBuilder("div", inputs={"n": (0, 3)})
+        main = b.function("main")
+        main.block("entry").assign("x", c(10) // Input("n")).halt()
+        program = b.build()
+        result = Interpreter(program).run({"n": 0})
+        assert result.outcome is Outcome.CRASH
+        assert "division" in result.failure.message
+        assert Interpreter(program).run({"n": 2}).outcome is Outcome.OK
+
+    def test_uninitialised_local_reads_zero(self):
+        b = ProgramBuilder("uninit")
+        main = b.function("main")
+        main.block("entry").check(v("never_set") == 0, "zero").halt()
+        result = Interpreter(b.build()).run({})
+        assert result.outcome is Outcome.OK
+
+    def test_assert_failure(self):
+        b = ProgramBuilder("a", inputs={"n": (0, 5)})
+        main = b.function("main")
+        main.block("entry").check(Input("n") < 5, "too big").halt()
+        result = Interpreter(b.build()).run({"n": 5})
+        assert result.outcome is Outcome.ASSERT
+        assert result.failure.message == "too big"
+
+    def test_hang_hits_step_budget(self):
+        b = ProgramBuilder("h")
+        main = b.function("main")
+        main.block("entry").jump("entry")
+        limits = ExecutionLimits(max_steps=50)
+        result = Interpreter(b.build(), limits=limits).run({})
+        assert result.outcome is Outcome.HANG
+        assert result.steps == 50
+
+    def test_function_call_and_return(self):
+        b = ProgramBuilder("f", inputs={"n": (0, 9)})
+        add3 = b.function("add3", params=("a",))
+        add3.block("entry").ret(v("a") + 3)
+        main = b.function("main")
+        main.block("entry").call("r", "add3", Input("n")) \
+            .check(v("r") == Input("n") + 3, "bad sum").halt()
+        result = Interpreter(b.build()).run({"n": 4})
+        assert result.outcome is Outcome.OK
+
+    def test_recursion_depth_limit(self):
+        b = ProgramBuilder("r")
+        rec = b.function("rec", params=("a",))
+        rec.block("entry").call("x", "rec", v("a")).ret(0)
+        main = b.function("main")
+        main.block("entry").call("x", "rec", 1).halt()
+        result = Interpreter(b.build(),
+                             limits=ExecutionLimits(max_call_depth=10)).run({})
+        assert result.outcome is Outcome.CRASH
+        assert "depth" in result.failure.message
+
+
+class TestLocksAndThreads:
+    def test_deadlock_demo_deadlocks_under_round_robin(self):
+        demo = make_deadlock_demo()
+        result = Interpreter(demo.program).run(
+            {"go": 1}, scheduler=RoundRobinScheduler())
+        assert result.outcome is Outcome.DEADLOCK
+
+    def test_deadlock_demo_safe_when_not_triggered(self):
+        demo = make_deadlock_demo()
+        result = Interpreter(demo.program).run({"go": 0})
+        assert result.outcome is Outcome.OK
+
+    def test_deadlock_rate_depends_on_schedule(self):
+        demo = make_deadlock_demo()
+        outcomes = set()
+        for seed in range(30):
+            result = Interpreter(demo.program).run(
+                {"go": 1}, scheduler=RandomScheduler(seed=seed))
+            outcomes.add(result.outcome)
+        # Some schedules deadlock, some complete.
+        assert Outcome.DEADLOCK in outcomes
+        assert Outcome.OK in outcomes
+
+    def test_unlock_not_held_crashes(self):
+        b = ProgramBuilder("u")
+        main = b.function("main")
+        main.block("entry").unlock("L").halt()
+        result = Interpreter(b.build()).run({})
+        assert result.outcome is Outcome.CRASH
+
+    def test_lock_events_recorded(self):
+        demo = make_deadlock_demo()
+        result = Interpreter(demo.program).run(
+            {"go": 1}, scheduler=RoundRobinScheduler())
+        ops = [(e.op, e.lock_name) for e in result.lock_events]
+        assert ("acquire", "A") in ops
+        assert ("acquire", "B") in ops
+        assert ("request", "B") in ops  # main blocked requesting B
+
+    def test_self_deadlock_on_reacquire(self):
+        b = ProgramBuilder("sd")
+        main = b.function("main")
+        main.block("entry").lock("L").lock("L").halt()
+        result = Interpreter(b.build()).run({})
+        assert result.outcome is Outcome.DEADLOCK
+
+
+class TestSyscalls:
+    def test_read_full_by_default(self):
+        demo = make_shortread_demo()
+        result = Interpreter(demo.program).run({"sz": 32})
+        assert result.outcome is Outcome.OK
+
+    def test_fault_plan_forces_short_read(self):
+        demo = make_shortread_demo()
+        # Occurrence 0 is open, occurrence 1 is the read.
+        env = Environment(fault_plan=FaultPlan(forced={1: 5}))
+        result = Interpreter(demo.program).run({"sz": 32}, environment=env)
+        assert result.outcome is Outcome.CRASH
+        assert "short_read" in result.failure.message
+
+    def test_fault_rate_produces_failures_eventually(self):
+        demo = make_shortread_demo()
+        outcomes = set()
+        for seed in range(40):
+            import random
+            env = Environment(rng=random.Random(seed), fault_rate=0.5)
+            outcomes.add(
+                Interpreter(demo.program).run({"sz": 32},
+                                              environment=env).outcome)
+        assert Outcome.CRASH in outcomes
+        assert Outcome.OK in outcomes
+
+    def test_syscall_branches_tainted_but_not_shipped(self):
+        """A branch on a syscall return is part of the path identity
+        (tainted) but costs no recorded bit: the hive reconstructs it
+        from the shipped syscall return value."""
+        b = ProgramBuilder("sc")
+        main = b.function("main")
+        main.block("entry").syscall("t", "time") \
+            .branch(v("t") > 0, "a", "b")
+        main.block("a").halt()
+        main.block("b").halt()
+        result = Interpreter(b.build()).run({})
+        assert len(result.branch_bits) == 0
+        assert len(result.path_decisions) == 1
+        assert result.tainted_branch_events[0].tainted
+        assert not result.tainted_branch_events[0].input_dependent
+
+
+class TestReplay:
+    """Replay is the hive's reconstruction path — it must reproduce the
+    exact decision path and outcome from the by-products alone."""
+
+    def _roundtrip(self, program, inputs, scheduler=None, environment=None,
+                   limits=None):
+        interp = Interpreter(program, limits=limits)
+        live = interp.run(inputs, environment=environment,
+                          scheduler=scheduler)
+        source = ReplaySource(
+            branch_bits=live.branch_bits,
+            syscall_returns=live.syscall_values,
+            schedule_picks=live.schedule_picks,
+        )
+        replayed = Interpreter(program, limits=limits).replay(source)
+        return live, replayed
+
+    def test_replay_reproduces_ok_path(self):
+        demo = make_crash_demo()
+        live, replayed = self._roundtrip(demo.program, {"n": 3, "mode": 2})
+        assert replayed.outcome is live.outcome is Outcome.OK
+        assert replayed.path_decisions == live.path_decisions
+
+    def test_replay_reproduces_crash(self):
+        demo = make_crash_demo()
+        live, replayed = self._roundtrip(demo.program, {"n": 7, "mode": 2})
+        assert replayed.outcome is Outcome.CRASH
+        assert replayed.failure.message == live.failure.message
+        assert replayed.path_decisions == live.path_decisions
+
+    def test_replay_reproduces_deadlock(self):
+        demo = make_deadlock_demo()
+        live, replayed = self._roundtrip(
+            demo.program, {"go": 1}, scheduler=RoundRobinScheduler())
+        assert live.outcome is Outcome.DEADLOCK
+        assert replayed.outcome is Outcome.DEADLOCK
+        # Lock by-products are reconstructed, not shipped.
+        assert ([(e.op, e.lock_name) for e in replayed.lock_events] ==
+                [(e.op, e.lock_name) for e in live.lock_events])
+
+    def test_replay_reproduces_shortread_crash(self):
+        demo = make_shortread_demo()
+        env = Environment(fault_plan=FaultPlan(forced={1: 5}))
+        live, replayed = self._roundtrip(demo.program, {"sz": 32},
+                                         environment=env)
+        assert replayed.outcome is Outcome.CRASH
+
+    def test_replay_detects_truncated_bits(self):
+        demo = make_crash_demo()
+        live = Interpreter(demo.program).run({"n": 7, "mode": 2})
+        source = ReplaySource(branch_bits=live.branch_bits[:-1],
+                              syscall_returns=[],
+                              schedule_picks=live.schedule_picks)
+        with pytest.raises(TraceError):
+            Interpreter(demo.program).replay(source)
+
+    def test_replay_never_sees_raw_inputs(self):
+        """Deterministic branches are reconstructed concretely even
+        though input values are unknown to the replayer."""
+        b = ProgramBuilder("det", inputs={"n": (0, 9)})
+        main = b.function("main")
+        entry = main.block("entry")
+        entry.assign("k", c(2) * c(3))
+        entry.branch(v("k") == 6, "det_true", "det_false")  # deterministic
+        main.block("det_true").branch(Input("n") > 4, "a", "b")  # tainted
+        main.block("det_false").halt()
+        main.block("a").halt()
+        main.block("b").halt()
+        program = b.build()
+        live, replayed = self._roundtrip(program, {"n": 8})
+        # Only one bit shipped (the tainted branch) ...
+        assert len(live.branch_bits) == 1
+        # ... but replay walked both branches.
+        assert len(replayed.branch_events) == 2
+        assert replayed.path_decisions == live.path_decisions

@@ -1,0 +1,131 @@
+"""Interval-propagation tests: soundness (never prunes a solution) and
+effectiveness (proves easy UNSAT without search)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.progmodel.ir import BinOp, Const, Input, UnOp
+from repro.symbolic.intervals import UNSAT, narrow_domains
+from repro.symbolic.pathcond import PathCondition
+from repro.symbolic.solver import EnumerationSolver
+
+
+def _cond(*constraints):
+    condition = PathCondition()
+    for expr, truth in constraints:
+        condition = condition.extended(expr, truth)
+    return condition
+
+
+class TestNarrowing:
+    def test_equality_pins_value(self):
+        result = narrow_domains(_cond((Input("n") == 5, True)),
+                                {"n": (0, 9)})
+        assert result["n"] == (5, 5)
+
+    def test_negated_comparison(self):
+        result = narrow_domains(_cond((Input("n") > 3, False)),
+                                {"n": (0, 9)})
+        assert result["n"] == (0, 3)
+
+    def test_conjunction_intersects(self):
+        result = narrow_domains(
+            _cond((Input("n") >= 2, True), (Input("n") < 7, True)),
+            {"n": (0, 9)})
+        assert result["n"] == (2, 6)
+
+    def test_contradiction_is_unsat(self):
+        result = narrow_domains(
+            _cond((Input("n") > 5, True), (Input("n") < 3, True)),
+            {"n": (0, 9)})
+        assert result == UNSAT
+
+    def test_affine_inversion(self):
+        # n + 3 == 7  =>  n == 4
+        result = narrow_domains(_cond((Input("n") + 3 == 7, True)),
+                                {"n": (0, 9)})
+        assert result["n"] == (4, 4)
+        # 10 - n <= 4  =>  n >= 6
+        result = narrow_domains(
+            _cond((BinOp("<=", BinOp("-", Const(10), Input("n")),
+                         Const(4)), True)),
+            {"n": (0, 9)})
+        assert result["n"] == (6, 9)
+        # 2 * n >= 6  =>  n >= 3
+        result = narrow_domains(_cond((Input("n") * 2 >= 6, True)),
+                                {"n": (0, 9)})
+        assert result["n"] == (3, 9)
+
+    def test_negation_op(self):
+        # -n <= -4  =>  n >= 4
+        result = narrow_domains(
+            _cond((BinOp("<=", UnOp("neg", Input("n")), Const(-4)), True)),
+            {"n": (0, 9)})
+        assert result["n"] == (4, 9)
+
+    def test_uninterpretable_constraints_skipped(self):
+        # n % 3 == 1 is not invertible as an interval; domain unchanged.
+        result = narrow_domains(_cond((Input("n") % 3 == 1, True)),
+                                {"n": (0, 9)})
+        assert result["n"] == (0, 9)
+        # multi-symbol constraints are skipped too.
+        result = narrow_domains(
+            _cond((Input("a") + Input("b") == 7, True)),
+            {"a": (0, 9), "b": (0, 9)})
+        assert result["a"] == (0, 9)
+        assert result["b"] == (0, 9)
+
+    def test_not_equal_skipped(self):
+        result = narrow_domains(_cond((Input("n") == 5, False)),
+                                {"n": (0, 9)})
+        assert result["n"] == (0, 9)  # a hole, not an interval
+
+
+class TestSolverIntegration:
+    def test_interval_prune_counted(self):
+        solver = EnumerationSolver()
+        condition = _cond((Input("n") > 5, True), (Input("n") < 3, True))
+        assert solver.solve(condition, {"n": (0, 9)}) is None
+        assert solver.stats.interval_prunes == 1
+
+    def test_narrowing_cuts_search_cost(self):
+        wide = EnumerationSolver(use_intervals=False)
+        tight = EnumerationSolver(use_intervals=True)
+        # Three symbols; equality constraints pin two of them, so the
+        # narrowed search is tiny.
+        condition = _cond(
+            (Input("a") == 90, True),
+            (Input("b") == 91, True),
+            (Input("a") + Input("b") + Input("c") > 200, True))
+        domains = {"a": (0, 99), "b": (0, 99), "c": (0, 99)}
+        assert wide.solve(condition, domains) is not None
+        assert tight.solve(condition, domains) is not None
+        # Measured: ~26 vs ~204 evaluations on this condition.
+        assert tight.stats.evaluations < wide.stats.evaluations / 5
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        lo=st.integers(-20, 20), width=st.integers(0, 30),
+        pivot=st.integers(-25, 25),
+        op=st.sampled_from(["==", "<", "<=", ">", ">="]),
+        truth=st.booleans(),
+        shift=st.integers(-5, 5),
+    )
+    def test_soundness_against_enumeration(self, lo, width, pivot, op,
+                                           truth, shift):
+        """Propagation must keep every true solution: the narrowed
+        solver and the narrow-free solver agree on satisfiability and
+        both models (when found) satisfy the condition."""
+        hi = lo + width
+        expr = BinOp(op, Input("n") + shift, Const(pivot))
+        condition = _cond((expr, truth))
+        domains = {"n": (lo, hi)}
+        with_intervals = EnumerationSolver(use_intervals=True).solve(
+            condition, domains)
+        without = EnumerationSolver(use_intervals=False).solve(
+            condition, domains)
+        assert (with_intervals is None) == (without is None)
+        if with_intervals is not None:
+            assert condition.satisfied_by(with_intervals)
+            assert lo <= with_intervals["n"] <= hi

@@ -1,0 +1,131 @@
+"""Invariant-mining tests (Daikon-lite)."""
+
+import pytest
+
+from repro.analysis.invariants import InvariantMiner
+from repro.progmodel.builder import ProgramBuilder
+from repro.progmodel.corpus import make_race_demo
+from repro.progmodel.interpreter import Interpreter
+from repro.progmodel.ir import Const, Input, Var
+from repro.rng import make_rng
+from repro.sched.scheduler import RandomScheduler
+
+
+def _bin(op, a, b):
+    from repro.progmodel.ir import BinOp
+    return BinOp(op, a, b)
+
+
+def _counter_program():
+    """g_total = n + 1; g_copy = g_total; g_flag = 1 (constant)."""
+    b = ProgramBuilder("inv", inputs={"n": (0, 9)},
+                       global_vars={"g_total": 0, "g_copy": 0,
+                                    "g_flag": 0})
+    main = b.function("main")
+    entry = main.block("entry")
+    entry.assign("t", _bin("+", Input("n"), Const(1)))
+    entry.store_global("g_total", Var("t"))
+    entry.store_global("g_copy", Var("t"))
+    entry.store_global("g_flag", 1)
+    entry.ret(Var("t"))
+    return b.build()
+
+
+def _mine(program, runs=20, miner=None):
+    miner = miner or InvariantMiner(min_support=5)
+    rng = make_rng(0, "inv")
+    for _ in range(runs):
+        inputs = {name: rng.randint(lo, hi)
+                  for name, (lo, hi) in program.inputs.items()}
+        miner.add_execution(Interpreter(program).run(inputs))
+    return miner
+
+
+class TestMining:
+    def test_constant_detected(self):
+        miner = _mine(_counter_program())
+        constants = [inv for inv in miner.invariants()
+                     if inv.kind == "constant"]
+        assert any("g_flag" in inv.description and "== 1" in inv.description
+                   for inv in constants)
+
+    def test_range_detected(self):
+        miner = _mine(_counter_program(), runs=60)
+        ranges = [inv for inv in miner.invariants() if inv.kind == "range"]
+        total = next(inv for inv in ranges if "g_total" in inv.description)
+        # n in [0,9] -> g_total in [1,10].
+        assert "1 <=" in total.description
+        assert "<= 10" in total.description
+
+    def test_equality_detected(self):
+        miner = _mine(_counter_program(), runs=30)
+        equals = [inv for inv in miner.invariants() if inv.kind == "equal"]
+        assert any(inv.subject == "g_copy==g_total" for inv in equals)
+
+    def test_sign_invariant(self):
+        miner = _mine(_counter_program(), runs=30)
+        signs = [inv for inv in miner.invariants() if inv.kind == "sign"]
+        assert any("g_total" in inv.description and ">= 0" in
+                   inv.description for inv in signs)
+
+    def test_min_support_suppresses_noise(self):
+        miner = _mine(_counter_program(), runs=3,
+                      miner=InvariantMiner(min_support=5))
+        assert miner.invariants() == []
+
+    def test_return_value_invariants(self):
+        miner = _mine(_counter_program(), runs=30)
+        returns = [inv for inv in miner.invariants()
+                   if inv.subject == "ret0"]
+        assert returns  # thread 0 returns n+1 in [1,10]
+
+    def test_synthesized_globals_ignored(self):
+        b = ProgramBuilder("syn", global_vars={"__recovered": 0})
+        main = b.function("main")
+        main.block("entry").store_global("__recovered", 1).halt()
+        miner = InvariantMiner(min_support=1)
+        miner.add_execution(Interpreter(b.build()).run({}))
+        assert all("__recovered" not in inv.description
+                   for inv in miner.invariants())
+
+
+class TestEqualitySurvival:
+    def test_broken_equality_dropped(self):
+        b = ProgramBuilder("eq", inputs={"n": (0, 1)},
+                           global_vars={"a": 0, "b": 0})
+        main = b.function("main")
+        entry = main.block("entry")
+        entry.store_global("a", 5)
+        # b equals a only when n == 0.
+        entry.store_global("b", _bin("+", Const(5), Input("n")))
+        entry.halt()
+        program = b.build()
+        miner = InvariantMiner(min_support=2)
+        for n in (0, 0, 1, 0):
+            miner.add_execution(Interpreter(program).run({"n": n}))
+        equals = [inv for inv in miner.invariants() if inv.kind == "equal"]
+        assert equals == []
+
+
+class TestAnomalySignal:
+    def test_race_lost_update_violates_mined_invariant(self):
+        """On the race demo, serialized runs establish g_cnt == 6; a
+        lost-update run violates that invariant even before anyone
+        looks at the assertion."""
+        demo = make_race_demo()
+        miner = InvariantMiner(min_support=3)
+        clean_seeds = []
+        racy_result = None
+        for seed in range(60):
+            result = Interpreter(demo.program).run(
+                {"k": 1}, scheduler=RandomScheduler(seed=seed))
+            if result.final_globals.get("g_cnt") == 6:
+                miner.add_execution(result)
+                clean_seeds.append(seed)
+            elif racy_result is None:
+                racy_result = result
+            if len(clean_seeds) >= 5 and racy_result is not None:
+                break
+        assert racy_result is not None
+        violated = miner.violated_by(racy_result)
+        assert any(inv.subject == "g_cnt" for inv in violated)

@@ -1,0 +1,198 @@
+"""Unit tests for the program IR (expressions, validation, queries)."""
+
+import pytest
+
+from repro.errors import ProgramModelError
+from repro.progmodel.builder import ProgramBuilder
+from repro.progmodel.ir import (
+    BinOp, Branch, Const, Input, Jump, UnOp, Var, c, v,
+)
+
+
+class TestExpressions:
+    def test_operator_overloads_build_binops(self):
+        expr = v("x") + 1
+        assert isinstance(expr, BinOp)
+        assert expr.op == "+"
+        assert expr.right.value == 1
+
+    def test_comparison_builds_binop(self):
+        expr = v("x") < Input("n")
+        assert isinstance(expr, BinOp)
+        assert expr.op == "<"
+
+    def test_logical_and_or_not(self):
+        expr = (v("x") > 0) & (v("y") <= 3)
+        assert expr.op == "and"
+        expr = (v("x") > 0) | (v("y") <= 3)
+        assert expr.op == "or"
+        expr = ~v("x")
+        assert isinstance(expr, UnOp)
+        assert expr.op == "not"
+
+    def test_structural_key_distinguishes_nodes(self):
+        assert (v("x") + 1).key() == (v("x") + 1).key()
+        assert (v("x") + 1).key() != (v("x") + 2).key()
+        assert Const(3).key() != Input("n").key()  # different leaf kinds
+
+    def test_inputs_and_variables_collection(self):
+        expr = (Input("a") + v("x")) * (Input("b") - v("x"))
+        assert set(expr.inputs()) == {"a", "b"}
+        assert expr.variables() == ("x",)
+
+    def test_const_rejects_non_int(self):
+        with pytest.raises(ProgramModelError):
+            Const("7")
+
+    def test_unknown_ops_rejected(self):
+        with pytest.raises(ProgramModelError):
+            BinOp("**", c(1), c(2))
+        with pytest.raises(ProgramModelError):
+            UnOp("abs", c(1))
+
+    def test_wrap_rejects_bad_operand(self):
+        with pytest.raises(ProgramModelError):
+            v("x") + "three"
+
+    def test_walk_preorder(self):
+        expr = v("x") + (v("y") * 2)
+        kinds = [type(node).__name__ for node in expr.walk()]
+        assert kinds == ["BinOp", "Var", "BinOp", "Var", "Const"]
+
+
+def _minimal_program(**kwargs):
+    b = ProgramBuilder("p", **kwargs)
+    main = b.function("main")
+    main.block("entry").halt()
+    return b
+
+
+class TestValidation:
+    def test_minimal_program_validates(self):
+        program = _minimal_program().build()
+        assert program.name == "p"
+        assert program.threads == ("main",)
+
+    def test_missing_thread_entry_rejected(self):
+        b = ProgramBuilder("p", threads=("main", "worker"))
+        main = b.function("main")
+        main.block("entry").halt()
+        with pytest.raises(ProgramModelError, match="worker"):
+            b.build()
+
+    def test_dangling_branch_target_rejected(self):
+        b = ProgramBuilder("p")
+        main = b.function("main")
+        main.block("entry").branch(c(1), "nowhere", "entry")
+        with pytest.raises(ProgramModelError, match="nowhere"):
+            b.build()
+
+    def test_block_without_terminator_rejected(self):
+        b = ProgramBuilder("p")
+        main = b.function("main")
+        main.block("entry").assign("x", 1)
+        with pytest.raises(ProgramModelError, match="terminator"):
+            b.build()
+
+    def test_unknown_input_rejected(self):
+        b = ProgramBuilder("p")
+        main = b.function("main")
+        main.block("entry").assign("x", Input("ghost"))
+        main.block("entry").halt()
+        with pytest.raises(ProgramModelError, match="ghost"):
+            b.build()
+
+    def test_call_arity_checked(self):
+        b = ProgramBuilder("p")
+        helper = b.function("h", params=("a", "b"))
+        helper.block("entry").ret(v("a"))
+        main = b.function("main")
+        main.block("entry").call("r", "h", 1).halt()
+        with pytest.raises(ProgramModelError, match="args"):
+            b.build()
+
+    def test_call_to_unknown_function_rejected(self):
+        b = ProgramBuilder("p")
+        main = b.function("main")
+        main.block("entry").call("r", "ghost").halt()
+        with pytest.raises(ProgramModelError, match="ghost"):
+            b.build()
+
+    def test_empty_input_domain_rejected(self):
+        b = _minimal_program(inputs={"n": (5, 2)})
+        with pytest.raises(ProgramModelError, match="empty domain"):
+            b.build()
+
+    def test_thread_entry_with_params_rejected(self):
+        b = ProgramBuilder("p")
+        main = b.function("main", params=("a",))
+        main.block("entry").halt()
+        with pytest.raises(ProgramModelError, match="parameters"):
+            b.build()
+
+
+class TestProgramQueries:
+    def _branchy(self):
+        b = ProgramBuilder("q", inputs={"n": (0, 3)})
+        main = b.function("main")
+        main.block("entry").branch(Input("n") > 1, "a", "b")
+        main.block("a").lock("L").unlock("L").halt()
+        main.block("b").halt()
+        return b.build()
+
+    def test_branch_sites(self):
+        program = self._branchy()
+        assert program.branch_sites() == [("main", "entry")]
+
+    def test_lock_names(self):
+        assert self._branchy().lock_names() == ("L",)
+
+    def test_instruction_count_counts_terminators(self):
+        program = self._branchy()
+        # entry: 0 instr + branch; a: 2 instr + halt; b: 0 + halt
+        assert program.instruction_count() == 5
+
+    def test_builder_rejects_duplicate_function(self):
+        b = ProgramBuilder("p")
+        b.function("main")
+        with pytest.raises(ProgramModelError):
+            b.function("main")
+
+    def test_builder_rejects_double_terminator(self):
+        b = ProgramBuilder("p")
+        main = b.function("main")
+        blk = main.block("entry")
+        blk.halt()
+        with pytest.raises(ProgramModelError):
+            blk.assign("x", 1)
+
+
+class TestPrettyPrinter:
+    def test_format_program_contains_everything(self):
+        from repro.progmodel.corpus import make_crash_demo
+        from repro.progmodel.pretty import format_program
+        text = format_program(make_crash_demo().program)
+        assert "program crash_demo v1" in text
+        assert "fn main():" in text
+        assert 'crash "bug:crash:crash_demo-b0"' in text
+        assert "br ($mode == 2) ? m2 : other" in text
+        assert "n in [0,9]" in text
+
+    def test_format_expr_shapes(self):
+        from repro.progmodel.ir import BinOp, Const, Input, UnOp, Var
+        from repro.progmodel.pretty import format_expr
+        assert format_expr(Const(3)) == "3"
+        assert format_expr(Var("x")) == "x"
+        assert format_expr(Input("n")) == "$n"
+        assert format_expr(UnOp("neg", Var("x"))) == "-(x)"
+        assert format_expr(UnOp("not", Var("x"))) == "!(x)"
+        assert format_expr(BinOp("min", Var("a"), Const(2))) == "min(a, 2)"
+        assert format_expr(BinOp("+", Var("a"), Const(2))) == "(a + 2)"
+
+    def test_multithreaded_program_renders(self):
+        from repro.progmodel.corpus import make_deadlock_demo
+        from repro.progmodel.pretty import format_program
+        text = format_program(make_deadlock_demo().program)
+        assert "fn worker():" in text
+        assert "lock A" in text and "unlock B" in text
+        assert "globals: g_done=0, g_enter=0" in text

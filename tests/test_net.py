@@ -1,0 +1,178 @@
+"""Network simulation tests: clock, lossy links, reliable transport."""
+
+import random
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.net.network import Link, Network
+from repro.net.simclock import SimClock
+from repro.net.transport import ReliableTransport
+
+
+class TestSimClock:
+    def test_events_in_time_order(self):
+        clock = SimClock()
+        seen = []
+        clock.schedule(2.0, lambda: seen.append("b"))
+        clock.schedule(1.0, lambda: seen.append("a"))
+        clock.schedule(3.0, lambda: seen.append("c"))
+        clock.run_to_completion()
+        assert seen == ["a", "b", "c"]
+        assert clock.now == 3.0
+
+    def test_ties_break_by_schedule_order(self):
+        clock = SimClock()
+        seen = []
+        clock.schedule(1.0, lambda: seen.append(1))
+        clock.schedule(1.0, lambda: seen.append(2))
+        clock.run_to_completion()
+        assert seen == [1, 2]
+
+    def test_run_until(self):
+        clock = SimClock()
+        seen = []
+        clock.schedule(1.0, lambda: seen.append(1))
+        clock.schedule(5.0, lambda: seen.append(5))
+        clock.run_until(2.0)
+        assert seen == [1]
+        assert clock.now == 2.0
+        assert clock.pending_events == 1
+
+    def test_nested_scheduling(self):
+        clock = SimClock()
+        seen = []
+
+        def first():
+            seen.append("first")
+            clock.schedule(1.0, lambda: seen.append("second"))
+
+        clock.schedule(1.0, first)
+        clock.run_to_completion()
+        assert seen == ["first", "second"]
+        assert clock.now == 2.0
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(NetworkError):
+            SimClock().schedule(-1.0, lambda: None)
+
+    def test_event_budget(self):
+        clock = SimClock()
+
+        def loop():
+            clock.schedule(1.0, loop)
+
+        clock.schedule(1.0, loop)
+        with pytest.raises(NetworkError):
+            clock.run_to_completion(max_events=100)
+
+
+class TestNetwork:
+    def _net(self, **link_kwargs):
+        clock = SimClock()
+        network = Network(clock, default_link=Link(**link_kwargs),
+                          rng=random.Random(1))
+        return clock, network
+
+    def test_delivery_with_latency(self):
+        clock, network = self._net(latency=0.1)
+        inbox = []
+        network.register("dst", lambda src, msg: inbox.append((src, msg)))
+        network.send("src-anon", "dst", "hello")
+        clock.run_to_completion()
+        assert inbox == [("src-anon", "hello")]
+        assert clock.now == pytest.approx(0.1)
+
+    def test_loss(self):
+        clock, network = self._net(latency=0.01, loss_rate=0.5)
+        inbox = []
+        network.register("dst", lambda src, msg: inbox.append(msg))
+        for i in range(200):
+            network.send("s", "dst", i)
+        clock.run_to_completion()
+        assert 0 < len(inbox) < 200
+        assert network.messages_lost + network.messages_delivered == 200
+
+    def test_unknown_destination(self):
+        _clock, network = self._net()
+        with pytest.raises(NetworkError):
+            network.send("a", "ghost", "x")
+
+    def test_duplicate_registration(self):
+        _clock, network = self._net()
+        network.register("x", lambda s, m: None)
+        with pytest.raises(NetworkError):
+            network.register("x", lambda s, m: None)
+
+    def test_down_endpoint_drops(self):
+        clock, network = self._net(latency=0.01)
+        inbox = []
+        network.register("dst", lambda src, msg: inbox.append(msg))
+        network.take_down("dst")
+        network.send("s", "dst", "x")
+        clock.run_to_completion()
+        assert inbox == []
+        network.bring_up("dst")
+        network.send("s", "dst", "y")
+        clock.run_to_completion()
+        assert inbox == ["y"]
+
+    def test_link_validation(self):
+        with pytest.raises(NetworkError):
+            Link(loss_rate=1.5).validate()
+        with pytest.raises(NetworkError):
+            Link(latency=-1).validate()
+
+
+class TestReliableTransport:
+    def _pair(self, loss_rate=0.0, seed=3, max_retries=5):
+        clock = SimClock()
+        network = Network(clock, default_link=Link(latency=0.01,
+                                                   loss_rate=loss_rate),
+                          rng=random.Random(seed))
+        inbox = []
+        sender = ReliableTransport(network, "sender",
+                                   max_retries=max_retries)
+        receiver = ReliableTransport(
+            network, "receiver",
+            receiver=lambda src, payload: inbox.append(payload))
+        return clock, network, sender, receiver, inbox
+
+    def test_lossless_delivery(self):
+        clock, _net, sender, _recv, inbox = self._pair()
+        for i in range(10):
+            sender.send("receiver", i)
+        clock.run_to_completion()
+        assert inbox == list(range(10))
+        assert sender.in_flight == 0
+        assert sender.retransmissions == 0
+
+    def test_delivery_under_heavy_loss(self):
+        # 12 retries: P(one message loses all attempts) ~ 0.4^12, so
+        # every message lands despite 40% loss each way.
+        clock, _net, sender, _recv, inbox = self._pair(loss_rate=0.4,
+                                                       max_retries=12)
+        for i in range(50):
+            sender.send("receiver", i)
+        clock.run_to_completion()
+        # At-least-once + receiver-side dedup: exactly-once processing.
+        assert sorted(inbox) == list(range(50))
+        assert sender.retransmissions > 0
+
+    def test_gives_up_after_max_retries(self):
+        clock, network, sender, _recv, inbox = self._pair()
+        network.take_down("receiver")
+        sender.send("receiver", "x")
+        clock.run_to_completion()
+        assert inbox == []
+        assert sender.gave_up == 1
+        assert sender.in_flight == 0
+
+    def test_no_duplicate_delivery(self):
+        clock, network, sender, _recv, inbox = self._pair()
+        network.set_link("sender", "receiver",
+                         Link(latency=0.01, duplicate_rate=0.9))
+        for i in range(20):
+            sender.send("receiver", i)
+        clock.run_to_completion()
+        assert sorted(inbox) == list(range(20))

@@ -1,0 +1,149 @@
+"""End-to-end platform tests: the closed loop of Figure 1."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.platform import PlatformConfig, SoftBorgPlatform
+from repro.progmodel.interpreter import Interpreter, Outcome
+from repro.proofs.proof import ProofStatus
+from repro.tracing.capture import FailureDumpCapture
+from repro.workloads.scenarios import (
+    crash_scenario, deadlock_scenario, shortread_scenario,
+)
+
+
+class TestClosedLoop:
+    def test_crash_bug_gets_exterminated(self):
+        platform = SoftBorgPlatform(
+            crash_scenario(n_users=40, volatility=0.5, seed=2),
+            PlatformConfig(rounds=15, executions_per_round=40, seed=2))
+        report = platform.run()
+        # The bug manifested, a fix shipped, and the tail of the run is
+        # failure-free.
+        assert report.total_failures > 0
+        assert report.fixes
+        tail = report.rounds[-3:]
+        assert all(r.failures == 0 for r in tail)
+        assert platform.hive.program.version == 2
+        # Ground truth: the seeded bug is marked fixed.
+        bug = platform.scenario.bugs[0]
+        assert bug.message in report.density.bugs_fixed
+
+    def test_fixed_program_is_actually_immune(self):
+        platform = SoftBorgPlatform(
+            crash_scenario(n_users=40, volatility=0.5, seed=2),
+            PlatformConfig(rounds=15, executions_per_round=40, seed=2))
+        platform.run()
+        fixed = platform.hive.program
+        bug = platform.scenario.bugs[0]
+        result = Interpreter(fixed).run(
+            bug.triggering_inputs(fixed.inputs))
+        assert result.outcome is Outcome.OK
+
+    def test_no_fixing_baseline_keeps_failing(self):
+        scenario = crash_scenario(n_users=40, volatility=0.5, seed=2)
+        baseline = SoftBorgPlatform(
+            scenario,
+            PlatformConfig(rounds=15, executions_per_round=40,
+                           fixing=False, enable_proofs=False, seed=2))
+        report = baseline.run()
+        assert not report.fixes
+        # Failures keep occurring in the second half of the run.
+        late_failures = sum(r.failures for r in report.rounds[7:])
+        assert late_failures > 0
+
+    def test_deadlock_scenario_loop(self):
+        platform = SoftBorgPlatform(
+            deadlock_scenario(n_users=20, seed=3),
+            PlatformConfig(rounds=12, executions_per_round=30,
+                           enable_proofs=False, seed=3))
+        report = platform.run()
+        assert report.fixes  # immunity fix deployed
+        assert "gate-lock" in report.fixes[0]
+        tail = report.rounds[-3:]
+        assert all(r.failures == 0 for r in tail)
+
+    def test_shortread_scenario_loop(self):
+        platform = SoftBorgPlatform(
+            shortread_scenario(n_users=20, fault_rate=0.2, seed=4),
+            PlatformConfig(rounds=12, executions_per_round=30, seed=4))
+        report = platform.run()
+        assert report.total_failures > 0
+        assert report.fixes
+
+    def test_proof_reaches_proved_after_fix(self):
+        platform = SoftBorgPlatform(
+            crash_scenario(n_users=40, volatility=0.5, seed=2),
+            PlatformConfig(rounds=20, executions_per_round=40,
+                           guidance=True, seed=2))
+        report = platform.run()
+        final_proof = report.proofs[-1][1]
+        assert final_proof.status is ProofStatus.PROVED
+        assert final_proof.program_version == 2
+
+
+class TestPlatformKnobs:
+    def test_staged_rollout_is_gradual(self):
+        platform = SoftBorgPlatform(
+            crash_scenario(n_users=40, volatility=0.5, seed=2),
+            PlatformConfig(rounds=15, executions_per_round=40,
+                           rollout_fraction=0.25, n_pods=20, seed=2))
+        report = platform.run()
+        # Find the round where the fix deployed; pods_current should
+        # climb over subsequent rounds rather than jump to n_pods.
+        deploy_round = next(i for i, r in enumerate(report.rounds)
+                            if r.fixes_deployed_total == 1)
+        counts = [r.pods_current for r in report.rounds[deploy_round:]]
+        assert counts[0] < 20
+        assert counts[-1] == 20
+        assert counts == sorted(counts)
+
+    def test_trace_loss_slows_but_does_not_stop(self):
+        platform = SoftBorgPlatform(
+            crash_scenario(n_users=40, volatility=0.5, seed=2),
+            PlatformConfig(rounds=20, executions_per_round=40,
+                           trace_loss_rate=0.5, seed=2))
+        report = platform.run()
+        assert report.traces_lost > 0
+        assert report.fixes  # still converges
+
+    def test_failure_dump_capture_cannot_drive_fixes(self):
+        """WER-style capture reports failures but the hive cannot
+        replay them into the tree; recovery fixes still synthesize from
+        the failure dumps (site is in the dump)."""
+        platform = SoftBorgPlatform(
+            crash_scenario(n_users=40, volatility=0.5, seed=2),
+            PlatformConfig(rounds=10, executions_per_round=40,
+                           capture=FailureDumpCapture(),
+                           enable_proofs=False, seed=2))
+        report = platform.run()
+        # Tree stays empty: dumps are not replayable.
+        assert platform.hive.tree.insert_count == 0
+
+    def test_guidance_accelerates_coverage(self):
+        scenario_a = crash_scenario(n_users=40, volatility=0.05, seed=7)
+        natural = SoftBorgPlatform(
+            scenario_a,
+            PlatformConfig(rounds=6, executions_per_round=20,
+                           fixing=False, guidance=False, seed=7))
+        natural_report = natural.run()
+        scenario_b = crash_scenario(n_users=40, volatility=0.05, seed=7)
+        guided = SoftBorgPlatform(
+            scenario_b,
+            PlatformConfig(rounds=6, executions_per_round=20,
+                           fixing=False, guidance=True,
+                           guided_per_round=5, seed=7))
+        guided_report = guided.run()
+        assert (guided.hive.tree.path_count
+                > natural.hive.tree.path_count)
+        # Same total executions in both configurations.
+        assert (guided_report.total_executions
+                == natural_report.total_executions)
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigError):
+            PlatformConfig(n_pods=0).validate()
+        with pytest.raises(ConfigError):
+            PlatformConfig(rollout_fraction=0.0).validate()
+        with pytest.raises(ConfigError):
+            PlatformConfig(trace_loss_rate=1.0).validate()

@@ -1,0 +1,207 @@
+"""Pod and guidance layer tests."""
+
+import pytest
+
+from repro.guidance.faultinject import fault_sweep_plans, short_read_plan
+from repro.guidance.steering import Steering, SteeringDirective
+from repro.guidance.testgen import generate_test_for_gap
+from repro.pod.pod import Pod
+from repro.progmodel.corpus import (
+    make_crash_demo, make_deadlock_demo, make_shortread_demo,
+)
+from repro.progmodel.interpreter import ExecutionLimits, Interpreter, Outcome
+from repro.fixes.patches import SiteRecoveryFix
+from repro.symbolic.engine import SymbolicEngine
+from repro.tracing.capture import FullCapture, SampledCapture
+from repro.tree.exectree import ExecutionTree
+from repro.tree.frontier import enumerate_gaps
+
+
+class TestPod:
+    def test_execute_produces_trace(self):
+        demo = make_crash_demo()
+        pod = Pod("p1", demo.program)
+        run = pod.execute({"n": 1, "mode": 1})
+        assert run.trace.pod_id == "p1"
+        assert run.result.outcome is Outcome.OK
+        assert not run.guided
+        assert pod.runs == 1
+
+    def test_pod_counts_failures(self):
+        demo = make_crash_demo()
+        pod = Pod("p1", demo.program)
+        pod.execute({"n": 7, "mode": 2})
+        assert pod.failures_experienced == 1
+
+    def test_update_only_moves_forward(self):
+        demo = make_crash_demo()
+        pod = Pod("p1", demo.program)
+        fixed = SiteRecoveryFix(fix_id="f", function="main",
+                                block="boom").apply(demo.program)
+        pod.apply_update(fixed)
+        assert pod.version == 2
+        pod.apply_update(demo.program)  # stale update ignored
+        assert pod.version == 2
+        assert pod.updates_applied == 1
+
+    def test_directive_inputs_override(self):
+        demo = make_crash_demo()
+        pod = Pod("p1", demo.program)
+        directive = SteeringDirective(kind="input",
+                                      inputs={"n": 7, "mode": 2})
+        run = pod.execute({"n": 0, "mode": 0}, directive=directive)
+        assert run.guided
+        assert run.trace.guided
+        assert run.result.outcome is Outcome.CRASH
+
+    def test_directive_inputs_clamped_to_domain(self):
+        demo = make_crash_demo()
+        pod = Pod("p1", demo.program)
+        directive = SteeringDirective(kind="input",
+                                      inputs={"n": 999, "mode": -5})
+        run = pod.execute({"n": 0, "mode": 0}, directive=directive)
+        assert run.result.outcome in (Outcome.OK, Outcome.CRASH)
+
+    def test_fault_directive(self):
+        demo = make_shortread_demo()
+        pod = Pod("p1", demo.program)
+        directive = SteeringDirective(kind="fault",
+                                      fault_plan=short_read_plan(1, 3))
+        run = pod.execute({"sz": 32}, directive=directive)
+        assert run.result.outcome is Outcome.CRASH
+
+    def test_schedule_directive_uses_pct(self):
+        demo = make_deadlock_demo()
+        pod = Pod("p1", demo.program, limits=ExecutionLimits(max_steps=2000))
+        outcomes = set()
+        for seed in range(20):
+            directive = SteeringDirective(kind="schedule", pct_seed=seed)
+            run = pod.execute({"go": 1}, directive=directive)
+            outcomes.add(run.result.outcome)
+        assert Outcome.DEADLOCK in outcomes or Outcome.OK in outcomes
+
+    def test_deterministic_given_seed(self):
+        demo = make_crash_demo()
+        run_a = Pod("p1", demo.program, seed=5).execute({"n": 3, "mode": 2})
+        run_b = Pod("p1", demo.program, seed=5).execute({"n": 3, "mode": 2})
+        assert run_a.trace == run_b.trace
+
+
+class TestFaultPlans:
+    def test_short_read_plan(self):
+        plan = short_read_plan(2, 7)
+        assert plan.override(2) == 7
+        assert plan.override(1) is None
+
+    def test_sweep_covers_occurrences_and_values(self):
+        plans = fault_sweep_plans(3)
+        assert len(plans) == 6
+        forced = {(occ, val) for plan in plans
+                  for occ, val in plan.forced.items()}
+        assert (0, 0) in forced and (2, -1) in forced
+
+
+class TestTestgen:
+    def test_gap_filling(self):
+        demo = make_crash_demo()
+        tree = ExecutionTree(demo.program.name)
+        result = Interpreter(demo.program).run({"n": 1, "mode": 2})
+        tree.insert_trace(FullCapture().capture(result), demo.program)
+        engine = SymbolicEngine(demo.program)
+        gaps = enumerate_gaps(tree)
+        assert gaps
+        filled = 0
+        for gap in gaps:
+            inputs = generate_test_for_gap(engine, gap)
+            if inputs is None:
+                continue
+            run = Interpreter(demo.program).run(inputs)
+            target = list(gap.prefix) + [(gap.site, gap.missing_direction)]
+            assert list(run.path_decisions)[:len(target)] == target
+            filled += 1
+        assert filled == len(gaps)  # all demo gaps are feasible
+
+
+class TestSteering:
+    def test_input_directives_first(self):
+        demo = make_crash_demo()
+        tree = ExecutionTree(demo.program.name)
+        result = Interpreter(demo.program).run({"n": 1, "mode": 2})
+        tree.insert_trace(FullCapture().capture(result), demo.program)
+        steering = Steering(demo.program)
+        directives = steering.plan(tree, max_directives=4)
+        assert directives
+        assert directives[0].kind == "input"
+
+    def test_schedule_directives_for_multithreaded(self):
+        demo = make_deadlock_demo()
+        steering = Steering(demo.program)
+        tree = ExecutionTree(demo.program.name)
+        directives = steering.plan(tree, max_directives=6)
+        kinds = {d.kind for d in directives}
+        assert "schedule" in kinds
+
+    def test_fault_directives_for_syscall_programs(self):
+        demo = make_shortread_demo()
+        steering = Steering(demo.program)
+        tree = ExecutionTree(demo.program.name)
+        directives = steering.plan(tree, max_directives=6)
+        kinds = {d.kind for d in directives}
+        assert "fault" in kinds
+
+    def test_directive_budget_respected(self):
+        demo = make_shortread_demo()
+        steering = Steering(demo.program)
+        tree = ExecutionTree(demo.program.name)
+        assert len(steering.plan(tree, max_directives=3)) <= 3
+
+
+class TestScheduleReplay:
+    """Re-driving observed dangerous interleavings (Sec. 3.3)."""
+
+    def _hive_with_deadlock(self):
+        from repro.hive.hive import Hive
+        from repro.sched.scheduler import RoundRobinScheduler
+        from repro.tracing.trace import trace_from_result
+        demo = make_deadlock_demo()
+        hive = Hive(demo.program, enable_proofs=False)
+        result = Interpreter(demo.program).run(
+            {"go": 1}, scheduler=RoundRobinScheduler())
+        assert result.outcome is Outcome.DEADLOCK
+        hive.ingest(trace_from_result(result))
+        return demo, hive
+
+    def test_dangerous_schedule_captured_and_planned(self):
+        _demo, hive = self._hive_with_deadlock()
+        directives = hive.plan_steering(6)
+        replays = [d for d in directives if d.kind == "replay_schedule"]
+        assert replays
+        assert replays[0].schedule_picks
+
+    def test_replay_reproduces_deadlock(self):
+        demo, hive = self._hive_with_deadlock()
+        replay = next(d for d in hive.plan_steering(6)
+                      if d.kind == "replay_schedule")
+        pod = Pod("p", demo.program)
+        run = pod.execute({"go": 1}, directive=replay)
+        assert run.result.outcome is Outcome.DEADLOCK
+
+    def test_replay_is_field_test_after_fix(self):
+        demo, hive = self._hive_with_deadlock()
+        replay = next(d for d in hive.plan_steering(6)
+                      if d.kind == "replay_schedule")
+        assert hive.maybe_fix() is not None
+        pod = Pod("p", demo.program)
+        pod.apply_update(hive.program)
+        run = pod.execute({"go": 1}, directive=replay)
+        assert run.result.outcome is Outcome.OK
+
+    def test_single_threaded_has_no_replays(self):
+        from repro.hive.hive import Hive
+        from repro.tracing.trace import trace_from_result
+        demo = make_crash_demo()
+        hive = Hive(demo.program, enable_proofs=False)
+        result = Interpreter(demo.program).run({"n": 7, "mode": 2})
+        hive.ingest(trace_from_result(result))
+        kinds = {d.kind for d in hive.plan_steering(6)}
+        assert "replay_schedule" not in kinds

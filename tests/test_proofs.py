@@ -1,0 +1,150 @@
+"""Cumulative prover tests: the test/proof spectrum, refutation,
+completion, and invalidation on fix deployment."""
+
+import pytest
+
+from repro.errors import ProofError
+from repro.fixes.patches import SiteRecoveryFix
+from repro.progmodel.corpus import make_crash_demo, make_deadlock_demo
+from repro.progmodel.interpreter import Interpreter, Outcome
+from repro.proofs.proof import ProofStatus
+from repro.proofs.properties import (
+    ALWAYS_TERMINATES, NEVER_CRASHES, NEVER_DEADLOCKS, NO_FAILURES,
+)
+from repro.proofs.prover import CumulativeProver, ProofLedger
+from repro.sched.scheduler import RoundRobinScheduler
+from repro.tracing.capture import FullCapture
+from repro.tree.exectree import ExecutionTree
+
+
+class TestProperties:
+    def test_forbidden_outcomes(self):
+        assert not NEVER_CRASHES.holds_for(Outcome.CRASH)
+        assert not NEVER_CRASHES.holds_for(Outcome.ASSERT)
+        assert NEVER_CRASHES.holds_for(Outcome.DEADLOCK)
+        assert NEVER_DEADLOCKS.holds_for(Outcome.CRASH)
+        assert not ALWAYS_TERMINATES.holds_for(Outcome.HANG)
+        assert all(not NO_FAILURES.holds_for(o)
+                   for o in (Outcome.CRASH, Outcome.ASSERT,
+                             Outcome.DEADLOCK, Outcome.HANG))
+
+
+def _observe(prover, program, inputs):
+    result = Interpreter(program).run(inputs)
+    prover.observe_path(result.path_decisions, result.outcome)
+    return result
+
+
+class TestCumulativeProver:
+    def test_partial_then_proved(self):
+        demo = make_crash_demo()
+        fixed = SiteRecoveryFix(fix_id="f", function="main",
+                                block="boom").apply(demo.program)
+        prover = CumulativeProver(fixed, NO_FAILURES)
+        proof = prover.current_proof()
+        assert proof.status is ProofStatus.PARTIAL
+        assert proof.total_feasible_paths == 3
+        # Witness all three path classes.
+        _observe(prover, fixed, {"n": 7, "mode": 2})   # recovered path
+        _observe(prover, fixed, {"n": 1, "mode": 2})
+        assert prover.current_proof().status is ProofStatus.PARTIAL
+        assert prover.current_proof().coverage == pytest.approx(2 / 3)
+        _observe(prover, fixed, {"n": 1, "mode": 0})
+        proof = prover.current_proof()
+        assert proof.status is ProofStatus.PROVED
+        assert proof.coverage == 1.0
+        assert prover.unwitnessed_paths() == []
+
+    def test_counterexample_refutes(self):
+        demo = make_crash_demo()
+        prover = CumulativeProver(demo.program, NO_FAILURES)
+        _observe(prover, demo.program, {"n": 7, "mode": 2})
+        proof = prover.current_proof()
+        assert proof.status is ProofStatus.REFUTED
+        assert proof.violating_paths == 1
+        assert proof.counterexamples
+
+    def test_observe_tree(self):
+        demo = make_crash_demo()
+        prover = CumulativeProver(demo.program, NEVER_DEADLOCKS)
+        tree = ExecutionTree(demo.program.name, demo.program.version)
+        for n in range(10):
+            for mode in range(4):
+                result = Interpreter(demo.program).run(
+                    {"n": n, "mode": mode})
+                tree.insert_trace(FullCapture().capture(result),
+                                  demo.program)
+        prover.observe_tree(tree)
+        proof = prover.current_proof()
+        # Crash paths exist but do not violate NEVER_DEADLOCKS.
+        assert proof.status is ProofStatus.PROVED
+
+    def test_tree_version_mismatch_rejected(self):
+        demo = make_crash_demo()
+        prover = CumulativeProver(demo.program, NO_FAILURES)
+        wrong = ExecutionTree(demo.program.name, demo.program.version + 1)
+        with pytest.raises(ProofError):
+            prover.observe_tree(wrong)
+
+    def test_fix_deployment_invalidates(self):
+        demo = make_crash_demo()
+        prover = CumulativeProver(demo.program, NO_FAILURES)
+        _observe(prover, demo.program, {"n": 7, "mode": 2})
+        assert prover.current_proof().status is ProofStatus.REFUTED
+        fixed = SiteRecoveryFix(fix_id="f", function="main",
+                                block="boom").apply(demo.program)
+        prover.on_fix_deployed(fixed)
+        assert len(prover.invalidated_proofs) == 1
+        assert prover.invalidated_proofs[0].invalidated
+        # Fresh evidence against the fixed version.
+        assert prover.current_proof().status is ProofStatus.PARTIAL
+        assert prover.current_proof().covered_paths == 0
+
+    def test_fix_must_bump_version(self):
+        demo = make_crash_demo()
+        prover = CumulativeProver(demo.program, NO_FAILURES)
+        with pytest.raises(ProofError):
+            prover.on_fix_deployed(demo.program)
+
+    def test_multithreaded_has_no_denominator(self):
+        demo = make_deadlock_demo()
+        prover = CumulativeProver(demo.program, NEVER_DEADLOCKS)
+        proof = prover.current_proof()
+        assert proof.total_feasible_paths is None
+        assert proof.status is ProofStatus.PARTIAL
+        result = Interpreter(demo.program).run(
+            {"go": 1}, scheduler=RoundRobinScheduler())
+        prover.observe_path(result.path_decisions, result.outcome)
+        assert prover.current_proof().status is ProofStatus.REFUTED
+
+    def test_fault_paths_refute_but_never_complete(self):
+        from repro.progmodel.corpus import make_shortread_demo
+        from repro.progmodel.interpreter import Environment, FaultPlan
+        demo = make_shortread_demo()
+        prover = CumulativeProver(demo.program, NO_FAILURES)
+        total = prover.current_proof().total_feasible_paths
+        env = Environment(fault_plan=FaultPlan(forced={1: 5}))
+        result = Interpreter(demo.program).run({"sz": 32}, environment=env)
+        assert result.outcome is Outcome.CRASH
+        prover.observe_path(result.path_decisions, result.outcome)
+        proof = prover.current_proof()
+        assert proof.status is ProofStatus.REFUTED
+        # The fault path did not cover any fault-free oracle path.
+        assert proof.total_feasible_paths == total
+
+
+class TestProofLedger:
+    def test_series_and_invalidation_ticks(self):
+        demo = make_crash_demo()
+        prover = CumulativeProver(demo.program, NEVER_DEADLOCKS)
+        ledger = ProofLedger()
+        ledger.record(0, prover.current_proof())
+        _observe(prover, demo.program, {"n": 1, "mode": 0})
+        ledger.record(1, prover.current_proof())
+        fixed = SiteRecoveryFix(fix_id="f", function="main",
+                                block="boom").apply(demo.program)
+        prover.on_fix_deployed(fixed)
+        ledger.record(2, prover.current_proof())
+        assert ledger.invalidation_ticks() == [2]
+        assert len(ledger.coverage_series()) == 3
+        assert ledger.first_proved_tick() is None

@@ -1,0 +1,220 @@
+"""SAT solver tests: correctness vs brute force, family behaviour,
+portfolio mechanics."""
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SolverError
+from repro.solvers.budget import CostMeter, BudgetExceeded, SolveStatus
+from repro.solvers.cnf import (
+    CNF, evaluate, graph_coloring, implication_chain, pigeonhole,
+    random_ksat,
+)
+from repro.solvers.dpll import DPLLSolver
+from repro.solvers.lookahead import LookaheadSolver
+from repro.solvers.portfolio import Portfolio, run_portfolio_experiment
+from repro.solvers.walksat import WalkSATSolver
+
+COMPLETE_SOLVERS = [DPLLSolver("jw"), DPLLSolver("random", seed=3),
+                    LookaheadSolver()]
+ALL_SOLVERS = COMPLETE_SOLVERS + [WalkSATSolver(seed=1)]
+
+
+def brute_force_sat(cnf: CNF) -> bool:
+    for bits in itertools.product([False, True], repeat=cnf.n_vars):
+        assignment = {v: bits[v - 1] for v in cnf.variables()}
+        if evaluate(cnf, assignment):
+            return True
+    return False
+
+
+class TestCNF:
+    def test_literal_range_checked(self):
+        with pytest.raises(SolverError):
+            CNF(n_vars=2, clauses=((3,),))
+        with pytest.raises(SolverError):
+            CNF(n_vars=2, clauses=((0,),))
+
+    def test_evaluate(self):
+        cnf = CNF(n_vars=2, clauses=((1, 2), (-1, 2)))
+        assert evaluate(cnf, {1: True, 2: True})
+        assert not evaluate(cnf, {1: True, 2: False})
+
+    def test_planted_random_is_sat(self):
+        for seed in range(5):
+            cnf = random_ksat(20, 85, rng=random.Random(seed),
+                              force_satisfiable=True)
+            result = DPLLSolver("jw").solve(cnf)
+            assert result.status is SolveStatus.SAT
+
+    def test_pigeonhole_unsat(self):
+        result = DPLLSolver("jw").solve(pigeonhole(3))
+        assert result.status is SolveStatus.UNSAT
+
+    def test_implication_chain_unsat(self):
+        cnf = implication_chain(8, 5, rng=random.Random(0))
+        for solver in COMPLETE_SOLVERS:
+            assert solver.solve(cnf).status is SolveStatus.UNSAT
+
+    def test_generators_deterministic(self):
+        a = random_ksat(10, 30, rng=random.Random(5))
+        b = random_ksat(10, 30, rng=random.Random(5))
+        assert a.clauses == b.clauses
+
+    def test_graph_coloring_shape(self):
+        cnf = graph_coloring(5, 0.5, 3, rng=random.Random(1))
+        assert cnf.n_vars == 15
+        assert cnf.family == "structured"
+
+
+class TestBudget:
+    def test_meter_counts(self):
+        meter = CostMeter()
+        meter.charge(5)
+        meter.charge()
+        assert meter.cost == 6
+        assert meter.remaining() is None
+
+    def test_budget_exceeded(self):
+        meter = CostMeter(budget=3)
+        meter.charge(3)
+        with pytest.raises(BudgetExceeded):
+            meter.charge()
+
+    def test_timeout_result(self):
+        cnf = pigeonhole(7)
+        result = DPLLSolver("jw").solve(cnf, budget=100)
+        assert result.status is SolveStatus.TIMEOUT
+        assert result.cost == 100
+
+
+class TestSolverCorrectness:
+    @settings(max_examples=40, deadline=None)
+    @given(seed=st.integers(0, 10_000), n_clauses=st.integers(1, 30))
+    def test_all_solvers_agree_with_brute_force(self, seed, n_clauses):
+        cnf = random_ksat(6, n_clauses, k=3, rng=random.Random(seed))
+        expected = brute_force_sat(cnf)
+        for solver in COMPLETE_SOLVERS:
+            result = solver.solve(cnf)
+            assert result.solved
+            assert (result.status is SolveStatus.SAT) == expected
+            if result.status is SolveStatus.SAT:
+                assert evaluate(cnf, result.model)
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_walksat_models_are_valid(self, seed):
+        cnf = random_ksat(10, 30, rng=random.Random(seed),
+                          force_satisfiable=True)
+        result = WalkSATSolver(seed=seed).solve(cnf, budget=500_000)
+        if result.status is SolveStatus.SAT:
+            assert evaluate(cnf, result.model)
+
+    def test_walksat_cannot_prove_unsat(self):
+        result = WalkSATSolver(seed=0).solve(pigeonhole(3), budget=50_000)
+        assert result.status is SolveStatus.TIMEOUT
+
+    def test_unit_clause_conflict_detected(self):
+        cnf = CNF(n_vars=1, clauses=((1,), (-1,)))
+        for solver in COMPLETE_SOLVERS:
+            assert solver.solve(cnf).status is SolveStatus.UNSAT
+
+    def test_empty_formula_sat(self):
+        cnf = CNF(n_vars=3, clauses=())
+        for solver in COMPLETE_SOLVERS:
+            result = solver.solve(cnf)
+            assert result.status is SolveStatus.SAT
+
+    def test_dpll_heuristic_validation(self):
+        with pytest.raises(ValueError):
+            DPLLSolver("magic")
+
+    def test_walksat_noise_validation(self):
+        with pytest.raises(ValueError):
+            WalkSATSolver(noise=1.5)
+
+
+class TestComplementarity:
+    """The property the paper's portfolio claim rests on: each solver
+    is fast on some family and slow on others."""
+
+    def test_walksat_beats_dpll_on_random_sat(self):
+        cnf = random_ksat(120, 500, rng=random.Random(2),
+                          force_satisfiable=True)
+        dpll = DPLLSolver("jw").solve(cnf, budget=1_000_000)
+        walk = WalkSATSolver(seed=2).solve(cnf, budget=1_000_000)
+        assert walk.status is SolveStatus.SAT
+        assert walk.cost * 2 < dpll.cost
+
+    def test_lookahead_beats_dpll_on_chains(self):
+        cnf = implication_chain(40, 18, rng=random.Random(1))
+        dpll = DPLLSolver("jw").solve(cnf, budget=1_000_000)
+        look = LookaheadSolver().solve(cnf, budget=1_000_000)
+        assert look.status is SolveStatus.UNSAT
+        assert look.cost * 3 < dpll.cost
+
+    def test_dpll_beats_lookahead_on_coloring(self):
+        cnf = graph_coloring(12, 0.5, 3, rng=random.Random(7))
+        dpll = DPLLSolver("jw").solve(cnf, budget=1_000_000)
+        look = LookaheadSolver().solve(cnf, budget=1_000_000)
+        assert dpll.solved
+        assert dpll.cost * 2 < look.cost
+
+
+class TestPortfolio:
+    def _instances(self):
+        return [
+            random_ksat(60, 250, rng=random.Random(1),
+                        force_satisfiable=True),
+            implication_chain(30, 14, rng=random.Random(2)),
+            graph_coloring(10, 0.5, 3, rng=random.Random(3)),
+        ]
+
+    def test_portfolio_takes_first_answer(self):
+        portfolio = Portfolio([DPLLSolver("jw"), WalkSATSolver(seed=1),
+                               LookaheadSolver()], budget=500_000)
+        for cnf in self._instances():
+            outcome = portfolio.run(cnf)
+            assert outcome.status is not SolveStatus.TIMEOUT
+            member_costs = [r.cost for r in outcome.member_results.values()
+                            if r.solved]
+            assert outcome.time == min(member_costs)
+            assert outcome.resources == 3 * outcome.time
+
+    def test_portfolio_requires_solvers(self):
+        with pytest.raises(SolverError):
+            Portfolio([])
+
+    def test_portfolio_rejects_duplicate_names(self):
+        with pytest.raises(SolverError):
+            Portfolio([DPLLSolver("jw"), DPLLSolver("jw", seed=1)])
+
+    def test_report_aggregation(self):
+        report = run_portfolio_experiment(
+            [DPLLSolver("jw"), WalkSATSolver(seed=1), LookaheadSolver()],
+            self._instances(), budget=500_000)
+        assert report.solved_count() == 3
+        # Portfolio can never be slower than any single member.
+        for name in ("dpll-jw", "walksat", "lookahead"):
+            assert report.speedup_vs(name) >= 1.0
+        # Resources never exceed k * single time of the best member.
+        assert report.total_portfolio_resources == \
+            3 * report.total_portfolio_time
+        wins = report.wins_by_solver()
+        assert sum(wins.values()) == 3
+        assert len(wins) >= 2  # complementary winners
+
+    def test_per_family_table(self):
+        report = run_portfolio_experiment(
+            [DPLLSolver("jw"), WalkSATSolver(seed=1), LookaheadSolver()],
+            self._instances(), budget=500_000)
+        table = report.per_family_times()
+        assert set(table) == {"random", "implication", "structured"}
+        for row in table.values():
+            assert "portfolio" in row
+            assert row["portfolio"] <= min(
+                v for k, v in row.items() if k != "portfolio")

@@ -1,0 +1,216 @@
+"""Tracing layer tests: capture policies, sampling, privacy, encoding."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import TraceError
+from repro.progmodel.corpus import make_crash_demo, make_deadlock_demo
+from repro.progmodel.interpreter import Interpreter, Outcome
+from repro.sched.scheduler import RoundRobinScheduler
+from repro.tracing.capture import (
+    AllBranchCapture, FailureDumpCapture, FullCapture, SampledCapture,
+)
+from repro.tracing.encode import decode_trace, encode_trace, encoded_size
+from repro.tracing.outcome import UserFeedback, infer_feedback
+from repro.tracing.privacy import kanonymous_paths, truncate_trace
+from repro.tracing.sampling import sample_observations
+from repro.tracing.trace import Observation, Trace, trace_from_result
+
+
+def _crash_result(n=7, mode=2):
+    demo = make_crash_demo()
+    return demo, Interpreter(demo.program).run({"n": n, "mode": mode})
+
+
+class TestCapturePolicies:
+    def test_full_capture_is_replayable(self):
+        _demo, result = _crash_result()
+        trace = FullCapture().capture(result, pod_id="pod1")
+        assert trace.replayable
+        assert trace.pod_id == "pod1"
+        assert trace.outcome is Outcome.CRASH
+        assert len(trace.branch_bits) == len(result.branch_bits)
+
+    def test_all_branch_capture_costs_more_or_equal(self):
+        _demo, result = _crash_result()
+        full = FullCapture().capture(result)
+        every = AllBranchCapture().capture(result)
+        assert every.events_recorded >= full.events_recorded
+        assert every.branch_bits == full.branch_bits
+
+    def test_sampled_capture_records_fewer_events(self):
+        demo = make_deadlock_demo()
+        result = Interpreter(demo.program).run(
+            {"go": 1}, scheduler=RoundRobinScheduler())
+        dense = SampledCapture(rate=1).capture(result)
+        sparse = SampledCapture(rate=100, seed=1).capture(result)
+        assert not dense.replayable
+        assert len(sparse.observations) <= len(dense.observations)
+
+    def test_failure_dump_records_nothing_on_success(self):
+        demo = make_crash_demo()
+        ok = Interpreter(demo.program).run({"n": 1, "mode": 1})
+        trace = FailureDumpCapture().capture(ok)
+        assert trace.events_recorded == 0
+        assert trace.failure_site is None
+
+    def test_failure_dump_records_site_on_failure(self):
+        _demo, result = _crash_result()
+        trace = FailureDumpCapture().capture(result)
+        assert trace.events_recorded > 0
+        assert trace.failure_site == (0, "main", "boom")
+
+    def test_sampled_rate_must_be_positive(self):
+        with pytest.raises(ValueError):
+            SampledCapture(rate=0)
+
+
+class TestSampling:
+    def test_rate_one_records_everything(self):
+        _demo, result = _crash_result()
+        obs = sample_observations(result, rate=1)
+        assert len(obs) == len(result.branch_bits)
+
+    def test_sampling_is_subset(self):
+        demo = make_deadlock_demo()
+        result = Interpreter(demo.program).run(
+            {"go": 0}, scheduler=RoundRobinScheduler())
+        dense = sample_observations(result, rate=1)
+        sparse = sample_observations(result, rate=10,
+                                     rng=random.Random(3))
+        dense_set = [(o.site, o.taken) for o in dense]
+        for o in sparse:
+            assert (o.site, o.taken) in dense_set
+
+    def test_invalid_rate(self):
+        _demo, result = _crash_result()
+        with pytest.raises(ValueError):
+            sample_observations(result, rate=0)
+
+
+class TestFeedback:
+    def test_hang_mostly_killed(self):
+        demo = make_crash_demo()
+        result = Interpreter(demo.program).run({"n": 1, "mode": 1})
+        result.outcome = Outcome.HANG  # simulate a hung run
+        kills = sum(
+            1 for s in range(50)
+            if infer_feedback(result, random.Random(s)) is
+            UserFeedback.FORCED_KILL)
+        assert kills > 30
+
+    def test_ok_quiet(self):
+        demo = make_crash_demo()
+        result = Interpreter(demo.program).run({"n": 1, "mode": 1})
+        assert infer_feedback(result) is UserFeedback.NONE
+
+    def test_slow_ok_run_is_sluggish(self):
+        demo = make_crash_demo()
+        result = Interpreter(demo.program).run({"n": 1, "mode": 1})
+        result.steps = 95
+        assert infer_feedback(result, max_steps=100) is UserFeedback.SLUGGISH
+
+
+class TestPrivacy:
+    def test_truncate_noop_when_short(self):
+        _demo, result = _crash_result()
+        trace = trace_from_result(result)
+        assert truncate_trace(trace, 100) is trace
+
+    def test_truncate_drops_bits_and_replayability(self):
+        _demo, result = _crash_result()
+        trace = trace_from_result(result)
+        short = truncate_trace(trace, 1)
+        assert len(short.branch_bits) == 1
+        assert not short.replayable
+
+    def test_kanonymous_prefix_lengths_monotone_in_k(self):
+        demo = make_crash_demo()
+        traces = []
+        rng = random.Random(0)
+        for _ in range(30):
+            inputs = {"n": rng.randint(0, 9), "mode": rng.randint(0, 3)}
+            traces.append(trace_from_result(
+                Interpreter(demo.program).run(inputs)))
+        for trace in traces:
+            lengths = []
+            for k in (1, 2, 5, 10):
+                pairs = kanonymous_paths(traces, k)
+                prefix = dict((id(t), p) for t, p in pairs)[id(trace)]
+                lengths.append(len(prefix))
+            assert lengths == sorted(lengths, reverse=True)
+
+    def test_k1_returns_full_vectors(self):
+        _demo, result = _crash_result()
+        trace = trace_from_result(result)
+        pairs = kanonymous_paths([trace], 1)
+        assert pairs[0][1] == tuple(trace.branch_bits)
+
+
+class TestEncoding:
+    def test_roundtrip_crash_trace(self):
+        _demo, result = _crash_result()
+        trace = trace_from_result(result, pod_id="pod-7")
+        assert decode_trace(encode_trace(trace)) == trace
+
+    def test_roundtrip_deadlock_trace(self):
+        demo = make_deadlock_demo()
+        result = Interpreter(demo.program).run(
+            {"go": 1}, scheduler=RoundRobinScheduler())
+        trace = trace_from_result(result)
+        assert decode_trace(encode_trace(trace)) == trace
+
+    def test_roundtrip_sampled_trace(self):
+        _demo, result = _crash_result()
+        trace = SampledCapture(rate=2, seed=4).capture(result)
+        assert decode_trace(encode_trace(trace)) == trace
+
+    def test_corrupt_data_raises(self):
+        _demo, result = _crash_result()
+        data = encode_trace(trace_from_result(result))
+        with pytest.raises(TraceError):
+            decode_trace(data[:-2])
+        with pytest.raises(TraceError):
+            decode_trace(data + b"\x00")
+
+    def test_encoded_size_reasonable(self):
+        _demo, result = _crash_result()
+        trace = trace_from_result(result)
+        # 2 branch bits + schedule RLE: tens of bytes at most.
+        assert encoded_size(trace) < 200
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        bits=st.lists(st.booleans(), max_size=64),
+        syscalls=st.lists(st.integers(min_value=-2**31, max_value=2**31),
+                          max_size=16),
+        rle=st.lists(st.tuples(st.integers(0, 7), st.integers(1, 1000)),
+                     max_size=8),
+        steps=st.integers(0, 10**6),
+        pod=st.text(max_size=10),
+        outcome=st.sampled_from(list(Outcome)),
+        replayable=st.booleans(),
+        guided=st.booleans(),
+    )
+    def test_roundtrip_property(self, bits, syscalls, rle, steps, pod,
+                                outcome, replayable, guided):
+        trace = Trace(
+            program_name="prop",
+            program_version=3,
+            outcome=outcome,
+            branch_bits=tuple(bits),
+            syscall_returns=tuple(syscalls),
+            schedule_rle=tuple(rle),
+            observations=(Observation((0, "f", "b"), True),),
+            replayable=replayable,
+            steps=steps,
+            events_recorded=len(bits),
+            failure_message=None,
+            failure_site=(1, "main", "boom") if outcome.is_failure else None,
+            pod_id=pod,
+            guided=guided,
+        )
+        assert decode_trace(encode_trace(trace)) == trace
