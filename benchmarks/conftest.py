@@ -17,6 +17,18 @@ import pytest
 OUT_DIR = Path(__file__).parent / "out"
 
 
+@pytest.fixture(autouse=True)
+def _no_observability():
+    """Benchmarks measure the platform, not its metrology: run every
+    experiment with the repro.obs registry disabled so components
+    constructed inside the workload get zero-cost no-op handles."""
+    from repro.obs import disable, enable, reset
+    disable()
+    reset()
+    yield
+    enable()
+
+
 @pytest.fixture()
 def emit():
     """emit(name, text): print + persist one experiment's table(s)."""

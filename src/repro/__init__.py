@@ -21,12 +21,16 @@ See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 experiment index.
 """
 
+from repro.config import BaseConfig, BaseReport
+from repro.obs import Instrumented, Registry, get_registry
 from repro.platform import (
     PlatformConfig,
     PlatformReport,
     RoundStats,
     SoftBorgPlatform,
 )
+from repro.netplatform import NetworkedConfig, NetworkedPlatform
+from repro.fleet import Fleet, FleetReport
 from repro.progmodel import (
     BugKind,
     BugSpec,
@@ -59,6 +63,9 @@ __version__ = "0.1.0"
 
 __all__ = [
     "SoftBorgPlatform", "PlatformConfig", "PlatformReport", "RoundStats",
+    "NetworkedPlatform", "NetworkedConfig", "Fleet", "FleetReport",
+    "BaseConfig", "BaseReport",
+    "Instrumented", "Registry", "get_registry",
     "Program", "ProgramBuilder", "Interpreter", "Environment",
     "ExecutionLimits", "ExecutionResult",
     "BugKind", "BugSpec", "CorpusConfig", "generate_corpus",

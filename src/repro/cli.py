@@ -1,8 +1,12 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Three commands cover the common "kick the tires" flows:
+The common "kick the tires" flows:
 
-* ``run`` — the closed loop on a canned scenario, with the round table;
+* ``run`` — the closed loop on a canned scenario, with the round table
+  (``--json`` emits the full config/report/obs snapshot instead);
+* ``stats`` — same loop, but the output is the ``repro.obs`` registry
+  snapshot: where the wall-clock went, trace-ingest counts, latency
+  percentiles;
 * ``portfolio`` — the 3-solver SAT portfolio on a small instance mix;
 * ``explore`` — cooperative symbolic exploration of a corpus program.
 """
@@ -10,10 +14,11 @@ Three commands cover the common "kick the tires" flows:
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
-from repro.metrics.report import render_table
+from repro.metrics.report import render_round_table, render_table
 
 __all__ = ["main", "build_parser"]
 
@@ -33,6 +38,22 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--guidance", action="store_true")
     run.add_argument("--no-fixing", action="store_true")
     run.add_argument("--seed", type=int, default=2)
+    run.add_argument("--json", action="store_true",
+                     help="emit the unified config/report/obs snapshot"
+                          " as JSON instead of tables")
+
+    stats = sub.add_parser(
+        "stats", help="run the closed loop and print the repro.obs"
+                      " metrics snapshot (wall-clock split, ingest"
+                      " counts, latency percentiles)")
+    stats.add_argument("--scenario", default="crash",
+                       choices=["crash", "deadlock", "shortread", "race"])
+    stats.add_argument("--rounds", type=int, default=10)
+    stats.add_argument("--executions", type=int, default=40)
+    stats.add_argument("--guidance", action="store_true")
+    stats.add_argument("--seed", type=int, default=2)
+    stats.add_argument("--json", action="store_true",
+                       help="emit the registry snapshot as JSON")
 
     portfolio = sub.add_parser(
         "portfolio", help="run the 3-solver SAT portfolio (E1, small)")
@@ -65,8 +86,13 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _cmd_run(args) -> int:
+def _run_platform(args, fixing: bool = True):
+    """Build + run one closed loop from CLI args (run/stats share it)."""
+    from repro.obs import reset
     from repro.platform import PlatformConfig, SoftBorgPlatform
+    # One CLI invocation = one snapshot: drop metrics accumulated by
+    # any earlier in-process use of the registry.
+    reset()
     from repro.workloads.scenarios import (
         crash_scenario, deadlock_scenario, race_scenario,
         shortread_scenario,
@@ -83,17 +109,22 @@ def _cmd_run(args) -> int:
         rounds=args.rounds,
         executions_per_round=args.executions,
         guidance=args.guidance,
-        fixing=not args.no_fixing,
+        fixing=fixing,
         enable_proofs=not multithreaded,
         seed=args.seed,
     ))
     report = platform.run()
-    rows = [[r.round_index, r.failures, r.hive_version,
-             r.fixes_deployed_total, float(r.windowed_density)]
-            for r in report.rounds]
-    print(render_table(
-        ["round", "failures", "version", "fixes", "fails/1k"],
-        rows, title=f"Closed loop on {scenario.program.name!r}"))
+    return platform, report
+
+
+def _cmd_run(args) -> int:
+    platform, report = _run_platform(args, fixing=not args.no_fixing)
+    if args.json:
+        print(json.dumps(platform.snapshot(), sort_keys=True, indent=2))
+        return 0
+    scenario = platform.scenario
+    print(render_round_table(
+        report, title=f"Closed loop on {scenario.program.name!r}"))
     print()
     print(f"fixes deployed : {report.fixes or 'none'}")
     print(f"open bugs      : {sorted(report.density.open_bugs) or 'none'}")
@@ -103,6 +134,17 @@ def _cmd_run(args) -> int:
     print("hive knowledge:")
     for key, value in platform.hive.status().items():
         print(f"  {key}: {value}")
+    return 0
+
+
+def _cmd_stats(args) -> int:
+    from repro.obs import get_registry
+    _platform, _report = _run_platform(args)
+    registry = get_registry()
+    if args.json:
+        print(registry.as_json(indent=2))
+        return 0
+    print(registry.render())
     return 0
 
 
@@ -217,6 +259,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
         "run": _cmd_run,
+        "stats": _cmd_stats,
         "portfolio": _cmd_portfolio,
         "explore": _cmd_explore,
         "fleet": _cmd_fleet,

@@ -13,6 +13,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+from repro.config import BaseReport
+from repro.obs import Instrumented
 from repro.platform import PlatformConfig, PlatformReport, SoftBorgPlatform
 from repro.workloads.scenarios import Scenario
 
@@ -20,7 +22,7 @@ __all__ = ["FleetProgramResult", "FleetReport", "Fleet"]
 
 
 @dataclass
-class FleetProgramResult:
+class FleetProgramResult(BaseReport):
     """One program's outcome within the fleet."""
 
     program_name: str
@@ -44,9 +46,21 @@ class FleetProgramResult:
         it hurt anyone."""
         return self.bugs_seen == 0 and bool(self.report.fixes)
 
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "program_name": self.program_name,
+            "bugs_seeded": self.bugs_seeded,
+            "bugs_seen": self.bugs_seen,
+            "bugs_fixed": self.bugs_fixed,
+            "final_version": self.final_version,
+            "exterminated": self.exterminated,
+            "preempted": self.preempted,
+            "report": self.report.as_dict(),
+        }
+
 
 @dataclass
-class FleetReport:
+class FleetReport(BaseReport):
     """Ecosystem-wide aggregation."""
 
     programs: List[FleetProgramResult] = field(default_factory=list)
@@ -85,15 +99,50 @@ class FleetReport:
                 failures += stats.failures
         return 1000.0 * failures / executions if executions else 0.0
 
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "programs": [p.as_dict() for p in self.programs],
+            "total_executions": self.total_executions,
+            "total_failures": self.total_failures,
+            "total_fixes": self.total_fixes,
+            "programs_with_failures": self.programs_with_failures,
+            "programs_exterminated": self.programs_exterminated,
+            "programs_preempted": self.programs_preempted,
+            "residual_failure_rate": self.residual_failure_rate(),
+        }
 
-class Fleet:
+
+class Fleet(Instrumented):
     """Runs the closed loop for every scenario, one hive each."""
+
+    obs_namespace = "fleet"
 
     def __init__(self, scenarios: Sequence[Scenario],
                  config: Optional[PlatformConfig] = None):
         self.config = config or PlatformConfig()
+        self.validate()
         self.platforms = [SoftBorgPlatform(scenario, self._config_for(
             scenario)) for scenario in scenarios]
+        self.report: Optional[FleetReport] = None
+        self._obs_programs = self.obs_counter("programs_run")
+
+    # -- the shared config/report surface -----------------------------------
+
+    @property
+    def seed(self) -> int:
+        return self.config.seed
+
+    def validate(self) -> None:
+        """Same contract as the platform configs: raise ConfigError."""
+        self.config.validate()
+
+    def snapshot(self) -> Dict[str, object]:
+        """Unified fleet state: config, aggregate report, metrics."""
+        return {
+            "config": self.config.as_dict(),
+            "report": self.report.as_dict() if self.report else None,
+            "obs": self.obs.snapshot(),
+        }
 
     def _config_for(self, scenario: Scenario) -> PlatformConfig:
         import dataclasses
@@ -107,6 +156,7 @@ class Fleet:
         fleet_report = FleetReport()
         for platform in self.platforms:
             report = platform.run()
+            self._obs_programs.inc()
             scenario = platform.scenario
             seen = report.density.bugs_seen
             fixed = report.density.bugs_fixed & seen
@@ -118,4 +168,5 @@ class Fleet:
                 bugs_fixed=len(fixed),
                 final_version=platform.hive.program.version,
             ))
+        self.report = fleet_report
         return fleet_report

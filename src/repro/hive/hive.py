@@ -10,7 +10,9 @@ from repro.analysis.crashes import CrashBucketer
 from repro.analysis.deadlock import DeadlockAnalyzer
 from repro.analysis.invariants import InvariantMiner
 from repro.analysis.races import RaceAnalyzer
+from repro.config import BaseReport
 from repro.errors import TraceError
+from repro.obs import Instrumented
 from repro.fixes.deadlock_immunity import synthesize_immunity_fix
 from repro.fixes.fix import Fix
 from repro.fixes.patches import synthesize_recovery_fixes
@@ -31,7 +33,7 @@ __all__ = ["Hive", "HiveStats"]
 
 
 @dataclass
-class HiveStats:
+class HiveStats(BaseReport):
     """Counters the hive exposes to experiments."""
 
     traces_ingested: int = 0
@@ -44,7 +46,7 @@ class HiveStats:
     unknown_heartbeats: int = 0
 
 
-class Hive:
+class Hive(Instrumented):
     """Ingests by-products; produces fixes, proofs, and steering.
 
     One hive instance manages one program. The hive always holds the
@@ -52,6 +54,8 @@ class Hive:
     pods still running older versions are counted stale and dropped —
     their bit-vectors cannot be replayed against the rewritten CFG.
     """
+
+    obs_namespace = "hive"
 
     def __init__(self, program: Program,
                  limits: Optional[ExecutionLimits] = None,
@@ -65,6 +69,19 @@ class Hive:
         self.validate_fixes = validate_fixes
         self.min_failure_reports = min_failure_reports
         self.stats = HiveStats()
+        # Cached metric handles: the wall-clock split the redesign is
+        # after is replay vs. analysis vs. repair (plus proofs and
+        # steering, which can each dominate under some configs).
+        self._obs_ingested = self.obs_counter("traces_ingested")
+        self._obs_stale = self.obs_counter("stale_traces")
+        self._obs_replay_failures = self.obs_counter("replay_failures")
+        self._obs_heartbeats = self.obs_counter("heartbeats_ingested")
+        self._obs_fixes = self.obs_counter("fixes_deployed")
+        self._obs_phase_replay = self.obs_timer("phase.replay")
+        self._obs_phase_analysis = self.obs_timer("phase.analysis")
+        self._obs_phase_repair = self.obs_timer("phase.repair")
+        self._obs_phase_proof = self.obs_timer("phase.proof")
+        self._obs_phase_steering = self.obs_timer("phase.steering")
         # Keep the symbolic engine's step budget aligned with the
         # concrete interpreter's, so HANG classification agrees between
         # the oracle and real executions.
@@ -114,8 +131,10 @@ class Hive:
     def ingest(self, trace: Trace) -> None:
         """Fold one trace into the collective state."""
         self.stats.traces_ingested += 1
+        self._obs_ingested.inc()
         if trace.program_version != self.program.version:
             self.stats.stale_traces += 1
+            self._obs_stale.inc()
             return
         if trace.outcome.is_failure:
             self._failure_traces.append(trace)
@@ -129,15 +148,17 @@ class Hive:
                 # reconstructs a path *prefix*, merged as partial
                 # evidence (Sec. 3.1's privacy/utility middle ground).
                 try:
-                    prefix = Interpreter(
-                        self.program, limits=self.limits).replay_prefix(
-                        ReplaySource(
-                            branch_bits=list(trace.branch_bits),
-                            syscall_returns=list(trace.syscall_returns),
-                            schedule_picks=list(trace.schedule_picks()),
-                        ))
+                    with self._obs_phase_replay.time():
+                        prefix = Interpreter(
+                            self.program, limits=self.limits).replay_prefix(
+                            ReplaySource(
+                                branch_bits=list(trace.branch_bits),
+                                syscall_returns=list(trace.syscall_returns),
+                                schedule_picks=list(trace.schedule_picks()),
+                            ))
                 except TraceError:
                     self.stats.replay_failures += 1
+                    self._obs_replay_failures.inc()
                     self.bucketer.add(trace)
                     return
                 self.tree.insert_path(prefix, trace.outcome)
@@ -146,26 +167,30 @@ class Hive:
             self.bucketer.add(trace)
             return
         try:
-            result = Interpreter(self.program, limits=self.limits).replay(
-                ReplaySource(
-                    branch_bits=list(trace.branch_bits),
-                    syscall_returns=list(trace.syscall_returns),
-                    schedule_picks=list(trace.schedule_picks()),
-                ))
+            with self._obs_phase_replay.time():
+                result = Interpreter(
+                    self.program, limits=self.limits).replay(
+                    ReplaySource(
+                        branch_bits=list(trace.branch_bits),
+                        syscall_returns=list(trace.syscall_returns),
+                        schedule_picks=list(trace.schedule_picks()),
+                    ))
         except TraceError:
             self.stats.replay_failures += 1
+            self._obs_replay_failures.inc()
             self.bucketer.add(trace)
             return
-        # Replayable failure dumps carry their full decision path —
-        # feed it to the bucketer for WER-style bucket splitting.
-        self.bucketer.add(trace, path=result.path_decisions)
-        self.tree.insert_path(result.path_decisions, result.outcome)
-        self.deadlocks.add_execution(result)
-        self.races.add_execution(result)
-        if result.outcome is Outcome.OK:
-            # Invariants are mined from healthy behaviour only:
-            # "identify the correct code in P" (Sec. 2).
-            self.invariants.add_execution(result)
+        with self._obs_phase_analysis.time():
+            # Replayable failure dumps carry their full decision path —
+            # feed it to the bucketer for WER-style bucket splitting.
+            self.bucketer.add(trace, path=result.path_decisions)
+            self.tree.insert_path(result.path_decisions, result.outcome)
+            self.deadlocks.add_execution(result)
+            self.races.add_execution(result)
+            if result.outcome is Outcome.OK:
+                # Invariants are mined from healthy behaviour only:
+                # "identify the correct code in P" (Sec. 2).
+                self.invariants.add_execution(result)
         # Remember the digest -> path association so later heartbeats
         # from deduplicating pods can bump this path's usage counts
         # without re-shipping the trace.
@@ -176,6 +201,7 @@ class Hive:
     def ingest_heartbeat(self, heartbeat) -> None:
         """Account a deduplicated repeat of an already-known trace."""
         self.stats.heartbeats_ingested += 1
+        self._obs_heartbeats.inc()
         if heartbeat.program_version != self.program.version:
             self.stats.stale_traces += 1
             return
@@ -194,6 +220,10 @@ class Hive:
     def maybe_fix(self) -> Optional[Program]:
         """Synthesize/validate/deploy at most one fix; returns the new
         program version when something shipped."""
+        with self._obs_phase_repair.time():
+            return self._maybe_fix()
+
+    def _maybe_fix(self) -> Optional[Program]:
         candidates = self._candidate_fixes()
         if not candidates:
             return None
@@ -265,6 +295,7 @@ class Hive:
         self.deployed_fixes.append(fix)
         self._note_fix_target(fix)
         self.stats.fixes_deployed += 1
+        self._obs_fixes.inc()
         # The rewritten CFG invalidates the tree and the in-flight
         # failure evidence; analyses restart against the new version.
         self.tree = ExecutionTree(fixed.name, fixed.version)
@@ -283,8 +314,9 @@ class Hive:
     def current_proof(self):
         if self.prover is None:
             return None
-        self.prover.observe_tree(self.tree)
-        return self.prover.current_proof()
+        with self._obs_phase_proof.time():
+            self.prover.observe_tree(self.tree)
+            return self.prover.current_proof()
 
     # -- introspection --------------------------------------------------------------
 
@@ -294,17 +326,18 @@ class Hive:
         proof = self.current_proof()
         top_invariants = [str(inv) for inv in
                           self.invariants.invariants()[:5]]
+        stats = self.stats.as_dict()
         return {
             "program": self.program.name,
             "version": self.program.version,
-            "traces_ingested": self.stats.traces_ingested,
+            "traces_ingested": stats["traces_ingested"],
             "tree_paths": self.tree.path_count,
             "tree_nodes": self.tree.node_count,
             "open_gaps": len(enumerate_gaps(self.tree)),
             "failure_buckets": len(self.bucketer.buckets()),
             "deadlock_cycles": len(self.deadlocks.diagnoses()),
             "racy_variables": [r.variable for r in self.races.reports()],
-            "fixes_deployed": self.stats.fixes_deployed,
+            "fixes_deployed": stats["fixes_deployed"],
             "proof": proof.describe() if proof else "disabled",
             "top_invariants": top_invariants,
         }
@@ -313,6 +346,11 @@ class Hive:
 
     def plan_steering(self, max_directives: int = 8,
                       ) -> List[SteeringDirective]:
+        with self._obs_phase_steering.time():
+            return self._plan_steering(max_directives)
+
+    def _plan_steering(self, max_directives: int,
+                       ) -> List[SteeringDirective]:
         directives: List[SteeringDirective] = []
         # The prover's oracle knows exactly which feasible paths remain
         # unwitnessed, complete with satisfying inputs — the strongest

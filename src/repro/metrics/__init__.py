@@ -2,6 +2,9 @@
 
 from repro.metrics.series import Series
 from repro.metrics.bugdensity import BugDensityTracker
-from repro.metrics.report import format_float, render_table
+from repro.metrics.report import (
+    format_float, render_round_table, render_table, round_rows,
+)
 
-__all__ = ["Series", "BugDensityTracker", "render_table", "format_float"]
+__all__ = ["Series", "BugDensityTracker", "render_table", "format_float",
+           "round_rows", "render_round_table"]

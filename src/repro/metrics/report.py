@@ -8,7 +8,8 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence
 
-__all__ = ["render_table", "format_float", "render_series"]
+__all__ = ["render_table", "format_float", "render_series",
+           "round_rows", "render_round_table"]
 
 
 def format_float(value: float, digits: int = 2) -> str:
@@ -42,6 +43,30 @@ def render_table(headers: Sequence[str],
         lines.append(" | ".join(row[i].ljust(widths[i])
                                 for i in range(len(headers))))
     return "\n".join(lines)
+
+
+ROUND_COLUMNS = ("round_index", "failures", "hive_version",
+                 "fixes_deployed_total", "windowed_density")
+
+ROUND_HEADERS = ("round", "failures", "version", "fixes", "fails/1k")
+
+
+def round_rows(report, columns: Sequence[str] = ROUND_COLUMNS,
+               ) -> List[List[object]]:
+    """Tabulate a platform report's rounds through the uniform
+    ``RoundStats.as_dict()`` export (same shape the JSON output uses)."""
+    rows = []
+    for stats in report.rounds:
+        entry = stats.as_dict()
+        rows.append([float(entry[c]) if c == "windowed_density"
+                     else entry[c] for c in columns])
+    return rows
+
+
+def render_round_table(report, title: str = "") -> str:
+    """The CLI's per-round view of one closed-loop run."""
+    return render_table(list(ROUND_HEADERS), round_rows(report),
+                        title=title)
 
 
 _SPARK_LEVELS = " .:-=+*#%@"

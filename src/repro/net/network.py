@@ -8,6 +8,7 @@ from typing import Callable, Dict, Optional
 
 from repro.errors import NetworkError
 from repro.net.simclock import SimClock
+from repro.obs import Instrumented
 
 __all__ = ["Link", "Network"]
 
@@ -32,8 +33,10 @@ class Link:
             raise NetworkError("duplicate_rate must be in [0, 1)")
 
 
-class Network:
+class Network(Instrumented):
     """Registry of endpoints plus per-pair link characteristics."""
+
+    obs_namespace = "net"
 
     def __init__(self, clock: SimClock,
                  default_link: Optional[Link] = None,
@@ -48,6 +51,9 @@ class Network:
         self.messages_sent = 0
         self.messages_delivered = 0
         self.messages_lost = 0
+        self._obs_sent = self.obs_counter("messages_sent")
+        self._obs_delivered = self.obs_counter("messages_delivered")
+        self._obs_lost = self.obs_counter("messages_lost")
 
     # -- topology -----------------------------------------------------------
 
@@ -82,6 +88,7 @@ class Network:
         if dst not in self._handlers:
             raise NetworkError(f"unknown destination {dst!r}")
         self.messages_sent += 1
+        self._obs_sent.inc()
         link = self.link_for(src, dst)
         deliveries = 1
         if link.duplicate_rate and self._rng.random() < link.duplicate_rate:
@@ -89,6 +96,7 @@ class Network:
         for _ in range(deliveries):
             if link.loss_rate and self._rng.random() < link.loss_rate:
                 self.messages_lost += 1
+                self._obs_lost.inc()
                 continue
             delay = link.latency
             if link.jitter:
@@ -100,7 +108,9 @@ class Network:
         def deliver():
             if dst in self._down:
                 self.messages_lost += 1
+                self._obs_lost.inc()
                 return
             self.messages_delivered += 1
+            self._obs_delivered.inc()
             self._handlers[dst](src, message)
         return deliver

@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, Optional, Set, Tuple
 
 from repro.net.network import Network
+from repro.obs import Instrumented
 
 __all__ = ["ReliableTransport"]
 
@@ -27,8 +28,10 @@ class _DataMessage:
     payload: object = None
 
 
-class ReliableTransport:
+class ReliableTransport(Instrumented):
     """One endpoint's reliable send/receive machinery."""
+
+    obs_namespace = "net.transport"
 
     def __init__(self, network: Network, endpoint: str,
                  receiver: Optional[Receiver] = None,
@@ -44,6 +47,10 @@ class ReliableTransport:
         self.delivered_payloads = 0
         self.retransmissions = 0
         self.gave_up = 0
+        self._obs_sends = self.obs_counter("sends")
+        self._obs_delivered = self.obs_counter("delivered")
+        self._obs_retransmissions = self.obs_counter("retransmissions")
+        self._obs_gave_up = self.obs_counter("gave_up")
         network.register(endpoint, self._on_message)
 
     def send(self, dst: str, payload: object) -> int:
@@ -51,6 +58,7 @@ class ReliableTransport:
         sequence = self._next_sequence
         self._next_sequence += 1
         self._unacked[sequence] = (dst, payload, 0)
+        self._obs_sends.inc()
         self._transmit(sequence)
         return sequence
 
@@ -78,9 +86,11 @@ class ReliableTransport:
         if attempts + 1 >= self.max_retries:
             del self._unacked[sequence]
             self.gave_up += 1
+            self._obs_gave_up.inc()
             return
         self._unacked[sequence] = (dst, payload, attempts + 1)
         self.retransmissions += 1
+        self._obs_retransmissions.inc()
         self._transmit(sequence)
 
     def _on_message(self, src: str, message: object) -> None:
@@ -97,5 +107,6 @@ class ReliableTransport:
             return
         self._seen.add(key)
         self.delivered_payloads += 1
+        self._obs_delivered.inc()
         if self._receiver is not None:
             self._receiver(src, message.payload)

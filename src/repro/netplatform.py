@@ -20,12 +20,16 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from repro.errors import ConfigError
+from repro.config import (
+    BaseConfig, BaseReport, check_at_least_one, check_positive,
+    check_unit_interval,
+)
 from repro.hive.hive import Hive
 from repro.metrics.series import Series
 from repro.net.network import Link, Network
 from repro.net.simclock import SimClock
 from repro.net.transport import ReliableTransport
+from repro.obs import Instrumented
 from repro.pod.pod import Pod
 from repro.progmodel.interpreter import ExecutionLimits
 from repro.rng import make_rng
@@ -40,7 +44,7 @@ HIVE_ENDPOINT = "hive"
 
 
 @dataclass
-class NetworkedConfig:
+class NetworkedConfig(BaseConfig):
     """Knobs of the event-driven deployment."""
 
     n_pods: int = 10
@@ -53,16 +57,16 @@ class NetworkedConfig:
     seed: int = 0
 
     def validate(self) -> None:
-        if self.n_pods < 1:
-            raise ConfigError("need at least one pod")
-        if self.mean_think_time <= 0 or self.analysis_interval <= 0:
-            raise ConfigError("times must be positive")
-        if not 0.0 <= self.loss_rate < 1.0:
-            raise ConfigError("loss_rate must be in [0, 1)")
+        check_at_least_one(self.n_pods, "need at least one pod")
+        check_positive(self.mean_think_time, "mean_think_time",
+                       message="times must be positive")
+        check_positive(self.analysis_interval, "analysis_interval",
+                       message="times must be positive")
+        check_unit_interval(self.loss_rate, "loss_rate")
 
 
 @dataclass
-class NetworkedReport:
+class NetworkedReport(BaseReport):
     executions: int = 0
     failures: int = 0
     traces_delivered: int = 0
@@ -80,6 +84,19 @@ class NetworkedReport:
         if not self.failure_times or self.fix_deployed_at is None:
             return None
         return self.failure_times[-1] - self.failure_times[0]
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "executions": self.executions,
+            "failures": self.failures,
+            "traces_delivered": self.traces_delivered,
+            "wire_bytes": self.wire_bytes,
+            "fixes": list(self.fixes),
+            "fix_deployed_at": self.fix_deployed_at,
+            "last_failure_at": self.last_failure_at,
+            "all_pods_current_at": self.all_pods_current_at,
+            "mitigation_latency": self.mitigation_latency,
+        }
 
 
 class _NetPod:
@@ -135,14 +152,18 @@ class _NetPod:
                 self.platform.on_pod_updated()
 
 
-class NetworkedPlatform:
+class NetworkedPlatform(Instrumented):
     """Event-driven pods + hive on one simulated network."""
+
+    obs_namespace = "netplatform"
 
     def __init__(self, scenario: Scenario,
                  config: Optional[NetworkedConfig] = None):
         self.config = config or NetworkedConfig()
         self.config.validate()
         self.scenario = scenario
+        self._obs_traces_delivered = self.obs_counter("traces_delivered")
+        self._obs_analysis_ticks = self.obs_counter("analysis_ticks")
         self.clock = SimClock()
         self.network = Network(
             self.clock,
@@ -181,9 +202,20 @@ class NetworkedPlatform:
         if kind != "trace":
             return
         self.report.traces_delivered += 1
+        self._obs_traces_delivered.inc()
         self.hive.ingest(decode_trace(body))
 
+    def snapshot(self) -> Dict[str, object]:
+        """Unified platform state: config, report, hive stats, metrics."""
+        return {
+            "config": self.config.as_dict(),
+            "report": self.report.as_dict(),
+            "hive": self.hive.stats.as_dict(),
+            "obs": self.obs.snapshot(),
+        }
+
     def _analysis_tick(self) -> None:
+        self._obs_analysis_ticks.inc()
         updated = self.hive.maybe_fix()
         if updated is not None:
             fix = self.hive.deployed_fixes[-1]

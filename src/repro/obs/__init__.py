@@ -1,0 +1,31 @@
+"""repro.obs — the platform's own observability layer.
+
+Counters, gauges, histograms, and timed spans behind a process-local
+:class:`Registry` with a zero-overhead no-op mode and deterministic
+snapshot export. See ``docs/API.md`` ("repro.obs — observability").
+"""
+
+from repro.obs.instrument import Instrumented
+from repro.obs.registry import (
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    Registry,
+    Span,
+    Timer,
+    disable,
+    enable,
+    get_registry,
+    reset,
+    set_registry,
+    span,
+    timed,
+)
+
+__all__ = [
+    "Counter", "Gauge", "Histogram", "Timer", "Span", "Registry",
+    "Instrumented", "NULL_REGISTRY",
+    "get_registry", "set_registry", "enable", "disable", "reset",
+    "span", "timed",
+]

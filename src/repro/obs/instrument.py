@@ -1,0 +1,57 @@
+"""The ``Instrumented`` mixin: namespaced metric handles for components.
+
+A component subclasses :class:`Instrumented`, sets ``obs_namespace``,
+and resolves its handles once (usually in ``__init__``)::
+
+    class Hive(Instrumented):
+        obs_namespace = "hive"
+
+        def __init__(self, ...):
+            self._obs_ingested = self.obs_counter("traces_ingested")
+            self._obs_replay = self.obs_timer("phase.replay")
+
+        def ingest(self, trace):
+            self._obs_ingested.inc()
+            with self._obs_replay.time():
+                ...
+
+Handles resolve against the process-local registry *at construction
+time*: components built while the registry is disabled get shared
+no-op handles and pay nothing at runtime.
+"""
+
+from __future__ import annotations
+
+from repro.obs.registry import (
+    Counter, Gauge, Histogram, Registry, Timer, get_registry,
+)
+
+__all__ = ["Instrumented"]
+
+
+class Instrumented:
+    """Mixin giving a component namespaced access to the registry."""
+
+    #: Prefix for every metric this component registers ("" = none).
+    obs_namespace: str = ""
+
+    @property
+    def obs(self) -> Registry:
+        return get_registry()
+
+    def obs_name(self, name: str) -> str:
+        if self.obs_namespace:
+            return f"{self.obs_namespace}.{name}"
+        return name
+
+    def obs_counter(self, name: str) -> Counter:
+        return get_registry().counter(self.obs_name(name))
+
+    def obs_gauge(self, name: str) -> Gauge:
+        return get_registry().gauge(self.obs_name(name))
+
+    def obs_histogram(self, name: str, unit: str = "") -> Histogram:
+        return get_registry().histogram(self.obs_name(name), unit=unit)
+
+    def obs_timer(self, name: str) -> Timer:
+        return get_registry().timer(self.obs_name(name))

@@ -21,10 +21,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from repro.errors import ConfigError
+from repro.config import (
+    BaseConfig, BaseReport, check_at_least_one, check_positive,
+    check_unit_interval,
+)
 from repro.hive.hive import Hive
 from repro.metrics.bugdensity import BugDensityTracker
 from repro.metrics.series import Series
+from repro.obs import Instrumented
 from repro.pod.pod import Pod, PodRun
 from repro.progmodel.interpreter import ExecutionLimits
 from repro.proofs.proof import Proof
@@ -37,7 +41,7 @@ __all__ = ["PlatformConfig", "RoundStats", "PlatformReport",
 
 
 @dataclass
-class PlatformConfig:
+class PlatformConfig(BaseConfig):
     """Knobs of one platform run (ablations flip these)."""
 
     n_pods: int = 20
@@ -57,16 +61,18 @@ class PlatformConfig:
     seed: int = 0
 
     def validate(self) -> None:
-        if self.n_pods < 1:
-            raise ConfigError("need at least one pod")
-        if not 0.0 < self.rollout_fraction <= 1.0:
-            raise ConfigError("rollout_fraction must be in (0, 1]")
-        if not 0.0 <= self.trace_loss_rate < 1.0:
-            raise ConfigError("trace_loss_rate must be in [0, 1)")
+        check_at_least_one(self.n_pods, "need at least one pod")
+        check_positive(self.rounds, "rounds")
+        check_positive(self.executions_per_round, "executions_per_round")
+        check_positive(self.guided_per_round, "guided_per_round")
+        check_positive(self.max_steps, "max_steps")
+        check_unit_interval(self.rollout_fraction, "rollout_fraction",
+                            include_zero=False, include_one=True)
+        check_unit_interval(self.trace_loss_rate, "trace_loss_rate")
 
 
 @dataclass
-class RoundStats:
+class RoundStats(BaseReport):
     round_index: int
     executions: int
     failures: int
@@ -80,7 +86,7 @@ class RoundStats:
 
 
 @dataclass
-class PlatformReport:
+class PlatformReport(BaseReport):
     """Everything a platform run produced."""
 
     rounds: List[RoundStats] = field(default_factory=list)
@@ -100,6 +106,27 @@ class PlatformReport:
             return 0.0
         return self.total_failures / self.total_executions
 
+    def as_dict(self) -> Dict[str, object]:
+        final_proof = self.proofs[-1][1] if self.proofs else None
+        return {
+            "rounds": [stats.as_dict() for stats in self.rounds],
+            "fixes": list(self.fixes),
+            "total_executions": self.total_executions,
+            "total_failures": self.total_failures,
+            "guided_failures": self.guided_failures,
+            "failure_rate": self.failure_rate(),
+            "traces_lost": self.traces_lost,
+            "wire_bytes": self.wire_bytes,
+            "density": {
+                "windowed": self.density.windowed_density(),
+                "lifetime": self.density.lifetime_density(),
+                "bugs_seen": sorted(self.density.bugs_seen),
+                "bugs_fixed": sorted(self.density.bugs_fixed),
+                "open_bugs": sorted(self.density.open_bugs),
+            },
+            "final_proof": final_proof.describe() if final_proof else None,
+        }
+
     def executions_until_density_below(self, threshold: float,
                                        ) -> Optional[float]:
         """First cumulative-execution count with windowed failures/1k
@@ -113,14 +140,24 @@ class PlatformReport:
         return None
 
 
-class SoftBorgPlatform:
+class SoftBorgPlatform(Instrumented):
     """One program, its users, its pods, and its hive."""
+
+    obs_namespace = "platform"
 
     def __init__(self, scenario: Scenario,
                  config: Optional[PlatformConfig] = None):
         self.config = config or PlatformConfig()
         self.config.validate()
         self.scenario = scenario
+        self._obs_round = self.obs_timer("round")
+        self._obs_executions = self.obs_counter("executions")
+        self._obs_failures = self.obs_counter("failures")
+        self._obs_guided = self.obs_counter("guided_executions")
+        self._obs_traces_shipped = self.obs_counter("traces_shipped")
+        self._obs_traces_lost = self.obs_counter("traces_lost")
+        self._obs_wire_bytes = self.obs_counter("wire_bytes")
+        self._obs_fixes = self.obs_counter("fixes_deployed")
         limits = ExecutionLimits(max_steps=self.config.max_steps)
         capture = self.config.capture or FullCapture()
         self._rng = make_rng(self.config.seed, "platform",
@@ -152,8 +189,18 @@ class SoftBorgPlatform:
 
     def run(self) -> PlatformReport:
         for round_index in range(self.config.rounds):
-            self._run_round(round_index)
+            with self._obs_round.time():
+                self._run_round(round_index)
         return self.report
+
+    def snapshot(self) -> Dict[str, object]:
+        """Unified platform state: config, report, hive stats, metrics."""
+        return {
+            "config": self.config.as_dict(),
+            "report": self.report.as_dict(),
+            "hive": self.hive.stats.as_dict(),
+            "obs": self.obs.snapshot(),
+        }
 
     def _run_round(self, round_index: int) -> None:
         config = self.config
@@ -170,15 +217,18 @@ class SoftBorgPlatform:
             directive = directives.pop() if directives else None
             run = pod.execute(inputs, directive=directive)
             failed = run.result.outcome.is_failure
+            self._obs_executions.inc()
             if directive is not None:
                 # Steered runs are SoftBorg-initiated test executions
                 # on spare cycles: their failures feed the hive (that
                 # is the point of steering) but are not *user-visible*
                 # failures, so they stay out of the density metric.
                 guided += 1
+                self._obs_guided.inc()
                 self.report.guided_failures += int(failed)
             else:
                 failures += int(failed)
+                self._obs_failures.inc(int(failed))
                 self.report.density.record_execution(
                     failed, self._attribute(run))
             self._ship_trace(run)
@@ -194,6 +244,7 @@ class SoftBorgPlatform:
             updated = self.hive.maybe_fix()
             if updated is not None:
                 fix = self.hive.deployed_fixes[-1]
+                self._obs_fixes.inc()
                 self.report.fixes.append(fix.description)
                 self.report.density.record_fix(fix.target_bug_message)
                 self._audit_ground_truth(updated)
@@ -236,6 +287,7 @@ class SoftBorgPlatform:
         if (self.config.trace_loss_rate
                 and self._rng.random() < self.config.trace_loss_rate):
             self.report.traces_lost += 1
+            self._obs_traces_lost.inc()
             return
         if self.config.dedup:
             from repro.tracing.dedup import Heartbeat
@@ -243,15 +295,20 @@ class SoftBorgPlatform:
             dedup = self._dedup[run.trace.pod_id]
             trace, heartbeat = dedup.submit(run.trace)
             if trace is not None:
-                self.report.wire_bytes += encoded_size(trace)
+                self._account_wire(encoded_size(trace))
                 self.hive.ingest(trace)
             else:
-                self.report.wire_bytes += Heartbeat.WIRE_SIZE
+                self._account_wire(Heartbeat.WIRE_SIZE)
                 self.hive.ingest_heartbeat(heartbeat)
             return
         from repro.tracing.encode import encoded_size
-        self.report.wire_bytes += encoded_size(run.trace)
+        self._account_wire(encoded_size(run.trace))
         self.hive.ingest(run.trace)
+
+    def _account_wire(self, size: int) -> None:
+        self.report.wire_bytes += size
+        self._obs_traces_shipped.inc()
+        self._obs_wire_bytes.inc(size)
 
     def _audit_ground_truth(self, fixed_program) -> None:
         """After a fix deploys, check which seeded bugs it actually

@@ -6,6 +6,7 @@ from dataclasses import dataclass
 from typing import Dict, Optional
 
 from repro.guidance.steering import SteeringDirective
+from repro.obs import Instrumented
 from repro.progmodel.interpreter import (
     Environment, ExecutionLimits, ExecutionResult, Interpreter,
 )
@@ -30,8 +31,10 @@ class PodRun:
     program_version: int
 
 
-class Pod:
+class Pod(Instrumented):
     """One installed instance of the program, plus its recorder."""
+
+    obs_namespace = "pod"
 
     def __init__(self, pod_id: str, program: Program,
                  capture: Optional[CapturePolicy] = None,
@@ -47,6 +50,15 @@ class Pod:
         self.runs = 0
         self.failures_experienced = 0
         self.updates_applied = 0
+        # Pod metrics aggregate across the whole fleet of pods: one
+        # shared handle per name, resolved once per pod.
+        self._obs_execute = self.obs_timer("execute")
+        self._obs_executions = self.obs_counter("executions")
+        self._obs_failures = self.obs_counter("failures")
+        self._obs_steps = self.obs_histogram("steps", unit="steps")
+        self._obs_events = self.obs_histogram("events_recorded",
+                                              unit="events")
+        self._obs_updates = self.obs_counter("updates_applied")
 
     @property
     def version(self) -> int:
@@ -57,6 +69,7 @@ class Pod:
         if program.version > self.program.version:
             self.program = program
             self.updates_applied += 1
+            self._obs_updates.inc()
 
     def execute(self, inputs: Dict[str, int],
                 directive: Optional[SteeringDirective] = None) -> PodRun:
@@ -91,15 +104,20 @@ class Pod:
         else:
             scheduler = RandomScheduler(rng=self._spawn_rng("sched"))
 
-        result = Interpreter(self.program, limits=self.limits).run(
-            inputs, environment=environment, scheduler=scheduler)
-        trace = self.capture.capture(result, pod_id=self.pod_id,
-                                     guided=guided)
+        with self._obs_execute.time():
+            result = Interpreter(self.program, limits=self.limits).run(
+                inputs, environment=environment, scheduler=scheduler)
+            trace = self.capture.capture(result, pod_id=self.pod_id,
+                                         guided=guided)
         feedback = infer_feedback(result, rng=self._spawn_rng("fb"),
                                   max_steps=self.limits.max_steps)
         self.runs += 1
+        self._obs_executions.inc()
+        self._obs_steps.observe(result.steps)
+        self._obs_events.observe(trace.events_recorded)
         if result.outcome.is_failure:
             self.failures_experienced += 1
+            self._obs_failures.inc()
         return PodRun(result=result, trace=trace, feedback=feedback,
                       guided=guided, program_version=self.program.version)
 

@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from repro.errors import SolverError
+from repro.obs import Instrumented
 from repro.solvers.budget import SolveResult, SolveStatus
 from repro.solvers.cnf import CNF, evaluate
 
@@ -38,8 +39,10 @@ class PortfolioOutcome:
     member_results: Dict[str, SolveResult] = field(default_factory=dict)
 
 
-class Portfolio:
+class Portfolio(Instrumented):
     """Runs member solvers in (virtual) parallel on one instance."""
+
+    obs_namespace = "solvers.portfolio"
 
     def __init__(self, solvers: Sequence, budget: int = 2_000_000):
         if not solvers:
@@ -49,6 +52,15 @@ class Portfolio:
             raise SolverError(f"duplicate solver names in portfolio: {names}")
         self.solvers = list(solvers)
         self.budget = budget
+        self._obs_runs = self.obs_counter("runs")
+        self._obs_timeouts = self.obs_counter("timeouts")
+        self._obs_cost = self.obs_histogram("cost", unit="cost-units")
+        # Per-member win counters: the portfolio's whole point is that
+        # no single solver dominates, so win-rates are a first-class
+        # platform metric.
+        self._obs_wins = {solver.name: self.obs_counter(
+            f"wins.{solver.name}") for solver in self.solvers}
+        self._obs_wall = self.obs_timer("wall")
 
     @property
     def size(self) -> int:
@@ -56,24 +68,29 @@ class Portfolio:
 
     def run(self, cnf: CNF) -> PortfolioOutcome:
         results: Dict[str, SolveResult] = {}
-        for solver in self.solvers:
-            result = solver.solve(cnf, budget=self.budget)
-            if result.status is SolveStatus.SAT:
-                assert result.model is not None
-                if not evaluate(cnf, result.model):
-                    raise SolverError(
-                        f"{solver.name} returned an invalid model"
-                        f" on {cnf.name}")
-            results[solver.name] = result
+        with self._obs_wall.time():
+            for solver in self.solvers:
+                result = solver.solve(cnf, budget=self.budget)
+                if result.status is SolveStatus.SAT:
+                    assert result.model is not None
+                    if not evaluate(cnf, result.model):
+                        raise SolverError(
+                            f"{solver.name} returned an invalid model"
+                            f" on {cnf.name}")
+                results[solver.name] = result
         solved = {name: r for name, r in results.items() if r.solved}
         if solved:
             winner = min(solved, key=lambda n: (solved[n].cost, n))
             time = solved[winner].cost
             status = solved[winner].status
+            self._obs_wins[winner].inc()
         else:
             winner = ""
             time = self.budget
             status = SolveStatus.TIMEOUT
+            self._obs_timeouts.inc()
+        self._obs_runs.inc()
+        self._obs_cost.observe(time)
         return PortfolioOutcome(
             instance=cnf.name,
             family=cnf.family,

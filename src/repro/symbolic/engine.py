@@ -28,6 +28,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.errors import SymbolicError
+from repro.obs import Instrumented
 from repro.progmodel.interpreter import Outcome
 from repro.progmodel.ir import (
     Assert,
@@ -130,8 +131,10 @@ _DONE = "done"
 _Fork = Tuple[Site, Expr]
 
 
-class SymbolicEngine:
+class SymbolicEngine(Instrumented):
     """Feasible-path enumeration for one program."""
+
+    obs_namespace = "symbolic"
 
     def __init__(self, program: Program,
                  solver: Optional[EnumerationSolver] = None,
@@ -144,6 +147,9 @@ class SymbolicEngine:
         self.symbolic_syscalls = symbolic_syscalls
         self._read_size = syscall_read_size
         self._domains: Dict[str, Tuple[int, int]] = dict(program.inputs)
+        self._obs_paths = self.obs_counter("paths_explored")
+        self._obs_solver_calls = self.obs_counter("solver_calls")
+        self._obs_explore = self.obs_timer("explore")
 
     # -- public API -----------------------------------------------------------
 
@@ -337,6 +343,10 @@ class SymbolicEngine:
     # -- exploration core -------------------------------------------------------
 
     def _explore_from(self, initial: _SymState) -> List[SymPath]:
+        with self._obs_explore.time():
+            return self._explore_from_inner(initial)
+
+    def _explore_from_inner(self, initial: _SymState) -> List[SymPath]:
         paths: List[SymPath] = []
         stack = [initial]
         while stack:
@@ -350,6 +360,7 @@ class SymbolicEngine:
                 site, cond = step
                 for taken in (True, False):
                     extended = state.condition.extended(cond, taken)
+                    self._obs_solver_calls.inc()
                     model = self.solver.solve(extended, self._domains,
                                               state.witness)
                     if model is None:
@@ -364,6 +375,7 @@ class SymbolicEngine:
                 raise SymbolicError(
                     f"path budget {self.limits.max_paths} exceeded")
         paths.reverse()  # stable, roughly left-to-right order
+        self._obs_paths.inc(len(paths))
         return paths
 
     def _initial_state(self, entry: str) -> _SymState:

@@ -31,10 +31,32 @@ class CapturePolicy:
     """Interface: turn one execution's events into a wire trace."""
 
     name = "abstract"
+    _obs_handles = None
 
     def capture(self, result: ExecutionResult, pod_id: str = "",
                 guided: bool = False) -> Trace:
         raise NotImplementedError
+
+    def account(self, trace: Trace) -> Trace:
+        """Fold one captured trace into the per-policy obs metrics.
+
+        Handles resolve lazily on first use (policies predate the
+        registry decision in some flows) and are cached per instance,
+        so the steady-state cost is one counter add + one observe —
+        or two no-ops when the registry is disabled.
+        """
+        handles = self._obs_handles
+        if handles is None:
+            from repro.obs import get_registry
+            registry = get_registry()
+            handles = self._obs_handles = (
+                registry.counter(f"capture.{self.name}.traces"),
+                registry.histogram(f"capture.{self.name}.events",
+                                   unit="events"),
+            )
+        handles[0].inc()
+        handles[1].observe(trace.events_recorded)
+        return trace
 
 
 class FullCapture(CapturePolicy):
@@ -51,9 +73,9 @@ class FullCapture(CapturePolicy):
 
     def capture(self, result: ExecutionResult, pod_id: str = "",
                 guided: bool = False) -> Trace:
-        return trace_from_result(result, pod_id=pod_id,
-                                 include_schedule=self._include_schedule,
-                                 guided=guided)
+        return self.account(trace_from_result(
+            result, pod_id=pod_id,
+            include_schedule=self._include_schedule, guided=guided))
 
 
 class AllBranchCapture(CapturePolicy):
@@ -72,8 +94,8 @@ class AllBranchCapture(CapturePolicy):
         all_branches = sum(
             1 for e in result.events if isinstance(e, BranchEvent))
         extra = all_branches - len(trace.branch_bits)
-        return dataclasses.replace(
-            trace, events_recorded=trace.events_recorded + extra)
+        return self.account(dataclasses.replace(
+            trace, events_recorded=trace.events_recorded + extra))
 
 
 class SampledCapture(CapturePolicy):
@@ -102,7 +124,7 @@ class SampledCapture(CapturePolicy):
         if result.failure is not None:
             failure_site = (result.failure.thread, result.failure.function,
                             result.failure.block)
-        return Trace(
+        return self.account(Trace(
             program_name=result.program_name,
             program_version=result.program_version,
             outcome=result.outcome,
@@ -114,7 +136,7 @@ class SampledCapture(CapturePolicy):
             failure_site=failure_site,
             pod_id=pod_id,
             guided=guided,
-        )
+        ))
 
 
 class PrivacyTruncatedCapture(CapturePolicy):
@@ -137,7 +159,7 @@ class PrivacyTruncatedCapture(CapturePolicy):
                 guided: bool = False) -> Trace:
         from repro.tracing.privacy import truncate_trace
         trace = self._inner.capture(result, pod_id=pod_id, guided=guided)
-        return truncate_trace(trace, self.max_bits)
+        return self.account(truncate_trace(trace, self.max_bits))
 
 
 class FailureDumpCapture(CapturePolicy):
@@ -153,7 +175,7 @@ class FailureDumpCapture(CapturePolicy):
         if result.failure is not None:
             failure_site = (result.failure.thread, result.failure.function,
                             result.failure.block)
-        return Trace(
+        return self.account(Trace(
             program_name=result.program_name,
             program_version=result.program_version,
             outcome=result.outcome,
@@ -164,4 +186,4 @@ class FailureDumpCapture(CapturePolicy):
             failure_site=failure_site,
             pod_id=pod_id,
             guided=guided,
-        )
+        ))

@@ -37,6 +37,37 @@ class TestCommands:
         assert code == 0
         assert "fixes deployed : none" in out
 
+    def test_run_json_emits_metrics_snapshot(self, capsys):
+        import json
+        code = main(["run", "--scenario", "crash", "--rounds", "5",
+                     "--json"])
+        assert code == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["config"]["rounds"] == 5
+        assert doc["hive"]["traces_ingested"] == doc["obs"]["counters"][
+            "hive.traces_ingested"]
+        assert doc["report"]["total_executions"] == 200
+        round_timer = doc["obs"]["timers"]["platform.round"]
+        assert round_timer["count"] == 5
+        assert "p50" in round_timer and "p95" in round_timer
+        for phase in ("replay", "analysis", "repair"):
+            assert f"hive.phase.{phase}" in doc["obs"]["timers"]
+
+    def test_stats_renders_registry(self, capsys):
+        code = main(["stats", "--rounds", "3", "--executions", "10"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "hive.traces_ingested" in out
+        assert "platform.round" in out
+
+    def test_stats_json(self, capsys):
+        import json
+        code = main(["stats", "--rounds", "3", "--executions", "10",
+                     "--json"])
+        assert code == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["counters"]["platform.executions"] == 30
+
     def test_portfolio(self, capsys):
         code = main(["portfolio", "--instances", "1",
                      "--budget", "200000"])
