@@ -77,7 +77,7 @@ def truncation_experiment():
         for result in runs:
             trace = capture.capture(result)
             shipped_bits += len(trace.branch_bits)
-            hive.ingest(trace)
+            hive.ingest_trace(trace)
         scores = localize_from_tree(hive.tree)
         rank = rank_of_block(scores, bug.site_function, guard_block)
         rows.append([cap if cap < 1000 else "unlimited",

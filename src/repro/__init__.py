@@ -22,8 +22,18 @@ experiment index.
 """
 
 from repro.config import BaseConfig, BaseReport
+from repro.exec import (
+    ExecutorBackend,
+    ProcessBackend,
+    SerialBackend,
+    ThreadBackend,
+    TraceBatch,
+    make_backend,
+)
+from repro.interfaces import TraceSink, TraceSource
 from repro.obs import Instrumented, Registry, get_registry
 from repro.platform import (
+    SNAPSHOT_SCHEMA_VERSION,
     PlatformConfig,
     PlatformReport,
     RoundStats,
@@ -63,8 +73,11 @@ __version__ = "0.1.0"
 
 __all__ = [
     "SoftBorgPlatform", "PlatformConfig", "PlatformReport", "RoundStats",
+    "SNAPSHOT_SCHEMA_VERSION",
     "NetworkedPlatform", "NetworkedConfig", "Fleet", "FleetReport",
     "BaseConfig", "BaseReport",
+    "ExecutorBackend", "SerialBackend", "ThreadBackend", "ProcessBackend",
+    "TraceBatch", "make_backend", "TraceSink", "TraceSource",
     "Instrumented", "Registry", "get_registry",
     "Program", "ProgramBuilder", "Interpreter", "Environment",
     "ExecutionLimits", "ExecutionResult",

@@ -38,9 +38,20 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--guidance", action="store_true")
     run.add_argument("--no-fixing", action="store_true")
     run.add_argument("--seed", type=int, default=2)
+    run.add_argument("--backend", default="auto",
+                     choices=["auto", "serial", "thread", "process"],
+                     help="execution backend (auto = $REPRO_BACKEND or"
+                          " serial); reports are bit-identical across"
+                          " backends for a fixed seed")
+    run.add_argument("--workers", type=int, default=0,
+                     help="worker shards for thread/process backends"
+                          " (0 = auto)")
+    run.add_argument("--batch-traces", type=int, default=0,
+                     help="max traces per shard batch flush (0 = one"
+                          " flush per round)")
     run.add_argument("--json", action="store_true",
                      help="emit the unified config/report/obs snapshot"
-                          " as JSON instead of tables")
+                          " as JSON instead of tables (schema v2)")
 
     stats = sub.add_parser(
         "stats", help="run the closed loop and print the repro.obs"
@@ -52,6 +63,10 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument("--executions", type=int, default=40)
     stats.add_argument("--guidance", action="store_true")
     stats.add_argument("--seed", type=int, default=2)
+    stats.add_argument("--backend", default="auto",
+                       choices=["auto", "serial", "thread", "process"])
+    stats.add_argument("--workers", type=int, default=0)
+    stats.add_argument("--batch-traces", type=int, default=0)
     stats.add_argument("--json", action="store_true",
                        help="emit the registry snapshot as JSON")
 
@@ -112,6 +127,9 @@ def _run_platform(args, fixing: bool = True):
         fixing=fixing,
         enable_proofs=not multithreaded,
         seed=args.seed,
+        backend=getattr(args, "backend", "auto"),
+        workers=getattr(args, "workers", 0),
+        batch_max_traces=getattr(args, "batch_traces", 0),
     ))
     report = platform.run()
     return platform, report

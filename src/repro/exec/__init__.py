@@ -1,0 +1,42 @@
+"""repro.exec — pluggable execution backends for the platform.
+
+The coordinator plans each round (all randomness serialized, see
+``repro.exec.plan``), a backend executes it (serial, thread, or
+process; see ``repro.exec.backends``), and sharded collectors ship
+batched traces plus partial execution trees back for hive ingest
+(``repro.exec.batch``, ``repro.exec.shard``). Reports are bit-identical
+across backends for a fixed seed; see ``docs/PARALLEL.md``.
+"""
+
+from repro.exec.backends import (
+    BACKEND_NAMES,
+    ExecutorBackend,
+    ProcessBackend,
+    SerialBackend,
+    ThreadBackend,
+    make_backend,
+    resolve_backend_name,
+    resolve_workers,
+)
+from repro.exec.batch import (
+    BatchAccumulator,
+    BatchEntry,
+    ReplayProduct,
+    RunRecord,
+    ShardResult,
+    TraceBatch,
+    decode_batch,
+    encode_batch,
+)
+from repro.exec.plan import PlannedRun, RoundPlan, partition_runs
+from repro.exec.shard import Shard
+
+__all__ = [
+    "BACKEND_NAMES", "ExecutorBackend",
+    "SerialBackend", "ThreadBackend", "ProcessBackend",
+    "make_backend", "resolve_backend_name", "resolve_workers",
+    "BatchAccumulator", "BatchEntry", "ReplayProduct", "RunRecord",
+    "ShardResult", "TraceBatch", "encode_batch", "decode_batch",
+    "PlannedRun", "RoundPlan", "partition_runs",
+    "Shard",
+]

@@ -1,0 +1,437 @@
+"""Execution backends: how a round's planned runs actually execute.
+
+The platform plans a round (all coordinator randomness, serialized),
+hands the plan to an :class:`ExecutorBackend`, and gets back per-shard
+:class:`ShardResult` lists. Three implementations:
+
+* :class:`SerialBackend` — one in-process shard over every pod; the
+  historical behaviour and the default.
+* :class:`ThreadBackend` — pods partitioned into per-thread shards.
+  Python threads only overlap during I/O or C-level work, so this
+  backend is mostly a stepping stone / GIL-contention testbed; results
+  are still bit-identical.
+* :class:`ProcessBackend` — pods partitioned across long-lived worker
+  processes (one :class:`~repro.exec.shard.Shard` each). Plans cross
+  the channel pickled; programs cross as ``progmodel.serialize`` bytes;
+  traces come back ``tracing.encode``-packed in
+  :class:`~repro.exec.batch.TraceBatch` flushes. This is the backend
+  that actually buys wall-clock on multi-core hosts.
+
+Every backend feeds ``repro.obs``: round execute latency, batch
+count/size/bytes, per-shard busy seconds, and worker utilization
+(busy / round wall-clock, the parallel-efficiency signal).
+
+Backend choice is config- or environment-driven (``REPRO_BACKEND``);
+``resolve_backend_name`` centralizes the rule.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional, Sequence
+
+try:  # pragma: no cover
+    from typing import Protocol
+except ImportError:  # pragma: no cover
+    Protocol = object  # type: ignore[assignment]
+
+from repro.errors import ConfigError
+from repro.exec.batch import ShardResult
+from repro.exec.plan import PlannedRun, RoundPlan, partition_runs
+from repro.exec.shard import Shard
+from repro.obs import Instrumented
+from repro.pod.pod import Pod
+from repro.progmodel.interpreter import ExecutionLimits
+from repro.progmodel.ir import Program
+
+__all__ = [
+    "BACKEND_NAMES", "ExecutorBackend",
+    "SerialBackend", "ThreadBackend", "ProcessBackend",
+    "make_backend", "resolve_backend_name", "resolve_workers",
+]
+
+BACKEND_NAMES = ("serial", "thread", "process")
+
+_ENV_BACKEND = "REPRO_BACKEND"
+
+
+def resolve_backend_name(name: str) -> str:
+    """Map a config value to a concrete backend name.
+
+    ``"auto"`` defers to the ``REPRO_BACKEND`` environment variable
+    (the CI matrix leg sets it to ``process`` to run the whole suite
+    through the parallel path), defaulting to ``serial``.
+    """
+    if name == "auto":
+        name = os.environ.get(_ENV_BACKEND, "").strip().lower() or "serial"
+    if name not in BACKEND_NAMES:
+        raise ConfigError(
+            f"unknown backend {name!r}; expected one of"
+            f" {', '.join(BACKEND_NAMES)} or 'auto'")
+    return name
+
+
+def resolve_workers(workers: int, backend: str, n_pods: int) -> int:
+    """0 = auto: one worker per core, capped at 4 and at the pod count
+    (a shard with no pods would just idle)."""
+    if backend == "serial":
+        return 1
+    if workers <= 0:
+        workers = min(4, os.cpu_count() or 1)
+    return max(1, min(workers, n_pods))
+
+
+class ExecutorBackend(Protocol):
+    """What the platform requires of an execution backend."""
+
+    name: str
+    workers: int
+
+    def run_round(self, plan: RoundPlan) -> List[ShardResult]:
+        """Execute the plan; shard results ordered by shard id."""
+
+    def set_hive_program(self, program: Program) -> None:
+        """Broadcast the hive's current (possibly fixed) program."""
+
+    def apply_update(self, program: Program,
+                     pod_indices: Sequence[int]) -> None:
+        """Staged rollout of ``program`` onto the named pods."""
+
+    def close(self) -> None:
+        """Release worker resources (idempotent)."""
+
+
+class _BackendBase(Instrumented):
+    """Shared observability + lifecycle for every backend."""
+
+    obs_namespace = "exec"
+    name = "abstract"
+
+    def __init__(self, workers: int):
+        self.workers = workers
+        self._obs_rounds = self.obs_counter("rounds")
+        self._obs_batches = self.obs_counter("batches")
+        self._obs_traces = self.obs_counter("batched_traces")
+        self._obs_round_time = self.obs_timer("round_execute")
+        self._obs_batch_traces = self.obs_histogram("batch_traces",
+                                                    unit="traces")
+        self._obs_batch_bytes = self.obs_histogram("batch_bytes",
+                                                   unit="bytes")
+        # Wall-clock-derived distributions register as timers: the
+        # snapshot contract is that histogram values reproduce exactly
+        # under a fixed seed while timers may vary run to run.
+        self._obs_busy = self.obs_timer("worker_busy")
+        self._obs_utilization = self.obs_timer("worker_utilization")
+        self.obs_gauge("workers").set(workers)
+
+    def run_round(self, plan: RoundPlan) -> List[ShardResult]:
+        import time
+        started = time.perf_counter()
+        with self._obs_round_time.time():
+            results = self._run_round(plan)
+        wall = max(time.perf_counter() - started, 1e-9)
+        self._obs_rounds.inc()
+        for result in results:
+            self._obs_busy.observe(result.busy_seconds)
+            self._obs_utilization.observe(
+                min(result.busy_seconds / wall, 1.0))
+            for batch in result.batches:
+                self._obs_batches.inc()
+                self._obs_traces.inc(len(batch))
+                self._obs_batch_traces.observe(len(batch))
+                self._obs_batch_bytes.observe(
+                    sum(len(entry.payload) for entry in batch.entries))
+        return results
+
+    def _run_round(self, plan: RoundPlan) -> List[ShardResult]:
+        raise NotImplementedError
+
+    def set_hive_program(self, program: Program) -> None:
+        raise NotImplementedError
+
+    def apply_update(self, program: Program,
+                     pod_indices: Sequence[int]) -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        pass
+
+
+class SerialBackend(_BackendBase):
+    """Everything in the coordinator process, one shard: the historical
+    execution model, now expressed through the shard pipeline so its
+    results define the cross-backend determinism baseline."""
+
+    name = "serial"
+
+    def __init__(self, pods: Sequence[Pod], hive_program: Program,
+                 limits: Optional[ExecutionLimits] = None,
+                 dedup: bool = False, batch_max_traces: int = 0,
+                 workers: int = 1):
+        super().__init__(workers=1)
+        self._shard = Shard(0, dict(enumerate(pods)), hive_program,
+                            limits=limits, dedup=dedup,
+                            batch_max_traces=batch_max_traces)
+
+    def _run_round(self, plan: RoundPlan) -> List[ShardResult]:
+        return [self._shard.run_shard(plan.runs)]
+
+    def set_hive_program(self, program: Program) -> None:
+        self._shard.set_hive_program(program)
+
+    def apply_update(self, program: Program,
+                     pod_indices: Sequence[int]) -> None:
+        self._shard.apply_update(program, pod_indices)
+
+
+class ThreadBackend(_BackendBase):
+    """Per-thread shards over the coordinator's own pod objects."""
+
+    name = "thread"
+
+    def __init__(self, pods: Sequence[Pod], hive_program: Program,
+                 limits: Optional[ExecutionLimits] = None,
+                 dedup: bool = False, batch_max_traces: int = 0,
+                 workers: int = 2):
+        super().__init__(workers=workers)
+        self._shards: List[Shard] = []
+        for shard_id in range(workers):
+            members = {index: pod for index, pod in enumerate(pods)
+                       if index % workers == shard_id}
+            self._shards.append(Shard(
+                shard_id, members, hive_program, limits=limits,
+                dedup=dedup, batch_max_traces=batch_max_traces))
+        self._pool = None
+
+    def _ensure_pool(self):
+        if self._pool is None:
+            from concurrent.futures import ThreadPoolExecutor
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.workers,
+                thread_name_prefix="repro-exec")
+        return self._pool
+
+    def _run_round(self, plan: RoundPlan) -> List[ShardResult]:
+        pool = self._ensure_pool()
+        slices = partition_runs(plan.runs, self.workers)
+        futures = [pool.submit(shard.run_shard, runs)
+                   for shard, runs in zip(self._shards, slices)]
+        return [future.result() for future in futures]
+
+    def set_hive_program(self, program: Program) -> None:
+        for shard in self._shards:
+            shard.set_hive_program(program)
+
+    def apply_update(self, program: Program,
+                     pod_indices: Sequence[int]) -> None:
+        for shard in self._shards:
+            shard.apply_update(program, pod_indices)
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+
+class ProcessBackend(_BackendBase):
+    """Long-lived worker processes, one shard each.
+
+    Workers are started lazily on the first round and reconstruct their
+    pods from picklable specs (pod id + seed + serialized program), so
+    shard state is a pure function of the platform config — the same
+    guarantee the coordinator's own pods give — under both ``fork`` and
+    ``spawn`` start methods.
+    """
+
+    name = "process"
+
+    def __init__(self, pod_specs: Sequence[tuple], hive_program: Program,
+                 capture, limits: Optional[ExecutionLimits] = None,
+                 fault_rate: float = 0.0,
+                 dedup: bool = False, batch_max_traces: int = 0,
+                 workers: int = 2):
+        super().__init__(workers=workers)
+        from repro.progmodel.serialize import encode_program
+        self._pod_specs = list(pod_specs)   # (global_index, pod_id, seed)
+        self._program_blob = encode_program(hive_program)
+        self._capture = capture
+        self._limits = limits or ExecutionLimits()
+        self._fault_rate = fault_rate
+        self._dedup = dedup
+        self._batch_max_traces = batch_max_traces
+        self._procs: List = []
+        self._pipes: List = []
+        # Last-seen worker counter totals, for delta-merging worker
+        # metrics (pod.*, capture.*) into the coordinator registry.
+        self._counter_base: List[Dict[str, int]] = []
+        # Messages queued before workers exist (e.g. an update broadcast
+        # between construction and the first round) replay at start.
+        self._pending: List[tuple] = []
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def _start(self) -> None:
+        if self._procs:
+            return
+        import multiprocessing
+        methods = multiprocessing.get_all_start_methods()
+        context = multiprocessing.get_context(
+            "fork" if "fork" in methods else "spawn")
+        for shard_id in range(self.workers):
+            specs = [spec for spec in self._pod_specs
+                     if spec[0] % self.workers == shard_id]
+            parent_conn, child_conn = context.Pipe()
+            proc = context.Process(
+                target=_process_worker_main,
+                args=(child_conn, shard_id, specs, self._program_blob,
+                      self._capture, self._limits, self._fault_rate,
+                      self._dedup, self._batch_max_traces),
+                daemon=True,
+            )
+            proc.start()
+            child_conn.close()
+            self._procs.append(proc)
+            self._pipes.append(parent_conn)
+            self._counter_base.append({})
+        for message in self._pending:
+            self._broadcast(message)
+        self._pending = []
+
+    def _broadcast(self, message: tuple) -> None:
+        if not self._procs:
+            self._pending.append(message)
+            return
+        for pipe in self._pipes:
+            pipe.send(message)
+
+    def _run_round(self, plan: RoundPlan) -> List[ShardResult]:
+        self._start()
+        slices = partition_runs(plan.runs, self.workers)
+        for pipe, runs in zip(self._pipes, slices):
+            pipe.send(("round", runs))
+        results: List[ShardResult] = []
+        for shard_id, pipe in enumerate(self._pipes):
+            reply = pipe.recv()
+            if reply[0] != "ok":
+                self.close()
+                raise RuntimeError(
+                    f"exec worker shard {shard_id} failed:\n{reply[1]}")
+            results.append(reply[1])
+            self._merge_counters(shard_id, reply[2])
+        return results
+
+    def _merge_counters(self, shard_id: int,
+                        totals: Dict[str, int]) -> None:
+        """Fold worker-side counter totals (pod executions, capture
+        decisions, ...) into the coordinator registry, by delta, so
+        counter metrics are backend-invariant. Distribution metrics
+        stay worker-local (documented in docs/PARALLEL.md)."""
+        from repro.obs import get_registry
+        registry = get_registry()
+        base = self._counter_base[shard_id]
+        for name, value in totals.items():
+            delta = value - base.get(name, 0)
+            if delta:
+                registry.counter(name).inc(delta)
+        self._counter_base[shard_id] = totals
+
+    def set_hive_program(self, program: Program) -> None:
+        from repro.progmodel.serialize import encode_program
+        self._program_blob = encode_program(program)
+        self._broadcast(("hive_program", self._program_blob))
+
+    def apply_update(self, program: Program,
+                     pod_indices: Sequence[int]) -> None:
+        from repro.progmodel.serialize import encode_program
+        self._broadcast(("update", encode_program(program),
+                         tuple(pod_indices)))
+
+    def close(self) -> None:
+        for pipe in self._pipes:
+            try:
+                pipe.send(("stop",))
+                pipe.close()
+            except (BrokenPipeError, OSError):
+                pass
+        for proc in self._procs:
+            proc.join(timeout=10)
+            if proc.is_alive():  # pragma: no cover - defensive
+                proc.terminate()
+        self._procs = []
+        self._pipes = []
+
+
+def _process_worker_main(conn, shard_id: int, specs, program_blob: bytes,
+                         capture, limits, fault_rate: float,
+                         dedup: bool, batch_max_traces: int) -> None:
+    """Worker entry point: rebuild the shard, serve round requests."""
+    import traceback
+
+    from repro.obs import Registry, get_registry, set_registry
+    from repro.progmodel.serialize import decode_program
+
+    # A fresh worker-local registry (under fork the default one holds
+    # the coordinator's accumulated metrics). Counter totals ship back
+    # with every round reply and the coordinator delta-merges them.
+    set_registry(Registry())
+    if capture is not None:
+        capture._obs_handles = None
+    try:
+        program = decode_program(program_blob)
+        pods = {
+            global_index: Pod(pod_id=pod_id, program=program,
+                              capture=capture, limits=limits,
+                              fault_rate=fault_rate, seed=seed)
+            for global_index, pod_id, seed in specs
+        }
+        shard = Shard(shard_id, pods, program, limits=limits,
+                      dedup=dedup, batch_max_traces=batch_max_traces)
+    except Exception:  # pragma: no cover - construction is config-pure
+        conn.send(("error", traceback.format_exc()))
+        return
+    while True:
+        try:
+            message = conn.recv()
+        except EOFError:  # pragma: no cover - coordinator died
+            return
+        kind = message[0]
+        try:
+            if kind == "round":
+                result = shard.run_shard(message[1])
+                counters = get_registry().snapshot()["counters"]
+                conn.send(("ok", result, counters))
+            elif kind == "hive_program":
+                shard.set_hive_program(decode_program(message[1]))
+            elif kind == "update":
+                shard.apply_update(decode_program(message[1]), message[2])
+            elif kind == "stop":
+                return
+        except Exception:
+            conn.send(("error", traceback.format_exc()))
+
+
+def make_backend(name: str, pods: Sequence[Pod], hive_program: Program,
+                 *, capture=None, limits: Optional[ExecutionLimits] = None,
+                 fault_rate: float = 0.0, dedup: bool = False,
+                 batch_max_traces: int = 0,
+                 workers: int = 0) -> ExecutorBackend:
+    """Build the backend named by ``name`` (already resolved)."""
+    workers = resolve_workers(workers, name, len(pods))
+    if name == "serial":
+        return SerialBackend(pods, hive_program, limits=limits,
+                             dedup=dedup,
+                             batch_max_traces=batch_max_traces)
+    if name == "thread":
+        return ThreadBackend(pods, hive_program, limits=limits,
+                             dedup=dedup,
+                             batch_max_traces=batch_max_traces,
+                             workers=workers)
+    if name == "process":
+        specs = [(index, pod.pod_id, pod.seed)
+                 for index, pod in enumerate(pods)]
+        return ProcessBackend(specs, hive_program, capture,
+                              limits=limits, fault_rate=fault_rate,
+                              dedup=dedup,
+                              batch_max_traces=batch_max_traces,
+                              workers=workers)
+    raise ConfigError(f"unknown backend {name!r}")

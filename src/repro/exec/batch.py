@@ -1,0 +1,268 @@
+"""Batched trace shipping: what shards hand the hive each round.
+
+Pods historically shipped one trace per execution. At fleet scale the
+per-message overhead dominates, so the executor accumulates traces into
+:class:`TraceBatch` objects — each entry a ``tracing.encode`` payload
+tagged with its global execution index — and flushes per round (or
+every ``batch_max_traces``). A batch optionally carries two shard-side
+aggregates so the hive can skip work it would otherwise redo serially:
+
+* ``tree_blob`` — the shard's partial :class:`ExecutionTree` (encoded
+  via ``tree.encode``), merged into the hive tree in one deterministic
+  step;
+* per-entry :class:`ReplayProduct` — the decision path and analysis
+  by-products the shard already reconstructed by replaying the trace,
+  exposing the same attributes the analyzers read off an
+  ``ExecutionResult`` (duck-typed: ``lock_events``, ``global_events``,
+  ``final_globals``, ``return_values``, ``outcome``).
+
+The wire format (``encode_batch``/``decode_batch``) covers only what
+crosses the simulated Internet — indices and trace payloads; products
+and trees ride the coordinator/worker channel, which models a hive-side
+shard, not a pod uplink.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import TraceError
+from repro.progmodel.interpreter import Outcome
+from repro.tracing.dedup import Heartbeat
+
+__all__ = [
+    "ReplayProduct", "RunRecord", "BatchEntry", "TraceBatch",
+    "ShardResult", "BatchAccumulator",
+    "encode_batch", "decode_batch",
+]
+
+_BATCH_FORMAT_VERSION = 1
+
+
+@dataclass
+class ReplayProduct:
+    """Shard-side replay by-products, shaped like an ExecutionResult
+    for the hive's analyzers (attribute-compatible subset)."""
+
+    program_version: int
+    outcome: Outcome
+    path_decisions: Tuple = ()
+    lock_events: Tuple = ()
+    global_events: Tuple = ()
+    final_globals: Dict[str, Optional[int]] = field(default_factory=dict)
+    return_values: Dict[int, Optional[int]] = field(default_factory=dict)
+
+
+@dataclass
+class RunRecord:
+    """The report-facing summary of one executed run."""
+
+    global_index: int
+    guided: bool
+    failed: bool
+    outcome: Outcome
+    has_failure: bool = False
+    failure_message: Optional[str] = None
+    failure_block: Optional[str] = None
+
+
+@dataclass
+class BatchEntry:
+    """One shipped item: a full trace payload or a dedup heartbeat."""
+
+    global_index: int
+    payload: bytes = b""
+    heartbeat: Optional[Heartbeat] = None
+    product: Optional[ReplayProduct] = None
+
+    @property
+    def is_heartbeat(self) -> bool:
+        return self.heartbeat is not None
+
+
+@dataclass
+class TraceBatch:
+    """One shard's flush: entries in global-index order."""
+
+    shard_id: int
+    program_name: str
+    program_version: int              # hive version shards replayed on
+    sequence: int = 0                 # flush number within the round
+    entries: List[BatchEntry] = field(default_factory=list)
+    tree_blob: Optional[bytes] = None
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def wire_size(self) -> int:
+        """Bytes this batch puts on the (simulated) pod uplink."""
+        return len(encode_batch(self))
+
+
+@dataclass
+class ShardResult:
+    """Everything one shard produced for one round."""
+
+    shard_id: int
+    records: List[RunRecord] = field(default_factory=list)
+    batches: List[TraceBatch] = field(default_factory=list)
+    busy_seconds: float = 0.0
+
+
+# -- wire encoding ------------------------------------------------------------
+
+def _write_varint(out: bytearray, value: int) -> None:
+    if value < 0:
+        raise TraceError(f"varint cannot encode negative value {value}")
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return
+
+
+class _Reader:
+    def __init__(self, data: bytes):
+        self._data = data
+        self._pos = 0
+
+    def varint(self) -> int:
+        shift = 0
+        value = 0
+        while True:
+            if self._pos >= len(self._data):
+                raise TraceError("truncated batch varint")
+            byte = self._data[self._pos]
+            self._pos += 1
+            value |= (byte & 0x7F) << shift
+            if not byte & 0x80:
+                return value
+            shift += 7
+
+    def blob(self) -> bytes:
+        length = self.varint()
+        if self._pos + length > len(self._data):
+            raise TraceError("truncated batch payload")
+        chunk = self._data[self._pos:self._pos + length]
+        self._pos += length
+        return chunk
+
+    def string(self) -> str:
+        return self.blob().decode("utf-8")
+
+    def done(self) -> bool:
+        return self._pos == len(self._data)
+
+
+def encode_batch(batch: TraceBatch) -> bytes:
+    """Serialize the wire-visible part of a batch (indices + trace
+    payloads + heartbeat digests); shard aggregates stay off the pod
+    uplink."""
+    out = bytearray()
+    _write_varint(out, _BATCH_FORMAT_VERSION)
+    name = batch.program_name.encode("utf-8")
+    _write_varint(out, len(name))
+    out.extend(name)
+    _write_varint(out, batch.program_version)
+    _write_varint(out, batch.shard_id)
+    _write_varint(out, batch.sequence)
+    _write_varint(out, len(batch.entries))
+    for entry in batch.entries:
+        _write_varint(out, entry.global_index)
+        if entry.heartbeat is not None:
+            _write_varint(out, 1)
+            _write_varint(out, len(entry.heartbeat.digest))
+            out.extend(entry.heartbeat.digest)
+            _write_varint(out, entry.heartbeat.count)
+        else:
+            _write_varint(out, 0)
+            _write_varint(out, len(entry.payload))
+            out.extend(entry.payload)
+    return bytes(out)
+
+
+def decode_batch(data: bytes) -> TraceBatch:
+    """Inverse of :func:`encode_batch` (products/trees do not survive
+    the wire — the receiver replays, as the paper prescribes)."""
+    reader = _Reader(data)
+    version = reader.varint()
+    if version != _BATCH_FORMAT_VERSION:
+        raise TraceError(f"unsupported batch format version {version}")
+    program_name = reader.string()
+    program_version = reader.varint()
+    shard_id = reader.varint()
+    sequence = reader.varint()
+    entries: List[BatchEntry] = []
+    for _ in range(reader.varint()):
+        global_index = reader.varint()
+        if reader.varint() == 1:
+            digest = reader.blob()
+            count = reader.varint()
+            entries.append(BatchEntry(
+                global_index=global_index,
+                heartbeat=Heartbeat(
+                    program_name=program_name,
+                    program_version=program_version,
+                    digest=digest, count=count)))
+        else:
+            entries.append(BatchEntry(global_index=global_index,
+                                      payload=reader.blob()))
+    if not reader.done():
+        raise TraceError("trailing bytes after batch")
+    return TraceBatch(shard_id=shard_id, program_name=program_name,
+                      program_version=program_version, sequence=sequence,
+                      entries=entries)
+
+
+class BatchAccumulator:
+    """A :class:`~repro.interfaces.TraceSource`: buffers traces and
+    releases :class:`TraceBatch` flushes.
+
+    ``max_traces`` caps entries per batch (0 = unbounded, one batch per
+    drain); used by networked pods to trade uplink messages for
+    ingestion latency and by shard collectors for intra-round flushes.
+    """
+
+    def __init__(self, shard_id: int, program_name: str,
+                 program_version: int, max_traces: int = 0):
+        self.shard_id = shard_id
+        self.program_name = program_name
+        self.program_version = program_version
+        self.max_traces = max_traces
+        self._sequence = 0
+        self._flushed: List[TraceBatch] = []
+        self._open: List[BatchEntry] = []
+
+    def _roll(self) -> None:
+        self._flushed.append(TraceBatch(
+            shard_id=self.shard_id, program_name=self.program_name,
+            program_version=self.program_version, sequence=self._sequence,
+            entries=self._open))
+        self._sequence += 1
+        self._open = []
+
+    def add(self, entry: BatchEntry) -> None:
+        self._open.append(entry)
+        if self.max_traces and len(self._open) >= self.max_traces:
+            self._roll()
+
+    def pending(self) -> int:
+        return (sum(len(batch) for batch in self._flushed)
+                + len(self._open))
+
+    def take_full(self) -> Sequence[TraceBatch]:
+        """Hand over only the batches that already rolled (reached
+        ``max_traces``), leaving the open batch buffering — the
+        steady-state shipping path for networked pods."""
+        batches, self._flushed = self._flushed, []
+        return batches
+
+    def drain_batches(self) -> Sequence[TraceBatch]:
+        if self._open:
+            self._roll()
+        batches, self._flushed = self._flushed, []
+        return batches

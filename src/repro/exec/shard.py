@@ -1,0 +1,167 @@
+"""The shard: a slice of the fleet plus its local hive-side collector.
+
+One :class:`Shard` owns a fixed subset of pods and mirrors, locally,
+the hive-side work that used to be serial: it executes its planned
+runs, deduplicates per pod, replays replayable version-current traces
+into a partial :class:`ExecutionTree`, and packages everything into
+:class:`TraceBatch` flushes with per-entry :class:`ReplayProduct`
+aggregates. The same class backs all three executor backends — inline
+(serial), one-per-thread, and one-per-worker-process — which is what
+makes backend choice invisible to results.
+
+Determinism contract: a shard processes its runs in global-index order,
+so each pod's RNG stream and dedup state advance exactly as under the
+historical serial loop; the replay it performs is the same
+``Interpreter.replay`` the hive would have run, against the same
+program version.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import TraceError
+from repro.exec.batch import (
+    BatchAccumulator, BatchEntry, ReplayProduct, RunRecord, ShardResult,
+)
+from repro.exec.plan import PlannedRun
+from repro.pod.pod import Pod
+from repro.progmodel.interpreter import (
+    ExecutionLimits, Interpreter, ReplaySource,
+)
+from repro.progmodel.ir import Program
+from repro.tracing.dedup import PodDeduplicator
+from repro.tracing.encode import encode_trace
+from repro.tracing.trace import Trace
+from repro.tree.encode import encode_tree
+from repro.tree.exectree import ExecutionTree
+
+__all__ = ["Shard"]
+
+
+class Shard:
+    """A pod subset plus the shard-local trace collector."""
+
+    def __init__(self, shard_id: int, pods: Dict[int, Pod],
+                 hive_program: Program,
+                 limits: Optional[ExecutionLimits] = None,
+                 dedup: bool = False,
+                 batch_max_traces: int = 0,
+                 collect_tree: bool = True):
+        self.shard_id = shard_id
+        self.pods = pods                       # global pod index -> Pod
+        self.hive_program = hive_program       # what the hive replays on
+        self.limits = limits or ExecutionLimits()
+        self.batch_max_traces = batch_max_traces
+        self.collect_tree = collect_tree
+        self._dedup: Dict[str, PodDeduplicator] = {}
+        if dedup:
+            self._dedup = {pod.pod_id: PodDeduplicator()
+                           for pod in pods.values()}
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def set_hive_program(self, program: Program) -> None:
+        """The hive deployed a fix: future replays target ``program``."""
+        self.hive_program = program
+
+    def apply_update(self, program: Program,
+                     pod_indices: Sequence[int]) -> None:
+        """Staged rollout: install ``program`` on the named pods."""
+        for index in pod_indices:
+            pod = self.pods.get(index)
+            if pod is not None:
+                pod.apply_update(program)
+
+    # -- the round ------------------------------------------------------------
+
+    def run_shard(self, runs: Sequence[PlannedRun]) -> ShardResult:
+        """Execute this shard's slice of the round plan, in order."""
+        started = time.perf_counter()
+        accumulator = BatchAccumulator(
+            self.shard_id, self.hive_program.name,
+            self.hive_program.version, max_traces=self.batch_max_traces)
+        tree = (ExecutionTree(self.hive_program.name,
+                              self.hive_program.version)
+                if self.collect_tree else None)
+        records: List[RunRecord] = []
+        for planned in runs:
+            pod = self.pods[planned.pod_index]
+            run = pod.execute(planned.inputs, directive=planned.directive)
+            trace = run.trace
+            failure = run.result.failure
+            records.append(RunRecord(
+                global_index=planned.global_index,
+                guided=planned.guided,
+                failed=run.result.outcome.is_failure,
+                outcome=run.result.outcome,
+                has_failure=failure is not None,
+                failure_message=failure.message if failure else None,
+                failure_block=failure.block if failure else None,
+            ))
+            if not planned.ship:
+                continue                       # lost on the wire
+            entry = self._collect(planned.global_index, trace, tree)
+            if entry is not None:
+                accumulator.add(entry)
+        batches = list(accumulator.drain_batches())
+        if tree is not None and batches:
+            # The partial tree rides the round's final flush.
+            batches[-1].tree_blob = encode_tree(tree)
+        return ShardResult(
+            shard_id=self.shard_id,
+            records=records,
+            batches=batches,
+            busy_seconds=time.perf_counter() - started,
+        )
+
+    # -- collection -----------------------------------------------------------
+
+    def _collect(self, global_index: int, trace: Trace,
+                 tree: Optional[ExecutionTree]) -> Optional[BatchEntry]:
+        if self._dedup:
+            shipped, heartbeat = self._dedup[trace.pod_id].submit(trace)
+            if shipped is None:
+                return BatchEntry(global_index=global_index,
+                                  heartbeat=heartbeat)
+            trace = shipped
+        entry = BatchEntry(global_index=global_index,
+                           payload=encode_trace(trace))
+        entry.product = self._replay(trace, tree)
+        return entry
+
+    def _replay(self, trace: Trace,
+                tree: Optional[ExecutionTree]) -> Optional[ReplayProduct]:
+        """The hive's replay, done shard-locally.
+
+        Only replayable traces for the hive's current version qualify;
+        everything else (stale, sampled, truncated, corrupt) returns
+        ``None`` and the hive handles the entry itself on the fallback
+        path — same code, same order, any backend.
+        """
+        if not trace.replayable:
+            return None
+        if trace.program_version != self.hive_program.version:
+            return None                        # stale: hive just counts it
+        try:
+            result = Interpreter(
+                self.hive_program, limits=self.limits).replay(
+                ReplaySource(
+                    branch_bits=list(trace.branch_bits),
+                    syscall_returns=list(trace.syscall_returns),
+                    schedule_picks=list(trace.schedule_picks()),
+                ))
+        except TraceError:
+            return None                        # hive will count the failure
+        if tree is not None:
+            tree.insert_path(result.path_decisions, result.outcome)
+        return ReplayProduct(
+            program_version=trace.program_version,
+            outcome=result.outcome,
+            path_decisions=tuple(result.path_decisions),
+            lock_events=tuple(result.lock_events),
+            global_events=tuple(result.global_events),
+            final_globals=dict(result.final_globals),
+            return_values=dict(result.return_values),
+        )

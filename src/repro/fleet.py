@@ -140,6 +140,11 @@ class Fleet(Instrumented):
         """Unified fleet state: config, aggregate report, metrics."""
         return {
             "config": self.config.as_dict(),
+            "execution": {
+                "backend": self.config.resolved_backend(),
+                "workers": self.config.resolved_workers(),
+                "batch_max_traces": self.config.batch_max_traces,
+            },
             "report": self.report.as_dict() if self.report else None,
             "obs": self.obs.snapshot(),
         }

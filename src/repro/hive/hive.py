@@ -19,6 +19,7 @@ from repro.fixes.patches import synthesize_recovery_fixes
 from repro.fixes.repairlab import RepairLab
 from repro.fixes.validation import FixValidator, make_validation_suite
 from repro.guidance.steering import Steering, SteeringDirective
+from repro.interfaces import deprecated_alias
 from repro.progmodel.interpreter import (
     ExecutionLimits, Interpreter, Outcome, ReplaySource,
 )
@@ -78,6 +79,7 @@ class Hive(Instrumented):
         self._obs_heartbeats = self.obs_counter("heartbeats_ingested")
         self._obs_fixes = self.obs_counter("fixes_deployed")
         self._obs_phase_replay = self.obs_timer("phase.replay")
+        self._obs_phase_merge = self.obs_timer("phase.merge")
         self._obs_phase_analysis = self.obs_timer("phase.analysis")
         self._obs_phase_repair = self.obs_timer("phase.repair")
         self._obs_phase_proof = self.obs_timer("phase.proof")
@@ -128,7 +130,7 @@ class Hive(Instrumented):
 
     # -- ingestion --------------------------------------------------------------
 
-    def ingest(self, trace: Trace) -> None:
+    def ingest_trace(self, trace: Trace) -> None:
         """Fold one trace into the collective state."""
         self.stats.traces_ingested += 1
         self._obs_ingested.inc()
@@ -197,6 +199,86 @@ class Hive(Instrumented):
         from repro.tracing.dedup import trace_digest
         self._digest_paths[trace_digest(trace)] = (
             tuple(result.path_decisions), result.outcome)
+
+    @deprecated_alias("ingest_trace")
+    def ingest(self, trace: Trace) -> None:
+        """Deprecated spelling of :meth:`ingest_trace`."""
+        self.ingest_trace(trace)
+
+    def ingest_batch(self, batches) -> int:
+        """Fold a round's worth of shard :class:`TraceBatch` flushes.
+
+        The :class:`~repro.interfaces.TraceSink` bulk entry point, and
+        the heart of sharded ingest. Two deterministic steps:
+
+        1. **Tree merge** — each batch may carry its shard's partial
+           :class:`ExecutionTree`; they merge into the hive tree in
+           shard-id order (associative by canonicalization, so the
+           order is a formality — see ``docs/PARALLEL.md``).
+        2. **Entry replay** — all entries across all batches are
+           processed in global execution order, exactly the sequence
+           the historical serial loop would have ingested them in.
+           Entries with a shard-side :class:`ReplayProduct` take the
+           fast path (:meth:`_ingest_product`: no re-replay, no tree
+           insert); heartbeats and everything the shard could not
+           replay (stale, sampled, truncated, corrupt) fall back to
+           the exact single-trace path.
+
+        Returns the number of entries consumed.
+        """
+        from repro.tracing.encode import decode_trace
+        from repro.tree.encode import decode_tree
+        ordered = sorted(batches, key=lambda b: (b.shard_id, b.sequence))
+        with self._obs_phase_merge.time():
+            for batch in ordered:
+                if (batch.tree_blob is not None
+                        and batch.program_version == self.program.version):
+                    self.tree.merge(decode_tree(batch.tree_blob))
+        entries = sorted(
+            (entry for batch in ordered for entry in batch.entries),
+            key=lambda entry: entry.global_index)
+        for entry in entries:
+            if entry.is_heartbeat:
+                self.ingest_heartbeat(entry.heartbeat)
+                continue
+            trace = decode_trace(entry.payload)
+            product = entry.product
+            if (product is not None
+                    and product.program_version == self.program.version):
+                self._ingest_product(trace, product)
+            else:
+                self.ingest_trace(trace)
+        return len(entries)
+
+    def _ingest_product(self, trace: Trace, product) -> None:
+        """Ingest a trace whose replay the shard already performed.
+
+        Mirrors :meth:`ingest_trace` minus the two pieces of work the
+        shard did locally: the replay itself (the product carries its
+        by-products) and the tree insert (the path arrived inside the
+        shard's merged partial tree).
+        """
+        self.stats.traces_ingested += 1
+        self._obs_ingested.inc()
+        if trace.program_version != self.program.version:
+            self.stats.stale_traces += 1
+            self._obs_stale.inc()
+            return
+        if trace.outcome.is_failure:
+            self._failure_traces.append(trace)
+            if (trace.outcome in (Outcome.DEADLOCK, Outcome.ASSERT)
+                    and len(trace.schedule_rle) > 1
+                    and len(self._dangerous_schedules) < 8):
+                self._dangerous_schedules.append(trace.schedule_picks())
+        with self._obs_phase_analysis.time():
+            self.bucketer.add(trace, path=product.path_decisions)
+            self.deadlocks.add_execution(product)
+            self.races.add_execution(product)
+            if product.outcome is Outcome.OK:
+                self.invariants.add_execution(product)
+        from repro.tracing.dedup import trace_digest
+        self._digest_paths[trace_digest(trace)] = (
+            tuple(product.path_decisions), product.outcome)
 
     def ingest_heartbeat(self, heartbeat) -> None:
         """Account a deduplicated repeat of an already-known trace."""

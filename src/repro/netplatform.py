@@ -42,6 +42,10 @@ __all__ = ["NetworkedConfig", "NetworkedReport", "NetworkedPlatform"]
 
 HIVE_ENDPOINT = "hive"
 
+# Every logical send pays fixed framing on top of its payload (headers,
+# checksums, ack bookkeeping). Batching exists to amortize this cost.
+MESSAGE_OVERHEAD_BYTES = 40
+
 
 @dataclass
 class NetworkedConfig(BaseConfig):
@@ -55,6 +59,7 @@ class NetworkedConfig(BaseConfig):
     loss_rate: float = 0.0
     max_steps: int = 4000
     seed: int = 0
+    batch_max_traces: int = 1          # 1 = one trace per message
 
     def validate(self) -> None:
         check_at_least_one(self.n_pods, "need at least one pod")
@@ -63,6 +68,8 @@ class NetworkedConfig(BaseConfig):
         check_positive(self.analysis_interval, "analysis_interval",
                        message="times must be positive")
         check_unit_interval(self.loss_rate, "loss_rate")
+        check_at_least_one(self.batch_max_traces,
+                           "batch_max_traces must be >= 1")
 
 
 @dataclass
@@ -116,6 +123,17 @@ class _NetPod:
         self.transport = ReliableTransport(
             platform.network, self.pod.pod_id,
             receiver=self._on_message)
+        # batch_max_traces > 1 turns on uplink batching: traces
+        # accumulate locally and ship as one ("batch", bytes) message
+        # per full TraceBatch, amortizing per-message overhead.
+        self._accumulator = None
+        self._run_index = 0
+        if platform.config.batch_max_traces > 1:
+            from repro.exec.batch import BatchAccumulator
+            self._accumulator = BatchAccumulator(
+                index, platform.scenario.program.name,
+                platform.scenario.program.version,
+                max_traces=platform.config.batch_max_traces)
         self._schedule_next_run()
 
     def _schedule_next_run(self) -> None:
@@ -138,9 +156,36 @@ class _NetPod:
             platform.report.failure_times.append(platform.clock.now)
             platform.report.last_failure_at = platform.clock.now
         payload = encode_trace(run.trace)
-        platform.report.wire_bytes += len(payload)
-        self.transport.send(HIVE_ENDPOINT, ("trace", payload))
+        if self._accumulator is None:
+            platform.report.wire_bytes += (
+                MESSAGE_OVERHEAD_BYTES + len(payload))
+            self.transport.send(HIVE_ENDPOINT, ("trace", payload))
+        else:
+            from repro.exec.batch import BatchEntry
+            self._accumulator.add(BatchEntry(
+                global_index=self._run_index, payload=payload))
+            self._run_index += 1
+            self._send_full_batches()
         self._schedule_next_run()
+
+    def _send_full_batches(self) -> None:
+        from repro.exec.batch import encode_batch
+        for batch in self._accumulator.take_full():
+            blob = encode_batch(batch)
+            self.platform.report.wire_bytes += (
+                MESSAGE_OVERHEAD_BYTES + len(blob))
+            self.transport.send(HIVE_ENDPOINT, ("batch", blob))
+
+    def flush(self) -> None:
+        """Ship whatever is still buffering (end of simulation)."""
+        if self._accumulator is None or not self._accumulator.pending():
+            return
+        from repro.exec.batch import encode_batch
+        for batch in self._accumulator.drain_batches():
+            blob = encode_batch(batch)
+            self.platform.report.wire_bytes += (
+                MESSAGE_OVERHEAD_BYTES + len(blob))
+            self.transport.send(HIVE_ENDPOINT, ("batch", blob))
 
     def _on_message(self, src: str, message: object) -> None:
         kind, body = message
@@ -187,7 +232,10 @@ class NetworkedPlatform(Instrumented):
 
     def run(self) -> NetworkedReport:
         self.clock.run_until(self.config.duration)
-        # Drain in-flight retransmissions/acks for a clean shutdown.
+        # Ship partially filled batches before the drain, then drain
+        # in-flight retransmissions/acks for a clean shutdown.
+        for pod in self.pods:
+            pod.flush()
         self.clock.run_to_completion(max_events=2_000_000)
         if self.report.executions:
             self.report.density.record(
@@ -199,11 +247,20 @@ class NetworkedPlatform(Instrumented):
 
     def _hive_receive(self, src: str, message: object) -> None:
         kind, body = message
-        if kind != "trace":
-            return
-        self.report.traces_delivered += 1
-        self._obs_traces_delivered.inc()
-        self.hive.ingest(decode_trace(body))
+        if kind == "trace":
+            self.report.traces_delivered += 1
+            self._obs_traces_delivered.inc()
+            self.hive.ingest_trace(decode_trace(body))
+        elif kind == "batch":
+            from repro.exec.batch import decode_batch
+            batch = decode_batch(body)
+            for entry in batch.entries:
+                self.report.traces_delivered += 1
+                self._obs_traces_delivered.inc()
+                if entry.is_heartbeat:
+                    self.hive.ingest_heartbeat(entry.heartbeat)
+                else:
+                    self.hive.ingest_trace(decode_trace(entry.payload))
 
     def snapshot(self) -> Dict[str, object]:
         """Unified platform state: config, report, hive stats, metrics."""
@@ -231,7 +288,8 @@ class NetworkedPlatform(Instrumented):
             payload = encode_program(current)
             for pod in self.pods:
                 if pod.pod.version < current.version:
-                    self.report.wire_bytes += len(payload)
+                    self.report.wire_bytes += (
+                        MESSAGE_OVERHEAD_BYTES + len(payload))
                     self._hive_transport.send(
                         pod.pod.pod_id,
                         ("update", (current.version, payload)))

@@ -3,17 +3,25 @@
 ``SoftBorgPlatform`` wires a user population, a fleet of pods, and one
 hive into the paper's feedback cycle, executed in deterministic rounds:
 
-1. users run the program through their pods (plus a slice of guided
-   executions when steering is on);
-2. traces travel to the hive (optionally lossy);
-3. the hive merges them into the execution tree, analyzes, and — when
-   the evidence warrants — synthesizes, validates, and deploys a fix;
+1. the coordinator *plans* the round — every random draw (user
+   sampling, pod choice, steering assignment, trace loss) happens
+   here, serialized, so the plan is backend-independent
+   (``repro.exec.plan``);
+2. an :class:`~repro.exec.backends.ExecutorBackend` executes the plan
+   — inline, across threads, or across worker processes — and ships
+   batched traces plus partial execution trees back
+   (``--backend {serial,thread,process}``);
+3. the hive merges the shard trees and ingests the batch entries in
+   global execution order, analyzes, and — when the evidence warrants
+   — synthesizes, validates, and deploys a fix;
 4. the fixed program rolls out to a staged fraction of pods per round;
 5. metrics record the user-visible failure rate, proof progress, and
    ground-truth bug status.
 
-Every experiment about the closed loop (bug density E3, guidance E4,
-deadlock immunity E5, baselines E12) is a configuration of this class.
+Reports are bit-identical across backends for a fixed seed (see
+``docs/PARALLEL.md`` for the construction). Every experiment about the
+closed loop (bug density E3, guidance E4, deadlock immunity E5,
+baselines E12) is a configuration of this class.
 """
 
 from __future__ import annotations
@@ -25,11 +33,17 @@ from repro.config import (
     BaseConfig, BaseReport, check_at_least_one, check_positive,
     check_unit_interval,
 )
+from repro.errors import ConfigError
+from repro.exec.backends import (
+    make_backend, resolve_backend_name, resolve_workers,
+)
+from repro.exec.batch import RunRecord
+from repro.exec.plan import PlannedRun, RoundPlan
 from repro.hive.hive import Hive
 from repro.metrics.bugdensity import BugDensityTracker
 from repro.metrics.series import Series
 from repro.obs import Instrumented
-from repro.pod.pod import Pod, PodRun
+from repro.pod.pod import Pod
 from repro.progmodel.interpreter import ExecutionLimits
 from repro.proofs.proof import Proof
 from repro.rng import make_rng
@@ -37,7 +51,13 @@ from repro.tracing.capture import CapturePolicy, FullCapture
 from repro.workloads.scenarios import Scenario
 
 __all__ = ["PlatformConfig", "RoundStats", "PlatformReport",
-           "SoftBorgPlatform"]
+           "SoftBorgPlatform", "SNAPSHOT_SCHEMA_VERSION"]
+
+#: Version of the unified snapshot payload (``repro run --json``).
+#: v1 was the unversioned PR-1 shape (config/report/hive/obs); v2 adds
+#: this marker plus the ``execution`` block (backend, workers, batch
+#: knobs). Documented in docs/API.md.
+SNAPSHOT_SCHEMA_VERSION = 2
 
 
 @dataclass
@@ -59,6 +79,9 @@ class PlatformConfig(BaseConfig):
     enable_proofs: bool = True
     dedup: bool = False              # pod-side heartbeats for repeats
     seed: int = 0
+    backend: str = "auto"            # serial | thread | process | auto
+    workers: int = 0                 # 0 = auto (per-core, capped)
+    batch_max_traces: int = 0        # 0 = one flush per shard per round
 
     def validate(self) -> None:
         check_at_least_one(self.n_pods, "need at least one pod")
@@ -69,6 +92,21 @@ class PlatformConfig(BaseConfig):
         check_unit_interval(self.rollout_fraction, "rollout_fraction",
                             include_zero=False, include_one=True)
         check_unit_interval(self.trace_loss_rate, "trace_loss_rate")
+        resolve_backend_name(self.backend)   # raises on unknown names
+        if self.workers < 0:
+            raise ConfigError("workers must be >= 0 (0 = auto)")
+        if self.batch_max_traces < 0:
+            raise ConfigError(
+                "batch_max_traces must be >= 0 (0 = one flush per round)")
+
+    def resolved_backend(self) -> str:
+        """The concrete backend this config selects (env-aware)."""
+        return resolve_backend_name(self.backend)
+
+    def resolved_workers(self) -> int:
+        """The worker count the resolved backend will actually use."""
+        return resolve_workers(self.workers, self.resolved_backend(),
+                               self.n_pods)
 
 
 @dataclass
@@ -178,60 +216,119 @@ class SoftBorgPlatform(Instrumented):
             min_failure_reports=self.config.min_failure_reports,
             enable_proofs=self.config.enable_proofs,
         )
-        self._dedup: Dict[str, object] = {}
-        if self.config.dedup:
-            from repro.tracing.dedup import PodDeduplicator
-            self._dedup = {pod.pod_id: PodDeduplicator()
-                           for pod in self.pods}
+        # Per-pod dedup state lives inside the backend's shards now —
+        # each pod's trace stream is observed by exactly one shard, in
+        # order, so heartbeat semantics are backend-invariant.
+        self.backend = make_backend(
+            self.config.resolved_backend(), self.pods, scenario.program,
+            capture=capture, limits=limits,
+            fault_rate=scenario.fault_rate,
+            dedup=self.config.dedup,
+            batch_max_traces=self.config.batch_max_traces,
+            workers=self.config.workers)
         self.report = PlatformReport()
 
     # -- main loop ------------------------------------------------------------
 
     def run(self) -> PlatformReport:
-        for round_index in range(self.config.rounds):
-            with self._obs_round.time():
-                self._run_round(round_index)
+        try:
+            for round_index in range(self.config.rounds):
+                with self._obs_round.time():
+                    self._run_round(round_index)
+        finally:
+            self.backend.close()
         return self.report
 
     def snapshot(self) -> Dict[str, object]:
-        """Unified platform state: config, report, hive stats, metrics."""
+        """Unified platform state: config, report, hive stats, metrics.
+
+        Schema v2: adds ``schema_version`` and the ``execution`` block
+        describing the backend the run actually used.
+        """
         return {
+            "schema_version": SNAPSHOT_SCHEMA_VERSION,
             "config": self.config.as_dict(),
+            "execution": {
+                "backend": self.backend.name,
+                "workers": self.backend.workers,
+                "batch_max_traces": self.config.batch_max_traces,
+            },
             "report": self.report.as_dict(),
             "hive": self.hive.stats.as_dict(),
             "obs": self.obs.snapshot(),
         }
 
-    def _run_round(self, round_index: int) -> None:
-        config = self.config
-        failures = 0
-        guided = 0
+    def _plan_round(self, round_index: int) -> RoundPlan:
+        """Serialize the round's randomness into a backend-free plan.
 
+        Draw order per execution is exactly the historical serial
+        loop's — population sample, pod choice, steering pop, loss
+        draw — so the platform RNG stream (and therefore every
+        report) is unchanged by the redesign.
+        """
+        config = self.config
         directives = []
         if config.guidance:
             directives = self.hive.plan_steering(config.guided_per_round)
-
+        pod_indices = range(len(self.pods))
+        runs = []
         for execution in range(config.executions_per_round):
             _user, inputs = self.scenario.population.sample_execution()
-            pod = self._rng.choice(self.pods)
+            pod_index = self._rng.choice(pod_indices)
             directive = directives.pop() if directives else None
-            run = pod.execute(inputs, directive=directive)
-            failed = run.result.outcome.is_failure
+            ship = not (config.trace_loss_rate
+                        and self._rng.random() < config.trace_loss_rate)
+            runs.append(PlannedRun(
+                global_index=execution,
+                pod_index=pod_index,
+                inputs=inputs,
+                directive=directive,
+                ship=ship,
+            ))
+        return RoundPlan(round_index=round_index,
+                         hive_version=self.hive.program.version,
+                         runs=runs)
+
+    def _run_round(self, round_index: int) -> None:
+        config = self.config
+        plan = self._plan_round(round_index)
+        shard_results = self.backend.run_round(plan)
+
+        failures = 0
+        guided = 0
+        records = sorted(
+            (record for result in shard_results
+             for record in result.records),
+            key=lambda record: record.global_index)
+        for record in records:
             self._obs_executions.inc()
-            if directive is not None:
+            if record.guided:
                 # Steered runs are SoftBorg-initiated test executions
                 # on spare cycles: their failures feed the hive (that
                 # is the point of steering) but are not *user-visible*
                 # failures, so they stay out of the density metric.
                 guided += 1
                 self._obs_guided.inc()
-                self.report.guided_failures += int(failed)
+                self.report.guided_failures += int(record.failed)
             else:
-                failures += int(failed)
-                self._obs_failures.inc(int(failed))
+                failures += int(record.failed)
+                self._obs_failures.inc(int(record.failed))
                 self.report.density.record_execution(
-                    failed, self._attribute(run))
-            self._ship_trace(run)
+                    record.failed, self._attribute(record))
+
+        lost = sum(1 for run in plan.runs if not run.ship)
+        if lost:
+            self.report.traces_lost += lost
+            self._obs_traces_lost.inc(lost)
+        from repro.tracing.dedup import Heartbeat
+        batches = [batch for result in shard_results
+                   for batch in result.batches]
+        for batch in batches:
+            for entry in batch.entries:
+                self._account_wire(Heartbeat.WIRE_SIZE
+                                   if entry.is_heartbeat
+                                   else len(entry.payload))
+        self.hive.ingest_batch(batches)
 
         # Snapshot the proof on this round's evidence *before* any fix
         # rewrites the program — a deployed fix invalidates the proof,
@@ -248,6 +345,9 @@ class SoftBorgPlatform(Instrumented):
                 self.report.fixes.append(fix.description)
                 self.report.density.record_fix(fix.target_bug_message)
                 self._audit_ground_truth(updated)
+                # Shards replay against the hive's new version from the
+                # next round on.
+                self.backend.set_hive_program(updated)
 
         self._roll_out()
         current = sum(1 for pod in self.pods
@@ -272,38 +372,15 @@ class SoftBorgPlatform(Instrumented):
 
     # -- plumbing --------------------------------------------------------------
 
-    def _attribute(self, run: PodRun) -> Optional[str]:
+    def _attribute(self, record: RunRecord) -> Optional[str]:
         """Ground-truth attribution of a failing run (metrics only)."""
-        if run.result.failure is None:
+        if not record.has_failure:
             return None
-        failure = run.result.failure
         for bug in self.scenario.bugs:
-            if bug.matches_result(run.result.outcome, failure.message,
-                                  failure.block):
+            if bug.matches_result(record.outcome, record.failure_message,
+                                  record.failure_block):
                 return bug.message
-        return failure.message
-
-    def _ship_trace(self, run: PodRun) -> None:
-        if (self.config.trace_loss_rate
-                and self._rng.random() < self.config.trace_loss_rate):
-            self.report.traces_lost += 1
-            self._obs_traces_lost.inc()
-            return
-        if self.config.dedup:
-            from repro.tracing.dedup import Heartbeat
-            from repro.tracing.encode import encoded_size
-            dedup = self._dedup[run.trace.pod_id]
-            trace, heartbeat = dedup.submit(run.trace)
-            if trace is not None:
-                self._account_wire(encoded_size(trace))
-                self.hive.ingest(trace)
-            else:
-                self._account_wire(Heartbeat.WIRE_SIZE)
-                self.hive.ingest_heartbeat(heartbeat)
-            return
-        from repro.tracing.encode import encoded_size
-        self._account_wire(encoded_size(run.trace))
-        self.hive.ingest(run.trace)
+        return record.failure_message
 
     def _account_wire(self, size: int) -> None:
         self.report.wire_bytes += size
@@ -357,11 +434,20 @@ class SoftBorgPlatform(Instrumented):
                 self.report.density.record_fix(bug.message)
 
     def _roll_out(self) -> None:
-        """Stage the current hive version onto outdated pods."""
+        """Stage the current hive version onto outdated pods.
+
+        Coordinator pods always update (the report reads versions off
+        them); the backend forwards the update to whichever shard owns
+        each pod (a no-op for backends sharing the coordinator's pod
+        objects — ``apply_update`` is version-guarded).
+        """
         target = self.hive.program
-        outdated = [pod for pod in self.pods if pod.version < target.version]
+        outdated = [index for index, pod in enumerate(self.pods)
+                    if pod.version < target.version]
         if not outdated:
             return
         count = max(1, int(len(self.pods) * self.config.rollout_fraction))
-        for pod in outdated[:count]:
-            pod.apply_update(target)
+        chosen = outdated[:count]
+        for index in chosen:
+            self.pods[index].apply_update(target)
+        self.backend.apply_update(target, chosen)

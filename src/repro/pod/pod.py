@@ -46,6 +46,7 @@ class Pod(Instrumented):
         self.capture = capture or FullCapture()
         self.limits = limits or ExecutionLimits()
         self.fault_rate = fault_rate
+        self.seed = seed
         self._rng = make_rng(seed, "pod", pod_id)
         self.runs = 0
         self.failures_experienced = 0

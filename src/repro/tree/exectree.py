@@ -11,6 +11,16 @@ the lowest common ancestor — and pastes only the novel suffix, counting
 how much work was shared. Terminal outcomes (OK / crash / deadlock / …)
 are accumulated at leaves, which is what the analysis and proof layers
 consume.
+
+Trees are *order-canonical*: every traversal (``iter_nodes``,
+``iter_terminal_paths``, ``sites_here``) visits children in sorted
+decision order, and terminal outcome counters export in a fixed outcome
+order. A tree is therefore observably a pure function of the multiset
+of ``(path, outcome)`` insertions — two shards that saw the same
+executions in different orders, or a hive that merged shard trees in
+any order, behave identically downstream (steering, proofs, coverage).
+That property is what makes the parallel executor's sharded ingest
+bit-deterministic.
 """
 
 from __future__ import annotations
@@ -28,6 +38,11 @@ __all__ = ["TreeNode", "MergeStats", "ExecutionTree", "path_from_trace"]
 
 Site = Tuple[int, str, str]
 Decision = Tuple[Site, bool]
+
+# Canonical export order for terminal outcome counters (enum definition
+# order): keeps ``next(iter(outcomes))``-style consumers deterministic
+# regardless of which shard's insertion arrived first.
+_OUTCOME_RANK = {outcome: rank for rank, outcome in enumerate(Outcome)}
 
 
 @dataclass
@@ -52,10 +67,22 @@ class TreeNode:
     def child(self, decision: Decision) -> Optional["TreeNode"]:
         return self.children.get(decision)
 
+    def sorted_children(self) -> List[Tuple[Decision, "TreeNode"]]:
+        """Children in canonical (sorted-decision) order."""
+        return sorted(self.children.items(), key=lambda kv: kv[0])
+
+    def sorted_outcomes(self) -> Counter:
+        """Terminal outcome counts with canonical key order."""
+        ordered = Counter()
+        for outcome in sorted(self.outcome_counts,
+                              key=_OUTCOME_RANK.__getitem__):
+            ordered[outcome] = self.outcome_counts[outcome]
+        return ordered
+
     def sites_here(self) -> List[Site]:
         """Distinct decision sites observed immediately below this node."""
         seen: List[Site] = []
-        for (site, _taken) in self.children:
+        for (site, _taken), _child in self.sorted_children():
             if site not in seen:
                 seen.append(site)
         return seen
@@ -125,14 +152,29 @@ class ExecutionTree:
                 f" {trace.outcome} — trace/program version mismatch?")
         return self.insert_path(decisions, outcome)
 
-    def merge_tree(self, other: "ExecutionTree") -> int:
-        """Merge another tree into this one (hive node exchange).
+    def merge(self, other: "ExecutionTree", *,
+              require_version: bool = True) -> int:
+        """Merge another (shard-local) tree into this one.
 
-        Returns the number of paths copied. Terminal outcome counters
-        add up; visit counts are recomputed from the copied paths.
+        The merge is keyed by *path*: a path both trees observed maps
+        onto one node chain — never a duplicate sibling — so distinct
+        paths, branch coverage, and gap enumeration count shared
+        observations once, while visit and terminal-outcome counters
+        accumulate. Because traversal is order-canonical, the merge is
+        associative and commutative over the multiset of insertions:
+        shard merge order cannot change observable behaviour.
+
+        Returns the number of distinct terminal paths copied. With
+        ``require_version`` (the default for hive-side shard ingest) a
+        version-skewed tree is rejected outright — merging paths
+        replayed against a different CFG would corrupt the aggregate.
         """
         if other.program_name != self.program_name:
             raise TreeError("cannot merge trees of different programs")
+        if require_version and other.program_version != self.program_version:
+            raise TreeError(
+                f"cannot merge tree for version {other.program_version}"
+                f" into version {self.program_version}")
         copied = 0
         for decisions, outcomes in other.iter_terminal_paths():
             for outcome, count in outcomes.items():
@@ -140,6 +182,22 @@ class ExecutionTree:
                     self.insert_path(decisions, outcome)
             copied += 1
         return copied
+
+    def merge_tree(self, other: "ExecutionTree") -> int:
+        """Pre-protocol name for :meth:`merge` (no version check)."""
+        return self.merge(other, require_version=False)
+
+    def canonical_paths(self) -> Tuple[Tuple[Tuple[Decision, ...],
+                                             Tuple[Tuple[Outcome, int],
+                                                   ...]], ...]:
+        """A hashable canonical fingerprint: every terminal path with
+        its outcome counts, in traversal order. Two trees built from
+        the same execution multiset — in any insertion or merge order —
+        produce equal fingerprints (the shard-determinism invariant the
+        tests pin down)."""
+        return tuple(
+            (path, tuple(outcomes.items()))
+            for path, outcomes in self.iter_terminal_paths())
 
     # -- queries -------------------------------------------------------------
 
@@ -156,18 +214,18 @@ class ExecutionTree:
         while stack:
             node = stack.pop()
             yield node
-            stack.extend(node.children.values())
+            stack.extend(child for _d, child in node.sorted_children())
 
     def iter_terminal_paths(
             self) -> Iterator[Tuple[Tuple[Decision, ...], Counter]]:
         """Yield (decision path, outcome counter) for every node where
-        at least one execution terminated."""
+        at least one execution terminated, in canonical order."""
         stack: List[Tuple[TreeNode, Tuple[Decision, ...]]] = [(self.root, ())]
         while stack:
             node, path = stack.pop()
             if node.terminal_count:
-                yield path, node.outcome_counts
-            for decision, child in node.children.items():
+                yield path, node.sorted_outcomes()
+            for decision, child in node.sorted_children():
                 stack.append((child, path + (decision,)))
 
     def outcome_totals(self) -> Counter:

@@ -65,7 +65,7 @@ def enumerate_gaps(tree: ExecutionTree, max_gaps: int = 0) -> List[Gap]:
                     weight=node.visit_count,
                     depth=node.depth,
                 ))
-        for decision, child in node.children.items():
+        for decision, child in node.sorted_children():
             stack.append((child, prefix + (decision,)))
     gaps.sort(key=lambda g: (-g.weight, g.depth, g.site, g.missing_direction))
     if max_gaps > 0:

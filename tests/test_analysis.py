@@ -237,7 +237,7 @@ class TestBucketSplitting:
             inputs = {n: rng.randint(lo, hi)
                       for n, (lo, hi) in seeded.program.inputs.items()}
             result = Interpreter(seeded.program).run(inputs)
-            hive.ingest(trace_from_result(result))
+            hive.ingest_trace(trace_from_result(result))
         buckets = hive.bucketer.buckets()
         assert buckets
         # The rare-input crash is reached through several distinct

@@ -43,15 +43,32 @@ class TestCommands:
                      "--json"])
         assert code == 0
         doc = json.loads(capsys.readouterr().out)
+        assert doc["schema_version"] == 2
         assert doc["config"]["rounds"] == 5
+        assert doc["execution"]["backend"] in ("serial", "thread",
+                                               "process")
+        assert doc["execution"]["workers"] >= 1
+        assert doc["execution"]["batch_max_traces"] == 0
         assert doc["hive"]["traces_ingested"] == doc["obs"]["counters"][
             "hive.traces_ingested"]
         assert doc["report"]["total_executions"] == 200
         round_timer = doc["obs"]["timers"]["platform.round"]
         assert round_timer["count"] == 5
         assert "p50" in round_timer and "p95" in round_timer
-        for phase in ("replay", "analysis", "repair"):
+        for phase in ("replay", "merge", "analysis", "repair"):
             assert f"hive.phase.{phase}" in doc["obs"]["timers"]
+
+    def test_run_json_with_explicit_backend(self, capsys):
+        import json
+        code = main(["run", "--scenario", "crash", "--rounds", "3",
+                     "--executions", "10", "--backend", "process",
+                     "--workers", "2", "--json"])
+        assert code == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["execution"] == {"backend": "process", "workers": 2,
+                                    "batch_max_traces": 0}
+        assert doc["obs"]["counters"]["exec.rounds"] == 3
+        assert "exec.worker_busy" in doc["obs"]["timers"]
 
     def test_stats_renders_registry(self, capsys):
         code = main(["stats", "--rounds", "3", "--executions", "10"])

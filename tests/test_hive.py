@@ -32,7 +32,7 @@ class TestHiveIngestion:
         demo = make_crash_demo()
         hive = Hive(demo.program)
         for n in range(5):
-            hive.ingest(_trace(demo.program, {"n": n, "mode": 2}))
+            hive.ingest_trace(_trace(demo.program, {"n": n, "mode": 2}))
         assert hive.tree.insert_count == 5
         assert hive.stats.traces_ingested == 5
 
@@ -42,7 +42,7 @@ class TestHiveIngestion:
         import dataclasses
         stale = dataclasses.replace(
             _trace(demo.program, {"n": 1, "mode": 1}), program_version=99)
-        hive.ingest(stale)
+        hive.ingest_trace(stale)
         assert hive.stats.stale_traces == 1
         assert hive.tree.insert_count == 0
 
@@ -51,7 +51,7 @@ class TestHiveIngestion:
         hive = Hive(demo.program)
         capture = SampledCapture(rate=1)
         result = Interpreter(demo.program).run({"n": 7, "mode": 2})
-        hive.ingest(capture.capture(result))
+        hive.ingest_trace(capture.capture(result))
         assert hive.cbi.runs == 1
         assert hive.tree.insert_count == 0  # not replayable
 
@@ -60,8 +60,8 @@ class TestHiveFixing:
     def test_crash_gets_fixed_and_version_bumps(self):
         demo = make_crash_demo()
         hive = Hive(demo.program)
-        hive.ingest(_trace(demo.program, {"n": 7, "mode": 2}))
-        hive.ingest(_trace(demo.program, {"n": 1, "mode": 1}))
+        hive.ingest_trace(_trace(demo.program, {"n": 7, "mode": 2}))
+        hive.ingest_trace(_trace(demo.program, {"n": 1, "mode": 1}))
         updated = hive.maybe_fix()
         assert updated is not None
         assert updated.version == demo.program.version + 1
@@ -73,13 +73,13 @@ class TestHiveFixing:
     def test_no_failures_no_fix(self):
         demo = make_crash_demo()
         hive = Hive(demo.program)
-        hive.ingest(_trace(demo.program, {"n": 1, "mode": 1}))
+        hive.ingest_trace(_trace(demo.program, {"n": 1, "mode": 1}))
         assert hive.maybe_fix() is None
 
     def test_deadlock_gets_immunity_fix(self):
         demo = make_deadlock_demo()
         hive = Hive(demo.program)
-        hive.ingest(_trace(demo.program, {"go": 1},
+        hive.ingest_trace(_trace(demo.program, {"go": 1},
                            scheduler=RoundRobinScheduler()))
         updated = hive.maybe_fix()
         assert updated is not None
@@ -90,20 +90,20 @@ class TestHiveFixing:
     def test_fix_not_retried_after_deploy(self):
         demo = make_crash_demo()
         hive = Hive(demo.program)
-        hive.ingest(_trace(demo.program, {"n": 7, "mode": 2}))
+        hive.ingest_trace(_trace(demo.program, {"n": 7, "mode": 2}))
         assert hive.maybe_fix() is not None
         assert hive.maybe_fix() is None  # nothing new
 
     def test_unvalidated_mode(self):
         demo = make_crash_demo()
         hive = Hive(demo.program, validate_fixes=False)
-        hive.ingest(_trace(demo.program, {"n": 7, "mode": 2}))
+        hive.ingest_trace(_trace(demo.program, {"n": 7, "mode": 2}))
         assert hive.maybe_fix() is not None
 
     def test_proof_invalidated_on_fix(self):
         demo = make_crash_demo()
         hive = Hive(demo.program)
-        hive.ingest(_trace(demo.program, {"n": 7, "mode": 2}))
+        hive.ingest_trace(_trace(demo.program, {"n": 7, "mode": 2}))
         assert hive.current_proof().status is ProofStatus.REFUTED
         hive.maybe_fix()
         assert hive.prover.invalidated_proofs
@@ -115,7 +115,7 @@ class TestHiveSteering:
         demo = make_crash_demo()
         hive = Hive(demo.program)
         # Only one path observed: everything else is a gap.
-        hive.ingest(_trace(demo.program, {"n": 1, "mode": 2}))
+        hive.ingest_trace(_trace(demo.program, {"n": 1, "mode": 2}))
         directives = hive.plan_steering(max_directives=4)
         assert directives
         input_directives = [d for d in directives if d.kind == "input"]
@@ -125,7 +125,7 @@ class TestHiveSteering:
         pod = Pod("p0", demo.program)
         for directive in input_directives:
             run = pod.execute({"n": 0, "mode": 0}, directive=directive)
-            hive.ingest(run.trace)
+            hive.ingest_trace(run.trace)
         assert hive.tree.path_count > before
 
 
@@ -250,7 +250,7 @@ class TestHiveStatus:
         demo = make_crash_demo()
         hive = Hive(demo.program)
         for n in range(8):
-            hive.ingest(_trace(demo.program, {"n": n, "mode": 2}))
+            hive.ingest_trace(_trace(demo.program, {"n": n, "mode": 2}))
         status = hive.status()
         assert status["program"] == "crash_demo"
         assert status["version"] == 1
@@ -263,7 +263,7 @@ class TestHiveStatus:
     def test_status_after_fix(self):
         demo = make_crash_demo()
         hive = Hive(demo.program)
-        hive.ingest(_trace(demo.program, {"n": 7, "mode": 2}))
+        hive.ingest_trace(_trace(demo.program, {"n": 7, "mode": 2}))
         hive.maybe_fix()
         status = hive.status()
         assert status["version"] == 2

@@ -8,11 +8,12 @@ from repro.progmodel.interpreter import Interpreter, Outcome
 from repro.workloads.scenarios import crash_scenario, race_scenario
 
 
-def _run(loss=0.0, duration=300.0, seed=2, scenario=None):
+def _run(loss=0.0, duration=300.0, seed=2, scenario=None,
+         batch_max_traces=1):
     platform = NetworkedPlatform(
         scenario or crash_scenario(n_users=40, volatility=0.5, seed=seed),
         NetworkedConfig(n_pods=8, duration=duration, loss_rate=loss,
-                        seed=seed))
+                        seed=seed, batch_max_traces=batch_max_traces))
     return platform, platform.run()
 
 
@@ -69,6 +70,20 @@ class TestNetworkedLoop:
             NetworkedConfig(mean_think_time=0).validate()
         with pytest.raises(ConfigError):
             NetworkedConfig(loss_rate=1.0).validate()
+        with pytest.raises(ConfigError):
+            NetworkedConfig(batch_max_traces=0).validate()
+
+    def test_batched_uplink_delivers_everything_for_less(self):
+        _p1, legacy = _run(duration=150.0)
+        _p2, batched = _run(duration=150.0, batch_max_traces=4)
+        # Same executions either way (batching is transport-only) ...
+        assert batched.executions == legacy.executions
+        assert batched.traces_delivered == legacy.traces_delivered
+        # ... the loop still closes (batching trades ingest latency,
+        # not correctness) ...
+        assert len(batched.fixes) == len(legacy.fixes)
+        # ... but batch framing amortizes per-message overhead.
+        assert batched.wire_bytes < legacy.wire_bytes
 
     def test_deterministic(self):
         _p1, a = _run(duration=150.0)

@@ -168,7 +168,7 @@ class TestScheduleReplay:
         result = Interpreter(demo.program).run(
             {"go": 1}, scheduler=RoundRobinScheduler())
         assert result.outcome is Outcome.DEADLOCK
-        hive.ingest(trace_from_result(result))
+        hive.ingest_trace(trace_from_result(result))
         return demo, hive
 
     def test_dangerous_schedule_captured_and_planned(self):
@@ -202,6 +202,6 @@ class TestScheduleReplay:
         demo = make_crash_demo()
         hive = Hive(demo.program, enable_proofs=False)
         result = Interpreter(demo.program).run({"n": 7, "mode": 2})
-        hive.ingest(trace_from_result(result))
+        hive.ingest_trace(trace_from_result(result))
         kinds = {d.kind for d in hive.plan_steering(6)}
         assert "replay_schedule" not in kinds

@@ -68,7 +68,7 @@ class TestPrivacyTruncatedCapture:
         for _ in range(50):
             inputs = {"n": rng.randint(0, 9), "mode": rng.randint(0, 3)}
             result = Interpreter(demo.program).run(inputs)
-            hive.ingest(capture.capture(result))
+            hive.ingest_trace(capture.capture(result))
         # Prefix evidence landed in the tree (depth-1 decisions).
         assert hive.tree.insert_count == 50
         assert hive.tree.max_depth() == 1
@@ -150,7 +150,7 @@ class TestHiveHeartbeats:
         trace = trace_from_result(result, pod_id="p")
         dedup = PodDeduplicator()
         shipped, _hb = dedup.submit(trace)
-        hive.ingest(shipped)
+        hive.ingest_trace(shipped)
         _none, heartbeat = dedup.submit(trace)
         hive.ingest_heartbeat(heartbeat)
         assert hive.stats.heartbeats_ingested == 1
