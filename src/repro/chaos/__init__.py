@@ -1,0 +1,46 @@
+"""repro.chaos: deterministic fault injection + platform invariants.
+
+The paper's platform is supposed to keep extracting collective value
+while pods crash, links lose traces, and workers die (PAPER.md
+§2–3); this package is how we *test* that claim instead of asserting
+it. Three layers:
+
+* :mod:`repro.chaos.profiles` — named :class:`FaultProfile` bundles
+  (``none``, ``lossy-workers``, ``flaky-hive``, ``partitioned``,
+  ``wild``) resolvable from configs, tests, and the ``repro chaos``
+  CLI.
+* :mod:`repro.chaos.plan` — :class:`FaultPlan`, the stateless seeded
+  oracle: every fault is a pure function of (seed, kind, logical
+  coordinates), so the schedule is identical across execution
+  backends and across reruns.
+* :mod:`repro.chaos.coordinator` — :class:`ChaosCoordinator`, which
+  injects the plan into a platform round (worker death + retry waves,
+  checksummed wire frames with drop/corrupt/dup/reorder, flaky hive
+  ingest) and grades each round survived/degraded/failed.
+* :mod:`repro.chaos.invariants` — :class:`Invariants`, the catalogue
+  of soundness checks (tree merge idempotence, coverage counted-once,
+  per-path dedup, counter monotonicity, report schema) that defines
+  what "the platform survived" means.
+
+The default is a true no-op: a platform configured with
+``chaos_profile="none"`` never constructs any of this and pays one
+``is None`` test per round. See docs/CHAOS.md.
+"""
+
+from repro.chaos.coordinator import ChaosCoordinator, ChaosRoundStats
+from repro.chaos.invariants import (
+    InvariantReport, InvariantViolation, Invariants, check_invariants,
+    raise_for_violations,
+)
+from repro.chaos.plan import FaultPlan
+from repro.chaos.profiles import (
+    PROFILES, FaultProfile, profile_names, resolve_profile,
+)
+
+__all__ = [
+    "FaultProfile", "PROFILES", "profile_names", "resolve_profile",
+    "FaultPlan",
+    "ChaosCoordinator", "ChaosRoundStats",
+    "Invariants", "InvariantReport", "InvariantViolation",
+    "check_invariants", "raise_for_violations",
+]

@@ -1,0 +1,326 @@
+"""The chaos coordinator: injects the fault plan, drives the recovery.
+
+``ChaosCoordinator`` wraps the two platform seams a round passes
+through — *execute* (backend runs the plan) and *deliver* (entries
+reach the hive) — and makes each one hostile according to the
+:class:`~repro.chaos.plan.FaultPlan`:
+
+**Execution** (:meth:`execute_round`): after the backend runs the
+round, every run owned by a dead *virtual shard* (``pod_index %
+virtual_workers`` — a backend-invariant failure domain, deliberately
+not the backend's physical shard id) loses its record and its trace,
+modeling a worker that crashed after executing but before reporting.
+The victims are then re-dispatched to the surviving workers as fresh
+:class:`~repro.exec.plan.RoundPlan` waves with capped exponential
+backoff (simulated — recorded in ``retry.*`` metrics, never slept);
+a wave can itself die. Runs still pending after ``max_retries`` waves
+are lost for good and the round is *degraded*, not failed.
+
+**Delivery** (:meth:`deliver`): instead of handing shard batches to
+the hive directly, surviving entries are re-framed in global-execution
+order into fixed-size wire frames, encoded through the real
+``encode_batch`` path (which now carries a CRC32 trailer), and then
+dropped, corrupted, duplicated, and reordered per the plan. Corrupt
+frames fail the checksum on decode and are discarded — never ingested
+— and each surviving frame is ingested with its own capped retry loop
+against injected transient hive failures. The wire strips shard
+aggregates (products, tree blobs), so the hive replays every delivered
+trace itself: the same evidence, recovered the slow way.
+
+Everything is a pure function of the chaos seed: two runs with the
+same (platform seed, profile) see identical faults and produce
+bit-identical reports on every backend.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+from repro.chaos.plan import FaultPlan
+from repro.chaos.profiles import FaultProfile, resolve_profile
+from repro.config import BaseReport
+from repro.errors import TraceError
+from repro.exec.batch import (
+    BatchEntry, RunRecord, TraceBatch, decode_batch, encode_batch,
+)
+from repro.exec.plan import PlannedRun, RoundPlan
+from repro.obs import Instrumented, get_registry
+
+__all__ = ["ChaosRoundStats", "ChaosCoordinator"]
+
+#: Per-round outcome grades, worst last.
+VERDICT_SURVIVED = "survived"
+VERDICT_DEGRADED = "degraded"
+VERDICT_FAILED = "failed"
+
+
+@dataclass
+class ChaosRoundStats(BaseReport):
+    """What chaos did to one round, and how the platform fared."""
+
+    round_index: int
+    worker_deaths: int = 0        # virtual shards killed this round
+    retry_waves: int = 0          # recovery dispatches (incl. dead ones)
+    runs_recovered: int = 0       # victim runs that a retry completed
+    runs_lost: int = 0            # victims still dead after max_retries
+    frames_total: int = 0         # wire frames the round produced
+    frames_dropped: int = 0       # vanished before the hive saw them
+    frames_corrupted: int = 0     # mangled on the wire
+    frames_discarded: int = 0     # failed the checksum, thrown away
+    frames_duplicated: int = 0    # delivered twice
+    frames_abandoned: int = 0     # ingest retries exhausted
+    ingest_retries: int = 0       # transient ingest failures absorbed
+    reordered: bool = False       # delivery order was shuffled
+    entries_delivered: int = 0    # entries the hive actually ingested
+    backoff_seconds: float = 0.0  # simulated backoff, never slept
+    invariants_ok: bool = True
+    verdict: str = VERDICT_SURVIVED
+
+    @property
+    def faults_injected(self) -> int:
+        return (self.worker_deaths + self.frames_dropped
+                + self.frames_corrupted + self.frames_duplicated
+                + self.ingest_retries + self.frames_abandoned
+                + int(self.reordered))
+
+    @property
+    def data_lost(self) -> bool:
+        """Did anything fail past recovery (the degraded condition)?"""
+        return bool(self.runs_lost or self.frames_dropped
+                    or self.frames_discarded or self.frames_abandoned)
+
+
+class ChaosCoordinator(Instrumented):
+    """Per-run fault injector + recovery driver (``chaos.*`` metrics)."""
+
+    obs_namespace = "chaos"
+
+    def __init__(self, profile: FaultProfile, seed: int = 0):
+        self.profile = resolve_profile(profile)
+        self.plan = FaultPlan(self.profile, seed)
+        self.rounds: List[ChaosRoundStats] = []
+        self._current: Optional[ChaosRoundStats] = None
+        self._obs_worker_deaths = self.obs_counter("worker_deaths")
+        self._obs_runs_recovered = self.obs_counter("runs_recovered")
+        self._obs_runs_lost = self.obs_counter("runs_lost")
+        self._obs_frames_dropped = self.obs_counter("frames_dropped")
+        self._obs_frames_corrupted = self.obs_counter("frames_corrupted")
+        self._obs_frames_discarded = self.obs_counter("frames_discarded")
+        self._obs_frames_duplicated = self.obs_counter("frames_duplicated")
+        self._obs_frames_abandoned = self.obs_counter("frames_abandoned")
+        self._obs_ingest_failures = self.obs_counter("ingest_failures")
+        registry = get_registry()
+        self._retry_attempts = registry.counter("retry.attempts")
+        self._retry_giveups = registry.counter("retry.giveups")
+        self._retry_backoff = registry.histogram("retry.backoff_seconds",
+                                                 unit="seconds")
+
+    # -- execution: worker death + crash-tolerant retry waves -----------------
+
+    def execute_round(self, backend, plan: RoundPlan,
+                      ) -> Tuple[List[RunRecord], List[BatchEntry]]:
+        """Run ``plan`` on ``backend`` under worker-death faults.
+
+        Returns the surviving run records and batch entries; both lists
+        cover every planned run except the (rare) permanently lost
+        ones, each global index at most once.
+        """
+        stats = ChaosRoundStats(round_index=plan.round_index)
+        self._current = stats
+        results = backend.run_round(plan)
+        dead = set(self.plan.dead_virtual_shards(plan.round_index))
+        workers = self.profile.virtual_workers
+
+        def lost(pod_index: int) -> bool:
+            return pod_index % workers in dead
+
+        pod_of = {run.global_index: run.pod_index for run in plan.runs}
+        records: List[RunRecord] = []
+        entries: List[BatchEntry] = []
+        for result in results:
+            for record in result.records:
+                if not lost(pod_of[record.global_index]):
+                    records.append(record)
+            for batch in result.batches:
+                for entry in batch.entries:
+                    if not lost(pod_of[entry.global_index]):
+                        entries.append(entry)
+        if not dead:
+            return records, entries
+
+        stats.worker_deaths = len(dead)
+        self._obs_worker_deaths.inc(len(dead))
+        pending: List[PlannedRun] = [run for run in plan.runs
+                                     if lost(run.pod_index)]
+        attempt = 0
+        while pending and attempt < self.profile.max_retries:
+            attempt += 1
+            stats.retry_waves += 1
+            self._retry_attempts.inc()
+            backoff = self.plan.backoff(attempt)
+            stats.backoff_seconds += backoff
+            self._retry_backoff.observe(backoff)
+            wave = backend.run_round(RoundPlan(
+                round_index=plan.round_index,
+                hive_version=plan.hive_version,
+                runs=pending))
+            if self.plan.retry_wave_dies(plan.round_index, attempt):
+                # The replacement worker executed the runs, then died
+                # before reporting — the pods' RNG streams advanced,
+                # the results are gone. Next wave starts over.
+                continue
+            for result in wave:
+                records.extend(result.records)
+                for batch in result.batches:
+                    entries.extend(batch.entries)
+            stats.runs_recovered += len(pending)
+            self._obs_runs_recovered.inc(len(pending))
+            pending = []
+        if pending:
+            stats.runs_lost = len(pending)
+            self._obs_runs_lost.inc(len(pending))
+            self._retry_giveups.inc()
+        return records, entries
+
+    # -- delivery: the hostile uplink -----------------------------------------
+
+    def deliver(self, hive, entries: List[BatchEntry], round_index: int,
+                wire: Optional[Callable[[int], None]] = None) -> int:
+        """Carry ``entries`` to the hive over the chaos wire.
+
+        Entries are re-framed in global order, encoded through the real
+        checksummed wire format, faulted per the plan, and ingested
+        frame by frame with capped retries. ``wire`` (when given) is
+        called with the byte size of every transmission, duplicates
+        included — dropped frames still burned uplink. Returns the
+        number of entries the hive ingested.
+        """
+        stats = self._current
+        assert stats is not None, "deliver() before execute_round()"
+        ordered = sorted(entries, key=lambda entry: entry.global_index)
+        size = self.profile.frame_traces or max(1, len(ordered))
+        frames = [ordered[start:start + size]
+                  for start in range(0, len(ordered), size)]
+        stats.frames_total = len(frames)
+        name = hive.program.name
+        version = hive.program.version
+        deliveries: List[bytes] = []
+        for frame_index, chunk in enumerate(frames):
+            # encode_batch strips products/tree blobs: the hive replays
+            # every delivered trace itself, like it would a pod uplink.
+            data = encode_batch(TraceBatch(
+                shard_id=0, program_name=name, program_version=version,
+                sequence=frame_index, entries=list(chunk)))
+            if wire is not None:
+                wire(len(data))
+            if self.plan.frame_dropped(round_index, frame_index):
+                stats.frames_dropped += 1
+                self._obs_frames_dropped.inc()
+                continue
+            if self.plan.frame_corrupted(round_index, frame_index):
+                data = self.plan.corrupt_bytes(data, round_index,
+                                               frame_index)
+                stats.frames_corrupted += 1
+                self._obs_frames_corrupted.inc()
+            deliveries.append(data)
+            if self.plan.frame_duplicated(round_index, frame_index):
+                stats.frames_duplicated += 1
+                self._obs_frames_duplicated.inc()
+                if wire is not None:
+                    wire(len(data))
+                deliveries.append(data)
+        order = self.plan.delivery_order(round_index, len(deliveries))
+        if order != list(range(len(deliveries))):
+            stats.reordered = True
+        delivered = 0
+        for delivery_index, position in enumerate(order):
+            try:
+                batch = decode_batch(deliveries[position])
+            except TraceError:
+                # Partial or mangled frame: the checksum (or framing)
+                # caught it. Discard — never feed the hive bad bytes.
+                stats.frames_discarded += 1
+                self._obs_frames_discarded.inc()
+                continue
+            if self._ingest_with_retry(hive, batch, round_index,
+                                       delivery_index):
+                delivered += len(batch.entries)
+        stats.entries_delivered = delivered
+        return delivered
+
+    def _ingest_with_retry(self, hive, batch: TraceBatch,
+                           round_index: int, delivery_index: int) -> bool:
+        """Ingest one frame against injected transient hive failures.
+
+        A failure fires *before* any hive mutation (the transactional
+        model: a failed ingest leaves no partial state), so retrying is
+        always safe. Gives up after ``ingest_max_retries`` extra
+        attempts and reports the frame abandoned."""
+        stats = self._current
+        attempt = 0
+        while self.plan.ingest_fails(round_index, delivery_index, attempt):
+            stats.ingest_retries += 1
+            self._obs_ingest_failures.inc()
+            self._retry_attempts.inc()
+            if attempt >= self.profile.ingest_max_retries:
+                stats.frames_abandoned += 1
+                self._obs_frames_abandoned.inc()
+                self._retry_giveups.inc()
+                return False
+            attempt += 1
+            backoff = self.plan.backoff(attempt)
+            stats.backoff_seconds += backoff
+            self._retry_backoff.observe(backoff)
+        hive.ingest_batch([batch])
+        return True
+
+    # -- round bookkeeping ----------------------------------------------------
+
+    def finish_round(self, invariants_ok: bool = True) -> ChaosRoundStats:
+        """Grade the round and file its stats: *survived* (every fault
+        fully recovered), *degraded* (data lost past recovery, state
+        still sound), or *failed* (an invariant broke)."""
+        stats = self._current
+        assert stats is not None, "finish_round() before execute_round()"
+        stats.invariants_ok = invariants_ok
+        if not invariants_ok:
+            stats.verdict = VERDICT_FAILED
+        elif stats.data_lost:
+            stats.verdict = VERDICT_DEGRADED
+        else:
+            stats.verdict = VERDICT_SURVIVED
+        self.rounds.append(stats)
+        self._current = None
+        return stats
+
+    def summary(self) -> dict:
+        """JSON-ready run summary (rides the platform snapshot)."""
+        verdicts = {VERDICT_SURVIVED: 0, VERDICT_DEGRADED: 0,
+                    VERDICT_FAILED: 0}
+        for stats in self.rounds:
+            verdicts[stats.verdict] += 1
+        return {
+            "profile": self.profile.name,
+            "seed": self.plan.seed,
+            "rounds": [stats.as_dict() for stats in self.rounds],
+            "verdicts": verdicts,
+            "worker_deaths": sum(s.worker_deaths for s in self.rounds),
+            "runs_recovered": sum(s.runs_recovered for s in self.rounds),
+            "runs_lost": sum(s.runs_lost for s in self.rounds),
+            "frames_total": sum(s.frames_total for s in self.rounds),
+            "frames_dropped": sum(s.frames_dropped for s in self.rounds),
+            "frames_discarded": sum(s.frames_discarded
+                                    for s in self.rounds),
+            "frames_abandoned": sum(s.frames_abandoned
+                                    for s in self.rounds),
+            "entries_delivered": sum(s.entries_delivered
+                                     for s in self.rounds),
+            "ingest_retries": sum(s.ingest_retries for s in self.rounds),
+            "backoff_seconds": sum(s.backoff_seconds
+                                   for s in self.rounds),
+        }
+
+    def all_survived(self) -> bool:
+        return all(s.verdict != VERDICT_FAILED and s.invariants_ok
+                   for s in self.rounds)

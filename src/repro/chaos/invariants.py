@@ -1,0 +1,274 @@
+"""Platform-wide invariant checks: is the collective state still sound?
+
+Fault injection is only trustworthy when something *asserts* that the
+platform degraded gracefully rather than silently corrupting its
+collective knowledge. :class:`Invariants` is that assertion layer: a
+catalogue of structural checks over the hive (and optionally the
+platform report) that must hold after **every** round, faults or not.
+
+The catalogue:
+
+* **tree-merge-idempotence** — merging the hive tree into a fresh tree
+  reproduces its canonical path set exactly, and merging it a second
+  time creates no new structure (paths/nodes unchanged; only counts
+  accumulate). This is the algebraic property sharded ingest and chaos
+  redelivery both lean on.
+* **coverage-counted-once** — ``path_count`` equals the number of
+  distinct terminal paths, and ``insert_count`` equals the sum of all
+  terminal outcome counts: duplicate deliveries bump counts, never
+  phantom paths.
+* **per-path-dedup** — the tree is structurally sound: every child's
+  edge label matches its key, depths are consistent, and no node holds
+  two children under one decision.
+* **dedup-digest-paths** — every heartbeat digest the hive remembers
+  resolves to a path the tree actually contains.
+* **counter-monotonicity** — hive counters are non-negative, mutually
+  consistent (``stale <= ingested``), and never decrease between
+  checks (the instance remembers the previous snapshot).
+* **report-schema** — when a :class:`~repro.platform.PlatformReport`
+  is supplied: failure rate in [0, 1], per-round ``failures <=
+  executions``, fix totals monotone, and ``as_dict()`` JSON-clean.
+
+``check`` returns an :class:`InvariantReport` (never raises);
+:func:`raise_for_violations` upgrades a bad report to
+:class:`~repro.errors.InvariantError` for callers that want a hard
+stop (``repro run --check-invariants`` exits non-zero instead).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.errors import InvariantError
+
+__all__ = ["InvariantViolation", "InvariantReport", "Invariants",
+           "check_invariants", "raise_for_violations"]
+
+#: Cap on how many remembered digests are cross-checked per round; the
+#: check is O(path length) per digest and the map can grow unboundedly.
+_MAX_DIGEST_PROBES = 256
+
+
+@dataclass
+class InvariantViolation:
+    """One broken invariant, with enough detail to debug it."""
+
+    name: str
+    detail: str
+
+    def __str__(self) -> str:
+        return f"{self.name}: {self.detail}"
+
+
+@dataclass
+class InvariantReport:
+    """Outcome of one full catalogue pass."""
+
+    checked: List[str] = field(default_factory=list)
+    violations: List[InvariantViolation] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "ok": self.ok,
+            "checked": list(self.checked),
+            "violations": [{"name": v.name, "detail": v.detail}
+                           for v in self.violations],
+        }
+
+
+class Invariants:
+    """The invariant catalogue; instances track counter monotonicity
+    across successive checks (one instance per platform run)."""
+
+    def __init__(self):
+        self._previous_counters: Dict[str, int] = {}
+
+    # -- entry point ---------------------------------------------------------
+
+    def check(self, hive, report=None) -> InvariantReport:
+        """Run every applicable invariant against ``hive`` (a
+        :class:`~repro.hive.hive.Hive`) and, optionally, a platform
+        report. Safe to call mid-run; mutates nothing but this
+        instance's monotonicity memory."""
+        out = InvariantReport()
+        self._check_tree_merge_idempotent(hive, out)
+        self._check_coverage_counted_once(hive, out)
+        self._check_per_path_dedup(hive, out)
+        self._check_digest_paths(hive, out)
+        self._check_counters(hive, out)
+        if report is not None:
+            self._check_report_schema(report, out)
+        return out
+
+    # -- tree invariants ------------------------------------------------------
+
+    def _check_tree_merge_idempotent(self, hive, out: InvariantReport):
+        out.checked.append("tree-merge-idempotence")
+        from repro.tree.exectree import ExecutionTree
+        tree = hive.tree
+        rebuilt = ExecutionTree(tree.program_name, tree.program_version)
+        rebuilt.merge(tree)
+        if rebuilt.canonical_paths() != tree.canonical_paths():
+            out.violations.append(InvariantViolation(
+                "tree-merge-idempotence",
+                "merging the hive tree into a fresh tree changed its"
+                " canonical path set"))
+            return
+        paths, nodes = rebuilt.path_count, rebuilt.node_count
+        rebuilt.merge(tree)
+        if rebuilt.path_count != paths or rebuilt.node_count != nodes:
+            out.violations.append(InvariantViolation(
+                "tree-merge-idempotence",
+                f"re-merging created structure: paths {paths} ->"
+                f" {rebuilt.path_count}, nodes {nodes} ->"
+                f" {rebuilt.node_count}"))
+
+    def _check_coverage_counted_once(self, hive, out: InvariantReport):
+        out.checked.append("coverage-counted-once")
+        tree = hive.tree
+        terminal_paths = list(tree.iter_terminal_paths())
+        if tree.path_count != len(terminal_paths):
+            out.violations.append(InvariantViolation(
+                "coverage-counted-once",
+                f"path_count={tree.path_count} but"
+                f" {len(terminal_paths)} distinct terminal paths"))
+        terminal_total = sum(sum(outcomes.values())
+                             for _path, outcomes in terminal_paths)
+        if tree.insert_count != terminal_total:
+            out.violations.append(InvariantViolation(
+                "coverage-counted-once",
+                f"insert_count={tree.insert_count} but terminal outcome"
+                f" counts sum to {terminal_total}"))
+        nodes = sum(1 for _node in tree.iter_nodes())
+        if tree.node_count != nodes:
+            out.violations.append(InvariantViolation(
+                "coverage-counted-once",
+                f"node_count={tree.node_count} but traversal visits"
+                f" {nodes} nodes"))
+
+    def _check_per_path_dedup(self, hive, out: InvariantReport):
+        out.checked.append("per-path-dedup")
+        for node in hive.tree.iter_nodes():
+            for decision, child in node.children.items():
+                if child.decision != decision:
+                    out.violations.append(InvariantViolation(
+                        "per-path-dedup",
+                        f"child keyed {decision!r} labels itself"
+                        f" {child.decision!r}"))
+                    return
+                if child.depth != node.depth + 1:
+                    out.violations.append(InvariantViolation(
+                        "per-path-dedup",
+                        f"child at depth {child.depth} under parent at"
+                        f" depth {node.depth}"))
+                    return
+
+    def _check_digest_paths(self, hive, out: InvariantReport):
+        out.checked.append("dedup-digest-paths")
+        probed = 0
+        for digest, (decisions, _outcome) in hive._digest_paths.items():
+            if probed >= _MAX_DIGEST_PROBES:
+                break
+            probed += 1
+            if not hive.tree.contains_path(decisions):
+                out.violations.append(InvariantViolation(
+                    "dedup-digest-paths",
+                    f"digest {digest.hex()[:12]} maps to a path the"
+                    " tree does not contain"))
+                return
+
+    # -- counter invariants ----------------------------------------------------
+
+    def _check_counters(self, hive, out: InvariantReport):
+        out.checked.append("counter-monotonicity")
+        stats = hive.stats.as_dict()
+        for name, value in stats.items():
+            if not isinstance(value, int) or value < 0:
+                out.violations.append(InvariantViolation(
+                    "counter-monotonicity",
+                    f"hive counter {name}={value!r} is not a"
+                    " non-negative integer"))
+                continue
+            previous = self._previous_counters.get(name, 0)
+            if value < previous:
+                out.violations.append(InvariantViolation(
+                    "counter-monotonicity",
+                    f"hive counter {name} regressed {previous} ->"
+                    f" {value}"))
+        ingested = stats.get("traces_ingested", 0)
+        heartbeats = stats.get("heartbeats_ingested", 0)
+        if stats.get("replay_failures", 0) > ingested:
+            out.violations.append(InvariantViolation(
+                "counter-monotonicity",
+                f"replay_failures={stats['replay_failures']} exceeds"
+                f" traces_ingested={ingested}"))
+        # Stale arrivals come from both full traces and heartbeats.
+        if stats.get("stale_traces", 0) > ingested + heartbeats:
+            out.violations.append(InvariantViolation(
+                "counter-monotonicity",
+                f"stale_traces={stats['stale_traces']} exceeds total"
+                f" arrivals {ingested + heartbeats}"))
+        if stats.get("unknown_heartbeats", 0) > heartbeats:
+            out.violations.append(InvariantViolation(
+                "counter-monotonicity",
+                f"unknown_heartbeats={stats['unknown_heartbeats']}"
+                f" exceeds heartbeats_ingested={heartbeats}"))
+        if not out.violations:
+            self._previous_counters = {
+                name: value for name, value in stats.items()
+                if isinstance(value, int)}
+
+    # -- report invariants ------------------------------------------------------
+
+    def _check_report_schema(self, report, out: InvariantReport):
+        out.checked.append("report-schema")
+        import json
+        try:
+            doc = report.as_dict()
+            json.dumps(doc)
+        except (TypeError, ValueError) as error:
+            out.violations.append(InvariantViolation(
+                "report-schema", f"as_dict() is not JSON-clean: {error}"))
+            return
+        rate = report.failure_rate() if hasattr(report, "failure_rate") \
+            else 0.0
+        if not 0.0 <= rate <= 1.0:
+            out.violations.append(InvariantViolation(
+                "report-schema", f"failure_rate {rate} outside [0, 1]"))
+        previous_fixes = 0
+        for stats in getattr(report, "rounds", []):
+            if stats.failures < 0 or stats.failures > stats.executions:
+                out.violations.append(InvariantViolation(
+                    "report-schema",
+                    f"round {stats.round_index}: failures"
+                    f" {stats.failures} outside [0,"
+                    f" {stats.executions}]"))
+            if stats.fixes_deployed_total < previous_fixes:
+                out.violations.append(InvariantViolation(
+                    "report-schema",
+                    f"round {stats.round_index}: fixes_deployed_total"
+                    f" regressed {previous_fixes} ->"
+                    f" {stats.fixes_deployed_total}"))
+            previous_fixes = stats.fixes_deployed_total
+            if stats.windowed_density < 0:
+                out.violations.append(InvariantViolation(
+                    "report-schema",
+                    f"round {stats.round_index}: negative density"))
+
+
+def check_invariants(hive, report=None) -> InvariantReport:
+    """One-shot convenience: a fresh catalogue pass (no monotonicity
+    memory — use an :class:`Invariants` instance across rounds)."""
+    return Invariants().check(hive, report=report)
+
+
+def raise_for_violations(report: InvariantReport) -> None:
+    """Raise :class:`InvariantError` when the report has violations."""
+    if not report.ok:
+        raise InvariantError(
+            "; ".join(str(v) for v in report.violations))

@@ -1,0 +1,141 @@
+"""Named fault profiles: how hostile the world is.
+
+A :class:`FaultProfile` bundles every chaos knob — worker-death and
+retry rates, uplink frame corruption/loss/duplication/reordering, hive
+ingest flakiness, pod crashes, and clock skew — under one name, so a
+scenario can be run "under ``lossy-workers``" the same way everywhere:
+``PlatformConfig(chaos_profile=...)``, ``NetworkedConfig``, the
+``repro chaos`` CLI, and tests all resolve through
+:func:`resolve_profile`.
+
+The ``none`` profile is the platform default and is a true no-op: a
+config that resolves to it never constructs a chaos coordinator, so
+the happy path pays a single ``is None`` check per round (mirroring
+``repro.obs``'s disabled mode).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Dict, Union
+
+from repro.config import BaseConfig, check_unit_interval
+from repro.errors import ConfigError
+
+__all__ = ["FaultProfile", "PROFILES", "profile_names", "resolve_profile"]
+
+
+@dataclass
+class FaultProfile(BaseConfig):
+    """Every chaos knob, with rates in [0, 1] and all-zero = no-op.
+
+    Rates are *per decision point*: ``worker_death_rate`` is per
+    virtual shard per round, ``frame_*`` rates are per uplink frame,
+    ``ingest_failure_rate`` is per ingest attempt, ``pod_crash_rate``
+    is per networked-pod execution.
+    """
+
+    name: str = "custom"
+
+    # -- worker / shard faults (round platform) ------------------------------
+    virtual_workers: int = 4         # failure domains, backend-invariant
+    worker_death_rate: float = 0.0   # per virtual shard per round
+    retry_death_rate: float = 0.0    # a retry wave crashes too
+    max_retries: int = 3             # execution retry waves per round
+    backoff_base: float = 0.05      # simulated seconds, doubles per try
+    backoff_cap: float = 1.0
+
+    # -- uplink frame faults -------------------------------------------------
+    frame_traces: int = 8            # entries per chaos wire frame
+    frame_corrupt_rate: float = 0.0  # bit flips / truncation per frame
+    frame_drop_rate: float = 0.0     # frame vanishes entirely
+    frame_duplicate_rate: float = 0.0
+    reorder: bool = False            # deliver frames in shuffled order
+
+    # -- hive ingest faults --------------------------------------------------
+    ingest_failure_rate: float = 0.0  # transient failure per attempt
+    ingest_max_retries: int = 4
+
+    # -- networked-platform faults -------------------------------------------
+    pod_crash_rate: float = 0.0      # pod dies mid-trace, per execution
+    crash_downtime: float = 20.0     # virtual seconds before restart
+    clock_skew_max: float = 0.0      # +/- fraction on per-pod think time
+
+    def validate(self) -> None:
+        for field in ("worker_death_rate", "retry_death_rate",
+                      "frame_corrupt_rate", "frame_drop_rate",
+                      "frame_duplicate_rate", "ingest_failure_rate",
+                      "pod_crash_rate"):
+            check_unit_interval(getattr(self, field), field,
+                                include_one=True)
+        if self.virtual_workers < 1:
+            raise ConfigError("virtual_workers must be >= 1")
+        if self.max_retries < 0 or self.ingest_max_retries < 0:
+            raise ConfigError("retry counts must be >= 0")
+        if self.backoff_base < 0 or self.backoff_cap < 0:
+            raise ConfigError("backoff values must be >= 0")
+        if self.crash_downtime < 0:
+            raise ConfigError("crash_downtime must be >= 0")
+        if not 0.0 <= self.clock_skew_max < 1.0:
+            raise ConfigError("clock_skew_max must be in [0, 1)")
+
+    def is_noop(self) -> bool:
+        """True when no fault kind can ever fire (the default)."""
+        return not (self.worker_death_rate or self.frame_corrupt_rate
+                    or self.frame_drop_rate or self.frame_duplicate_rate
+                    or self.reorder or self.ingest_failure_rate
+                    or self.pod_crash_rate or self.clock_skew_max)
+
+
+#: The named catalogue. ``lossy-workers`` is the acceptance profile:
+#: worker death + ~10% frame corruption + message loss, with enough
+#: retry headroom that a seeded run completes every round.
+PROFILES: Dict[str, FaultProfile] = {
+    "none": FaultProfile(name="none"),
+    "lossy-workers": FaultProfile(
+        name="lossy-workers",
+        worker_death_rate=0.12, retry_death_rate=0.05, max_retries=3,
+        frame_corrupt_rate=0.10, frame_drop_rate=0.08,
+        frame_duplicate_rate=0.05, reorder=True,
+        ingest_failure_rate=0.10, ingest_max_retries=4,
+        pod_crash_rate=0.02, clock_skew_max=0.2,
+    ),
+    "flaky-hive": FaultProfile(
+        name="flaky-hive",
+        ingest_failure_rate=0.35, ingest_max_retries=6,
+    ),
+    "partitioned": FaultProfile(
+        name="partitioned",
+        frame_drop_rate=0.30, frame_duplicate_rate=0.10, reorder=True,
+        pod_crash_rate=0.05, crash_downtime=40.0,
+    ),
+    "wild": FaultProfile(
+        name="wild",
+        worker_death_rate=0.25, retry_death_rate=0.10, max_retries=4,
+        frame_corrupt_rate=0.15, frame_drop_rate=0.15,
+        frame_duplicate_rate=0.10, reorder=True,
+        ingest_failure_rate=0.25, ingest_max_retries=5,
+        pod_crash_rate=0.05, clock_skew_max=0.3,
+    ),
+}
+
+
+def profile_names() -> tuple:
+    return tuple(sorted(PROFILES))
+
+
+def resolve_profile(profile: Union[str, FaultProfile]) -> FaultProfile:
+    """Look up a named profile (returning a private copy) or validate a
+    custom :class:`FaultProfile` instance."""
+    if isinstance(profile, FaultProfile):
+        profile.validate()
+        return profile
+    named = PROFILES.get(profile)
+    if named is None:
+        raise ConfigError(
+            f"unknown chaos profile {profile!r}; expected one of"
+            f" {', '.join(profile_names())}")
+    copy = dataclasses.replace(named)
+    copy.validate()
+    return copy

@@ -49,6 +49,9 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--batch-traces", type=int, default=0,
                      help="max traces per shard batch flush (0 = one"
                           " flush per round)")
+    run.add_argument("--check-invariants", action="store_true",
+                     help="run the platform-wide invariant checks after"
+                          " every round; exit non-zero on violation")
     run.add_argument("--json", action="store_true",
                      help="emit the unified config/report/obs snapshot"
                           " as JSON instead of tables (schema v2)")
@@ -69,6 +72,25 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument("--batch-traces", type=int, default=0)
     stats.add_argument("--json", action="store_true",
                        help="emit the registry snapshot as JSON")
+
+    from repro.chaos import profile_names
+    chaos = sub.add_parser(
+        "chaos", help="run the closed loop under a named fault profile"
+                      " and report survived/degraded/failed per round")
+    chaos.add_argument("--scenario", default="crash",
+                       choices=["crash", "deadlock", "shortread", "race"])
+    chaos.add_argument("--profile", default="lossy-workers",
+                       choices=profile_names(),
+                       help="fault profile to inject (see docs/CHAOS.md)")
+    chaos.add_argument("--rounds", type=int, default=8)
+    chaos.add_argument("--executions", type=int, default=40)
+    chaos.add_argument("--seed", type=int, default=7)
+    chaos.add_argument("--backend", default="auto",
+                       choices=["auto", "serial", "thread", "process"])
+    chaos.add_argument("--workers", type=int, default=0)
+    chaos.add_argument("--json", action="store_true",
+                       help="emit the chaos summary + invariant report"
+                            " as JSON")
 
     portfolio = sub.add_parser(
         "portfolio", help="run the 3-solver SAT portfolio (E1, small)")
@@ -123,13 +145,15 @@ def _run_platform(args, fixing: bool = True):
     platform = SoftBorgPlatform(scenario, PlatformConfig(
         rounds=args.rounds,
         executions_per_round=args.executions,
-        guidance=args.guidance,
+        guidance=getattr(args, "guidance", False),
         fixing=fixing,
         enable_proofs=not multithreaded,
         seed=args.seed,
         backend=getattr(args, "backend", "auto"),
         workers=getattr(args, "workers", 0),
         batch_max_traces=getattr(args, "batch_traces", 0),
+        chaos_profile=getattr(args, "profile", "none"),
+        check_invariants=getattr(args, "check_invariants", False),
     ))
     report = platform.run()
     return platform, report
@@ -137,9 +161,10 @@ def _run_platform(args, fixing: bool = True):
 
 def _cmd_run(args) -> int:
     platform, report = _run_platform(args, fixing=not args.no_fixing)
+    violated = bool(platform.invariant_violations)
     if args.json:
         print(json.dumps(platform.snapshot(), sort_keys=True, indent=2))
-        return 0
+        return 1 if violated else 0
     scenario = platform.scenario
     print(render_round_table(
         report, title=f"Closed loop on {scenario.program.name!r}"))
@@ -152,7 +177,65 @@ def _cmd_run(args) -> int:
     print("hive knowledge:")
     for key, value in platform.hive.status().items():
         print(f"  {key}: {value}")
-    return 0
+    if args.check_invariants:
+        print()
+        if violated:
+            for round_index, result in platform.invariant_violations:
+                for violation in result.violations:
+                    print(f"INVARIANT VIOLATION (round {round_index}):"
+                          f" {violation.name}: {violation.detail}")
+        else:
+            print("invariants     : all checks green")
+    return 1 if violated else 0
+
+
+def _cmd_chaos(args) -> int:
+    platform, _report = _run_platform(args)
+    chaos = platform.chaos
+    if chaos is None:  # --profile none: nothing injected, nothing to grade
+        print(f"profile {args.profile!r} injects no faults; run completed")
+        return 0
+    violated = bool(platform.invariant_violations)
+    failed = violated or not chaos.all_survived()
+    if args.json:
+        doc = {
+            "chaos": chaos.summary(),
+            "invariants": {
+                "ok": not violated,
+                "violations": [
+                    {"round": round_index, **result.as_dict()}
+                    for round_index, result in
+                    platform.invariant_violations],
+            },
+        }
+        print(json.dumps(doc, sort_keys=True, indent=2))
+        return 1 if failed else 0
+    rows = []
+    for stats in chaos.rounds:
+        rows.append([stats.round_index, stats.faults_injected,
+                     stats.worker_deaths, stats.runs_lost,
+                     stats.frames_dropped + stats.frames_discarded
+                     + stats.frames_abandoned,
+                     stats.entries_delivered,
+                     "yes" if stats.invariants_ok else "NO",
+                     stats.verdict])
+    print(render_table(
+        ["round", "faults", "deaths", "runs lost", "frames lost",
+         "delivered", "invariants", "verdict"],
+        rows,
+        title=f"Chaos: profile {chaos.profile.name!r} on"
+              f" {platform.scenario.program.name!r}"
+              f" (seed {platform.config.seed})"))
+    summary = chaos.summary()
+    faults = sum(stats.faults_injected for stats in chaos.rounds)
+    print()
+    print(f"verdicts  : {summary['verdicts']}")
+    print(f"faults    : {faults} injected,"
+          f" {summary['runs_lost']} runs lost,"
+          f" {summary['frames_abandoned']} frames abandoned")
+    print(f"fixes     : {_report.fixes or 'none'}")
+    print(f"invariants: {'VIOLATED' if violated else 'all checks green'}")
+    return 1 if failed else 0
 
 
 def _cmd_stats(args) -> int:
@@ -278,6 +361,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     handlers = {
         "run": _cmd_run,
         "stats": _cmd_stats,
+        "chaos": _cmd_chaos,
         "portfolio": _cmd_portfolio,
         "explore": _cmd_explore,
         "fleet": _cmd_fleet,

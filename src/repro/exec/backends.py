@@ -268,34 +268,70 @@ class ProcessBackend(_BackendBase):
         # between construction and the first round) replay at start.
         self._pending: List[tuple] = []
 
+    #: Respawn budget per shard per round, with capped backoff between
+    #: attempts (real seconds — these are real crashes, not simulated).
+    _MAX_RESPAWNS = 3
+    _RESPAWN_BACKOFF_BASE = 0.05
+    _RESPAWN_BACKOFF_CAP = 0.2
+
     # -- lifecycle ------------------------------------------------------------
+
+    def _context(self):
+        import multiprocessing
+        methods = multiprocessing.get_all_start_methods()
+        return multiprocessing.get_context(
+            "fork" if "fork" in methods else "spawn")
+
+    def _spawn(self, context, shard_id: int):
+        """Start one worker; returns its (process, pipe) pair."""
+        specs = [spec for spec in self._pod_specs
+                 if spec[0] % self.workers == shard_id]
+        parent_conn, child_conn = context.Pipe()
+        proc = context.Process(
+            target=_process_worker_main,
+            args=(child_conn, shard_id, specs, self._program_blob,
+                  self._capture, self._limits, self._fault_rate,
+                  self._dedup, self._batch_max_traces),
+            daemon=True,
+        )
+        proc.start()
+        child_conn.close()
+        return proc, parent_conn
 
     def _start(self) -> None:
         if self._procs:
             return
-        import multiprocessing
-        methods = multiprocessing.get_all_start_methods()
-        context = multiprocessing.get_context(
-            "fork" if "fork" in methods else "spawn")
+        context = self._context()
         for shard_id in range(self.workers):
-            specs = [spec for spec in self._pod_specs
-                     if spec[0] % self.workers == shard_id]
-            parent_conn, child_conn = context.Pipe()
-            proc = context.Process(
-                target=_process_worker_main,
-                args=(child_conn, shard_id, specs, self._program_blob,
-                      self._capture, self._limits, self._fault_rate,
-                      self._dedup, self._batch_max_traces),
-                daemon=True,
-            )
-            proc.start()
-            child_conn.close()
+            proc, pipe = self._spawn(context, shard_id)
             self._procs.append(proc)
-            self._pipes.append(parent_conn)
+            self._pipes.append(pipe)
             self._counter_base.append({})
         for message in self._pending:
             self._broadcast(message)
         self._pending = []
+
+    def _respawn(self, shard_id: int) -> None:
+        """Replace a dead worker with a fresh one.
+
+        The replacement rebuilds its pods from specs against the hive's
+        *current* program — their RNG streams restart, so a real crash
+        (unlike an injected one) is outside the bit-determinism
+        contract; see docs/CHAOS.md."""
+        old = self._procs[shard_id]
+        if old.is_alive():
+            old.terminate()
+        old.join(timeout=10)
+        try:
+            self._pipes[shard_id].close()
+        except (BrokenPipeError, OSError):
+            pass
+        proc, pipe = self._spawn(self._context(), shard_id)
+        self._procs[shard_id] = proc
+        self._pipes[shard_id] = pipe
+        # Fresh worker, fresh worker-local registry: its counter totals
+        # restart from zero, so the delta base must too.
+        self._counter_base[shard_id] = {}
 
     def _broadcast(self, message: tuple) -> None:
         if not self._procs:
@@ -307,18 +343,71 @@ class ProcessBackend(_BackendBase):
     def _run_round(self, plan: RoundPlan) -> List[ShardResult]:
         self._start()
         slices = partition_runs(plan.runs, self.workers)
-        for pipe, runs in zip(self._pipes, slices):
-            pipe.send(("round", runs))
-        results: List[ShardResult] = []
+        crashed: List[int] = []
+        for shard_id, (pipe, runs) in enumerate(zip(self._pipes, slices)):
+            try:
+                pipe.send(("round", runs))
+            except (BrokenPipeError, OSError):
+                crashed.append(shard_id)
+        results: List[Optional[ShardResult]] = [None] * self.workers
         for shard_id, pipe in enumerate(self._pipes):
-            reply = pipe.recv()
+            if shard_id in crashed:
+                continue
+            try:
+                reply = pipe.recv()
+            except (EOFError, OSError):
+                crashed.append(shard_id)
+                continue
             if reply[0] != "ok":
                 self.close()
                 raise RuntimeError(
                     f"exec worker shard {shard_id} failed:\n{reply[1]}")
-            results.append(reply[1])
+            results[shard_id] = reply[1]
             self._merge_counters(shard_id, reply[2])
-        return results
+        # Crash-tolerant rounds: a dead worker's shard is re-run on a
+        # fresh replacement process, with capped backoff between
+        # respawns, instead of aborting the round.
+        for shard_id in crashed:
+            results[shard_id] = self._retry_shard(shard_id,
+                                                  slices[shard_id])
+        return results  # type: ignore[return-value]
+
+    def _retry_shard(self, shard_id: int, runs) -> ShardResult:
+        import time
+
+        from repro.obs import get_registry
+        registry = get_registry()
+        respawns = registry.counter("exec.worker_respawns")
+        attempts = registry.counter("retry.attempts")
+        backoffs = registry.histogram("retry.backoff_seconds",
+                                      unit="seconds")
+        for attempt in range(1, self._MAX_RESPAWNS + 1):
+            respawns.inc()
+            attempts.inc()
+            backoff = min(self._RESPAWN_BACKOFF_CAP,
+                          self._RESPAWN_BACKOFF_BASE
+                          * (2 ** (attempt - 1)))
+            backoffs.observe(backoff)
+            time.sleep(backoff)
+            self._respawn(shard_id)
+            pipe = self._pipes[shard_id]
+            try:
+                pipe.send(("round", runs))
+                reply = pipe.recv()
+            except (EOFError, BrokenPipeError, OSError):
+                continue
+            if reply[0] != "ok":
+                self.close()
+                raise RuntimeError(
+                    f"exec worker shard {shard_id} failed after"
+                    f" respawn:\n{reply[1]}")
+            self._merge_counters(shard_id, reply[2])
+            return reply[1]
+        registry.counter("retry.giveups").inc()
+        self.close()
+        raise RuntimeError(
+            f"exec worker shard {shard_id} kept dying through"
+            f" {self._MAX_RESPAWNS} respawns")
 
     def _merge_counters(self, shard_id: int,
                         totals: Dict[str, int]) -> None:

@@ -37,7 +37,11 @@ __all__ = [
     "encode_batch", "decode_batch",
 ]
 
-_BATCH_FORMAT_VERSION = 1
+# v1 had no integrity footer; v2 appends a CRC32 of the body so a
+# truncated or corrupted frame is detected at decode time and can be
+# discarded instead of ingested (the chaos layer injects exactly that).
+_BATCH_FORMAT_VERSION = 2
+_CHECKSUM_BYTES = 4
 
 
 @dataclass
@@ -161,7 +165,8 @@ class _Reader:
 def encode_batch(batch: TraceBatch) -> bytes:
     """Serialize the wire-visible part of a batch (indices + trace
     payloads + heartbeat digests); shard aggregates stay off the pod
-    uplink."""
+    uplink. The frame ends with a CRC32 of everything before it."""
+    import zlib
     out = bytearray()
     _write_varint(out, _BATCH_FORMAT_VERSION)
     name = batch.program_name.encode("utf-8")
@@ -182,13 +187,26 @@ def encode_batch(batch: TraceBatch) -> bytes:
             _write_varint(out, 0)
             _write_varint(out, len(entry.payload))
             out.extend(entry.payload)
+    crc = zlib.crc32(bytes(out)) & 0xFFFFFFFF
+    out.extend(crc.to_bytes(_CHECKSUM_BYTES, "big"))
     return bytes(out)
 
 
 def decode_batch(data: bytes) -> TraceBatch:
     """Inverse of :func:`encode_batch` (products/trees do not survive
-    the wire — the receiver replays, as the paper prescribes)."""
-    reader = _Reader(data)
+    the wire — the receiver replays, as the paper prescribes).
+
+    The CRC32 footer is verified *first*: a partial flush or a frame
+    mangled in transit raises :class:`~repro.errors.TraceError` before
+    any entry is decoded, so callers discard it whole.
+    """
+    import zlib
+    if len(data) <= _CHECKSUM_BYTES:
+        raise TraceError("batch too short to carry a checksum")
+    body, footer = data[:-_CHECKSUM_BYTES], data[-_CHECKSUM_BYTES:]
+    if (zlib.crc32(body) & 0xFFFFFFFF) != int.from_bytes(footer, "big"):
+        raise TraceError("batch checksum mismatch")
+    reader = _Reader(body)
     version = reader.varint()
     if version != _BATCH_FORMAT_VERSION:
         raise TraceError(f"unsupported batch format version {version}")

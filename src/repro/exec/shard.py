@@ -28,7 +28,7 @@ from repro.exec.batch import (
 from repro.exec.plan import PlannedRun
 from repro.pod.pod import Pod
 from repro.progmodel.interpreter import (
-    ExecutionLimits, Interpreter, ReplaySource,
+    ExecutionLimits, Interpreter, Outcome, ReplaySource,
 )
 from repro.progmodel.ir import Program
 from repro.tracing.dedup import PodDeduplicator
@@ -88,7 +88,25 @@ class Shard:
         records: List[RunRecord] = []
         for planned in runs:
             pod = self.pods[planned.pod_index]
-            run = pod.execute(planned.inputs, directive=planned.directive)
+            try:
+                run = pod.execute(planned.inputs,
+                                  directive=planned.directive)
+            except Exception as error:
+                # One broken execution must not take the whole shard
+                # (and, for the process backend, the whole worker) down
+                # with it: record the crash, ship nothing, move on.
+                from repro.obs import get_registry
+                get_registry().counter("exec.run_crashes").inc()
+                records.append(RunRecord(
+                    global_index=planned.global_index,
+                    guided=planned.guided,
+                    failed=True,
+                    outcome=Outcome.CRASH,
+                    has_failure=True,
+                    failure_message=f"pod execution raised: {error}",
+                    failure_block=None,
+                ))
+                continue
             trace = run.trace
             failure = run.result.failure
             records.append(RunRecord(

@@ -42,7 +42,13 @@ class ReliableTransport(Instrumented):
         self.max_retries = max_retries
         self._receiver = receiver
         self._next_sequence = 0
-        self._unacked: Dict[int, Tuple[str, object, int]] = {}
+        # sequence -> (dst, payload, retransmissions so far, epoch).
+        # The epoch counts transmissions of this message; every timeout
+        # callback is stamped with the epoch it was scheduled for and
+        # no-ops unless it is still current, so each message has at
+        # most ONE live retry timer — a stray duplicate timeout can
+        # never fork a second retransmission chain.
+        self._unacked: Dict[int, Tuple[str, object, int, int]] = {}
         self._seen: Set[Tuple[str, int]] = set()
         self.delivered_payloads = 0
         self.retransmissions = 0
@@ -50,14 +56,14 @@ class ReliableTransport(Instrumented):
         self._obs_sends = self.obs_counter("sends")
         self._obs_delivered = self.obs_counter("delivered")
         self._obs_retransmissions = self.obs_counter("retransmissions")
-        self._obs_gave_up = self.obs_counter("gave_up")
+        self._obs_gave_up = self.obs_counter("giveup")
         network.register(endpoint, self._on_message)
 
     def send(self, dst: str, payload: object) -> int:
         """Send with retransmission; returns the sequence number."""
         sequence = self._next_sequence
         self._next_sequence += 1
-        self._unacked[sequence] = (dst, payload, 0)
+        self._unacked[sequence] = (dst, payload, 0, 0)
         self._obs_sends.inc()
         self._transmit(sequence)
         return sequence
@@ -72,23 +78,31 @@ class ReliableTransport(Instrumented):
         entry = self._unacked.get(sequence)
         if entry is None:
             return
-        dst, payload, _attempts = entry
+        dst, payload, _attempts, epoch = entry
         self.network.send(self.endpoint, dst,
                           _DataMessage("data", sequence, payload))
         self.network.clock.schedule(
-            self.retry_timeout, lambda: self._on_timeout(sequence))
+            self.retry_timeout,
+            lambda: self._on_timeout(sequence, epoch))
 
-    def _on_timeout(self, sequence: int) -> None:
+    def _on_timeout(self, sequence: int, epoch: int) -> None:
         entry = self._unacked.get(sequence)
         if entry is None:
             return  # acked in the meantime
-        dst, payload, attempts = entry
-        if attempts + 1 >= self.max_retries:
+        dst, payload, attempts, current_epoch = entry
+        if epoch != current_epoch:
+            return  # stale timer from a superseded transmission
+        # ``attempts`` counts retransmissions already made, so giving
+        # up at ``attempts >= max_retries`` yields exactly
+        # ``max_retries`` retransmissions (the old ``attempts + 1``
+        # comparison stopped one short).
+        if attempts >= self.max_retries:
             del self._unacked[sequence]
             self.gave_up += 1
             self._obs_gave_up.inc()
             return
-        self._unacked[sequence] = (dst, payload, attempts + 1)
+        self._unacked[sequence] = (dst, payload, attempts + 1,
+                                   current_epoch + 1)
         self.retransmissions += 1
         self._obs_retransmissions.inc()
         self._transmit(sequence)

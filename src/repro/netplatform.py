@@ -60,6 +60,7 @@ class NetworkedConfig(BaseConfig):
     max_steps: int = 4000
     seed: int = 0
     batch_max_traces: int = 1          # 1 = one trace per message
+    chaos_profile: object = "none"     # profile name or FaultProfile
 
     def validate(self) -> None:
         check_at_least_one(self.n_pods, "need at least one pod")
@@ -70,6 +71,12 @@ class NetworkedConfig(BaseConfig):
         check_unit_interval(self.loss_rate, "loss_rate")
         check_at_least_one(self.batch_max_traces,
                            "batch_max_traces must be >= 1")
+        self.resolved_chaos_profile()      # raises on unknown/bad
+
+    def resolved_chaos_profile(self):
+        """The validated :class:`~repro.chaos.FaultProfile` in force."""
+        from repro.chaos import resolve_profile
+        return resolve_profile(self.chaos_profile)
 
 
 @dataclass
@@ -107,10 +114,20 @@ class NetworkedReport(BaseReport):
 
 
 class _NetPod:
-    """A pod wired to the network: runs, ships, applies updates."""
+    """A pod wired to the network: runs, ships, applies updates.
+
+    With chaos enabled, this is where three fault kinds land: the pod
+    can crash mid-trace (the execution happened, its trace is lost,
+    and the pod stays down for ``crash_downtime`` virtual seconds),
+    its uplink can drop/duplicate/corrupt whole messages *before* the
+    transport sees them (beyond what :class:`~repro.net.network.Link`
+    models), and its clock can run fast or slow by a constant per-pod
+    skew factor applied to think time.
+    """
 
     def __init__(self, platform: "NetworkedPlatform", index: int):
         self.platform = platform
+        self.index = index
         self.pod = Pod(
             pod_id=f"netpod{index:03d}",
             program=platform.scenario.program,
@@ -128,6 +145,11 @@ class _NetPod:
         # per full TraceBatch, amortizing per-message overhead.
         self._accumulator = None
         self._run_index = 0
+        self._exec_index = 0       # chaos coordinate: pod-crash draws
+        self._message_index = 0    # chaos coordinate: uplink draws
+        # Clock skew is a constant per-pod factor, fixed at build time.
+        plan = platform.chaos_plan
+        self._skew = plan.clock_skew(index) if plan is not None else 1.0
         if platform.config.batch_max_traces > 1:
             from repro.exec.batch import BatchAccumulator
             self._accumulator = BatchAccumulator(
@@ -142,7 +164,7 @@ class _NetPod:
             return
         delay = self._rng.expovariate(
             1.0 / self.platform.config.mean_think_time)
-        clock.schedule(delay, self._run_once)
+        clock.schedule(delay * self._skew, self._run_once)
 
     def _run_once(self) -> None:
         platform = self.platform
@@ -155,11 +177,20 @@ class _NetPod:
             platform.report.failures += 1
             platform.report.failure_times.append(platform.clock.now)
             platform.report.last_failure_at = platform.clock.now
+        exec_index = self._exec_index
+        self._exec_index += 1
+        plan = platform.chaos_plan
+        if plan is not None and plan.pod_crashes(self.index, exec_index):
+            # Crash mid-trace: the user saw the execution, the platform
+            # never gets its trace, and the pod stays down before
+            # resuming its schedule.
+            platform.count_chaos("pod_crashes")
+            platform.clock.schedule(plan.profile.crash_downtime,
+                                    self._schedule_next_run)
+            return
         payload = encode_trace(run.trace)
         if self._accumulator is None:
-            platform.report.wire_bytes += (
-                MESSAGE_OVERHEAD_BYTES + len(payload))
-            self.transport.send(HIVE_ENDPOINT, ("trace", payload))
+            self._uplink("trace", payload)
         else:
             from repro.exec.batch import BatchEntry
             self._accumulator.add(BatchEntry(
@@ -168,13 +199,34 @@ class _NetPod:
             self._send_full_batches()
         self._schedule_next_run()
 
+    def _uplink(self, kind: str, blob: bytes) -> None:
+        """Ship one message to the hive through the chaos uplink."""
+        platform = self.platform
+        size = MESSAGE_OVERHEAD_BYTES + len(blob)
+        platform.report.wire_bytes += size
+        plan = platform.chaos_plan
+        if plan is not None:
+            message_index = self._message_index
+            self._message_index += 1
+            if plan.uplink_dropped(self.index, message_index):
+                # Black-holed before the transport ever saw it — no
+                # retransmission machinery can save this one.
+                platform.count_chaos("uplink_dropped")
+                return
+            if plan.uplink_corrupted(self.index, message_index):
+                platform.count_chaos("uplink_corrupted")
+                blob = plan.corrupt_bytes(blob, self.index,
+                                          message_index)
+            if plan.uplink_duplicated(self.index, message_index):
+                platform.count_chaos("uplink_duplicated")
+                platform.report.wire_bytes += size
+                self.transport.send(HIVE_ENDPOINT, (kind, blob))
+        self.transport.send(HIVE_ENDPOINT, (kind, blob))
+
     def _send_full_batches(self) -> None:
         from repro.exec.batch import encode_batch
         for batch in self._accumulator.take_full():
-            blob = encode_batch(batch)
-            self.platform.report.wire_bytes += (
-                MESSAGE_OVERHEAD_BYTES + len(blob))
-            self.transport.send(HIVE_ENDPOINT, ("batch", blob))
+            self._uplink("batch", encode_batch(batch))
 
     def flush(self) -> None:
         """Ship whatever is still buffering (end of simulation)."""
@@ -182,10 +234,7 @@ class _NetPod:
             return
         from repro.exec.batch import encode_batch
         for batch in self._accumulator.drain_batches():
-            blob = encode_batch(batch)
-            self.platform.report.wire_bytes += (
-                MESSAGE_OVERHEAD_BYTES + len(blob))
-            self.transport.send(HIVE_ENDPOINT, ("batch", blob))
+            self._uplink("batch", encode_batch(batch))
 
     def _on_message(self, src: str, message: object) -> None:
         kind, body = message
@@ -209,6 +258,20 @@ class NetworkedPlatform(Instrumented):
         self.scenario = scenario
         self._obs_traces_delivered = self.obs_counter("traces_delivered")
         self._obs_analysis_ticks = self.obs_counter("analysis_ticks")
+        self._obs_rejected = self.obs_counter("frames_rejected")
+        # Chaos: a stateless seeded fault oracle shared by every pod
+        # (None when the profile is a no-op — the default).
+        profile = self.config.resolved_chaos_profile()
+        self.chaos_plan = None
+        self.chaos_events: Dict[str, int] = {}
+        if not profile.is_noop():
+            from repro.chaos import FaultPlan
+            self.chaos_plan = FaultPlan(profile, seed=self.config.seed)
+            self.chaos_events = {
+                "pod_crashes": 0, "uplink_dropped": 0,
+                "uplink_duplicated": 0, "uplink_corrupted": 0,
+                "frames_rejected": 0,
+            }
         self.clock = SimClock()
         self.network = Network(
             self.clock,
@@ -246,30 +309,61 @@ class NetworkedPlatform(Instrumented):
     # -- hive side -------------------------------------------------------------
 
     def _hive_receive(self, src: str, message: object) -> None:
+        from repro.errors import TraceError
         kind, body = message
         if kind == "trace":
+            try:
+                trace = decode_trace(body)
+            except TraceError:
+                # Mangled on the (chaos) wire: reject, never ingest.
+                self.count_chaos("frames_rejected")
+                self._obs_rejected.inc()
+                return
             self.report.traces_delivered += 1
             self._obs_traces_delivered.inc()
-            self.hive.ingest_trace(decode_trace(body))
+            self.hive.ingest_trace(trace)
         elif kind == "batch":
             from repro.exec.batch import decode_batch
-            batch = decode_batch(body)
+            try:
+                batch = decode_batch(body)
+            except TraceError:
+                # Truncated/corrupt frame: the CRC32 footer caught it.
+                self.count_chaos("frames_rejected")
+                self._obs_rejected.inc()
+                return
             for entry in batch.entries:
                 self.report.traces_delivered += 1
                 self._obs_traces_delivered.inc()
                 if entry.is_heartbeat:
                     self.hive.ingest_heartbeat(entry.heartbeat)
                 else:
-                    self.hive.ingest_trace(decode_trace(entry.payload))
+                    try:
+                        trace = decode_trace(entry.payload)
+                    except TraceError:
+                        self.count_chaos("frames_rejected")
+                        self._obs_rejected.inc()
+                        continue
+                    self.hive.ingest_trace(trace)
+
+    def count_chaos(self, event: str) -> None:
+        """Account one injected-fault occurrence (no-op sans chaos)."""
+        if self.chaos_events:
+            self.chaos_events[event] = self.chaos_events.get(event, 0) + 1
 
     def snapshot(self) -> Dict[str, object]:
         """Unified platform state: config, report, hive stats, metrics."""
-        return {
+        doc = {
             "config": self.config.as_dict(),
             "report": self.report.as_dict(),
             "hive": self.hive.stats.as_dict(),
             "obs": self.obs.snapshot(),
         }
+        if self.chaos_plan is not None:
+            doc["chaos"] = {
+                "profile": self.chaos_plan.profile.name,
+                **self.chaos_events,
+            }
+        return doc
 
     def _analysis_tick(self) -> None:
         self._obs_analysis_ticks.inc()

@@ -82,6 +82,8 @@ class PlatformConfig(BaseConfig):
     backend: str = "auto"            # serial | thread | process | auto
     workers: int = 0                 # 0 = auto (per-core, capped)
     batch_max_traces: int = 0        # 0 = one flush per shard per round
+    chaos_profile: object = "none"   # profile name or FaultProfile
+    check_invariants: bool = False   # run the invariant catalogue/round
 
     def validate(self) -> None:
         check_at_least_one(self.n_pods, "need at least one pod")
@@ -98,6 +100,12 @@ class PlatformConfig(BaseConfig):
         if self.batch_max_traces < 0:
             raise ConfigError(
                 "batch_max_traces must be >= 0 (0 = one flush per round)")
+        self.resolved_chaos_profile()        # raises on unknown/bad
+
+    def resolved_chaos_profile(self):
+        """The validated :class:`~repro.chaos.FaultProfile` in force."""
+        from repro.chaos import resolve_profile
+        return resolve_profile(self.chaos_profile)
 
     def resolved_backend(self) -> str:
         """The concrete backend this config selects (env-aware)."""
@@ -227,6 +235,20 @@ class SoftBorgPlatform(Instrumented):
             batch_max_traces=self.config.batch_max_traces,
             workers=self.config.workers)
         self.report = PlatformReport()
+        # Chaos + invariants: both default off and cost one ``is None``
+        # per round when disabled (mirroring repro.obs's no-op mode).
+        # A chaos run always checks invariants — the verdicts depend on
+        # them — and ``check_invariants`` enables the catalogue alone.
+        profile = self.config.resolved_chaos_profile()
+        self.chaos = None
+        self.invariants = None
+        self.invariant_violations: List[Tuple[int, object]] = []
+        if not profile.is_noop():
+            from repro.chaos import ChaosCoordinator
+            self.chaos = ChaosCoordinator(profile, seed=self.config.seed)
+        if self.chaos is not None or self.config.check_invariants:
+            from repro.chaos import Invariants
+            self.invariants = Invariants()
 
     # -- main loop ------------------------------------------------------------
 
@@ -243,9 +265,11 @@ class SoftBorgPlatform(Instrumented):
         """Unified platform state: config, report, hive stats, metrics.
 
         Schema v2: adds ``schema_version`` and the ``execution`` block
-        describing the backend the run actually used.
+        describing the backend the run actually used. The ``chaos``
+        and ``invariants`` blocks appear only when those layers are
+        enabled, so fault-free snapshots are unchanged.
         """
-        return {
+        doc = {
             "schema_version": SNAPSHOT_SCHEMA_VERSION,
             "config": self.config.as_dict(),
             "execution": {
@@ -257,6 +281,17 @@ class SoftBorgPlatform(Instrumented):
             "hive": self.hive.stats.as_dict(),
             "obs": self.obs.snapshot(),
         }
+        if self.chaos is not None:
+            doc["chaos"] = self.chaos.summary()
+        if self.invariants is not None:
+            doc["invariants"] = {
+                "ok": not self.invariant_violations,
+                "violations": [
+                    {"round": round_index, **result.as_dict()}
+                    for round_index, result in self.invariant_violations
+                ],
+            }
+        return doc
 
     def _plan_round(self, round_index: int) -> RoundPlan:
         """Serialize the round's randomness into a backend-free plan.
@@ -292,14 +327,20 @@ class SoftBorgPlatform(Instrumented):
     def _run_round(self, round_index: int) -> None:
         config = self.config
         plan = self._plan_round(round_index)
-        shard_results = self.backend.run_round(plan)
+        entries = None
+        if self.chaos is not None:
+            records, entries = self.chaos.execute_round(self.backend,
+                                                        plan)
+            records.sort(key=lambda record: record.global_index)
+        else:
+            shard_results = self.backend.run_round(plan)
+            records = sorted(
+                (record for result in shard_results
+                 for record in result.records),
+                key=lambda record: record.global_index)
 
         failures = 0
         guided = 0
-        records = sorted(
-            (record for result in shard_results
-             for record in result.records),
-            key=lambda record: record.global_index)
         for record in records:
             self._obs_executions.inc()
             if record.guided:
@@ -320,15 +361,23 @@ class SoftBorgPlatform(Instrumented):
         if lost:
             self.report.traces_lost += lost
             self._obs_traces_lost.inc(lost)
-        from repro.tracing.dedup import Heartbeat
-        batches = [batch for result in shard_results
-                   for batch in result.batches]
-        for batch in batches:
-            for entry in batch.entries:
-                self._account_wire(Heartbeat.WIRE_SIZE
-                                   if entry.is_heartbeat
-                                   else len(entry.payload))
-        self.hive.ingest_batch(batches)
+        if self.chaos is not None:
+            # Delivery goes over the chaos wire: entries re-framed in
+            # global order, checksummed, faulted per the plan, ingested
+            # with capped retries. Wire bytes are accounted per frame
+            # transmission inside the coordinator.
+            self.chaos.deliver(self.hive, entries, round_index,
+                               wire=self._account_wire)
+        else:
+            from repro.tracing.dedup import Heartbeat
+            batches = [batch for result in shard_results
+                       for batch in result.batches]
+            for batch in batches:
+                for entry in batch.entries:
+                    self._account_wire(Heartbeat.WIRE_SIZE
+                                       if entry.is_heartbeat
+                                       else len(entry.payload))
+            self.hive.ingest_batch(batches)
 
         # Snapshot the proof on this round's evidence *before* any fix
         # rewrites the program — a deployed fix invalidates the proof,
@@ -369,6 +418,13 @@ class SoftBorgPlatform(Instrumented):
                                           self.hive.program.version)
         self.report.total_executions += config.executions_per_round
         self.report.total_failures += failures
+
+        if self.invariants is not None:
+            result = self.invariants.check(self.hive, self.report)
+            if not result.ok:
+                self.invariant_violations.append((round_index, result))
+            if self.chaos is not None:
+                self.chaos.finish_round(result.ok)
 
     # -- plumbing --------------------------------------------------------------
 

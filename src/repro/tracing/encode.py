@@ -150,6 +150,18 @@ def encode_trace(trace: Trace) -> bytes:
 
 def decode_trace(data: bytes) -> Trace:
     """Inverse of :func:`encode_trace`; raises TraceError on corruption."""
+    try:
+        return _decode_trace(data)
+    except TraceError:
+        raise
+    except (ValueError, OverflowError) as error:
+        # Mangled bytes can fail anywhere inside the decoder (e.g. a
+        # broken UTF-8 string); fold every such failure into the one
+        # error type the docstring promises.
+        raise TraceError(f"malformed trace bytes: {error}")
+
+
+def _decode_trace(data: bytes) -> Trace:
     reader = _Reader(data)
     version = reader.varint()
     if version != _FORMAT_VERSION:

@@ -20,6 +20,15 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["run", "--scenario", "ghost"])
 
+    def test_chaos_defaults(self):
+        args = build_parser().parse_args(["chaos"])
+        assert args.profile == "lossy-workers"
+        assert args.seed == 7
+
+    def test_bad_chaos_profile_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["chaos", "--profile", "tsunami"])
+
 
 class TestCommands:
     def test_run_crash_loop(self, capsys):
@@ -84,6 +93,42 @@ class TestCommands:
         assert code == 0
         doc = json.loads(capsys.readouterr().out)
         assert doc["counters"]["platform.executions"] == 30
+
+    def test_run_check_invariants(self, capsys):
+        code = main(["run", "--rounds", "4", "--executions", "15",
+                     "--check-invariants"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "invariants     : all checks green" in out
+
+    def test_chaos_smoke(self, capsys):
+        # The CI smoke contract: a seeded lossy-workers run completes
+        # every round with invariants green and exits 0.
+        code = main(["chaos", "--profile", "lossy-workers", "--seed", "7",
+                     "--rounds", "5", "--executions", "20"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Chaos: profile 'lossy-workers'" in out
+        assert "invariants: all checks green" in out
+        assert "failed': 0" in out
+
+    def test_chaos_json(self, capsys):
+        import json
+        code = main(["chaos", "--profile", "flaky-hive", "--seed", "5",
+                     "--rounds", "4", "--executions", "15", "--json"])
+        assert code == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["invariants"]["ok"] is True
+        assert doc["chaos"]["profile"] == "flaky-hive"
+        assert len(doc["chaos"]["rounds"]) == 4
+        assert doc["chaos"]["verdicts"]["failed"] == 0
+
+    def test_chaos_none_profile(self, capsys):
+        code = main(["chaos", "--profile", "none", "--rounds", "2",
+                     "--executions", "10"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "injects no faults" in out
 
     def test_portfolio(self, capsys):
         code = main(["portfolio", "--instances", "1",

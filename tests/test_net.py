@@ -168,6 +168,62 @@ class TestReliableTransport:
         assert sender.gave_up == 1
         assert sender.in_flight == 0
 
+    def test_exactly_max_retries_retransmissions(self):
+        # Regression: the give-up comparison was off by one
+        # (``attempts + 1 >= max_retries``), so a message got only
+        # max_retries - 1 retransmissions before the sender quit.
+        for max_retries in (1, 3, 5):
+            clock, network, sender, _recv, _inbox = self._pair(
+                max_retries=max_retries)
+            network.take_down("receiver")
+            sender.send("receiver", "x")
+            clock.run_to_completion()
+            assert sender.retransmissions == max_retries
+            assert sender.gave_up == 1
+            assert sender.in_flight == 0
+
+    def test_retransmissions_capped_per_message(self):
+        # Even under total blackout, in-flight retries are bounded:
+        # no message can burn more than max_retries retransmissions.
+        clock, network, sender, _recv, _inbox = self._pair(max_retries=4)
+        network.take_down("receiver")
+        for i in range(10):
+            sender.send("receiver", i)
+        clock.run_to_completion()
+        assert sender.retransmissions == 10 * 4
+        assert sender.gave_up == 10
+        assert sender.in_flight == 0
+
+    def test_stale_timeout_cannot_fork_retry_chain(self):
+        # Each message keeps at most one live retry timer: a timeout
+        # carrying a superseded epoch must be a no-op, never a second
+        # retransmission chain.
+        _clock, network, sender, _recv, _inbox = self._pair()
+        network.take_down("receiver")
+        sequence = sender.send("receiver", "x")
+        sender._on_timeout(sequence, 0)       # legit: epoch 0 current
+        assert sender.retransmissions == 1
+        sender._on_timeout(sequence, 0)       # stale duplicate timer
+        sender._on_timeout(sequence, 0)
+        assert sender.retransmissions == 1    # ignored, not forked
+        sender._on_timeout(sequence, 1)       # the real epoch-1 timer
+        assert sender.retransmissions == 2
+
+    def test_giveup_obs_counter(self):
+        from repro import obs
+        previous = obs.set_registry(obs.Registry())
+        try:
+            clock, network, sender, _recv, _inbox = self._pair(
+                max_retries=2)
+            network.take_down("receiver")
+            sender.send("receiver", "x")
+            clock.run_to_completion()
+            counters = obs.get_registry().snapshot()["counters"]
+            assert counters["net.transport.giveup"] == 1
+            assert counters["net.transport.retransmissions"] == 2
+        finally:
+            obs.set_registry(previous)
+
     def test_no_duplicate_delivery(self):
         clock, network, sender, _recv, inbox = self._pair()
         network.set_link("sender", "receiver",

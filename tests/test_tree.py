@@ -139,6 +139,98 @@ class TestMergeTree:
             a.merge_tree(b)
 
 
+class TestAdversarialMerge:
+    """Merge algebra under the shapes sharded ingest and chaos
+    redelivery actually produce: empty shards, duplicate-only shards,
+    interleaved insertion orders, and arbitrary merge orders."""
+
+    PATHS = [
+        ([(_site("a"), True), (_site("b"), True)], Outcome.OK),
+        ([(_site("a"), True), (_site("b"), False)], Outcome.CRASH),
+        ([(_site("a"), False)], Outcome.OK),
+        ([(_site("a"), True), (_site("b"), True), (_site("c"), False)],
+         Outcome.ASSERT),
+    ]
+
+    def _tree(self, paths):
+        tree = ExecutionTree("p")
+        for decisions, outcome in paths:
+            tree.insert_path(decisions, outcome)
+        return tree
+
+    def test_empty_shard_tree_is_identity(self):
+        full = self._tree(self.PATHS)
+        before = full.canonical_paths()
+        nodes, inserts = full.node_count, full.insert_count
+        assert full.merge(ExecutionTree("p")) == 0
+        assert full.canonical_paths() == before
+        assert (full.node_count, full.insert_count) == (nodes, inserts)
+        # Merging *into* an empty tree reproduces the source exactly.
+        empty = ExecutionTree("p")
+        empty.merge(full)
+        assert empty.canonical_paths() == before
+
+    def test_duplicate_only_shard_accumulates_counts_not_structure(self):
+        full = self._tree(self.PATHS)
+        duplicate = self._tree(self.PATHS)
+        paths, nodes = full.path_count, full.node_count
+        copied = full.merge(duplicate)
+        assert copied == len(self.PATHS)
+        assert full.path_count == paths          # no phantom paths
+        assert full.node_count == nodes          # no duplicate siblings
+        assert full.insert_count == 2 * len(self.PATHS)
+
+    def test_interleaved_insertion_orders_converge(self):
+        forward = self._tree(self.PATHS)
+        backward = self._tree(list(reversed(self.PATHS)))
+        shuffled_paths = list(self.PATHS)
+        random.Random(5).shuffle(shuffled_paths)
+        shuffled = self._tree(shuffled_paths)
+        assert forward.canonical_paths() == backward.canonical_paths()
+        assert forward.canonical_paths() == shuffled.canonical_paths()
+
+    def test_merge_is_commutative(self):
+        left = self._tree(self.PATHS[:2])
+        right = self._tree(self.PATHS[2:])
+        ab = self._tree(self.PATHS[:2])
+        ab.merge(self._tree(self.PATHS[2:]))
+        ba = self._tree(self.PATHS[2:])
+        ba.merge(self._tree(self.PATHS[:2]))
+        assert ab.canonical_paths() == ba.canonical_paths()
+        assert ab.node_count == ba.node_count
+        assert ab.insert_count == ba.insert_count
+        # Originals unharmed by being merge sources.
+        assert left.path_count == 2
+        assert right.path_count == 2
+
+    def test_merge_is_associative(self):
+        shards = [self._tree(self.PATHS[:1]),
+                  self._tree(self.PATHS[1:3]),
+                  self._tree(self.PATHS[3:])]
+
+        def combine(order):
+            total = ExecutionTree("p")
+            for index in order:
+                total.merge(shards[index])
+            return total
+
+        reference = combine([0, 1, 2]).canonical_paths()
+        for order in ([2, 1, 0], [1, 0, 2], [2, 0, 1]):
+            assert combine(order).canonical_paths() == reference
+
+    def test_merge_repeated_until_fixpoint(self):
+        # Chaos redelivers frames; merging the same shard tree N times
+        # must scale counts linearly and structure not at all.
+        total = ExecutionTree("p")
+        shard = self._tree(self.PATHS)
+        for _ in range(5):
+            total.merge(shard)
+        assert total.canonical_paths() != ()
+        assert total.path_count == shard.path_count
+        assert total.node_count == shard.node_count
+        assert total.insert_count == 5 * shard.insert_count
+
+
 class TestGapsAndCoverage:
     def test_gap_found_for_one_sided_site(self):
         tree = ExecutionTree("p")
