@@ -1,0 +1,127 @@
+"""E19 (extension) — causal span tracing overhead.
+
+The tracing layer follows the metrics registry's contract: handles are
+resolved once at component construction, and a disabled tracer hands
+out shared no-op spans — so tracing *off* (the default) must cost
+nothing measurable, and tracing *on* must stay cheap enough to leave
+on in anger. This experiment runs the same seeded closed loop three
+ways — tracing disabled, tracing enabled, and tracing enabled with the
+flight recorder exercised under a chaos profile — and reports
+rounds/sec for each, plus the span count and Chrome-export size of the
+traced runs.
+
+The Chrome trace-event export for the traced run lands in
+``benchmarks/out/e19_trace.json`` (load it in Perfetto /
+chrome://tracing); the overhead table in
+``benchmarks/out/e19_obs_overhead.{txt,json}``.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.metrics.report import render_table
+from repro.obs.export import chrome_trace
+from repro.obs.trace import Tracer, get_tracer, set_tracer
+from repro.platform import PlatformConfig, SoftBorgPlatform
+from repro.workloads.scenarios import crash_scenario
+
+OUT_DIR = Path(__file__).parent / "out"
+
+ROUNDS = 12
+EXECUTIONS = 400
+REPEATS = 3
+
+
+def _run_loop(tracing, chaos_profile="none"):
+    """One seeded closed loop; returns (elapsed_s, spans, tracer)."""
+    previous = set_tracer(Tracer(enabled=tracing))
+    try:
+        platform = SoftBorgPlatform(
+            crash_scenario(n_users=60, volatility=0.5, seed=2),
+            PlatformConfig(rounds=ROUNDS,
+                           executions_per_round=EXECUTIONS,
+                           fixing=False, enable_proofs=False, seed=2,
+                           chaos_profile=chaos_profile))
+        start = time.perf_counter()
+        platform.run()
+        elapsed = time.perf_counter() - start
+        tracer = get_tracer()
+        return elapsed, len(tracer.log), tracer
+    finally:
+        set_tracer(previous)
+
+
+def run_experiment():
+    results = {}
+    for mode, tracing, profile in (
+            ("tracing off", False, "none"),
+            ("tracing on", True, "none"),
+            ("tracing on + chaos", True, "lossy-workers")):
+        # Best-of-N: overhead is a floor property, the minimum is the
+        # right estimator for "what does the instrumentation cost".
+        best, spans, tracer = min(
+            (_run_loop(tracing, profile) for _ in range(REPEATS)),
+            key=lambda result: result[0])
+        results[mode] = {"elapsed_s": best, "spans": spans,
+                         "tracer": tracer}
+    return results
+
+
+def test_e19_obs_overhead(benchmark, emit):
+    results = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+
+    off_s = results["tracing off"]["elapsed_s"]
+    rows = []
+    for mode, entry in results.items():
+        elapsed = entry["elapsed_s"]
+        rows.append([
+            mode,
+            entry["spans"],
+            f"{elapsed * 1e3:.1f}",
+            f"{ROUNDS / elapsed:.1f}",
+            f"{(elapsed / off_s - 1.0) * 100.0:+.1f}%",
+        ])
+    table = render_table(
+        ["mode", "spans", "wall-clock (ms)", "rounds/sec",
+         "vs tracing off"],
+        rows,
+        title=f"E19: span tracing overhead ({ROUNDS}x{EXECUTIONS}"
+              f" executions, best of {REPEATS}, {os.cpu_count()} cores)")
+    emit("e19_obs_overhead", table)
+
+    traced = results["tracing on"]["tracer"]
+    export = chrome_trace(traced.log)
+    OUT_DIR.mkdir(exist_ok=True)
+    with open(OUT_DIR / "e19_trace.json", "w",
+              encoding="utf-8") as handle:
+        json.dump(export, handle, sort_keys=True)
+
+    overhead = {mode: entry["elapsed_s"] / off_s - 1.0
+                for mode, entry in results.items()}
+    with open(OUT_DIR / "e19_obs_overhead.json", "w",
+              encoding="utf-8") as handle:
+        json.dump({
+            "rounds": ROUNDS,
+            "executions_per_round": EXECUTIONS,
+            "repeats": REPEATS,
+            "wall_clock_s": {mode: entry["elapsed_s"]
+                             for mode, entry in results.items()},
+            "spans": {mode: entry["spans"]
+                      for mode, entry in results.items()},
+            "overhead_vs_off": overhead,
+            "chrome_export_events": len(export["traceEvents"]),
+        }, handle, indent=2, sort_keys=True)
+
+    # Tracing off records nothing; tracing on covers the round tree.
+    assert results["tracing off"]["spans"] == 0
+    assert results["tracing on"]["spans"] > ROUNDS
+    assert len(export["traceEvents"]) > results["tracing on"]["spans"]
+    # Tracing OFF is the contract ("free when off": a flag check per
+    # instrumentation point) and is the baseline row above, so it holds
+    # by construction. Tracing ON records ~4 spans per execution; keep
+    # it under 2x serial so "leave it on in anger" stays honest even
+    # on jittery shared CI runners.
+    assert overhead["tracing on"] < 1.0, \
+        f"tracing-on overhead {overhead['tracing on']:.1%}"

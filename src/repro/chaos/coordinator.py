@@ -46,6 +46,7 @@ from repro.exec.batch import (
 )
 from repro.exec.plan import PlannedRun, RoundPlan
 from repro.obs import Instrumented, get_registry
+from repro.obs.trace import get_tracer
 
 __all__ = ["ChaosRoundStats", "ChaosCoordinator"]
 
@@ -99,6 +100,10 @@ class ChaosCoordinator(Instrumented):
     def __init__(self, profile: FaultProfile, seed: int = 0):
         self.profile = resolve_profile(profile)
         self.plan = FaultPlan(self.profile, seed)
+        # Injected faults become events on the active span; retry
+        # waves and wire frames get spans of their own (keys are
+        # round/frame/attempt indices — backend-invariant).
+        self._tracer = get_tracer()
         self.rounds: List[ChaosRoundStats] = []
         self._current: Optional[ChaosRoundStats] = None
         self._obs_worker_deaths = self.obs_counter("worker_deaths")
@@ -151,6 +156,9 @@ class ChaosCoordinator(Instrumented):
 
         stats.worker_deaths = len(dead)
         self._obs_worker_deaths.inc(len(dead))
+        self._tracer.event("chaos.worker_death",
+                           round=plan.round_index,
+                           virtual_shards=sorted(dead))
         pending: List[PlannedRun] = [run for run in plan.runs
                                      if lost(run.pod_index)]
         attempt = 0
@@ -161,15 +169,24 @@ class ChaosCoordinator(Instrumented):
             backoff = self.plan.backoff(attempt)
             stats.backoff_seconds += backoff
             self._retry_backoff.observe(backoff)
-            wave = backend.run_round(RoundPlan(
-                round_index=plan.round_index,
-                hive_version=plan.hive_version,
-                runs=pending))
-            if self.plan.retry_wave_dies(plan.round_index, attempt):
-                # The replacement worker executed the runs, then died
-                # before reporting — the pods' RNG streams advanced,
-                # the results are gone. Next wave starts over.
-                continue
+            # Each wave is its own span so the re-dispatched pod.run
+            # spans parent under it, not under the initial dispatch
+            # (distinct coordinates keep every span id unique).
+            with self._tracer.span("chaos.retry_wave",
+                                   key=(plan.round_index, attempt),
+                                   attempt=attempt,
+                                   runs=len(pending)) as wave_span:
+                wave = backend.run_round(RoundPlan(
+                    round_index=plan.round_index,
+                    hive_version=plan.hive_version,
+                    runs=pending))
+                if self.plan.retry_wave_dies(plan.round_index, attempt):
+                    # The replacement worker executed the runs, then
+                    # died before reporting — the pods' RNG streams
+                    # advanced, the results are gone. Next wave starts
+                    # over.
+                    wave_span.set(died=True)
+                    continue
             for result in wave:
                 records.extend(result.records)
                 for batch in result.batches:
@@ -181,6 +198,9 @@ class ChaosCoordinator(Instrumented):
             stats.runs_lost = len(pending)
             self._obs_runs_lost.inc(len(pending))
             self._retry_giveups.inc()
+            self._tracer.event("chaos.runs_lost",
+                               round=plan.round_index,
+                               runs=len(pending))
         return records, entries
 
     # -- delivery: the hostile uplink -----------------------------------------
@@ -209,30 +229,46 @@ class ChaosCoordinator(Instrumented):
         for frame_index, chunk in enumerate(frames):
             # encode_batch strips products/tree blobs: the hive replays
             # every delivered trace itself, like it would a pod uplink.
-            data = encode_batch(TraceBatch(
-                shard_id=0, program_name=name, program_version=version,
-                sequence=frame_index, entries=list(chunk)))
-            if wire is not None:
-                wire(len(data))
-            if self.plan.frame_dropped(round_index, frame_index):
-                stats.frames_dropped += 1
-                self._obs_frames_dropped.inc()
-                continue
-            if self.plan.frame_corrupted(round_index, frame_index):
-                data = self.plan.corrupt_bytes(data, round_index,
-                                               frame_index)
-                stats.frames_corrupted += 1
-                self._obs_frames_corrupted.inc()
-            deliveries.append(data)
-            if self.plan.frame_duplicated(round_index, frame_index):
-                stats.frames_duplicated += 1
-                self._obs_frames_duplicated.inc()
+            # The frame span's context rides inside the frame (wire
+            # format v3) so the receive-side ingest span parents here.
+            with self._tracer.span("wire.frame",
+                                   key=(round_index, frame_index),
+                                   frame=frame_index,
+                                   entries=len(chunk)) as frame_span:
+                data = encode_batch(TraceBatch(
+                    shard_id=0, program_name=name,
+                    program_version=version, sequence=frame_index,
+                    entries=list(chunk),
+                    trace_context=frame_span.context))
+                frame_span.set(bytes=len(data))
                 if wire is not None:
                     wire(len(data))
+                if self.plan.frame_dropped(round_index, frame_index):
+                    stats.frames_dropped += 1
+                    self._obs_frames_dropped.inc()
+                    frame_span.event("chaos.frame_dropped",
+                                     frame=frame_index)
+                    continue
+                if self.plan.frame_corrupted(round_index, frame_index):
+                    data = self.plan.corrupt_bytes(data, round_index,
+                                                   frame_index)
+                    stats.frames_corrupted += 1
+                    self._obs_frames_corrupted.inc()
+                    frame_span.event("chaos.frame_corrupted",
+                                     frame=frame_index)
                 deliveries.append(data)
+                if self.plan.frame_duplicated(round_index, frame_index):
+                    stats.frames_duplicated += 1
+                    self._obs_frames_duplicated.inc()
+                    frame_span.event("chaos.frame_duplicated",
+                                     frame=frame_index)
+                    if wire is not None:
+                        wire(len(data))
+                    deliveries.append(data)
         order = self.plan.delivery_order(round_index, len(deliveries))
         if order != list(range(len(deliveries))):
             stats.reordered = True
+            self._tracer.event("chaos.reordered", round=round_index)
         delivered = 0
         for delivery_index, position in enumerate(order):
             try:
@@ -242,10 +278,20 @@ class ChaosCoordinator(Instrumented):
                 # caught it. Discard — never feed the hive bad bytes.
                 stats.frames_discarded += 1
                 self._obs_frames_discarded.inc()
+                self._tracer.event("chaos.frame_discarded",
+                                   round=round_index,
+                                   delivery=delivery_index)
                 continue
-            if self._ingest_with_retry(hive, batch, round_index,
-                                       delivery_index):
-                delivered += len(batch.entries)
+            # Parent the hive-side work under the *sender's* frame
+            # span, recovered from the wire context — the causal link
+            # the duplicated/reordered deliveries make interesting.
+            with self._tracer.span_at(batch.trace_context,
+                                      "hive.ingest_frame",
+                                      key=(round_index, delivery_index),
+                                      delivery=delivery_index):
+                if self._ingest_with_retry(hive, batch, round_index,
+                                           delivery_index):
+                    delivered += len(batch.entries)
         stats.entries_delivered = delivered
         return delivered
 
@@ -263,10 +309,15 @@ class ChaosCoordinator(Instrumented):
             stats.ingest_retries += 1
             self._obs_ingest_failures.inc()
             self._retry_attempts.inc()
+            self._tracer.event("chaos.ingest_retry", round=round_index,
+                              delivery=delivery_index, attempt=attempt)
             if attempt >= self.profile.ingest_max_retries:
                 stats.frames_abandoned += 1
                 self._obs_frames_abandoned.inc()
                 self._retry_giveups.inc()
+                self._tracer.event("chaos.frame_abandoned",
+                                   round=round_index,
+                                   delivery=delivery_index)
                 return False
             attempt += 1
             backoff = self.plan.backoff(attempt)

@@ -7,6 +7,9 @@ The common "kick the tires" flows:
 * ``stats`` — same loop, but the output is the ``repro.obs`` registry
   snapshot: where the wall-clock went, trace-ingest counts, latency
   percentiles;
+* ``trace`` — same loop with causal span tracing enabled; exports the
+  span tree as Chrome trace-event JSON (Perfetto), span JSONL, or
+  Prometheus text (``run --trace PATH`` is the one-flag shortcut);
 * ``portfolio`` — the 3-solver SAT portfolio on a small instance mix;
 * ``explore`` — cooperative symbolic exploration of a corpus program.
 """
@@ -54,7 +57,11 @@ def build_parser() -> argparse.ArgumentParser:
                           " every round; exit non-zero on violation")
     run.add_argument("--json", action="store_true",
                      help="emit the unified config/report/obs snapshot"
-                          " as JSON instead of tables (schema v2)")
+                          " as JSON instead of tables (schema v3)")
+    run.add_argument("--trace", metavar="PATH", default=None,
+                     help="record causal spans for the run and write a"
+                          " Chrome trace-event file (load in Perfetto /"
+                          " chrome://tracing) to PATH")
 
     stats = sub.add_parser(
         "stats", help="run the closed loop and print the repro.obs"
@@ -92,6 +99,30 @@ def build_parser() -> argparse.ArgumentParser:
                        help="emit the chaos summary + invariant report"
                             " as JSON")
 
+    from repro.obs.export import TRACE_FORMATS
+    trace = sub.add_parser(
+        "trace", help="run the closed loop with causal span tracing on"
+                      " and export the trace (Chrome trace-event JSON,"
+                      " span JSONL, or Prometheus text)")
+    trace.add_argument("--scenario", default="crash",
+                       choices=["crash", "deadlock", "shortread", "race"])
+    trace.add_argument("--rounds", type=int, default=8)
+    trace.add_argument("--executions", type=int, default=40)
+    trace.add_argument("--guidance", action="store_true")
+    trace.add_argument("--seed", type=int, default=2)
+    trace.add_argument("--backend", default="auto",
+                       choices=["auto", "serial", "thread", "process"])
+    trace.add_argument("--workers", type=int, default=0)
+    trace.add_argument("--batch-traces", type=int, default=0)
+    trace.add_argument("--out", required=True, metavar="PATH",
+                       help="file to write the exported trace to")
+    trace.add_argument("--format", default="chrome",
+                       choices=list(TRACE_FORMATS),
+                       help="chrome = trace-event JSON (Perfetto),"
+                            " jsonl = one span per line,"
+                            " prom = Prometheus text exposition of the"
+                            " metrics registry")
+
     portfolio = sub.add_parser(
         "portfolio", help="run the 3-solver SAT portfolio (E1, small)")
     portfolio.add_argument("--instances", type=int, default=2,
@@ -123,13 +154,16 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _run_platform(args, fixing: bool = True):
+def _run_platform(args, fixing: bool = True, tracing: bool = False):
     """Build + run one closed loop from CLI args (run/stats share it)."""
-    from repro.obs import reset
+    from repro.obs import Tracer, reset, set_tracer
     from repro.platform import PlatformConfig, SoftBorgPlatform
     # One CLI invocation = one snapshot: drop metrics accumulated by
-    # any earlier in-process use of the registry.
+    # any earlier in-process use of the registry, and install a fresh
+    # tracer (enabled only when the caller asked for spans) before the
+    # platform resolves its handle.
     reset()
+    set_tracer(Tracer(enabled=tracing))
     from repro.workloads.scenarios import (
         crash_scenario, deadlock_scenario, race_scenario,
         shortread_scenario,
@@ -159,9 +193,24 @@ def _run_platform(args, fixing: bool = True):
     return platform, report
 
 
+def _write_trace(path: str, fmt: str = "chrome") -> int:
+    """Export the current tracer's span log to ``path``; span count."""
+    from repro.obs import get_registry, get_tracer
+    from repro.obs.export import export_trace
+    tracer = get_tracer()
+    text = export_trace(tracer.log, fmt, registry=get_registry())
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text)
+        if not text.endswith("\n"):
+            handle.write("\n")
+    return len(tracer.log)
+
+
 def _cmd_run(args) -> int:
-    platform, report = _run_platform(args, fixing=not args.no_fixing)
+    platform, report = _run_platform(args, fixing=not args.no_fixing,
+                                     tracing=bool(args.trace))
     violated = bool(platform.invariant_violations)
+    spans = _write_trace(args.trace) if args.trace else 0
     if args.json:
         print(json.dumps(platform.snapshot(), sort_keys=True, indent=2))
         return 1 if violated else 0
@@ -177,6 +226,10 @@ def _cmd_run(args) -> int:
     print("hive knowledge:")
     for key, value in platform.hive.status().items():
         print(f"  {key}: {value}")
+    if args.trace:
+        print()
+        print(f"trace          : {spans} spans -> {args.trace}"
+              f" (Chrome trace-event JSON)")
     if args.check_invariants:
         print()
         if violated:
@@ -239,14 +292,32 @@ def _cmd_chaos(args) -> int:
 
 
 def _cmd_stats(args) -> int:
-    from repro.obs import get_registry
+    from repro.obs import get_registry, get_tracer
     _platform, _report = _run_platform(args)
     registry = get_registry()
     if args.json:
-        print(registry.as_json(indent=2))
+        doc = registry.snapshot()
+        # Mirror the run-snapshot layout: the observability block is
+        # the one place v3 readers look for metrics + tracing state.
+        observability = {"obs": registry.snapshot()}
+        tracer = get_tracer()
+        if tracer.enabled:
+            observability["tracing"] = tracer.summary()
+        doc["observability"] = observability
+        print(json.dumps(doc, sort_keys=True, indent=2))
         return 0
     print(registry.render())
     return 0
+
+
+def _cmd_trace(args) -> int:
+    platform, _report = _run_platform(args, tracing=True)
+    spans = _write_trace(args.out, args.format)
+    violated = bool(platform.invariant_violations)
+    what = ("metrics registry" if args.format == "prom"
+            else f"{spans} spans")
+    print(f"trace: {what} -> {args.out} ({args.format})")
+    return 1 if violated else 0
 
 
 def _cmd_portfolio(args) -> int:
@@ -361,6 +432,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     handlers = {
         "run": _cmd_run,
         "stats": _cmd_stats,
+        "trace": _cmd_trace,
         "chaos": _cmd_chaos,
         "portfolio": _cmd_portfolio,
         "explore": _cmd_explore,

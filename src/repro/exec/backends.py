@@ -40,6 +40,7 @@ from repro.exec.batch import ShardResult
 from repro.exec.plan import PlannedRun, RoundPlan, partition_runs
 from repro.exec.shard import Shard
 from repro.obs import Instrumented
+from repro.obs.trace import get_tracer
 from repro.pod.pod import Pod
 from repro.progmodel.interpreter import ExecutionLimits
 from repro.progmodel.ir import Program
@@ -109,6 +110,7 @@ class _BackendBase(Instrumented):
 
     def __init__(self, workers: int):
         self.workers = workers
+        self._tracer = get_tracer()
         self._obs_rounds = self.obs_counter("rounds")
         self._obs_batches = self.obs_counter("batches")
         self._obs_traces = self.obs_counter("batched_traces")
@@ -127,11 +129,18 @@ class _BackendBase(Instrumented):
     def run_round(self, plan: RoundPlan) -> List[ShardResult]:
         import time
         started = time.perf_counter()
+        # Shards record their spans into per-shard recorders rooted at
+        # the coordinator's active span; the results carry them back
+        # (across the worker pipe, for the process backend) and they
+        # graft into one tree here.
+        ctx = self._tracer.current_context()
         with self._obs_round_time.time():
-            results = self._run_round(plan)
+            results = self._run_round(plan, ctx)
         wall = max(time.perf_counter() - started, 1e-9)
         self._obs_rounds.inc()
         for result in results:
+            if result.spans:
+                self._tracer.adopt(result.spans)
             self._obs_busy.observe(result.busy_seconds)
             self._obs_utilization.observe(
                 min(result.busy_seconds / wall, 1.0))
@@ -143,7 +152,7 @@ class _BackendBase(Instrumented):
                     sum(len(entry.payload) for entry in batch.entries))
         return results
 
-    def _run_round(self, plan: RoundPlan) -> List[ShardResult]:
+    def _run_round(self, plan: RoundPlan, ctx=None) -> List[ShardResult]:
         raise NotImplementedError
 
     def set_hive_program(self, program: Program) -> None:
@@ -173,8 +182,8 @@ class SerialBackend(_BackendBase):
                             limits=limits, dedup=dedup,
                             batch_max_traces=batch_max_traces)
 
-    def _run_round(self, plan: RoundPlan) -> List[ShardResult]:
-        return [self._shard.run_shard(plan.runs)]
+    def _run_round(self, plan: RoundPlan, ctx=None) -> List[ShardResult]:
+        return [self._shard.run_shard(plan.runs, ctx)]
 
     def set_hive_program(self, program: Program) -> None:
         self._shard.set_hive_program(program)
@@ -211,10 +220,10 @@ class ThreadBackend(_BackendBase):
                 thread_name_prefix="repro-exec")
         return self._pool
 
-    def _run_round(self, plan: RoundPlan) -> List[ShardResult]:
+    def _run_round(self, plan: RoundPlan, ctx=None) -> List[ShardResult]:
         pool = self._ensure_pool()
         slices = partition_runs(plan.runs, self.workers)
-        futures = [pool.submit(shard.run_shard, runs)
+        futures = [pool.submit(shard.run_shard, runs, ctx)
                    for shard, runs in zip(self._shards, slices)]
         return [future.result() for future in futures]
 
@@ -291,7 +300,11 @@ class ProcessBackend(_BackendBase):
             target=_process_worker_main,
             args=(child_conn, shard_id, specs, self._program_blob,
                   self._capture, self._limits, self._fault_rate,
-                  self._dedup, self._batch_max_traces),
+                  self._dedup, self._batch_max_traces,
+                  # (enabled, clock): enough for the worker to build an
+                  # equivalent tracer. The clock must be picklable —
+                  # builtins and FixedClock are.
+                  self._tracer.spec()),
             daemon=True,
         )
         proc.start()
@@ -340,13 +353,13 @@ class ProcessBackend(_BackendBase):
         for pipe in self._pipes:
             pipe.send(message)
 
-    def _run_round(self, plan: RoundPlan) -> List[ShardResult]:
+    def _run_round(self, plan: RoundPlan, ctx=None) -> List[ShardResult]:
         self._start()
         slices = partition_runs(plan.runs, self.workers)
         crashed: List[int] = []
         for shard_id, (pipe, runs) in enumerate(zip(self._pipes, slices)):
             try:
-                pipe.send(("round", runs))
+                pipe.send(("round", runs, ctx))
             except (BrokenPipeError, OSError):
                 crashed.append(shard_id)
         results: List[Optional[ShardResult]] = [None] * self.workers
@@ -369,10 +382,10 @@ class ProcessBackend(_BackendBase):
         # respawns, instead of aborting the round.
         for shard_id in crashed:
             results[shard_id] = self._retry_shard(shard_id,
-                                                  slices[shard_id])
+                                                  slices[shard_id], ctx)
         return results  # type: ignore[return-value]
 
-    def _retry_shard(self, shard_id: int, runs) -> ShardResult:
+    def _retry_shard(self, shard_id: int, runs, ctx=None) -> ShardResult:
         import time
 
         from repro.obs import get_registry
@@ -392,7 +405,7 @@ class ProcessBackend(_BackendBase):
             self._respawn(shard_id)
             pipe = self._pipes[shard_id]
             try:
-                pipe.send(("round", runs))
+                pipe.send(("round", runs, ctx))
                 reply = pipe.recv()
             except (EOFError, BrokenPipeError, OSError):
                 continue
@@ -452,17 +465,24 @@ class ProcessBackend(_BackendBase):
 
 def _process_worker_main(conn, shard_id: int, specs, program_blob: bytes,
                          capture, limits, fault_rate: float,
-                         dedup: bool, batch_max_traces: int) -> None:
+                         dedup: bool, batch_max_traces: int,
+                         tracer_spec=(False, None)) -> None:
     """Worker entry point: rebuild the shard, serve round requests."""
     import traceback
 
     from repro.obs import Registry, get_registry, set_registry
+    from repro.obs.trace import Tracer, set_tracer
     from repro.progmodel.serialize import decode_program
 
     # A fresh worker-local registry (under fork the default one holds
     # the coordinator's accumulated metrics). Counter totals ship back
     # with every round reply and the coordinator delta-merges them.
     set_registry(Registry())
+    # Same for the tracer: rebuild it from the coordinator's spec so
+    # shard-side spans use the same clock (and the same no-op fast
+    # path when tracing is off). Spans ride back inside ShardResult.
+    enabled, clock = tracer_spec
+    set_tracer(Tracer(enabled=enabled, clock=clock))
     if capture is not None:
         capture._obs_handles = None
     try:
@@ -486,7 +506,8 @@ def _process_worker_main(conn, shard_id: int, specs, program_blob: bytes,
         kind = message[0]
         try:
             if kind == "round":
-                result = shard.run_shard(message[1])
+                ctx = message[2] if len(message) > 2 else None
+                result = shard.run_shard(message[1], ctx)
                 counters = get_registry().snapshot()["counters"]
                 conn.send(("ok", result, counters))
             elif kind == "hive_program":

@@ -28,6 +28,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import TraceError
+from repro.obs.trace import SpanContext
 from repro.progmodel.interpreter import Outcome
 from repro.tracing.dedup import Heartbeat
 
@@ -39,8 +40,12 @@ __all__ = [
 
 # v1 had no integrity footer; v2 appends a CRC32 of the body so a
 # truncated or corrupted frame is detected at decode time and can be
-# discarded instead of ingested (the chaos layer injects exactly that).
-_BATCH_FORMAT_VERSION = 2
+# discarded instead of ingested (the chaos layer injects exactly that);
+# v3 adds an optional trace context (trace id + sender span id) so
+# hive-side ingest spans parent under the sender's span. Decode accepts
+# v2 and v3 — v2 frames simply carry no context.
+_BATCH_FORMAT_VERSION = 3
+_MIN_FORMAT_VERSION = 2
 _CHECKSUM_BYTES = 4
 
 
@@ -95,6 +100,9 @@ class TraceBatch:
     sequence: int = 0                 # flush number within the round
     entries: List[BatchEntry] = field(default_factory=list)
     tree_blob: Optional[bytes] = None
+    #: Sender-side trace context (rides the wire in format v3) so the
+    #: receiver's ingest span can parent under the sender's span.
+    trace_context: Optional[SpanContext] = None
 
     def __len__(self) -> int:
         return len(self.entries)
@@ -112,6 +120,10 @@ class ShardResult:
     records: List[RunRecord] = field(default_factory=list)
     batches: List[TraceBatch] = field(default_factory=list)
     busy_seconds: float = 0.0
+    #: Worker-side trace spans (``repro.obs.trace``), shipped back
+    #: alongside the counter deltas and grafted into the coordinator's
+    #: trace log; empty when tracing is disabled.
+    spans: List = field(default_factory=list)
 
 
 # -- wire encoding ------------------------------------------------------------
@@ -175,6 +187,15 @@ def encode_batch(batch: TraceBatch) -> bytes:
     _write_varint(out, batch.program_version)
     _write_varint(out, batch.shard_id)
     _write_varint(out, batch.sequence)
+    context = batch.trace_context
+    if context is None:
+        _write_varint(out, 0)
+    else:
+        _write_varint(out, 1)
+        for part in (context.trace_id, context.span_id):
+            blob = part.encode("utf-8")
+            _write_varint(out, len(blob))
+            out.extend(blob)
     _write_varint(out, len(batch.entries))
     for entry in batch.entries:
         _write_varint(out, entry.global_index)
@@ -208,12 +229,15 @@ def decode_batch(data: bytes) -> TraceBatch:
         raise TraceError("batch checksum mismatch")
     reader = _Reader(body)
     version = reader.varint()
-    if version != _BATCH_FORMAT_VERSION:
+    if not _MIN_FORMAT_VERSION <= version <= _BATCH_FORMAT_VERSION:
         raise TraceError(f"unsupported batch format version {version}")
     program_name = reader.string()
     program_version = reader.varint()
     shard_id = reader.varint()
     sequence = reader.varint()
+    trace_context = None
+    if version >= 3 and reader.varint() == 1:
+        trace_context = SpanContext(reader.string(), reader.string())
     entries: List[BatchEntry] = []
     for _ in range(reader.varint()):
         global_index = reader.varint()
@@ -233,7 +257,7 @@ def decode_batch(data: bytes) -> TraceBatch:
         raise TraceError("trailing bytes after batch")
     return TraceBatch(shard_id=shard_id, program_name=program_name,
                       program_version=program_version, sequence=sequence,
-                      entries=entries)
+                      entries=entries, trace_context=trace_context)
 
 
 class BatchAccumulator:

@@ -26,6 +26,7 @@ from repro.exec.batch import (
     BatchAccumulator, BatchEntry, ReplayProduct, RunRecord, ShardResult,
 )
 from repro.exec.plan import PlannedRun
+from repro.obs.trace import SpanContext, get_tracer
 from repro.pod.pod import Pod
 from repro.progmodel.interpreter import (
     ExecutionLimits, Interpreter, Outcome, ReplaySource,
@@ -55,6 +56,9 @@ class Shard:
         self.limits = limits or ExecutionLimits()
         self.batch_max_traces = batch_max_traces
         self.collect_tree = collect_tree
+        # Resolved once, like the metric handles; a disabled tracer
+        # hands out a shared no-op recorder so the hot loop stays flat.
+        self._tracer = get_tracer()
         self._dedup: Dict[str, PodDeduplicator] = {}
         if dedup:
             self._dedup = {pod.pod_id: PodDeduplicator()
@@ -76,9 +80,18 @@ class Shard:
 
     # -- the round ------------------------------------------------------------
 
-    def run_shard(self, runs: Sequence[PlannedRun]) -> ShardResult:
-        """Execute this shard's slice of the round plan, in order."""
+    def run_shard(self, runs: Sequence[PlannedRun],
+                  ctx: Optional[SpanContext] = None) -> ShardResult:
+        """Execute this shard's slice of the round plan, in order.
+
+        ``ctx`` is the coordinator's active span context; worker-side
+        spans recorded under it ride back inside the result and are
+        grafted into the coordinator's trace log. Span keys are
+        backend-invariant coordinates (the global execution index), so
+        the assembled tree is identical on every backend.
+        """
         started = time.perf_counter()
+        recorder = self._tracer.recorder(ctx)
         accumulator = BatchAccumulator(
             self.shard_id, self.hive_program.name,
             self.hive_program.version, max_traces=self.batch_max_traces)
@@ -88,41 +101,49 @@ class Shard:
         records: List[RunRecord] = []
         for planned in runs:
             pod = self.pods[planned.pod_index]
-            try:
-                run = pod.execute(planned.inputs,
-                                  directive=planned.directive)
-            except Exception as error:
-                # One broken execution must not take the whole shard
-                # (and, for the process backend, the whole worker) down
-                # with it: record the crash, ship nothing, move on.
-                from repro.obs import get_registry
-                get_registry().counter("exec.run_crashes").inc()
+            with recorder.span("pod.run", key=planned.global_index,
+                               pod=planned.pod_index,
+                               guided=planned.guided) as span:
+                try:
+                    run = pod.execute(planned.inputs,
+                                      directive=planned.directive)
+                except Exception as error:
+                    # One broken execution must not take the whole shard
+                    # (and, for the process backend, the whole worker)
+                    # down with it: record the crash, ship nothing,
+                    # move on.
+                    from repro.obs import get_registry
+                    get_registry().counter("exec.run_crashes").inc()
+                    span.set(outcome="crash", shipped=False)
+                    records.append(RunRecord(
+                        global_index=planned.global_index,
+                        guided=planned.guided,
+                        failed=True,
+                        outcome=Outcome.CRASH,
+                        has_failure=True,
+                        failure_message=f"pod execution raised: {error}",
+                        failure_block=None,
+                    ))
+                    continue
+                trace = run.trace
+                failure = run.result.failure
+                span.set(outcome=run.result.outcome.value,
+                         shipped=planned.ship)
                 records.append(RunRecord(
                     global_index=planned.global_index,
                     guided=planned.guided,
-                    failed=True,
-                    outcome=Outcome.CRASH,
-                    has_failure=True,
-                    failure_message=f"pod execution raised: {error}",
-                    failure_block=None,
+                    failed=run.result.outcome.is_failure,
+                    outcome=run.result.outcome,
+                    has_failure=failure is not None,
+                    failure_message=failure.message if failure else None,
+                    failure_block=failure.block if failure else None,
                 ))
-                continue
-            trace = run.trace
-            failure = run.result.failure
-            records.append(RunRecord(
-                global_index=planned.global_index,
-                guided=planned.guided,
-                failed=run.result.outcome.is_failure,
-                outcome=run.result.outcome,
-                has_failure=failure is not None,
-                failure_message=failure.message if failure else None,
-                failure_block=failure.block if failure else None,
-            ))
-            if not planned.ship:
-                continue                       # lost on the wire
-            entry = self._collect(planned.global_index, trace, tree)
-            if entry is not None:
-                accumulator.add(entry)
+                if not planned.ship:
+                    continue                   # lost on the wire
+                entry = self._collect(planned.global_index, trace, tree,
+                                      recorder)
+                if entry is not None:
+                    accumulator.add(entry)
         batches = list(accumulator.drain_batches())
         if tree is not None and batches:
             # The partial tree rides the round's final flush.
@@ -132,20 +153,24 @@ class Shard:
             records=records,
             batches=batches,
             busy_seconds=time.perf_counter() - started,
+            spans=recorder.take(),
         )
 
     # -- collection -----------------------------------------------------------
 
     def _collect(self, global_index: int, trace: Trace,
-                 tree: Optional[ExecutionTree]) -> Optional[BatchEntry]:
+                 tree: Optional[ExecutionTree],
+                 recorder) -> Optional[BatchEntry]:
         if self._dedup:
             shipped, heartbeat = self._dedup[trace.pod_id].submit(trace)
             if shipped is None:
                 return BatchEntry(global_index=global_index,
                                   heartbeat=heartbeat)
             trace = shipped
-        entry = BatchEntry(global_index=global_index,
-                           payload=encode_trace(trace))
+        with recorder.span("wire.encode", key=global_index) as span:
+            payload = encode_trace(trace)
+            span.set(bytes=len(payload))
+        entry = BatchEntry(global_index=global_index, payload=payload)
         entry.product = self._replay(trace, tree)
         return entry
 

@@ -13,6 +13,7 @@ from repro.analysis.races import RaceAnalyzer
 from repro.config import BaseReport
 from repro.errors import TraceError
 from repro.obs import Instrumented
+from repro.obs.trace import get_tracer
 from repro.fixes.deadlock_immunity import synthesize_immunity_fix
 from repro.fixes.fix import Fix
 from repro.fixes.patches import synthesize_recovery_fixes
@@ -70,6 +71,11 @@ class Hive(Instrumented):
         self.validate_fixes = validate_fixes
         self.min_failure_reports = min_failure_reports
         self.stats = HiveStats()
+        # Resolved-once tracer; span keys use a hive-local ingest
+        # sequence (arrival order is deterministic on every backend —
+        # entries reach the hive in global execution order).
+        self._tracer = get_tracer()
+        self._trace_seq = 0
         # Cached metric handles: the wall-clock split the redesign is
         # after is replay vs. analysis vs. repair (plus proofs and
         # steering, which can each dominate under some configs).
@@ -130,8 +136,18 @@ class Hive(Instrumented):
 
     # -- ingestion --------------------------------------------------------------
 
+    def _next_seq(self) -> int:
+        seq = self._trace_seq
+        self._trace_seq += 1
+        return seq
+
     def ingest_trace(self, trace: Trace) -> None:
         """Fold one trace into the collective state."""
+        with self._tracer.span("hive.ingest_trace", key=self._next_seq(),
+                               outcome=trace.outcome.value):
+            self._ingest_trace(trace)
+
+    def _ingest_trace(self, trace: Trace) -> None:
         self.stats.traces_ingested += 1
         self._obs_ingested.inc()
         if trace.program_version != self.program.version:
@@ -229,25 +245,34 @@ class Hive(Instrumented):
         from repro.tracing.encode import decode_trace
         from repro.tree.encode import decode_tree
         ordered = sorted(batches, key=lambda b: (b.shard_id, b.sequence))
-        with self._obs_phase_merge.time():
-            for batch in ordered:
-                if (batch.tree_blob is not None
-                        and batch.program_version == self.program.version):
-                    self.tree.merge(decode_tree(batch.tree_blob))
         entries = sorted(
             (entry for batch in ordered for entry in batch.entries),
             key=lambda entry: entry.global_index)
-        for entry in entries:
-            if entry.is_heartbeat:
-                self.ingest_heartbeat(entry.heartbeat)
-                continue
-            trace = decode_trace(entry.payload)
-            product = entry.product
-            if (product is not None
-                    and product.program_version == self.program.version):
-                self._ingest_product(trace, product)
-            else:
-                self.ingest_trace(trace)
+        with self._tracer.span("hive.ingest_batch",
+                               key=self._next_seq(),
+                               entries=len(entries)):
+            with self._obs_phase_merge.time(), \
+                    self._tracer.span("hive.merge"):
+                for batch in ordered:
+                    if (batch.tree_blob is not None
+                            and batch.program_version
+                            == self.program.version):
+                        self.tree.merge(decode_tree(batch.tree_blob))
+            for entry in entries:
+                if entry.is_heartbeat:
+                    self.ingest_heartbeat(entry.heartbeat)
+                    continue
+                with self._tracer.span("wire.decode",
+                                       key=entry.global_index,
+                                       bytes=len(entry.payload)):
+                    trace = decode_trace(entry.payload)
+                product = entry.product
+                if (product is not None
+                        and product.program_version
+                        == self.program.version):
+                    self._ingest_product(trace, product)
+                else:
+                    self.ingest_trace(trace)
         return len(entries)
 
     def _ingest_product(self, trace: Trace, product) -> None:
@@ -258,6 +283,12 @@ class Hive(Instrumented):
         by-products) and the tree insert (the path arrived inside the
         shard's merged partial tree).
         """
+        with self._tracer.span("hive.ingest_product",
+                               key=self._next_seq(),
+                               outcome=product.outcome.value):
+            self._ingest_product_inner(trace, product)
+
+    def _ingest_product_inner(self, trace: Trace, product) -> None:
         self.stats.traces_ingested += 1
         self._obs_ingested.inc()
         if trace.program_version != self.program.version:

@@ -15,6 +15,7 @@ from typing import Callable, Dict, Optional, Set, Tuple
 
 from repro.net.network import Network
 from repro.obs import Instrumented
+from repro.obs.trace import get_tracer
 
 __all__ = ["ReliableTransport"]
 
@@ -26,6 +27,10 @@ class _DataMessage:
     kind: str            # "data" | "ack"
     sequence: int
     payload: object = None
+    #: Sender-side trace context, captured at ``send`` time and carried
+    #: on every (re)transmission, so the receiver's delivery span
+    #: parents under the sender's span.
+    context: object = None
 
 
 class ReliableTransport(Instrumented):
@@ -41,14 +46,18 @@ class ReliableTransport(Instrumented):
         self.retry_timeout = retry_timeout
         self.max_retries = max_retries
         self._receiver = receiver
+        self._tracer = get_tracer()
         self._next_sequence = 0
-        # sequence -> (dst, payload, retransmissions so far, epoch).
-        # The epoch counts transmissions of this message; every timeout
-        # callback is stamped with the epoch it was scheduled for and
-        # no-ops unless it is still current, so each message has at
-        # most ONE live retry timer — a stray duplicate timeout can
-        # never fork a second retransmission chain.
-        self._unacked: Dict[int, Tuple[str, object, int, int]] = {}
+        # sequence -> (dst, payload, retransmissions so far, epoch,
+        # trace context). The epoch counts transmissions of this
+        # message; every timeout callback is stamped with the epoch it
+        # was scheduled for and no-ops unless it is still current, so
+        # each message has at most ONE live retry timer — a stray
+        # duplicate timeout can never fork a second retransmission
+        # chain. The trace context is captured once at send time and
+        # rides every retransmission unchanged.
+        self._unacked: Dict[
+            int, Tuple[str, object, int, int, object]] = {}
         self._seen: Set[Tuple[str, int]] = set()
         self.delivered_payloads = 0
         self.retransmissions = 0
@@ -63,7 +72,8 @@ class ReliableTransport(Instrumented):
         """Send with retransmission; returns the sequence number."""
         sequence = self._next_sequence
         self._next_sequence += 1
-        self._unacked[sequence] = (dst, payload, 0, 0)
+        self._unacked[sequence] = (dst, payload, 0, 0,
+                                   self._tracer.current_context())
         self._obs_sends.inc()
         self._transmit(sequence)
         return sequence
@@ -78,9 +88,10 @@ class ReliableTransport(Instrumented):
         entry = self._unacked.get(sequence)
         if entry is None:
             return
-        dst, payload, _attempts, epoch = entry
+        dst, payload, _attempts, epoch, context = entry
         self.network.send(self.endpoint, dst,
-                          _DataMessage("data", sequence, payload))
+                          _DataMessage("data", sequence, payload,
+                                       context))
         self.network.clock.schedule(
             self.retry_timeout,
             lambda: self._on_timeout(sequence, epoch))
@@ -89,7 +100,7 @@ class ReliableTransport(Instrumented):
         entry = self._unacked.get(sequence)
         if entry is None:
             return  # acked in the meantime
-        dst, payload, attempts, current_epoch = entry
+        dst, payload, attempts, current_epoch, context = entry
         if epoch != current_epoch:
             return  # stale timer from a superseded transmission
         # ``attempts`` counts retransmissions already made, so giving
@@ -102,7 +113,7 @@ class ReliableTransport(Instrumented):
             self._obs_gave_up.inc()
             return
         self._unacked[sequence] = (dst, payload, attempts + 1,
-                                   current_epoch + 1)
+                                   current_epoch + 1, context)
         self.retransmissions += 1
         self._obs_retransmissions.inc()
         self._transmit(sequence)
@@ -123,4 +134,10 @@ class ReliableTransport(Instrumented):
         self.delivered_payloads += 1
         self._obs_delivered.inc()
         if self._receiver is not None:
-            self._receiver(src, message.payload)
+            # The delivery span parents under the *sender's* span via
+            # the message's trace context — the end-to-end causal link
+            # across the simulated network.
+            with self._tracer.span_at(message.context, "net.deliver",
+                                      key=(src, message.sequence),
+                                      src=src):
+                self._receiver(src, message.payload)

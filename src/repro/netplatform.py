@@ -30,6 +30,7 @@ from repro.net.network import Link, Network
 from repro.net.simclock import SimClock
 from repro.net.transport import ReliableTransport
 from repro.obs import Instrumented
+from repro.obs.trace import derive_trace_id, get_tracer
 from repro.pod.pod import Pod
 from repro.progmodel.interpreter import ExecutionLimits
 from repro.rng import make_rng
@@ -137,6 +138,8 @@ class _NetPod:
             seed=platform.config.seed + index,
         )
         self._rng = make_rng(platform.config.seed, "netpod", index)
+        self._tracer = platform._tracer
+        self._uplink_seq = 0
         self.transport = ReliableTransport(
             platform.network, self.pod.pod_id,
             receiver=self._on_message)
@@ -170,58 +173,78 @@ class _NetPod:
         platform = self.platform
         if platform.clock.now >= platform.config.duration:
             return
-        _user, inputs = platform.scenario.population.sample_execution()
-        run = self.pod.execute(inputs)
-        platform.report.executions += 1
-        if run.result.outcome.is_failure:
-            platform.report.failures += 1
-            platform.report.failure_times.append(platform.clock.now)
-            platform.report.last_failure_at = platform.clock.now
-        exec_index = self._exec_index
-        self._exec_index += 1
-        plan = platform.chaos_plan
-        if plan is not None and plan.pod_crashes(self.index, exec_index):
-            # Crash mid-trace: the user saw the execution, the platform
-            # never gets its trace, and the pod stays down before
-            # resuming its schedule.
-            platform.count_chaos("pod_crashes")
-            platform.clock.schedule(plan.profile.crash_downtime,
-                                    self._schedule_next_run)
-            return
-        payload = encode_trace(run.trace)
-        if self._accumulator is None:
-            self._uplink("trace", payload)
-        else:
-            from repro.exec.batch import BatchEntry
-            self._accumulator.add(BatchEntry(
-                global_index=self._run_index, payload=payload))
-            self._run_index += 1
-            self._send_full_batches()
+        with self._tracer.span("pod.run",
+                               key=(self.index, self._exec_index),
+                               pod=self.index) as span:
+            _user, inputs = platform.scenario.population.sample_execution()
+            run = self.pod.execute(inputs)
+            span.set(outcome=run.result.outcome.value)
+            platform.report.executions += 1
+            if run.result.outcome.is_failure:
+                platform.report.failures += 1
+                platform.report.failure_times.append(platform.clock.now)
+                platform.report.last_failure_at = platform.clock.now
+            exec_index = self._exec_index
+            self._exec_index += 1
+            plan = platform.chaos_plan
+            if plan is not None and plan.pod_crashes(self.index,
+                                                    exec_index):
+                # Crash mid-trace: the user saw the execution, the
+                # platform never gets its trace, and the pod stays down
+                # before resuming its schedule.
+                platform.count_chaos("pod_crashes")
+                span.event("chaos.pod_crash", pod=self.index)
+                platform.clock.schedule(plan.profile.crash_downtime,
+                                        self._schedule_next_run)
+                return
+            with self._tracer.span("wire.encode",
+                                   key=(self.index, exec_index)):
+                payload = encode_trace(run.trace)
+            if self._accumulator is None:
+                self._uplink("trace", payload)
+            else:
+                from repro.exec.batch import BatchEntry
+                self._accumulator.add(BatchEntry(
+                    global_index=self._run_index, payload=payload))
+                self._run_index += 1
+                self._send_full_batches()
         self._schedule_next_run()
 
     def _uplink(self, kind: str, blob: bytes) -> None:
-        """Ship one message to the hive through the chaos uplink."""
+        """Ship one message to the hive through the chaos uplink.
+
+        The uplink span is the *send-side* anchor: the transport
+        captures its context into the message, so the hive's delivery
+        span (and everything ingested under it) parents here.
+        """
         platform = self.platform
-        size = MESSAGE_OVERHEAD_BYTES + len(blob)
-        platform.report.wire_bytes += size
-        plan = platform.chaos_plan
-        if plan is not None:
-            message_index = self._message_index
-            self._message_index += 1
-            if plan.uplink_dropped(self.index, message_index):
-                # Black-holed before the transport ever saw it — no
-                # retransmission machinery can save this one.
-                platform.count_chaos("uplink_dropped")
-                return
-            if plan.uplink_corrupted(self.index, message_index):
-                platform.count_chaos("uplink_corrupted")
-                blob = plan.corrupt_bytes(blob, self.index,
-                                          message_index)
-            if plan.uplink_duplicated(self.index, message_index):
-                platform.count_chaos("uplink_duplicated")
-                platform.report.wire_bytes += size
-                self.transport.send(HIVE_ENDPOINT, (kind, blob))
-        self.transport.send(HIVE_ENDPOINT, (kind, blob))
+        seq = self._uplink_seq
+        self._uplink_seq += 1
+        with self._tracer.span("net.uplink", key=(self.index, seq),
+                               kind=kind, bytes=len(blob)) as span:
+            size = MESSAGE_OVERHEAD_BYTES + len(blob)
+            platform.report.wire_bytes += size
+            plan = platform.chaos_plan
+            if plan is not None:
+                message_index = self._message_index
+                self._message_index += 1
+                if plan.uplink_dropped(self.index, message_index):
+                    # Black-holed before the transport ever saw it — no
+                    # retransmission machinery can save this one.
+                    platform.count_chaos("uplink_dropped")
+                    span.event("chaos.uplink_dropped", pod=self.index)
+                    return
+                if plan.uplink_corrupted(self.index, message_index):
+                    platform.count_chaos("uplink_corrupted")
+                    span.event("chaos.uplink_corrupted", pod=self.index)
+                    blob = plan.corrupt_bytes(blob, self.index,
+                                              message_index)
+                if plan.uplink_duplicated(self.index, message_index):
+                    platform.count_chaos("uplink_duplicated")
+                    span.event("chaos.uplink_duplicated", pod=self.index)
+                    platform.report.wire_bytes += size
+                    self.transport.send(HIVE_ENDPOINT, (kind, blob))
+            self.transport.send(HIVE_ENDPOINT, (kind, blob))
 
     def _send_full_batches(self) -> None:
         from repro.exec.batch import encode_batch
@@ -256,6 +279,14 @@ class NetworkedPlatform(Instrumented):
         self.config = config or NetworkedConfig()
         self.config.validate()
         self.scenario = scenario
+        # Resolved once; the trace id is a pure function of the
+        # (program, seed) pair, like the synchronous platform's.
+        self._tracer = get_tracer()
+        if self._tracer.enabled:
+            self._tracer.set_trace_id(derive_trace_id(
+                "net", scenario.program.name, self.config.seed))
+        self._decode_seq = 0
+        self._tick_seq = 0
         self._obs_traces_delivered = self.obs_counter("traces_delivered")
         self._obs_analysis_ticks = self.obs_counter("analysis_ticks")
         self._obs_rejected = self.obs_counter("frames_rejected")
@@ -308,16 +339,28 @@ class NetworkedPlatform(Instrumented):
 
     # -- hive side -------------------------------------------------------------
 
+    def _next_decode_seq(self) -> int:
+        seq = self._decode_seq
+        self._decode_seq += 1
+        return seq
+
     def _hive_receive(self, src: str, message: object) -> None:
+        # The transport already opened the delivery span (parented to
+        # the sender's uplink span via the wire context); everything
+        # below — decode spans, hive ingest spans — nests under it.
         from repro.errors import TraceError
         kind, body = message
         if kind == "trace":
             try:
-                trace = decode_trace(body)
+                with self._tracer.span("wire.decode",
+                                       key=self._next_decode_seq(),
+                                       bytes=len(body)):
+                    trace = decode_trace(body)
             except TraceError:
                 # Mangled on the (chaos) wire: reject, never ingest.
                 self.count_chaos("frames_rejected")
                 self._obs_rejected.inc()
+                self._tracer.event("net.frame_rejected", src=src)
                 return
             self.report.traces_delivered += 1
             self._obs_traces_delivered.inc()
@@ -325,11 +368,15 @@ class NetworkedPlatform(Instrumented):
         elif kind == "batch":
             from repro.exec.batch import decode_batch
             try:
-                batch = decode_batch(body)
+                with self._tracer.span("wire.decode",
+                                       key=self._next_decode_seq(),
+                                       bytes=len(body)):
+                    batch = decode_batch(body)
             except TraceError:
                 # Truncated/corrupt frame: the CRC32 footer caught it.
                 self.count_chaos("frames_rejected")
                 self._obs_rejected.inc()
+                self._tracer.event("net.frame_rejected", src=src)
                 return
             for entry in batch.entries:
                 self.report.traces_delivered += 1
@@ -338,7 +385,11 @@ class NetworkedPlatform(Instrumented):
                     self.hive.ingest_heartbeat(entry.heartbeat)
                 else:
                     try:
-                        trace = decode_trace(entry.payload)
+                        with self._tracer.span(
+                                "wire.decode",
+                                key=self._next_decode_seq(),
+                                bytes=len(entry.payload)):
+                            trace = decode_trace(entry.payload)
                     except TraceError:
                         self.count_chaos("frames_rejected")
                         self._obs_rejected.inc()
@@ -352,11 +403,18 @@ class NetworkedPlatform(Instrumented):
 
     def snapshot(self) -> Dict[str, object]:
         """Unified platform state: config, report, hive stats, metrics."""
+        obs_snapshot = self.obs.snapshot()
+        observability: Dict[str, object] = {"obs": obs_snapshot}
+        if self._tracer.enabled:
+            observability["tracing"] = self._tracer.summary()
         doc = {
             "config": self.config.as_dict(),
             "report": self.report.as_dict(),
             "hive": self.hive.stats.as_dict(),
-            "obs": self.obs.snapshot(),
+            # v2 readers keep the top-level "obs" key; the
+            # "observability" block is the v3 superset.
+            "obs": obs_snapshot,
+            "observability": observability,
         }
         if self.chaos_plan is not None:
             doc["chaos"] = {
@@ -367,6 +425,12 @@ class NetworkedPlatform(Instrumented):
 
     def _analysis_tick(self) -> None:
         self._obs_analysis_ticks.inc()
+        tick = self._tick_seq
+        self._tick_seq += 1
+        with self._tracer.span("hive.analysis_tick", key=tick, tick=tick):
+            self._analysis_tick_inner()
+
+    def _analysis_tick_inner(self) -> None:
         updated = self.hive.maybe_fix()
         if updated is not None:
             fix = self.hive.deployed_fixes[-1]

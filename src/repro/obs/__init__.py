@@ -22,10 +22,27 @@ from repro.obs.registry import (
     span,
     timed,
 )
+from repro.obs.trace import (
+    FixedClock,
+    FlightRecorder,
+    SpanContext,
+    SpanRecord,
+    SpanRecorder,
+    TraceLog,
+    Tracer,
+    derive_trace_id,
+    disable_tracing,
+    enable_tracing,
+    get_tracer,
+    set_tracer,
+)
 
 __all__ = [
     "Counter", "Gauge", "Histogram", "Timer", "Span", "Registry",
     "Instrumented", "NULL_REGISTRY",
     "get_registry", "set_registry", "enable", "disable", "reset",
     "span", "timed",
+    "Tracer", "TraceLog", "SpanRecord", "SpanContext", "SpanRecorder",
+    "FlightRecorder", "FixedClock", "derive_trace_id",
+    "get_tracer", "set_tracer", "enable_tracing", "disable_tracing",
 ]

@@ -1,0 +1,188 @@
+"""Exporters: the trace log and metrics registry in standard formats.
+
+Three output shapes, all deterministic for a deterministic input:
+
+* :func:`chrome_trace` — the Chrome trace-event JSON format
+  (``chrome://tracing`` / Perfetto): complete ``"X"`` events for
+  spans, instant ``"i"`` events for span events, microsecond
+  timestamps. Spans are emitted in canonical order — a depth-first
+  walk from the roots with siblings sorted by
+  ``(start, end, name, key, span_id)`` — so serial, thread, and
+  process runs of the same seed under a pinned clock export
+  byte-identical documents.
+* :func:`spans_jsonl` — one JSON object per completed span, same
+  canonical order; the grep-friendly shape.
+* :func:`prometheus_text` — the metrics registry in Prometheus text
+  exposition format (metric names with dots mapped to underscores,
+  histogram percentiles as ``quantile`` labels).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.obs.trace import SpanRecord, TraceLog
+
+__all__ = [
+    "TRACE_FORMATS", "canonical_spans", "chrome_trace", "spans_jsonl",
+    "prometheus_text", "export_trace",
+]
+
+TRACE_FORMATS = ("chrome", "jsonl", "prom")
+
+
+def _span_list(spans) -> List[SpanRecord]:
+    if isinstance(spans, TraceLog):
+        return list(spans.spans)
+    return list(spans)
+
+
+def canonical_spans(spans) -> List[SpanRecord]:
+    """Depth-first span order from the roots, siblings in
+    ``SpanRecord.sort_key`` order — the backend-invariant ordering all
+    exporters share. Spans whose parent is absent from the set (e.g. a
+    standalone shard recorder) count as roots."""
+    records = _span_list(spans)
+    known = {record.span_id for record in records}
+    children: Dict[Optional[str], List[SpanRecord]] = {}
+    for record in records:
+        parent = (record.parent_id
+                  if record.parent_id in known else None)
+        children.setdefault(parent, []).append(record)
+    for siblings in children.values():
+        siblings.sort(key=lambda record: record.sort_key())
+    ordered: List[SpanRecord] = []
+
+    def walk(parent: Optional[str]) -> None:
+        for record in children.get(parent, ()):
+            ordered.append(record)
+            walk(record.span_id)
+
+    walk(None)
+    return ordered
+
+
+def _micros(seconds: float) -> float:
+    return round(seconds * 1e6, 3)
+
+
+def chrome_trace(spans, trace_id: Optional[str] = None,
+                 ) -> Dict[str, object]:
+    """The Chrome trace-event document (a JSON-ready dict)."""
+    records = canonical_spans(spans)
+    if trace_id is None and records:
+        trace_id = records[0].trace_id
+    events: List[Dict[str, object]] = [{
+        "ph": "M", "name": "process_name", "pid": 1, "tid": 1,
+        "args": {"name": "repro"},
+    }]
+    for record in records:
+        args: Dict[str, object] = {
+            "span_id": record.span_id,
+            "parent_id": record.parent_id,
+            "key": record.key,
+        }
+        args.update(record.attrs)
+        events.append({
+            "ph": "X",
+            "name": record.name,
+            "cat": record.name.split(".", 1)[0],
+            "ts": _micros(record.start),
+            "dur": _micros(record.duration),
+            "pid": 1,
+            "tid": 1,
+            "args": args,
+        })
+        for event in record.events:
+            events.append({
+                "ph": "i",
+                "s": "t",
+                "name": event["name"],
+                "cat": "event",
+                "ts": _micros(event["ts"]),
+                "pid": 1,
+                "tid": 1,
+                "args": dict(event.get("attrs", {})),
+            })
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"trace_id": trace_id or "", "spans": len(records)},
+    }
+
+
+def spans_jsonl(spans) -> str:
+    """One canonical-order JSON object per line (trailing newline when
+    non-empty)."""
+    lines = [json.dumps(record.as_dict(), sort_keys=True)
+             for record in canonical_spans(spans)]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+# -- Prometheus text exposition -----------------------------------------------
+
+def _prom_name(name: str, suffix: str = "") -> str:
+    cleaned = "".join(ch if (ch.isalnum() or ch == "_") else "_"
+                      for ch in name)
+    if cleaned and cleaned[0].isdigit():
+        cleaned = "_" + cleaned
+    return f"repro_{cleaned}{suffix}"
+
+
+def _prom_value(value: object) -> str:
+    number = float(value)
+    if number != number:                                   # NaN
+        return "NaN"
+    if number in (float("inf"), float("-inf")):
+        return "+Inf" if number > 0 else "-Inf"
+    if number == int(number) and abs(number) < 1e15:
+        return str(int(number))
+    return repr(number)
+
+
+def prometheus_text(registry=None) -> str:
+    """Render the registry snapshot in Prometheus text exposition
+    format (``# TYPE`` comments, ``quantile`` labels for the windowed
+    percentiles)."""
+    if registry is None:
+        from repro.obs import get_registry
+        registry = get_registry()
+    snapshot = registry.snapshot()
+    lines: List[str] = []
+
+    for name, value in snapshot.get("counters", {}).items():
+        metric = _prom_name(name, "_total")
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {_prom_value(value)}")
+    for name, value in snapshot.get("gauges", {}).items():
+        metric = _prom_name(name)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_prom_value(value)}")
+    for section in ("histograms", "timers"):
+        for name, entry in snapshot.get(section, {}).items():
+            metric = _prom_name(name)
+            lines.append(f"# TYPE {metric} summary")
+            for field, value in entry.items():
+                if field.startswith("p") and field[1:].replace(
+                        ".", "", 1).isdigit():
+                    quantile = float(field[1:]) / 100.0
+                    lines.append(f'{metric}{{quantile="{quantile:g}"}}'
+                                 f" {_prom_value(value)}")
+            lines.append(f"{metric}_sum {_prom_value(entry['sum'])}")
+            lines.append(f"{metric}_count {_prom_value(entry['count'])}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def export_trace(spans, fmt: str, registry=None) -> str:
+    """Render ``spans`` (or, for ``prom``, the registry) as the named
+    format's document text."""
+    if fmt == "chrome":
+        return json.dumps(chrome_trace(spans), sort_keys=True, indent=2)
+    if fmt == "jsonl":
+        return spans_jsonl(spans)
+    if fmt == "prom":
+        return prometheus_text(registry)
+    raise ValueError(
+        f"unknown trace format {fmt!r}; expected one of"
+        f" {', '.join(TRACE_FORMATS)}")

@@ -138,6 +138,12 @@ class Histogram:
             "min": self.min if self.count else 0.0,
             "max": self.max if self.count else 0.0,
             "mean": self.mean,
+            # Provenance of the percentiles below: they are computed
+            # over the retained ring of the last ``window_count``
+            # observations (<= ``window``), while count/sum/min/max are
+            # exact over all of them.
+            "window": self._window,
+            "window_count": len(self._values),
         }
         for pct in _PERCENTILES:
             entry[f"p{pct:g}"] = _percentile(ordered, pct)

@@ -43,6 +43,7 @@ from repro.hive.hive import Hive
 from repro.metrics.bugdensity import BugDensityTracker
 from repro.metrics.series import Series
 from repro.obs import Instrumented
+from repro.obs.trace import derive_trace_id, get_tracer
 from repro.pod.pod import Pod
 from repro.progmodel.interpreter import ExecutionLimits
 from repro.proofs.proof import Proof
@@ -56,8 +57,11 @@ __all__ = ["PlatformConfig", "RoundStats", "PlatformReport",
 #: Version of the unified snapshot payload (``repro run --json``).
 #: v1 was the unversioned PR-1 shape (config/report/hive/obs); v2 adds
 #: this marker plus the ``execution`` block (backend, workers, batch
-#: knobs). Documented in docs/API.md.
-SNAPSHOT_SCHEMA_VERSION = 2
+#: knobs); v3 adds the ``observability`` block (obs snapshot, tracing
+#: summary, flight-recorder dumps) while keeping every v2 key — v2
+#: readers keep working unchanged. Documented in docs/API.md and
+#: docs/OBSERVABILITY.md.
+SNAPSHOT_SCHEMA_VERSION = 3
 
 
 @dataclass
@@ -196,6 +200,13 @@ class SoftBorgPlatform(Instrumented):
         self.config = config or PlatformConfig()
         self.config.validate()
         self.scenario = scenario
+        # Resolved once, like the metric handles. The trace id is a
+        # pure function of (program, seed) so exports reproduce.
+        self._tracer = get_tracer()
+        if self._tracer.enabled:
+            self._tracer.set_trace_id(derive_trace_id(
+                scenario.program.name, self.config.seed))
+        self.flight_dumps: List[Dict[str, object]] = []
         self._obs_round = self.obs_timer("round")
         self._obs_executions = self.obs_counter("executions")
         self._obs_failures = self.obs_counter("failures")
@@ -255,7 +266,9 @@ class SoftBorgPlatform(Instrumented):
     def run(self) -> PlatformReport:
         try:
             for round_index in range(self.config.rounds):
-                with self._obs_round.time():
+                with self._obs_round.time(), \
+                        self._tracer.span("round", key=round_index,
+                                          round=round_index):
                     self._run_round(round_index)
         finally:
             self.backend.close()
@@ -264,11 +277,21 @@ class SoftBorgPlatform(Instrumented):
     def snapshot(self) -> Dict[str, object]:
         """Unified platform state: config, report, hive stats, metrics.
 
-        Schema v2: adds ``schema_version`` and the ``execution`` block
-        describing the backend the run actually used. The ``chaos``
-        and ``invariants`` blocks appear only when those layers are
-        enabled, so fault-free snapshots are unchanged.
+        Schema v3: every v2 key is unchanged (``schema_version``, the
+        ``execution`` block, the top-level ``obs`` snapshot — v2
+        readers keep working), plus an ``observability`` block holding
+        the obs snapshot alongside the tracing summary and any
+        flight-recorder dumps when tracing is on. The ``chaos`` and
+        ``invariants`` blocks appear only when those layers are
+        enabled, so fault-free snapshots are otherwise unchanged.
         """
+        obs_snapshot = self.obs.snapshot()
+        observability: Dict[str, object] = {"obs": obs_snapshot}
+        if self._tracer.enabled:
+            observability["tracing"] = self._tracer.summary()
+            observability["flight_recorder"] = {
+                "dumps": [dict(dump) for dump in self.flight_dumps],
+            }
         doc = {
             "schema_version": SNAPSHOT_SCHEMA_VERSION,
             "config": self.config.as_dict(),
@@ -279,7 +302,8 @@ class SoftBorgPlatform(Instrumented):
             },
             "report": self.report.as_dict(),
             "hive": self.hive.stats.as_dict(),
-            "obs": self.obs.snapshot(),
+            "obs": obs_snapshot,
+            "observability": observability,
         }
         if self.chaos is not None:
             doc["chaos"] = self.chaos.summary()
@@ -326,18 +350,21 @@ class SoftBorgPlatform(Instrumented):
 
     def _run_round(self, round_index: int) -> None:
         config = self.config
-        plan = self._plan_round(round_index)
+        with self._tracer.span("round.plan", key=round_index):
+            plan = self._plan_round(round_index)
         entries = None
-        if self.chaos is not None:
-            records, entries = self.chaos.execute_round(self.backend,
-                                                        plan)
-            records.sort(key=lambda record: record.global_index)
-        else:
-            shard_results = self.backend.run_round(plan)
-            records = sorted(
-                (record for result in shard_results
-                 for record in result.records),
-                key=lambda record: record.global_index)
+        with self._tracer.span("round.execute", key=round_index,
+                               runs=len(plan.runs)):
+            if self.chaos is not None:
+                records, entries = self.chaos.execute_round(self.backend,
+                                                            plan)
+                records.sort(key=lambda record: record.global_index)
+            else:
+                shard_results = self.backend.run_round(plan)
+                records = sorted(
+                    (record for result in shard_results
+                     for record in result.records),
+                    key=lambda record: record.global_index)
 
         failures = 0
         guided = 0
@@ -361,23 +388,25 @@ class SoftBorgPlatform(Instrumented):
         if lost:
             self.report.traces_lost += lost
             self._obs_traces_lost.inc(lost)
-        if self.chaos is not None:
-            # Delivery goes over the chaos wire: entries re-framed in
-            # global order, checksummed, faulted per the plan, ingested
-            # with capped retries. Wire bytes are accounted per frame
-            # transmission inside the coordinator.
-            self.chaos.deliver(self.hive, entries, round_index,
-                               wire=self._account_wire)
-        else:
-            from repro.tracing.dedup import Heartbeat
-            batches = [batch for result in shard_results
-                       for batch in result.batches]
-            for batch in batches:
-                for entry in batch.entries:
-                    self._account_wire(Heartbeat.WIRE_SIZE
-                                       if entry.is_heartbeat
-                                       else len(entry.payload))
-            self.hive.ingest_batch(batches)
+        with self._tracer.span("round.deliver", key=round_index):
+            if self.chaos is not None:
+                # Delivery goes over the chaos wire: entries re-framed
+                # in global order, checksummed, faulted per the plan,
+                # ingested with capped retries. Wire bytes are
+                # accounted per frame transmission inside the
+                # coordinator.
+                self.chaos.deliver(self.hive, entries, round_index,
+                                   wire=self._account_wire)
+            else:
+                from repro.tracing.dedup import Heartbeat
+                batches = [batch for result in shard_results
+                           for batch in result.batches]
+                for batch in batches:
+                    for entry in batch.entries:
+                        self._account_wire(Heartbeat.WIRE_SIZE
+                                           if entry.is_heartbeat
+                                           else len(entry.payload))
+                self.hive.ingest_batch(batches)
 
         # Snapshot the proof on this round's evidence *before* any fix
         # rewrites the program — a deployed fix invalidates the proof,
@@ -387,16 +416,18 @@ class SoftBorgPlatform(Instrumented):
             self.report.proofs.append((round_index, proof))
 
         if config.fixing:
-            updated = self.hive.maybe_fix()
-            if updated is not None:
-                fix = self.hive.deployed_fixes[-1]
-                self._obs_fixes.inc()
-                self.report.fixes.append(fix.description)
-                self.report.density.record_fix(fix.target_bug_message)
-                self._audit_ground_truth(updated)
-                # Shards replay against the hive's new version from the
-                # next round on.
-                self.backend.set_hive_program(updated)
+            with self._tracer.span("round.fix", key=round_index) as span:
+                updated = self.hive.maybe_fix()
+                if updated is not None:
+                    fix = self.hive.deployed_fixes[-1]
+                    self._obs_fixes.inc()
+                    self.report.fixes.append(fix.description)
+                    self.report.density.record_fix(fix.target_bug_message)
+                    self._audit_ground_truth(updated)
+                    span.set(deployed=fix.description)
+                    # Shards replay against the hive's new version from
+                    # the next round on.
+                    self.backend.set_hive_program(updated)
 
         self._roll_out()
         current = sum(1 for pod in self.pods
@@ -423,8 +454,22 @@ class SoftBorgPlatform(Instrumented):
             result = self.invariants.check(self.hive, self.report)
             if not result.ok:
                 self.invariant_violations.append((round_index, result))
+                self._tracer.event(
+                    "invariant.violation", round=round_index,
+                    invariants=[violation.name
+                                for violation in result.violations])
             if self.chaos is not None:
-                self.chaos.finish_round(result.ok)
+                stats = self.chaos.finish_round(result.ok)
+                if stats.verdict == "failed":
+                    # Black box: a failed chaos round (an invariant
+                    # fired under faults) dumps the flight recorder
+                    # into the snapshot.
+                    self._record_flight_dump(
+                        f"chaos round {round_index} failed")
+                    return
+            if not result.ok:
+                self._record_flight_dump(
+                    f"invariant violation at round {round_index}")
 
     # -- plumbing --------------------------------------------------------------
 
@@ -437,6 +482,11 @@ class SoftBorgPlatform(Instrumented):
                                   record.failure_block):
                 return bug.message
         return record.failure_message
+
+    def _record_flight_dump(self, reason: str) -> None:
+        dump = self._tracer.flight_dump(reason)
+        if dump is not None:
+            self.flight_dumps.append(dump)
 
     def _account_wire(self, size: int) -> None:
         self.report.wire_bytes += size

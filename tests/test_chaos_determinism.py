@@ -100,3 +100,48 @@ class TestFaultFreeMatchesBaseline:
             obs.set_registry(previous)
         assert explicit["report"] == report.as_dict()
         assert explicit["chaos"] is None
+
+
+class TestCrossBackendSpanDeterminism:
+    """Content-derived span ids + canonical export order: the Chrome
+    trace export must be byte-identical across backends at a fixed
+    seed under a pinned clock."""
+
+    def _chrome_export(self, backend, profile="none", seed=5):
+        import json
+
+        from repro.obs.export import chrome_trace
+        from repro.obs.trace import FixedClock, Tracer, set_tracer
+
+        previous_registry = obs.set_registry(Registry())
+        previous_tracer = set_tracer(
+            Tracer(enabled=True, clock=FixedClock(0.0)))
+        try:
+            platform = SoftBorgPlatform(
+                crash_scenario(seed=seed),
+                PlatformConfig(
+                    rounds=ROUNDS, executions_per_round=EXECUTIONS,
+                    seed=seed, enable_proofs=False, backend=backend,
+                    workers=2, chaos_profile=profile))
+            platform.run()
+            tracer = obs.get_tracer()
+            assert len(tracer.log) > 0
+            return json.dumps(chrome_trace(tracer.log), sort_keys=True)
+        finally:
+            obs.set_registry(previous_registry)
+            set_tracer(previous_tracer)
+
+    def test_chrome_export_identical_across_backends(self):
+        baseline = self._chrome_export("serial")
+        for backend in BACKENDS[1:]:
+            assert self._chrome_export(backend) == baseline, \
+                f"{backend} span export diverged from serial"
+
+    def test_chrome_export_identical_under_chaos(self):
+        baseline = self._chrome_export("serial", profile="lossy-workers",
+                                       seed=3)
+        for backend in BACKENDS[1:]:
+            exported = self._chrome_export(
+                backend, profile="lossy-workers", seed=3)
+            assert exported == baseline, \
+                f"{backend} chaos span export diverged from serial"

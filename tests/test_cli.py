@@ -52,7 +52,7 @@ class TestCommands:
                      "--json"])
         assert code == 0
         doc = json.loads(capsys.readouterr().out)
-        assert doc["schema_version"] == 2
+        assert doc["schema_version"] == 3
         assert doc["config"]["rounds"] == 5
         assert doc["execution"]["backend"] in ("serial", "thread",
                                                "process")
@@ -79,6 +79,84 @@ class TestCommands:
         assert doc["obs"]["counters"]["exec.rounds"] == 3
         assert "exec.worker_busy" in doc["obs"]["timers"]
 
+    def test_run_json_observability_block(self, capsys):
+        import json
+        code = main(["run", "--rounds", "3", "--executions", "10",
+                     "--json"])
+        assert code == 0
+        doc = json.loads(capsys.readouterr().out)
+        # v2 readers keep the top-level obs; the v3 block mirrors it.
+        assert doc["observability"]["obs"] == doc["obs"]
+        assert "tracing" not in doc["observability"]  # tracing off
+
+    def test_run_trace_writes_chrome_trace(self, capsys, tmp_path):
+        import json
+        out = tmp_path / "trace.json"
+        code = main(["run", "--rounds", "3", "--executions", "10",
+                     "--trace", str(out)])
+        assert code == 0
+        assert f"-> {out}" in capsys.readouterr().out
+        doc = json.loads(out.read_text())
+        names = {event["name"] for event in doc["traceEvents"]}
+        assert {"round", "pod.run", "wire.encode",
+                "wire.decode"} <= names
+        assert doc["otherData"]["spans"] > 0
+
+    def test_run_trace_json_has_tracing_summary(self, capsys, tmp_path):
+        import json
+        out = tmp_path / "trace.json"
+        code = main(["run", "--rounds", "3", "--executions", "10",
+                     "--trace", str(out), "--json"])
+        assert code == 0
+        doc = json.loads(capsys.readouterr().out)
+        tracing = doc["observability"]["tracing"]
+        assert tracing["enabled"] is True
+        assert tracing["spans"] > 0
+        assert tracing["spans_dropped"] == 0
+        assert tracing["flight_events"] > 0
+
+    def test_trace_command_formats(self, capsys, tmp_path):
+        import json
+        chrome = tmp_path / "t.json"
+        code = main(["trace", "--rounds", "3", "--executions", "10",
+                     "--out", str(chrome)])
+        assert code == 0
+        assert "spans ->" in capsys.readouterr().out
+        assert json.loads(chrome.read_text())["traceEvents"]
+        jsonl = tmp_path / "t.jsonl"
+        assert main(["trace", "--rounds", "2", "--executions", "10",
+                     "--out", str(jsonl), "--format", "jsonl"]) == 0
+        capsys.readouterr()
+        lines = jsonl.read_text().strip().splitlines()
+        assert all(json.loads(line)["span_id"] for line in lines)
+        prom = tmp_path / "t.prom"
+        assert main(["trace", "--rounds", "2", "--executions", "10",
+                     "--out", str(prom), "--format", "prom"]) == 0
+        capsys.readouterr()
+        assert "# TYPE repro_hive_traces_ingested_total counter" in \
+            prom.read_text()
+
+    def test_trace_process_backend_parents_resolve(self, capsys, tmp_path):
+        # The acceptance path: a multi-process traced run produces one
+        # well-formed Chrome trace whose parentage all resolves.
+        import json
+        out = tmp_path / "t.json"
+        code = main(["run", "--backend", "process", "--workers", "4",
+                     "--rounds", "3", "--executions", "20",
+                     "--trace", str(out)])
+        capsys.readouterr()
+        assert code == 0
+        doc = json.loads(out.read_text())
+        spans = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        ids = {e["args"]["span_id"] for e in spans}
+        assert len(ids) == len(spans)  # no id collisions
+        for event in spans:
+            parent = event["args"]["parent_id"]
+            assert parent is None or parent in ids
+        names = {e["name"] for e in spans}
+        assert {"pod.run", "wire.encode", "wire.decode",
+                "hive.ingest_batch"} <= names
+
     def test_stats_renders_registry(self, capsys):
         code = main(["stats", "--rounds", "3", "--executions", "10"])
         out = capsys.readouterr().out
@@ -93,6 +171,7 @@ class TestCommands:
         assert code == 0
         doc = json.loads(capsys.readouterr().out)
         assert doc["counters"]["platform.executions"] == 30
+        assert doc["observability"]["obs"]["counters"] == doc["counters"]
 
     def test_run_check_invariants(self, capsys):
         code = main(["run", "--rounds", "4", "--executions", "15",

@@ -148,7 +148,7 @@ class TestCrossBackendDeterminism:
         # The loop still does its job under the parallel backend.
         assert serial["total_failures"] >= 0
 
-    def test_snapshot_carries_schema_v2_execution_block(self):
+    def test_snapshot_carries_schema_v3_execution_block(self):
         from repro.obs import Registry, set_registry
         previous = set_registry(Registry())
         try:
@@ -156,7 +156,7 @@ class TestCrossBackendDeterminism:
             doc = platform.snapshot()
         finally:
             set_registry(previous)
-        assert doc["schema_version"] == 2
+        assert doc["schema_version"] == 3
         assert doc["execution"]["backend"] == "process"
         assert doc["execution"]["workers"] == 2
         assert "exec.worker_busy" in doc["obs"]["timers"]

@@ -64,6 +64,21 @@ class TestMetrics:
         assert len(hist._values) == 8
         assert hist.percentile(50) >= 90.0  # recent values only
 
+    def test_histogram_as_dict_reports_window_after_wrap(
+            self, fresh_registry):
+        hist = fresh_registry.histogram("w2", window=8)
+        for value in range(20):  # 20 > window: the ring has wrapped
+            hist.observe(float(value))
+        entry = hist.as_dict()
+        assert entry["window"] == 8
+        assert entry["window_count"] == 8    # full ring, not total count
+        assert entry["count"] == 20          # lifetime count is exact
+        # Before the wrap, window_count tracks the observations so far.
+        young = fresh_registry.histogram("w3", window=8)
+        young.observe(1.0)
+        assert young.as_dict()["window_count"] == 1
+        assert young.as_dict()["window"] == 8
+
     def test_span_with_injected_clock(self):
         ticks = iter([10.0, 10.25, 11.0, 11.5])
         registry = Registry(clock=lambda: next(ticks))
