@@ -1,0 +1,183 @@
+"""E20 (extension) — collective constraint recycling.
+
+The constraint cache (``repro.symbolic.cache``) canonicalizes path
+conditions, decomposes them into variable-disjoint slices, and banks
+SAT models and UNSAT cores under structural keys — so any engine that
+meets an alpha-equivalent condition skips the enumeration search. This
+experiment measures what that recycling is worth, in *solver
+evaluations* (the platform's deterministic cost meter), across three
+sharing policies:
+
+* ``none`` — every solve enumerates from scratch (the baseline);
+* ``local`` — one hive-side cache shared by the hive's own engines
+  (steering, fix validation, proofs) but never fed by the fleet;
+* ``collective`` — shards additionally recycle concrete executions
+  into SAT witnesses, export content-keyed deltas each round, and the
+  hive merges canonically and redistributes at round start.
+
+Three workloads:
+
+* **closed loop** (W1): a generated corpus program on the multi-pod
+  platform with proofs + guidance on — the hive re-explores per
+  version, so recycling across its engines dominates;
+* **witness recycling** (W2): proofs off, so the hive solves lazily
+  and the shard-side witness facts arrive *before* the hive needs
+  them — the collective margin over ``local`` is isolated here;
+* **cooperative exploration** (W3, E6-style): the simulated-network
+  exploration with per-worker caches and coordinator-mediated sharing.
+
+Tables land in ``benchmarks/out/e20_constraint_recycling.txt``, the
+raw numbers in ``benchmarks/out/e20_constraint_recycling.json``.
+Set ``REPRO_E20_TINY=1`` (the CI cache-smoke leg) to run only the
+small W2 workload and its assertions.
+"""
+
+import json
+import os
+from pathlib import Path
+
+from repro import obs
+from repro.hive.cooperative import CooperativeConfig, explore_cooperatively
+from repro.metrics.report import render_table
+from repro.obs import Registry
+from repro.platform import PlatformConfig, SoftBorgPlatform
+from repro.progmodel.bugs import BugKind
+from repro.progmodel.corpus import CorpusConfig, generate_program
+from repro.workloads.population import UserPopulation
+from repro.workloads.scenarios import Scenario
+
+OUT_DIR = Path(__file__).parent / "out"
+
+MODES = ("none", "local", "collective")
+TINY = os.environ.get("REPRO_E20_TINY", "") not in ("", "0")
+
+
+def _scenario(segments: int, domain: int, seed: int = 4) -> Scenario:
+    seeded = generate_program(
+        "e20", CorpusConfig(seed=seed, n_segments=segments,
+                            input_domain=domain),
+        (BugKind.CRASH,))
+    population = UserPopulation(seeded.program, 40, volatility=0.4,
+                                seed=seed)
+    return Scenario(seeded=seeded, population=population,
+                    description="E20 corpus program")
+
+
+def _closed_loop(mode: str, segments: int, domain: int, rounds: int,
+                 pods: int, proofs: bool) -> dict:
+    """One seeded platform run; hive solver + cache accounting."""
+    previous = obs.set_registry(Registry())
+    try:
+        platform = SoftBorgPlatform(
+            _scenario(segments, domain),
+            PlatformConfig(seed=4, n_pods=pods, rounds=rounds,
+                           executions_per_round=25, guidance=True,
+                           enable_proofs=proofs, solver_cache=mode))
+        platform.run()
+        solver = platform.hive.solver_stats()
+        cache = (platform.solver_cache.stats.as_dict()
+                 if platform.solver_cache is not None else None)
+        return {"evaluations": solver.evaluations, "cache": cache}
+    finally:
+        obs.set_registry(previous)
+
+
+def _cooperative(mode: str, segments: int, domain: int) -> dict:
+    program = generate_program(
+        "e20coop", CorpusConfig(seed=4, n_segments=segments,
+                                input_domain=domain),
+        (BugKind.CRASH,)).program
+    result = explore_cooperatively(program, CooperativeConfig(
+        n_workers=4, solver_cache=mode, seed=2))
+    return {"evaluations": result.solver_evaluations,
+            "paths": result.path_count,
+            "cache": result.cache_stats}
+
+
+def run_experiment():
+    results = {}
+    # W2 runs in every profile: it is the CI cache-smoke workload.
+    results["witness_recycling"] = {
+        mode: _closed_loop(mode, segments=6, domain=24, rounds=4,
+                           pods=8, proofs=False) for mode in MODES}
+    if not TINY:
+        results["closed_loop"] = {
+            mode: _closed_loop(mode, segments=8, domain=32, rounds=5,
+                               pods=12, proofs=True) for mode in MODES}
+        results["cooperative"] = {
+            mode: _cooperative(mode, segments=8, domain=32)
+            for mode in MODES}
+    return results
+
+
+def _reduction(entry: dict) -> dict:
+    base = entry["none"]["evaluations"]
+    return {mode: 1.0 - entry[mode]["evaluations"] / base
+            for mode in MODES}
+
+
+def test_e20_constraint_recycling(benchmark, emit):
+    results = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+
+    tables = []
+    doc = {"tiny": TINY, "workloads": {}}
+    titles = {
+        "closed_loop": "W1: closed loop, proofs+guidance on"
+                       " (12 pods x 5 rounds, corpus seg=8 dom=32)",
+        "witness_recycling": "W2: closed loop, proofs off — shard"
+                             " witness recycling (8 pods x 4 rounds,"
+                             " corpus seg=6 dom=24)",
+        "cooperative": "W3: cooperative exploration (E6-style,"
+                       " 4 workers, corpus seg=8 dom=32)",
+    }
+    for name, entry in results.items():
+        reduction = _reduction(entry)
+        rows = []
+        for mode in MODES:
+            cache = entry[mode]["cache"]
+            rows.append([
+                mode,
+                entry[mode]["evaluations"],
+                f"{reduction[mode]:.1%}",
+                f"{cache['hit_rate']:.1%}" if cache else "-",
+                cache["merged"] if cache else "-",
+            ])
+        tables.append(render_table(
+            ["mode", "solver evaluations", "reduction vs none",
+             "cache hit rate", "merged"],
+            rows, title=f"E20 {titles[name]}"))
+        doc["workloads"][name] = {
+            "results": entry,
+            "reduction_vs_none": reduction,
+        }
+    emit("e20_constraint_recycling", "\n\n".join(tables))
+
+    OUT_DIR.mkdir(exist_ok=True)
+    with open(OUT_DIR / "e20_constraint_recycling.json", "w",
+              encoding="utf-8") as handle:
+        json.dump(doc, handle, indent=2, sort_keys=True)
+
+    # W2: the collective tier must actually recycle — nonzero hit
+    # rate, shard facts merged into the hive, and no regression vs
+    # local sharing (this is the CI cache-smoke contract).
+    recycling = results["witness_recycling"]
+    collective = recycling["collective"]["cache"]
+    assert collective["hit_rate"] > 0.0
+    assert collective["merged"] > 0, \
+        "no shard deltas reached the hive cache"
+    assert (recycling["collective"]["evaluations"]
+            <= recycling["local"]["evaluations"])
+    assert _reduction(recycling)["collective"] > 0.0
+
+    if TINY:
+        return
+    # W1 is the headline acceptance number: collective recycling must
+    # save at least 30% of solver evaluations on a multi-pod round.
+    loop_reduction = _reduction(results["closed_loop"])
+    assert loop_reduction["collective"] >= 0.30, \
+        f"collective reduction {loop_reduction['collective']:.1%} < 30%"
+    assert results["closed_loop"]["collective"]["cache"]["hit_rate"] > 0.0
+    # W3: recycling never changes verdicts — identical path sets.
+    paths = {mode: results["cooperative"][mode]["paths"]
+             for mode in MODES}
+    assert len(set(paths.values())) == 1, paths

@@ -106,6 +106,12 @@ class ChaosCoordinator(Instrumented):
         self._tracer = get_tracer()
         self.rounds: List[ChaosRoundStats] = []
         self._current: Optional[ChaosRoundStats] = None
+        # Solver-cache deltas ride the coordinator channel (like spans
+        # and counters), not the faulted uplink: a virtual worker's
+        # death loses its records and traces, never its cache export.
+        # Keeping the delta set plan-determined is what makes collective
+        # recycling bit-identical across backends under chaos.
+        self._cache_deltas: List[list] = []
         self._obs_worker_deaths = self.obs_counter("worker_deaths")
         self._obs_runs_recovered = self.obs_counter("runs_recovered")
         self._obs_runs_lost = self.obs_counter("runs_lost")
@@ -134,6 +140,9 @@ class ChaosCoordinator(Instrumented):
         stats = ChaosRoundStats(round_index=plan.round_index)
         self._current = stats
         results = backend.run_round(plan)
+        for result in results:
+            if result.cache_delta:
+                self._cache_deltas.append(result.cache_delta)
         dead = set(self.plan.dead_virtual_shards(plan.round_index))
         workers = self.profile.virtual_workers
 
@@ -180,6 +189,9 @@ class ChaosCoordinator(Instrumented):
                     round_index=plan.round_index,
                     hive_version=plan.hive_version,
                     runs=pending))
+                for result in wave:
+                    if result.cache_delta:
+                        self._cache_deltas.append(result.cache_delta)
                 if self.plan.retry_wave_dies(plan.round_index, attempt):
                     # The replacement worker executed the runs, then
                     # died before reporting — the pods' RNG streams
@@ -202,6 +214,18 @@ class ChaosCoordinator(Instrumented):
                                round=plan.round_index,
                                runs=len(pending))
         return records, entries
+
+    def take_cache_deltas(self) -> List[list]:
+        """Drain the solver-cache deltas collected so far.
+
+        Deltas arrive over the (reliable) coordinator channel from both
+        the initial dispatch and every retry wave — including waves
+        whose *results* died before reporting, since the cache export
+        is charged to the channel, not the worker. The platform calls
+        this once per round, after :meth:`execute_round`.
+        """
+        deltas, self._cache_deltas = self._cache_deltas, []
+        return deltas
 
     # -- delivery: the hostile uplink -----------------------------------------
 

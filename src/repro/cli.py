@@ -52,6 +52,12 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--batch-traces", type=int, default=0,
                      help="max traces per shard batch flush (0 = one"
                           " flush per round)")
+    run.add_argument("--solver-cache", default="none",
+                     choices=["none", "local", "collective"],
+                     help="constraint recycling: local = per-engine"
+                          " reuse only, collective = shard deltas merge"
+                          " into the hive cache and redistribute each"
+                          " round (see docs/SOLVING.md)")
     run.add_argument("--check-invariants", action="store_true",
                      help="run the platform-wide invariant checks after"
                           " every round; exit non-zero on violation")
@@ -77,6 +83,12 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=["auto", "serial", "thread", "process"])
     stats.add_argument("--workers", type=int, default=0)
     stats.add_argument("--batch-traces", type=int, default=0)
+    stats.add_argument("--solver-cache", default="none",
+                       choices=["none", "local", "collective"])
+    stats.add_argument("--portfolio", type=int, default=0, metavar="N",
+                       help="also run the 3-solver SAT portfolio on N"
+                            " instances per family and include its"
+                            " report")
     stats.add_argument("--json", action="store_true",
                        help="emit the registry snapshot as JSON")
 
@@ -95,6 +107,8 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--backend", default="auto",
                        choices=["auto", "serial", "thread", "process"])
     chaos.add_argument("--workers", type=int, default=0)
+    chaos.add_argument("--solver-cache", default="none",
+                       choices=["none", "local", "collective"])
     chaos.add_argument("--json", action="store_true",
                        help="emit the chaos summary + invariant report"
                             " as JSON")
@@ -137,6 +151,10 @@ def build_parser() -> argparse.ArgumentParser:
                          choices=["dynamic", "static"])
     explore.add_argument("--loss", type=float, default=0.0)
     explore.add_argument("--seed", type=int, default=9)
+    explore.add_argument("--solver-cache", default="none",
+                         choices=["none", "local", "collective"],
+                         help="constraint recycling across workers"
+                              " (see docs/SOLVING.md)")
 
     fleet = sub.add_parser(
         "fleet", help="run the closed loop over a corpus of programs")
@@ -188,6 +206,7 @@ def _run_platform(args, fixing: bool = True, tracing: bool = False):
         batch_max_traces=getattr(args, "batch_traces", 0),
         chaos_profile=getattr(args, "profile", "none"),
         check_invariants=getattr(args, "check_invariants", False),
+        solver_cache=getattr(args, "solver_cache", "none"),
     ))
     report = platform.run()
     return platform, report
@@ -220,6 +239,14 @@ def _cmd_run(args) -> int:
     print()
     print(f"fixes deployed : {report.fixes or 'none'}")
     print(f"open bugs      : {sorted(report.density.open_bugs) or 'none'}")
+    if platform.solver_cache is not None:
+        cache = platform.solver_cache
+        solver = platform.hive.solver_stats()
+        print(f"solver cache   : {platform.config.solver_cache},"
+              f" {len(cache)} entries,"
+              f" {cache.stats.hits} hits / {cache.stats.misses} misses"
+              f" (hit rate {cache.stats.hit_rate():.0%},"
+              f" {solver.evaluations} hive evaluations)")
     if report.proofs:
         print(f"final proof    : {report.proofs[-1][1].describe()}")
     print()
@@ -293,8 +320,22 @@ def _cmd_chaos(args) -> int:
 
 def _cmd_stats(args) -> int:
     from repro.obs import get_registry, get_tracer
-    _platform, _report = _run_platform(args)
+    platform, _report = _run_platform(args)
     registry = get_registry()
+    # The uniform as_dict() contract: hive-wide SolverStats (steering,
+    # validation, prover) always; cache accounting when recycling is
+    # on; the E1 PortfolioReport when --portfolio N asks for it.
+    solver_doc = platform.hive.solver_stats().as_dict()
+    cache_doc = None
+    if platform.solver_cache is not None:
+        cache_doc = {
+            "mode": platform.config.solver_cache,
+            "entries": len(platform.solver_cache),
+            **platform.solver_cache.stats.as_dict(),
+        }
+    portfolio_doc = None
+    if args.portfolio > 0:
+        portfolio_doc = _portfolio_report(args.portfolio).as_dict()
     if args.json:
         doc = registry.snapshot()
         # Mirror the run-snapshot layout: the observability block is
@@ -304,10 +345,52 @@ def _cmd_stats(args) -> int:
         if tracer.enabled:
             observability["tracing"] = tracer.summary()
         doc["observability"] = observability
+        doc["solver"] = solver_doc
+        if cache_doc is not None:
+            doc["solver_cache"] = cache_doc
+        if portfolio_doc is not None:
+            doc["portfolio"] = portfolio_doc
         print(json.dumps(doc, sort_keys=True, indent=2))
         return 0
     print(registry.render())
+    print()
+    print("solver:")
+    for key, value in solver_doc.items():
+        print(f"  {key}: {value}")
+    if cache_doc is not None:
+        print("solver cache:")
+        for key, value in cache_doc.items():
+            print(f"  {key}: {value}")
+    if portfolio_doc is not None:
+        print("portfolio:")
+        for key, value in portfolio_doc.items():
+            print(f"  {key}: {value}")
     return 0
+
+
+def _portfolio_report(instances_per_family: int, budget: int = 400_000):
+    """The E1 portfolio experiment (stats/portfolio commands share it)."""
+    import random
+
+    from repro.solvers.cnf import (
+        graph_coloring, implication_chain, random_ksat,
+    )
+    from repro.solvers.dpll import DPLLSolver
+    from repro.solvers.lookahead import LookaheadSolver
+    from repro.solvers.portfolio import run_portfolio_experiment
+    from repro.solvers.walksat import WalkSATSolver
+
+    instances = []
+    for seed in range(instances_per_family):
+        instances.append(random_ksat(
+            100, 420, rng=random.Random(seed), force_satisfiable=True))
+        instances.append(implication_chain(
+            30, 14, rng=random.Random(seed)))
+        instances.append(graph_coloring(
+            10, 0.5, 3, rng=random.Random(seed + 7)))
+    return run_portfolio_experiment(
+        [DPLLSolver("jw"), WalkSATSolver(seed=2), LookaheadSolver()],
+        instances, budget=budget)
 
 
 def _cmd_trace(args) -> int:
@@ -321,27 +404,7 @@ def _cmd_trace(args) -> int:
 
 
 def _cmd_portfolio(args) -> int:
-    import random
-
-    from repro.solvers.cnf import (
-        graph_coloring, implication_chain, random_ksat,
-    )
-    from repro.solvers.dpll import DPLLSolver
-    from repro.solvers.lookahead import LookaheadSolver
-    from repro.solvers.portfolio import run_portfolio_experiment
-    from repro.solvers.walksat import WalkSATSolver
-
-    instances = []
-    for seed in range(args.instances):
-        instances.append(random_ksat(
-            100, 420, rng=random.Random(seed), force_satisfiable=True))
-        instances.append(implication_chain(
-            30, 14, rng=random.Random(seed)))
-        instances.append(graph_coloring(
-            10, 0.5, 3, rng=random.Random(seed + 7)))
-    report = run_portfolio_experiment(
-        [DPLLSolver("jw"), WalkSATSolver(seed=2), LookaheadSolver()],
-        instances, budget=args.budget)
+    report = _portfolio_report(args.instances, budget=args.budget)
     rows = []
     for name in ("dpll-jw", "walksat", "lookahead"):
         rows.append([name, report.total_single_time(name),
@@ -349,7 +412,8 @@ def _cmd_portfolio(args) -> int:
     rows.append(["portfolio(3)", report.total_portfolio_time, 1.0])
     print(render_table(
         ["as single solver", "total cost", "portfolio speedup"],
-        rows, title=f"Portfolio over {len(instances)} instances"))
+        rows,
+        title=f"Portfolio over {len(report.outcomes)} instances"))
     print(f"winner split: {report.wins_by_solver()}")
     return 0
 
@@ -366,15 +430,21 @@ def _cmd_explore(args) -> int:
         (BugKind.CRASH,))
     result = explore_cooperatively(seeded.program, CooperativeConfig(
         n_workers=args.workers, mode=args.mode, loss_rate=args.loss,
-        task_timeout=3.0, seed=args.seed))
+        task_timeout=3.0, seed=args.seed,
+        solver_cache=args.solver_cache))
+    rows = [["paths found", result.path_count],
+            ["completed", "yes" if result.completed else "no"],
+            ["virtual time (s)", float(result.virtual_time)],
+            ["tasks processed", result.tasks_processed],
+            ["tasks reassigned", result.tasks_reassigned],
+            ["messages lost", result.messages_lost]]
+    if result.cache_stats is not None:
+        rows.append(["solver evaluations", result.solver_evaluations])
+        rows.append(["cache hit rate",
+                     f"{result.cache_stats['hit_rate']:.0%}"])
+        rows.append(["cache facts merged", result.cache_stats["merged"]])
     print(render_table(
-        ["metric", "value"],
-        [["paths found", result.path_count],
-         ["completed", "yes" if result.completed else "no"],
-         ["virtual time (s)", float(result.virtual_time)],
-         ["tasks processed", result.tasks_processed],
-         ["tasks reassigned", result.tasks_reassigned],
-         ["messages lost", result.messages_lost]],
+        ["metric", "value"], rows,
         title=f"Cooperative exploration: {args.mode} x{args.workers},"
               f" loss {args.loss:.0%}"))
     return 0

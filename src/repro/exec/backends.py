@@ -98,6 +98,9 @@ class ExecutorBackend(Protocol):
                      pod_indices: Sequence[int]) -> None:
         """Staged rollout of ``program`` onto the named pods."""
 
+    def seed_cache(self, delta) -> None:
+        """Redistribute hive constraint-cache facts to every shard."""
+
     def close(self) -> None:
         """Release worker resources (idempotent)."""
 
@@ -162,8 +165,18 @@ class _BackendBase(Instrumented):
                      pod_indices: Sequence[int]) -> None:
         raise NotImplementedError
 
+    def seed_cache(self, delta) -> None:
+        pass
+
     def close(self) -> None:
         pass
+
+    @staticmethod
+    def _shard_cache(enabled: bool):
+        if not enabled:
+            return None
+        from repro.symbolic.cache import ConstraintCache
+        return ConstraintCache()
 
 
 class SerialBackend(_BackendBase):
@@ -176,11 +189,12 @@ class SerialBackend(_BackendBase):
     def __init__(self, pods: Sequence[Pod], hive_program: Program,
                  limits: Optional[ExecutionLimits] = None,
                  dedup: bool = False, batch_max_traces: int = 0,
-                 workers: int = 1):
+                 workers: int = 1, solver_cache: bool = False):
         super().__init__(workers=1)
         self._shard = Shard(0, dict(enumerate(pods)), hive_program,
                             limits=limits, dedup=dedup,
-                            batch_max_traces=batch_max_traces)
+                            batch_max_traces=batch_max_traces,
+                            solver_cache=self._shard_cache(solver_cache))
 
     def _run_round(self, plan: RoundPlan, ctx=None) -> List[ShardResult]:
         return [self._shard.run_shard(plan.runs, ctx)]
@@ -192,6 +206,9 @@ class SerialBackend(_BackendBase):
                      pod_indices: Sequence[int]) -> None:
         self._shard.apply_update(program, pod_indices)
 
+    def seed_cache(self, delta) -> None:
+        self._shard.merge_cache(delta)
+
 
 class ThreadBackend(_BackendBase):
     """Per-thread shards over the coordinator's own pod objects."""
@@ -201,15 +218,18 @@ class ThreadBackend(_BackendBase):
     def __init__(self, pods: Sequence[Pod], hive_program: Program,
                  limits: Optional[ExecutionLimits] = None,
                  dedup: bool = False, batch_max_traces: int = 0,
-                 workers: int = 2):
+                 workers: int = 2, solver_cache: bool = False):
         super().__init__(workers=workers)
         self._shards: List[Shard] = []
         for shard_id in range(workers):
             members = {index: pod for index, pod in enumerate(pods)
                        if index % workers == shard_id}
+            # Caches are per-shard (thread-private); sharing happens
+            # only through the hive's canonical merge between rounds.
             self._shards.append(Shard(
                 shard_id, members, hive_program, limits=limits,
-                dedup=dedup, batch_max_traces=batch_max_traces))
+                dedup=dedup, batch_max_traces=batch_max_traces,
+                solver_cache=self._shard_cache(solver_cache)))
         self._pool = None
 
     def _ensure_pool(self):
@@ -236,6 +256,10 @@ class ThreadBackend(_BackendBase):
         for shard in self._shards:
             shard.apply_update(program, pod_indices)
 
+    def seed_cache(self, delta) -> None:
+        for shard in self._shards:
+            shard.merge_cache(delta)
+
     def close(self) -> None:
         if self._pool is not None:
             self._pool.shutdown(wait=True)
@@ -258,7 +282,7 @@ class ProcessBackend(_BackendBase):
                  capture, limits: Optional[ExecutionLimits] = None,
                  fault_rate: float = 0.0,
                  dedup: bool = False, batch_max_traces: int = 0,
-                 workers: int = 2):
+                 workers: int = 2, solver_cache: bool = False):
         super().__init__(workers=workers)
         from repro.progmodel.serialize import encode_program
         self._pod_specs = list(pod_specs)   # (global_index, pod_id, seed)
@@ -268,6 +292,7 @@ class ProcessBackend(_BackendBase):
         self._fault_rate = fault_rate
         self._dedup = dedup
         self._batch_max_traces = batch_max_traces
+        self._solver_cache = solver_cache
         self._procs: List = []
         self._pipes: List = []
         # Last-seen worker counter totals, for delta-merging worker
@@ -304,7 +329,8 @@ class ProcessBackend(_BackendBase):
                   # (enabled, clock): enough for the worker to build an
                   # equivalent tracer. The clock must be picklable —
                   # builtins and FixedClock are.
-                  self._tracer.spec()),
+                  self._tracer.spec(),
+                  self._solver_cache),
             daemon=True,
         )
         proc.start()
@@ -448,6 +474,10 @@ class ProcessBackend(_BackendBase):
         self._broadcast(("update", encode_program(program),
                          tuple(pod_indices)))
 
+    def seed_cache(self, delta) -> None:
+        if self._solver_cache and delta:
+            self._broadcast(("cache", delta))
+
     def close(self) -> None:
         for pipe in self._pipes:
             try:
@@ -466,7 +496,8 @@ class ProcessBackend(_BackendBase):
 def _process_worker_main(conn, shard_id: int, specs, program_blob: bytes,
                          capture, limits, fault_rate: float,
                          dedup: bool, batch_max_traces: int,
-                         tracer_spec=(False, None)) -> None:
+                         tracer_spec=(False, None),
+                         solver_cache: bool = False) -> None:
     """Worker entry point: rebuild the shard, serve round requests."""
     import traceback
 
@@ -494,7 +525,8 @@ def _process_worker_main(conn, shard_id: int, specs, program_blob: bytes,
             for global_index, pod_id, seed in specs
         }
         shard = Shard(shard_id, pods, program, limits=limits,
-                      dedup=dedup, batch_max_traces=batch_max_traces)
+                      dedup=dedup, batch_max_traces=batch_max_traces,
+                      solver_cache=_BackendBase._shard_cache(solver_cache))
     except Exception:  # pragma: no cover - construction is config-pure
         conn.send(("error", traceback.format_exc()))
         return
@@ -514,6 +546,8 @@ def _process_worker_main(conn, shard_id: int, specs, program_blob: bytes,
                 shard.set_hive_program(decode_program(message[1]))
             elif kind == "update":
                 shard.apply_update(decode_program(message[1]), message[2])
+            elif kind == "cache":
+                shard.merge_cache(message[1])
             elif kind == "stop":
                 return
         except Exception:
@@ -524,18 +558,27 @@ def make_backend(name: str, pods: Sequence[Pod], hive_program: Program,
                  *, capture=None, limits: Optional[ExecutionLimits] = None,
                  fault_rate: float = 0.0, dedup: bool = False,
                  batch_max_traces: int = 0,
-                 workers: int = 0) -> ExecutorBackend:
-    """Build the backend named by ``name`` (already resolved)."""
+                 workers: int = 0,
+                 solver_cache: str = "none") -> ExecutorBackend:
+    """Build the backend named by ``name`` (already resolved).
+
+    ``solver_cache="collective"`` equips every shard with a private
+    :class:`~repro.symbolic.cache.ConstraintCache` that recycles replayed
+    traces into solver facts; ``"local"`` and ``"none"`` leave shards
+    cache-free (a local cache lives hive-side only).
+    """
     workers = resolve_workers(workers, name, len(pods))
+    recycle = solver_cache == "collective"
     if name == "serial":
         return SerialBackend(pods, hive_program, limits=limits,
                              dedup=dedup,
-                             batch_max_traces=batch_max_traces)
+                             batch_max_traces=batch_max_traces,
+                             solver_cache=recycle)
     if name == "thread":
         return ThreadBackend(pods, hive_program, limits=limits,
                              dedup=dedup,
                              batch_max_traces=batch_max_traces,
-                             workers=workers)
+                             workers=workers, solver_cache=recycle)
     if name == "process":
         specs = [(index, pod.pod_id, pod.seed)
                  for index, pod in enumerate(pods)]
@@ -543,5 +586,5 @@ def make_backend(name: str, pods: Sequence[Pod], hive_program: Program,
                               limits=limits, fault_rate=fault_rate,
                               dedup=dedup,
                               batch_max_traces=batch_max_traces,
-                              workers=workers)
+                              workers=workers, solver_cache=recycle)
     raise ConfigError(f"unknown backend {name!r}")

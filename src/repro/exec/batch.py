@@ -124,6 +124,12 @@ class ShardResult:
     #: alongside the counter deltas and grafted into the coordinator's
     #: trace log; empty when tracing is disabled.
     spans: List = field(default_factory=list)
+    #: Constraint-cache facts this shard originated this round
+    #: (``repro.symbolic.cache``): content-keyed ``(key, entry)`` pairs,
+    #: picklable, merged hive-side in canonical order. Rides the
+    #: coordinator channel like spans/counters — the pod uplink wire
+    #: format is untouched.
+    cache_delta: List = field(default_factory=list)
 
 
 # -- wire encoding ------------------------------------------------------------

@@ -49,13 +49,22 @@ class Shard:
                  limits: Optional[ExecutionLimits] = None,
                  dedup: bool = False,
                  batch_max_traces: int = 0,
-                 collect_tree: bool = True):
+                 collect_tree: bool = True,
+                 solver_cache=None):
         self.shard_id = shard_id
         self.pods = pods                       # global pod index -> Pod
         self.hive_program = hive_program       # what the hive replays on
         self.limits = limits or ExecutionLimits()
         self.batch_max_traces = batch_max_traces
         self.collect_tree = collect_tree
+        # Collective constraint recycling: a private ConstraintCache the
+        # shard fills with SAT facts mined from its replayed traces (a
+        # concrete run *is* a model of its own path condition). Private
+        # per shard — no cross-thread mutation — with the round delta
+        # shipped back in ShardResult for the hive's canonical merge.
+        self.solver_cache = solver_cache
+        self._recycle_engine = None
+        self._recycled_paths = set()
         # Resolved once, like the metric handles; a disabled tracer
         # hands out a shared no-op recorder so the hot loop stays flat.
         self._tracer = get_tracer()
@@ -69,6 +78,13 @@ class Shard:
     def set_hive_program(self, program: Program) -> None:
         """The hive deployed a fix: future replays target ``program``."""
         self.hive_program = program
+        self._recycle_engine = None
+        self._recycled_paths.clear()
+
+    def merge_cache(self, delta) -> None:
+        """Adopt hive-redistributed cache facts (round start)."""
+        if self.solver_cache is not None:
+            self.solver_cache.merge(delta)
 
     def apply_update(self, program: Program,
                      pod_indices: Sequence[int]) -> None:
@@ -144,6 +160,10 @@ class Shard:
                                       recorder)
                 if entry is not None:
                     accumulator.add(entry)
+                    if entry.product is not None:
+                        self._recycle(entry.product.path_decisions,
+                                      planned.inputs, recorder,
+                                      planned.global_index)
         batches = list(accumulator.drain_batches())
         if tree is not None and batches:
             # The partial tree rides the round's final flush.
@@ -154,7 +174,32 @@ class Shard:
             batches=batches,
             busy_seconds=time.perf_counter() - started,
             spans=recorder.take(),
+            cache_delta=(self.solver_cache.export_delta()
+                         if self.solver_cache is not None else []),
         )
+
+    # -- constraint recycling --------------------------------------------------
+
+    def _recycle(self, decisions, inputs, recorder, global_index) -> None:
+        """Mine a replayed run for solver facts (no solving happens).
+
+        Each distinct decision path is walked once per program version;
+        repeats — the common case inside a round — are skipped by the
+        seen-set, so recycling cost is bounded by path diversity, not
+        run count.
+        """
+        if self.solver_cache is None or not decisions:
+            return
+        if decisions in self._recycled_paths:
+            return
+        self._recycled_paths.add(decisions)
+        if self._recycle_engine is None:
+            from repro.symbolic.engine import SymbolicEngine
+            self._recycle_engine = SymbolicEngine(
+                self.hive_program, cache=self.solver_cache)
+        with recorder.span("cache.recycle", key=global_index) as span:
+            banked = self._recycle_engine.recycle_witness(decisions, inputs)
+            span.set(banked=banked)
 
     # -- collection -----------------------------------------------------------
 

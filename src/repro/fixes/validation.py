@@ -73,17 +73,26 @@ def make_validation_suite(program: Program,
                           with_faults: bool = False,
                           fault_occurrences: Sequence[int] = (0, 1, 2),
                           sym_limits: Optional[SymbolicLimits] = None,
+                          cache=None,
+                          stats=None,
                           ) -> List[ValidationCase]:
     """Generate the validation scenarios for ``program``.
 
     Input vectors come from exhaustive symbolic exploration of the
     first thread (each feasible path contributes its example inputs).
     Multi-threaded programs cross every input with round-robin and
-    ``schedule_seeds`` random schedules.
+    ``schedule_seeds`` random schedules. ``cache`` is the hive's shared
+    :class:`~repro.symbolic.cache.ConstraintCache`, when enabled;
+    ``stats`` an optional :class:`~repro.symbolic.solver.SolverStats`
+    accumulator the exploration's solver accounting is folded into
+    (the engine itself is transient).
     """
     engine = SymbolicEngine(
-        program, limits=sym_limits or SymbolicLimits(max_paths=max_paths))
+        program, limits=sym_limits or SymbolicLimits(max_paths=max_paths),
+        cache=cache)
     paths = engine.explore()
+    if stats is not None:
+        stats.add(engine.solver.stats)
     seen = set()
     inputs: List[InputVector] = []
     for path in paths:

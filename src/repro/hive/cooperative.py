@@ -62,6 +62,7 @@ class CooperativeConfig:
     deadline: float = 10_000.0
     churn: Sequence[Tuple[float, int]] = ()   # (time, worker index) downs
     seed: int = 0
+    solver_cache: str = "none"         # none | local | collective
 
     def validate(self) -> None:
         if self.n_workers < 1:
@@ -72,6 +73,9 @@ class CooperativeConfig:
             raise HiveError(f"unknown allocation {self.allocation!r}")
         if self.work_rate <= 0:
             raise HiveError("work_rate must be positive")
+        if self.solver_cache not in ("none", "local", "collective"):
+            raise HiveError(
+                "solver_cache must be one of none, local, collective")
 
 
 @dataclass
@@ -85,6 +89,8 @@ class CooperativeResult:
     messages_sent: int
     messages_lost: int
     discovery: Series
+    solver_evaluations: int = 0        # across coordinator + all workers
+    cache_stats: Optional[dict] = None  # merged worker cache accounting
 
     @property
     def path_count(self) -> int:
@@ -107,12 +113,14 @@ class _Worker:
 
     def __init__(self, worker_id: str, program: Program, network: Network,
                  limits: Optional[SymbolicLimits], work_rate: float,
-                 task_path_budget: int = 8):
+                 task_path_budget: int = 8, cache=None, share: bool = False):
         self.worker_id = worker_id
         self.network = network
         self.work_rate = work_rate
         self.task_path_budget = task_path_budget
-        self.engine = SymbolicEngine(program, limits=limits)
+        self.cache = cache
+        self.share = share
+        self.engine = SymbolicEngine(program, limits=limits, cache=cache)
         self._queue: Deque[tuple] = deque()
         self._busy = False
         network.register(worker_id, self._on_message)
@@ -130,7 +138,15 @@ class _Worker:
             self._busy = False
             return
         self._busy = True
-        src, (_kind, task_id, prefix, task_kind) = self._queue.popleft()
+        src, message = self._queue.popleft()
+        _kind, task_id, prefix, task_kind = message[:4]
+        # Element 5 (when present) is the coordinator's cache seed —
+        # the collective facts gathered since this worker's last task.
+        # Merging is idempotent, so lost or duplicated task messages
+        # cannot corrupt the cache, only delay the sharing.
+        seed = message[4] if len(message) > 4 else None
+        if seed and self.cache is not None:
+            self.cache.merge(seed)
         before = self.engine.work_done
         if task_kind == "expand":
             paths, children = self.engine.expand_node(prefix)
@@ -142,7 +158,14 @@ class _Worker:
         work = max(1, self.engine.work_done - before
                    + sum(p.steps for p in paths))
         duration = work / self.work_rate
+        # Collective mode appends the worker's own new facts as an
+        # optional trailing element (absent when sharing is off, so the
+        # wire shape stays v1-compatible for non-caching peers).
+        delta = (self.cache.export_delta()
+                 if self.share and self.cache is not None else None)
         result = ("result", task_id, paths, children, work, self.worker_id)
+        if delta is not None:
+            result = result + (delta,)
         self.network.clock.schedule(
             duration, lambda: self._finish(src, result))
 
@@ -170,9 +193,26 @@ class CooperativeExploration:
             rng=make_rng(config.seed, "coop", "net"))
         self._rng = make_rng(config.seed, "coop", "alloc")
         self.network.register(self.COORDINATOR, self._on_message)
+        # "local": every worker keeps a private cache (intra-worker
+        # reuse only). "collective": worker deltas ride result messages
+        # back, the coordinator merges them canonically, and each task
+        # assignment seeds the worker with everything shared since its
+        # last assignment (per-worker log cursors).
+        self._sharing = config.solver_cache == "collective"
+        self.solver_cache = None
+        self._worker_cursors: Dict[str, int] = {}
+        if self._sharing:
+            from repro.symbolic.cache import ConstraintCache
+            self.solver_cache = ConstraintCache()
+        def _worker_cache():
+            if config.solver_cache == "none":
+                return None
+            from repro.symbolic.cache import ConstraintCache
+            return ConstraintCache()
         self.workers = [
             _Worker(f"w{i}", program, self.network, limits,
-                    config.work_rate, config.task_path_budget)
+                    config.work_rate, config.task_path_budget,
+                    cache=_worker_cache(), share=self._sharing)
             for i in range(config.n_workers)]
         self._worker_free: Dict[str, bool] = {
             w.worker_id: True for w in self.workers}
@@ -187,7 +227,8 @@ class CooperativeExploration:
         self.total_work_units = 0
         self.discovery = Series("paths-discovered")
         self._done = False
-        self._coordinator_engine = SymbolicEngine(program, limits=limits)
+        self._coordinator_engine = SymbolicEngine(program, limits=limits,
+                                                  cache=self.solver_cache)
 
     # -- driving -------------------------------------------------------------
 
@@ -209,7 +250,31 @@ class CooperativeExploration:
             messages_sent=self.network.messages_sent,
             messages_lost=self.network.messages_lost,
             discovery=self.discovery,
+            solver_evaluations=self._solver_evaluations(),
+            cache_stats=self._cache_stats(),
         )
+
+    def _solver_evaluations(self) -> int:
+        total = self._coordinator_engine.solver.stats.evaluations
+        return total + sum(w.engine.solver.stats.evaluations
+                           for w in self.workers)
+
+    def _cache_stats(self) -> Optional[dict]:
+        if self.config.solver_cache == "none":
+            return None
+        caches = [w.cache for w in self.workers if w.cache is not None]
+        if self.solver_cache is not None:
+            caches.append(self.solver_cache)
+        totals: Dict[str, float] = {}
+        for cache in caches:
+            for key, value in cache.stats.as_dict().items():
+                if key == "hit_rate":
+                    continue
+                totals[key] = totals.get(key, 0) + value
+        probes = totals.get("hits", 0) + totals.get("misses", 0)
+        totals["hit_rate"] = (round(totals["hits"] / probes, 6)
+                              if probes else 0.0)
+        return totals
 
     def _down_callback(self, worker: str):
         return lambda: self.network.take_down(worker)
@@ -317,8 +382,17 @@ class CooperativeExploration:
         task.assigned_at = self.clock.now
         task.attempts += 1
         self._worker_free[worker] = False
-        self.network.send(self.COORDINATOR, worker,
-                          ("task", task_id, task.prefix, task.kind))
+        message: tuple = ("task", task_id, task.prefix, task.kind)
+        if self._sharing:
+            # Piggyback everything shared since this worker's last
+            # assignment. A lost task message loses its seed too —
+            # sharing is best-effort and only affects solver cost,
+            # never verdicts.
+            seed, cursor = self.solver_cache.shared_since(
+                self._worker_cursors.get(worker, 0))
+            self._worker_cursors[worker] = cursor
+            message = message + (seed,)
+        self.network.send(self.COORDINATOR, worker, message)
         # Exponential backoff: a slow-but-alive worker should not be
         # flooded with duplicates of a long-running task.
         timeout = self.config.task_timeout * (2 ** (task.attempts - 1))
@@ -350,7 +424,13 @@ class CooperativeExploration:
         kind = message[0]
         if kind != "result":
             return
-        _kind, task_id, paths, children, work, worker = message
+        _kind, task_id, paths, children, work, worker = message[:6]
+        delta = message[6] if len(message) > 6 else None
+        if delta and self.solver_cache is not None:
+            # Even a duplicate completion carries valid facts; merging
+            # is idempotent, and reshare=True queues them for the next
+            # per-worker seed.
+            self.solver_cache.merge(delta, reshare=True)
         task = self._tasks.get(task_id)
         if task is None or task.done:
             # Duplicate completion (reassigned task finished twice).

@@ -65,9 +65,15 @@ class Hive(Instrumented):
                  validate_fixes: bool = True,
                  fault_validation: Optional[bool] = None,
                  min_failure_reports: int = 1,
-                 enable_proofs: bool = True):
+                 enable_proofs: bool = True,
+                 solver_cache=None):
         self.program = program
         self.limits = limits or ExecutionLimits()
+        # Collective constraint recycling: one ConstraintCache shared by
+        # every solver the hive drives (steering, prover, validation).
+        # Kept across fix deployments — cache keys are purely structural,
+        # so facts about constraint shapes survive program rewrites.
+        self.solver_cache = solver_cache
         self.validate_fixes = validate_fixes
         self.min_failure_reports = min_failure_reports
         self.stats = HiveStats()
@@ -121,10 +127,17 @@ class Hive(Instrumented):
         self._failure_traces: List[Trace] = []
         self._steering: Optional[Steering] = None
 
+        # Solver work done by engines that have since been discarded
+        # (steering resets on deploy) — folded here so solver_stats()
+        # stays cumulative.
+        from repro.symbolic.solver import SolverStats
+        self._retired_solver_stats = SolverStats()
+
         self.prover: Optional[CumulativeProver] = None
         if enable_proofs:
             self.prover = CumulativeProver(program, property,
-                                           limits=self._sym_limits)
+                                           limits=self._sym_limits,
+                                           cache=self.solver_cache)
 
     @staticmethod
     def _program_has_syscalls(program: Program) -> bool:
@@ -346,7 +359,9 @@ class Hive(Instrumented):
                 self.program, limits=self.limits,
                 suite=make_validation_suite(
                     self.program, with_faults=self._fault_validation,
-                    sym_limits=self._sym_limits))
+                    sym_limits=self._sym_limits,
+                    cache=self.solver_cache,
+                    stats=self._retired_solver_stats))
             lab = RepairLab(validator)
             ranked = lab.evaluate(candidates)
             winner = next((r for r in ranked if r.auto_approved), None)
@@ -417,10 +432,18 @@ class Hive(Instrumented):
         self.races = RaceAnalyzer()
         self.invariants = InvariantMiner()
         self._digest_paths = {}
-        self._steering = None
+        self._retire_steering()
         if self.prover is not None:
             self.prover.on_fix_deployed(fixed)
         return fixed
+
+    def _retire_steering(self) -> None:
+        """Discard the steering engine (its program is stale), folding
+        its solver accounting into the cumulative total first."""
+        if self._steering is not None:
+            self._retired_solver_stats.add(
+                self._steering.engine.solver.stats)
+            self._steering = None
 
     # -- proofs -------------------------------------------------------------------
 
@@ -430,6 +453,36 @@ class Hive(Instrumented):
         with self._obs_phase_proof.time():
             self.prover.observe_tree(self.tree)
             return self.prover.current_proof()
+
+    # -- collective solver cache ---------------------------------------------------
+
+    def adopt_cache_deltas(self, deltas) -> int:
+        """Merge a round's shard cache deltas, canonically ordered.
+
+        The canonical order (content sort, first entry per key) is
+        independent of shard composition, so the hive cache evolves
+        identically on every backend; ``reshare=True`` re-logs the
+        adopted facts so the next round-start redistribution carries
+        them to every shard.
+        """
+        if self.solver_cache is None:
+            return 0
+        from repro.symbolic.cache import ConstraintCache
+        merged = ConstraintCache.canonical_order(deltas)
+        if not merged:
+            return 0
+        return self.solver_cache.merge(merged, reshare=True)
+
+    def solver_stats(self):
+        """Cumulative solver accounting across the hive's engines
+        (steering incl. retired versions, fix validation, prover)."""
+        from repro.symbolic.solver import SolverStats
+        total = SolverStats().add(self._retired_solver_stats)
+        if self._steering is not None:
+            total.add(self._steering.engine.solver.stats)
+        if self.prover is not None:
+            total.add(self.prover.solver_stats)
+        return total
 
     # -- introspection --------------------------------------------------------------
 
@@ -493,7 +546,8 @@ class Hive(Instrumented):
             if self._steering is None:
                 self._steering = Steering(
                     self.program,
-                    SymbolicEngine(self.program, limits=self._sym_limits))
+                    SymbolicEngine(self.program, limits=self._sym_limits,
+                                   cache=self.solver_cache))
             directives.extend(self._steering.plan(
                 self.tree, max_directives - len(directives)))
         self.stats.gaps_steered += sum(

@@ -24,6 +24,7 @@ from repro.config import (
     BaseConfig, BaseReport, check_at_least_one, check_positive,
     check_unit_interval,
 )
+from repro.errors import ConfigError
 from repro.hive.hive import Hive
 from repro.metrics.series import Series
 from repro.net.network import Link, Network
@@ -62,6 +63,7 @@ class NetworkedConfig(BaseConfig):
     seed: int = 0
     batch_max_traces: int = 1          # 1 = one trace per message
     chaos_profile: object = "none"     # profile name or FaultProfile
+    solver_cache: str = "none"         # none | local | collective
 
     def validate(self) -> None:
         check_at_least_one(self.n_pods, "need at least one pod")
@@ -72,6 +74,9 @@ class NetworkedConfig(BaseConfig):
         check_unit_interval(self.loss_rate, "loss_rate")
         check_at_least_one(self.batch_max_traces,
                            "batch_max_traces must be >= 1")
+        if self.solver_cache not in ("none", "local", "collective"):
+            raise ConfigError(
+                "solver_cache must be one of none, local, collective")
         self.resolved_chaos_profile()      # raises on unknown/bad
 
     def resolved_chaos_profile(self):
@@ -310,10 +315,19 @@ class NetworkedPlatform(Instrumented):
                               loss_rate=self.config.loss_rate),
             rng=make_rng(self.config.seed, "netplatform"))
         self.report = NetworkedReport()
+        # Event-driven pods never solve locally, so the hive's cache is
+        # the only one: "collective" and "local" coincide here (both
+        # mean one hive-side ConstraintCache shared across analysis
+        # ticks and fix validations).
+        self.solver_cache = None
+        if self.config.solver_cache != "none":
+            from repro.symbolic.cache import ConstraintCache
+            self.solver_cache = ConstraintCache()
         self.hive = Hive(
             scenario.program,
             limits=ExecutionLimits(max_steps=self.config.max_steps),
             enable_proofs=False,
+            solver_cache=self.solver_cache,
         )
         self._hive_transport = ReliableTransport(
             self.network, HIVE_ENDPOINT, receiver=self._hive_receive)
@@ -420,6 +434,13 @@ class NetworkedPlatform(Instrumented):
             doc["chaos"] = {
                 "profile": self.chaos_plan.profile.name,
                 **self.chaos_events,
+            }
+        if self.solver_cache is not None:
+            doc["solver_cache"] = {
+                "mode": self.config.solver_cache,
+                "entries": len(self.solver_cache),
+                "stats": self.solver_cache.stats.as_dict(),
+                "solver": self.hive.solver_stats().as_dict(),
             }
         return doc
 

@@ -88,6 +88,7 @@ class PlatformConfig(BaseConfig):
     batch_max_traces: int = 0        # 0 = one flush per shard per round
     chaos_profile: object = "none"   # profile name or FaultProfile
     check_invariants: bool = False   # run the invariant catalogue/round
+    solver_cache: str = "none"       # none | local | collective
 
     def validate(self) -> None:
         check_at_least_one(self.n_pods, "need at least one pod")
@@ -104,6 +105,9 @@ class PlatformConfig(BaseConfig):
         if self.batch_max_traces < 0:
             raise ConfigError(
                 "batch_max_traces must be >= 0 (0 = one flush per round)")
+        if self.solver_cache not in ("none", "local", "collective"):
+            raise ConfigError(
+                "solver_cache must be one of none, local, collective")
         self.resolved_chaos_profile()        # raises on unknown/bad
 
     def resolved_chaos_profile(self):
@@ -228,12 +232,21 @@ class SoftBorgPlatform(Instrumented):
                 seed=self.config.seed + i)
             for i in range(self.config.n_pods)
         ]
+        # Collective constraint recycling: the hive-side cache serves
+        # every hive solver ("local" mode stops there); "collective"
+        # additionally equips shards with private caches whose round
+        # deltas merge back here and redistribute at round start.
+        self.solver_cache = None
+        if self.config.solver_cache != "none":
+            from repro.symbolic.cache import ConstraintCache
+            self.solver_cache = ConstraintCache()
         self.hive = Hive(
             scenario.program,
             limits=limits,
             validate_fixes=self.config.validate_fixes,
             min_failure_reports=self.config.min_failure_reports,
             enable_proofs=self.config.enable_proofs,
+            solver_cache=self.solver_cache,
         )
         # Per-pod dedup state lives inside the backend's shards now —
         # each pod's trace stream is observed by exactly one shard, in
@@ -244,7 +257,8 @@ class SoftBorgPlatform(Instrumented):
             fault_rate=scenario.fault_rate,
             dedup=self.config.dedup,
             batch_max_traces=self.config.batch_max_traces,
-            workers=self.config.workers)
+            workers=self.config.workers,
+            solver_cache=self.config.solver_cache)
         self.report = PlatformReport()
         # Chaos + invariants: both default off and cost one ``is None``
         # per round when disabled (mirroring repro.obs's no-op mode).
@@ -305,6 +319,15 @@ class SoftBorgPlatform(Instrumented):
             "obs": obs_snapshot,
             "observability": observability,
         }
+        if self.solver_cache is not None:
+            # Additive block (still schema v3): mode, entry count, tier
+            # hit accounting, and the hive engines' solver totals.
+            doc["solver_cache"] = {
+                "mode": self.config.solver_cache,
+                "entries": len(self.solver_cache),
+                "stats": self.solver_cache.stats.as_dict(),
+                "solver": self.hive.solver_stats().as_dict(),
+            }
         if self.chaos is not None:
             doc["chaos"] = self.chaos.summary()
         if self.invariants is not None:
@@ -352,19 +375,41 @@ class SoftBorgPlatform(Instrumented):
         config = self.config
         with self._tracer.span("round.plan", key=round_index):
             plan = self._plan_round(round_index)
+        collective = (self.solver_cache is not None
+                      and config.solver_cache == "collective")
+        if collective:
+            # Redistribute everything the hive learned since the last
+            # round (its own solves plus last round's shard deltas) to
+            # every shard before execution.
+            seed_delta = self.solver_cache.export_delta()
+            if seed_delta:
+                with self._tracer.span("cache.redistribute",
+                                       key=round_index,
+                                       entries=len(seed_delta)):
+                    self.backend.seed_cache(seed_delta)
         entries = None
+        cache_deltas = []
         with self._tracer.span("round.execute", key=round_index,
                                runs=len(plan.runs)):
             if self.chaos is not None:
                 records, entries = self.chaos.execute_round(self.backend,
                                                             plan)
                 records.sort(key=lambda record: record.global_index)
+                if collective:
+                    cache_deltas = self.chaos.take_cache_deltas()
             else:
                 shard_results = self.backend.run_round(plan)
                 records = sorted(
                     (record for result in shard_results
                      for record in result.records),
                     key=lambda record: record.global_index)
+                if collective:
+                    cache_deltas = [result.cache_delta
+                                    for result in shard_results
+                                    if result.cache_delta]
+        if collective and cache_deltas:
+            with self._tracer.span("cache.merge", key=round_index):
+                self.hive.adopt_cache_deltas(cache_deltas)
 
         failures = 0
         guided = 0

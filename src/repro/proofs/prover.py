@@ -42,9 +42,15 @@ class CumulativeProver:
     """Incrementally proves one property about one program."""
 
     def __init__(self, program: Program, property: OutcomeProperty,
-                 limits: Optional[SymbolicLimits] = None):
+                 limits: Optional[SymbolicLimits] = None,
+                 cache=None):
         self.property = property
         self._limits = limits
+        self._cache = cache
+        from repro.symbolic.solver import SolverStats
+        #: Cumulative solver accounting across every version's oracle
+        #: exploration (the per-version engine itself is transient).
+        self.solver_stats = SolverStats()
         self._witnessed: Dict[Tuple[Decision, ...], Outcome] = {}
         self._old_proofs: List[Proof] = []
         self._install(program)
@@ -56,8 +62,10 @@ class CumulativeProver:
         self._witnessed.clear()
         self._oracle_paths: Optional[Set[Tuple[Decision, ...]]]
         if len(program.threads) == 1:
-            engine = SymbolicEngine(program, limits=self._limits)
+            engine = SymbolicEngine(program, limits=self._limits,
+                                    cache=self._cache)
             paths = engine.explore()
+            self.solver_stats.add(engine.solver.stats)
             self._oracle_paths = {p.decisions for p in paths}
             self._oracle_examples = {p.decisions: dict(p.example_inputs)
                                      for p in paths}

@@ -15,6 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+from repro.config import BaseReport
 from repro.errors import SolverError
 from repro.obs import Instrumented
 from repro.solvers.budget import SolveResult, SolveStatus
@@ -103,7 +104,7 @@ class Portfolio(Instrumented):
 
 
 @dataclass
-class PortfolioReport:
+class PortfolioReport(BaseReport):
     """Aggregate of a portfolio experiment over an instance set (E1).
 
     Baseline semantics follow the paper: the comparison is against
@@ -165,6 +166,26 @@ class PortfolioReport:
                 row[name] = row.get(name, 0) + cost
             row["portfolio"] = row.get("portfolio", 0) + outcome.time
         return table
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-ready aggregate (the per-outcome detail stays out —
+        member SolveResults carry models and are not snapshot material)."""
+        names = sorted({name for outcome in self.outcomes
+                        for name in outcome.member_results})
+        return {
+            "instances": len(self.outcomes),
+            "portfolio_size": self.portfolio_size,
+            "budget": self.budget,
+            "solved": self.solved_count(),
+            "total_portfolio_time": self.total_portfolio_time,
+            "total_portfolio_resources": self.total_portfolio_resources,
+            "wins": self.wins_by_solver(),
+            "single_times": {name: self.total_single_time(name)
+                             for name in names},
+            "speedups": {name: round(self.speedup_vs(name), 6)
+                         for name in names},
+            "per_family": self.per_family_times(),
+        }
 
 
 def run_portfolio_experiment(solvers: Sequence, instances: Sequence[CNF],

@@ -25,7 +25,7 @@ Scope notes (documented substitutions):
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.errors import SymbolicError
 from repro.obs import Instrumented
@@ -50,7 +50,7 @@ from repro.progmodel.ir import (
     Syscall,
     Unlock,
 )
-from repro.symbolic.expr import fold, substitute
+from repro.symbolic.expr import eval_concrete, fold, substitute
 from repro.symbolic.pathcond import PathCondition
 from repro.symbolic.solver import EnumerationSolver, Model
 
@@ -140,9 +140,12 @@ class SymbolicEngine(Instrumented):
                  solver: Optional[EnumerationSolver] = None,
                  limits: Optional[SymbolicLimits] = None,
                  symbolic_syscalls: bool = False,
-                 syscall_read_size: int = 64):
+                 syscall_read_size: int = 64,
+                 cache=None):
         self.program = program
-        self.solver = solver or EnumerationSolver()
+        self.solver = solver or EnumerationSolver(cache=cache)
+        if cache is not None and self.solver.cache is None:
+            self.solver.cache = cache
         self.limits = limits or SymbolicLimits()
         self.symbolic_syscalls = symbolic_syscalls
         self._read_size = syscall_read_size
@@ -231,6 +234,64 @@ class SymbolicEngine(Instrumented):
         for name, (lo, _hi) in self.program.inputs.items():
             inputs[name] = state.witness.get(name, lo)
         return inputs
+
+    def recycle_witness(self, decisions: Sequence[Decision],
+                        inputs: Mapping[str, int]) -> bool:
+        """Recycle one concrete execution's by-products into the cache.
+
+        ``decisions``/``inputs`` come from a replayed trace: the inputs
+        *provably* drove execution along those decisions, so every
+        prefix of the path condition is SAT with the inputs as witness —
+        a free solver fact. This walks the program forcing the script
+        (no solving; every fork direction is verified by concrete
+        evaluation against ``inputs``) and stores the changed slice of
+        each extension step, exactly the slices the guidance layer's
+        incremental :meth:`solve_prefix` will probe next round.
+
+        Returns False when the walk diverges (fault-driven decisions
+        the fault-free model cannot force) — nothing wrong, just no
+        recyclable by-product; facts banked before the divergence are
+        still sound.
+        """
+        cache = self.solver.cache
+        if cache is None:
+            return False
+        from repro.symbolic.cache import condition_slices
+        state = self._initial_state(self.program.threads[0])
+        script = list(decisions)
+        while script:
+            step = self._advance_to_decision(state)
+            if step == _DONE or isinstance(step, SymPath):
+                break
+            site, cond = step
+            # Same skip rule as solve_prefix: concretely-resolved
+            # decisions in the recorded path never become fork sites.
+            while script and script[0][0] != site:
+                script.pop(0)
+            if not script:
+                return False
+            _want_site, taken = script.pop(0)
+            try:
+                value = eval_concrete(cond, inputs)
+            except (ZeroDivisionError, SymbolicError):
+                return False
+            if bool(value) != taken:
+                return False  # trace and fault-free model disagree
+            extended = state.condition.extended(cond, taken)
+            if extended is not state.condition:
+                for piece in condition_slices(extended):
+                    if (piece.symbols
+                            and any(expr is cond and t == taken
+                                    for expr, t in piece.conjuncts)
+                            and all(name in inputs
+                                    for name in piece.symbols)):
+                        cache.store_sat(
+                            piece.key, piece.order,
+                            {name: inputs[name] for name in piece.symbols})
+            state.condition = extended
+            state.decisions.append((site, taken))
+            self._take_branch(state, taken)
+        return not script
 
     # -- cooperative-exploration API (paper Sec. 4) ------------------------------
 

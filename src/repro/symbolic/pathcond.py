@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Mapping, Tuple
+from typing import FrozenSet, List, Mapping, Optional, Tuple
 
 from repro.progmodel.ir import Expr
 from repro.symbolic.expr import eval_concrete
@@ -18,13 +18,33 @@ class PathCondition:
     Each entry records one symbolic branch decision: the folded branch
     condition and the direction taken. The condition is satisfied by an
     assignment iff every expression's truthiness matches its direction.
+
+    Conditions are persistent: :meth:`extended` shares the parent's
+    derived state (symbol tuple, conjunct identity set) instead of
+    re-walking every constraint, and re-asserting a conjunct already
+    present returns the condition unchanged — loop branches re-take the
+    same decision with the same folded expression every iteration, and
+    the duplicate would only inflate virtual solve cost.
     """
 
     constraints: List[Tuple[Expr, bool]] = field(default_factory=list)
 
+    def __post_init__(self) -> None:
+        self._symbols: Optional[Tuple[str, ...]] = None
+        self._conjunct_keys: Optional[FrozenSet[Tuple]] = None
+
     def extended(self, expr: Expr, truth: bool) -> "PathCondition":
         """A new path condition with one more conjunct (persistent)."""
-        return PathCondition(constraints=self.constraints + [(expr, truth)])
+        key = (expr.key(), truth)
+        if key in self._keys():
+            return self
+        child = PathCondition(constraints=self.constraints + [(expr, truth)])
+        parent_symbols = self.symbols()
+        fresh = tuple(name for name in expr.inputs()
+                      if name not in parent_symbols)
+        child._symbols = parent_symbols + fresh
+        child._conjunct_keys = self._keys() | {key}
+        return child
 
     def __len__(self) -> int:
         return len(self.constraints)
@@ -43,9 +63,17 @@ class PathCondition:
 
     def symbols(self) -> Tuple[str, ...]:
         """All symbol (Input) names referenced, in first-seen order."""
-        names: List[str] = []
-        for expr, _truth in self.constraints:
-            for name in expr.inputs():
-                if name not in names:
-                    names.append(name)
-        return tuple(names)
+        if self._symbols is None:
+            names: List[str] = []
+            for expr, _truth in self.constraints:
+                for name in expr.inputs():
+                    if name not in names:
+                        names.append(name)
+            self._symbols = tuple(names)
+        return self._symbols
+
+    def _keys(self) -> FrozenSet[Tuple]:
+        if self._conjunct_keys is None:
+            self._conjunct_keys = frozenset(
+                (expr.key(), truth) for expr, truth in self.constraints)
+        return self._conjunct_keys

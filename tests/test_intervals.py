@@ -81,6 +81,51 @@ class TestNarrowing:
                                 {"n": (0, 9)})
         assert result["n"] == (0, 9)  # a hole, not an interval
 
+    def test_unsat_from_pinned_value_outside_domain(self):
+        result = narrow_domains(_cond((Input("n") == 42, True)),
+                                {"n": (0, 9)})
+        assert result == UNSAT
+
+    def test_unsat_from_affine_chain(self):
+        # 2 * n + 1 >= 25  =>  n >= 12, empty against (0, 9).
+        result = narrow_domains(
+            _cond((Input("n") * 2 + 1 >= 25, True)),
+            {"n": (0, 9)})
+        assert result == UNSAT
+
+    def test_division_not_inverted(self):
+        # n // 3 == 2 admits n in {6, 7, 8}: not a single interval
+        # inversion this pass attempts — it must skip, not guess.
+        result = narrow_domains(_cond((Input("n") // 3 == 2, True)),
+                                {"n": (0, 9)})
+        assert result["n"] == (0, 9)
+
+    def test_division_mixed_with_invertible_conjuncts(self):
+        # The invertible conjunct still narrows; the division one is
+        # left for enumeration.
+        result = narrow_domains(
+            _cond((Input("n") // 3 == 2, True), (Input("n") >= 5, True)),
+            {"n": (0, 9)})
+        assert result["n"] == (5, 9)
+
+    def test_degenerate_domain_preserved(self):
+        result = narrow_domains(_cond((Input("n") <= 5, True)),
+                                {"n": (5, 5)})
+        assert result["n"] == (5, 5)
+
+    def test_degenerate_domain_contradiction(self):
+        result = narrow_domains(_cond((Input("n") < 5, True)),
+                                {"n": (5, 5)})
+        assert result == UNSAT
+
+    def test_empty_domain_passes_through(self):
+        # An already-empty domain is the caller's statement, not a
+        # propagation result; unconstrained symbols keep their input
+        # interval verbatim.
+        result = narrow_domains(_cond((Input("n") % 2 == 0, True)),
+                                {"n": (7, 3)})
+        assert result["n"] == (7, 3)
+
 
 class TestSolverIntegration:
     def test_interval_prune_counted(self):
@@ -129,3 +174,78 @@ class TestSolverIntegration:
         if with_intervals is not None:
             assert condition.satisfied_by(with_intervals)
             assert lo <= with_intervals["n"] <= hi
+
+    def test_solver_handles_division_condition(self):
+        # n // 3 == 2 and n % 2 == 0: uninterpretable by intervals,
+        # solved (and solved correctly) by enumeration.
+        condition = _cond((Input("n") // 3 == 2, True),
+                          (Input("n") % 2 == 0, True))
+        model = EnumerationSolver().solve(condition, {"n": (0, 9)})
+        assert model == {"n": 6}
+
+    def test_solver_empty_domain_is_unsat(self):
+        condition = _cond((Input("n") >= 0, True))
+        assert EnumerationSolver().solve(condition, {"n": (7, 3)}) is None
+
+    def test_solver_degenerate_domain(self):
+        condition = _cond((Input("n") * 2 == 10, True))
+        assert EnumerationSolver().solve(
+            condition, {"n": (5, 5)}) == {"n": 5}
+        assert EnumerationSolver().solve(
+            condition, {"n": (4, 4)}) is None
+
+
+class TestNeverRemovesSatisfyingAssignment:
+    """The core soundness invariant, checked exhaustively: every value
+    of the original domain that satisfies the condition must survive
+    into the narrowed domain."""
+
+    CASES = [
+        _cond((Input("n") >= 2, True), (Input("n") < 7, True)),
+        _cond((Input("n") + 3 == 7, True)),
+        _cond((Input("n") * 2 >= 6, True), (Input("n") <= 8, True)),
+        _cond((Input("n") // 3 == 2, True)),
+        _cond((Input("n") % 3 == 1, True), (Input("n") > 2, True)),
+        _cond((Input("n") == 5, False), (Input("n") >= 4, True)),
+        _cond((BinOp("<=", UnOp("neg", Input("n")), Const(-4)), True)),
+        _cond((BinOp("<", Const(3), Input("n")), True)),
+    ]
+
+    @pytest.mark.parametrize("condition", CASES,
+                             ids=range(len(CASES)))
+    def test_exhaustive_single_symbol(self, condition):
+        domains = {"n": (0, 12)}
+        narrowed = narrow_domains(condition, domains)
+        satisfying = [value for value in range(0, 13)
+                      if condition.satisfied_by({"n": value})]
+        if narrowed == UNSAT:
+            assert satisfying == []
+            return
+        lo, hi = narrowed["n"]
+        for value in satisfying:
+            assert lo <= value <= hi, \
+                f"narrowing dropped satisfying n={value}"
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        pivot_a=st.integers(-5, 15), pivot_b=st.integers(-5, 15),
+        op_a=st.sampled_from(["==", "<", "<=", ">", ">="]),
+        op_b=st.sampled_from(["==", "<", "<=", ">", ">="]),
+        truth_a=st.booleans(), truth_b=st.booleans(),
+        scale=st.integers(1, 3), shift=st.integers(-4, 4),
+    )
+    def test_random_conjunctions(self, pivot_a, pivot_b, op_a, op_b,
+                                 truth_a, truth_b, scale, shift):
+        condition = _cond(
+            (BinOp(op_a, Input("n") * scale + shift, Const(pivot_a)),
+             truth_a),
+            (BinOp(op_b, Input("n"), Const(pivot_b)), truth_b))
+        domains = {"n": (0, 10)}
+        narrowed = narrow_domains(condition, domains)
+        satisfying = [value for value in range(0, 11)
+                      if condition.satisfied_by({"n": value})]
+        if narrowed == UNSAT:
+            assert satisfying == []
+        else:
+            lo, hi = narrowed["n"]
+            assert all(lo <= value <= hi for value in satisfying)

@@ -1,0 +1,366 @@
+"""Constraint-cache tests: canonical keys, slicing, the three reuse
+tiers, the delta/merge sharing protocol, and witness recycling."""
+
+import pytest
+
+from repro.errors import SolverError
+from repro.progmodel.ir import Input
+from repro.symbolic.cache import (
+    ConstraintCache, canonical_slice_key, condition_slices,
+    conjunct_slices,
+)
+from repro.symbolic.engine import SymbolicEngine
+from repro.symbolic.pathcond import PathCondition
+from repro.symbolic.solver import EnumerationSolver, SolverStats
+
+
+def _cond(*constraints):
+    condition = PathCondition()
+    for expr, truth in constraints:
+        condition = condition.extended(expr, truth)
+    return condition
+
+
+class TestCanonicalKeys:
+    def test_alpha_equivalent_conditions_share_a_key(self):
+        key_ab, order_ab = canonical_slice_key(
+            [(Input("a") + Input("b") == 7, True)])
+        key_xy, order_xy = canonical_slice_key(
+            [(Input("x") + Input("y") == 7, True)])
+        assert key_ab == key_xy
+        assert order_ab == ("a", "b")
+        assert order_xy == ("x", "y")
+
+    def test_conjunct_order_is_canonicalized(self):
+        one = canonical_slice_key([(Input("a") > 2, True),
+                                   (Input("a") < 7, True)])
+        two = canonical_slice_key([(Input("a") < 7, True),
+                                   (Input("a") > 2, True)])
+        assert one == two
+
+    def test_truth_value_distinguishes(self):
+        key_true, _ = canonical_slice_key([(Input("a") > 2, True)])
+        key_false, _ = canonical_slice_key([(Input("a") > 2, False)])
+        assert key_true != key_false
+
+    def test_structure_distinguishes(self):
+        key_sum, _ = canonical_slice_key(
+            [(Input("a") + Input("b") == 7, True)])
+        key_diff, _ = canonical_slice_key(
+            [(Input("a") - Input("b") == 7, True)])
+        assert key_sum != key_diff
+
+
+class TestSlicing:
+    def test_disjoint_symbols_split(self):
+        pieces = condition_slices(_cond(
+            (Input("a") > 2, True), (Input("b") < 5, True)))
+        assert len(pieces) == 2
+        assert [piece.symbols for piece in pieces] == [("a",), ("b",)]
+
+    def test_shared_symbol_joins(self):
+        pieces = condition_slices(_cond(
+            (Input("a") > 2, True),
+            (Input("b") < 5, True),
+            (Input("a") + Input("b") == 7, True)))
+        assert len(pieces) == 1
+        assert set(pieces[0].symbols) == {"a", "b"}
+
+    def test_constant_conjuncts_form_one_slice(self):
+        from repro.progmodel.ir import BinOp, Const
+        pieces = conjunct_slices([
+            (BinOp("<", Const(1), Const(2)), True),
+            (Input("a") > 2, True),
+            (BinOp("==", Const(3), Const(3)), True)])
+        constant = [p for p in pieces if not p.symbols]
+        assert len(constant) == 1
+        assert len(constant[0].conjuncts) == 2
+
+    def test_slice_key_independent_of_partition(self):
+        whole = condition_slices(_cond(
+            (Input("a") > 2, True), (Input("x") + Input("y") == 7, True)))
+        alone = condition_slices(_cond(
+            (Input("p") + Input("q") == 7, True)))
+        joint_keys = {piece.key for piece in whole}
+        assert alone[0].key in joint_keys
+
+
+class TestReuseTiers:
+    DOMAINS = {"a": (0, 9), "b": (0, 9), "c": (0, 9)}
+
+    def test_exact_hit_skips_search(self):
+        cache = ConstraintCache()
+        cold = EnumerationSolver(cache=cache)
+        condition = _cond((Input("a") + Input("b") == 7, True))
+        model = cold.solve(condition, self.DOMAINS)
+        assert model is not None and condition.satisfied_by(model)
+        cold_cost = cold.stats.evaluations
+
+        warm = EnumerationSolver(cache=cache)
+        again = warm.solve(condition, self.DOMAINS)
+        assert again == model
+        assert cache.stats.hits_exact >= 1
+        assert warm.stats.evaluations < cold_cost
+
+    def test_exact_hit_across_symbol_renaming(self):
+        cache = ConstraintCache()
+        EnumerationSolver(cache=cache).solve(
+            _cond((Input("a") + Input("b") == 7, True)), self.DOMAINS)
+        renamed = _cond((Input("x") + Input("y") == 7, True))
+        model = EnumerationSolver(cache=cache).solve(
+            renamed, {"x": (0, 9), "y": (0, 9)})
+        assert model is not None and renamed.satisfied_by(model)
+        assert cache.stats.hits_exact >= 1
+
+    def test_stored_model_outside_domain_is_not_reused(self):
+        cache = ConstraintCache()
+        condition = _cond((Input("a") + Input("b") == 7, True))
+        model = EnumerationSolver(cache=cache).solve(
+            condition, self.DOMAINS)
+        # Narrow the domains so the banked model no longer fits; the
+        # solver must fall back to search and find a valid model.
+        tight = {"a": (max(model["a"] + 1, 3), 9), "b": (0, 9)}
+        fresh = EnumerationSolver(cache=cache).solve(condition, tight)
+        assert fresh is not None
+        assert tight["a"][0] <= fresh["a"] <= 9
+        assert condition.satisfied_by(fresh)
+
+    def test_rehydration_extends_cached_parent(self):
+        cache = ConstraintCache()
+        parent = _cond((Input("a") + Input("b") == 7, True))
+        EnumerationSolver(cache=cache).solve(parent, self.DOMAINS)
+        child = _cond((Input("a") + Input("b") == 7, True),
+                      (Input("a") + Input("b") < 9, True))
+        model = EnumerationSolver(cache=cache).solve(child, self.DOMAINS)
+        assert model is not None and child.satisfied_by(model)
+        assert cache.stats.hits_model >= 1
+
+    def test_unsat_subsumption(self):
+        cache = ConstraintCache()
+        # Multi-symbol contradiction: intervals cannot prune it, so the
+        # refutation is search-proven and banked.
+        condition = _cond((Input("a") + Input("b") == 20, True))
+        domains = {"a": (0, 5), "b": (0, 5)}
+        first = EnumerationSolver(cache=cache)
+        assert first.solve(condition, domains) is None
+        assert first.stats.unsat_results == 1
+
+        narrower = {"a": (1, 4), "b": (0, 3)}
+        second = EnumerationSolver(cache=cache)
+        assert second.solve(condition, narrower) is None
+        assert cache.stats.hits_unsat == 1
+        assert second.stats.evaluations <= len(condition.constraints) + 1
+
+    def test_unsat_not_subsumed_by_wider_domains(self):
+        cache = ConstraintCache()
+        condition = _cond((Input("a") + Input("b") == 11, True))
+        assert EnumerationSolver(cache=cache).solve(
+            condition, {"a": (0, 5), "b": (0, 5)}) is None
+        # Wider domains are NOT subsumed — and are in fact satisfiable.
+        model = EnumerationSolver(cache=cache).solve(
+            condition, {"a": (0, 9), "b": (0, 9)})
+        assert model is not None and condition.satisfied_by(model)
+        assert cache.stats.hits_unsat == 0
+
+    def test_verdicts_match_uncached_solver(self):
+        domains = {"a": (0, 9), "b": (0, 9), "c": (0, 9)}
+        conditions = [
+            _cond((Input("a") > 2, True)),
+            _cond((Input("a") + Input("b") == 7, True)),
+            _cond((Input("a") + Input("b") == 25, True)),
+            _cond((Input("a") > 2, True), (Input("b") < 5, True),
+                  (Input("c") % 3 == 1, True)),
+            _cond((Input("a") == 5, True), (Input("a") == 6, True)),
+            _cond((Input("a") * 2 == Input("b"), True),
+                  (Input("b") > 7, True)),
+        ]
+        cache = ConstraintCache()
+        for _round in range(2):       # second pass runs hot
+            for condition in conditions:
+                plain = EnumerationSolver().solve(condition, domains)
+                cached = EnumerationSolver(cache=cache).solve(
+                    condition, domains)
+                assert (plain is None) == (cached is None)
+                if cached is not None:
+                    assert condition.satisfied_by(cached)
+
+    def test_budget_still_enforced_with_cache(self):
+        cache = ConstraintCache()
+        solver = EnumerationSolver(max_evaluations=3, cache=cache)
+        condition = _cond(
+            (Input("a") + Input("b") + Input("c") == 700, True))
+        with pytest.raises(SolverError):
+            solver.solve(condition, {"a": (0, 499), "b": (0, 499),
+                                     "c": (0, 499)})
+
+
+class TestEviction:
+    def test_fifo_eviction_is_bounded(self):
+        cache = ConstraintCache(max_entries=2)
+        solver = EnumerationSolver(cache=cache)
+        for pivot in (3, 4, 5):
+            solver.solve(_cond((Input("a") + Input("b") == pivot, True)),
+                         {"a": (0, 9), "b": (0, 9)})
+        assert len(cache) == 2
+        assert cache.stats.evictions == 1
+
+
+class TestSharingProtocol:
+    def _solve_some(self, cache, pivots):
+        solver = EnumerationSolver(cache=cache)
+        for pivot in pivots:
+            solver.solve(_cond((Input("a") + Input("b") == pivot, True)),
+                         {"a": (0, 9), "b": (0, 9)})
+
+    def test_export_then_merge_transfers_facts(self):
+        source = ConstraintCache()
+        self._solve_some(source, (7, 8))
+        delta = source.export_delta()
+        assert len(delta) == 2
+
+        sink = ConstraintCache()
+        assert sink.merge(delta) == 2
+        assert sink.stats.merged == 2
+        warm = EnumerationSolver(cache=sink)
+        model = warm.solve(_cond((Input("a") + Input("b") == 7, True)),
+                           {"a": (0, 9), "b": (0, 9)})
+        assert model is not None
+        assert sink.stats.hits_exact == 1
+
+    def test_export_is_incremental(self):
+        cache = ConstraintCache()
+        self._solve_some(cache, (7,))
+        assert len(cache.export_delta()) == 1
+        assert cache.export_delta() == []       # nothing new
+        self._solve_some(cache, (8,))
+        assert len(cache.export_delta()) == 1
+
+    def test_adopted_facts_are_never_echoed(self):
+        source = ConstraintCache()
+        self._solve_some(source, (7,))
+        sink = ConstraintCache()
+        sink.merge(source.export_delta())
+        # The sink re-derives the same fact locally: still no echo.
+        self._solve_some(sink, (7,))
+        assert sink.export_delta() == []
+
+    def test_reshare_relogs_for_redistribution(self):
+        shard = ConstraintCache()
+        self._solve_some(shard, (7,))
+        hive = ConstraintCache()
+        hive.merge(shard.export_delta(), reshare=True)
+        redistributed = hive.export_delta()
+        assert len(redistributed) == 1
+        other = ConstraintCache()
+        other.merge(redistributed)
+        assert len(other) == 1
+
+    def test_canonical_order_is_partition_invariant(self):
+        # The same fact set discovered under two different shardings
+        # must fold to the same canonical delta.
+        a1, a2 = ConstraintCache(), ConstraintCache()
+        self._solve_some(a1, (7, 8))
+        self._solve_some(a2, (9,))
+        b1, b2 = ConstraintCache(), ConstraintCache()
+        self._solve_some(b1, (9, 7))
+        self._solve_some(b2, (8,))
+        fold = ConstraintCache.canonical_order
+        assert (fold([a1.export_delta(), a2.export_delta()])
+                == fold([b2.export_delta(), b1.export_delta()]))
+
+    def test_canonical_order_keeps_first_entry_per_key(self):
+        key, order = canonical_slice_key(
+            [(Input("a") + Input("b") == 7, True)])
+        one, two = ConstraintCache(), ConstraintCache()
+        one.store_sat(key, order, {"a": 0, "b": 7})
+        two.store_sat(key, order, {"a": 1, "b": 6})
+        folded = ConstraintCache.canonical_order(
+            [one.export_delta(), two.export_delta()])
+        assert len(folded) == 1
+
+
+class TestWitnessRecycling:
+    def _crash_program(self):
+        from repro.workloads.scenarios import crash_scenario
+        return crash_scenario().program
+
+    def test_recycle_then_solve_prefix_hits(self):
+        program = self._crash_program()
+        cache = ConstraintCache()
+        explorer = SymbolicEngine(program)
+        paths = explorer.explore()
+        target = max(paths, key=lambda p: len(p.decisions))
+
+        recycler = SymbolicEngine(program, cache=cache)
+        banked = recycler.recycle_witness(target.decisions,
+                                          target.example_inputs)
+        assert banked
+        assert len(cache) > 0
+        before = cache.stats.hits
+
+        guided = SymbolicEngine(program, cache=cache)
+        inputs = guided.solve_prefix(target.decisions)
+        assert inputs is not None
+        assert cache.stats.hits > before
+
+    def test_recycle_without_cache_is_noop(self):
+        program = self._crash_program()
+        engine = SymbolicEngine(program)
+        paths = engine.explore()
+        assert engine.recycle_witness(
+            paths[0].decisions, paths[0].example_inputs) is False
+
+    def test_recycle_rejects_disagreeing_inputs(self):
+        program = self._crash_program()
+        cache = ConstraintCache()
+        engine = SymbolicEngine(program, cache=cache)
+        paths = engine.explore()
+        forked = [p for p in paths if p.decisions]
+        target = forked[0]
+        wrong = {name: hi for name, (_lo, hi)
+                 in program.inputs.items()}
+        flipped = tuple((site, not taken)
+                        for site, taken in target.decisions)
+        assert engine.recycle_witness(flipped, wrong) in (False, True)
+        # Whatever was banked must still be sound: replaying any cached
+        # SAT model against its own slice is a tautology by
+        # construction, so just confirm solve verdicts are unchanged.
+        for path in paths:
+            assert SymbolicEngine(program, cache=cache).solve_prefix(
+                path.decisions) is not None
+
+
+class TestStatsContract:
+    def test_solver_stats_as_dict(self):
+        stats = SolverStats()
+        doc = stats.as_dict()
+        assert set(doc) == {"calls", "hint_hits", "evaluations",
+                            "unsat_results", "interval_prunes"}
+
+    def test_solver_stats_add(self):
+        total = SolverStats().add(SolverStats(calls=2, evaluations=10))
+        total.add(SolverStats(calls=1, evaluations=5, unsat_results=1))
+        assert total.calls == 3
+        assert total.evaluations == 15
+        assert total.unsat_results == 1
+
+    def test_cache_stats_as_dict(self):
+        cache = ConstraintCache()
+        solver = EnumerationSolver(cache=cache)
+        condition = _cond((Input("a") + Input("b") == 7, True))
+        solver.solve(condition, {"a": (0, 9), "b": (0, 9)})
+        solver.solve(condition, {"a": (0, 9), "b": (0, 9)})
+        doc = cache.stats.as_dict()
+        assert doc["hits"] == doc["hits_exact"] + doc["hits_model"] \
+            + doc["hits_unsat"]
+        assert doc["hits"] >= 1 and doc["misses"] >= 1
+        assert 0.0 < doc["hit_rate"] < 1.0
+
+    def test_portfolio_report_as_dict(self):
+        from repro.cli import _portfolio_report
+        doc = _portfolio_report(1, budget=200_000).as_dict()
+        assert doc["instances"] == 3
+        assert doc["portfolio_size"] == 3
+        assert set(doc["single_times"]) == set(doc["speedups"])
+        assert all(speedup > 0 for speedup in doc["speedups"].values())
+        assert "portfolio" in next(iter(doc["per_family"].values()))
