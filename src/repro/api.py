@@ -1,0 +1,58 @@
+"""The curated scripting facade: ``from repro.api import ...``.
+
+One flat namespace holding the names a script actually reaches for,
+re-exported from their defining modules — the stable spelling of the
+public surface (docs/API.md documents the layer behind each one):
+
+* platforms — :class:`SoftBorgPlatform` (closed rounds),
+  :class:`Service` (continuous serving), :class:`Fleet` (a platform
+  per program);
+* the platform halves — :class:`Hive`, :class:`Pod`;
+* knowledge stores — :class:`ConstraintCache` (recycled solver
+  facts), :class:`ExecutionTree` (merged path evidence);
+* fault injection — :class:`FaultProfile` and the named
+  :data:`PROFILES`;
+* observability — :class:`Tracer`, :class:`Registry`;
+* workloads — the canned scenarios plus both population classes.
+
+Importing this module pulls in the subsystems behind those names; for
+an import with no weight, ``import repro`` alone stays lazy.
+"""
+
+from repro.chaos import PROFILES, FaultProfile, resolve_profile
+from repro.config import BaseConfig, BaseReport
+from repro.exec import make_backend
+from repro.fleet import Fleet, FleetReport
+from repro.hive import Hive
+from repro.obs import Registry, get_registry, get_tracer
+from repro.obs.trace import Tracer
+from repro.platform import (
+    PlatformConfig, PlatformReport, SoftBorgPlatform,
+)
+from repro.pod import Pod
+from repro.serve import (
+    Autoscaler, AutoscalerConfig, ControlPlane, IngestPump, Service,
+    ServiceConfig, ServiceReport,
+)
+from repro.symbolic.cache import ConstraintCache
+from repro.tree import ExecutionTree
+from repro.workloads import (
+    Scenario, UserPopulation, ZipfPopulation, crash_scenario,
+    deadlock_scenario, mixed_corpus_scenario, race_scenario,
+    shortread_scenario,
+)
+
+__all__ = [
+    "SoftBorgPlatform", "PlatformConfig", "PlatformReport",
+    "Service", "ServiceConfig", "ServiceReport",
+    "ControlPlane", "Autoscaler", "AutoscalerConfig", "IngestPump",
+    "Fleet", "FleetReport",
+    "Hive", "Pod",
+    "ConstraintCache", "ExecutionTree",
+    "FaultProfile", "PROFILES", "resolve_profile",
+    "Tracer", "Registry", "get_registry", "get_tracer",
+    "BaseConfig", "BaseReport", "make_backend",
+    "Scenario", "UserPopulation", "ZipfPopulation",
+    "crash_scenario", "deadlock_scenario", "shortread_scenario",
+    "race_scenario", "mixed_corpus_scenario",
+]

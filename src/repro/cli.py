@@ -4,6 +4,9 @@ The common "kick the tires" flows:
 
 * ``run`` — the closed loop on a canned scenario, with the round table
   (``--json`` emits the full config/report/obs snapshot instead);
+* ``serve`` — the continuous-service hive: a tick-driven control plane
+  with autoscaled pod fleets streaming traces through the ingest pump
+  (``--json`` emits the deterministic service snapshot);
 * ``stats`` — same loop, but the output is the ``repro.obs`` registry
   snapshot: where the wall-clock went, trace-ingest counts, latency
   percentiles;
@@ -12,6 +15,12 @@ The common "kick the tires" flows:
   Prometheus text (``run --trace PATH`` is the one-flag shortcut);
 * ``portfolio`` — the 3-solver SAT portfolio on a small instance mix;
 * ``explore`` — cooperative symbolic exploration of a corpus program.
+
+Flags shared by every execution-shaped command (``--backend``,
+``--workers``, ``--batch-traces``, ``--solver-cache``, ``--chaos``)
+are defined **once**, in :func:`common_exec_flags`, and inherited via
+argparse parent parsers — per-command defaults are applied with
+``set_defaults`` so the definitions never fork.
 """
 
 from __future__ import annotations
@@ -23,7 +32,56 @@ from typing import List, Optional
 
 from repro.metrics.report import render_round_table, render_table
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "common_exec_flags",
+           "common_loop_flags"]
+
+SCENARIOS = ["crash", "deadlock", "shortread", "race"]
+
+
+def common_exec_flags() -> argparse.ArgumentParser:
+    """The execution-substrate flags every loop command inherits.
+
+    One definition, many subcommands: ``parents=[common_exec_flags()]``
+    gives a command ``--backend/--workers/--batch-traces/--solver-cache/
+    --chaos`` with uniform help text and choices. Override a default for
+    one command with ``set_defaults`` (parser-level defaults beat
+    argument-level ones), never by redefining the flag.
+    """
+    from repro.chaos import profile_names
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument("--backend", default="auto",
+                        choices=["auto", "serial", "thread", "process"],
+                        help="execution backend (auto = $REPRO_BACKEND"
+                             " or serial); reports are bit-identical"
+                             " across backends for a fixed seed")
+    parent.add_argument("--workers", type=int, default=0,
+                        help="worker shards for thread/process backends"
+                             " (0 = auto)")
+    parent.add_argument("--batch-traces", type=int, default=0,
+                        help="max traces per shard batch flush (0 = one"
+                             " flush per round)")
+    parent.add_argument("--solver-cache", default="none",
+                        choices=["none", "local", "collective"],
+                        help="constraint recycling: local = per-engine"
+                             " reuse only, collective = shard deltas"
+                             " merge into the hive cache and"
+                             " redistribute each round (see"
+                             " docs/SOLVING.md)")
+    parent.add_argument("--chaos", default="none",
+                        choices=profile_names(),
+                        help="fault profile to inject (see"
+                             " docs/CHAOS.md)")
+    return parent
+
+
+def common_loop_flags() -> argparse.ArgumentParser:
+    """The closed-loop shape flags (scenario/rounds/executions/seed)."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument("--scenario", default="crash", choices=SCENARIOS)
+    parent.add_argument("--rounds", type=int, default=15)
+    parent.add_argument("--executions", type=int, default=40)
+    parent.add_argument("--seed", type=int, default=2)
+    return parent
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -33,31 +91,15 @@ def build_parser() -> argparse.ArgumentParser:
                     " (HotDep'11 reproduction)")
     sub = parser.add_subparsers(dest="command", required=True)
 
-    run = sub.add_parser("run", help="run the closed loop on a scenario")
-    run.add_argument("--scenario", default="crash",
-                     choices=["crash", "deadlock", "shortread", "race"])
-    run.add_argument("--rounds", type=int, default=15)
-    run.add_argument("--executions", type=int, default=40)
+    # Each subparser gets a *fresh* parent instance: argparse adds
+    # parent actions by reference, and ``set_defaults`` mutates the
+    # action object — a shared instance would leak one command's
+    # defaults into every other.
+    run = sub.add_parser(
+        "run", parents=[common_loop_flags(), common_exec_flags()],
+        help="run the closed loop on a scenario")
     run.add_argument("--guidance", action="store_true")
     run.add_argument("--no-fixing", action="store_true")
-    run.add_argument("--seed", type=int, default=2)
-    run.add_argument("--backend", default="auto",
-                     choices=["auto", "serial", "thread", "process"],
-                     help="execution backend (auto = $REPRO_BACKEND or"
-                          " serial); reports are bit-identical across"
-                          " backends for a fixed seed")
-    run.add_argument("--workers", type=int, default=0,
-                     help="worker shards for thread/process backends"
-                          " (0 = auto)")
-    run.add_argument("--batch-traces", type=int, default=0,
-                     help="max traces per shard batch flush (0 = one"
-                          " flush per round)")
-    run.add_argument("--solver-cache", default="none",
-                     choices=["none", "local", "collective"],
-                     help="constraint recycling: local = per-engine"
-                          " reuse only, collective = shard deltas merge"
-                          " into the hive cache and redistribute each"
-                          " round (see docs/SOLVING.md)")
     run.add_argument("--check-invariants", action="store_true",
                      help="run the platform-wide invariant checks after"
                           " every round; exit non-zero on violation")
@@ -69,22 +111,41 @@ def build_parser() -> argparse.ArgumentParser:
                           " Chrome trace-event file (load in Perfetto /"
                           " chrome://tracing) to PATH")
 
+    serve = sub.add_parser(
+        "serve", parents=[common_exec_flags()],
+        help="run the hive as a continuous service: tick-driven"
+             " control plane, autoscaled pod fleet, streaming ingest"
+             " (see docs/SERVICE.md)")
+    serve.add_argument("--scenario", default="crash", choices=SCENARIOS)
+    serve.add_argument("--ticks", type=int, default=90,
+                       help="virtual-clock ticks to run")
+    serve.add_argument("--users", type=int, default=0,
+                       help="population size (lazy Zipf; scales to"
+                            " millions); 0 = the scenario's default"
+                            " population")
+    serve.add_argument("--seed", type=int, default=5)
+    serve.add_argument("--balance", default="round-robin",
+                       choices=["round-robin", "least-backlog",
+                                "consistent-hash"],
+                       help="run-to-pod load-balancing policy")
+    serve.add_argument("--json", action="store_true",
+                       help="emit the deterministic service snapshot"
+                            " as JSON (byte-identical across backends"
+                            " for a fixed seed)")
+    serve.add_argument("--snapshot-out", metavar="PATH", default=None,
+                       help="also write the service snapshot JSON to"
+                            " PATH")
+    serve.add_argument("--trace", metavar="PATH", default=None,
+                       help="record causal spans (incl. serve.scale_*)"
+                            " and write a Chrome trace-event file")
+
     stats = sub.add_parser(
-        "stats", help="run the closed loop and print the repro.obs"
-                      " metrics snapshot (wall-clock split, ingest"
-                      " counts, latency percentiles)")
-    stats.add_argument("--scenario", default="crash",
-                       choices=["crash", "deadlock", "shortread", "race"])
-    stats.add_argument("--rounds", type=int, default=10)
-    stats.add_argument("--executions", type=int, default=40)
+        "stats", parents=[common_loop_flags(), common_exec_flags()],
+        help="run the closed loop and print the repro.obs"
+             " metrics snapshot (wall-clock split, ingest"
+             " counts, latency percentiles)")
+    stats.set_defaults(rounds=10)
     stats.add_argument("--guidance", action="store_true")
-    stats.add_argument("--seed", type=int, default=2)
-    stats.add_argument("--backend", default="auto",
-                       choices=["auto", "serial", "thread", "process"])
-    stats.add_argument("--workers", type=int, default=0)
-    stats.add_argument("--batch-traces", type=int, default=0)
-    stats.add_argument("--solver-cache", default="none",
-                       choices=["none", "local", "collective"])
     stats.add_argument("--portfolio", type=int, default=0, metavar="N",
                        help="also run the 3-solver SAT portfolio on N"
                             " instances per family and include its"
@@ -92,42 +153,30 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument("--json", action="store_true",
                        help="emit the registry snapshot as JSON")
 
-    from repro.chaos import profile_names
     chaos = sub.add_parser(
-        "chaos", help="run the closed loop under a named fault profile"
-                      " and report survived/degraded/failed per round")
-    chaos.add_argument("--scenario", default="crash",
-                       choices=["crash", "deadlock", "shortread", "race"])
-    chaos.add_argument("--profile", default="lossy-workers",
+        "chaos", parents=[common_loop_flags(), common_exec_flags()],
+        help="run the closed loop under a named fault profile"
+             " and report survived/degraded/failed per round")
+    # `chaos` injects by default; `--profile` stays as the historical
+    # spelling of the shared `--chaos` flag (same dest, same choices).
+    chaos.set_defaults(rounds=8, seed=7, chaos="lossy-workers")
+    from repro.chaos import profile_names
+    chaos.add_argument("--profile", dest="chaos",
                        choices=profile_names(),
-                       help="fault profile to inject (see docs/CHAOS.md)")
-    chaos.add_argument("--rounds", type=int, default=8)
-    chaos.add_argument("--executions", type=int, default=40)
-    chaos.add_argument("--seed", type=int, default=7)
-    chaos.add_argument("--backend", default="auto",
-                       choices=["auto", "serial", "thread", "process"])
-    chaos.add_argument("--workers", type=int, default=0)
-    chaos.add_argument("--solver-cache", default="none",
-                       choices=["none", "local", "collective"])
+                       default=argparse.SUPPRESS,
+                       help="alias for --chaos")
     chaos.add_argument("--json", action="store_true",
                        help="emit the chaos summary + invariant report"
                             " as JSON")
 
     from repro.obs.export import TRACE_FORMATS
     trace = sub.add_parser(
-        "trace", help="run the closed loop with causal span tracing on"
-                      " and export the trace (Chrome trace-event JSON,"
-                      " span JSONL, or Prometheus text)")
-    trace.add_argument("--scenario", default="crash",
-                       choices=["crash", "deadlock", "shortread", "race"])
-    trace.add_argument("--rounds", type=int, default=8)
-    trace.add_argument("--executions", type=int, default=40)
+        "trace", parents=[common_loop_flags(), common_exec_flags()],
+        help="run the closed loop with causal span tracing on"
+             " and export the trace (Chrome trace-event JSON,"
+             " span JSONL, or Prometheus text)")
+    trace.set_defaults(rounds=8)
     trace.add_argument("--guidance", action="store_true")
-    trace.add_argument("--seed", type=int, default=2)
-    trace.add_argument("--backend", default="auto",
-                       choices=["auto", "serial", "thread", "process"])
-    trace.add_argument("--workers", type=int, default=0)
-    trace.add_argument("--batch-traces", type=int, default=0)
     trace.add_argument("--out", required=True, metavar="PATH",
                        help="file to write the exported trace to")
     trace.add_argument("--format", default="chrome",
@@ -144,17 +193,13 @@ def build_parser() -> argparse.ArgumentParser:
     portfolio.add_argument("--budget", type=int, default=400_000)
 
     explore = sub.add_parser(
-        "explore", help="cooperative symbolic exploration of a corpus"
-                        " program")
-    explore.add_argument("--workers", type=int, default=4)
+        "explore", parents=[common_exec_flags()],
+        help="cooperative symbolic exploration of a corpus program")
+    explore.set_defaults(workers=4)
     explore.add_argument("--mode", default="dynamic",
                          choices=["dynamic", "static"])
     explore.add_argument("--loss", type=float, default=0.0)
     explore.add_argument("--seed", type=int, default=9)
-    explore.add_argument("--solver-cache", default="none",
-                         choices=["none", "local", "collective"],
-                         help="constraint recycling across workers"
-                              " (see docs/SOLVING.md)")
 
     fleet = sub.add_parser(
         "fleet", help="run the closed loop over a corpus of programs")
@@ -172,6 +217,19 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _scenario_factory(name: str):
+    from repro.workloads.scenarios import (
+        crash_scenario, deadlock_scenario, race_scenario,
+        shortread_scenario,
+    )
+    return {
+        "crash": crash_scenario,
+        "deadlock": deadlock_scenario,
+        "shortread": shortread_scenario,
+        "race": race_scenario,
+    }[name]
+
+
 def _run_platform(args, fixing: bool = True, tracing: bool = False):
     """Build + run one closed loop from CLI args (run/stats share it)."""
     from repro.obs import Tracer, reset, set_tracer
@@ -182,17 +240,7 @@ def _run_platform(args, fixing: bool = True, tracing: bool = False):
     # platform resolves its handle.
     reset()
     set_tracer(Tracer(enabled=tracing))
-    from repro.workloads.scenarios import (
-        crash_scenario, deadlock_scenario, race_scenario,
-        shortread_scenario,
-    )
-    factories = {
-        "crash": crash_scenario,
-        "deadlock": deadlock_scenario,
-        "shortread": shortread_scenario,
-        "race": race_scenario,
-    }
-    scenario = factories[args.scenario](seed=args.seed)
+    scenario = _scenario_factory(args.scenario)(seed=args.seed)
     multithreaded = len(scenario.program.threads) > 1
     platform = SoftBorgPlatform(scenario, PlatformConfig(
         rounds=args.rounds,
@@ -204,7 +252,7 @@ def _run_platform(args, fixing: bool = True, tracing: bool = False):
         backend=getattr(args, "backend", "auto"),
         workers=getattr(args, "workers", 0),
         batch_max_traces=getattr(args, "batch_traces", 0),
-        chaos_profile=getattr(args, "profile", "none"),
+        chaos_profile=getattr(args, "chaos", "none"),
         check_invariants=getattr(args, "check_invariants", False),
         solver_cache=getattr(args, "solver_cache", "none"),
     ))
@@ -269,11 +317,77 @@ def _cmd_run(args) -> int:
     return 1 if violated else 0
 
 
+def _cmd_serve(args) -> int:
+    from repro.obs import Tracer, reset, set_tracer
+    from repro.serve import Service, ServiceConfig
+    reset()
+    set_tracer(Tracer(enabled=bool(args.trace)))
+    scenario = _scenario_factory(args.scenario)(seed=args.seed)
+    service = Service(scenario, ServiceConfig(
+        ticks=args.ticks,
+        users=args.users,
+        seed=args.seed,
+        balance=args.balance,
+        backend=args.backend,
+        workers=args.workers,
+        batch_max_traces=args.batch_traces,
+        chaos_profile=args.chaos,
+        solver_cache=args.solver_cache,
+        enable_proofs=False,
+    ))
+    report = service.run()
+    snapshot = service.snapshot()
+    spans = _write_trace(args.trace) if args.trace else 0
+    if args.snapshot_out:
+        with open(args.snapshot_out, "w", encoding="utf-8") as handle:
+            json.dump(snapshot, handle, sort_keys=True, indent=2)
+            handle.write("\n")
+    lag_ok = snapshot["ingest_lag"]["ok"]
+    if args.json:
+        print(json.dumps(snapshot, sort_keys=True, indent=2))
+        return 0 if lag_ok else 1
+    pods = snapshot["autoscalers"]["pods"]
+    ingest = snapshot["autoscalers"]["ingest_workers"]
+    rows = [[event["tick"], event["pool"], event["direction"],
+             event["from_replicas"], event["to_replicas"], event["load"]]
+            for event in sorted(
+                pods["events"] + ingest["events"],
+                key=lambda event: (event["tick"], event["pool"]))]
+    print(render_table(
+        ["tick", "pool", "dir", "from", "to", "load"], rows,
+        title=f"Service on {scenario.program.name!r}:"
+              f" {args.ticks} ticks, seed {args.seed}"))
+    print()
+    print(f"executions : {report.total_executions}"
+          f" ({report.total_failures} failures,"
+          f" rate {report.failure_rate():.2%})")
+    print(f"fleet      : {snapshot['fleet']['ready']} ready /"
+          f" {snapshot['fleet']['desired']} desired"
+          f" (max {snapshot['fleet']['max_pods']},"
+          f" {snapshot['fleet']['restarts']} restarts)")
+    print(f"scaling    : pods {pods['scale_ups']} up /"
+          f" {pods['scale_downs']} down;"
+          f" ingest {ingest['scale_ups']} up /"
+          f" {ingest['scale_downs']} down")
+    print(f"ingest lag : max {report.max_ingest_lag_ticks:.2f} ticks"
+          f" (bound {service.config.max_ingest_lag_ticks:.2f},"
+          f" {'OK' if lag_ok else 'EXCEEDED'})")
+    print(f"pump       : {snapshot['pump']['entries_drained']} entries"
+          f" ingested, {snapshot['pump']['frames_discarded']} frames"
+          f" lost, {snapshot['pump']['wire_bytes']} wire bytes")
+    print(f"fixes      : {report.fixes or 'none'}")
+    if args.trace:
+        print(f"trace      : {spans} spans -> {args.trace}")
+    if args.snapshot_out:
+        print(f"snapshot   : -> {args.snapshot_out}")
+    return 0 if lag_ok else 1
+
+
 def _cmd_chaos(args) -> int:
     platform, _report = _run_platform(args)
     chaos = platform.chaos
-    if chaos is None:  # --profile none: nothing injected, nothing to grade
-        print(f"profile {args.profile!r} injects no faults; run completed")
+    if chaos is None:  # --chaos none: nothing injected, nothing to grade
+        print(f"profile {args.chaos!r} injects no faults; run completed")
         return 0
     violated = bool(platform.invariant_violations)
     failed = violated or not chaos.all_survived()
@@ -501,6 +615,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
         "run": _cmd_run,
+        "serve": _cmd_serve,
         "stats": _cmd_stats,
         "trace": _cmd_trace,
         "chaos": _cmd_chaos,

@@ -189,12 +189,14 @@ class SerialBackend(_BackendBase):
     def __init__(self, pods: Sequence[Pod], hive_program: Program,
                  limits: Optional[ExecutionLimits] = None,
                  dedup: bool = False, batch_max_traces: int = 0,
-                 workers: int = 1, solver_cache: bool = False):
+                 workers: int = 1, solver_cache: bool = False,
+                 replay_products: bool = True):
         super().__init__(workers=1)
         self._shard = Shard(0, dict(enumerate(pods)), hive_program,
                             limits=limits, dedup=dedup,
                             batch_max_traces=batch_max_traces,
-                            solver_cache=self._shard_cache(solver_cache))
+                            solver_cache=self._shard_cache(solver_cache),
+                            replay_products=replay_products)
 
     def _run_round(self, plan: RoundPlan, ctx=None) -> List[ShardResult]:
         return [self._shard.run_shard(plan.runs, ctx)]
@@ -218,7 +220,8 @@ class ThreadBackend(_BackendBase):
     def __init__(self, pods: Sequence[Pod], hive_program: Program,
                  limits: Optional[ExecutionLimits] = None,
                  dedup: bool = False, batch_max_traces: int = 0,
-                 workers: int = 2, solver_cache: bool = False):
+                 workers: int = 2, solver_cache: bool = False,
+                 replay_products: bool = True):
         super().__init__(workers=workers)
         self._shards: List[Shard] = []
         for shard_id in range(workers):
@@ -229,7 +232,8 @@ class ThreadBackend(_BackendBase):
             self._shards.append(Shard(
                 shard_id, members, hive_program, limits=limits,
                 dedup=dedup, batch_max_traces=batch_max_traces,
-                solver_cache=self._shard_cache(solver_cache)))
+                solver_cache=self._shard_cache(solver_cache),
+                replay_products=replay_products))
         self._pool = None
 
     def _ensure_pool(self):
@@ -282,7 +286,8 @@ class ProcessBackend(_BackendBase):
                  capture, limits: Optional[ExecutionLimits] = None,
                  fault_rate: float = 0.0,
                  dedup: bool = False, batch_max_traces: int = 0,
-                 workers: int = 2, solver_cache: bool = False):
+                 workers: int = 2, solver_cache: bool = False,
+                 replay_products: bool = True):
         super().__init__(workers=workers)
         from repro.progmodel.serialize import encode_program
         self._pod_specs = list(pod_specs)   # (global_index, pod_id, seed)
@@ -293,6 +298,7 @@ class ProcessBackend(_BackendBase):
         self._dedup = dedup
         self._batch_max_traces = batch_max_traces
         self._solver_cache = solver_cache
+        self._replay_products = replay_products
         self._procs: List = []
         self._pipes: List = []
         # Last-seen worker counter totals, for delta-merging worker
@@ -330,7 +336,7 @@ class ProcessBackend(_BackendBase):
                   # equivalent tracer. The clock must be picklable —
                   # builtins and FixedClock are.
                   self._tracer.spec(),
-                  self._solver_cache),
+                  self._solver_cache, self._replay_products),
             daemon=True,
         )
         proc.start()
@@ -497,7 +503,8 @@ def _process_worker_main(conn, shard_id: int, specs, program_blob: bytes,
                          capture, limits, fault_rate: float,
                          dedup: bool, batch_max_traces: int,
                          tracer_spec=(False, None),
-                         solver_cache: bool = False) -> None:
+                         solver_cache: bool = False,
+                         replay_products: bool = True) -> None:
     """Worker entry point: rebuild the shard, serve round requests."""
     import traceback
 
@@ -526,7 +533,8 @@ def _process_worker_main(conn, shard_id: int, specs, program_blob: bytes,
         }
         shard = Shard(shard_id, pods, program, limits=limits,
                       dedup=dedup, batch_max_traces=batch_max_traces,
-                      solver_cache=_BackendBase._shard_cache(solver_cache))
+                      solver_cache=_BackendBase._shard_cache(solver_cache),
+                      replay_products=replay_products)
     except Exception:  # pragma: no cover - construction is config-pure
         conn.send(("error", traceback.format_exc()))
         return
@@ -559,13 +567,17 @@ def make_backend(name: str, pods: Sequence[Pod], hive_program: Program,
                  fault_rate: float = 0.0, dedup: bool = False,
                  batch_max_traces: int = 0,
                  workers: int = 0,
-                 solver_cache: str = "none") -> ExecutorBackend:
+                 solver_cache: str = "none",
+                 replay_products: bool = True) -> ExecutorBackend:
     """Build the backend named by ``name`` (already resolved).
 
     ``solver_cache="collective"`` equips every shard with a private
     :class:`~repro.symbolic.cache.ConstraintCache` that recycles replayed
     traces into solver facts; ``"local"`` and ``"none"`` leave shards
     cache-free (a local cache lives hive-side only).
+    ``replay_products=False`` turns shard-side replay off entirely —
+    service mode does this when its wire re-framing would discard the
+    products anyway.
     """
     workers = resolve_workers(workers, name, len(pods))
     recycle = solver_cache == "collective"
@@ -573,12 +585,14 @@ def make_backend(name: str, pods: Sequence[Pod], hive_program: Program,
         return SerialBackend(pods, hive_program, limits=limits,
                              dedup=dedup,
                              batch_max_traces=batch_max_traces,
-                             solver_cache=recycle)
+                             solver_cache=recycle,
+                             replay_products=replay_products)
     if name == "thread":
         return ThreadBackend(pods, hive_program, limits=limits,
                              dedup=dedup,
                              batch_max_traces=batch_max_traces,
-                             workers=workers, solver_cache=recycle)
+                             workers=workers, solver_cache=recycle,
+                             replay_products=replay_products)
     if name == "process":
         specs = [(index, pod.pod_id, pod.seed)
                  for index, pod in enumerate(pods)]
@@ -586,5 +600,6 @@ def make_backend(name: str, pods: Sequence[Pod], hive_program: Program,
                               limits=limits, fault_rate=fault_rate,
                               dedup=dedup,
                               batch_max_traces=batch_max_traces,
-                              workers=workers, solver_cache=recycle)
+                              workers=workers, solver_cache=recycle,
+                              replay_products=replay_products)
     raise ConfigError(f"unknown backend {name!r}")

@@ -50,13 +50,18 @@ class Shard:
                  dedup: bool = False,
                  batch_max_traces: int = 0,
                  collect_tree: bool = True,
-                 solver_cache=None):
+                 solver_cache=None,
+                 replay_products: bool = True):
         self.shard_id = shard_id
         self.pods = pods                       # global pod index -> Pod
         self.hive_program = hive_program       # what the hive replays on
         self.limits = limits or ExecutionLimits()
         self.batch_max_traces = batch_max_traces
         self.collect_tree = collect_tree
+        # Service mode turns shard-side replay off: products never
+        # survive the pump's re-framed wire, so building them is pure
+        # waste there — unless collective recycling mines them.
+        self.replay_products = replay_products
         # Collective constraint recycling: a private ConstraintCache the
         # shard fills with SAT facts mined from its replayed traces (a
         # concrete run *is* a model of its own path condition). Private
@@ -216,7 +221,8 @@ class Shard:
             payload = encode_trace(trace)
             span.set(bytes=len(payload))
         entry = BatchEntry(global_index=global_index, payload=payload)
-        entry.product = self._replay(trace, tree)
+        if self.replay_products:
+            entry.product = self._replay(trace, tree)
         return entry
 
     def _replay(self, trace: Trace,

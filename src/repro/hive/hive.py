@@ -20,7 +20,6 @@ from repro.fixes.patches import synthesize_recovery_fixes
 from repro.fixes.repairlab import RepairLab
 from repro.fixes.validation import FixValidator, make_validation_suite
 from repro.guidance.steering import Steering, SteeringDirective
-from repro.interfaces import deprecated_alias
 from repro.progmodel.interpreter import (
     ExecutionLimits, Interpreter, Outcome, ReplaySource,
 )
@@ -228,11 +227,6 @@ class Hive(Instrumented):
         from repro.tracing.dedup import trace_digest
         self._digest_paths[trace_digest(trace)] = (
             tuple(result.path_decisions), result.outcome)
-
-    @deprecated_alias("ingest_trace")
-    def ingest(self, trace: Trace) -> None:
-        """Deprecated spelling of :meth:`ingest_trace`."""
-        self.ingest_trace(trace)
 
     def ingest_batch(self, batches) -> int:
         """Fold a round's worth of shard :class:`TraceBatch` flushes.

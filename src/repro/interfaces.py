@@ -16,9 +16,12 @@ protocols:
   hands them over in batches (pods batching for the wire, shard
   collectors batching for the hive).
 
-The old method names (``Hive.ingest``) remain as thin aliases that
-emit :class:`DeprecationWarning`; new code should speak the protocol
-names (``ingest_trace`` / ``ingest_heartbeat`` / ``ingest_batch``).
+Legacy spellings live through :func:`deprecated_alias`: the alias
+emits a :class:`DeprecationWarning` that names its replacement and the
+version that deletes it, and is removed at that version (the full
+policy is in docs/API.md; ``Hive.ingest`` already went through the
+cycle — speak ``ingest_trace`` / ``ingest_heartbeat`` /
+``ingest_batch``).
 """
 
 from __future__ import annotations
@@ -69,18 +72,23 @@ class TraceSource(Protocol):
         """Hand over everything accumulated so far and forget it."""
 
 
-def deprecated_alias(replacement: str) -> Callable:
+def deprecated_alias(replacement: str,
+                     removal_version: str) -> Callable:
     """Decorator for a thin alias kept for backward compatibility.
 
     The wrapped body should simply delegate; the decorator adds the
-    :class:`DeprecationWarning` naming the replacement so call sites
-    migrate toward the :class:`TraceSink` surface.
+    :class:`DeprecationWarning` naming both the replacement and the
+    release that deletes the alias, so call sites know the migration
+    *and* the deadline. Policy (docs/API.md): an alias lives for at
+    least one minor release with the warning, then is removed at
+    ``removal_version`` — keeping it longer than that is a bug.
     """
     def decorate(func: Callable) -> Callable:
         @functools.wraps(func)
         def wrapper(self, *args, **kwargs):
             warnings.warn(
-                f"{type(self).__name__}.{func.__name__}() is deprecated;"
+                f"{type(self).__name__}.{func.__name__}() is deprecated"
+                f" and will be removed in {removal_version};"
                 f" use {type(self).__name__}.{replacement}() instead",
                 DeprecationWarning, stacklevel=2)
             return func(self, *args, **kwargs)

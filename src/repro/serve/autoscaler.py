@@ -1,0 +1,198 @@
+"""HPA-style autoscaling against a deterministic load signal.
+
+One :class:`Autoscaler` watches one replica pool (pod fleet, ingest
+workers) and one load metric (admission backlog, pump depth — both
+already measured by the ``repro.obs`` registry) and emits a desired
+replica count per virtual-clock tick. The decision rule is the
+horizontal-pod-autoscaler classic, made deterministic by running on
+tick counts instead of wall-clock:
+
+* ``raw = ceil(load / target_per_replica)`` — how many replicas the
+  current load wants;
+* **scale up** as soon as pressure has persisted ``up_stable_ticks``
+  consecutive ticks (default 1: bursts are why the service exists);
+* **scale down** only after the lower demand has persisted
+  ``down_stable_ticks`` consecutive ticks *and* ``cooldown_ticks``
+  have passed since the last scaling action — the hysteresis that
+  stops a draining queue from flapping the fleet;
+* always clamp into ``[min_replicas, max_replicas]`` and cap a single
+  step at ``max_step`` replicas.
+
+Decisions are pure functions of the observation history, so the same
+seed and tick budget reproduces the same scaling trajectory on every
+backend.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.config import BaseReport
+from repro.errors import ConfigError
+
+__all__ = ["AutoscalerConfig", "ScaleDecision", "ScaleEvent", "Autoscaler"]
+
+
+@dataclass
+class AutoscalerConfig:
+    """The knobs of one autoscaler (see docs/SERVICE.md)."""
+
+    min_replicas: int = 1
+    max_replicas: int = 8
+    #: Load units one replica is expected to absorb per tick.
+    target_per_replica: int = 4
+    #: Consecutive ticks of excess demand before scaling up.
+    up_stable_ticks: int = 1
+    #: Consecutive ticks of reduced demand before scaling down.
+    down_stable_ticks: int = 3
+    #: Ticks after any scaling action during which no further action
+    #: fires (applies to scale-down only; bursts must not wait).
+    cooldown_ticks: int = 2
+    #: Largest replica delta one decision may apply.
+    max_step: int = 4
+
+    def validate(self) -> None:
+        if self.min_replicas < 1:
+            raise ConfigError("min_replicas must be >= 1")
+        if self.max_replicas < self.min_replicas:
+            raise ConfigError("max_replicas must be >= min_replicas")
+        if self.target_per_replica < 1:
+            raise ConfigError("target_per_replica must be >= 1")
+        if self.up_stable_ticks < 1 or self.down_stable_ticks < 1:
+            raise ConfigError("stability windows must be >= 1 tick")
+        if self.cooldown_ticks < 0:
+            raise ConfigError("cooldown_ticks must be >= 0")
+        if self.max_step < 1:
+            raise ConfigError("max_step must be >= 1")
+
+
+@dataclass
+class ScaleDecision:
+    """What one observation produced."""
+
+    tick: int
+    current: int
+    desired: int
+    reason: str = ""
+
+    @property
+    def changed(self) -> bool:
+        return self.desired != self.current
+
+    @property
+    def direction(self) -> str:
+        if self.desired > self.current:
+            return "up"
+        if self.desired < self.current:
+            return "down"
+        return "hold"
+
+
+@dataclass
+class ScaleEvent(BaseReport):
+    """One applied scaling action (lands in the service snapshot and,
+    when tracing is on, as a ``serve.scale_*`` span)."""
+
+    tick: int
+    pool: str
+    direction: str
+    from_replicas: int
+    to_replicas: int
+    load: int
+    reason: str
+
+
+class Autoscaler:
+    """One replica pool's controller; observe once per tick."""
+
+    def __init__(self, pool: str, config: Optional[AutoscalerConfig] = None,
+                 initial: Optional[int] = None):
+        self.pool = pool
+        self.config = config or AutoscalerConfig()
+        self.config.validate()
+        self.replicas = (self.config.min_replicas if initial is None
+                         else initial)
+        if not (self.config.min_replicas <= self.replicas
+                <= self.config.max_replicas):
+            raise ConfigError(
+                f"initial replicas {self.replicas} outside"
+                f" [{self.config.min_replicas},"
+                f" {self.config.max_replicas}]")
+        self.events: List[ScaleEvent] = []
+        self._over_ticks = 0     # consecutive ticks wanting more
+        self._under_ticks = 0    # consecutive ticks wanting fewer
+        self._last_action_tick: Optional[int] = None
+
+    def _raw_desired(self, load: int) -> int:
+        config = self.config
+        raw = math.ceil(load / config.target_per_replica) if load > 0 else 0
+        return max(config.min_replicas, min(config.max_replicas, raw))
+
+    def _in_cooldown(self, tick: int) -> bool:
+        return (self._last_action_tick is not None
+                and tick - self._last_action_tick
+                < self.config.cooldown_ticks)
+
+    def observe(self, tick: int, load: int) -> ScaleDecision:
+        """Feed one tick's load; returns the (possibly held) decision.
+
+        A ``changed`` decision has already been applied to
+        :attr:`replicas` and appended to :attr:`events` — the caller
+        only has to reconcile the pool toward the new count.
+        """
+        config = self.config
+        raw = self._raw_desired(load)
+        if raw > self.replicas:
+            self._over_ticks += 1
+            self._under_ticks = 0
+        elif raw < self.replicas:
+            self._under_ticks += 1
+            self._over_ticks = 0
+        else:
+            self._over_ticks = 0
+            self._under_ticks = 0
+
+        desired = self.replicas
+        reason = "steady"
+        if (raw > self.replicas
+                and self._over_ticks >= config.up_stable_ticks):
+            desired = min(raw, self.replicas + config.max_step,
+                          config.max_replicas)
+            reason = (f"load {load} wants {raw} replicas"
+                      f" (target {config.target_per_replica}/replica,"
+                      f" {self._over_ticks} ticks over)")
+        elif (raw < self.replicas
+                and self._under_ticks >= config.down_stable_ticks
+                and not self._in_cooldown(tick)):
+            desired = max(raw, self.replicas - config.max_step,
+                          config.min_replicas)
+            reason = (f"load {load} needs only {raw} replicas"
+                      f" ({self._under_ticks} stable ticks,"
+                      f" hysteresis satisfied)")
+
+        decision = ScaleDecision(tick=tick, current=self.replicas,
+                                 desired=desired, reason=reason)
+        if decision.changed:
+            self.events.append(ScaleEvent(
+                tick=tick, pool=self.pool, direction=decision.direction,
+                from_replicas=self.replicas, to_replicas=desired,
+                load=load, reason=reason))
+            self.replicas = desired
+            self._last_action_tick = tick
+            self._over_ticks = 0
+            self._under_ticks = 0
+        return decision
+
+    def summary(self) -> dict:
+        ups = sum(1 for event in self.events if event.direction == "up")
+        downs = sum(1 for event in self.events
+                    if event.direction == "down")
+        return {
+            "pool": self.pool,
+            "replicas": self.replicas,
+            "scale_ups": ups,
+            "scale_downs": downs,
+            "events": [event.as_dict() for event in self.events],
+        }

@@ -1,0 +1,140 @@
+"""Pluggable load-balancing policies: which pod gets the next run.
+
+The control plane hands each policy the same deterministic view — the
+sorted list of ready pod indices and the per-pod load (runs already
+queued on the pod this tick) — and asks for one assignment at a time.
+Three policies, mirroring the classic spread of a container scheduler:
+
+* ``round-robin`` — rotate through the ready set; statefully fair, and
+  indifferent to load.
+* ``least-backlog`` — pick the ready pod with the fewest queued runs
+  (ties break toward the lowest pod index), the work-stealing-flavoured
+  default.
+* ``consistent-hash`` — hash the assignment key onto a ring of virtual
+  nodes per pod, so a pod joining or leaving the ready set remaps only
+  the keys it owns; useful when runs should stick to pods (warm caches,
+  dedup state).
+
+Every policy is a pure function of its inputs plus explicitly-held
+state, so assignments are identical on every backend and every run of
+the same seed.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from repro.errors import ConfigError
+
+__all__ = [
+    "BalancePolicy", "RoundRobinBalancer", "LeastBacklogBalancer",
+    "ConsistentHashBalancer", "make_balancer", "BALANCE_POLICIES",
+]
+
+
+class BalancePolicy:
+    """What the service loop requires of a balancer."""
+
+    name = "abstract"
+
+    def assign(self, key: int, ready: Sequence[int],
+               loads: Mapping[int, int]) -> int:
+        """Pick one pod index from ``ready`` for assignment ``key``.
+
+        ``ready`` is sorted ascending and non-empty; ``loads`` maps pod
+        index to the runs already assigned to it (this tick's queue).
+        """
+        raise NotImplementedError
+
+
+class RoundRobinBalancer(BalancePolicy):
+    """Rotate through the ready set, skipping over membership changes.
+
+    The cursor counts assignments, not pods, so a fleet resize shifts
+    the rotation instead of resetting it — the behaviour of a classic
+    TCP virtual-server rotor.
+    """
+
+    name = "round-robin"
+
+    def __init__(self):
+        self._cursor = 0
+
+    def assign(self, key: int, ready: Sequence[int],
+               loads: Mapping[int, int]) -> int:
+        chosen = ready[self._cursor % len(ready)]
+        self._cursor += 1
+        return chosen
+
+
+class LeastBacklogBalancer(BalancePolicy):
+    """Send the run to the least-loaded ready pod (lowest index wins
+    ties), the scheduler analogue of least-connections."""
+
+    name = "least-backlog"
+
+    def assign(self, key: int, ready: Sequence[int],
+               loads: Mapping[int, int]) -> int:
+        return min(ready, key=lambda pod: (loads.get(pod, 0), pod))
+
+
+class ConsistentHashBalancer(BalancePolicy):
+    """Hash keys onto a ring of virtual nodes per pod id.
+
+    The ring is rebuilt only when the ready set changes; a pod leaving
+    remaps only the arcs it owned (≈ 1/n of the keyspace), so sticky
+    assignments survive fleet churn — the property the dedup and
+    warm-cache layers want.
+    """
+
+    name = "consistent-hash"
+
+    def __init__(self, virtual_nodes: int = 32):
+        if virtual_nodes < 1:
+            raise ConfigError("consistent-hash needs >= 1 virtual node")
+        self.virtual_nodes = virtual_nodes
+        self._ring_for: Tuple[int, ...] = ()
+        self._ring: List[Tuple[int, int]] = []   # (point, pod index)
+        self._points: List[int] = []
+
+    @staticmethod
+    def _point(label: str) -> int:
+        digest = hashlib.blake2b(label.encode("utf-8"), digest_size=8)
+        return int.from_bytes(digest.digest(), "big")
+
+    def _rebuild(self, ready: Sequence[int]) -> None:
+        ring: List[Tuple[int, int]] = []
+        for pod in ready:
+            for replica in range(self.virtual_nodes):
+                ring.append((self._point(f"pod{pod}#{replica}"), pod))
+        ring.sort()
+        self._ring = ring
+        self._points = [point for point, _pod in ring]
+        self._ring_for = tuple(ready)
+
+    def assign(self, key: int, ready: Sequence[int],
+               loads: Mapping[int, int]) -> int:
+        if tuple(ready) != self._ring_for:
+            self._rebuild(ready)
+        point = self._point(f"key{key}")
+        index = bisect.bisect_right(self._points, point) % len(self._ring)
+        return self._ring[index][1]
+
+
+BALANCE_POLICIES: Dict[str, type] = {
+    RoundRobinBalancer.name: RoundRobinBalancer,
+    LeastBacklogBalancer.name: LeastBacklogBalancer,
+    ConsistentHashBalancer.name: ConsistentHashBalancer,
+}
+
+
+def make_balancer(name: str) -> BalancePolicy:
+    """Instantiate the policy named ``name`` (fresh state)."""
+    try:
+        return BALANCE_POLICIES[name]()
+    except KeyError:
+        raise ConfigError(
+            f"unknown balance policy {name!r}; expected one of"
+            f" {', '.join(sorted(BALANCE_POLICIES))}")

@@ -1,0 +1,210 @@
+"""The control plane: API-server-style pod-fleet state tracking.
+
+The service's fleet is *declared*, not commanded: the autoscaler (or an
+operator) sets a **desired** replica count, and the control plane's
+:meth:`ControlPlane.reconcile` step — run once per virtual-clock tick —
+moves the **actual** fleet toward it, exactly the way a node controller
+converges on a Deployment spec:
+
+* scale-up admits the lowest-index unscheduled pods as ``pending`` and
+  immediately schedules them to ``warming``; a warming pod becomes
+  ``ready`` after ``warmup_ticks`` ticks (the cold-start cost that the
+  autoscaler's hysteresis has to ride out);
+* scale-down terminates the highest-index live pods first, so the
+  surviving set is always the prefix ``{0..desired-1}`` — a
+  deterministic membership rule every balancer can rely on;
+* a chaos kill (:meth:`kill`) sends a ready/warming pod back through
+  warm-up with its restart counter bumped — the fleet self-heals on the
+  next reconcile without autoscaler involvement.
+
+Pods report liveness through :meth:`heartbeat` (tick stamp plus their
+current lag); the fleet document exposes desired vs. ready counts,
+per-pod phase/heartbeat/lag/restarts, and the full transition event
+log. Everything is integer-tick arithmetic: two runs at the same seed
+replay the identical fleet history on every backend.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.config import BaseReport
+from repro.errors import ConfigError
+from repro.obs import Instrumented
+
+__all__ = ["PodPhase", "PodRecord", "FleetEvent", "ControlPlane"]
+
+
+class PodPhase:
+    """Lifecycle phases of one fleet pod (string enum, JSON-ready)."""
+
+    UNSCHEDULED = "unscheduled"   # exists in the spec, not in the fleet
+    PENDING = "pending"           # admitted, awaiting scheduling
+    WARMING = "warming"           # cold-starting; not yet serving
+    READY = "ready"               # serving runs
+    TERMINATED = "terminated"     # scaled away
+
+    LIVE = (PENDING, WARMING, READY)
+
+
+@dataclass
+class PodRecord(BaseReport):
+    """Everything the control plane tracks about one pod."""
+
+    pod_index: int
+    phase: str = PodPhase.UNSCHEDULED
+    phase_since: int = 0          # tick of the last phase change
+    heartbeat_tick: int = -1      # last tick the pod reported in
+    lag: int = 0                  # runs queued on the pod at heartbeat
+    restarts: int = 0             # chaos kills survived
+    runs_assigned: int = 0        # lifetime assignment count
+
+
+@dataclass
+class FleetEvent(BaseReport):
+    """One pod phase transition (the control plane's audit log)."""
+
+    tick: int
+    pod_index: int
+    from_phase: str
+    to_phase: str
+    reason: str = ""
+
+
+class ControlPlane(Instrumented):
+    """Tracks desired vs. actual fleet state; reconciles per tick."""
+
+    obs_namespace = "serve.control"
+
+    def __init__(self, max_pods: int, warmup_ticks: int = 2,
+                 initial: int = 1):
+        if max_pods < 1:
+            raise ConfigError("control plane needs max_pods >= 1")
+        if not 0 <= initial <= max_pods:
+            raise ConfigError("initial pods must be in [0, max_pods]")
+        if warmup_ticks < 0:
+            raise ConfigError("warmup_ticks must be >= 0")
+        self.max_pods = max_pods
+        self.warmup_ticks = warmup_ticks
+        self.desired = initial
+        self.pods: Dict[int, PodRecord] = {
+            index: PodRecord(pod_index=index) for index in range(max_pods)}
+        self.events: List[FleetEvent] = []
+        self._obs_transitions = self.obs_counter("transitions")
+        self._obs_kills = self.obs_counter("kills")
+        self._obs_ready = self.obs_gauge("ready")
+        self._obs_desired = self.obs_gauge("desired")
+        self._obs_desired.set(initial)
+        # Tick-0 fleets start warming immediately (initial pods are
+        # "already scheduled" — the service's first reconcile promotes
+        # them after warm-up like everything else).
+        for index in range(initial):
+            self._transition(self.pods[index], PodPhase.WARMING, 0,
+                             "initial fleet")
+
+    # -- spec ------------------------------------------------------------------
+
+    def set_desired(self, count: int, tick: int,
+                    reason: str = "") -> None:
+        """Declare the target replica count (the autoscaler's output)."""
+        count = max(0, min(self.max_pods, count))
+        if count == self.desired:
+            return
+        self.desired = count
+        self._obs_desired.set(count)
+        self.events.append(FleetEvent(
+            tick=tick, pod_index=-1, from_phase="spec", to_phase="spec",
+            reason=reason or f"desired -> {count}"))
+
+    # -- status ----------------------------------------------------------------
+
+    def live_indices(self) -> List[int]:
+        return sorted(index for index, pod in self.pods.items()
+                      if pod.phase in PodPhase.LIVE)
+
+    def ready_indices(self) -> List[int]:
+        return sorted(index for index, pod in self.pods.items()
+                      if pod.phase == PodPhase.READY)
+
+    def heartbeat(self, pod_index: int, tick: int, lag: int = 0) -> None:
+        pod = self.pods[pod_index]
+        pod.heartbeat_tick = tick
+        pod.lag = lag
+
+    def note_assignment(self, pod_index: int, count: int = 1) -> None:
+        self.pods[pod_index].runs_assigned += count
+
+    # -- transitions -----------------------------------------------------------
+
+    def _transition(self, pod: PodRecord, phase: str, tick: int,
+                    reason: str) -> None:
+        self.events.append(FleetEvent(
+            tick=tick, pod_index=pod.pod_index,
+            from_phase=pod.phase, to_phase=phase, reason=reason))
+        pod.phase = phase
+        pod.phase_since = tick
+        self._obs_transitions.inc()
+
+    def kill(self, pod_index: int, tick: int,
+             reason: str = "chaos kill") -> None:
+        """A pod died (chaos): back through warm-up, restarts bumped."""
+        pod = self.pods[pod_index]
+        if pod.phase not in (PodPhase.READY, PodPhase.WARMING):
+            return
+        pod.restarts += 1
+        self._obs_kills.inc()
+        self._transition(pod, PodPhase.WARMING, tick, reason)
+
+    def reconcile(self, tick: int) -> List[int]:
+        """One convergence step; returns the post-step ready set.
+
+        Order matters and is fixed: scale-down first (excess highest
+        indices terminate), then scale-up (lowest unscheduled indices
+        admitted), then warm-up promotion — so a pod admitted this tick
+        never skips its warm-up, and a terminated pod never serves a
+        final run.
+        """
+        live = self.live_indices()
+        # Scale down: release the highest-index live pods.
+        while len(live) > self.desired:
+            index = live.pop()
+            self._transition(self.pods[index], PodPhase.TERMINATED,
+                             tick, "scale-down")
+        # Scale up: admit the lowest-index non-live pods.
+        for index in range(self.max_pods):
+            if len(live) >= self.desired:
+                break
+            pod = self.pods[index]
+            if pod.phase in PodPhase.LIVE:
+                continue
+            self._transition(pod, PodPhase.PENDING, tick, "scale-up")
+            self._transition(pod, PodPhase.WARMING, tick, "scheduled")
+            live.append(index)
+            live.sort()
+        # Promote pods whose warm-up has elapsed.
+        for index in live:
+            pod = self.pods[index]
+            if (pod.phase == PodPhase.WARMING
+                    and tick - pod.phase_since >= self.warmup_ticks):
+                self._transition(pod, PodPhase.READY, tick,
+                                 "warm-up complete")
+        ready = self.ready_indices()
+        self._obs_ready.set(len(ready))
+        return ready
+
+    # -- export ----------------------------------------------------------------
+
+    def fleet_doc(self) -> Dict[str, object]:
+        """The API-server ``GET /fleet`` view (JSON-ready)."""
+        return {
+            "desired": self.desired,
+            "max_pods": self.max_pods,
+            "warmup_ticks": self.warmup_ticks,
+            "ready": len(self.ready_indices()),
+            "live": len(self.live_indices()),
+            "restarts": sum(pod.restarts for pod in self.pods.values()),
+            "pods": [self.pods[index].as_dict()
+                     for index in sorted(self.pods)],
+            "transitions": len(self.events),
+        }

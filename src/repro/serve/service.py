@@ -1,0 +1,584 @@
+"""``repro serve``: the hive as a continuously running service.
+
+Everything else in the repo is round-driven batch: plan a round, run
+it, ingest it, repeat. :class:`Service` replaces that with a long-lived
+control loop driven by a **virtual clock** — one integer tick at a
+time, so the whole service history is a pure function of (config,
+seed) on every backend:
+
+1. **arrivals** — the user population emits executions at a
+   tick-indexed rate (a base load with a configurable burst window, so
+   the autoscaler has something to react to);
+2. **reconcile** — the :class:`~repro.serve.control.ControlPlane`
+   converges the pod fleet toward the autoscaler's desired count
+   (warm-ups, terminations, chaos-kill restarts);
+3. **admit + balance** — queued arrivals are admitted up to the ready
+   fleet's capacity and assigned to pods by the configured
+   :mod:`~repro.serve.balance` policy; admission pauses while the
+   ingest pump is pushing back;
+4. **execute** — the admitted micro-plan runs on the ordinary
+   :mod:`repro.exec` backend (serial/thread/process — results are
+   bit-identical);
+5. **stream** — the tick's entries are framed onto the wire and
+   offered to the bounded :class:`~repro.serve.pump.IngestPump`;
+   the hive drains as many entries as its ingest workers afford;
+6. **scale** — two :class:`~repro.serve.autoscaler.Autoscaler`\\ s
+   observe the tick (pod fleet vs. admission backlog, ingest workers
+   vs. pump depth) and emit scale events, recorded as
+   ``serve.scale_up`` / ``serve.scale_down`` spans;
+7. **fix** — every ``fix_interval_ticks`` the hive gets a repair
+   window; a deployed fix rolls out to the whole fleet immediately and
+   in-flight stale frames are counted, not crashed on.
+
+Chaos profiles apply to the service loop: worker-death rates kill
+ready pods (back through warm-up), frame drop/corrupt rates fault the
+pump's wire. All of it keyed by backend-invariant coordinates
+(tick, pod index, frame index), so chaos runs stay deterministic too.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional
+
+from repro.config import (
+    BaseConfig, BaseReport, check_at_least_one, check_positive,
+)
+from repro.errors import ConfigError
+from repro.exec.backends import make_backend, resolve_backend_name
+from repro.exec.batch import BatchEntry
+from repro.exec.plan import PlannedRun, RoundPlan
+from repro.hive.hive import Hive
+from repro.obs import Instrumented
+from repro.obs.trace import derive_trace_id, get_tracer
+from repro.pod.pod import Pod
+from repro.progmodel.interpreter import ExecutionLimits
+from repro.serve.autoscaler import Autoscaler, AutoscalerConfig
+from repro.serve.balance import make_balancer
+from repro.serve.control import ControlPlane
+from repro.serve.pump import IngestPump
+from repro.tracing.capture import FullCapture
+from repro.workloads.scenarios import Scenario
+
+__all__ = ["ServiceConfig", "TickStats", "ServiceReport", "Service",
+           "SERVE_SCHEMA_VERSION"]
+
+#: Version of the ``repro serve --json`` snapshot payload.
+SERVE_SCHEMA_VERSION = 1
+
+
+@dataclass
+class ServiceConfig(BaseConfig):
+    """Knobs of one service run (see docs/SERVICE.md)."""
+
+    # -- virtual clock / load ------------------------------------------------
+    ticks: int = 90
+    #: Population size; 0 = use the scenario's own population. Large
+    #: values get a lazily-materialized Zipf population, so a
+    #: million-user fleet costs memory proportional to *active* users.
+    users: int = 0
+    volatility: float = 0.3
+    base_arrivals_per_tick: int = 8
+    burst_arrivals_per_tick: int = 40
+    burst_start_tick: int = 20
+    burst_end_tick: int = 45
+
+    # -- pod fleet -----------------------------------------------------------
+    min_pods: int = 2
+    max_pods: int = 12
+    initial_pods: int = 2
+    warmup_ticks: int = 2
+    runs_per_pod_per_tick: int = 4
+    pod_down_stable_ticks: int = 4
+    pod_cooldown_ticks: int = 3
+    balance: str = "round-robin"     # round-robin|least-backlog|consistent-hash
+
+    # -- ingest plane --------------------------------------------------------
+    frame_max_entries: int = 16
+    pump_capacity_frames: int = 64
+    drain_per_worker: int = 24
+    min_ingest_workers: int = 1
+    max_ingest_workers: int = 4
+    ingest_down_stable_ticks: int = 4
+    ingest_cooldown_ticks: int = 3
+    #: The service-level objective CI asserts: ingest backlog must stay
+    #: under this many ticks of drain capacity.
+    max_ingest_lag_ticks: float = 3.0
+
+    # -- hive ----------------------------------------------------------------
+    fixing: bool = True
+    validate_fixes: bool = True
+    fix_interval_ticks: int = 10
+    enable_proofs: bool = False
+    min_failure_reports: int = 1
+    max_steps: int = 4000
+    dedup: bool = False
+
+    # -- execution substrate (mirrors PlatformConfig) ------------------------
+    seed: int = 0
+    backend: str = "auto"
+    workers: int = 0
+    batch_max_traces: int = 0
+    chaos_profile: object = "none"
+    solver_cache: str = "none"
+
+    def validate(self) -> None:
+        check_positive(self.ticks, "ticks")
+        if self.users < 0:
+            raise ConfigError("users must be >= 0 (0 = scenario default)")
+        check_at_least_one(self.base_arrivals_per_tick,
+                           "need at least one arrival per tick")
+        if self.burst_arrivals_per_tick < self.base_arrivals_per_tick:
+            raise ConfigError(
+                "burst_arrivals_per_tick must be >= base rate")
+        if not 0 <= self.burst_start_tick <= self.burst_end_tick:
+            raise ConfigError(
+                "burst window must satisfy 0 <= start <= end")
+        check_at_least_one(self.min_pods, "need at least one pod")
+        if self.max_pods < self.min_pods:
+            raise ConfigError("max_pods must be >= min_pods")
+        if not self.min_pods <= self.initial_pods <= self.max_pods:
+            raise ConfigError(
+                "initial_pods must be in [min_pods, max_pods]")
+        check_positive(self.runs_per_pod_per_tick, "runs_per_pod_per_tick")
+        check_positive(self.frame_max_entries, "frame_max_entries")
+        check_positive(self.pump_capacity_frames, "pump_capacity_frames")
+        check_positive(self.drain_per_worker, "drain_per_worker")
+        check_at_least_one(self.min_ingest_workers,
+                           "need at least one ingest worker")
+        if self.max_ingest_workers < self.min_ingest_workers:
+            raise ConfigError(
+                "max_ingest_workers must be >= min_ingest_workers")
+        check_positive(self.max_ingest_lag_ticks, "max_ingest_lag_ticks")
+        check_positive(self.fix_interval_ticks, "fix_interval_ticks")
+        check_positive(self.max_steps, "max_steps")
+        from repro.serve.balance import BALANCE_POLICIES
+        if self.balance not in BALANCE_POLICIES:
+            raise ConfigError(
+                f"balance must be one of"
+                f" {', '.join(sorted(BALANCE_POLICIES))}")
+        if self.solver_cache not in ("none", "local", "collective"):
+            raise ConfigError(
+                "solver_cache must be one of none, local, collective")
+        resolve_backend_name(self.backend)
+        if self.workers < 0:
+            raise ConfigError("workers must be >= 0 (0 = auto)")
+        self.resolved_chaos_profile()
+
+    def resolved_chaos_profile(self):
+        from repro.chaos import resolve_profile
+        return resolve_profile(self.chaos_profile)
+
+    def resolved_backend(self) -> str:
+        return resolve_backend_name(self.backend)
+
+    def arrivals_for(self, tick: int) -> int:
+        """The deterministic load curve: base rate with a burst window."""
+        if self.burst_start_tick <= tick < self.burst_end_tick:
+            return self.burst_arrivals_per_tick
+        return self.base_arrivals_per_tick
+
+
+@dataclass
+class TickStats(BaseReport):
+    """One tick of service history (all integer/virtual quantities)."""
+
+    tick: int
+    arrivals: int
+    admitted: int
+    executed: int
+    failures: int
+    backlog: int                 # admission queue depth after the tick
+    pump_depth: int              # pump entries after the drain
+    ready_pods: int
+    desired_pods: int
+    ingest_workers: int
+    ingest_lag_ticks: float
+    backpressure: bool = False
+    pod_kills: int = 0
+
+
+@dataclass
+class ServiceReport(BaseReport):
+    """Cumulative service totals (deterministic under a fixed seed)."""
+
+    ticks: List[TickStats] = field(default_factory=list)
+    fixes: List[str] = field(default_factory=list)
+    total_arrivals: int = 0
+    total_admitted: int = 0
+    total_executions: int = 0
+    total_failures: int = 0
+    backpressure_ticks: int = 0
+    pod_kills: int = 0
+    max_ingest_lag_ticks: float = 0.0
+    max_backlog: int = 0
+
+    def failure_rate(self) -> float:
+        if self.total_executions == 0:
+            return 0.0
+        return self.total_failures / self.total_executions
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "ticks": [stats.as_dict() for stats in self.ticks],
+            "fixes": list(self.fixes),
+            "total_arrivals": self.total_arrivals,
+            "total_admitted": self.total_admitted,
+            "total_executions": self.total_executions,
+            "total_failures": self.total_failures,
+            "failure_rate": self.failure_rate(),
+            "backpressure_ticks": self.backpressure_ticks,
+            "pod_kills": self.pod_kills,
+            "max_ingest_lag_ticks": self.max_ingest_lag_ticks,
+            "max_backlog": self.max_backlog,
+        }
+
+
+class Service(Instrumented):
+    """One program's hive, run as a continuously ingesting service."""
+
+    obs_namespace = "serve"
+
+    def __init__(self, scenario: Scenario,
+                 config: Optional[ServiceConfig] = None):
+        self.config = config or ServiceConfig()
+        self.config.validate()
+        self.scenario = scenario
+        config = self.config
+        self._tracer = get_tracer()
+        if self._tracer.enabled:
+            self._tracer.set_trace_id(derive_trace_id(
+                "serve", scenario.program.name, config.seed))
+        self._obs_tick = self.obs_timer("tick")
+        self._obs_arrivals = self.obs_counter("arrivals")
+        self._obs_admitted = self.obs_counter("admitted")
+        self._obs_executed = self.obs_counter("executed")
+        self._obs_failures = self.obs_counter("failures")
+        self._obs_backlog = self.obs_gauge("admission_backlog")
+        self._obs_backpressure = self.obs_counter("backpressure_ticks")
+        self._obs_kills = self.obs_counter("pod_kills")
+
+        limits = ExecutionLimits(max_steps=config.max_steps)
+        capture = FullCapture()
+        if config.users > 0:
+            from repro.workloads.population import ZipfPopulation
+            self.population = ZipfPopulation(
+                scenario.program, config.users,
+                volatility=config.volatility, seed=config.seed)
+        else:
+            self.population = scenario.population
+
+        self.pods = [
+            Pod(pod_id=f"pod{i:04d}", program=scenario.program,
+                capture=capture, limits=limits,
+                fault_rate=scenario.fault_rate,
+                seed=config.seed + i)
+            for i in range(config.max_pods)
+        ]
+        self.solver_cache = None
+        if config.solver_cache != "none":
+            from repro.symbolic.cache import ConstraintCache
+            self.solver_cache = ConstraintCache()
+        self.hive = Hive(
+            scenario.program, limits=limits,
+            validate_fixes=config.validate_fixes,
+            min_failure_reports=config.min_failure_reports,
+            enable_proofs=config.enable_proofs,
+            solver_cache=self.solver_cache)
+        # Shard-side replay products never survive the service wire
+        # (the pump re-frames through encode_batch, which models the
+        # pod uplink), so shards skip that work — unless collective
+        # recycling needs the replay to mine solver facts.
+        self.backend = make_backend(
+            config.resolved_backend(), self.pods, scenario.program,
+            capture=capture, limits=limits,
+            fault_rate=scenario.fault_rate,
+            dedup=config.dedup,
+            batch_max_traces=config.batch_max_traces,
+            workers=config.workers,
+            solver_cache=config.solver_cache,
+            replay_products=(config.solver_cache == "collective"))
+
+        self.control = ControlPlane(config.max_pods,
+                                    warmup_ticks=config.warmup_ticks,
+                                    initial=config.initial_pods)
+        self.pod_scaler = Autoscaler(
+            "pods",
+            AutoscalerConfig(
+                min_replicas=config.min_pods,
+                max_replicas=config.max_pods,
+                target_per_replica=config.runs_per_pod_per_tick,
+                down_stable_ticks=config.pod_down_stable_ticks,
+                cooldown_ticks=config.pod_cooldown_ticks),
+            initial=config.initial_pods)
+        self.ingest_scaler = Autoscaler(
+            "ingest-workers",
+            AutoscalerConfig(
+                min_replicas=config.min_ingest_workers,
+                max_replicas=config.max_ingest_workers,
+                target_per_replica=config.drain_per_worker,
+                down_stable_ticks=config.ingest_down_stable_ticks,
+                cooldown_ticks=config.ingest_cooldown_ticks),
+            initial=config.min_ingest_workers)
+        self.balancer = make_balancer(config.balance)
+        self.pump = IngestPump(
+            capacity_frames=config.pump_capacity_frames,
+            frame_max_entries=config.frame_max_entries)
+
+        profile = config.resolved_chaos_profile()
+        self.fault_plan = None
+        if not profile.is_noop():
+            from repro.chaos.plan import FaultPlan
+            self.fault_plan = FaultPlan(profile, seed=config.seed)
+
+        self.report = ServiceReport()
+        self._admission: Deque[Dict[str, int]] = deque()
+        self._outbox: Deque = deque()   # frames awaiting pump space
+        self._global_index = 0
+        self._ingested_entries = 0
+
+    # -- properties ------------------------------------------------------------
+
+    @property
+    def ingest_workers(self) -> int:
+        return self.ingest_scaler.replicas
+
+    def _drain_budget(self) -> int:
+        return self.ingest_workers * self.config.drain_per_worker
+
+    # -- main loop -------------------------------------------------------------
+
+    def run(self) -> ServiceReport:
+        try:
+            for tick in range(self.config.ticks):
+                with self._obs_tick.time(), \
+                        self._tracer.span("serve.tick", key=tick,
+                                          tick=tick):
+                    self._tick(tick)
+        finally:
+            self.backend.close()
+        return self.report
+
+    def _tick(self, tick: int) -> None:
+        config = self.config
+
+        # 1. Arrivals: the population emits this tick's executions.
+        arrivals = config.arrivals_for(tick)
+        for _ in range(arrivals):
+            _user, inputs = self.population.sample_execution()
+            self._admission.append(inputs)
+        self._obs_arrivals.inc(arrivals)
+        self.report.total_arrivals += arrivals
+
+        # 2. Reconcile the fleet, then let chaos kill into it.
+        self.control.reconcile(tick)
+        kills = self._chaos_kills(tick)
+        ready = self.control.ready_indices()
+
+        # 3. Admit + balance. Backpressure (a non-empty outbox) pauses
+        # admission entirely: the fleet must not outrun the hive.
+        backpressure = bool(self._outbox)
+        admitted_runs: List[PlannedRun] = []
+        if ready and not backpressure:
+            capacity = len(ready) * config.runs_per_pod_per_tick
+            loads: Dict[int, int] = {}
+            while self._admission and len(admitted_runs) < capacity:
+                inputs = self._admission.popleft()
+                pod_index = self.balancer.assign(
+                    self._global_index, ready, loads)
+                loads[pod_index] = loads.get(pod_index, 0) + 1
+                self.control.note_assignment(pod_index)
+                admitted_runs.append(PlannedRun(
+                    global_index=self._global_index,
+                    pod_index=pod_index,
+                    inputs=inputs))
+                self._global_index += 1
+            for pod_index in ready:
+                self.control.heartbeat(pod_index, tick,
+                                       lag=loads.get(pod_index, 0))
+        elif backpressure:
+            self.report.backpressure_ticks += 1
+            self._obs_backpressure.inc()
+        admitted = len(admitted_runs)
+        self._obs_admitted.inc(admitted)
+        self.report.total_admitted += admitted
+
+        # 4. Execute the micro-plan on the ordinary backend.
+        executed = 0
+        failures = 0
+        entries: List[BatchEntry] = []
+        if admitted_runs:
+            collective = (self.solver_cache is not None
+                          and config.solver_cache == "collective")
+            if collective:
+                delta = self.solver_cache.export_delta()
+                if delta:
+                    self.backend.seed_cache(delta)
+            plan = RoundPlan(round_index=tick,
+                             hive_version=self.hive.program.version,
+                             runs=admitted_runs)
+            with self._tracer.span("serve.execute", key=tick,
+                                   runs=admitted):
+                results = self.backend.run_round(plan)
+            if collective:
+                deltas = [result.cache_delta for result in results
+                          if result.cache_delta]
+                if deltas:
+                    self.hive.adopt_cache_deltas(deltas)
+            records = sorted(
+                (record for result in results
+                 for record in result.records),
+                key=lambda record: record.global_index)
+            executed = len(records)
+            for record in records:
+                failures += int(record.failed)
+            entries = sorted(
+                (entry for result in results
+                 for batch in result.batches
+                 for entry in batch.entries),
+                key=lambda entry: entry.global_index)
+        self._obs_executed.inc(executed)
+        self._obs_failures.inc(failures)
+        self.report.total_executions += executed
+        self.report.total_failures += failures
+
+        # 5. Stream: frame the tick's entries, push through the pump,
+        # drain the hive's share.
+        if entries:
+            self._outbox.extend(self.pump.frame_entries(
+                entries, self.hive.program.name,
+                self.hive.program.version))
+        while self._outbox:
+            if not self.pump.offer(self._outbox[0], tick,
+                                   fault_plan=self.fault_plan):
+                break                      # queue full: retry next tick
+            self._outbox.popleft()
+        with self._tracer.span("serve.drain", key=tick):
+            drained = self.pump.drain(self.hive, self._drain_budget())
+        self._ingested_entries += drained
+
+        # 6. Scale: pods against admission demand, ingest workers
+        # against pump depth.
+        demand = len(self._admission) + admitted
+        self._obs_backlog.set(len(self._admission))
+        pod_decision = self.pod_scaler.observe(tick, demand)
+        if pod_decision.changed:
+            self._record_scale(pod_decision, "pods", demand)
+            self.control.set_desired(pod_decision.desired, tick,
+                                     reason=pod_decision.reason)
+        ingest_decision = self.ingest_scaler.observe(
+            tick, self.pump.depth_entries)
+        if ingest_decision.changed:
+            self._record_scale(ingest_decision, "ingest-workers",
+                               self.pump.depth_entries)
+
+        # 7. Repair window.
+        if (config.fixing and tick > 0
+                and tick % config.fix_interval_ticks == 0):
+            self._maybe_fix(tick)
+
+        lag = self.pump.lag_ticks(self._drain_budget())
+        self.report.max_ingest_lag_ticks = max(
+            self.report.max_ingest_lag_ticks, lag)
+        self.report.max_backlog = max(self.report.max_backlog,
+                                      len(self._admission))
+        self.report.ticks.append(TickStats(
+            tick=tick,
+            arrivals=arrivals,
+            admitted=admitted,
+            executed=executed,
+            failures=failures,
+            backlog=len(self._admission),
+            pump_depth=self.pump.depth_entries,
+            ready_pods=len(self.control.ready_indices()),
+            desired_pods=self.control.desired,
+            ingest_workers=self.ingest_workers,
+            ingest_lag_ticks=lag,
+            backpressure=backpressure,
+            pod_kills=kills,
+        ))
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _chaos_kills(self, tick: int) -> int:
+        """Worker-death chaos, mapped onto backend-invariant virtual
+        shards exactly like the round platform's chaos layer."""
+        if self.fault_plan is None:
+            return 0
+        dead = set(self.fault_plan.dead_virtual_shards(tick))
+        if not dead:
+            return 0
+        kills = 0
+        virtual = self.fault_plan.profile.virtual_workers
+        for pod_index in self.control.ready_indices():
+            if pod_index % virtual in dead:
+                self.control.kill(pod_index, tick)
+                self._tracer.event("chaos.pod_kill", tick=tick,
+                                   pod=pod_index)
+                kills += 1
+        if kills:
+            self._obs_kills.inc(kills)
+            self.report.pod_kills += kills
+        return kills
+
+    def _record_scale(self, decision, pool: str, load: int) -> None:
+        name = ("serve.scale_up" if decision.direction == "up"
+                else "serve.scale_down")
+        with self._tracer.span(name, key=(pool, decision.tick),
+                               pool=pool, tick=decision.tick,
+                               from_replicas=decision.current,
+                               to_replicas=decision.desired,
+                               load=load):
+            pass
+
+    def _maybe_fix(self, tick: int) -> None:
+        with self._tracer.span("serve.fix", key=tick) as span:
+            updated = self.hive.maybe_fix()
+            if updated is None:
+                return
+            fix = self.hive.deployed_fixes[-1]
+            self.report.fixes.append(fix.description)
+            span.set(deployed=fix.description)
+            # Continuous rollout: the whole fleet updates at once;
+            # frames already queued in the pump go stale and the hive
+            # counts them instead of replaying them.
+            self.backend.set_hive_program(updated)
+            for pod in self.pods:
+                pod.apply_update(updated)
+            self.backend.apply_update(
+                updated, list(range(len(self.pods))))
+
+    # -- export ----------------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, object]:
+        """The deterministic service snapshot (``repro serve --json``).
+
+        Every field is a pure function of (config, seed, tick budget):
+        no wall-clock, no pid, no ordering artifacts — two runs at the
+        same seed produce byte-identical JSON on every backend.
+        """
+        lag_bound = self.config.max_ingest_lag_ticks
+        return {
+            "serve_schema_version": SERVE_SCHEMA_VERSION,
+            "config": self.config.as_dict(),
+            "execution": {
+                "backend_workers": self.backend.workers,
+                "population_users": self.population.n_users,
+            },
+            "report": self.report.as_dict(),
+            "fleet": self.control.fleet_doc(),
+            "fleet_events": [event.as_dict()
+                             for event in self.control.events],
+            "autoscalers": {
+                "pods": self.pod_scaler.summary(),
+                "ingest_workers": self.ingest_scaler.summary(),
+            },
+            "pump": self.pump.summary(),
+            "hive": self.hive.stats.as_dict(),
+            "ingest_lag": {
+                "max_ticks": self.report.max_ingest_lag_ticks,
+                "bound_ticks": lag_bound,
+                "ok": self.report.max_ingest_lag_ticks <= lag_bound,
+            },
+        }

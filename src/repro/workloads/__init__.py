@@ -6,17 +6,18 @@ habits, so common paths are exercised constantly while rare input
 combinations — where seeded bugs hide — surface only occasionally.
 """
 
-from repro.workloads.population import User, UserPopulation
+from repro.workloads.population import User, UserPopulation, ZipfPopulation
 from repro.workloads.scenarios import (
     Scenario,
     crash_scenario,
     deadlock_scenario,
     mixed_corpus_scenario,
+    race_scenario,
     shortread_scenario,
 )
 
 __all__ = [
-    "User", "UserPopulation",
+    "User", "UserPopulation", "ZipfPopulation",
     "Scenario", "crash_scenario", "deadlock_scenario",
-    "shortread_scenario", "mixed_corpus_scenario",
+    "shortread_scenario", "race_scenario", "mixed_corpus_scenario",
 ]

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import random
+from bisect import bisect_left
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -10,7 +11,7 @@ from repro.errors import ConfigError
 from repro.progmodel.ir import Program
 from repro.rng import choice_weighted, make_rng
 
-__all__ = ["User", "UserPopulation"]
+__all__ = ["User", "UserPopulation", "ZipfPopulation"]
 
 InputVector = Dict[str, int]
 
@@ -52,6 +53,7 @@ class UserPopulation:
         if not 0.0 <= volatility <= 1.0:
             raise ConfigError("volatility must be in [0, 1]")
         self.program = program
+        self.n_users = n_users
         self._rng = make_rng(seed, "population", program.name)
         self.users: List[User] = []
         for index in range(n_users):
@@ -67,6 +69,80 @@ class UserPopulation:
 
     def sample_user(self) -> User:
         return choice_weighted(self._rng, self.users, self._weights)
+
+    def sample_execution(self) -> Tuple[User, InputVector]:
+        """One natural execution: an (active user, input vector) draw."""
+        user = self.sample_user()
+        return user, user.draw(self.program, self._rng)
+
+    def executions(self, count: int) -> List[Tuple[User, InputVector]]:
+        return [self.sample_execution() for _ in range(count)]
+
+
+class ZipfPopulation:
+    """A Zipf-skewed population that never materializes its users.
+
+    :class:`UserPopulation` builds every :class:`User` up front —
+    perfect for fifty, hopeless for the million-user fleets service
+    mode simulates. This variant derives each user on demand:
+
+    * a user's habitual inputs are a pure function of
+      ``make_rng(seed, "user", index)``, so user #734188 is identical
+      whether it is the first or the billionth one touched;
+    * Zipf sampling inverts the cumulative weight table with
+      ``bisect`` — O(log n) per draw over a float table built once
+      (the only O(n) cost, ~8 bytes per user);
+    * constructed users are memoized up to ``memo_cap`` entries (the
+      hot head of a Zipf distribution is tiny; the cold tail is cheap
+      to rebuild), so memory tracks *active* users, not population.
+
+    Sampling statistics match the eager class in shape, not in exact
+    stream: the two classes draw from their RNGs in different orders,
+    so they are separate, individually deterministic populations.
+    """
+
+    def __init__(self, program: Program, n_users: int,
+                 volatility: float = 0.2, zipf_s: float = 1.1,
+                 seed: int = 0, memo_cap: int = 4096):
+        if n_users < 1:
+            raise ConfigError("population needs at least one user")
+        if not 0.0 <= volatility <= 1.0:
+            raise ConfigError("volatility must be in [0, 1]")
+        self.program = program
+        self.n_users = n_users
+        self.volatility = volatility
+        self.seed = seed
+        self.memo_cap = memo_cap
+        self._rng = make_rng(seed, "population", program.name)
+        # Cumulative Zipf weights, normalized to (0, 1].
+        cumulative: List[float] = []
+        total = 0.0
+        for k in range(n_users):
+            total += 1.0 / (k + 1) ** zipf_s
+            cumulative.append(total)
+        self._cumulative = [value / total for value in cumulative]
+        self._memo: Dict[int, User] = {}
+
+    def user(self, index: int) -> User:
+        """User #``index``, derived (or recalled) on demand."""
+        cached = self._memo.get(index)
+        if cached is not None:
+            return cached
+        rng = make_rng(self.seed, "user", index)
+        base = {name: rng.randint(lo, hi)
+                for name, (lo, hi) in self.program.inputs.items()}
+        user = User(user_id=f"user{index:07d}", base_inputs=base,
+                    volatility=self.volatility)
+        if len(self._memo) >= self.memo_cap:
+            # Evict the oldest insertion (dicts preserve order): the
+            # Zipf head re-enters immediately, the tail stays cold.
+            self._memo.pop(next(iter(self._memo)))
+        self._memo[index] = user
+        return user
+
+    def sample_user(self) -> User:
+        point = self._rng.random()
+        return self.user(bisect_left(self._cumulative, point))
 
     def sample_execution(self) -> Tuple[User, InputVector]:
         """One natural execution: an (active user, input vector) draw."""

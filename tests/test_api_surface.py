@@ -1,0 +1,95 @@
+"""The public-API contract: lazy top level, curated facade, retired
+aliases.
+
+Three properties the consolidation pass promised:
+
+* ``import repro`` is weightless — no solver, chaos, symbolic, or
+  platform machinery loads until a name is actually touched;
+* ``repro.api`` is the one flat namespace scripts import from, and
+  every name in both ``__all__`` lists resolves;
+* the deprecation cycle ends in removal — ``Hive.ingest`` is gone.
+"""
+
+import subprocess
+import sys
+
+import repro
+
+
+class TestLazyTopLevel:
+    def test_import_repro_pulls_no_heavy_subsystems(self):
+        # A fresh interpreter, because this test module itself imports
+        # plenty: the property belongs to ``import repro`` alone.
+        code = (
+            "import sys\n"
+            "import repro\n"
+            "heavy = [name for name in sys.modules\n"
+            "         if name.startswith(('repro.solvers',\n"
+            "                              'repro.chaos',\n"
+            "                              'repro.symbolic',\n"
+            "                              'repro.platform',\n"
+            "                              'repro.hive',\n"
+            "                              'repro.serve'))]\n"
+            "assert not heavy, f'eager imports: {heavy}'\n"
+            "print('lazy-ok')\n"
+        )
+        result = subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True, text=True, check=False)
+        assert result.returncode == 0, result.stderr
+        assert "lazy-ok" in result.stdout
+
+    def test_every_top_level_export_resolves(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_lazy_resolution_caches(self):
+        first = repro.Hive
+        assert "Hive" in vars(repro)        # cached in the module dict
+        assert repro.Hive is first
+
+    def test_unknown_attribute_raises(self):
+        try:
+            repro.does_not_exist
+        except AttributeError as error:
+            assert "does_not_exist" in str(error)
+        else:
+            raise AssertionError("expected AttributeError")
+
+    def test_dir_lists_exports(self):
+        names = dir(repro)
+        assert "SoftBorgPlatform" in names
+        assert "Service" in names
+        assert "__version__" in names
+
+
+class TestApiFacade:
+    def test_service_importable_from_facade(self):
+        from repro.api import Service
+        from repro.serve import Service as direct
+        assert Service is direct
+
+    def test_every_facade_export_resolves(self):
+        import repro.api
+        for name in repro.api.__all__:
+            assert getattr(repro.api, name) is not None
+
+    def test_facade_covers_the_load_bearing_names(self):
+        import repro.api
+        for name in ("SoftBorgPlatform", "Hive", "ConstraintCache",
+                     "FaultProfile", "Tracer", "Service"):
+            assert name in repro.api.__all__
+
+    def test_facade_names_are_canonical_objects(self):
+        # Facade, lazy top level, and defining module agree.
+        import repro.api
+        from repro.hive import Hive as defining
+        assert repro.api.Hive is defining
+        assert repro.Hive is defining
+
+
+class TestRetiredAliases:
+    def test_hive_ingest_is_gone(self):
+        from repro.hive import Hive
+        assert not hasattr(Hive, "ingest")
+        assert hasattr(Hive, "ingest_trace")

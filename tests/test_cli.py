@@ -22,12 +22,52 @@ class TestParser:
 
     def test_chaos_defaults(self):
         args = build_parser().parse_args(["chaos"])
-        assert args.profile == "lossy-workers"
+        assert args.chaos == "lossy-workers"
         assert args.seed == 7
+
+    def test_chaos_profile_alias_feeds_shared_dest(self):
+        args = build_parser().parse_args(["chaos", "--profile", "wild"])
+        assert args.chaos == "wild"
+        args = build_parser().parse_args(
+            ["chaos", "--chaos", "partitioned"])
+        assert args.chaos == "partitioned"
 
     def test_bad_chaos_profile_rejected(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["chaos", "--profile", "tsunami"])
+
+    def test_common_flags_defined_once(self):
+        # The consolidation contract: every loop command inherits the
+        # shared execution flags from common_exec_flags() — uniformly
+        # present, with per-command set_defaults not leaking across
+        # subparsers (argparse parents share action objects unless each
+        # subparser gets a fresh instance).
+        for command, extra in [("run", []), ("stats", []),
+                               ("chaos", []), ("serve", []),
+                               ("trace", ["--out", "/dev/null"]),
+                               ("explore", [])]:
+            args = build_parser().parse_args([command] + extra)
+            assert args.backend == "auto", command
+            assert args.batch_traces == 0, command
+            assert args.solver_cache == "none", command
+            assert hasattr(args, "workers"), command
+            assert hasattr(args, "chaos"), command
+        # Per-command defaults stay per-command.
+        assert build_parser().parse_args(["run"]).chaos == "none"
+        assert build_parser().parse_args(["run"]).rounds == 15
+        assert build_parser().parse_args(["run"]).seed == 2
+        assert build_parser().parse_args(["stats"]).rounds == 10
+        assert build_parser().parse_args(["chaos"]).rounds == 8
+        assert build_parser().parse_args(["serve"]).chaos == "none"
+        assert build_parser().parse_args(["explore"]).workers == 4
+
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.ticks == 90
+        assert args.users == 0
+        assert args.balance == "round-robin"
+        assert args.chaos == "none"
+        assert args.backend == "auto"
 
 
 class TestCommands:
@@ -237,3 +277,40 @@ class TestCommands:
         assert code == 0
         assert "Fleet of 2 programs" in out
         assert "residual fails/1k" in out
+
+    def test_serve_table(self, capsys):
+        code = main(["serve", "--ticks", "40", "--seed", "3"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Service on" in out
+        assert "ingest lag" in out and "OK" in out
+        assert "scaling" in out
+
+    def test_serve_json_snapshot(self, capsys, tmp_path):
+        import json
+        snap_path = tmp_path / "serve.json"
+        code = main(["serve", "--ticks", "30", "--seed", "4",
+                     "--users", "5000", "--json",
+                     "--snapshot-out", str(snap_path)])
+        assert code == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["serve_schema_version"] == 1
+        assert doc["ingest_lag"]["ok"] is True
+        assert doc["execution"]["population_users"] == 5000
+        assert doc["report"]["total_executions"] > 0
+        assert len(doc["report"]["ticks"]) == 30
+        # --snapshot-out writes the same document.
+        assert json.loads(snap_path.read_text()) == doc
+
+    def test_serve_trace_has_scale_spans(self, capsys, tmp_path):
+        import json
+        out = tmp_path / "serve_trace.json"
+        code = main(["serve", "--ticks", "60", "--seed", "5",
+                     "--trace", str(out)])
+        capsys.readouterr()
+        assert code == 0
+        names = {event["name"]
+                 for event in json.loads(out.read_text())["traceEvents"]}
+        assert "serve.scale_up" in names
+        assert "serve.scale_down" in names
+        assert {"serve.tick", "serve.execute", "serve.drain"} <= names

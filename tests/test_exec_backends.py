@@ -282,12 +282,31 @@ class TestIngestSurface:
     def test_accumulator_satisfies_tracesource(self):
         assert isinstance(BatchAccumulator(0, "p", 1), TraceSource)
 
-    def test_deprecated_ingest_warns_and_delegates(self):
+    def test_deprecated_ingest_alias_is_gone(self):
+        # `Hive.ingest` completed its deprecation cycle (warned with a
+        # removal version, then deleted); the protocol spelling is the
+        # only one left.
         demo = make_crash_demo()
         hive = Hive(demo.program)
-        with pytest.warns(DeprecationWarning, match="ingest_trace"):
-            hive.ingest(_trace(demo.program, {"n": 1, "mode": 2}))
+        assert not hasattr(hive, "ingest")
+        hive.ingest_trace(_trace(demo.program, {"n": 1, "mode": 2}))
         assert hive.stats.traces_ingested == 1
+
+    def test_deprecated_alias_names_removal_version(self):
+        from repro.interfaces import deprecated_alias
+
+        class Thing:
+            def new_name(self):
+                return "ok"
+
+            @deprecated_alias("new_name", removal_version="v9")
+            def old_name(self):
+                return self.new_name()
+
+        with pytest.warns(DeprecationWarning) as caught:
+            assert Thing().old_name() == "ok"
+        message = str(caught[0].message)
+        assert "new_name" in message and "v9" in message
 
     def test_ingest_batch_matches_trace_by_trace(self):
         demo = make_crash_demo()
