@@ -3,16 +3,25 @@
 The paper's premise is millions of instances feeding one hive; the
 ``repro.exec`` backends let the pod fleet actually run in parallel
 (threads or worker processes, pods partitioned into shards) while the
-coordinator plans every random draw up front and the hive merges shard
-trees and ingests batch entries in global execution order. The claim
-under test: the *report is bit-identical across backends* for a fixed
-seed, and on a multi-core host the process backend buys real wall-clock
-speedup at fleet scale (n_pods >= 40).
+coordinator plans every random draw up front and the hive folds shard
+tree deltas and ingests batch entries in global execution order. The
+claims under test, post session-protocol redesign:
 
-Wall-clock numbers land in ``benchmarks/out/e18_parallel.json`` so the
-speedup is recorded even on hosts where the strict assertion is gated
-off (the >= 2x check only runs with >= 4 cores — on a 1-core box the
-fork/IPC overhead has nothing to amortize against).
+* the *report is bit-identical across backends* for a fixed seed —
+  every leg, unconditionally;
+* the session protocol's per-round delta shipping is cheap enough that
+  one worker process keeps pace with the in-process serial loop
+  (``process-1`` vs ``serial``) — on a 1-core host the two processes
+  time-share a single CPU, so the strict >= 1x assertion is gated on
+  >= 2 cores and a looser floor guards the single-core overhead;
+* on a >= 4-core host the 4-worker process backend halves the serial
+  wall-clock at fleet scale (n_pods >= 40).
+
+Wall-clock numbers land in ``benchmarks/out/e18_parallel.json`` (free
+form) and ``benchmarks/out/BENCH_e18.json`` (stable schema v1, see
+``schema.py``) so CI's perf-regression job can compare against the
+floors recorded in ``benchmarks/floors.json`` even on hosts where the
+strict assertions are gated off.
 """
 
 import json
@@ -24,11 +33,26 @@ from repro.metrics.report import render_table
 from repro.platform import PlatformConfig, SoftBorgPlatform
 from repro.workloads.scenarios import crash_scenario
 
+from schema import write_bench_json
+
 OUT_DIR = Path(__file__).parent / "out"
 
 N_PODS = 40
 ROUNDS = 3
 EXECUTIONS = 2000
+#: Best-of-N wall-clock per leg: speedup is a floor property and the
+#: minimum is the right estimator on jittery shared hosts.
+REPEATS = 2
+
+#: (leg name, backend, workers). ``process-1`` is the session-protocol
+#: acid test: same work as serial plus the whole coordinator/worker
+#: wire — any per-round shipping overhead shows up directly.
+LEGS = (
+    ("serial", "serial", 1),
+    ("thread-4", "thread", 4),
+    ("process-1", "process", 1),
+    ("process-4", "process", 4),
+)
 
 
 def _run_backend(backend, workers):
@@ -46,10 +70,12 @@ def _run_backend(backend, workers):
 
 def run_experiment():
     results = {}
-    for backend, workers in (("serial", 1), ("thread", 4),
-                             ("process", 4)):
+    for leg, backend, workers in LEGS:
         report, elapsed = _run_backend(backend, workers)
-        results[backend] = (report, elapsed)
+        for _ in range(REPEATS - 1):
+            _report, again = _run_backend(backend, workers)
+            elapsed = min(elapsed, again)
+        results[leg] = (report, elapsed)
     return results
 
 
@@ -58,10 +84,10 @@ def test_e18_parallel(benchmark, emit):
 
     serial_report, serial_s = results["serial"]
     rows = []
-    for backend in ("serial", "thread", "process"):
-        report, elapsed = results[backend]
+    for leg, _backend, _workers in LEGS:
+        report, elapsed = results[leg]
         rows.append([
-            backend,
+            leg,
             report.total_executions,
             report.total_failures,
             f"{elapsed:.2f}",
@@ -70,7 +96,7 @@ def test_e18_parallel(benchmark, emit):
             else "NO",
         ])
     table = render_table(
-        ["backend", "executions", "failures", "wall-clock (s)",
+        ["leg", "executions", "failures", "wall-clock (s)",
          "speedup", "report == serial"],
         rows,
         title=f"E18: execution backends at fleet scale"
@@ -78,30 +104,45 @@ def test_e18_parallel(benchmark, emit):
               f" {os.cpu_count()} cores)")
     emit("e18_parallel", table)
 
+    speedup = {leg: serial_s / results[leg][1] for leg in results}
+    identical = {
+        leg: results[leg][0].as_dict() == serial_report.as_dict()
+        for leg in results}
     OUT_DIR.mkdir(exist_ok=True)
-    bench = {
-        "n_pods": N_PODS,
-        "rounds": ROUNDS,
-        "executions_per_round": EXECUTIONS,
-        "cpu_count": os.cpu_count(),
-        "wall_clock_s": {b: results[b][1] for b in results},
-        "speedup_vs_serial": {b: serial_s / results[b][1]
-                              for b in results},
-        "reports_identical": {
-            b: results[b][0].as_dict() == serial_report.as_dict()
-            for b in results},
-    }
     with open(OUT_DIR / "e18_parallel.json", "w",
               encoding="utf-8") as handle:
-        json.dump(bench, handle, indent=2, sort_keys=True)
+        json.dump({
+            "n_pods": N_PODS,
+            "rounds": ROUNDS,
+            "executions_per_round": EXECUTIONS,
+            "cpu_count": os.cpu_count(),
+            "wall_clock_s": {leg: results[leg][1] for leg in results},
+            "speedup_vs_serial": speedup,
+            "reports_identical": identical,
+        }, handle, indent=2, sort_keys=True)
+    write_bench_json("e18", {
+        "serial_wall_s": serial_s,
+        "thread_speedup_4w": speedup["thread-4"],
+        "process_speedup_1w": speedup["process-1"],
+        "process_speedup_4w": speedup["process-4"],
+        "reports_identical": all(identical.values()),
+    })
 
     # Determinism is unconditional: every backend reproduces the serial
     # report bit for bit at the same seed.
     assert serial_report.total_executions == ROUNDS * EXECUTIONS
-    for backend in ("thread", "process"):
-        assert results[backend][0].as_dict() == serial_report.as_dict()
+    assert all(identical.values()), identical
 
-    # The speedup claim needs cores to be real: on >= 4-core hosts the
-    # process backend must halve the serial wall-clock at this scale.
-    if (os.cpu_count() or 1) >= 4:
-        assert bench["speedup_vs_serial"]["process"] >= 2.0
+    # Single-worker floor, unconditional: the session protocol must
+    # keep one worker within striking distance of serial even when
+    # coordinator and worker time-share one core (pre-redesign this
+    # was 0.67x). The strict >= 1x claim needs a second core for the
+    # worker to actually run beside the coordinator.
+    assert speedup["process-1"] >= 0.8, speedup
+    cores = os.cpu_count() or 1
+    if cores >= 2:
+        assert speedup["process-1"] >= 1.0, speedup
+    # The fleet-scale claim needs cores to be real: on >= 4-core hosts
+    # the process backend must halve the serial wall-clock.
+    if cores >= 4:
+        assert speedup["process-4"] >= 2.0, speedup

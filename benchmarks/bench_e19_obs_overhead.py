@@ -27,6 +27,8 @@ from repro.obs.trace import Tracer, get_tracer, set_tracer
 from repro.platform import PlatformConfig, SoftBorgPlatform
 from repro.workloads.scenarios import crash_scenario
 
+from schema import write_bench_json
+
 OUT_DIR = Path(__file__).parent / "out"
 
 ROUNDS = 12
@@ -113,6 +115,11 @@ def test_e19_obs_overhead(benchmark, emit):
             "overhead_vs_off": overhead,
             "chrome_export_events": len(export["traceEvents"]),
         }, handle, indent=2, sort_keys=True)
+    write_bench_json("e19", {
+        "overhead_tracing_on": overhead["tracing on"],
+        "overhead_tracing_on_chaos": overhead["tracing on + chaos"],
+        "spans_tracing_on": results["tracing on"]["spans"],
+    })
 
     # Tracing off records nothing; tracing on covers the round tree.
     assert results["tracing off"]["spans"] == 0

@@ -46,6 +46,8 @@ from repro.progmodel.corpus import CorpusConfig, generate_program
 from repro.workloads.population import UserPopulation
 from repro.workloads.scenarios import Scenario
 
+from schema import write_bench_json
+
 OUT_DIR = Path(__file__).parent / "out"
 
 MODES = ("none", "local", "collective")
@@ -156,6 +158,17 @@ def test_e20_constraint_recycling(benchmark, emit):
     with open(OUT_DIR / "e20_constraint_recycling.json", "w",
               encoding="utf-8") as handle:
         json.dump(doc, handle, indent=2, sort_keys=True)
+    # W2 runs in every profile (including REPRO_E20_TINY=1), so the
+    # stable metrics CI floors against come from it.
+    recycling_doc = results["witness_recycling"]
+    write_bench_json("e20", {
+        "collective_hit_rate":
+            recycling_doc["collective"]["cache"]["hit_rate"],
+        "collective_merged":
+            recycling_doc["collective"]["cache"]["merged"],
+        "collective_reduction_vs_none":
+            _reduction(recycling_doc)["collective"],
+    })
 
     # W2: the collective tier must actually recycle — nonzero hit
     # rate, shard facts merged into the hive, and no regression vs

@@ -1,0 +1,97 @@
+"""CI perf-regression gate: compare BENCH_*.json against floors.json.
+
+Usage (after running the relevant benchmarks)::
+
+    python benchmarks/check_regression.py [e18 e20 ...]
+
+With no arguments, every bench that has both a rule in ``floors.json``
+and a ``out/BENCH_<bench>.json`` on disk is checked; naming benches
+makes their BENCH files *required* (a missing file fails, so a broken
+benchmark cannot silently skip its own gate).
+
+Rules are cpu-gated by ``min_cpus`` against the measuring host's
+recorded ``env.cpu_count`` — the same gating the benchmarks apply to
+their own strict asserts (a 1-core runner cannot demonstrate a 2x
+process speedup, but it can still regress the single-worker floor).
+Exit status 1 on any violation, with one line per verdict.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+HERE = Path(__file__).parent
+OUT_DIR = HERE / "out"
+
+
+def load_rules() -> list:
+    with open(HERE / "floors.json", encoding="utf-8") as handle:
+        doc = json.load(handle)
+    if doc.get("floors_schema_version") != 1:
+        raise SystemExit("floors.json: unsupported schema version")
+    return doc["rules"]
+
+
+def check_bench(bench: str, rules: list, required: bool) -> list:
+    """Returns a list of failure strings (empty = pass/skip)."""
+    path = OUT_DIR / f"BENCH_{bench}.json"
+    if not path.exists():
+        if required:
+            return [f"{bench}: missing {path} (benchmark did not run?)"]
+        print(f"skip  {bench}: no {path.name}")
+        return []
+    with open(path, encoding="utf-8") as handle:
+        doc = json.load(handle)
+    if doc.get("bench_schema_version") != 1:
+        return [f"{bench}: unsupported bench schema in {path.name}"]
+    cpus = doc.get("env", {}).get("cpu_count", 1)
+    metrics = doc.get("metrics", {})
+    failures = []
+    for rule in rules:
+        if rule.get("min_cpus", 1) > cpus:
+            print(f"skip  {bench}.{rule['metric']}:"
+                  f" needs >= {rule['min_cpus']} cpus, host has {cpus}")
+            continue
+        name = rule["metric"]
+        if name not in metrics:
+            failures.append(f"{bench}: metric {name!r} missing from"
+                            f" {path.name}")
+            continue
+        value = metrics[name]
+        if "min" in rule and value < rule["min"]:
+            failures.append(
+                f"{bench}.{name} = {value:.4g} below floor"
+                f" {rule['min']:.4g}")
+        elif "max" in rule and value > rule["max"]:
+            failures.append(
+                f"{bench}.{name} = {value:.4g} above ceiling"
+                f" {rule['max']:.4g}")
+        else:
+            bound = (f">= {rule['min']:.4g}" if "min" in rule
+                     else f"<= {rule['max']:.4g}")
+            print(f"ok    {bench}.{name} = {value:.4g} ({bound})")
+    return failures
+
+
+def main(argv: list) -> int:
+    rules = load_rules()
+    by_bench: dict = {}
+    for rule in rules:
+        by_bench.setdefault(rule["bench"], []).append(rule)
+    requested = argv or sorted(by_bench)
+    required = bool(argv)
+    failures = []
+    for bench in requested:
+        if bench not in by_bench:
+            failures.append(f"{bench}: no rules in floors.json")
+            continue
+        failures.extend(check_bench(bench, by_bench[bench], required))
+    for line in failures:
+        print(f"FAIL  {line}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

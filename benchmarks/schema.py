@@ -1,0 +1,60 @@
+"""Stable benchmark-output schema (``BENCH_<name>.json``).
+
+The per-experiment ``out/*.json`` files are free-form working notes;
+their shape follows each experiment's needs and may change. The
+``BENCH_*`` files are the opposite: one flat, versioned document per
+benchmark that CI's perf-regression job (``check_regression.py``,
+driven by ``floors.json``) can diff against recorded floors without
+knowing anything about the experiment.
+
+Schema v1::
+
+    {
+      "bench": "e18",                  # short benchmark id
+      "bench_schema_version": 1,
+      "env": {"cpu_count": 4, "python": "3.11.6"},
+      "metrics": {"process_speedup_1w": 1.02, ...}   # flat name->number
+    }
+
+Metrics must be plain numbers (bools coerce to 0/1): floors compare
+with ``<``, nothing else. Anything structured stays in the free-form
+file.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+from pathlib import Path
+
+OUT_DIR = Path(__file__).parent / "out"
+
+BENCH_SCHEMA_VERSION = 1
+
+
+def write_bench_json(bench: str, metrics: dict) -> Path:
+    """Persist ``out/BENCH_<bench>.json`` (schema v1); returns the path."""
+    clean = {}
+    for name, value in metrics.items():
+        if isinstance(value, bool):
+            value = int(value)
+        if not isinstance(value, (int, float)):
+            raise TypeError(
+                f"BENCH metric {name!r} must be a number, got"
+                f" {type(value).__name__}")
+        clean[name] = value
+    OUT_DIR.mkdir(exist_ok=True)
+    path = OUT_DIR / f"BENCH_{bench}.json"
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump({
+            "bench": bench,
+            "bench_schema_version": BENCH_SCHEMA_VERSION,
+            "env": {
+                "cpu_count": os.cpu_count() or 1,
+                "python": platform.python_version(),
+            },
+            "metrics": clean,
+        }, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path

@@ -24,8 +24,15 @@ dropped, corrupted, duplicated, and reordered per the plan. Corrupt
 frames fail the checksum on decode and are discarded — never ingested
 — and each surviving frame is ingested with its own capped retry loop
 against injected transient hive failures. The wire strips shard
-aggregates (products, tree blobs), so the hive replays every delivered
-trace itself: the same evidence, recovered the slow way.
+aggregates (products, tree edge deltas), so the hive replays every
+delivered trace itself: the same evidence, recovered the slow way.
+
+Worker death composes with the session protocol: a process-backend
+worker killed mid-round is respawned *at the current epoch* — it
+replays the backend's session log (program deploys, staged rollouts,
+cache facts, in publish order) before serving its retry wave, so the
+evidence it produces is computed against exactly the state its
+predecessor held (see docs/PARALLEL.md).
 
 Everything is a pure function of the chaos seed: two runs with the
 same (platform seed, profile) see identical faults and produce
@@ -296,7 +303,9 @@ class ChaosCoordinator(Instrumented):
         delivered = 0
         for delivery_index, position in enumerate(order):
             try:
-                batch = decode_batch(deliveries[position])
+                # Zero-copy decode: the frame was encoded once above;
+                # the memoryview materializes only per-entry payloads.
+                batch = decode_batch(memoryview(deliveries[position]))
             except TraceError:
                 # Partial or mangled frame: the checksum (or framing)
                 # caught it. Discard — never feed the hive bad bytes.

@@ -56,7 +56,9 @@ def common_exec_flags() -> argparse.ArgumentParser:
                              " across backends for a fixed seed")
     parent.add_argument("--workers", type=int, default=0,
                         help="worker shards for thread/process backends"
-                             " (0 = auto)")
+                             " (0 = auto: one worker per core,"
+                             " os.cpu_count(), capped at the pod"
+                             " count; same rule on run/chaos/serve)")
     parent.add_argument("--batch-traces", type=int, default=0,
                         help="max traces per shard batch flush (0 = one"
                              " flush per round)")

@@ -3,9 +3,12 @@
 The coordinator plans each round (all randomness serialized, see
 ``repro.exec.plan``), a backend executes it (serial, thread, or
 process; see ``repro.exec.backends``), and sharded collectors ship
-batched traces plus partial execution trees back for hive ingest
-(``repro.exec.batch``, ``repro.exec.shard``). Reports are bit-identical
-across backends for a fixed seed; see ``docs/PARALLEL.md``.
+batched traces plus execution-tree edge deltas back for hive ingest
+(``repro.exec.batch``, ``repro.exec.shard``). Coordinator state reaches
+the shards as epoch-stamped ``publish(SyncDelta)`` calls — the
+session-oriented protocol in ``repro.exec.session``. Reports are
+bit-identical across backends for a fixed seed; see
+``docs/PARALLEL.md``.
 """
 
 from repro.exec.backends import (
@@ -29,6 +32,14 @@ from repro.exec.batch import (
     encode_batch,
 )
 from repro.exec.plan import PlannedRun, RoundPlan, partition_runs
+from repro.exec.session import (
+    SessionLog,
+    SyncDelta,
+    pack_result,
+    pack_runs,
+    unpack_result,
+    unpack_runs,
+)
 from repro.exec.shard import Shard
 
 __all__ = [
@@ -38,5 +49,7 @@ __all__ = [
     "BatchAccumulator", "BatchEntry", "ReplayProduct", "RunRecord",
     "ShardResult", "TraceBatch", "encode_batch", "decode_batch",
     "PlannedRun", "RoundPlan", "partition_runs",
+    "SessionLog", "SyncDelta",
+    "pack_runs", "unpack_runs", "pack_result", "unpack_result",
     "Shard",
 ]

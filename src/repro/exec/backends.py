@@ -11,15 +11,25 @@ hands the plan to an :class:`ExecutorBackend`, and gets back per-shard
   backend is mostly a stepping stone / GIL-contention testbed; results
   are still bit-identical.
 * :class:`ProcessBackend` — pods partitioned across long-lived worker
-  processes (one :class:`~repro.exec.shard.Shard` each). Plans cross
-  the channel pickled; programs cross as ``progmodel.serialize`` bytes;
-  traces come back ``tracing.encode``-packed in
-  :class:`~repro.exec.batch.TraceBatch` flushes. This is the backend
-  that actually buys wall-clock on multi-core hosts.
+  processes (one :class:`~repro.exec.shard.Shard` each), speaking the
+  **session protocol** (``repro.exec.session``): full state crosses
+  the pipe once at spawn, then only deltas — packed plans out, packed
+  delta-shaped results back, epoch-stamped ``publish()`` broadcasts in
+  between. This is the backend that buys wall-clock.
 
-Every backend feeds ``repro.obs``: round execute latency, batch
-count/size/bytes, per-shard busy seconds, and worker utilization
-(busy / round wall-clock, the parallel-efficiency signal).
+Every backend is a context manager (``with make_backend(...) as b:``)
+whose exit calls the idempotent :meth:`close`, and every backend feeds
+``repro.obs``: round execute latency, batch count/size/bytes, per-shard
+busy seconds, and worker utilization (busy / round wall-clock, the
+parallel-efficiency signal).
+
+Coordinator-side state changes go through one door:
+:meth:`publish` takes a :class:`~repro.exec.session.SyncDelta` (hive
+program deploy, staged rollout, constraint-cache facts — any
+combination), stamps it with the session's next epoch, and applies it
+to every shard. The legacy mutator trio (``set_hive_program`` /
+``apply_update`` / ``seed_cache``) remains as deprecated aliases only
+(removal per docs/API.md policy).
 
 Backend choice is config- or environment-driven (``REPRO_BACKEND``);
 ``resolve_backend_name`` centralizes the rule.
@@ -38,7 +48,12 @@ except ImportError:  # pragma: no cover
 from repro.errors import ConfigError
 from repro.exec.batch import ShardResult
 from repro.exec.plan import PlannedRun, RoundPlan, partition_runs
+from repro.exec.session import (
+    SessionLog, SyncDelta, pack_runs, pack_result, unpack_result,
+    unpack_runs,
+)
 from repro.exec.shard import Shard
+from repro.interfaces import deprecated_alias
 from repro.obs import Instrumented
 from repro.obs.trace import get_tracer
 from repro.pod.pod import Pod
@@ -46,7 +61,7 @@ from repro.progmodel.interpreter import ExecutionLimits
 from repro.progmodel.ir import Program
 
 __all__ = [
-    "BACKEND_NAMES", "ExecutorBackend",
+    "BACKEND_NAMES", "ExecutorBackend", "SyncDelta",
     "SerialBackend", "ThreadBackend", "ProcessBackend",
     "make_backend", "resolve_backend_name", "resolve_workers",
 ]
@@ -54,6 +69,9 @@ __all__ = [
 BACKEND_NAMES = ("serial", "thread", "process")
 
 _ENV_BACKEND = "REPRO_BACKEND"
+
+#: Release that deletes the legacy mutator trio (docs/API.md policy).
+_LEGACY_MUTATOR_REMOVAL = "v0.3"
 
 
 def resolve_backend_name(name: str) -> str:
@@ -73,48 +91,62 @@ def resolve_backend_name(name: str) -> str:
 
 
 def resolve_workers(workers: int, backend: str, n_pods: int) -> int:
-    """0 = auto: one worker per core, capped at 4 and at the pod count
-    (a shard with no pods would just idle)."""
+    """0 = auto: one worker per core (``os.cpu_count()``), capped at
+    the pod count (a shard with no pods would just idle). The same rule
+    applies on every CLI that takes ``--workers`` (run/chaos/serve)."""
     if backend == "serial":
         return 1
     if workers <= 0:
-        workers = min(4, os.cpu_count() or 1)
+        workers = os.cpu_count() or 1
     return max(1, min(workers, n_pods))
 
 
 class ExecutorBackend(Protocol):
-    """What the platform requires of an execution backend."""
+    """What the platform requires of an execution backend.
+
+    The session protocol in four verbs: ``run_round`` executes a plan,
+    ``publish`` applies an epoch-stamped state delta to every shard,
+    ``close`` releases workers (idempotent), and the context-manager
+    pair scopes the whole session.
+    """
 
     name: str
     workers: int
+    epoch: int
 
     def run_round(self, plan: RoundPlan) -> List[ShardResult]:
         """Execute the plan; shard results ordered by shard id."""
 
-    def set_hive_program(self, program: Program) -> None:
-        """Broadcast the hive's current (possibly fixed) program."""
-
-    def apply_update(self, program: Program,
-                     pod_indices: Sequence[int]) -> None:
-        """Staged rollout of ``program`` onto the named pods."""
-
-    def seed_cache(self, delta) -> None:
-        """Redistribute hive constraint-cache facts to every shard."""
+    def publish(self, delta: SyncDelta) -> int:
+        """Apply a state delta to every shard; returns the stamped
+        epoch. A worker (re)spawned later replays the cumulative
+        session state before serving its first round."""
 
     def close(self) -> None:
         """Release worker resources (idempotent)."""
 
+    def __enter__(self) -> "ExecutorBackend":
+        ...
+
+    def __exit__(self, *exc_info) -> None:
+        ...
+
 
 class _BackendBase(Instrumented):
-    """Shared observability + lifecycle for every backend."""
+    """Shared observability + session lifecycle for every backend."""
 
     obs_namespace = "exec"
     name = "abstract"
 
     def __init__(self, workers: int):
         self.workers = workers
+        #: Monotonic session epoch: bumped by every (non-empty)
+        #: publish. A pure function of the round plan, so it is
+        #: backend-invariant and may appear in snapshots.
+        self._epoch = 0
         self._tracer = get_tracer()
         self._obs_rounds = self.obs_counter("rounds")
+        self._obs_publishes = self.obs_counter("publishes")
         self._obs_batches = self.obs_counter("batches")
         self._obs_traces = self.obs_counter("batched_traces")
         self._obs_round_time = self.obs_timer("round_execute")
@@ -128,6 +160,48 @@ class _BackendBase(Instrumented):
         self._obs_busy = self.obs_timer("worker_busy")
         self._obs_utilization = self.obs_timer("worker_utilization")
         self.obs_gauge("workers").set(workers)
+
+    @property
+    def epoch(self) -> int:
+        return self._epoch
+
+    # -- session lifecycle ----------------------------------------------------
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def publish(self, delta: SyncDelta) -> int:
+        """Stamp ``delta`` with the next session epoch and apply it."""
+        if delta.is_empty():
+            return self._epoch
+        self._epoch += 1
+        delta.epoch = self._epoch
+        self._obs_publishes.inc()
+        self._publish(delta)
+        return self._epoch
+
+    def _publish(self, delta: SyncDelta) -> None:
+        raise NotImplementedError
+
+    # -- deprecated push-style mutators (aliases of publish) ------------------
+
+    @deprecated_alias("publish", removal_version=_LEGACY_MUTATOR_REMOVAL)
+    def set_hive_program(self, program: Program) -> None:
+        self.publish(SyncDelta(hive_program=program))
+
+    @deprecated_alias("publish", removal_version=_LEGACY_MUTATOR_REMOVAL)
+    def apply_update(self, program: Program,
+                     pod_indices: Sequence[int]) -> None:
+        self.publish(SyncDelta(rollout=(program, tuple(pod_indices))))
+
+    @deprecated_alias("publish", removal_version=_LEGACY_MUTATOR_REMOVAL)
+    def seed_cache(self, delta) -> None:
+        self.publish(SyncDelta(cache_entries=list(delta or ())))
+
+    # -- rounds ---------------------------------------------------------------
 
     def run_round(self, plan: RoundPlan) -> List[ShardResult]:
         import time
@@ -157,16 +231,6 @@ class _BackendBase(Instrumented):
 
     def _run_round(self, plan: RoundPlan, ctx=None) -> List[ShardResult]:
         raise NotImplementedError
-
-    def set_hive_program(self, program: Program) -> None:
-        raise NotImplementedError
-
-    def apply_update(self, program: Program,
-                     pod_indices: Sequence[int]) -> None:
-        raise NotImplementedError
-
-    def seed_cache(self, delta) -> None:
-        pass
 
     def close(self) -> None:
         pass
@@ -201,15 +265,8 @@ class SerialBackend(_BackendBase):
     def _run_round(self, plan: RoundPlan, ctx=None) -> List[ShardResult]:
         return [self._shard.run_shard(plan.runs, ctx)]
 
-    def set_hive_program(self, program: Program) -> None:
-        self._shard.set_hive_program(program)
-
-    def apply_update(self, program: Program,
-                     pod_indices: Sequence[int]) -> None:
-        self._shard.apply_update(program, pod_indices)
-
-    def seed_cache(self, delta) -> None:
-        self._shard.merge_cache(delta)
+    def _publish(self, delta: SyncDelta) -> None:
+        self._shard.apply_sync(delta)
 
 
 class ThreadBackend(_BackendBase):
@@ -251,18 +308,9 @@ class ThreadBackend(_BackendBase):
                    for shard, runs in zip(self._shards, slices)]
         return [future.result() for future in futures]
 
-    def set_hive_program(self, program: Program) -> None:
+    def _publish(self, delta: SyncDelta) -> None:
         for shard in self._shards:
-            shard.set_hive_program(program)
-
-    def apply_update(self, program: Program,
-                     pod_indices: Sequence[int]) -> None:
-        for shard in self._shards:
-            shard.apply_update(program, pod_indices)
-
-    def seed_cache(self, delta) -> None:
-        for shard in self._shards:
-            shard.merge_cache(delta)
+            shard.apply_sync(delta)
 
     def close(self) -> None:
         if self._pool is not None:
@@ -271,13 +319,23 @@ class ThreadBackend(_BackendBase):
 
 
 class ProcessBackend(_BackendBase):
-    """Long-lived worker processes, one shard each.
+    """Long-lived worker processes, one shard each, session protocol.
 
     Workers are started lazily on the first round and reconstruct their
     pods from picklable specs (pod id + seed + serialized program), so
-    shard state is a pure function of the platform config — the same
-    guarantee the coordinator's own pods give — under both ``fork`` and
-    ``spawn`` start methods.
+    shard state is a pure function of (platform config, session log) —
+    the same guarantee the coordinator's own pods give — under both
+    ``fork`` and ``spawn`` start methods.
+
+    State crosses the pipe once: the spawn arguments carry the base
+    program plus the cumulative :class:`~repro.exec.session.SessionLog`
+    snapshot, so a worker respawned after a crash **replays the current
+    epoch** — every published program deploy and rollout in order, plus
+    the compacted cache facts — before it serves a round. Per round,
+    only deltas cross: packed plans out (interned inputs), packed
+    delta-shaped results back (outcome/product tables, tree edge rows,
+    once-encoded trace payloads), and worker counter *deltas* instead
+    of totals.
     """
 
     name = "process"
@@ -301,12 +359,9 @@ class ProcessBackend(_BackendBase):
         self._replay_products = replay_products
         self._procs: List = []
         self._pipes: List = []
-        # Last-seen worker counter totals, for delta-merging worker
-        # metrics (pod.*, capture.*) into the coordinator registry.
-        self._counter_base: List[Dict[str, int]] = []
-        # Messages queued before workers exist (e.g. an update broadcast
-        # between construction and the first round) replay at start.
-        self._pending: List[tuple] = []
+        #: Cumulative session state; replayed verbatim by every worker
+        #: that (re)spawns, which is what makes respawn epoch-correct.
+        self._session = SessionLog()
 
     #: Respawn budget per shard per round, with capped backoff between
     #: attempts (real seconds — these are real crashes, not simulated).
@@ -336,7 +391,8 @@ class ProcessBackend(_BackendBase):
                   # equivalent tracer. The clock must be picklable —
                   # builtins and FixedClock are.
                   self._tracer.spec(),
-                  self._solver_cache, self._replay_products),
+                  self._solver_cache, self._replay_products,
+                  self._session.snapshot()),
             daemon=True,
         )
         proc.start()
@@ -351,18 +407,17 @@ class ProcessBackend(_BackendBase):
             proc, pipe = self._spawn(context, shard_id)
             self._procs.append(proc)
             self._pipes.append(pipe)
-            self._counter_base.append({})
-        for message in self._pending:
-            self._broadcast(message)
-        self._pending = []
 
     def _respawn(self, shard_id: int) -> None:
-        """Replace a dead worker with a fresh one.
+        """Replace a dead worker with a fresh one at the current epoch.
 
-        The replacement rebuilds its pods from specs against the hive's
-        *current* program — their RNG streams restart, so a real crash
-        (unlike an injected one) is outside the bit-determinism
-        contract; see docs/CHAOS.md."""
+        The replacement replays the session log — the base program,
+        every published deploy and staged rollout in order, and the
+        compacted cache facts — so it rejoins with exactly the state
+        its predecessor had published to it. The one thing a real crash
+        cannot restore is pod RNG position: streams restart from the
+        pod seed, so a real crash (unlike an injected one) is outside
+        the bit-determinism contract; see docs/CHAOS.md."""
         old = self._procs[shard_id]
         if old.is_alive():
             old.terminate()
@@ -374,16 +429,28 @@ class ProcessBackend(_BackendBase):
         proc, pipe = self._spawn(self._context(), shard_id)
         self._procs[shard_id] = proc
         self._pipes[shard_id] = pipe
-        # Fresh worker, fresh worker-local registry: its counter totals
-        # restart from zero, so the delta base must too.
-        self._counter_base[shard_id] = {}
 
-    def _broadcast(self, message: tuple) -> None:
-        if not self._procs:
-            self._pending.append(message)
-            return
+    def _publish(self, delta: SyncDelta) -> None:
+        from repro.progmodel.serialize import encode_program
+        hive_blob = (encode_program(delta.hive_program)
+                     if delta.hive_program is not None else None)
+        rollout_blob = (encode_program(delta.rollout[0])
+                        if delta.rollout is not None else None)
+        payload = self._session.record(delta, hive_blob=hive_blob,
+                                       rollout_blob=rollout_blob)
         for pipe in self._pipes:
-            pipe.send(message)
+            pipe.send(("publish",) + payload)
+
+    def probe(self, shard_id: int = 0) -> Dict[str, object]:
+        """Ask a live worker for its session state (tests and ops):
+        epoch, hive program version, pod versions, cache size."""
+        self._start()
+        pipe = self._pipes[shard_id]
+        pipe.send(("probe",))
+        reply = pipe.recv()
+        if reply[0] != "state":  # pragma: no cover - protocol guard
+            raise RuntimeError(f"unexpected probe reply: {reply[0]}")
+        return reply[1]
 
     def _run_round(self, plan: RoundPlan, ctx=None) -> List[ShardResult]:
         self._start()
@@ -391,7 +458,7 @@ class ProcessBackend(_BackendBase):
         crashed: List[int] = []
         for shard_id, (pipe, runs) in enumerate(zip(self._pipes, slices)):
             try:
-                pipe.send(("round", runs, ctx))
+                pipe.send(("round", self._epoch, pack_runs(runs), ctx))
             except (BrokenPipeError, OSError):
                 crashed.append(shard_id)
         results: List[Optional[ShardResult]] = [None] * self.workers
@@ -407,11 +474,12 @@ class ProcessBackend(_BackendBase):
                 self.close()
                 raise RuntimeError(
                     f"exec worker shard {shard_id} failed:\n{reply[1]}")
-            results[shard_id] = reply[1]
-            self._merge_counters(shard_id, reply[2])
+            results[shard_id] = unpack_result(reply[1])
+            self._merge_counters(reply[2])
         # Crash-tolerant rounds: a dead worker's shard is re-run on a
-        # fresh replacement process, with capped backoff between
-        # respawns, instead of aborting the round.
+        # fresh replacement process — spawned at the current epoch —
+        # with capped backoff between respawns, instead of aborting
+        # the round.
         for shard_id in crashed:
             results[shard_id] = self._retry_shard(shard_id,
                                                   slices[shard_id], ctx)
@@ -437,7 +505,7 @@ class ProcessBackend(_BackendBase):
             self._respawn(shard_id)
             pipe = self._pipes[shard_id]
             try:
-                pipe.send(("round", runs, ctx))
+                pipe.send(("round", self._epoch, pack_runs(runs), ctx))
                 reply = pipe.recv()
             except (EOFError, BrokenPipeError, OSError):
                 continue
@@ -446,43 +514,25 @@ class ProcessBackend(_BackendBase):
                 raise RuntimeError(
                     f"exec worker shard {shard_id} failed after"
                     f" respawn:\n{reply[1]}")
-            self._merge_counters(shard_id, reply[2])
-            return reply[1]
+            self._merge_counters(reply[2])
+            return unpack_result(reply[1])
         registry.counter("retry.giveups").inc()
         self.close()
         raise RuntimeError(
             f"exec worker shard {shard_id} kept dying through"
             f" {self._MAX_RESPAWNS} respawns")
 
-    def _merge_counters(self, shard_id: int,
-                        totals: Dict[str, int]) -> None:
-        """Fold worker-side counter totals (pod executions, capture
-        decisions, ...) into the coordinator registry, by delta, so
-        counter metrics are backend-invariant. Distribution metrics
+    def _merge_counters(self, deltas: Dict[str, int]) -> None:
+        """Fold worker-side counter *deltas* (pod executions, capture
+        decisions, ...) into the coordinator registry, so counter
+        metrics are backend-invariant. Workers track their own last
+        shipped totals, which makes respawn bookkeeping free: a fresh
+        worker simply starts its deltas from zero. Distribution metrics
         stay worker-local (documented in docs/PARALLEL.md)."""
         from repro.obs import get_registry
         registry = get_registry()
-        base = self._counter_base[shard_id]
-        for name, value in totals.items():
-            delta = value - base.get(name, 0)
-            if delta:
-                registry.counter(name).inc(delta)
-        self._counter_base[shard_id] = totals
-
-    def set_hive_program(self, program: Program) -> None:
-        from repro.progmodel.serialize import encode_program
-        self._program_blob = encode_program(program)
-        self._broadcast(("hive_program", self._program_blob))
-
-    def apply_update(self, program: Program,
-                     pod_indices: Sequence[int]) -> None:
-        from repro.progmodel.serialize import encode_program
-        self._broadcast(("update", encode_program(program),
-                         tuple(pod_indices)))
-
-    def seed_cache(self, delta) -> None:
-        if self._solver_cache and delta:
-            self._broadcast(("cache", delta))
+        for name, delta in deltas.items():
+            registry.counter(name).inc(delta)
 
     def close(self) -> None:
         for pipe in self._pipes:
@@ -504,8 +554,10 @@ def _process_worker_main(conn, shard_id: int, specs, program_blob: bytes,
                          dedup: bool, batch_max_traces: int,
                          tracer_spec=(False, None),
                          solver_cache: bool = False,
-                         replay_products: bool = True) -> None:
-    """Worker entry point: rebuild the shard, serve round requests."""
+                         replay_products: bool = True,
+                         session=(0, (), ())) -> None:
+    """Worker entry point: rebuild the shard, replay the session log,
+    serve round requests at the session's epoch."""
     import traceback
 
     from repro.obs import Registry, get_registry, set_registry
@@ -513,8 +565,8 @@ def _process_worker_main(conn, shard_id: int, specs, program_blob: bytes,
     from repro.progmodel.serialize import decode_program
 
     # A fresh worker-local registry (under fork the default one holds
-    # the coordinator's accumulated metrics). Counter totals ship back
-    # with every round reply and the coordinator delta-merges them.
+    # the coordinator's accumulated metrics). Counter deltas ship back
+    # with every round reply.
     set_registry(Registry())
     # Same for the tracer: rebuild it from the coordinator's spec so
     # shard-side spans use the same clock (and the same no-op fast
@@ -523,6 +575,7 @@ def _process_worker_main(conn, shard_id: int, specs, program_blob: bytes,
     set_tracer(Tracer(enabled=enabled, clock=clock))
     if capture is not None:
         capture._obs_handles = None
+    epoch, program_events, cache_items = session
     try:
         program = decode_program(program_blob)
         pods = {
@@ -535,9 +588,30 @@ def _process_worker_main(conn, shard_id: int, specs, program_blob: bytes,
                       dedup=dedup, batch_max_traces=batch_max_traces,
                       solver_cache=_BackendBase._shard_cache(solver_cache),
                       replay_products=replay_products)
+        # Epoch replay: everything published since the session opened,
+        # in publish order, so this worker's pod/program/cache state is
+        # exactly what a survivor's would be.
+        for event in program_events:
+            if event[0] == "hive":
+                shard.set_hive_program(decode_program(event[1]))
+            else:
+                shard.apply_update(decode_program(event[1]), event[2])
+        if cache_items:
+            shard.merge_cache(list(cache_items))
     except Exception:  # pragma: no cover - construction is config-pure
         conn.send(("error", traceback.format_exc()))
         return
+    last_totals: Dict[str, int] = {}
+
+    def counter_deltas() -> Dict[str, int]:
+        totals = get_registry().snapshot()["counters"]
+        deltas = {name: value - last_totals.get(name, 0)
+                  for name, value in totals.items()
+                  if value != last_totals.get(name, 0)}
+        last_totals.clear()
+        last_totals.update(totals)
+        return deltas
+
     while True:
         try:
             message = conn.recv()
@@ -546,16 +620,32 @@ def _process_worker_main(conn, shard_id: int, specs, program_blob: bytes,
         kind = message[0]
         try:
             if kind == "round":
-                ctx = message[2] if len(message) > 2 else None
-                result = shard.run_shard(message[1], ctx)
-                counters = get_registry().snapshot()["counters"]
-                conn.send(("ok", result, counters))
-            elif kind == "hive_program":
-                shard.set_hive_program(decode_program(message[1]))
-            elif kind == "update":
-                shard.apply_update(decode_program(message[1]), message[2])
-            elif kind == "cache":
-                shard.merge_cache(message[1])
+                if message[1] != epoch:
+                    raise RuntimeError(
+                        f"shard {shard_id} at epoch {epoch} received a"
+                        f" round stamped epoch {message[1]}")
+                ctx = message[3] if len(message) > 3 else None
+                result = shard.run_shard(unpack_runs(message[2]), ctx)
+                conn.send(("ok", pack_result(result), counter_deltas()))
+            elif kind == "publish":
+                epoch, hive_blob, rollout, cache = message[1:5]
+                if hive_blob is not None:
+                    shard.set_hive_program(decode_program(hive_blob))
+                if rollout is not None:
+                    shard.apply_update(decode_program(rollout[0]),
+                                       rollout[1])
+                if cache:
+                    shard.merge_cache(cache)
+            elif kind == "probe":
+                conn.send(("state", {
+                    "epoch": epoch,
+                    "hive_version": shard.hive_program.version,
+                    "pod_versions": {index: pod.version
+                                     for index, pod in shard.pods.items()},
+                    "cache_entries": (len(shard.solver_cache)
+                                      if shard.solver_cache is not None
+                                      else 0),
+                }))
             elif kind == "stop":
                 return
         except Exception:

@@ -7,9 +7,12 @@ tagged with its global execution index — and flushes per round (or
 every ``batch_max_traces``). A batch optionally carries two shard-side
 aggregates so the hive can skip work it would otherwise redo serially:
 
-* ``tree_blob`` — the shard's partial :class:`ExecutionTree` (encoded
-  via ``tree.encode``), merged into the hive tree in one deterministic
-  step;
+* ``tree_blob`` — a partial :class:`ExecutionTree` (encoded via
+  ``tree.encode``), merged into the hive tree in one deterministic
+  step. Shards no longer ship these: since the session-protocol
+  redesign the round's tree increment rides ``ShardResult.tree_delta``
+  as ``(path, outcome, count)`` edge rows; the blob field remains for
+  external senders and is still honoured at ingest;
 * per-entry :class:`ReplayProduct` — the decision path and analysis
   by-products the shard already reconstructed by replaying the trace,
   exposing the same attributes the analyzers read off an
@@ -130,6 +133,15 @@ class ShardResult:
     #: coordinator channel like spans/counters — the pod uplink wire
     #: format is untouched.
     cache_delta: List = field(default_factory=list)
+    #: Hive program version the shard replayed against this round; the
+    #: hive applies ``tree_delta`` only when it still matches.
+    tree_version: int = -1
+    #: Incremental execution-tree edges: ``(path_decisions, outcome,
+    #: count)`` rows aggregated over the round's replays, in first-seen
+    #: order. Replaces the per-round partial-tree blob on the
+    #: coordinator channel — the hive folds the rows with counted
+    #: inserts, which is both smaller on the pipe and cheaper to merge.
+    tree_delta: List[Tuple] = field(default_factory=list)
 
 
 # -- wire encoding ------------------------------------------------------------
@@ -148,7 +160,15 @@ def _write_varint(out: bytearray, value: int) -> None:
 
 
 class _Reader:
-    def __init__(self, data: bytes):
+    """Varint-framed reader over ``bytes`` or a ``memoryview``.
+
+    With a memoryview input, :meth:`blob` materializes each payload
+    with exactly one copy out of the received buffer — no intermediate
+    whole-body slice — which is how the coordinator decodes frames the
+    workers encoded once.
+    """
+
+    def __init__(self, data):
         self._data = data
         self._pos = 0
 
@@ -171,7 +191,7 @@ class _Reader:
             raise TraceError("truncated batch payload")
         chunk = self._data[self._pos:self._pos + length]
         self._pos += length
-        return chunk
+        return bytes(chunk)
 
     def string(self) -> str:
         return self.blob().decode("utf-8")
@@ -219,9 +239,13 @@ def encode_batch(batch: TraceBatch) -> bytes:
     return bytes(out)
 
 
-def decode_batch(data: bytes) -> TraceBatch:
+def decode_batch(data) -> TraceBatch:
     """Inverse of :func:`encode_batch` (products/trees do not survive
     the wire — the receiver replays, as the paper prescribes).
+
+    Accepts ``bytes`` or a ``memoryview``: receivers decode frames
+    zero-copy over the buffer they arrived in, materializing only the
+    per-entry payloads (see docs/PARALLEL.md, "wire format versions").
 
     The CRC32 footer is verified *first*: a partial flush or a frame
     mangled in transit raises :class:`~repro.errors.TraceError` before
@@ -230,7 +254,8 @@ def decode_batch(data: bytes) -> TraceBatch:
     import zlib
     if len(data) <= _CHECKSUM_BYTES:
         raise TraceError("batch too short to carry a checksum")
-    body, footer = data[:-_CHECKSUM_BYTES], data[-_CHECKSUM_BYTES:]
+    view = data if isinstance(data, memoryview) else memoryview(data)
+    body, footer = view[:-_CHECKSUM_BYTES], view[-_CHECKSUM_BYTES:]
     if (zlib.crc32(body) & 0xFFFFFFFF) != int.from_bytes(footer, "big"):
         raise TraceError("batch checksum mismatch")
     reader = _Reader(body)

@@ -3,7 +3,8 @@
 One :class:`Shard` owns a fixed subset of pods and mirrors, locally,
 the hive-side work that used to be serial: it executes its planned
 runs, deduplicates per pod, replays replayable version-current traces
-into a partial :class:`ExecutionTree`, and packages everything into
+into execution-tree *edge deltas* (``(path, outcome, count)`` rows in
+``ShardResult.tree_delta``), and packages everything into
 :class:`TraceBatch` flushes with per-entry :class:`ReplayProduct`
 aggregates. The same class backs all three executor backends — inline
 (serial), one-per-thread, and one-per-worker-process — which is what
@@ -35,8 +36,6 @@ from repro.progmodel.ir import Program
 from repro.tracing.dedup import PodDeduplicator
 from repro.tracing.encode import encode_trace
 from repro.tracing.trace import Trace
-from repro.tree.encode import encode_tree
-from repro.tree.exectree import ExecutionTree
 
 __all__ = ["Shard"]
 
@@ -99,6 +98,19 @@ class Shard:
             if pod is not None:
                 pod.apply_update(program)
 
+    def apply_sync(self, delta) -> None:
+        """Apply one epoch-stamped :class:`~repro.exec.session.SyncDelta`
+        — the session protocol's single state-change entry point. Order
+        matters: a combined publish deploys the hive program before the
+        rollout that targets it."""
+        if delta.hive_program is not None:
+            self.set_hive_program(delta.hive_program)
+        if delta.rollout is not None:
+            program, indices = delta.rollout
+            self.apply_update(program, indices)
+        if delta.cache_entries:
+            self.merge_cache(list(delta.cache_entries))
+
     # -- the round ------------------------------------------------------------
 
     def run_shard(self, runs: Sequence[PlannedRun],
@@ -116,9 +128,11 @@ class Shard:
         accumulator = BatchAccumulator(
             self.shard_id, self.hive_program.name,
             self.hive_program.version, max_traces=self.batch_max_traces)
-        tree = (ExecutionTree(self.hive_program.name,
-                              self.hive_program.version)
-                if self.collect_tree else None)
+        # Tree evidence accumulates as (path, outcome) -> count edge
+        # rows, not as an ExecutionTree: the delta is what crosses the
+        # worker pipe, and counted-insert merging hive-side reproduces
+        # the exact tree the old partial-tree blobs built.
+        edges: Dict = {} if self.collect_tree else None
         records: List[RunRecord] = []
         for planned in runs:
             pod = self.pods[planned.pod_index]
@@ -161,7 +175,7 @@ class Shard:
                 ))
                 if not planned.ship:
                     continue                   # lost on the wire
-                entry = self._collect(planned.global_index, trace, tree,
+                entry = self._collect(planned.global_index, trace, edges,
                                       recorder)
                 if entry is not None:
                     accumulator.add(entry)
@@ -170,9 +184,6 @@ class Shard:
                                       planned.inputs, recorder,
                                       planned.global_index)
         batches = list(accumulator.drain_batches())
-        if tree is not None and batches:
-            # The partial tree rides the round's final flush.
-            batches[-1].tree_blob = encode_tree(tree)
         return ShardResult(
             shard_id=self.shard_id,
             records=records,
@@ -181,6 +192,10 @@ class Shard:
             spans=recorder.take(),
             cache_delta=(self.solver_cache.export_delta()
                          if self.solver_cache is not None else []),
+            tree_version=self.hive_program.version,
+            tree_delta=[(path, outcome, count)
+                        for (path, outcome), count in edges.items()]
+            if edges else [],
         )
 
     # -- constraint recycling --------------------------------------------------
@@ -209,7 +224,7 @@ class Shard:
     # -- collection -----------------------------------------------------------
 
     def _collect(self, global_index: int, trace: Trace,
-                 tree: Optional[ExecutionTree],
+                 edges: Optional[Dict],
                  recorder) -> Optional[BatchEntry]:
         if self._dedup:
             shipped, heartbeat = self._dedup[trace.pod_id].submit(trace)
@@ -222,11 +237,11 @@ class Shard:
             span.set(bytes=len(payload))
         entry = BatchEntry(global_index=global_index, payload=payload)
         if self.replay_products:
-            entry.product = self._replay(trace, tree)
+            entry.product = self._replay(trace, edges)
         return entry
 
     def _replay(self, trace: Trace,
-                tree: Optional[ExecutionTree]) -> Optional[ReplayProduct]:
+                edges: Optional[Dict]) -> Optional[ReplayProduct]:
         """The hive's replay, done shard-locally.
 
         Only replayable traces for the hive's current version qualify;
@@ -248,8 +263,9 @@ class Shard:
                 ))
         except TraceError:
             return None                        # hive will count the failure
-        if tree is not None:
-            tree.insert_path(result.path_decisions, result.outcome)
+        if edges is not None:
+            key = (tuple(result.path_decisions), result.outcome)
+            edges[key] = edges.get(key, 0) + 1
         return ReplayProduct(
             program_version=trace.program_version,
             outcome=result.outcome,

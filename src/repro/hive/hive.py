@@ -228,16 +228,20 @@ class Hive(Instrumented):
         self._digest_paths[trace_digest(trace)] = (
             tuple(result.path_decisions), result.outcome)
 
-    def ingest_batch(self, batches) -> int:
+    def ingest_batch(self, batches, tree_deltas=None) -> int:
         """Fold a round's worth of shard :class:`TraceBatch` flushes.
 
         The :class:`~repro.interfaces.TraceSink` bulk entry point, and
         the heart of sharded ingest. Two deterministic steps:
 
-        1. **Tree merge** — each batch may carry its shard's partial
-           :class:`ExecutionTree`; they merge into the hive tree in
-           shard-id order (associative by canonicalization, so the
-           order is a formality — see ``docs/PARALLEL.md``).
+        1. **Tree merge** — ``tree_deltas`` carries each shard's round
+           increment as ``(tree_version, rows)`` pairs, rows being
+           ``(path_decisions, outcome, count)`` edges; they fold in
+           with counted inserts, which reproduces exactly the tree the
+           old partial-tree blobs built (the tree is order-canonical —
+           see ``docs/PARALLEL.md``). A batch from an external sender
+           may still carry a ``tree_blob``; those are honoured too,
+           same version guard.
         2. **Entry replay** — all entries across all batches are
            processed in global execution order, exactly the sequence
            the historical serial loop would have ingested them in.
@@ -260,6 +264,15 @@ class Hive(Instrumented):
                                entries=len(entries)):
             with self._obs_phase_merge.time(), \
                     self._tracer.span("hive.merge"):
+                for tree_version, rows in (tree_deltas or ()):
+                    if tree_version != self.program.version:
+                        # Stale delta (the shard replayed against a
+                        # version a fix has since replaced): dropped,
+                        # like stale blobs always were.
+                        continue
+                    for decisions, outcome, count in rows:
+                        self.tree.insert_path(decisions, outcome,
+                                              count=count)
                 for batch in ordered:
                     if (batch.tree_blob is not None
                             and batch.program_version
@@ -287,8 +300,8 @@ class Hive(Instrumented):
 
         Mirrors :meth:`ingest_trace` minus the two pieces of work the
         shard did locally: the replay itself (the product carries its
-        by-products) and the tree insert (the path arrived inside the
-        shard's merged partial tree).
+        by-products) and the tree insert (the path arrived as a counted
+        edge row in the shard's ``tree_delta``).
         """
         with self._tracer.span("hive.ingest_product",
                                key=self._next_seq(),
@@ -332,8 +345,7 @@ class Hive(Instrumented):
             self.stats.unknown_heartbeats += 1
             return
         decisions, outcome = known
-        for _ in range(heartbeat.count):
-            self.tree.insert_path(decisions, outcome)
+        self.tree.insert_path(decisions, outcome, count=heartbeat.count)
 
     # -- fixing ------------------------------------------------------------------
 

@@ -385,7 +385,9 @@ class NetworkedPlatform(Instrumented):
                 with self._tracer.span("wire.decode",
                                        key=self._next_decode_seq(),
                                        bytes=len(body)):
-                    batch = decode_batch(body)
+                    # Zero-copy: only per-entry payloads materialize
+                    # out of the received frame buffer.
+                    batch = decode_batch(memoryview(body))
             except TraceError:
                 # Truncated/corrupt frame: the CRC32 footer caught it.
                 self.count_chaos("frames_rejected")

@@ -9,11 +9,13 @@ hive into the paper's feedback cycle, executed in deterministic rounds:
    (``repro.exec.plan``);
 2. an :class:`~repro.exec.backends.ExecutorBackend` executes the plan
    — inline, across threads, or across worker processes — and ships
-   batched traces plus partial execution trees back
-   (``--backend {serial,thread,process}``);
-3. the hive merges the shard trees and ingests the batch entries in
-   global execution order, analyzes, and — when the evidence warrants
-   — synthesizes, validates, and deploys a fix;
+   batched traces plus execution-tree edge deltas back
+   (``--backend {serial,thread,process}``); coordinator-side state
+   changes (cache redistributions, fix deploys, staged rollouts) reach
+   the shards as epoch-stamped ``publish()`` deltas;
+3. the hive folds the shard tree deltas and ingests the batch entries
+   in global execution order, analyzes, and — when the evidence
+   warrants — synthesizes, validates, and deploys a fix;
 4. the fixed program rolls out to a staged fraction of pods per round;
 5. metrics record the user-visible failure rate, proof progress, and
    ground-truth bug status.
@@ -35,7 +37,7 @@ from repro.config import (
 )
 from repro.errors import ConfigError
 from repro.exec.backends import (
-    make_backend, resolve_backend_name, resolve_workers,
+    SyncDelta, make_backend, resolve_backend_name, resolve_workers,
 )
 from repro.exec.batch import RunRecord
 from repro.exec.plan import PlannedRun, RoundPlan
@@ -84,7 +86,7 @@ class PlatformConfig(BaseConfig):
     dedup: bool = False              # pod-side heartbeats for repeats
     seed: int = 0
     backend: str = "auto"            # serial | thread | process | auto
-    workers: int = 0                 # 0 = auto (per-core, capped)
+    workers: int = 0                 # 0 = auto (one worker per core)
     batch_max_traces: int = 0        # 0 = one flush per shard per round
     chaos_profile: object = "none"   # profile name or FaultProfile
     check_invariants: bool = False   # run the invariant catalogue/round
@@ -278,14 +280,15 @@ class SoftBorgPlatform(Instrumented):
     # -- main loop ------------------------------------------------------------
 
     def run(self) -> PlatformReport:
-        try:
+        # The backend is a context manager: worker pools cannot leak
+        # on an error path, and close() is idempotent if callers also
+        # close explicitly.
+        with self.backend:
             for round_index in range(self.config.rounds):
                 with self._obs_round.time(), \
                         self._tracer.span("round", key=round_index,
                                           round=round_index):
                     self._run_round(round_index)
-        finally:
-            self.backend.close()
         return self.report
 
     def snapshot(self) -> Dict[str, object]:
@@ -312,6 +315,10 @@ class SoftBorgPlatform(Instrumented):
             "execution": {
                 "backend": self.backend.name,
                 "workers": self.backend.workers,
+                # Final session epoch: how many state deltas the
+                # coordinator published. A pure function of the plan,
+                # so backend-invariant (additive key, still schema v3).
+                "epoch": self.backend.epoch,
                 "batch_max_traces": self.config.batch_max_traces,
             },
             "report": self.report.as_dict(),
@@ -386,7 +393,8 @@ class SoftBorgPlatform(Instrumented):
                 with self._tracer.span("cache.redistribute",
                                        key=round_index,
                                        entries=len(seed_delta)):
-                    self.backend.seed_cache(seed_delta)
+                    self.backend.publish(
+                        SyncDelta(cache_entries=seed_delta))
         entries = None
         cache_deltas = []
         with self._tracer.span("round.execute", key=round_index,
@@ -451,7 +459,12 @@ class SoftBorgPlatform(Instrumented):
                         self._account_wire(Heartbeat.WIRE_SIZE
                                            if entry.is_heartbeat
                                            else len(entry.payload))
-                self.hive.ingest_batch(batches)
+                self.hive.ingest_batch(
+                    batches,
+                    tree_deltas=[(result.tree_version,
+                                  result.tree_delta)
+                                 for result in shard_results
+                                 if result.tree_delta])
 
         # Snapshot the proof on this round's evidence *before* any fix
         # rewrites the program — a deployed fix invalidates the proof,
@@ -472,7 +485,7 @@ class SoftBorgPlatform(Instrumented):
                     span.set(deployed=fix.description)
                     # Shards replay against the hive's new version from
                     # the next round on.
-                    self.backend.set_hive_program(updated)
+                    self.backend.publish(SyncDelta(hive_program=updated))
 
         self._roll_out()
         current = sum(1 for pod in self.pods
@@ -601,4 +614,4 @@ class SoftBorgPlatform(Instrumented):
         chosen = outdated[:count]
         for index in chosen:
             self.pods[index].apply_update(target)
-        self.backend.apply_update(target, chosen)
+        self.backend.publish(SyncDelta(rollout=(target, tuple(chosen))))

@@ -139,7 +139,8 @@ class IngestPump(Instrumented):
             try:
                 with self._tracer.span("wire.decode",
                                        key=("serve", index)):
-                    batch = decode_batch(data)
+                    # Zero-copy over the queued frame buffer.
+                    batch = decode_batch(memoryview(data))
             except TraceError:
                 # Chaos mangled it; the CRC caught it. Discarded whole.
                 self.frames_discarded += 1

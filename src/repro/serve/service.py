@@ -46,7 +46,9 @@ from repro.config import (
     BaseConfig, BaseReport, check_at_least_one, check_positive,
 )
 from repro.errors import ConfigError
-from repro.exec.backends import make_backend, resolve_backend_name
+from repro.exec.backends import (
+    SyncDelta, make_backend, resolve_backend_name,
+)
 from repro.exec.batch import BatchEntry
 from repro.exec.plan import PlannedRun, RoundPlan
 from repro.hive.hive import Hive
@@ -350,14 +352,12 @@ class Service(Instrumented):
     # -- main loop -------------------------------------------------------------
 
     def run(self) -> ServiceReport:
-        try:
+        with self.backend:    # worker pools never leak on error paths
             for tick in range(self.config.ticks):
                 with self._obs_tick.time(), \
                         self._tracer.span("serve.tick", key=tick,
                                           tick=tick):
                     self._tick(tick)
-        finally:
-            self.backend.close()
         return self.report
 
     def _tick(self, tick: int) -> None:
@@ -414,7 +414,7 @@ class Service(Instrumented):
             if collective:
                 delta = self.solver_cache.export_delta()
                 if delta:
-                    self.backend.seed_cache(delta)
+                    self.backend.publish(SyncDelta(cache_entries=delta))
             plan = RoundPlan(round_index=tick,
                              hive_version=self.hive.program.version,
                              runs=admitted_runs)
@@ -540,14 +540,15 @@ class Service(Instrumented):
             fix = self.hive.deployed_fixes[-1]
             self.report.fixes.append(fix.description)
             span.set(deployed=fix.description)
-            # Continuous rollout: the whole fleet updates at once;
-            # frames already queued in the pump go stale and the hive
-            # counts them instead of replaying them.
-            self.backend.set_hive_program(updated)
+            # Continuous rollout: the whole fleet updates at once —
+            # one publish (one epoch) carries both the hive deploy and
+            # the full-fleet rollout; frames already queued in the pump
+            # go stale and the hive counts them instead of replaying.
             for pod in self.pods:
                 pod.apply_update(updated)
-            self.backend.apply_update(
-                updated, list(range(len(self.pods))))
+            self.backend.publish(SyncDelta(
+                hive_program=updated,
+                rollout=(updated, tuple(range(len(self.pods))))))
 
     # -- export ----------------------------------------------------------------
 

@@ -113,10 +113,17 @@ class ExecutionTree:
     # -- construction -------------------------------------------------------
 
     def insert_path(self, decisions: Sequence[Decision],
-                    outcome: Outcome) -> MergeStats:
-        """Merge one decision path; returns merge-cost statistics."""
+                    outcome: Outcome, count: int = 1) -> MergeStats:
+        """Merge one decision path; returns merge-cost statistics.
+
+        ``count`` folds that many identical executions in one walk —
+        equivalent to calling this ``count`` times (every visit and
+        outcome counter advances by ``count``), which is how shard
+        ``tree_delta`` edge rows and dedup heartbeats merge without
+        re-walking the path per repeat.
+        """
         node = self.root
-        node.visit_count += 1
+        node.visit_count += count
         lca_depth = 0
         created = 0
         for index, decision in enumerate(decisions):
@@ -128,13 +135,13 @@ class ExecutionTree:
                 created += 1
             elif created == 0:
                 lca_depth = index + 1
-            child.visit_count += 1
+            child.visit_count += count
             node = child
         was_new = node.terminal_count == 0
-        node.outcome_counts[outcome] += 1
+        node.outcome_counts[outcome] += count
         if was_new:
             self.path_count += 1
-        self.insert_count += 1
+        self.insert_count += count
         return MergeStats(
             path_length=len(decisions),
             lca_depth=lca_depth,

@@ -52,6 +52,21 @@ class TestCrossBackendBitIdentity:
             assert fingerprint == baseline, \
                 f"{backend} diverged from serial under {profile}"
 
+    def test_epoch_replay_composes_with_worker_death(self):
+        # lossy-workers kills shards in rounds where fix deploys and
+        # rollouts are also advancing the session epoch; the recovered
+        # shards must replay to the published state, so every backend
+        # still lands on the serial fingerprint — and the epoch itself
+        # is plan-driven, hence backend-invariant.
+        serial_p, baseline = _run("lossy-workers", 3, "serial")
+        assert serial_p.backend.epoch > 0, \
+            "workload published nothing; the replay path was not exercised"
+        assert serial_p.chaos.summary()["worker_deaths"] > 0
+        for backend in BACKENDS[1:]:
+            platform, fingerprint = _run("lossy-workers", 3, backend)
+            assert fingerprint == baseline
+            assert platform.backend.epoch == serial_p.backend.epoch
+
     def test_repeat_run_is_identical(self):
         _p1, first = _run("lossy-workers", 3, "serial")
         _p2, second = _run("lossy-workers", 3, "serial")

@@ -115,7 +115,7 @@ class TestCommands:
         assert code == 0
         doc = json.loads(capsys.readouterr().out)
         assert doc["execution"] == {"backend": "process", "workers": 2,
-                                    "batch_max_traces": 0}
+                                    "epoch": 0, "batch_max_traces": 0}
         assert doc["obs"]["counters"]["exec.rounds"] == 3
         assert "exec.worker_busy" in doc["obs"]["timers"]
 

@@ -1,16 +1,22 @@
-"""Parallel executor tests: batch wire format, cross-backend
-determinism, shard-merge algebra, and the TraceSink surface."""
+"""Parallel executor tests: batch wire format, the session protocol
+(epochs, deltas, worker respawn replay), cross-backend determinism,
+shard-merge algebra, and the TraceSink surface."""
 
+import dataclasses
 import os
 
 import pytest
 
 from repro.errors import ConfigError, TraceError, TreeError
 from repro.exec import (
-    BatchAccumulator, BatchEntry, PlannedRun, SerialBackend, TraceBatch,
-    decode_batch, encode_batch, partition_runs,
+    BatchAccumulator, BatchEntry, PlannedRun, SerialBackend, SyncDelta,
+    TraceBatch, decode_batch, encode_batch, pack_result, pack_runs,
+    partition_runs, unpack_result, unpack_runs,
 )
-from repro.exec.backends import resolve_backend_name, resolve_workers
+from repro.exec.backends import (
+    make_backend, resolve_backend_name, resolve_workers,
+)
+from repro.exec.plan import RoundPlan
 from repro.hive.hive import Hive
 from repro.interfaces import TraceSink, TraceSource
 from repro.platform import PlatformConfig, SoftBorgPlatform
@@ -159,6 +165,9 @@ class TestCrossBackendDeterminism:
         assert doc["schema_version"] == 3
         assert doc["execution"]["backend"] == "process"
         assert doc["execution"]["workers"] == 2
+        # The session epoch is plan-driven, hence backend-invariant and
+        # safe to snapshot (additive key; schema version unchanged).
+        assert doc["execution"]["epoch"] == platform.backend.epoch
         assert "exec.worker_busy" in doc["obs"]["timers"]
         assert doc["obs"]["counters"]["exec.rounds"] == 4
         assert doc["obs"]["counters"]["pod.executions"] == 80
@@ -182,14 +191,179 @@ class TestBackendResolution:
         with pytest.raises(ConfigError):
             PlatformConfig(backend="quantum").validate()
 
-    def test_worker_resolution(self):
+    def test_worker_resolution(self, monkeypatch):
         assert resolve_workers(0, "serial", 100) == 1
         assert resolve_workers(64, "process", 8) == 8   # capped at pods
-        assert resolve_workers(0, "process", 100) >= 1
+        assert resolve_workers(0, "process", 100) == (os.cpu_count() or 1)
         with pytest.raises(ConfigError):
             PlatformConfig(workers=-1).validate()
         with pytest.raises(ConfigError):
             PlatformConfig(batch_max_traces=-1).validate()
+
+    def test_auto_workers_is_one_per_core(self, monkeypatch):
+        # 0 = auto: one worker per core, still capped at the pod count,
+        # for every parallel backend (the run/chaos/serve CLIs all
+        # funnel through this resolver).
+        monkeypatch.setattr("repro.exec.backends.os.cpu_count",
+                            lambda: 6)
+        assert resolve_workers(0, "process", 100) == 6
+        assert resolve_workers(0, "thread", 4) == 4     # pod cap wins
+        monkeypatch.setattr("repro.exec.backends.os.cpu_count",
+                            lambda: None)
+        assert resolve_workers(0, "process", 100) == 1  # unknown -> 1
+
+
+# -- the session protocol ------------------------------------------------------
+
+def _session_pods(program, count=4):
+    from repro.pod.pod import Pod
+    return [Pod(f"pod{i}", program, seed=i + 1) for i in range(count)]
+
+
+def _session_plan(program, n_runs=4, n_pods=4):
+    runs = [PlannedRun(i, i % n_pods, {"n": i, "mode": 2})
+            for i in range(n_runs)]
+    return RoundPlan(round_index=0, hive_version=program.version,
+                     runs=runs)
+
+
+class TestSessionProtocol:
+    """publish() epochs, the deprecated mutator trio, context-manager
+    lifecycle, and worker respawn replaying the session log."""
+
+    def test_publish_stamps_monotonic_epochs(self):
+        demo = make_crash_demo()
+        v2 = dataclasses.replace(demo.program, version=2)
+        with make_backend("serial", _session_pods(demo.program),
+                          demo.program) as backend:
+            assert backend.epoch == 0
+            # An empty delta is a no-op: no epoch burned, no broadcast.
+            assert backend.publish(SyncDelta()) == 0
+            assert backend.publish(
+                SyncDelta(hive_program=demo.program)) == 1
+            # Orthogonal fields combine under ONE epoch: deploy + staged
+            # rollout is a single state change, not two.
+            assert backend.publish(
+                SyncDelta(hive_program=v2, rollout=(v2, (0, 1)))) == 2
+            assert backend.epoch == 2
+
+    def test_deprecated_trio_delegates_to_publish(self):
+        demo = make_crash_demo()
+        v2 = dataclasses.replace(demo.program, version=2)
+        with make_backend("serial", _session_pods(demo.program),
+                          demo.program) as backend:
+            shard = backend._shard
+            with pytest.warns(DeprecationWarning) as caught:
+                backend.set_hive_program(v2)
+            message = str(caught[0].message)
+            assert "publish" in message and "v0.3" in message
+            assert backend.epoch == 1
+            assert shard.hive_program.version == 2
+            with pytest.warns(DeprecationWarning, match="publish"):
+                backend.apply_update(v2, [0])
+            assert backend.epoch == 2
+            assert shard.pods[0].version == 2
+            assert shard.pods[1].version == 1
+            # An empty legacy seed compacts to an empty delta: warned,
+            # but no epoch burned.
+            with pytest.warns(DeprecationWarning, match="publish"):
+                backend.seed_cache([])
+            assert backend.epoch == 2
+
+    def test_context_manager_closes_workers(self):
+        demo = make_crash_demo()
+        pods = _session_pods(demo.program)
+        with make_backend("process", pods, demo.program,
+                          workers=2) as backend:
+            results = backend.run_round(_session_plan(demo.program))
+            assert sum(len(r.records) for r in results) == 4
+            assert backend._procs
+        assert backend._procs == [] and backend._pipes == []
+        backend.close()  # idempotent after __exit__
+
+    def test_worker_respawn_replays_session_epoch(self):
+        # The tentpole guarantee: a worker killed outright (a REAL
+        # crash, not an injected one) is respawned at the CURRENT
+        # epoch — the replacement replays every published deploy,
+        # rollout, and cache fact before serving its retry wave.
+        demo = make_crash_demo()
+        v2 = dataclasses.replace(demo.program, version=2)
+        fact = ((("x", "<", 7),), ("sat", (("x", 3),)))
+        # replay_products=False keeps the shard from banking its own
+        # recycled facts, so the cache count isolates the published one.
+        with make_backend("process", _session_pods(demo.program),
+                          demo.program, workers=1,
+                          solver_cache="collective",
+                          replay_products=False) as backend:
+            baseline = backend.run_round(_session_plan(demo.program))
+            backend.publish(SyncDelta(hive_program=v2,
+                                      rollout=(v2, (0, 2)),
+                                      cache_entries=[fact]))
+            state = backend.probe()
+            assert state["epoch"] == 1 == backend.epoch
+            assert state["hive_version"] == 2
+            assert state["pod_versions"] == {0: 2, 1: 1, 2: 2, 3: 1}
+            assert state["cache_entries"] == 1
+            backend._procs[0].kill()
+            backend._procs[0].join()
+            retried = backend.run_round(_session_plan(demo.program))
+            assert [len(r.records) for r in retried] == \
+                [len(r.records) for r in baseline]
+            state = backend.probe()
+            assert state["epoch"] == 1
+            assert state["hive_version"] == 2
+            assert state["pod_versions"] == {0: 2, 1: 1, 2: 2, 3: 1}
+            assert state["cache_entries"] == 1
+
+    def test_round_at_wrong_epoch_is_rejected(self):
+        # Protocol guard: a worker refuses to execute a round stamped
+        # with an epoch it has not reached — running it would produce
+        # evidence against stale state.
+        demo = make_crash_demo()
+        with make_backend("process", _session_pods(demo.program),
+                          demo.program, workers=1) as backend:
+            backend._start()
+            pipe = backend._pipes[0]
+            pipe.send(("round", 99, pack_runs([]), None))
+            reply = pipe.recv()
+            assert reply[0] == "error"
+            assert "epoch" in reply[1]
+
+
+class TestSessionWire:
+    """The packed plan/result forms the process backend ships."""
+
+    def test_pack_runs_interns_repeated_inputs(self):
+        runs = [PlannedRun(i, i % 3, {"n": i % 2, "mode": 2})
+                for i in range(12)]
+        packed = pack_runs(runs)
+        inputs_table, rows, directives = packed
+        # Two distinct input dicts over twelve runs: the table holds
+        # each once, the rows are slot references.
+        assert len(inputs_table) == 2
+        assert len(rows) == 12
+        assert directives == {}
+        assert unpack_runs(packed) == runs
+
+    def test_pack_result_round_trip(self):
+        demo = make_crash_demo()
+        with SerialBackend(_session_pods(demo.program),
+                           demo.program) as backend:
+            result = backend.run_round(
+                _session_plan(demo.program, n_runs=6))[0]
+        clone = unpack_result(pack_result(result))
+        assert clone.shard_id == result.shard_id
+        assert clone.records == result.records
+        assert clone.tree_version == result.tree_version
+        assert clone.tree_delta == result.tree_delta
+        assert clone.busy_seconds == result.busy_seconds
+        assert len(clone.batches) == len(result.batches)
+        for original, copy in zip(result.batches, clone.batches):
+            assert copy.program_version == original.program_version
+            assert [e.payload for e in copy.entries] == \
+                [e.payload for e in original.entries]
+            assert [e.product for e in copy.entries] == \
+                [e.product for e in original.entries]
 
 
 # -- shard-merge algebra -------------------------------------------------------
@@ -259,6 +433,56 @@ class TestTreeMerge:
         assert sharded.canonical_paths() == direct.canonical_paths()
         assert sharded.node_count == direct.node_count
         assert sharded.path_count == direct.path_count
+
+    def test_delta_rows_equal_blob_merge(self):
+        # The session protocol ships tree EDGE DELTAS (path, outcome,
+        # count) where the old wire shipped encoded partial-tree blobs.
+        # Folding the rows in with counted inserts must reproduce the
+        # blob merge bit for bit — the tree is order-canonical, so the
+        # two spellings are the same algebra.
+        from repro.tree.encode import encode_tree, merge_encoded
+        rows = [(self.P1, Outcome.OK, 3), (self.P2, Outcome.CRASH, 2),
+                (self.P3, Outcome.OK, 1)]
+
+        shard_view = _tree()   # what a worker observed this round
+        for decisions, outcome, count in rows:
+            for _ in range(count):
+                shard_view.insert_path(decisions, outcome)
+
+        via_blob = _tree()
+        merge_encoded(via_blob, encode_tree(shard_view))
+
+        via_delta = _tree()
+        for decisions, outcome, count in rows:
+            via_delta.insert_path(decisions, outcome, count=count)
+
+        assert via_delta.canonical_paths() == via_blob.canonical_paths()
+        assert via_delta.outcome_totals() == via_blob.outcome_totals()
+        assert via_delta.node_count == via_blob.node_count
+        assert via_delta.path_count == via_blob.path_count
+        assert encode_tree(via_delta) == encode_tree(via_blob)
+
+    def test_shard_delta_rebuilds_the_shard_tree(self):
+        # A real round's ShardResult.tree_delta, applied to a fresh
+        # tree, encodes byte-identically to merging that round's
+        # partial tree — the equivalence the hive's ingest relies on.
+        from repro.tree.encode import encode_tree
+        demo = make_crash_demo()
+        with SerialBackend(_session_pods(demo.program),
+                           demo.program) as backend:
+            result = backend.run_round(
+                _session_plan(demo.program, n_runs=8))[0]
+        assert result.tree_version == demo.program.version
+        assert result.tree_delta
+        rebuilt = ExecutionTree(demo.program.name, demo.program.version)
+        for decisions, outcome, count in result.tree_delta:
+            rebuilt.insert_path(decisions, outcome, count=count)
+        direct = ExecutionTree(demo.program.name, demo.program.version)
+        for decisions, outcome, count in result.tree_delta:
+            for _ in range(count):
+                direct.insert_path(decisions, outcome)
+        assert encode_tree(rebuilt) == encode_tree(direct)
+        assert sum(count for _d, _o, count in result.tree_delta) == 8
 
     def test_version_skew_rejected(self):
         current = _tree()
