@@ -1,0 +1,98 @@
+"""E21 (extension) — the named bug registry end to end.
+
+Builds the curated bug catalogue (``repro.registry``), runs every
+registered bug through the harness on the serial backend — standalone
+trigger reproduction, hive detection + localization, known-patch
+validation through the RepairLab — and reports the per-family
+scorecard plus wall-clock cost of each stage.
+
+The scorecard numbers are contract floors, not benchmarks: detection,
+reproduction and repair validity must all be 1.0 (CI's
+``registry-smoke`` job asserts the same on a tiny config). What this
+experiment adds is the *cost* view — how long curating and fully
+evaluating the catalogue takes — so registry growth stays honest.
+
+Tables land in ``benchmarks/out/e21_registry.txt``, raw numbers in
+``benchmarks/out/e21_registry.json``.
+"""
+
+import json
+import time
+from pathlib import Path
+
+from repro.metrics.report import render_table
+from repro.metrics.scorecard import build_scorecard
+from repro.registry import RegistryRunConfig, build_registry, run_registry
+
+from schema import write_bench_json
+
+OUT_DIR = Path(__file__).parent / "out"
+
+SEED = 0
+BACKGROUND_RUNS = 12
+
+
+def run_experiment():
+    t0 = time.perf_counter()
+    registry = build_registry(seed=SEED)
+    t1 = time.perf_counter()
+    results = run_registry(registry, RegistryRunConfig(
+        seed=SEED, backend="serial",
+        background_runs=BACKGROUND_RUNS))
+    t2 = time.perf_counter()
+    card = build_scorecard(results, seed=SEED, backend="serial")
+    return {
+        "registry": registry,
+        "results": results,
+        "card": card,
+        "build_s": t1 - t0,
+        "run_s": t2 - t1,
+    }
+
+
+def test_e21_registry(benchmark, emit):
+    out = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    registry, card = out["registry"], out["card"]
+
+    timing = render_table(
+        ["stage", "wall-clock (s)", "per bug (ms)"],
+        [
+            ["build catalogue", f"{out['build_s']:.2f}",
+             f"{out['build_s'] / len(registry) * 1e3:.0f}"],
+            ["run + validate", f"{out['run_s']:.2f}",
+             f"{out['run_s'] / len(registry) * 1e3:.0f}"],
+        ],
+        title=f"E21: registry cost ({len(registry)} bugs,"
+              f" {BACKGROUND_RUNS} background runs/bug, serial)")
+    emit("e21_registry", card.render() + "\n\n" + timing)
+
+    doc = card.as_dict()
+    OUT_DIR.mkdir(exist_ok=True)
+    with open(OUT_DIR / "e21_registry.json", "w",
+              encoding="utf-8") as handle:
+        json.dump({
+            "scorecard": doc,
+            "build_s": out["build_s"],
+            "run_s": out["run_s"],
+            "background_runs": BACKGROUND_RUNS,
+        }, handle, indent=2, sort_keys=True)
+
+    metrics = {
+        "bugs_total": len(registry),
+        "build_s": out["build_s"],
+        "run_s": out["run_s"],
+    }
+    for family, score in card.families.items():
+        metrics[f"{family}_detection"] = score.detection_rate
+        metrics[f"{family}_reproduction"] = score.reproduction_rate
+        metrics[f"{family}_repair"] = score.repair_validity
+    write_bench_json("e21", metrics)
+
+    # Contract floors: every family fully detected, reproduced,
+    # repaired; the catalogue covers all eight families twice over.
+    assert len(registry) >= 16
+    for family, score in card.families.items():
+        assert score.detection_rate == 1.0, family
+        assert score.reproduction_rate == 1.0, family
+        assert score.repair_validity == 1.0, family
+        assert score.invariants_ok == score.bugs, family

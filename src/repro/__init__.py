@@ -86,6 +86,15 @@ _EXPORTS = {
     "Service": "repro.serve",
     "ServiceConfig": "repro.serve",
     "ServiceReport": "repro.serve",
+    "BugRegistry": "repro.registry",
+    "RegisteredBug": "repro.registry",
+    "TriggeringTest": "repro.registry",
+    "build_registry": "repro.registry",
+    "RegistryRunConfig": "repro.registry",
+    "run_registry": "repro.registry",
+    "Scorecard": "repro.metrics",
+    "build_scorecard": "repro.metrics",
+    "SCORECARD_SCHEMA_VERSION": "repro.metrics",
     "Scenario": "repro.workloads",
     "UserPopulation": "repro.workloads",
     "ZipfPopulation": "repro.workloads",
@@ -135,7 +144,14 @@ if TYPE_CHECKING:  # pragma: no cover - static analysis only
         ExecutionResult, Interpreter, Program, ProgramBuilder,
         generate_corpus, generate_program,
     )
+    from repro.metrics import (
+        SCORECARD_SCHEMA_VERSION, Scorecard, build_scorecard,
+    )
     from repro.proofs import NO_FAILURES, CumulativeProver
+    from repro.registry import (
+        BugRegistry, RegisteredBug, RegistryRunConfig, TriggeringTest,
+        build_registry, run_registry,
+    )
     from repro.serve import Service, ServiceConfig, ServiceReport
     from repro.symbolic import SymbolicEngine
     from repro.tracing import FullCapture, SampledCapture, Trace

@@ -13,6 +13,9 @@ public surface (docs/API.md documents the layer behind each one):
 * fault injection — :class:`FaultProfile` and the named
   :data:`PROFILES`;
 * observability — :class:`Tracer`, :class:`Registry`;
+* the bug registry — :func:`build_registry`, :func:`run_registry`,
+  :class:`Scorecard` (named bugs, triggering tests, per-family
+  scorecards; docs/REGISTRY.md);
 * workloads — the canned scenarios plus both population classes.
 
 Importing this module pulls in the subsystems behind those names; for
@@ -29,7 +32,14 @@ from repro.obs.trace import Tracer
 from repro.platform import (
     PlatformConfig, PlatformReport, SoftBorgPlatform,
 )
+from repro.metrics import (
+    SCORECARD_SCHEMA_VERSION, Scorecard, build_scorecard,
+)
 from repro.pod import Pod
+from repro.registry import (
+    BugRegistry, RegisteredBug, RegistryRunConfig, TriggeringTest,
+    build_registry, run_registry,
+)
 from repro.serve import (
     Autoscaler, AutoscalerConfig, ControlPlane, IngestPump, Service,
     ServiceConfig, ServiceReport,
@@ -52,6 +62,9 @@ __all__ = [
     "FaultProfile", "PROFILES", "resolve_profile",
     "Tracer", "Registry", "get_registry", "get_tracer",
     "BaseConfig", "BaseReport", "make_backend",
+    "BugRegistry", "RegisteredBug", "TriggeringTest",
+    "build_registry", "run_registry", "RegistryRunConfig",
+    "Scorecard", "build_scorecard", "SCORECARD_SCHEMA_VERSION",
     "Scenario", "UserPopulation", "ZipfPopulation",
     "crash_scenario", "deadlock_scenario", "shortread_scenario",
     "race_scenario", "mixed_corpus_scenario",

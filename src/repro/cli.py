@@ -215,7 +215,37 @@ def build_parser() -> argparse.ArgumentParser:
     show.add_argument("--segments", type=int, default=6)
     show.add_argument("--bug", default="crash",
                       choices=["crash", "assert", "hang", "short_read",
-                               "deadlock", "race"])
+                               "deadlock", "race", "leak",
+                               "prio_inversion", "lost_wakeup", "toctou",
+                               "provenance"])
+
+    from repro.registry.model import FAMILIES
+    registry = sub.add_parser(
+        "registry", parents=[common_exec_flags()],
+        help="the named bug registry: list curated bugs, run their"
+             " triggering tests standalone + as hive workloads, emit"
+             " per-family scorecards (see docs/REGISTRY.md)")
+    registry.add_argument("action", choices=["list", "run", "score"],
+                          help="list = catalogue table; run = per-bug"
+                               " reproduction/detection table; score ="
+                               " per-family scorecard")
+    registry.add_argument("--family", default="all",
+                          choices=["all", *FAMILIES])
+    registry.add_argument("--seed", type=int, default=0)
+    registry.add_argument("--runs", type=int, default=24,
+                          help="background (unguided) executions shipped"
+                               " per bug alongside the triggering-test"
+                               " directives")
+    registry.add_argument("--pods", type=int, default=2)
+    registry.add_argument("--no-validate", action="store_true",
+                          help="skip pushing known patches through"
+                               " RepairLab (faster; repair columns"
+                               " become '-')")
+    registry.add_argument("--json", action="store_true",
+                          help="emit the scorecard JSON (schema"
+                               " versioned; see docs/REGISTRY.md)")
+    registry.add_argument("--out", metavar="PATH", default=None,
+                          help="also write the scorecard JSON to PATH")
     return parser
 
 
@@ -613,6 +643,78 @@ def _cmd_show(args) -> int:
     return 0
 
 
+def _cmd_registry(args) -> int:
+    from repro.exec.backends import resolve_backend_name
+    from repro.metrics.scorecard import build_scorecard
+    from repro.registry import (
+        RegistryRunConfig, build_registry, run_registry,
+    )
+
+    backend = resolve_backend_name(args.backend)
+    registry = build_registry(seed=args.seed)
+    bugs = registry.bugs(args.family)
+
+    if args.action == "list":
+        rows = [[bug.ref, bug.family, bug.spec.kind.value,
+                 len(bug.trigger_tests), len(bug.passing_tests),
+                 bug.patch.fix_id if bug.patch else "-",
+                 ",".join(bug.modified_functions)]
+                for bug in bugs]
+        print(render_table(
+            ["ref", "family", "kind", "trig", "pass", "known patch",
+             "modifies"],
+            rows, title=f"Bug registry (seed {args.seed},"
+                        f" {len(bugs)} bugs)"))
+        return 0
+
+    config = RegistryRunConfig(
+        seed=args.seed, backend=backend, workers=args.workers,
+        family=args.family, background_runs=args.runs, pods=args.pods,
+        validate_patches=not args.no_validate)
+    results = run_registry(registry, config)
+    card = build_scorecard(results, seed=args.seed, backend=backend)
+    healthy = all(
+        result.detected and result.reproduction_rate == 1.0
+        and result.invariants_ok
+        and result.repair_valid is not False
+        for result in results)
+
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(card.to_json())
+            handle.write("\n")
+
+    if args.action == "run":
+        if args.json:
+            print(card.to_json())
+        else:
+            rows = [[r.ref, r.trigger_tests,
+                     f"{r.trigger_reproduced}/{r.trigger_tests}",
+                     "yes" if r.detected else "NO",
+                     r.localization_rank or "-",
+                     ("-" if r.repair_valid is None
+                      else "yes" if r.repair_valid else "NO"),
+                     "yes" if r.invariants_ok else "NO"]
+                    for r in results]
+            print(render_table(
+                ["ref", "trig", "reproduced", "detected", "loc-rank",
+                 "repair", "inv-ok"],
+                rows, title=f"Registry run: family {args.family!r},"
+                            f" backend {backend}, seed {args.seed}"))
+            if args.out:
+                print(f"scorecard -> {args.out}")
+        return 0 if healthy else 1
+
+    # score
+    if args.json:
+        print(card.to_json())
+    else:
+        print(card.render())
+        if args.out:
+            print(f"scorecard -> {args.out}")
+    return 0 if healthy else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
@@ -625,6 +727,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "explore": _cmd_explore,
         "fleet": _cmd_fleet,
         "show": _cmd_show,
+        "registry": _cmd_registry,
     }
     return handlers[args.command](args)
 

@@ -67,3 +67,22 @@ class RepairLab:
         plausible fixes a developer should look at."""
         return [entry for entry in self.history
                 if not entry.auto_approved and entry.report.mitigated > 0]
+
+    def ledger(self) -> List[Dict[str, object]]:
+        """The evaluation history as plain rows, in evaluation order.
+
+        The registry harness and scorecard reports embed these rows
+        directly (JSON-safe scalars only), so validation evidence for a
+        known patch travels with the scorecard it justified.
+        """
+        return [{
+            "fix_id": entry.fix.fix_id,
+            "description": entry.fix.description,
+            "target_bug": entry.fix.target_bug_message,
+            "deployable": entry.auto_approved,
+            "regressions": entry.report.regressions,
+            "mitigated": entry.report.mitigated,
+            "unmitigated": entry.report.unmitigated,
+            "cases_run": entry.report.cases_run,
+            "score": entry.score,
+        } for entry in self.history]

@@ -43,7 +43,8 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.tracing.dedup import Heartbeat
     from repro.tracing.trace import Trace
 
-__all__ = ["TraceSink", "TraceSource", "deprecated_alias"]
+__all__ = ["TraceSink", "TraceSource", "deprecated_alias",
+           "ALIAS_LEDGER", "AliasRecord"]
 
 
 @runtime_checkable
@@ -72,6 +73,31 @@ class TraceSource(Protocol):
         """Hand over everything accumulated so far and forget it."""
 
 
+class AliasRecord:
+    """One registered deprecated alias (ledger row, hashable)."""
+
+    __slots__ = ("qualname", "module", "replacement", "removal_version")
+
+    def __init__(self, qualname: str, module: str, replacement: str,
+                 removal_version: str):
+        self.qualname = qualname
+        self.module = module
+        self.replacement = replacement
+        self.removal_version = removal_version
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"AliasRecord({self.module}.{self.qualname} ->"
+                f" {self.replacement}, removed {self.removal_version})")
+
+
+#: Every alias registered via :func:`deprecated_alias`, appended at
+#: decoration (import) time. The deprecation-hygiene test walks the
+#: package, then fails the build for any alias whose
+#: ``removal_version`` has been reached by ``repro.__version__`` —
+#: keeping an expired alias around is a bug, not a kindness.
+ALIAS_LEDGER: list = []
+
+
 def deprecated_alias(replacement: str,
                      removal_version: str) -> Callable:
     """Decorator for a thin alias kept for backward compatibility.
@@ -81,9 +107,14 @@ def deprecated_alias(replacement: str,
     release that deletes the alias, so call sites know the migration
     *and* the deadline. Policy (docs/API.md): an alias lives for at
     least one minor release with the warning, then is removed at
-    ``removal_version`` — keeping it longer than that is a bug.
+    ``removal_version`` — keeping it longer than that is a bug. Each
+    decorated alias is recorded in :data:`ALIAS_LEDGER` so the hygiene
+    test can enforce exactly that.
     """
     def decorate(func: Callable) -> Callable:
+        ALIAS_LEDGER.append(AliasRecord(
+            qualname=func.__qualname__, module=func.__module__,
+            replacement=replacement, removal_version=removal_version))
         @functools.wraps(func)
         def wrapper(self, *args, **kwargs):
             warnings.warn(

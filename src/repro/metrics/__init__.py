@@ -5,6 +5,11 @@ from repro.metrics.bugdensity import BugDensityTracker
 from repro.metrics.report import (
     format_float, render_round_table, render_table, round_rows,
 )
+from repro.metrics.scorecard import (
+    SCORECARD_SCHEMA_VERSION, FamilyScore, Scorecard, build_scorecard,
+)
 
 __all__ = ["Series", "BugDensityTracker", "render_table", "format_float",
-           "round_rows", "render_round_table"]
+           "round_rows", "render_round_table",
+           "SCORECARD_SCHEMA_VERSION", "FamilyScore", "Scorecard",
+           "build_scorecard"]

@@ -1,0 +1,167 @@
+"""Per-bug-family scorecards over registry evaluation results.
+
+The scorecard is the registry's report surface: for each bug family it
+aggregates detection rate, triggering-test reproduction rate,
+localization rank of the true defect, and repair validity (the known
+patch passes validation and the invariant catalogue holds). The JSON
+shape is versioned (:data:`SCORECARD_SCHEMA_VERSION`) and documented in
+``docs/REGISTRY.md``; it is emitted by ``repro registry score --json``
+and embedded additively in the platform snapshot.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.metrics.report import render_table
+
+__all__ = [
+    "SCORECARD_SCHEMA_VERSION", "FamilyScore", "Scorecard",
+    "build_scorecard",
+]
+
+#: Bump when the scorecard JSON shape changes (see docs/API.md).
+SCORECARD_SCHEMA_VERSION = 1
+
+
+@dataclass
+class FamilyScore:
+    """Aggregated metrics for one bug family."""
+
+    family: str
+    bugs: int = 0
+    detected: int = 0
+    trigger_tests: int = 0
+    trigger_reproduced: int = 0
+    localization_ranks: List[int] = field(default_factory=list)
+    localized: int = 0
+    repairs_validated: int = 0
+    repairs_valid: int = 0
+    invariants_ok: int = 0
+
+    @property
+    def detection_rate(self) -> float:
+        return self.detected / self.bugs if self.bugs else 0.0
+
+    @property
+    def reproduction_rate(self) -> float:
+        if not self.trigger_tests:
+            return 0.0
+        return self.trigger_reproduced / self.trigger_tests
+
+    @property
+    def mean_localization_rank(self) -> Optional[float]:
+        if not self.localization_ranks:
+            return None
+        return sum(self.localization_ranks) / len(self.localization_ranks)
+
+    @property
+    def repair_validity(self) -> float:
+        if not self.repairs_validated:
+            return 0.0
+        return self.repairs_valid / self.repairs_validated
+
+    def as_dict(self) -> Dict:
+        return {
+            "family": self.family,
+            "bugs": self.bugs,
+            "detected": self.detected,
+            "detection_rate": round(self.detection_rate, 6),
+            "trigger_tests": self.trigger_tests,
+            "trigger_reproduced": self.trigger_reproduced,
+            "reproduction_rate": round(self.reproduction_rate, 6),
+            "localized": self.localized,
+            "localization_ranks": list(self.localization_ranks),
+            "mean_localization_rank": (
+                round(self.mean_localization_rank, 6)
+                if self.mean_localization_rank is not None else None),
+            "repairs_validated": self.repairs_validated,
+            "repairs_valid": self.repairs_valid,
+            "repair_validity": round(self.repair_validity, 6),
+            "invariants_ok": self.invariants_ok,
+        }
+
+
+@dataclass
+class Scorecard:
+    """The full registry scorecard: per-family rows plus per-bug detail."""
+
+    seed: int = 0
+    backend: str = "serial"
+    families: Dict[str, FamilyScore] = field(default_factory=dict)
+    bugs: List[Dict] = field(default_factory=list)
+
+    def as_dict(self) -> Dict:
+        return {
+            "schema_version": SCORECARD_SCHEMA_VERSION,
+            "seed": self.seed,
+            "backend": self.backend,
+            "families": {name: score.as_dict()
+                         for name, score in self.families.items()},
+            "bugs": list(self.bugs),
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        """Deterministic JSON (sorted keys, stable ordering)."""
+        return json.dumps(self.as_dict(), indent=indent, sort_keys=True)
+
+    def render(self) -> str:
+        rows = []
+        for name, score in self.families.items():
+            mean_rank = score.mean_localization_rank
+            rows.append([
+                name, str(score.bugs),
+                f"{score.detection_rate:.2f}",
+                f"{score.reproduction_rate:.2f}",
+                f"{mean_rank:.1f}" if mean_rank is not None else "-",
+                (f"{score.repair_validity:.2f}"
+                 if score.repairs_validated else "-"),
+                f"{score.invariants_ok}/{score.bugs}",
+            ])
+        return render_table(
+            ["family", "bugs", "detect", "repro", "loc-rank", "repair",
+             "inv-ok"],
+            rows, title="registry scorecard")
+
+
+def build_scorecard(results, seed: int = 0,
+                    backend: str = "serial") -> Scorecard:
+    """Aggregate :class:`~repro.registry.harness.BugRunResult` rows.
+
+    ``results`` iterates in registry (family-canonical) order, which the
+    scorecard preserves — the output is deterministic for a fixed seed
+    regardless of execution backend.
+    """
+    card = Scorecard(seed=seed, backend=backend)
+    for result in results:
+        score = card.families.setdefault(result.family,
+                                         FamilyScore(family=result.family))
+        score.bugs += 1
+        score.detected += 1 if result.detected else 0
+        score.trigger_tests += result.trigger_tests
+        score.trigger_reproduced += result.trigger_reproduced
+        if result.localization_rank is not None:
+            score.localized += 1
+            score.localization_ranks.append(result.localization_rank)
+        if result.repair_valid is not None:
+            score.repairs_validated += 1
+            score.repairs_valid += 1 if result.repair_valid else 0
+        score.invariants_ok += 1 if result.invariants_ok else 0
+        card.bugs.append({
+            "ref": result.ref,
+            "family": result.family,
+            "detected": result.detected,
+            "trigger_tests": result.trigger_tests,
+            "trigger_reproduced": result.trigger_reproduced,
+            "regression_tests": result.regression_tests,
+            "regression_passed": result.regression_passed,
+            "runs_shipped": result.runs_shipped,
+            "failures_observed": result.failures_observed,
+            "localization_rank": result.localization_rank,
+            "patch_regressions": result.patch_regressions,
+            "repair_valid": result.repair_valid,
+            "invariants_ok": result.invariants_ok,
+        })
+    return card

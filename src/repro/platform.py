@@ -335,6 +335,13 @@ class SoftBorgPlatform(Instrumented):
                 "stats": self.solver_cache.stats.as_dict(),
                 "solver": self.hive.solver_stats().as_dict(),
             }
+        # Additive block (still schema v3): the scenario's seeded bugs
+        # grouped into registry families, with seen/fixed taken from the
+        # density ledger and defect-localization ranks from the final
+        # collective tree. The full per-bug scorecard lives behind
+        # ``repro registry score`` (docs/REGISTRY.md); this is the
+        # platform-side summary in the same family vocabulary.
+        doc["scorecard"] = self._scorecard_block()
         if self.chaos is not None:
             doc["chaos"] = self.chaos.summary()
         if self.invariants is not None:
@@ -346,6 +353,27 @@ class SoftBorgPlatform(Instrumented):
                 ],
             }
         return doc
+
+    def _scorecard_block(self) -> Dict[str, object]:
+        from repro.analysis.localize import localize_from_tree, rank_of_block
+        from repro.metrics.scorecard import SCORECARD_SCHEMA_VERSION
+        from repro.registry.model import family_of
+        density = self.report.density
+        scores = localize_from_tree(self.hive.tree)
+        families: Dict[str, Dict[str, object]] = {}
+        for spec in self.scenario.bugs:
+            family = family_of(spec.kind)
+            row = families.setdefault(family, {
+                "bugs": 0, "seen": 0, "fixed": 0,
+                "localization_ranks": []})
+            row["bugs"] += 1
+            row["seen"] += 1 if spec.message in density.bugs_seen else 0
+            row["fixed"] += 1 if spec.message in density.bugs_fixed else 0
+            rank = rank_of_block(scores, *spec.defect_site)
+            if rank is not None:
+                row["localization_ranks"].append(rank)
+        return {"schema_version": SCORECARD_SCHEMA_VERSION,
+                "families": families}
 
     def _plan_round(self, round_index: int) -> RoundPlan:
         """Serialize the round's randomness into a backend-free plan.

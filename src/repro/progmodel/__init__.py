@@ -51,8 +51,13 @@ from repro.progmodel.corpus import (
     generate_program,
     make_crash_demo,
     make_deadlock_demo,
+    make_leak_demo,
+    make_prio_demo,
+    make_provenance_demo,
     make_race_demo,
     make_shortread_demo,
+    make_toctou_demo,
+    make_wakeup_demo,
 )
 
 __all__ = [

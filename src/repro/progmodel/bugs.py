@@ -26,6 +26,11 @@ class BugKind(Enum):
     HANG = "hang"              # infinite loop on a rare input path
     SHORT_READ = "short_read"  # unhandled degraded syscall result
     RACE = "race"              # unsynchronized shared access (lost update)
+    LEAK = "leak"              # file descriptors skip their close path
+    PRIO_INVERSION = "prio_inversion"  # high-prio starved behind a low-prio lock holder
+    LOST_WAKEUP = "lost_wakeup"        # check-then-sleep misses a one-shot notify
+    TOCTOU = "toctou"          # stale syscall check, resource gone at use time
+    PROVENANCE = "provenance"  # crash site >= 2 calls away from the defect
 
 
 @dataclass
@@ -48,11 +53,25 @@ class BugSpec:
     trigger_probability: float = 0.0
     needs_fault: bool = False
     needs_schedule: bool = False
+    #: Where the *defect* lives when it differs from where the failure
+    #: manifests (provenance bugs, spin sites of concurrency bugs). The
+    #: registry scores localization against this, falling back to the
+    #: manifestation site when unset.
+    defect_function: Optional[str] = None
+    defect_block: Optional[str] = None
+    #: Call distance between defect and crash site (provenance bugs).
+    defect_distance: int = 0
 
     @property
     def message(self) -> str:
         """The failure message the program emits when this bug fires."""
         return f"bug:{self.kind.value}:{self.bug_id}"
+
+    @property
+    def defect_site(self) -> Tuple[str, str]:
+        """(function, block) of the true defect — the localization target."""
+        return (self.defect_function or self.site_function,
+                self.defect_block or self.site_block)
 
     def triggering_inputs(self, program_inputs: Dict[str, Tuple[int, int]],
                           rng: Optional[random.Random] = None) -> Dict[str, int]:
@@ -89,7 +108,9 @@ class BugSpec:
         outcome_value = getattr(outcome, "value", outcome)
         if self.kind is BugKind.DEADLOCK and outcome_value == "deadlock":
             return True
-        if (self.kind is BugKind.HANG and outcome_value == "hang"
+        hang_kinds = (BugKind.HANG, BugKind.PRIO_INVERSION,
+                      BugKind.LOST_WAKEUP)
+        if (self.kind in hang_kinds and outcome_value == "hang"
                 and site_block == self.site_block):
             return True
         return False

@@ -27,8 +27,15 @@ from repro.progmodel.ir import Const, Expr, Input, Program, Var, c, v
 __all__ = [
     "CorpusConfig", "SeededProgram", "generate_program", "generate_corpus",
     "make_deadlock_demo", "make_crash_demo", "make_shortread_demo",
-    "make_race_demo",
+    "make_race_demo", "make_leak_demo", "make_prio_demo",
+    "make_wakeup_demo", "make_toctou_demo", "make_provenance_demo",
 ]
+
+#: Bug kinds that need their own extra thread(s) and globals; a program
+#: hosts at most one of these (they would contend for the same worker
+#: scaffolding and scheduler attention).
+_CONCURRENCY_KINDS = (BugKind.DEADLOCK, BugKind.RACE,
+                      BugKind.PRIO_INVERSION, BugKind.LOST_WAKEUP)
 
 
 @dataclass
@@ -170,19 +177,30 @@ def generate_program(name: str,
 
     has_deadlock = BugKind.DEADLOCK in bug_kinds
     has_race = BugKind.RACE in bug_kinds
+    has_prio = BugKind.PRIO_INVERSION in bug_kinds
+    has_wakeup = BugKind.LOST_WAKEUP in bug_kinds
     if has_deadlock and has_race:
         raise ConfigError(
             "DEADLOCK and RACE share the worker thread; seed one per program")
-    if sum(1 for k in bug_kinds if k is BugKind.RACE) > 1:
-        raise ConfigError("at most one RACE bug per program")
-    multithreaded = has_deadlock or has_race
-    threads: Tuple[str, ...] = (
-        ("main", "worker") if multithreaded else ("main",))
+    if sum(1 for k in bug_kinds if k in _CONCURRENCY_KINDS) > 1:
+        raise ConfigError(
+            "at most one concurrency bug (deadlock/race/prio_inversion/"
+            "lost_wakeup) per program")
+    multithreaded = has_deadlock or has_race or has_wakeup
+    threads: Tuple[str, ...] = ("main",)
+    if has_prio:
+        threads = ("main", "mid", "low")
+    elif multithreaded:
+        threads = ("main", "worker")
     global_vars = {}
     if has_deadlock:
         global_vars = {"g_enter": 0, "g_done": 0}
     if has_race:
         global_vars = {"g_cnt": 0, "g_done": 0, "g_wdone": 0}
+    if has_wakeup:
+        global_vars = {"g_sig": 0, "g_waiting": 0, "g_wake": 0}
+    if has_prio:
+        global_vars = {"g_hp_done": 0, "g_done": 0}
 
     builder = ProgramBuilder(name, inputs=inputs, threads=threads,
                              global_vars=global_vars)
@@ -232,7 +250,7 @@ def generate_program(name: str,
                          Const(2 * _RACE_INCREMENTS)), race_bug.message)
         chk.halt()
     else:
-        if has_deadlock:
+        if has_deadlock or has_prio:
             end.store_global("g_done", 1)
         end.halt()
 
@@ -240,6 +258,10 @@ def generate_program(name: str,
         _emit_worker(builder, bugs)
     if has_race:
         _emit_race_worker(builder)
+    if has_wakeup:
+        _emit_wakeup_worker(builder)
+    if has_prio:
+        _emit_prio_threads(builder, bugs)
 
     program = builder.build()
     return SeededProgram(program=program, bugs=bugs)
@@ -282,6 +304,17 @@ def _emit_segment(builder, main, gen, rng, config, prog_name, seg,
         _emit_race_segment(main, prog_name, seg, next_label,
                            race_here[0][0], bugs)
         return
+
+    for emit, kind in ((_emit_leak_segment, BugKind.LEAK),
+                       (_emit_toctou_segment, BugKind.TOCTOU),
+                       (_emit_provenance_segment, BugKind.PROVENANCE),
+                       (_emit_prio_segment, BugKind.PRIO_INVERSION),
+                       (_emit_wakeup_segment, BugKind.LOST_WAKEUP)):
+        here = [(i, k) for i, k in seeded_here if k is kind]
+        if here:
+            emit(builder, main, rng, config, prog_name, seg, next_label,
+                 here[0][0], input_names, bugs)
+            return
 
     if shortread_here or (not seeded_here and kind_roll <
                           config.syscall_probability):
@@ -475,6 +508,275 @@ def _emit_worker(builder: ProgramBuilder, bugs: List[BugSpec]) -> None:
     grab.unlock("lockB")
     grab.jump("out")
     worker.block("out").halt()
+
+
+# --------------------------------------------------------------------------
+# New bug-family emitters (registry families: leak / prio_inversion /
+# lost_wakeup / toctou / provenance)
+# --------------------------------------------------------------------------
+
+_LEAK_OPENS = 4
+
+
+def _emit_leak_segment(builder, main, rng, config, prog_name, seg,
+                       next_label, bug_index, input_names, bugs) -> None:
+    """Resource leak: a loop opens a descriptor each iteration but the
+    close path is skipped behind the trigger predicate. Descriptors are
+    lowest-free, so the leak shows up as the fd climbing past the bound
+    that a close-correct run never exceeds."""
+    label = f"seg{seg}"
+    trigger = _random_trigger(rng, input_names, config)
+    head, body = f"{label}_lh", f"{label}_lb"
+    use, close_lbl = f"{label}_lu", f"{label}_lc"
+    skip, nxt, boom = f"{label}_ls", f"{label}_ln", f"{label}_boom"
+    fd0, fdv = f"lfp{seg}", f"lfd{seg}"
+    li, rd, cl = f"li{seg}", f"lrd{seg}", f"lcl{seg}"
+
+    block = main.block(label)
+    # Probe the base descriptor once (and give it back) so the leak
+    # bound is relative: earlier segments may hold descriptors open.
+    block.syscall(fd0, "open", 1)
+    block.syscall(cl, "close", Var(fd0))
+    block.assign(li, 0)
+    block.branch(_binop("<", Var(fd0), Const(0)), next_label, head)
+    main.block(head).branch(
+        _binop("<", Var(li), Const(_LEAK_OPENS)), body, next_label)
+    bb = main.block(body)
+    bb.syscall(fdv, "open", 1)
+    bb.branch(_binop(">", Var(fdv),
+                     _binop("+", Var(fd0), Const(_LEAK_OPENS - 2))),
+              boom, use)
+    ub = main.block(use)
+    ub.syscall(rd, "read", Var(fdv), 8)
+    ub.branch(_trigger_predicate(trigger), skip, close_lbl)
+    main.block(close_lbl).syscall(cl, "close", Var(fdv)).jump(nxt)
+    main.block(skip).jump(nxt)
+    nb = main.block(nxt)
+    nb.assign(li, _binop("+", Var(li), Const(1)))
+    nb.jump(head)
+
+    bug = BugSpec(
+        bug_id=f"{prog_name}-b{bug_index}",
+        kind=BugKind.LEAK,
+        site_function="main",
+        site_block=boom,
+        trigger=trigger,
+        trigger_probability=config.input_domain ** -len(trigger),
+        defect_function="main",
+        defect_block=use,
+    )
+    bugs.append(bug)
+    site = main.block(boom)
+    site.crash(bug.message)
+    site.halt()
+
+
+def _emit_toctou_segment(builder, main, rng, config, prog_name, seg,
+                         next_label, bug_index, input_names, bugs) -> None:
+    """TOCTOU on the syscall layer: check with ``access``, then act with
+    ``open`` — the resource can vanish between the two (modelled by a
+    fault-plan-forced open failure), and the unguarded use crashes."""
+    label = f"seg{seg}"
+    trigger = _random_trigger(rng, input_names, config)
+    chk, use = f"{label}_tchk", f"{label}_tuse"
+    ok, boom = f"{label}_tok", f"{label}_boom"
+    st, fdv, rd = f"tst{seg}", f"tfd{seg}", f"trd{seg}"
+
+    main.block(label).branch(_trigger_predicate(trigger), chk, next_label)
+    cb = main.block(chk)
+    cb.syscall(st, "access", 1)
+    cb.branch(_binop("==", Var(st), Const(0)), use, next_label)
+    ub = main.block(use)
+    ub.syscall(fdv, "open", 1)
+    ub.branch(_binop("<", Var(fdv), Const(0)), boom, ok)
+    main.block(ok).syscall(rd, "read", Var(fdv), 16).jump(next_label)
+
+    bug = BugSpec(
+        bug_id=f"{prog_name}-b{bug_index}",
+        kind=BugKind.TOCTOU,
+        site_function="main",
+        site_block=boom,
+        trigger=trigger,
+        trigger_probability=config.input_domain ** -len(trigger),
+        needs_fault=True,
+        defect_function="main",
+        defect_block=chk,
+    )
+    bugs.append(bug)
+    site = main.block(boom)
+    site.crash(bug.message)
+    site.halt()
+
+
+def _emit_provenance_segment(builder, main, rng, config, prog_name, seg,
+                             next_label, bug_index, input_names,
+                             bugs) -> None:
+    """Provenance bug: the defect (a parse helper returning a poisoned
+    zero) sits two calls away from the crash site in main — the bad
+    value flows through an innocent scaling helper first."""
+    label = f"seg{seg}"
+    trigger = _random_trigger(rng, input_names, config)
+    parse_fn, chain_fn = f"pv_parse{seg}", f"pv_chain{seg}"
+    chk, boom = f"{label}_pchk", f"{label}_boom"
+    tp, tu = f"pvp{seg}", f"pvu{seg}"
+
+    parse = builder.function(parse_fn)
+    pe = parse.block("entry")
+    pe.branch(_trigger_predicate(trigger), "bad", "good")
+    parse.block("bad").assign("r", 0).jump("out")
+    parse.block("good").assign(
+        "r", _binop("+", Const(1),
+                    _binop("%", Input(input_names[0]),
+                           Const(config.input_domain)))).jump("out")
+    parse.block("out").ret(Var("r"))
+    chain = builder.function(chain_fn, params=("v",))
+    ce = chain.block("entry")
+    ce.assign("r2", _binop("+", Var("v"), Var("v")))
+    ce.ret(Var("r2"))
+
+    block = main.block(label)
+    block.call(tp, parse_fn)
+    block.call(tu, chain_fn, Var(tp))
+    block.jump(chk)
+    main.block(chk).branch(_binop("==", Var(tu), Const(0)), boom, next_label)
+
+    bug = BugSpec(
+        bug_id=f"{prog_name}-b{bug_index}",
+        kind=BugKind.PROVENANCE,
+        site_function="main",
+        site_block=boom,
+        trigger=trigger,
+        trigger_probability=config.input_domain ** -len(trigger),
+        defect_function=parse_fn,
+        defect_block="entry",
+        defect_distance=2,
+    )
+    bugs.append(bug)
+    site = main.block(boom)
+    site.crash(bug.message)
+    site.halt()
+
+
+def _emit_prio_segment(builder, main, rng, config, prog_name, seg,
+                       next_label, bug_index, input_names, bugs) -> None:
+    """High-priority critical section in main; the matching low/mid
+    threads come from :func:`_emit_prio_threads` (reading this bug's
+    trigger). Under priority scheduling with staggered arrivals the mid
+    thread starves the low-priority lock holder — classic inversion."""
+    label = f"seg{seg}"
+    trigger = _random_trigger(rng, input_names, config)
+    crit = f"{label}_pcrit"
+
+    main.block(label).branch(_trigger_predicate(trigger), crit, next_label)
+    cb = main.block(crit)
+    cb.lock("prioL")
+    cb.assign("t0", _binop("+", Var("t0"), Const(1)))
+    cb.unlock("prioL")
+    cb.store_global("g_hp_done", 1)
+    cb.jump(next_label)
+
+    bugs.append(BugSpec(
+        bug_id=f"{prog_name}-b{bug_index}",
+        kind=BugKind.PRIO_INVERSION,
+        site_function="mid",
+        site_block="spin",
+        trigger=trigger,
+        locks=("prioL",),
+        trigger_probability=config.input_domain ** -len(trigger),
+        needs_schedule=True,
+        defect_function="main",
+        defect_block=label,
+    ))
+
+
+def _emit_prio_threads(builder: ProgramBuilder, bugs: List[BugSpec]) -> None:
+    """The mid/low threads of a priority-inversion program. ``mid`` is
+    an unbounded spinner (bounded only by main's progress flags); ``low``
+    takes the shared lock behind the same trigger gate as main."""
+    bug = next(b for b in bugs if b.kind is BugKind.PRIO_INVERSION)
+    lock = bug.locks[0]
+
+    mid = builder.function("mid")
+    mid.block("entry").jump("spin")
+    spin = mid.block("spin")
+    spin.load_global("h", "g_hp_done")
+    spin.load_global("d", "g_done")
+    spin.assign("m0", _binop("+", Var("m0"), Const(1)))
+    spin.branch(_binop("or", _binop("==", Var("h"), Const(1)),
+                       _binop("==", Var("d"), Const(1))), "mout", "spin")
+    mid.block("mout").halt()
+
+    low = builder.function("low")
+    low.block("entry").branch(_trigger_predicate(bug.trigger),
+                              "lcrit", "lend")
+    lc = low.block("lcrit")
+    lc.lock(lock)
+    lc.assign("lw", 0)
+    lc.jump("lwork")
+    low.block("lwork").branch(_binop("<", Var("lw"), Const(12)),
+                              "lbody", "lrel")
+    lb = low.block("lbody")
+    lb.assign("lw", _binop("+", Var("lw"), Const(1)))
+    lb.jump("lwork")
+    lr = low.block("lrel")
+    lr.unlock(lock)
+    lr.jump("lend")
+    low.block("lend").halt()
+
+
+def _emit_wakeup_segment(builder, main, rng, config, prog_name, seg,
+                         next_label, bug_index, input_names, bugs) -> None:
+    """Lost wakeup: the waiter checks ``g_sig`` and only *then* registers
+    as waiting — a one-shot notifier that reads ``g_waiting`` inside
+    that window never sets ``g_wake``, and the waiter spins forever."""
+    label = f"seg{seg}"
+    trigger = _random_trigger(rng, input_names, config)
+    begin, reg, wait_lbl = (f"{label}_wbegin", f"{label}_wreg",
+                            f"{label}_wwait")
+    s, wk = f"ws{seg}", f"ww{seg}"
+
+    main.block(label).branch(_trigger_predicate(trigger), begin, next_label)
+    bb = main.block(begin)
+    bb.load_global(s, "g_sig")
+    bb.branch(_binop("==", Var(s), Const(1)), next_label, reg)
+    rb = main.block(reg)
+    rb.store_global("g_waiting", 1)
+    rb.jump(wait_lbl)
+    wb = main.block(wait_lbl)
+    wb.load_global(wk, "g_wake")
+    wb.branch(_binop("==", Var(wk), Const(1)), next_label, wait_lbl)
+
+    bugs.append(BugSpec(
+        bug_id=f"{prog_name}-b{bug_index}",
+        kind=BugKind.LOST_WAKEUP,
+        site_function="main",
+        site_block=wait_lbl,
+        trigger=trigger,
+        trigger_probability=config.input_domain ** -len(trigger),
+        needs_schedule=True,
+        defect_function="main",
+        defect_block=label,
+    ))
+
+
+def _emit_wakeup_worker(builder: ProgramBuilder) -> None:
+    """One-shot notifier: a short preamble, then signal and wake whoever
+    has already registered as waiting (nobody else, ever)."""
+    worker = builder.function("worker")
+    worker.block("entry").assign("w", 0).jump("prep")
+    worker.block("prep").branch(_binop("<", Var("w"), Const(3)),
+                                "pbody", "notify")
+    pb = worker.block("pbody")
+    pb.assign("w", _binop("+", Var("w"), Const(1)))
+    pb.jump("prep")
+    nb = worker.block("notify")
+    nb.store_global("g_sig", 1)
+    nb.load_global("gw", "g_waiting")
+    nb.branch(_binop("==", Var("gw"), Const(1)), "dowake", "wout")
+    dw = worker.block("dowake")
+    dw.store_global("g_wake", 1)
+    dw.jump("wout")
+    worker.block("wout").halt()
 
 
 _RACE_INCREMENTS = 3
@@ -676,4 +978,200 @@ def make_race_demo() -> SeededProgram:
         bug_id="race_demo-b0", kind=BugKind.RACE,
         site_function="main", site_block="body",
         needs_schedule=True)
+    return SeededProgram(program=b.build(), bugs=[bug])
+
+
+def make_leak_demo() -> SeededProgram:
+    """Opens four descriptors in a loop; when mode == 3 the close path
+    is skipped, descriptors climb, and the bound check trips."""
+    b = ProgramBuilder("leak_demo", inputs={"mode": (0, 3)})
+    main = b.function("main")
+    entry = main.block("entry")
+    entry.assign("i", 0)
+    entry.jump("lk_head")
+    main.block("lk_head").branch(_binop("<", Var("i"), Const(4)),
+                                 "lk_body", "end")
+    body = main.block("lk_body")
+    body.syscall("fd", "open", 1)
+    body.branch(_binop(">", Var("fd"), Const(5)), "boom", "lk_use")
+    use = main.block("lk_use")
+    use.syscall("rd", "read", Var("fd"), 8)
+    use.branch(_binop("==", Input("mode"), Const(3)), "lk_skip", "lk_close")
+    main.block("lk_close").syscall("cl", "close", Var("fd")).jump("lk_next")
+    main.block("lk_skip").jump("lk_next")
+    nxt = main.block("lk_next")
+    nxt.assign("i", _binop("+", Var("i"), Const(1)))
+    nxt.jump("lk_head")
+    boom = main.block("boom")
+    boom.crash("bug:leak:leak_demo-b0")
+    boom.halt()
+    main.block("end").halt()
+    bug = BugSpec(
+        bug_id="leak_demo-b0", kind=BugKind.LEAK,
+        site_function="main", site_block="boom",
+        trigger={"mode": 3}, trigger_probability=0.25,
+        defect_function="main", defect_block="lk_use")
+    return SeededProgram(program=b.build(), bugs=[bug])
+
+
+def make_prio_demo() -> SeededProgram:
+    """Three threads: a high-priority main, an unbounded mid spinner,
+    and a low-priority thread holding the lock main needs. Under strict
+    priority scheduling with staggered arrivals, mid starves low and
+    main never gets the lock (priority inversion)."""
+    b = ProgramBuilder("prio_demo", inputs={"load": (0, 3)},
+                       threads=("main", "mid", "low"),
+                       global_vars={"g_hp_done": 0, "g_done": 0})
+    main = b.function("main")
+    entry = main.block("entry")
+    entry.branch(_binop("==", Input("load"), Const(2)), "crit", "end")
+    crit = main.block("crit")
+    crit.lock("P")
+    crit.assign("x", 1)
+    crit.unlock("P")
+    crit.store_global("g_hp_done", 1)
+    crit.jump("end")
+    end = main.block("end")
+    end.store_global("g_done", 1)
+    end.halt()
+
+    mid = b.function("mid")
+    mid.block("entry").jump("spin")
+    spin = mid.block("spin")
+    spin.load_global("h", "g_hp_done")
+    spin.load_global("d", "g_done")
+    spin.assign("m", _binop("+", Var("m"), Const(1)))
+    spin.branch(_binop("or", _binop("==", Var("h"), Const(1)),
+                       _binop("==", Var("d"), Const(1))), "mout", "spin")
+    mid.block("mout").halt()
+
+    low = b.function("low")
+    low.block("entry").branch(_binop("==", Input("load"), Const(2)),
+                              "lcrit", "lend")
+    lc = low.block("lcrit")
+    lc.lock("P")
+    lc.assign("li", 0)
+    lc.jump("lwork")
+    low.block("lwork").branch(_binop("<", Var("li"), Const(12)),
+                              "lbody", "lrel")
+    lb = low.block("lbody")
+    lb.assign("li", _binop("+", Var("li"), Const(1)))
+    lb.jump("lwork")
+    lr = low.block("lrel")
+    lr.unlock("P")
+    lr.jump("lend")
+    low.block("lend").halt()
+    bug = BugSpec(
+        bug_id="prio_demo-b0", kind=BugKind.PRIO_INVERSION,
+        site_function="mid", site_block="spin",
+        trigger={"load": 2}, locks=("P",), needs_schedule=True,
+        trigger_probability=0.25,
+        defect_function="main", defect_block="entry")
+    return SeededProgram(program=b.build(), bugs=[bug])
+
+
+def make_wakeup_demo() -> SeededProgram:
+    """Check-then-register waiter vs a one-shot notifier: if the notify
+    lands between the waiter's g_sig check and its g_waiting store, the
+    wakeup is lost and the waiter spins forever."""
+    b = ProgramBuilder("wakeup_demo", inputs={"req": (0, 3)},
+                       threads=("main", "worker"),
+                       global_vars={"g_sig": 0, "g_waiting": 0, "g_wake": 0})
+    main = b.function("main")
+    entry = main.block("entry")
+    entry.branch(_binop("==", Input("req"), Const(1)), "begin", "end")
+    begin = main.block("begin")
+    begin.load_global("s", "g_sig")
+    begin.branch(_binop("==", Var("s"), Const(1)), "end", "reg")
+    reg = main.block("reg")
+    reg.store_global("g_waiting", 1)
+    reg.jump("wait")
+    wait = main.block("wait")
+    wait.load_global("wk", "g_wake")
+    wait.branch(_binop("==", Var("wk"), Const(1)), "end", "wait")
+    main.block("end").halt()
+
+    worker = b.function("worker")
+    worker.block("entry").assign("w", 0).jump("prep")
+    worker.block("prep").branch(_binop("<", Var("w"), Const(2)),
+                                "pbody", "notify")
+    pb = worker.block("pbody")
+    pb.assign("w", _binop("+", Var("w"), Const(1)))
+    pb.jump("prep")
+    nb = worker.block("notify")
+    nb.store_global("g_sig", 1)
+    nb.load_global("gw", "g_waiting")
+    nb.branch(_binop("==", Var("gw"), Const(1)), "dowake", "wout")
+    dw = worker.block("dowake")
+    dw.store_global("g_wake", 1)
+    dw.jump("wout")
+    worker.block("wout").halt()
+    bug = BugSpec(
+        bug_id="wakeup_demo-b0", kind=BugKind.LOST_WAKEUP,
+        site_function="main", site_block="wait",
+        trigger={"req": 1}, needs_schedule=True,
+        trigger_probability=0.25,
+        defect_function="main", defect_block="entry")
+    return SeededProgram(program=b.build(), bugs=[bug])
+
+
+def make_toctou_demo() -> SeededProgram:
+    """access() says the resource exists; by the time open() runs it is
+    gone (a forced fault), and the unguarded failure path crashes."""
+    b = ProgramBuilder("toctou_demo", inputs={"path": (0, 3)})
+    main = b.function("main")
+    entry = main.block("entry")
+    entry.branch(_binop("==", Input("path"), Const(1)), "chk", "end")
+    chk = main.block("chk")
+    chk.syscall("st", "access", 1)
+    chk.branch(_binop("==", Var("st"), Const(0)), "use", "end")
+    use = main.block("use")
+    use.syscall("fd", "open", 1)
+    use.branch(_binop("<", Var("fd"), Const(0)), "boom", "okread")
+    main.block("okread").syscall("rd", "read", Var("fd"), 16).jump("end")
+    boom = main.block("boom")
+    boom.crash("bug:toctou:toctou_demo-b0")
+    boom.halt()
+    main.block("end").halt()
+    bug = BugSpec(
+        bug_id="toctou_demo-b0", kind=BugKind.TOCTOU,
+        site_function="main", site_block="boom",
+        trigger={"path": 1}, trigger_probability=0.25, needs_fault=True,
+        defect_function="main", defect_block="chk")
+    return SeededProgram(program=b.build(), bugs=[bug])
+
+
+def make_provenance_demo() -> SeededProgram:
+    """The defect (pv_parse returning a poisoned zero when q == 5) is
+    two call hops away from the crash site in main."""
+    b = ProgramBuilder("prov_demo", inputs={"q": (0, 7)})
+    parse = b.function("pv_parse")
+    pe = parse.block("entry")
+    pe.branch(_binop("==", Input("q"), Const(5)), "bad", "good")
+    parse.block("bad").assign("r", 0).jump("out")
+    parse.block("good").assign(
+        "r", _binop("+", Const(1), _binop("%", Input("q"), Const(7)))) \
+        .jump("out")
+    parse.block("out").ret(Var("r"))
+    scale = b.function("pv_scale", params=("v",))
+    se = scale.block("entry")
+    se.assign("r2", _binop("+", Var("v"), Var("v")))
+    se.ret(Var("r2"))
+
+    main = b.function("main")
+    entry = main.block("entry")
+    entry.call("t", "pv_parse")
+    entry.call("u", "pv_scale", Var("t"))
+    entry.jump("chk")
+    main.block("chk").branch(_binop("==", Var("u"), Const(0)), "boom", "end")
+    boom = main.block("boom")
+    boom.crash("bug:provenance:prov_demo-b0")
+    boom.halt()
+    main.block("end").halt()
+    bug = BugSpec(
+        bug_id="prov_demo-b0", kind=BugKind.PROVENANCE,
+        site_function="main", site_block="boom",
+        trigger={"q": 5}, trigger_probability=0.125,
+        defect_function="pv_parse", defect_block="entry",
+        defect_distance=2)
     return SeededProgram(program=b.build(), bugs=[bug])

@@ -268,7 +268,7 @@ class Environment:
         self.fault_rate = fault_rate
         self.fault_plan = fault_plan or FaultPlan()
         self._clock = 0
-        self._next_fd = 3
+        self._open_fds: set = set()
         self._occurrence = 0
 
     def call(self, name: str, args: Sequence[int]) -> int:
@@ -285,8 +285,13 @@ class Environment:
         if name == "open":
             if faulty:
                 return -1
-            fd = self._next_fd
-            self._next_fd += 1
+            # Lowest free descriptor >= 3, POSIX-style: a program that
+            # closes what it opens sees a stable fd; one that leaks
+            # watches its descriptors climb (the LEAK bug family).
+            fd = 3
+            while fd in self._open_fds:
+                fd += 1
+            self._open_fds.add(fd)
             return fd
         if name in ("read", "recv"):
             requested = args[1] if len(args) > 1 else (args[0] if args else 0)
@@ -299,7 +304,13 @@ class Environment:
             requested = args[1] if len(args) > 1 else (args[0] if args else 0)
             return -1 if faulty else max(0, requested)
         if name == "close":
-            return -1 if faulty else 0
+            if faulty:
+                return -1
+            fd = args[0] if args else -1
+            if fd in self._open_fds:
+                self._open_fds.discard(fd)
+                return 0
+            return -1
         if name == "time":
             self._clock += 1
             return self._clock

@@ -1,0 +1,33 @@
+"""Named bug registry: curated bugs, triggering tests, known patches.
+
+The registry is the repo's Defects4J analogue over the IR corpus: every
+entry is a named, reproducible defect with deterministic triggering
+tests and a validated known patch, scored per bug family by the
+harness + scorecard pipeline (``repro registry list|run|score``).
+"""
+
+from repro.registry.build import (
+    UnreproducibleBugError, build_registry, known_patch_for,
+    triggering_tests_for,
+)
+from repro.registry.harness import (
+    BugRunResult, RegistryRunConfig, run_bug, run_registry,
+)
+from repro.registry.model import (
+    FAMILIES, FAMILY_BY_KIND, FAMILY_CODES, BugRegistry, RegisteredBug,
+    TriggeringTest, family_of,
+)
+from repro.registry.patches import (
+    ForceBranchFix, GuardBlocksWithLockFix, ReorderLocksFix,
+    RewriteBlockFix, SpinLockPollFix,
+)
+
+__all__ = [
+    "FAMILIES", "FAMILY_CODES", "FAMILY_BY_KIND", "family_of",
+    "TriggeringTest", "RegisteredBug", "BugRegistry",
+    "build_registry", "triggering_tests_for", "known_patch_for",
+    "UnreproducibleBugError",
+    "RegistryRunConfig", "BugRunResult", "run_registry", "run_bug",
+    "ForceBranchFix", "RewriteBlockFix", "SpinLockPollFix",
+    "ReorderLocksFix", "GuardBlocksWithLockFix",
+]

@@ -1,0 +1,575 @@
+"""Constructing the curated registry from demos and corpus programs.
+
+The per-family builders here are the reusable machinery: given any
+:class:`~repro.progmodel.corpus.SeededProgram` and one of its
+:class:`~repro.progmodel.bugs.BugSpec` entries, they derive
+deterministic triggering tests (searching input completions, schedule
+pick prefixes, and fault occurrence indices as the family requires) and
+the family's known patch. :func:`build_registry` applies them to the
+hand-written demos plus one generated program per family.
+
+A bug whose trigger cannot be made to reproduce raises
+:class:`UnreproducibleBugError` — the registry never contains silently
+non-triggering entries, and the property tests lean on exactly that
+guarantee.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.errors import SoftBorgError
+from repro.fixes.fix import Fix
+from repro.fixes.patches import SiteRecoveryFix
+from repro.progmodel.bugs import BugKind, BugSpec
+from repro.progmodel.corpus import (
+    CorpusConfig, SeededProgram, generate_program, make_crash_demo,
+    make_deadlock_demo, make_leak_demo, make_prio_demo,
+    make_provenance_demo, make_race_demo, make_toctou_demo,
+    make_wakeup_demo,
+)
+from repro.progmodel.interpreter import (
+    Environment, ExecutionLimits, ExecutionResult, FaultPlan, Interpreter,
+    SyscallEvent,
+)
+from repro.progmodel.ir import (
+    Assign, Branch, Const, Jump, LoadGlobal, Program, Syscall,
+)
+from repro.registry.model import (
+    FAMILY_CODES, BugRegistry, RegisteredBug, TriggeringTest, family_of,
+)
+from repro.registry.patches import (
+    ForceBranchFix, GuardBlocksWithLockFix, ReorderLocksFix,
+    RewriteBlockFix, SpinLockPollFix,
+)
+from repro.sched.scheduler import FixedScheduler, RoundRobinScheduler
+
+__all__ = [
+    "UnreproducibleBugError", "build_registry",
+    "triggering_tests_for", "known_patch_for",
+    "PRIO_PRIORITIES", "PRIO_ARRIVALS",
+]
+
+MAX_STEPS = 4000
+
+#: Canonical priority-inversion schedule: main is high priority but
+#: arrives after low has taken the lock; mid arrives last and spins.
+PRIO_PRIORITIES: Dict[int, int] = {0: 3, 1: 2, 2: 1}
+PRIO_ARRIVALS: Dict[int, int] = {0: 6, 1: 8, 2: 0}
+
+#: How many input completions / schedule prefixes the searches try
+#: before declaring a bug unreproducible.
+_MAX_COMPLETIONS = 4096
+_MAX_PICK_PREFIX = 400
+
+
+class UnreproducibleBugError(SoftBorgError):
+    """No deterministic triggering test could be derived for a bug."""
+
+
+# --------------------------------------------------------------------------
+# Deterministic execution helpers
+# --------------------------------------------------------------------------
+
+def _run(program: Program, inputs: Dict[str, int], scheduler=None,
+         fault_plan: Optional[Dict[int, int]] = None) -> ExecutionResult:
+    environment = Environment(
+        fault_plan=FaultPlan(dict(fault_plan)) if fault_plan else None)
+    return Interpreter(program, limits=ExecutionLimits(max_steps=MAX_STEPS)) \
+        .run(dict(inputs), environment=environment,
+             scheduler=scheduler or RoundRobinScheduler())
+
+
+def _completions(program: Program, spec: BugSpec) -> Iterable[Dict[str, int]]:
+    """All full input vectors consistent with the spec's trigger, the
+    trigger-satisfying minima first, then lexicographic over the free
+    inputs (deterministic)."""
+    names = sorted(program.inputs)
+    free = [n for n in names if n not in spec.trigger]
+    domains = [range(program.inputs[n][0], program.inputs[n][1] + 1)
+               for n in free]
+    count = 0
+    for combo in itertools.product(*domains):
+        if count >= _MAX_COMPLETIONS:
+            return
+        count += 1
+        vector = dict(spec.trigger)
+        vector.update(zip(free, combo))
+        yield vector
+
+
+def _find_inputs(program: Program, spec: BugSpec, expect_ok: bool = False,
+                 scheduler_factory=None,
+                 fault_plan: Optional[Dict[int, int]] = None,
+                 ) -> Optional[Dict[str, int]]:
+    """First input completion that reproduces the bug (or, with
+    ``expect_ok``, completes OK) under the given schedule/faults."""
+    for vector in _completions(program, spec):
+        factory = scheduler_factory or RoundRobinScheduler
+        result = _run(program, vector, scheduler=factory(),
+                      fault_plan=fault_plan)
+        if expect_ok:
+            if result.outcome.value == "ok":
+                return vector
+        elif spec.matches_result(result.outcome,
+                                 result.failure.message if result.failure
+                                 else None,
+                                 result.failure.block if result.failure
+                                 else None):
+            return vector
+    return None
+
+
+def _ok_vector(program: Program, spec: BugSpec,
+               scheduler_factory=None) -> Optional[Dict[str, int]]:
+    """A full vector that *avoids* the bug: search off-trigger values
+    first (flip each trigger input), then any completion that runs OK."""
+    names = sorted(program.inputs)
+    for flip in sorted(spec.trigger):
+        lo, hi = program.inputs[flip]
+        for value in range(lo, hi + 1):
+            if value == spec.trigger[flip]:
+                continue
+            vector = {n: spec.trigger.get(n, program.inputs[n][0])
+                      for n in names}
+            vector[flip] = value
+            factory = scheduler_factory or RoundRobinScheduler
+            if _run(program, vector,
+                    scheduler=factory()).outcome.value == "ok":
+                return vector
+    # Trigger-free bugs (race): fall back to the domain minima.
+    vector = {n: program.inputs[n][0] for n in names}
+    factory = scheduler_factory or RoundRobinScheduler
+    if _run(program, vector, scheduler=factory()).outcome.value == "ok":
+        return vector
+    return None
+
+
+def _find_pick_prefix(program: Program, inputs: Dict[str, int],
+                      spec: BugSpec, tail: List[int],
+                      ) -> Optional[Tuple[int, ...]]:
+    """Search fixed-schedule prefixes ``[0]*k + tail`` for one that
+    reproduces a schedule-dependent bug."""
+    for k in range(_MAX_PICK_PREFIX):
+        picks = [0] * k + tail
+        result = _run(program, inputs, scheduler=FixedScheduler(picks))
+        if spec.matches_result(result.outcome,
+                               result.failure.message if result.failure
+                               else None,
+                               result.failure.block if result.failure
+                               else None):
+            return tuple(picks)
+    return None
+
+
+def _find_fault_occurrence(program: Program, inputs: Dict[str, int],
+                           spec: BugSpec) -> Optional[int]:
+    """Which syscall occurrence must fail to trip a fault-dependent bug:
+    sweep every syscall of the fault-free run."""
+    baseline = _run(program, inputs)
+    n_syscalls = sum(1 for e in baseline.events
+                     if isinstance(e, SyscallEvent))
+    for occurrence in range(n_syscalls + 1):
+        result = _run(program, inputs, fault_plan={occurrence: -1})
+        if result.failure and result.failure.message == spec.message:
+            return occurrence
+    return None
+
+
+# --------------------------------------------------------------------------
+# Per-family triggering tests
+# --------------------------------------------------------------------------
+
+def triggering_tests_for(seeded: SeededProgram,
+                         spec: BugSpec) -> List[TriggeringTest]:
+    """Derive deterministic triggering + regression tests for one bug.
+
+    Raises :class:`UnreproducibleBugError` when no deterministic
+    reproduction exists within the bounded searches — a registry entry
+    is never silently non-triggering.
+    """
+    program = seeded.program
+    bug_id = spec.bug_id
+    kind = spec.kind
+    tests: List[TriggeringTest] = []
+
+    if kind in (BugKind.CRASH, BugKind.ASSERT, BugKind.LEAK,
+                BugKind.PROVENANCE):
+        inputs = _find_inputs(program, spec)
+        if inputs is None:
+            raise UnreproducibleBugError(
+                f"{bug_id}: no input completion reaches the bug site")
+        tests.append(TriggeringTest(
+            test_id=f"{bug_id}-t0", inputs=inputs,
+            expect="assert" if kind is BugKind.ASSERT else "crash",
+            expect_message=spec.message))
+    elif kind is BugKind.TOCTOU or kind is BugKind.SHORT_READ:
+        found = None
+        for inputs in _completions(program, spec):
+            occurrence = _find_fault_occurrence(program, inputs, spec)
+            if occurrence is not None:
+                found = (inputs, occurrence)
+                break
+        if found is None:
+            raise UnreproducibleBugError(
+                f"{bug_id}: no fault occurrence trips the bug")
+        inputs, occurrence = found
+        tests.append(TriggeringTest(
+            test_id=f"{bug_id}-t0", inputs=inputs, expect="crash",
+            expect_message=spec.message,
+            fault_plan={occurrence: -1}))
+        # The same inputs without the fault must complete cleanly.
+        if _run(program, inputs).outcome.value == "ok":
+            tests.append(TriggeringTest(
+                test_id=f"{bug_id}-nofault", inputs=inputs, expect="ok"))
+    elif kind is BugKind.DEADLOCK:
+        found = None
+        for inputs in _completions(program, spec):
+            result = _run(program, inputs)
+            if result.outcome.value == "deadlock":
+                found = (inputs, None)
+                break
+            # Park main right between its two acquisitions, then run the
+            # worker into the opposing lock; the round-robin fallback of
+            # the fixed scheduler lets the cycle close.
+            picks = _find_pick_prefix(program, inputs, spec, [1] * 60)
+            if picks is not None:
+                found = (inputs, picks)
+                break
+        if found is None:
+            raise UnreproducibleBugError(
+                f"{bug_id}: no input/schedule combination deadlocks")
+        inputs, picks = found
+        tests.append(TriggeringTest(
+            test_id=f"{bug_id}-t0", inputs=inputs, expect="deadlock",
+            schedule="fixed" if picks else "round-robin",
+            schedule_picks=picks or ()))
+    elif kind is BugKind.RACE:
+        inputs = spec.triggering_inputs(program.inputs)
+        picks = _find_pick_prefix(program, inputs, spec, [0, 1] * 80)
+        if picks is None:
+            raise UnreproducibleBugError(
+                f"{bug_id}: no schedule prefix loses an update")
+        tests.append(TriggeringTest(
+            test_id=f"{bug_id}-t0", inputs=inputs, expect="assert",
+            expect_message=spec.message,
+            schedule="fixed", schedule_picks=picks))
+        # Interleaving-free schedule: main runs alone, then the worker.
+        solo = (0,) * 600
+        solo_result = _run(program, inputs,
+                           scheduler=FixedScheduler(list(solo)))
+        if solo_result.outcome.value == "ok":
+            tests.append(TriggeringTest(
+                test_id=f"{bug_id}-serial", inputs=inputs, expect="ok",
+                schedule="fixed", schedule_picks=solo))
+    elif kind is BugKind.LOST_WAKEUP:
+        found = None
+        for inputs in _completions(program, spec):
+            picks = _find_pick_prefix(program, inputs, spec, [1] * 60)
+            if picks is not None:
+                found = (inputs, picks)
+                break
+        if found is None:
+            raise UnreproducibleBugError(
+                f"{bug_id}: no pick prefix loses the wakeup")
+        inputs, picks = found
+        tests.append(TriggeringTest(
+            test_id=f"{bug_id}-t0", inputs=inputs, expect="hang",
+            expect_site=(spec.site_function, spec.site_block),
+            schedule="fixed", schedule_picks=picks))
+    elif kind is BugKind.PRIO_INVERSION:
+        found = None
+        for inputs in _completions(program, spec):
+            result = _run(program, inputs,
+                          scheduler=_prio_scheduler())
+            if spec.matches_result(result.outcome,
+                                   result.failure.message if result.failure
+                                   else None,
+                                   result.failure.block if result.failure
+                                   else None):
+                found = inputs
+                break
+        if found is None:
+            raise UnreproducibleBugError(
+                f"{bug_id}: priority schedule does not starve the holder")
+        tests.append(TriggeringTest(
+            test_id=f"{bug_id}-t0", inputs=found, expect="hang",
+            expect_site=(spec.site_function, spec.site_block),
+            schedule="priority",
+            priorities=dict(PRIO_PRIORITIES),
+            arrivals=dict(PRIO_ARRIVALS)))
+        # Same inputs under round-robin complete: the failure is purely
+        # a property of the schedule.
+        if _run(program, found).outcome.value == "ok":
+            tests.append(TriggeringTest(
+                test_id=f"{bug_id}-fair", inputs=found, expect="ok"))
+    elif kind is BugKind.HANG:
+        inputs = _find_inputs(program, spec)
+        if inputs is None:
+            raise UnreproducibleBugError(
+                f"{bug_id}: no input completion reaches the hang site")
+        tests.append(TriggeringTest(
+            test_id=f"{bug_id}-t0", inputs=inputs, expect="hang",
+            expect_site=(spec.site_function, spec.site_block)))
+    else:
+        raise UnreproducibleBugError(
+            f"{bug_id}: unsupported bug kind {kind.value}")
+
+    ok = _ok_vector(program, spec)
+    if ok is not None:
+        tests.append(TriggeringTest(
+            test_id=f"{bug_id}-ok", inputs=ok, expect="ok"))
+    return tests
+
+
+def _prio_scheduler():
+    from repro.sched.scheduler import PriorityScheduler
+    return PriorityScheduler(priorities=dict(PRIO_PRIORITIES),
+                             arrivals=dict(PRIO_ARRIVALS))
+
+
+# --------------------------------------------------------------------------
+# Per-family known patches
+# --------------------------------------------------------------------------
+
+def known_patch_for(seeded: SeededProgram,
+                    spec: BugSpec) -> Tuple[Fix, Tuple[str, ...]]:
+    """The family's known patch and the functions it modifies."""
+    program = seeded.program
+    kind = spec.kind
+    fix_id = f"known-{spec.bug_id}"
+    defect_function, defect_block = spec.defect_site
+
+    if kind in (BugKind.CRASH, BugKind.ASSERT, BugKind.HANG,
+                BugKind.SHORT_READ):
+        fix = SiteRecoveryFix(
+            fix_id=fix_id, description="bail out at the failure site",
+            target_bug_message=spec.message,
+            function=spec.site_function, block=spec.site_block)
+        return fix, (spec.site_function,)
+
+    if kind is BugKind.LEAK or kind is BugKind.PROVENANCE:
+        fix = ForceBranchFix(
+            fix_id=fix_id,
+            description=("always close the descriptor"
+                         if kind is BugKind.LEAK
+                         else "never take the poisoned parse arm"),
+            target_bug_message=spec.message,
+            function=defect_function, block=defect_block, taken=False)
+        return fix, (defect_function,)
+
+    if kind is BugKind.TOCTOU:
+        return _toctou_patch(program, spec)
+
+    if kind is BugKind.DEADLOCK:
+        # The worker acquires in the opposite order of main; rewrite it
+        # to main's (canonical) order.
+        fix = ReorderLocksFix(
+            fix_id=fix_id,
+            description="acquire locks in main's canonical order",
+            target_bug_message=spec.message,
+            function="worker", block="grab", order=tuple(spec.locks))
+        return fix, ("worker",)
+
+    if kind is BugKind.RACE:
+        worker_body = _race_worker_body(program)
+        fix = GuardBlocksWithLockFix(
+            fix_id=fix_id,
+            description="serialize the counter updates under one mutex",
+            target_bug_message=spec.message,
+            lock="cntL",
+            sites=((spec.site_function, spec.site_block),
+                   ("worker", worker_body)))
+        return fix, (spec.site_function, "worker")
+
+    if kind is BugKind.PRIO_INVERSION:
+        fix = SpinLockPollFix(
+            fix_id=fix_id,
+            description="spinner touches the contended lock each pass",
+            target_bug_message=spec.message,
+            function=spec.site_function, block=spec.site_block,
+            lock=spec.locks[0])
+        return fix, (spec.site_function,)
+
+    if kind is BugKind.LOST_WAKEUP:
+        return _wakeup_patch(program, spec)
+
+    raise UnreproducibleBugError(
+        f"{spec.bug_id}: no known patch for kind {kind.value}")
+
+
+def _toctou_patch(program: Program,
+                  spec: BugSpec) -> Tuple[Fix, Tuple[str, ...]]:
+    """Rewrite the failure path into a benign fallback read of nothing.
+
+    The structure is recovered from the program: the block branching to
+    the boom site is the use site; its fall-through block's jump target
+    is the continuation, and its read destination is the fallback var.
+    """
+    func = program.function(spec.site_function)
+    use_block = ok_label = None
+    for label, block in func.blocks.items():
+        term = block.terminator
+        if isinstance(term, Branch) and term.then_block == spec.site_block:
+            use_block, ok_label = block, term.else_block
+            break
+    if use_block is None:
+        raise UnreproducibleBugError(
+            f"{spec.bug_id}: cannot locate the TOCTOU use site")
+    ok_block = func.block(ok_label)
+    read_dst = next((i.dst for i in ok_block.instructions
+                     if isinstance(i, Syscall)), "rd")
+    cont = ok_block.terminator
+    if not isinstance(cont, Jump):
+        raise UnreproducibleBugError(
+            f"{spec.bug_id}: TOCTOU ok-path does not rejoin with a jump")
+    fix = RewriteBlockFix(
+        fix_id=f"known-{spec.bug_id}",
+        description="treat the vanished resource as an empty read",
+        target_bug_message=spec.message,
+        function=spec.site_function, block=spec.site_block,
+        instructions=[Assign(read_dst, Const(0))],
+        terminator=Jump(cont.target))
+    return fix, (spec.site_function,)
+
+
+def _wakeup_patch(program: Program,
+                  spec: BugSpec) -> Tuple[Fix, Tuple[str, ...]]:
+    """The wait loop also re-checks the signal flag it raced against."""
+    func = program.function(spec.site_function)
+    wait = func.block(spec.site_block)
+    term = wait.terminator
+    load = next((i for i in wait.instructions
+                 if isinstance(i, LoadGlobal)), None)
+    if load is None or not isinstance(term, Branch):
+        raise UnreproducibleBugError(
+            f"{spec.bug_id}: wait site is not a load+branch spin")
+    from repro.progmodel.ir import BinOp, Var
+    sig_var = "__wsig"
+    cond = BinOp("or",
+                 BinOp("==", Var(load.dst), Const(1)),
+                 BinOp("==", Var(sig_var), Const(1)))
+    fix = RewriteBlockFix(
+        fix_id=f"known-{spec.bug_id}",
+        description="wait loop re-checks the signal flag",
+        target_bug_message=spec.message,
+        function=spec.site_function, block=spec.site_block,
+        instructions=[LoadGlobal(load.dst, load.name),
+                      LoadGlobal(sig_var, "g_sig")],
+        terminator=Branch(cond, term.then_block, term.else_block))
+    return fix, (spec.site_function,)
+
+
+def _race_worker_body(program: Program) -> str:
+    """The worker-side racy block: the one storing to ``g_cnt``."""
+    from repro.progmodel.ir import StoreGlobal
+    worker = program.function("worker")
+    for label, block in worker.blocks.items():
+        if any(isinstance(i, StoreGlobal) and i.name == "g_cnt"
+               for i in block.instructions):
+            return label
+    raise UnreproducibleBugError("race worker has no g_cnt store")
+
+
+# --------------------------------------------------------------------------
+# Registry assembly
+# --------------------------------------------------------------------------
+
+_DEMOS = {
+    "crash": make_crash_demo,
+    "deadlock": make_deadlock_demo,
+    "race": make_race_demo,
+    "leak": make_leak_demo,
+    "prio": make_prio_demo,
+    "wakeup": make_wakeup_demo,
+    "toctou": make_toctou_demo,
+    "prov": make_provenance_demo,
+}
+
+_GENERATED_KINDS = {
+    "crash": BugKind.CRASH,
+    "deadlock": BugKind.DEADLOCK,
+    "race": BugKind.RACE,
+    "leak": BugKind.LEAK,
+    "prio": BugKind.PRIO_INVERSION,
+    "wakeup": BugKind.LOST_WAKEUP,
+    "toctou": BugKind.TOCTOU,
+    "prov": BugKind.PROVENANCE,
+}
+
+#: How many seed offsets to try per generated entry before giving up
+#: (some offsets gate the bug behind an unsatisfiable diamond).
+_OFFSET_ATTEMPTS = 12
+
+
+def _localization_hint(program: Program, spec: BugSpec) -> None:
+    """Point legacy-family specs at their input-gated guard decision.
+
+    The execution tree only records tainted branch decisions, so the
+    manifestation block itself (a crash/assert site) never appears in
+    localization output — the decision that *reaches* it does. Specs
+    from the pre-registry families leave the defect site unset; aim them
+    at the branch block targeting the site, when one exists in the same
+    function (schedule-only bugs may have none; their rank stays None).
+    """
+    if spec.defect_function or spec.defect_block:
+        return
+    func = program.function(spec.site_function)
+    for label, block in func.blocks.items():
+        term = block.terminator
+        if (isinstance(term, Branch)
+                and spec.site_block in (term.then_block, term.else_block)):
+            spec.defect_function = spec.site_function
+            spec.defect_block = label
+            return
+
+
+def _register(registry: BugRegistry, family: str, number: int,
+              seeded: SeededProgram, spec: BugSpec,
+              description: str) -> None:
+    _localization_hint(seeded.program, spec)
+    tests = triggering_tests_for(seeded, spec)
+    patch, modified = known_patch_for(seeded, spec)
+    registry.add(RegisteredBug(
+        ref=f"{family}/{FAMILY_CODES[family]}-{number}",
+        family=family, seeded=seeded, spec=spec, tests=tests,
+        patch=patch, modified_functions=modified,
+        description=description))
+
+
+def build_registry(seed: int = 0, generated_per_family: int = 1,
+                   config: Optional[CorpusConfig] = None) -> BugRegistry:
+    """The curated catalogue: one demo + ``generated_per_family``
+    corpus-generated entries per family, all verified to reproduce."""
+    registry = BugRegistry()
+    config = config or CorpusConfig(
+        seed=seed, n_inputs=3, input_domain=6, n_segments=4,
+        helper_count=1, syscall_probability=0.15, loop_probability=0.2)
+    for family in _DEMOS:
+        seeded = _DEMOS[family]()
+        _register(registry, family, 1, seeded, seeded.bugs[0],
+                  f"hand-written {family} demo")
+        kind = _GENERATED_KINDS[family]
+        registered = 0
+        offset = 0
+        attempts = 0
+        while (registered < generated_per_family
+               and attempts < _OFFSET_ATTEMPTS * generated_per_family):
+            attempts += 1
+            offset += 1
+            seeded = generate_program(
+                f"reg_{family}{offset}", config, (kind,),
+                seed_offset=offset)
+            try:
+                _register(registry, family, registered + 2, seeded,
+                          seeded.bugs[0],
+                          f"generated {family} (offset {offset})")
+            except UnreproducibleBugError:
+                continue
+            registered += 1
+        if registered < generated_per_family:
+            raise UnreproducibleBugError(
+                f"could not generate {generated_per_family} reproducible"
+                f" {family} entries in {attempts} attempts")
+    return registry

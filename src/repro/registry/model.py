@@ -1,0 +1,225 @@
+"""Registry data model: triggering tests and registered bugs.
+
+A :class:`RegisteredBug` is the Defects4J-style unit of curation: a
+named defect over one corpus program, with deterministic *triggering
+tests* (input vector + schedule + fault plan + expected failing
+outcome), a *known patch* that makes those tests pass, and the metadata
+experiments score against (family, defect site, modified functions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.errors import ConfigError
+from repro.fixes.fix import Fix
+from repro.progmodel.bugs import BugKind, BugSpec
+from repro.progmodel.corpus import SeededProgram
+from repro.progmodel.interpreter import (
+    Environment, ExecutionLimits, ExecutionResult, FaultPlan, Interpreter,
+)
+from repro.progmodel.ir import Program
+from repro.sched.scheduler import (
+    FixedScheduler, PriorityScheduler, RoundRobinScheduler,
+)
+
+__all__ = [
+    "TriggeringTest", "RegisteredBug", "BugRegistry",
+    "FAMILIES", "FAMILY_CODES", "FAMILY_BY_KIND", "family_of",
+]
+
+#: Registry families, in canonical (report) order.
+FAMILIES: Tuple[str, ...] = (
+    "crash", "deadlock", "race", "leak", "prio", "wakeup", "toctou", "prov",
+)
+
+#: Short codes used in bug refs (``leak/RL-1``).
+FAMILY_CODES: Dict[str, str] = {
+    "crash": "CR", "deadlock": "DL", "race": "RC", "leak": "RL",
+    "prio": "PI", "wakeup": "LW", "toctou": "TT", "prov": "PV",
+}
+
+FAMILY_BY_KIND: Dict[BugKind, str] = {
+    BugKind.CRASH: "crash",
+    BugKind.ASSERT: "crash",
+    BugKind.HANG: "crash",
+    BugKind.SHORT_READ: "toctou",
+    BugKind.DEADLOCK: "deadlock",
+    BugKind.RACE: "race",
+    BugKind.LEAK: "leak",
+    BugKind.PRIO_INVERSION: "prio",
+    BugKind.LOST_WAKEUP: "wakeup",
+    BugKind.TOCTOU: "toctou",
+    BugKind.PROVENANCE: "prov",
+}
+
+
+def family_of(kind: BugKind) -> str:
+    """Registry family a bug kind reports under."""
+    return FAMILY_BY_KIND[kind]
+
+
+@dataclass
+class TriggeringTest:
+    """One deterministic, standalone-runnable test for a registered bug.
+
+    ``expect`` is the expected outcome value: a trigger test expects the
+    failing outcome (``crash``/``assert``/``deadlock``/``hang``); a
+    regression test expects ``ok``. The schedule is declarative so the
+    test can also ride an executor backend as a steering directive.
+    """
+
+    test_id: str
+    inputs: Dict[str, int]
+    expect: str
+    expect_message: Optional[str] = None
+    expect_site: Optional[Tuple[str, str]] = None
+    #: "round-robin" | "fixed" | "priority"
+    schedule: str = "round-robin"
+    schedule_picks: Tuple[int, ...] = ()
+    priorities: Dict[int, int] = field(default_factory=dict)
+    arrivals: Dict[int, int] = field(default_factory=dict)
+    fault_plan: Dict[int, int] = field(default_factory=dict)
+    max_steps: int = 4000
+
+    @property
+    def is_trigger(self) -> bool:
+        return self.expect != "ok"
+
+    def build_scheduler(self):
+        if self.schedule == "fixed":
+            return FixedScheduler(list(self.schedule_picks))
+        if self.schedule == "priority":
+            return PriorityScheduler(priorities=self.priorities,
+                                     arrivals=self.arrivals)
+        return RoundRobinScheduler()
+
+    def run(self, program: Program) -> ExecutionResult:
+        """Execute the test standalone through the interpreter."""
+        environment = Environment(fault_plan=FaultPlan(dict(self.fault_plan))
+                                  if self.fault_plan else None)
+        limits = ExecutionLimits(max_steps=self.max_steps)
+        return Interpreter(program, limits=limits).run(
+            dict(self.inputs), environment=environment,
+            scheduler=self.build_scheduler())
+
+    def matches(self, result: ExecutionResult) -> bool:
+        """Did the execution land on this test's expected outcome?"""
+        if result.outcome.value != self.expect:
+            return False
+        if self.expect_message is not None:
+            if result.failure is None:
+                return False
+            if result.failure.message != self.expect_message:
+                return False
+        if self.expect_site is not None:
+            if result.failure is None:
+                return False
+            observed = (result.failure.function, result.failure.block)
+            if observed != self.expect_site:
+                return False
+        return True
+
+    def reproduces(self, program: Program) -> bool:
+        """Trigger semantics: the buggy program fails as expected."""
+        return self.matches(self.run(program))
+
+    def passes(self, program: Program) -> bool:
+        """Patched semantics: the program completes OK under this test's
+        inputs/schedule/faults (trigger tests pass once patched)."""
+        return self.run(program).outcome.value == "ok"
+
+
+@dataclass
+class RegisteredBug:
+    """One curated bug: program + ground truth + tests + known patch."""
+
+    ref: str
+    family: str
+    seeded: SeededProgram
+    spec: BugSpec
+    tests: List[TriggeringTest] = field(default_factory=list)
+    patch: Optional[Fix] = None
+    modified_functions: Tuple[str, ...] = ()
+    description: str = ""
+    _patched: Optional[Program] = field(default=None, repr=False,
+                                        compare=False)
+
+    @property
+    def program(self) -> Program:
+        return self.seeded.program
+
+    @property
+    def trigger_tests(self) -> List[TriggeringTest]:
+        return [t for t in self.tests if t.is_trigger]
+
+    @property
+    def passing_tests(self) -> List[TriggeringTest]:
+        return [t for t in self.tests if not t.is_trigger]
+
+    def patched_program(self) -> Program:
+        """The known patch applied (cached — ``Fix.apply`` clones)."""
+        if self.patch is None:
+            raise ConfigError(f"bug {self.ref} has no known patch")
+        if self._patched is None:
+            self._patched = self.patch.apply(self.program)
+        return self._patched
+
+    def verify(self) -> Dict[str, bool]:
+        """Per-test verdicts: trigger tests reproduce on the buggy
+        program and pass on the patched one; regression tests pass on
+        both. Keys are ``<test_id>:{buggy,patched}``."""
+        patched = self.patched_program()
+        verdicts: Dict[str, bool] = {}
+        for test in self.tests:
+            if test.is_trigger:
+                verdicts[f"{test.test_id}:buggy"] = \
+                    test.reproduces(self.program)
+            else:
+                verdicts[f"{test.test_id}:buggy"] = test.passes(self.program)
+            verdicts[f"{test.test_id}:patched"] = test.passes(patched)
+        return verdicts
+
+
+class BugRegistry:
+    """Ordered catalogue of registered bugs, keyed by ref."""
+
+    def __init__(self, bugs: Iterable[RegisteredBug] = ()):
+        self._bugs: Dict[str, RegisteredBug] = {}
+        for bug in bugs:
+            self.add(bug)
+
+    def add(self, bug: RegisteredBug) -> None:
+        if bug.ref in self._bugs:
+            raise ConfigError(f"duplicate registry ref {bug.ref!r}")
+        if bug.family not in FAMILIES:
+            raise ConfigError(f"unknown registry family {bug.family!r}")
+        self._bugs[bug.ref] = bug
+
+    def get(self, ref: str) -> RegisteredBug:
+        if ref not in self._bugs:
+            raise ConfigError(f"no registered bug {ref!r}")
+        return self._bugs[ref]
+
+    def refs(self) -> List[str]:
+        return list(self._bugs)
+
+    def bugs(self, family: Optional[str] = None) -> List[RegisteredBug]:
+        if family is None or family == "all":
+            return list(self._bugs.values())
+        if family not in FAMILIES:
+            raise ConfigError(
+                f"unknown registry family {family!r};"
+                f" expected one of {', '.join(FAMILIES)}")
+        return [b for b in self._bugs.values() if b.family == family]
+
+    def families(self) -> List[str]:
+        present = {b.family for b in self._bugs.values()}
+        return [f for f in FAMILIES if f in present]
+
+    def __len__(self) -> int:
+        return len(self._bugs)
+
+    def __iter__(self):
+        return iter(self._bugs.values())

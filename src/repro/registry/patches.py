@@ -1,0 +1,152 @@
+"""Known-patch transformations for registered bugs.
+
+Each registered bug carries one of these as its *known patch*: the
+minimal, human-reviewed transformation that makes every triggering test
+pass without disturbing previously-passing behaviour. They are ordinary
+:class:`~repro.fixes.fix.Fix` subclasses, so the registry harness can
+push them through :class:`~repro.fixes.repairlab.RepairLab` exactly like
+synthesized candidates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.errors import FixError
+from repro.fixes.fix import Fix
+from repro.progmodel.ir import (
+    Branch, Const, Instruction, Lock, Program, Terminator, Unlock,
+)
+
+__all__ = [
+    "ForceBranchFix", "RewriteBlockFix", "SpinLockPollFix",
+    "ReorderLocksFix", "GuardBlocksWithLockFix",
+]
+
+
+@dataclass
+class ForceBranchFix(Fix):
+    """Pin one branch to a constant direction.
+
+    The canonical leak patch (always take the close path) and
+    provenance patch (never take the poisoned parse arm): the defective
+    decision is simply removed from the program.
+    """
+
+    function: str = ""
+    block: str = ""
+    taken: bool = False
+
+    def transform(self, program: Program) -> None:
+        func = program.function(self.function)
+        block = func.block(self.block)
+        term = block.terminator
+        if not isinstance(term, Branch):
+            raise FixError(
+                f"ForceBranchFix target {self.function}/{self.block}"
+                " does not end in a branch")
+        block.terminator = Branch(Const(1 if self.taken else 0),
+                                  term.then_block, term.else_block)
+
+
+@dataclass
+class RewriteBlockFix(Fix):
+    """Replace one block's instructions and terminator wholesale.
+
+    Used where the patch is a local rewrite: the TOCTOU failure path
+    becomes a benign fallback, the lost-wakeup wait loop learns to also
+    check the signal flag it raced against.
+    """
+
+    function: str = ""
+    block: str = ""
+    instructions: List[Instruction] = field(default_factory=list)
+    terminator: Optional[Terminator] = None
+
+    def transform(self, program: Program) -> None:
+        if self.terminator is None:
+            raise FixError("RewriteBlockFix needs a terminator")
+        func = program.function(self.function)
+        block = func.block(self.block)
+        block.instructions = list(self.instructions)
+        block.terminator = self.terminator
+
+
+@dataclass
+class SpinLockPollFix(Fix):
+    """Prepend ``lock; unlock`` to a spin block.
+
+    The priority-inversion patch: the starving spinner must touch the
+    contended lock each iteration, so strict-priority scheduling parks
+    it behind the holder instead of starving the holder forever — a
+    poor man's priority inheritance.
+    """
+
+    function: str = ""
+    block: str = ""
+    lock: str = ""
+
+    def transform(self, program: Program) -> None:
+        if not self.lock:
+            raise FixError("SpinLockPollFix needs a lock name")
+        func = program.function(self.function)
+        block = func.block(self.block)
+        block.instructions = ([Lock(self.lock), Unlock(self.lock)]
+                              + list(block.instructions))
+
+
+@dataclass
+class ReorderLocksFix(Fix):
+    """Rewrite a block's lock acquisitions to a canonical order.
+
+    The deadlock patch: both threads then acquire in the same order, so
+    the AB/BA cycle cannot form. Unlocks are rewritten to release in
+    reverse acquisition order.
+    """
+
+    function: str = ""
+    block: str = ""
+    order: Tuple[str, ...] = ()
+
+    def transform(self, program: Program) -> None:
+        func = program.function(self.function)
+        block = func.block(self.block)
+        locks = [i for i in block.instructions if isinstance(i, Lock)]
+        unlocks = [i for i in block.instructions if isinstance(i, Unlock)]
+        if len(locks) != len(self.order) or len(unlocks) != len(self.order):
+            raise FixError(
+                f"ReorderLocksFix expects {len(self.order)} lock/unlock"
+                f" pairs in {self.function}/{self.block}")
+        acquire = iter(self.order)
+        release = iter(reversed(self.order))
+        rewritten: List[Instruction] = []
+        for instr in block.instructions:
+            if isinstance(instr, Lock):
+                rewritten.append(Lock(next(acquire)))
+            elif isinstance(instr, Unlock):
+                rewritten.append(Unlock(next(release)))
+            else:
+                rewritten.append(instr)
+        block.instructions = rewritten
+
+
+@dataclass
+class GuardBlocksWithLockFix(Fix):
+    """Wrap each listed block in ``lock ... unlock``.
+
+    The race patch: every unsynchronized read-modify-write section of
+    the shared counter becomes atomic under one mutex.
+    """
+
+    lock: str = ""
+    sites: Tuple[Tuple[str, str], ...] = ()
+
+    def transform(self, program: Program) -> None:
+        if not self.lock or not self.sites:
+            raise FixError("GuardBlocksWithLockFix needs a lock and sites")
+        for function, label in self.sites:
+            block = program.function(function).block(label)
+            block.instructions = ([Lock(self.lock)]
+                                  + list(block.instructions)
+                                  + [Unlock(self.lock)])

@@ -19,6 +19,7 @@ from repro.errors import ScheduleError
 
 __all__ = [
     "RoundRobinScheduler", "RandomScheduler", "FixedScheduler", "PCTScheduler",
+    "PriorityScheduler",
 ]
 
 
@@ -66,6 +67,33 @@ class FixedScheduler:
                 raise ScheduleError(
                     f"fixed schedule pick {candidate} not runnable")
         return runnable[step % len(runnable)]
+
+
+class PriorityScheduler:
+    """Strict fixed-priority scheduling with optional arrival times.
+
+    The highest-priority runnable thread always runs (ties break toward
+    the lowest thread id). A thread with an arrival step later than the
+    current step is ineligible until then — this models work arriving at
+    a busy system and is what exposes priority-inversion bugs: a
+    low-priority thread takes a lock early, the high-priority thread
+    arrives and blocks on it, and a middle-priority spinner starves the
+    holder forever. When every runnable thread is still before its
+    arrival, the rule is waived (someone must run).
+    """
+
+    def __init__(self, priorities: Optional[dict] = None,
+                 arrivals: Optional[dict] = None):
+        self._priority = dict(priorities or {})
+        self._arrival = dict(arrivals or {})
+
+    def pick(self, step: int, runnable: List[int]) -> int:
+        eligible = [tid for tid in runnable
+                    if self._arrival.get(tid, 0) <= step]
+        if not eligible:
+            eligible = runnable
+        return max(eligible,
+                   key=lambda tid: (self._priority.get(tid, 0), -tid))
 
 
 class PCTScheduler:

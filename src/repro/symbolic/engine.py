@@ -103,7 +103,7 @@ class _SymState:
     held_locks: List[str]
     steps: int = 0
     syscall_counter: int = 0
-    open_fds: int = 3
+    open_fds: Tuple[int, ...] = ()
     clock: int = 0
     pending_assert: Optional[Assert] = None
     assert_failed: Optional[str] = None
@@ -642,8 +642,11 @@ class SymbolicEngine(Instrumented):
         # Fault-free deterministic environment model (mirrors
         # Environment's non-faulty semantics).
         if instr.name == "open":
-            fd = state.open_fds
-            state.open_fds += 1
+            # Mirror Environment: lowest free descriptor >= 3.
+            fd = 3
+            while fd in state.open_fds:
+                fd += 1
+            state.open_fds = state.open_fds + (fd,)
             return Const(fd)
         if instr.name in ("read", "recv", "write"):
             if len(instr.args) > 1:
@@ -656,6 +659,15 @@ class SymbolicEngine(Instrumented):
                 return Const(max(0, requested.value))
             return requested  # symbolic size passes through unfaulted
         if instr.name == "close":
+            if instr.args:
+                fd = self._value(state, frame, instr.args[0])
+                if isinstance(fd, Const):
+                    if fd.value in state.open_fds:
+                        state.open_fds = tuple(
+                            f for f in state.open_fds if f != fd.value)
+                        return Const(0)
+                    return Const(-1)
+            # Symbolic descriptor: model success, leave the table alone.
             return Const(0)
         if instr.name == "time":
             state.clock += 1

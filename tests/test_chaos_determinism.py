@@ -11,6 +11,8 @@ from repro.obs import Registry
 from repro.platform import PlatformConfig, SoftBorgPlatform
 from repro.workloads.scenarios import crash_scenario
 
+pytestmark = pytest.mark.slow
+
 BACKENDS = ("serial", "thread", "process")
 PROFILES = ("lossy-workers", "flaky-hive")
 SEEDS = (3, 11)

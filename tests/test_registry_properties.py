@@ -1,0 +1,91 @@
+"""Property: corpus programs never carry silently non-triggering bugs.
+
+For any generation seed, the registry's test-derivation machinery
+either produces deterministic triggering tests that *actually
+reproduce* the seeded ``BugSpec``, or raises
+:class:`UnreproducibleBugError` loudly — a generated program whose bug
+cannot be demonstrated must never slip into a corpus (or registry)
+unnoticed.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.progmodel.bugs import BugKind
+from repro.progmodel.corpus import CorpusConfig, generate_program
+from repro.registry.build import (
+    UnreproducibleBugError, known_patch_for, triggering_tests_for,
+)
+
+#: Input-gated families: derivation is a bounded input-completion (and,
+#: for toctou, fault-occurrence) search, cheap enough for hypothesis.
+INPUT_GATED = (BugKind.CRASH, BugKind.LEAK, BugKind.TOCTOU,
+               BugKind.PROVENANCE)
+
+configs = st.builds(
+    CorpusConfig,
+    seed=st.integers(0, 40),
+    n_inputs=st.integers(2, 4),
+    input_domain=st.integers(3, 8),
+    n_segments=st.integers(2, 5),
+)
+
+
+@given(config=configs, kind=st.sampled_from(INPUT_GATED),
+       offset=st.integers(0, 3))
+@settings(max_examples=20, deadline=None)
+def test_generated_bugs_reproduce_or_raise(config, kind, offset):
+    seeded = generate_program("prop_reg", config, (kind,),
+                              seed_offset=offset)
+    (spec,) = seeded.bugs
+    try:
+        tests = triggering_tests_for(seeded, spec)
+    except UnreproducibleBugError:
+        return  # loud refusal is the acceptable non-reproducing outcome
+    triggers = [test for test in tests if test.is_trigger]
+    assert triggers, "derivation returned no triggering test"
+    for test in triggers:
+        result = test.run(seeded.program)
+        assert test.matches(result), \
+            f"{test.test_id} silently fails to reproduce {spec.bug_id}"
+        assert spec.matches_result(
+            result.outcome,
+            result.failure.message if result.failure else None,
+            result.failure.block if result.failure else None), \
+            f"{test.test_id} reproduces something other than {spec.bug_id}"
+
+
+@given(config=configs, kind=st.sampled_from(INPUT_GATED),
+       offset=st.integers(0, 3))
+@settings(max_examples=10, deadline=None)
+def test_known_patch_kills_derived_triggers(config, kind, offset):
+    seeded = generate_program("prop_patch", config, (kind,),
+                              seed_offset=offset)
+    (spec,) = seeded.bugs
+    try:
+        tests = triggering_tests_for(seeded, spec)
+        patch, modified = known_patch_for(seeded, spec)
+    except UnreproducibleBugError:
+        return
+    patched = patch.apply(seeded.program)
+    assert modified
+    for test in tests:
+        assert test.passes(patched), \
+            f"{test.test_id} still failing after {patch.fix_id}"
+
+
+@given(seed=st.integers(0, 60))
+@settings(max_examples=15, deadline=None)
+def test_race_schedule_search_reproduces_or_raises(seed):
+    config = CorpusConfig(seed=seed, n_inputs=2, input_domain=4,
+                          n_segments=3)
+    seeded = generate_program("prop_race", config, (BugKind.RACE,))
+    (spec,) = seeded.bugs
+    try:
+        tests = triggering_tests_for(seeded, spec)
+    except UnreproducibleBugError:
+        return
+    triggers = [test for test in tests if test.is_trigger]
+    assert triggers
+    for test in triggers:
+        assert test.reproduces(seeded.program)

@@ -8,8 +8,12 @@ process backends must produce byte-identical documents.
 
 import json
 
+import pytest
+
 from repro.serve import Service, ServiceConfig
 from repro.workloads.scenarios import crash_scenario
+
+pytestmark = pytest.mark.slow
 
 
 def snapshot_bytes(backend, **overrides):
