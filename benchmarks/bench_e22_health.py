@@ -1,0 +1,139 @@
+"""E22 (extension) — health-plane overhead.
+
+The health plane follows the observability layer's cost contract:
+
+* **disabled** (the bare-run default) it must be free — one ``is
+  None`` check per round and **zero** metric handles allocated in the
+  obs registry;
+* **enabled** it must stay cheap enough to leave on in anger: the
+  plane reads values the host loop already computed (round stats,
+  counter deltas), so the target is <= 5% on the E18 closed-loop
+  workload.
+
+This experiment runs the same seeded loop with the plane off and on,
+reports rounds/sec and the registry's metric-family count for each,
+and pins both halves of the contract. Output lands in
+``benchmarks/out/e22_health.{txt,json}`` and ``out/BENCH_e22.json``.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro import obs
+from repro.metrics.report import render_table
+from repro.obs.registry import Registry
+from repro.platform import PlatformConfig, SoftBorgPlatform
+from repro.workloads.scenarios import crash_scenario
+
+from schema import write_bench_json
+
+OUT_DIR = Path(__file__).parent / "out"
+
+ROUNDS = 3
+EXECUTIONS = 2000
+REPEATS = 3
+
+
+def _registry_families(registry) -> int:
+    snapshot = registry.snapshot()
+    return sum(len(snapshot.get(section, {}))
+               for section in ("counters", "gauges", "histograms",
+                               "timers"))
+
+
+def _run_loop(health):
+    """One seeded E18-style loop; returns (elapsed_s, families, report)."""
+    previous = obs.set_registry(Registry())
+    try:
+        platform = SoftBorgPlatform(
+            crash_scenario(n_users=60, volatility=0.5, seed=2),
+            PlatformConfig(n_pods=40, rounds=ROUNDS,
+                           executions_per_round=EXECUTIONS,
+                           fixing=False, enable_proofs=False, seed=2,
+                           health=health))
+        start = time.perf_counter()
+        platform.run()
+        elapsed = time.perf_counter() - start
+        families = _registry_families(obs.get_registry())
+        health_report = (platform.health.report()
+                         if platform.health is not None else None)
+        return elapsed, families, health_report
+    finally:
+        obs.set_registry(previous)
+
+
+def run_experiment():
+    results = {}
+    for mode, health in (("health off", False), ("health on", True)):
+        # Best-of-N: overhead is a floor property, the minimum is the
+        # right estimator for "what does the health plane cost".
+        best, families, report = min(
+            (_run_loop(health) for _ in range(REPEATS)),
+            key=lambda result: result[0])
+        results[mode] = {"elapsed_s": best, "families": families,
+                         "report": report}
+    return results
+
+
+def test_e22_health_overhead(benchmark, emit):
+    results = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+
+    off = results["health off"]
+    on = results["health on"]
+    overhead = on["elapsed_s"] / off["elapsed_s"] - 1.0
+    rows = []
+    for mode, entry in results.items():
+        elapsed = entry["elapsed_s"]
+        report = entry["report"]
+        rows.append([
+            mode,
+            f"{elapsed * 1e3:.1f}",
+            f"{ROUNDS / elapsed:.2f}",
+            entry["families"],
+            len(report["slos"]) if report else 0,
+            f"{(elapsed / off['elapsed_s'] - 1.0) * 100.0:+.1f}%",
+        ])
+    table = render_table(
+        ["mode", "wall-clock (ms)", "rounds/sec", "registry families",
+         "slos", "vs health off"],
+        rows,
+        title=f"E22: health-plane overhead ({ROUNDS}x{EXECUTIONS}"
+              f" executions, best of {REPEATS}, {os.cpu_count()} cores)")
+    emit("e22_health", table)
+
+    OUT_DIR.mkdir(exist_ok=True)
+    with open(OUT_DIR / "e22_health.json", "w",
+              encoding="utf-8") as handle:
+        json.dump({
+            "rounds": ROUNDS,
+            "executions_per_round": EXECUTIONS,
+            "repeats": REPEATS,
+            "wall_clock_s": {mode: entry["elapsed_s"]
+                             for mode, entry in results.items()},
+            "registry_families": {mode: entry["families"]
+                                  for mode, entry in results.items()},
+            "overhead_health_on": overhead,
+            "health_report_on": on["report"],
+        }, handle, indent=2, sort_keys=True)
+    write_bench_json("e22", {
+        "overhead_health_on": overhead,
+        "registry_families_delta": on["families"] - off["families"],
+        "rounds_per_sec_on": ROUNDS / on["elapsed_s"],
+        "rounds_per_sec_off": ROUNDS / off["elapsed_s"],
+    })
+
+    # Contract half 1: disabled is free — the plane allocates no
+    # registry handles, so the family count matches a run without it
+    # (and the enabled plane allocates none either: it reads host
+    # values, it never creates metrics).
+    assert on["families"] == off["families"], \
+        f"health plane allocated registry metrics:" \
+        f" {off['families']} -> {on['families']}"
+    assert off["report"] is None
+    # Contract half 2: enabled stays within the 5% budget on the E18
+    # workload (three SLO evaluations per round against 2000
+    # executions of real work).
+    assert overhead <= 0.05, f"health-on overhead {overhead:.1%}"
+    assert on["report"]["ticks_observed"] == ROUNDS

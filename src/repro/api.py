@@ -12,7 +12,9 @@ public surface (docs/API.md documents the layer behind each one):
   facts), :class:`ExecutionTree` (merged path evidence);
 * fault injection — :class:`FaultProfile` and the named
   :data:`PROFILES`;
-* observability — :class:`Tracer`, :class:`Registry`;
+* observability — :class:`Tracer`, :class:`Registry`; the health
+  plane — :class:`HealthPlane`, :class:`SloSpec`, :class:`AlertRule`,
+  :class:`Incident` (docs/OBSERVABILITY.md);
 * the bug registry — :func:`build_registry`, :func:`run_registry`,
   :class:`Scorecard` (named bugs, triggering tests, per-family
   scorecards; docs/REGISTRY.md);
@@ -28,6 +30,9 @@ from repro.exec import make_backend
 from repro.fleet import Fleet, FleetReport
 from repro.hive import Hive
 from repro.obs import Registry, get_registry, get_tracer
+from repro.obs.health import (
+    AlertRule, HealthConfig, HealthPlane, Incident, SloSpec,
+)
 from repro.obs.trace import Tracer
 from repro.platform import (
     PlatformConfig, PlatformReport, SoftBorgPlatform,
@@ -42,7 +47,7 @@ from repro.registry import (
 )
 from repro.serve import (
     Autoscaler, AutoscalerConfig, ControlPlane, IngestPump, Service,
-    ServiceConfig, ServiceReport,
+    ServiceConfig, ServiceReport, default_serve_slos,
 )
 from repro.symbolic.cache import ConstraintCache
 from repro.tree import ExecutionTree
@@ -61,6 +66,8 @@ __all__ = [
     "ConstraintCache", "ExecutionTree",
     "FaultProfile", "PROFILES", "resolve_profile",
     "Tracer", "Registry", "get_registry", "get_tracer",
+    "HealthPlane", "HealthConfig", "SloSpec", "AlertRule", "Incident",
+    "default_serve_slos",
     "BaseConfig", "BaseReport", "make_backend",
     "BugRegistry", "RegisteredBug", "TriggeringTest",
     "build_registry", "run_registry", "RegistryRunConfig",

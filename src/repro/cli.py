@@ -6,7 +6,11 @@ The common "kick the tires" flows:
   (``--json`` emits the full config/report/obs snapshot instead);
 * ``serve`` — the continuous-service hive: a tick-driven control plane
   with autoscaled pod fleets streaming traces through the ingest pump
-  (``--json`` emits the deterministic service snapshot);
+  (``--json`` emits the deterministic service snapshot); the health
+  plane is on by default — ``--slo NAME=TARGET`` retargets objectives
+  and the exit code gates on SLOs plus ingest lag;
+* ``health`` — render SLOs, alert states, and incident timelines from
+  a saved snapshot; the exit code is the SLO gate;
 * ``stats`` — same loop, but the output is the ``repro.obs`` registry
   snapshot: where the wall-clock went, trace-ingest counts, latency
   percentiles;
@@ -112,6 +116,11 @@ def build_parser() -> argparse.ArgumentParser:
                      help="record causal spans for the run and write a"
                           " Chrome trace-event file (load in Perfetto /"
                           " chrome://tracing) to PATH")
+    run.add_argument("--health", action="store_true",
+                     help="enable the round-aligned health plane (SLOs,"
+                          " alerts, incidents; adds the snapshot's"
+                          " additive health block — see"
+                          " docs/OBSERVABILITY.md)")
 
     serve = sub.add_parser(
         "serve", parents=[common_exec_flags()],
@@ -140,6 +149,17 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--trace", metavar="PATH", default=None,
                        help="record causal spans (incl. serve.scale_*)"
                             " and write a Chrome trace-event file")
+    serve.add_argument("--slo", action="append", default=[],
+                       metavar="NAME=TARGET",
+                       help="override an SLO objective (repeatable),"
+                            " e.g. --slo ingest-lag=2.0 --slo"
+                            " family-detection=0.5; unknown names are"
+                            " an error (see docs/OBSERVABILITY.md)")
+    serve.add_argument("--no-health", dest="health",
+                       action="store_false",
+                       help="disable the health plane (no SLO"
+                            " evaluation, no health block, exit code"
+                            " gates on ingest lag only)")
 
     stats = sub.add_parser(
         "stats", parents=[common_loop_flags(), common_exec_flags()],
@@ -219,6 +239,17 @@ def build_parser() -> argparse.ArgumentParser:
                                "prio_inversion", "lost_wakeup", "toctou",
                                "provenance"])
 
+    health = sub.add_parser(
+        "health", help="render SLOs, alerts, and incident timelines"
+                       " from a snapshot file; exit code is the SLO"
+                       " gate (see docs/OBSERVABILITY.md)")
+    health.add_argument("snapshot", metavar="PATH",
+                        help="a snapshot JSON file (repro serve"
+                             " --snapshot-out, or repro run/serve"
+                             " --json output saved to a file)")
+    health.add_argument("--json", action="store_true",
+                        help="emit the health block as JSON")
+
     from repro.registry.model import FAMILIES
     registry = sub.add_parser(
         "registry", parents=[common_exec_flags()],
@@ -287,6 +318,7 @@ def _run_platform(args, fixing: bool = True, tracing: bool = False):
         chaos_profile=getattr(args, "chaos", "none"),
         check_invariants=getattr(args, "check_invariants", False),
         solver_cache=getattr(args, "solver_cache", "none"),
+        health=getattr(args, "health", False),
     ))
     report = platform.run()
     return platform, report
@@ -351,6 +383,7 @@ def _cmd_run(args) -> int:
 
 def _cmd_serve(args) -> int:
     from repro.obs import Tracer, reset, set_tracer
+    from repro.obs.health import parse_slo_overrides
     from repro.serve import Service, ServiceConfig
     reset()
     set_tracer(Tracer(enabled=bool(args.trace)))
@@ -366,6 +399,8 @@ def _cmd_serve(args) -> int:
         chaos_profile=args.chaos,
         solver_cache=args.solver_cache,
         enable_proofs=False,
+        health=args.health,
+        slo_overrides=parse_slo_overrides(args.slo),
     ))
     report = service.run()
     snapshot = service.snapshot()
@@ -375,9 +410,12 @@ def _cmd_serve(args) -> int:
             json.dump(snapshot, handle, sort_keys=True, indent=2)
             handle.write("\n")
     lag_ok = snapshot["ingest_lag"]["ok"]
+    health_block = snapshot["health"]
+    health_ok = health_block is None or health_block["ok"]
+    exit_code = 0 if (lag_ok and health_ok) else 1
     if args.json:
         print(json.dumps(snapshot, sort_keys=True, indent=2))
-        return 0 if lag_ok else 1
+        return exit_code
     pods = snapshot["autoscalers"]["pods"]
     ingest = snapshot["autoscalers"]["ingest_workers"]
     rows = [[event["tick"], event["pool"], event["direction"],
@@ -408,11 +446,20 @@ def _cmd_serve(args) -> int:
           f" ingested, {snapshot['pump']['frames_discarded']} frames"
           f" lost, {snapshot['pump']['wire_bytes']} wire bytes")
     print(f"fixes      : {report.fixes or 'none'}")
+    if health_block is not None:
+        fires = sum(slo["fires"] for slo in health_block["slos"])
+        incidents = health_block["incidents"]
+        still_open = sum(1 for incident in incidents
+                         if incident["open"])
+        print(f"health     : {'OK' if health_block['ok'] else 'DEGRADED'}"
+              f" ({len(health_block['slos'])} SLOs, {fires} alert"
+              f" fires, {len(incidents)} incidents,"
+              f" {still_open} open)")
     if args.trace:
         print(f"trace      : {spans} spans -> {args.trace}")
     if args.snapshot_out:
         print(f"snapshot   : -> {args.snapshot_out}")
-    return 0 if lag_ok else 1
+    return exit_code
 
 
 def _cmd_chaos(args) -> int:
@@ -643,6 +690,54 @@ def _cmd_show(args) -> int:
     return 0
 
 
+def _cmd_health(args) -> int:
+    """Render a snapshot's health block; exit code = the SLO gate."""
+    with open(args.snapshot, "r", encoding="utf-8") as handle:
+        doc = json.load(handle)
+    block = doc.get("health")
+    if block is None:
+        print("snapshot has no health block (health plane disabled;"
+              " rerun without --no-health / with --health)",
+              file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(block, sort_keys=True, indent=2))
+        return 0 if block["ok"] else 1
+    rows = []
+    for slo in block["slos"]:
+        worst = slo.get("worst")
+        rows.append([
+            slo["name"], slo["sli"],
+            f"{slo['objective']:g}", slo["direction"],
+            "OK" if slo["ok"] else "FIRING", slo["fires"],
+            (f"{worst['value']:.3g} @ {worst['tick']}"
+             if worst else "-")])
+    print(render_table(
+        ["slo", "sli", "objective", "dir", "state", "fires", "worst"],
+        rows,
+        title=f"Health: {'OK' if block['ok'] else 'DEGRADED'}"
+              f" (schema v{block['health_schema_version']},"
+              f" {block['ticks_observed']} ticks observed)"))
+    incidents = block["incidents"]
+    if incidents:
+        print()
+        rows = []
+        for incident in incidents:
+            evidence = incident.get("evidence", {})
+            rows.append([
+                incident["incident_id"], incident["slo"],
+                incident["severity"], incident["opened_tick"],
+                ("open" if incident["open"]
+                 else incident["closed_tick"]),
+                len(evidence.get("chaos", [])),
+                len(evidence.get("scaling", []))])
+        print(render_table(
+            ["incident", "slo", "sev", "opened", "closed",
+             "chaos ev", "scale ev"],
+            rows, title="Incident timeline"))
+    return 0 if block["ok"] else 1
+
+
 def _cmd_registry(args) -> int:
     from repro.exec.backends import resolve_backend_name
     from repro.metrics.scorecard import build_scorecard
@@ -727,6 +822,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "explore": _cmd_explore,
         "fleet": _cmd_fleet,
         "show": _cmd_show,
+        "health": _cmd_health,
         "registry": _cmd_registry,
     }
     return handlers[args.command](args)

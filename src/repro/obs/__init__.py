@@ -5,6 +5,17 @@ Counters, gauges, histograms, and timed spans behind a process-local
 snapshot export. See ``docs/API.md`` ("repro.obs — observability").
 """
 
+from repro.obs.health import (
+    HEALTH_SCHEMA_VERSION,
+    AlertRule,
+    HealthConfig,
+    HealthPlane,
+    Incident,
+    SloSpec,
+    TickEvidence,
+    burn_rate,
+    parse_slo_overrides,
+)
 from repro.obs.instrument import Instrumented
 from repro.obs.registry import (
     NULL_REGISTRY,
@@ -45,4 +56,7 @@ __all__ = [
     "Tracer", "TraceLog", "SpanRecord", "SpanContext", "SpanRecorder",
     "FlightRecorder", "FixedClock", "derive_trace_id",
     "get_tracer", "set_tracer", "enable_tracing", "disable_tracing",
+    "HealthPlane", "HealthConfig", "SloSpec", "AlertRule", "Incident",
+    "TickEvidence", "burn_rate", "parse_slo_overrides",
+    "HEALTH_SCHEMA_VERSION",
 ]

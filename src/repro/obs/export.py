@@ -14,7 +14,12 @@ Three output shapes, all deterministic for a deterministic input:
   canonical order; the grep-friendly shape.
 * :func:`prometheus_text` — the metrics registry in Prometheus text
   exposition format (metric names with dots mapped to underscores,
-  histogram percentiles as ``quantile`` labels).
+  histogram percentiles as ``quantile`` labels, ``# HELP`` / ``# TYPE``
+  per metric, label values escaped per the exposition spec). Pass a
+  :class:`~repro.obs.health.HealthPlane` to append its SLI series and
+  alert/incident states as labelled gauges.
+* :func:`health_jsonl` — the health plane's raw SLI points, alert
+  states, and incidents as grep-friendly JSON lines.
 """
 
 from __future__ import annotations
@@ -26,7 +31,7 @@ from repro.obs.trace import SpanRecord, TraceLog
 
 __all__ = [
     "TRACE_FORMATS", "canonical_spans", "chrome_trace", "spans_jsonl",
-    "prometheus_text", "export_trace",
+    "prometheus_text", "health_jsonl", "export_trace",
 ]
 
 TRACE_FORMATS = ("chrome", "jsonl", "prom")
@@ -141,10 +146,47 @@ def _prom_value(value: object) -> str:
     return repr(number)
 
 
-def prometheus_text(registry=None) -> str:
+def _prom_escape(value: object) -> str:
+    """Escape a label value per the exposition format: backslash,
+    double quote, and newline (in that order — backslash first, or the
+    other escapes would be double-escaped)."""
+    return (str(value).replace("\\", "\\\\")
+            .replace('"', '\\"').replace("\n", "\\n"))
+
+
+def _prom_labels(labels: Dict[str, object]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f'{key}="{_prom_escape(labels[key])}"'
+                     for key in labels)
+    return "{" + inner + "}"
+
+
+def _prom_help(metric: str, text: str) -> str:
+    # HELP text escapes backslash and newline only (no quote escape —
+    # the exposition format differs from label values here).
+    escaped = text.replace("\\", "\\\\").replace("\n", "\\n")
+    return f"# HELP {metric} {escaped}"
+
+
+def _emit(lines: List[str], metric: str, kind: str, help_text: str,
+          samples: Sequence) -> None:
+    """One metric family: HELP, TYPE, then its sample lines — every
+    metric kind gets all three (the exposition-format contract)."""
+    lines.append(_prom_help(metric, help_text))
+    lines.append(f"# TYPE {metric} {kind}")
+    for suffix, labels, value in samples:
+        lines.append(f"{metric}{suffix}{_prom_labels(labels)}"
+                     f" {_prom_value(value)}")
+
+
+def prometheus_text(registry=None, health=None) -> str:
     """Render the registry snapshot in Prometheus text exposition
-    format (``# TYPE`` comments, ``quantile`` labels for the windowed
-    percentiles)."""
+    format: ``# HELP`` and ``# TYPE`` for every metric family,
+    ``quantile`` labels for the windowed percentiles, label values
+    escaped per the spec. ``health`` (a
+    :class:`~repro.obs.health.HealthPlane`) appends SLI series
+    aggregates and alert/incident states as labelled gauges."""
     if registry is None:
         from repro.obs import get_registry
         registry = get_registry()
@@ -152,25 +194,82 @@ def prometheus_text(registry=None) -> str:
     lines: List[str] = []
 
     for name, value in snapshot.get("counters", {}).items():
-        metric = _prom_name(name, "_total")
-        lines.append(f"# TYPE {metric} counter")
-        lines.append(f"{metric} {_prom_value(value)}")
+        _emit(lines, _prom_name(name, "_total"), "counter",
+              f"repro counter {name}", [("", {}, value)])
     for name, value in snapshot.get("gauges", {}).items():
-        metric = _prom_name(name)
-        lines.append(f"# TYPE {metric} gauge")
-        lines.append(f"{metric} {_prom_value(value)}")
+        _emit(lines, _prom_name(name), "gauge",
+              f"repro gauge {name}", [("", {}, value)])
     for section in ("histograms", "timers"):
         for name, entry in snapshot.get(section, {}).items():
             metric = _prom_name(name)
-            lines.append(f"# TYPE {metric} summary")
+            samples = []
             for field, value in entry.items():
                 if field.startswith("p") and field[1:].replace(
                         ".", "", 1).isdigit():
                     quantile = float(field[1:]) / 100.0
-                    lines.append(f'{metric}{{quantile="{quantile:g}"}}'
-                                 f" {_prom_value(value)}")
-            lines.append(f"{metric}_sum {_prom_value(entry['sum'])}")
-            lines.append(f"{metric}_count {_prom_value(entry['count'])}")
+                    samples.append(
+                        ("", {"quantile": f"{quantile:g}"}, value))
+            samples.append(("_sum", {}, entry["sum"]))
+            samples.append(("_count", {}, entry["count"]))
+            _emit(lines, metric, "summary",
+                  f"repro {section[:-1]} {name}", samples)
+    if health is not None:
+        _append_health_prom(lines, health)
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _append_health_prom(lines: List[str], health) -> None:
+    """The health plane's exposition families (deterministic order)."""
+    _emit(lines, "repro_health_ok", "gauge",
+          "health plane SLO gate (1 = nothing firing, no open incident)",
+          [("", {}, 1.0 if health.ok else 0.0)])
+    sli_samples = []
+    for name in sorted(health.series):
+        summary = health.series[name].summary()
+        for stat in ("last", "mean", "min", "max"):
+            sli_samples.append(
+                ("", {"sli": name, "stat": stat}, summary[stat]))
+    if sli_samples:
+        _emit(lines, "repro_health_sli", "gauge",
+              "SLI series aggregates over retained points", sli_samples)
+    firing, fires, values = [], [], []
+    for state in health.states:
+        labels = {"slo": state.slo.name, "rule_id": state.rule_id,
+                  "severity": state.rule.severity}
+        firing.append(("", labels, 1.0 if state.state == "firing"
+                       else 0.0))
+        fires.append(("", labels, state.fires))
+        values.append(("", labels, state.last_value))
+    if firing:
+        _emit(lines, "repro_health_alert_firing", "gauge",
+              "alert rule state (1 = firing)", firing)
+        _emit(lines, "repro_health_alert_fires_total", "counter",
+              "ok->firing transitions of the rule", fires)
+        _emit(lines, "repro_health_alert_value", "gauge",
+              "last evaluated rule value (burn rate or windowed mean)",
+              values)
+    _emit(lines, "repro_health_incidents_open", "gauge",
+          "incidents currently open",
+          [("", {}, len(health.open_incidents()))])
+    _emit(lines, "repro_health_incidents_total", "counter",
+          "incidents ever opened", [("", {}, len(health.incidents))])
+
+
+def health_jsonl(health) -> str:
+    """The health plane as JSON lines: every retained SLI point, every
+    alert state, every incident — sorted, canonical, greppable."""
+    lines: List[str] = []
+    for name in sorted(health.series):
+        for x, y in health.series[name].points:
+            lines.append(json.dumps(
+                {"kind": "sli", "series": name, "x": x, "y": y},
+                sort_keys=True))
+    for state in health.states:
+        lines.append(json.dumps({"kind": "alert", **state.as_dict()},
+                                sort_keys=True))
+    for incident in health.incidents:
+        lines.append(json.dumps(
+            {"kind": "incident", **incident.as_dict()}, sort_keys=True))
     return "\n".join(lines) + ("\n" if lines else "")
 
 

@@ -246,6 +246,23 @@ class FlightRecorder:
         """The retained events, oldest first."""
         return self._ring[self._cursor:] + self._ring[:self._cursor]
 
+    def slice(self, ts_from: Optional[float] = None,
+              ts_to: Optional[float] = None,
+              limit: Optional[int] = None) -> List[Dict[str, object]]:
+        """Retained events inside ``[ts_from, ts_to]``, oldest first.
+
+        Either bound may be ``None`` (open end); ``limit`` keeps only
+        the **newest** ``limit`` matches — the shape incident evidence
+        wants (the last moments before an alert fired). Events are
+        copied, so mutating the slice never corrupts the ring.
+        """
+        matched = [dict(event) for event in self.events()
+                   if (ts_from is None or event.get("ts", 0.0) >= ts_from)
+                   and (ts_to is None or event.get("ts", 0.0) <= ts_to)]
+        if limit is not None and limit >= 0:
+            matched = matched[len(matched) - min(limit, len(matched)):]
+        return matched
+
     def dump(self, reason: str = "") -> Dict[str, object]:
         return {
             "reason": reason,

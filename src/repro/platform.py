@@ -66,6 +66,48 @@ __all__ = ["PlatformConfig", "RoundStats", "PlatformReport",
 SNAPSHOT_SCHEMA_VERSION = 3
 
 
+def _default_platform_slos():
+    """The round-aligned SLO set for batch runs (``health=True``).
+
+    Deliberately small: rounds are coarse (tens, not thousands), so
+    the catalogue watches the three things a regression always moves —
+    user-visible failure burn, invariant firings, and worst-family
+    detection (observational at objective 0; raise via
+    ``slo_overrides`` to gate on it).
+    """
+    from repro.obs.health import AlertRule, SloSpec
+    return [
+        SloSpec(
+            name="failure-burn",
+            sli="round_failure_ratio",
+            objective=0.70,
+            description="at most 30% of user-visible executions may"
+                        " fail; sustained 2x burn means fixing has"
+                        " stopped keeping up",
+            rules=(AlertRule(kind="burn_rate", window_ticks=6,
+                             short_window_ticks=2, threshold=2.0),),
+        ),
+        SloSpec(
+            name="invariants",
+            sli="invariant_violations",
+            objective=0.0,
+            direction="upper",
+            description="no invariant may fire (any violation in the"
+                        " window pages)",
+            rules=(AlertRule(kind="threshold", window_ticks=1),),
+        ),
+        SloSpec(
+            name="family-detection",
+            sli="family_detection_rate",
+            objective=0.0,
+            direction="lower",
+            description="worst-family bug detection rate; 0 = watch"
+                        " only, override to gate",
+            rules=(AlertRule(kind="threshold", window_ticks=6),),
+        ),
+    ]
+
+
 @dataclass
 class PlatformConfig(BaseConfig):
     """Knobs of one platform run (ablations flip these)."""
@@ -91,6 +133,11 @@ class PlatformConfig(BaseConfig):
     chaos_profile: object = "none"   # profile name or FaultProfile
     check_invariants: bool = False   # run the invariant catalogue/round
     solver_cache: str = "none"       # none | local | collective
+    #: The health plane (repro.obs.health) — default OFF for bare batch
+    #: runs (serve defaults on); enabling adds an additive ``health``
+    #: snapshot block, still schema v3.
+    health: bool = False
+    slo_overrides: Dict[str, float] = field(default_factory=dict)
 
     def validate(self) -> None:
         check_at_least_one(self.n_pods, "need at least one pod")
@@ -276,6 +323,24 @@ class SoftBorgPlatform(Instrumented):
         if self.chaos is not None or self.config.check_invariants:
             from repro.chaos import Invariants
             self.invariants = Invariants()
+        # The health plane: round-aligned SLOs over the same quantities
+        # the report tracks. None when off — one ``is None`` per round,
+        # zero obs-registry allocations (the E22 benchmark pins this).
+        self.health = None
+        if self.config.health:
+            from repro.obs.health import HealthConfig, HealthPlane
+            from repro.registry.model import family_of
+            self._bug_family = {bug.message: family_of(bug.kind)
+                                for bug in scenario.bugs}
+            self._family_bugs: Dict[str, int] = {}
+            for family in self._bug_family.values():
+                self._family_bugs[family] = \
+                    self._family_bugs.get(family, 0) + 1
+            self.health = HealthPlane(
+                _default_platform_slos(),
+                HealthConfig(
+                    slo_overrides=dict(self.config.slo_overrides)),
+                flight=self._tracer.flight)
 
     # -- main loop ------------------------------------------------------------
 
@@ -342,6 +407,10 @@ class SoftBorgPlatform(Instrumented):
         # ``repro registry score`` (docs/REGISTRY.md); this is the
         # platform-side summary in the same family vocabulary.
         doc["scorecard"] = self._scorecard_block()
+        # Additive block (still schema v3): present only when the
+        # health plane is on, so default snapshots are byte-unchanged.
+        if self.health is not None:
+            doc["health"] = self.health.report()
         if self.chaos is not None:
             doc["chaos"] = self.chaos.summary()
         if self.invariants is not None:
@@ -536,28 +605,78 @@ class SoftBorgPlatform(Instrumented):
         self.report.total_executions += config.executions_per_round
         self.report.total_failures += failures
 
+        invariant_result = None
+        chaos_verdict = None
         if self.invariants is not None:
-            result = self.invariants.check(self.hive, self.report)
-            if not result.ok:
-                self.invariant_violations.append((round_index, result))
+            invariant_result = self.invariants.check(self.hive,
+                                                     self.report)
+            if not invariant_result.ok:
+                self.invariant_violations.append(
+                    (round_index, invariant_result))
                 self._tracer.event(
                     "invariant.violation", round=round_index,
-                    invariants=[violation.name
-                                for violation in result.violations])
+                    invariants=[violation.name for violation
+                                in invariant_result.violations])
             if self.chaos is not None:
-                stats = self.chaos.finish_round(result.ok)
-                if stats.verdict == "failed":
+                chaos_stats = self.chaos.finish_round(invariant_result.ok)
+                chaos_verdict = chaos_stats.verdict
+                if chaos_verdict == "failed":
                     # Black box: a failed chaos round (an invariant
                     # fired under faults) dumps the flight recorder
                     # into the snapshot.
                     self._record_flight_dump(
                         f"chaos round {round_index} failed")
-                    return
-            if not result.ok:
+            if not invariant_result.ok and chaos_verdict != "failed":
                 self._record_flight_dump(
                     f"invariant violation at round {round_index}")
+        if self.health is not None:
+            self._observe_round_health(round_index, stats, failures,
+                                       guided, invariant_result,
+                                       chaos_verdict)
 
     # -- plumbing --------------------------------------------------------------
+
+    def _observe_round_health(self, round_index: int, stats,
+                              failures: int, guided: int,
+                              invariant_result, chaos_verdict) -> None:
+        """Feed one round's SLI samples and evidence (health on only)."""
+        from repro.obs.health import TickEvidence
+        user_executions = stats.executions - guided
+        sample = {
+            "round_failure_ratio": (failures / user_executions
+                                    if user_executions else 0.0),
+            "windowed_density": stats.windowed_density,
+            "invariant_violations": (
+                0.0 if invariant_result is None or invariant_result.ok
+                else float(len(invariant_result.violations))),
+        }
+        if self._family_bugs:
+            seen: Dict[str, int] = {}
+            for message in self.report.density.bugs_seen:
+                family = self._bug_family.get(message)
+                if family is not None:
+                    seen[family] = seen.get(family, 0) + 1
+            rates = {family: seen.get(family, 0) / count
+                     for family, count in self._family_bugs.items()}
+            sample["family_detection_rate"] = min(rates.values())
+            for family in sorted(rates):
+                sample[f"detect.{family}"] = rates[family]
+        else:
+            sample["family_detection_rate"] = 1.0
+        chaos_events: List[Dict[str, object]] = []
+        if chaos_verdict is not None:
+            chaos_events.append({
+                "kind": "chaos_round", "round": round_index,
+                "profile": self.config.resolved_chaos_profile().name,
+                "verdict": chaos_verdict})
+        invariant_events: List[Dict[str, object]] = []
+        if invariant_result is not None and not invariant_result.ok:
+            invariant_events = [
+                {"round": round_index, "name": violation.name}
+                for violation in invariant_result.violations]
+        self.health.observe(round_index, sample, TickEvidence(
+            tick=round_index, chaos=chaos_events,
+            invariants=invariant_events, stats=stats.as_dict()))
 
     def _attribute(self, record: RunRecord) -> Optional[str]:
         """Ground-truth attribution of a failing run (metrics only)."""

@@ -30,6 +30,7 @@ from repro.serve.pump import IngestPump
 from repro.serve.service import (
     SERVE_SCHEMA_VERSION, Service, ServiceConfig, ServiceReport, TickStats,
 )
+from repro.serve.slos import default_serve_slos
 
 __all__ = [
     "Autoscaler", "AutoscalerConfig", "ScaleDecision", "ScaleEvent",
@@ -38,5 +39,5 @@ __all__ = [
     "ControlPlane", "FleetEvent", "PodPhase", "PodRecord",
     "IngestPump",
     "Service", "ServiceConfig", "ServiceReport", "TickStats",
-    "SERVE_SCHEMA_VERSION",
+    "SERVE_SCHEMA_VERSION", "default_serve_slos",
 ]

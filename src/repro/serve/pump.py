@@ -55,6 +55,7 @@ class IngestPump(Instrumented):
         self.peak_depth_entries = 0
         self.entries_enqueued = 0
         self.entries_drained = 0
+        self.frames_enqueued = 0
         self.frames_rejected = 0
         self.frames_discarded = 0
         self.wire_bytes = 0
@@ -115,6 +116,7 @@ class IngestPump(Instrumented):
         count = len(frame.entries)
         self._queue.append((index, data, count))
         self._depth_entries += count
+        self.frames_enqueued += 1
         self.entries_enqueued += count
         self._obs_enqueued.inc(count)
         self.peak_depth_entries = max(self.peak_depth_entries,
@@ -176,6 +178,7 @@ class IngestPump(Instrumented):
             "peak_depth_entries": self.peak_depth_entries,
             "entries_enqueued": self.entries_enqueued,
             "entries_drained": self.entries_drained,
+            "frames_enqueued": self.frames_enqueued,
             "frames_rejected": self.frames_rejected,
             "frames_discarded": self.frames_discarded,
             "wire_bytes": self.wire_bytes,

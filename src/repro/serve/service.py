@@ -28,7 +28,12 @@ seed) on every backend:
    ``serve.scale_up`` / ``serve.scale_down`` spans;
 7. **fix** — every ``fix_interval_ticks`` the hive gets a repair
    window; a deployed fix rolls out to the whole fleet immediately and
-   in-flight stale frames are counted, not crashed on.
+   in-flight stale frames are counted, not crashed on;
+8. **health** — when the :mod:`~repro.obs.health` plane is on (the
+   serve default), the tick's SLI samples and correlation evidence
+   (chaos kills, scale events, fleet transitions, tick span) feed the
+   deterministic alert engine; incidents land in the snapshot's
+   ``health`` block and gate the exit code.
 
 Chaos profiles apply to the service loop: worker-death rates kill
 ready pods (back through warm-up), frame drop/corrupt rates fault the
@@ -53,6 +58,7 @@ from repro.exec.batch import BatchEntry
 from repro.exec.plan import PlannedRun, RoundPlan
 from repro.hive.hive import Hive
 from repro.obs import Instrumented
+from repro.obs.health import TickEvidence
 from repro.obs.trace import derive_trace_id, get_tracer
 from repro.pod.pod import Pod
 from repro.progmodel.interpreter import ExecutionLimits
@@ -67,7 +73,9 @@ __all__ = ["ServiceConfig", "TickStats", "ServiceReport", "Service",
            "SERVE_SCHEMA_VERSION"]
 
 #: Version of the ``repro serve --json`` snapshot payload.
-SERVE_SCHEMA_VERSION = 1
+#: v2: additive ``health`` block (the health plane), ``max_tick`` /
+#: ``max_tick_stats`` inside ``ingest_lag``, pump ``frames_enqueued``.
+SERVE_SCHEMA_VERSION = 2
 
 
 @dataclass
@@ -124,6 +132,13 @@ class ServiceConfig(BaseConfig):
     batch_max_traces: int = 0
     chaos_profile: object = "none"
     solver_cache: str = "none"
+
+    # -- health plane --------------------------------------------------------
+    #: Serve runs default to a live health plane (SLOs, alerts,
+    #: incidents); bare batch runs default off. Costs nothing when off.
+    health: bool = True
+    #: ``{slo_name: objective}`` from ``repro serve --slo NAME=TARGET``.
+    slo_overrides: Dict[str, float] = field(default_factory=dict)
 
     def validate(self) -> None:
         check_positive(self.ticks, "ticks")
@@ -214,6 +229,8 @@ class ServiceReport(BaseReport):
     backpressure_ticks: int = 0
     pod_kills: int = 0
     max_ingest_lag_ticks: float = 0.0
+    #: Tick index at which the maximum first occurred (-1 = no ticks).
+    max_ingest_lag_tick: int = -1
     max_backlog: int = 0
 
     def failure_rate(self) -> float:
@@ -233,6 +250,7 @@ class ServiceReport(BaseReport):
             "backpressure_ticks": self.backpressure_ticks,
             "pod_kills": self.pod_kills,
             "max_ingest_lag_ticks": self.max_ingest_lag_ticks,
+            "max_ingest_lag_tick": self.max_ingest_lag_tick,
             "max_backlog": self.max_backlog,
         }
 
@@ -340,6 +358,29 @@ class Service(Instrumented):
         self._global_index = 0
         self._ingested_entries = 0
 
+        # The health plane: None when disabled — every per-tick hook
+        # below is a single ``is None`` check, and no obs registry
+        # metric or series is ever allocated (BENCH_e22 pins this).
+        self.health = None
+        self._chaos_profile_name = profile.name
+        if config.health:
+            from repro.obs.health import HealthConfig, HealthPlane
+            from repro.registry.model import family_of
+            from repro.serve.slos import default_serve_slos
+            self._bug_family = {
+                bug.message: family_of(bug.kind)
+                for bug in scenario.bugs}
+            self._family_bugs: Dict[str, int] = {}
+            for family in self._bug_family.values():
+                self._family_bugs[family] = \
+                    self._family_bugs.get(family, 0) + 1
+            self._family_seen = {family: set()
+                                 for family in self._family_bugs}
+            self.health = HealthPlane(
+                default_serve_slos(config),
+                HealthConfig(slo_overrides=dict(config.slo_overrides)),
+                flight=self._tracer.flight)
+
     # -- properties ------------------------------------------------------------
 
     @property
@@ -356,12 +397,14 @@ class Service(Instrumented):
             for tick in range(self.config.ticks):
                 with self._obs_tick.time(), \
                         self._tracer.span("serve.tick", key=tick,
-                                          tick=tick):
-                    self._tick(tick)
+                                          tick=tick) as span:
+                    self._tick(tick,
+                               span.record.span_id if span.record else "")
         return self.report
 
-    def _tick(self, tick: int) -> None:
+    def _tick(self, tick: int, span_id: str = "") -> None:
         config = self.config
+        marks = self._health_marks() if self.health is not None else None
 
         # 1. Arrivals: the population emits this tick's executions.
         arrivals = config.arrivals_for(tick)
@@ -373,7 +416,8 @@ class Service(Instrumented):
 
         # 2. Reconcile the fleet, then let chaos kill into it.
         self.control.reconcile(tick)
-        kills = self._chaos_kills(tick)
+        killed = self._chaos_kills(tick)
+        kills = len(killed)
         ready = self.control.ready_indices()
 
         # 3. Admit + balance. Backpressure (a non-empty outbox) pauses
@@ -433,6 +477,8 @@ class Service(Instrumented):
             executed = len(records)
             for record in records:
                 failures += int(record.failed)
+                if self.health is not None and record.has_failure:
+                    self._note_detection(record)
             entries = sorted(
                 (entry for result in results
                  for batch in result.batches
@@ -479,11 +525,15 @@ class Service(Instrumented):
             self._maybe_fix(tick)
 
         lag = self.pump.lag_ticks(self._drain_budget())
-        self.report.max_ingest_lag_ticks = max(
-            self.report.max_ingest_lag_ticks, lag)
+        # Strict > keeps the FIRST tick that achieved the maximum, so
+        # incidents and the snapshot point at the offending tick stably.
+        if (self.report.max_ingest_lag_tick < 0
+                or lag > self.report.max_ingest_lag_ticks):
+            self.report.max_ingest_lag_ticks = lag
+            self.report.max_ingest_lag_tick = tick
         self.report.max_backlog = max(self.report.max_backlog,
                                       len(self._admission))
-        self.report.ticks.append(TickStats(
+        stats = TickStats(
             tick=tick,
             arrivals=arrivals,
             admitted=admitted,
@@ -497,30 +547,105 @@ class Service(Instrumented):
             ingest_lag_ticks=lag,
             backpressure=backpressure,
             pod_kills=kills,
-        ))
+        )
+        self.report.ticks.append(stats)
+        if self.health is not None:
+            self._observe_health(tick, stats, span_id, marks, killed)
 
     # -- helpers ---------------------------------------------------------------
 
-    def _chaos_kills(self, tick: int) -> int:
+    def _chaos_kills(self, tick: int) -> List[int]:
         """Worker-death chaos, mapped onto backend-invariant virtual
-        shards exactly like the round platform's chaos layer."""
+        shards exactly like the round platform's chaos layer. Returns
+        the killed pod indices (health evidence wants names, not counts)."""
         if self.fault_plan is None:
-            return 0
+            return []
         dead = set(self.fault_plan.dead_virtual_shards(tick))
         if not dead:
-            return 0
-        kills = 0
+            return []
+        killed: List[int] = []
         virtual = self.fault_plan.profile.virtual_workers
         for pod_index in self.control.ready_indices():
             if pod_index % virtual in dead:
                 self.control.kill(pod_index, tick)
                 self._tracer.event("chaos.pod_kill", tick=tick,
                                    pod=pod_index)
-                kills += 1
-        if kills:
-            self._obs_kills.inc(kills)
-            self.report.pod_kills += kills
-        return kills
+                killed.append(pod_index)
+        if killed:
+            self._obs_kills.inc(len(killed))
+            self.report.pod_kills += len(killed)
+        return killed
+
+    # -- health plane ----------------------------------------------------------
+
+    def _health_marks(self) -> tuple:
+        """Counter positions at tick start, so evidence and drop ratios
+        cover exactly this tick's events (cheap: five attribute reads)."""
+        return (len(self.control.events),
+                len(self.pod_scaler.events),
+                len(self.ingest_scaler.events),
+                self.pump.frames_discarded,
+                self.pump.frames_enqueued)
+
+    def _note_detection(self, record) -> None:
+        """Ground-truth detection attribution (mirrors the round
+        platform's ``_attribute``): the first seeded bug matching this
+        failing record counts as seen for its family."""
+        for bug in self.scenario.bugs:
+            if bug.matches_result(record.outcome, record.failure_message,
+                                  record.failure_block):
+                self._family_seen[self._bug_family[bug.message]].add(
+                    bug.message)
+                return
+
+    def _observe_health(self, tick: int, stats: TickStats, span_id: str,
+                        marks: tuple, killed: List[int]) -> None:
+        """Feed the tick's SLI samples and correlation evidence."""
+        (fleet_mark, pod_scale_mark, ingest_scale_mark,
+         lost_mark, offered_mark) = marks
+        frames_lost = self.pump.frames_discarded - lost_mark
+        frames_offered = frames_lost + (
+            self.pump.frames_enqueued - offered_mark)
+        demand = stats.backlog + stats.admitted
+        sample = {
+            "ingest_lag_ticks": stats.ingest_lag_ticks,
+            "admission_reject_ratio": (stats.backlog / demand
+                                       if demand else 0.0),
+            "pump_backpressure": 1.0 if stats.backpressure else 0.0,
+            "pump_drop_ratio": (frames_lost / frames_offered
+                                if frames_offered else 0.0),
+            "pod_ready_ratio": (stats.ready_pods
+                                / max(1, stats.desired_pods)),
+        }
+        if self._family_bugs:
+            rates = {family: len(self._family_seen[family]) / count
+                     for family, count in self._family_bugs.items()}
+            sample["family_detection_rate"] = min(rates.values())
+            for family in sorted(rates):
+                sample[f"detect.{family}"] = rates[family]
+        else:
+            sample["family_detection_rate"] = 1.0
+        if self.solver_cache is not None:
+            sample["solver_hit_rate"] = self.solver_cache.stats.hit_rate()
+
+        chaos = [{"kind": "pod_kill", "fault": "worker-death",
+                  "profile": self._chaos_profile_name,
+                  "tick": tick, "pod": pod_index}
+                 for pod_index in killed]
+        if frames_lost:
+            chaos.append({"kind": "frames_lost",
+                          "fault": "frame-drop/corrupt",
+                          "profile": self._chaos_profile_name,
+                          "tick": tick, "frames": frames_lost})
+        scaling = [event.as_dict()
+                   for event in self.pod_scaler.events[pod_scale_mark:]]
+        scaling += [event.as_dict() for event in
+                    self.ingest_scaler.events[ingest_scale_mark:]]
+        fleet = [event.as_dict()
+                 for event in self.control.events[fleet_mark:]]
+        self.health.observe(tick, sample, TickEvidence(
+            tick=tick, chaos=chaos, scaling=scaling, fleet=fleet,
+            span_id=span_id, stats=stats.as_dict()))
 
     def _record_scale(self, decision, pool: str, load: int) -> None:
         name = ("serve.scale_up" if decision.direction == "up"
@@ -560,6 +685,10 @@ class Service(Instrumented):
         same seed produce byte-identical JSON on every backend.
         """
         lag_bound = self.config.max_ingest_lag_ticks
+        max_lag_tick = self.report.max_ingest_lag_tick
+        max_lag_stats = next(
+            (stats.as_dict() for stats in self.report.ticks
+             if stats.tick == max_lag_tick), None)
         return {
             "serve_schema_version": SERVE_SCHEMA_VERSION,
             "config": self.config.as_dict(),
@@ -579,7 +708,11 @@ class Service(Instrumented):
             "hive": self.hive.stats.as_dict(),
             "ingest_lag": {
                 "max_ticks": self.report.max_ingest_lag_ticks,
+                "max_tick": max_lag_tick,
+                "max_tick_stats": max_lag_stats,
                 "bound_ticks": lag_bound,
                 "ok": self.report.max_ingest_lag_ticks <= lag_bound,
             },
+            "health": (self.health.report()
+                       if self.health is not None else None),
         }

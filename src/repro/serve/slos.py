@@ -1,0 +1,119 @@
+"""The serving hive's default SLO catalogue.
+
+One place defines what "healthy" means for ``repro serve``: which SLI
+each objective watches, which direction is good, and how its alert
+rules are windowed. The :class:`~repro.obs.health.HealthPlane` applies
+``--slo NAME=TARGET`` overrides on top, so operators retarget an
+objective without redeclaring its rules.
+
+The SLIs themselves are emitted by :meth:`Service._health_sample`,
+one sample per virtual-clock tick:
+
+========================  ====================================================
+SLI series                meaning (per tick)
+========================  ====================================================
+``ingest_lag_ticks``      pump backlog in ticks of drain capacity
+``admission_reject_ratio``  queued-but-unserved share of admission demand
+``pump_backpressure``     1.0 when the outbox stalled admission, else 0.0
+``pump_drop_ratio``       wire frames lost / frames offered (chaos)
+``pod_ready_ratio``       ready replicas / desired replicas
+``solver_hit_rate``       constraint-cache hit share this tick (cache on)
+``family_detection_rate``  min over bug families of (seen / seeded)
+``detect.<family>``       per-family detection rate (series only, no SLO)
+========================  ====================================================
+
+Burn-rate SLOs treat their SLI as a bad-event ratio and their
+objective as the good fraction; threshold SLOs compare the windowed
+mean against the objective directly (see docs/OBSERVABILITY.md).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.obs.health import AlertRule, SloSpec
+
+__all__ = ["default_serve_slos"]
+
+
+def default_serve_slos(config) -> List[SloSpec]:
+    """The SLO set a :class:`~repro.serve.service.Service` enforces.
+
+    ``config`` is the run's ``ServiceConfig``: the ingest-lag
+    objective reuses ``max_ingest_lag_ticks`` (the bound CI already
+    gates on), and the solver SLO only exists when a constraint cache
+    is configured at all.
+    """
+    slos = [
+        SloSpec(
+            name="ingest-lag",
+            sli="ingest_lag_ticks",
+            objective=float(config.max_ingest_lag_ticks),
+            direction="upper",
+            description="hive ingest backlog must stay within the"
+                        " configured drain-capacity bound",
+            rules=(AlertRule(kind="threshold", window_ticks=4),),
+        ),
+        SloSpec(
+            name="admission-rejects",
+            sli="admission_reject_ratio",
+            objective=0.70,
+            description="70% of admission demand is served the tick it"
+                        " queues; sustained near-total starvation"
+                        " (backpressure, a dead fleet) burns the rest",
+            rules=(AlertRule(kind="burn_rate", window_ticks=12,
+                             short_window_ticks=3, threshold=3.0,
+                             min_samples=4),),
+        ),
+        SloSpec(
+            name="pump-backpressure",
+            sli="pump_backpressure",
+            objective=0.80,
+            description="at most 20% of ticks may stall admission on"
+                        " a full ingest pump",
+            rules=(AlertRule(kind="burn_rate", window_ticks=12,
+                             short_window_ticks=3, threshold=3.0),),
+        ),
+        SloSpec(
+            name="pump-drops",
+            sli="pump_drop_ratio",
+            objective=0.99,
+            description="at most 1% of offered wire frames may be"
+                        " lost or die at decode",
+            rules=(AlertRule(kind="burn_rate", window_ticks=12,
+                             short_window_ticks=3, threshold=2.0),),
+        ),
+        SloSpec(
+            name="pod-ready",
+            sli="pod_ready_ratio",
+            objective=0.45,
+            direction="lower",
+            description="the ready fleet keeps pace with the desired"
+                        " replica count (warm-ups and chaos kills eat"
+                        " the slack)",
+            rules=(AlertRule(kind="threshold", window_ticks=4,
+                             min_samples=4),),
+        ),
+        SloSpec(
+            name="family-detection",
+            sli="family_detection_rate",
+            objective=0.0,
+            direction="lower",
+            description="worst-family bug detection rate; target 0 by"
+                        " default (observability), raise via --slo"
+                        " family-detection=0.5 to gate on it",
+            rules=(AlertRule(kind="threshold", window_ticks=8),),
+        ),
+    ]
+    if config.solver_cache != "none":
+        slos.append(SloSpec(
+            name="solver-hits",
+            sli="solver_hit_rate",
+            objective=0.01,
+            direction="lower",
+            description="the constraint cache keeps earning its keep"
+                        " once warmed up",
+            rules=(AlertRule(kind="threshold", window_ticks=16,
+                             min_samples=16),),
+        ))
+    return slos

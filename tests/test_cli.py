@@ -294,8 +294,9 @@ class TestCommands:
                      "--snapshot-out", str(snap_path)])
         assert code == 0
         doc = json.loads(capsys.readouterr().out)
-        assert doc["serve_schema_version"] == 1
+        assert doc["serve_schema_version"] == 2
         assert doc["ingest_lag"]["ok"] is True
+        assert doc["health"]["ok"] is True
         assert doc["execution"]["population_users"] == 5000
         assert doc["report"]["total_executions"] > 0
         assert len(doc["report"]["ticks"]) == 30
@@ -314,3 +315,41 @@ class TestCommands:
         assert "serve.scale_up" in names
         assert "serve.scale_down" in names
         assert {"serve.tick", "serve.execute", "serve.drain"} <= names
+
+    def test_serve_slo_override_gates_exit_code(self, capsys):
+        # An unreachable detection objective must fail the SLO gate.
+        code = main(["serve", "--ticks", "30", "--seed", "4",
+                     "--slo", "family-detection=1.5"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "DEGRADED" in out
+
+    def test_health_command_renders_snapshot(self, capsys, tmp_path):
+        snap_path = tmp_path / "serve.json"
+        assert main(["serve", "--ticks", "30", "--seed", "4", "--json",
+                     "--snapshot-out", str(snap_path)]) == 0
+        capsys.readouterr()
+        code = main(["health", str(snap_path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Health: OK" in out
+        assert "ingest-lag" in out
+
+    def test_health_command_json_block(self, capsys, tmp_path):
+        import json
+        snap_path = tmp_path / "serve.json"
+        assert main(["serve", "--ticks", "30", "--seed", "4", "--json",
+                     "--snapshot-out", str(snap_path)]) == 0
+        capsys.readouterr()
+        assert main(["health", str(snap_path), "--json"]) == 0
+        block = json.loads(capsys.readouterr().out)
+        assert block["health_schema_version"] == 1
+        assert block["ok"] is True
+
+    def test_health_command_without_block_exits_2(self, capsys,
+                                                  tmp_path):
+        import json
+        snap_path = tmp_path / "bare.json"
+        snap_path.write_text(json.dumps({"serve_schema_version": 2,
+                                         "health": None}))
+        assert main(["health", str(snap_path)]) == 2

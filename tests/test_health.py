@@ -1,0 +1,530 @@
+"""The health plane: SLI series, alert rules, incidents, exporters.
+
+Unit coverage for ``repro.obs.health`` plus the satellite pieces that
+feed it: the bounded :class:`~repro.metrics.series.Series`, the
+Prometheus exposition fixes in ``repro.obs.export``, and the serve /
+platform wiring. Cross-backend byte-identity lives in
+``tests/test_health_determinism.py``; algebraic invariants in
+``tests/test_health_properties.py``.
+"""
+
+import json
+import math
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.metrics.series import Series
+from repro.obs.export import health_jsonl, prometheus_text
+from repro.obs.health import (
+    ALERT_FIRING, ALERT_OK, HEALTH_SCHEMA_VERSION, AlertRule,
+    HealthConfig, HealthPlane, SloSpec, TickEvidence, burn_rate,
+    parse_slo_overrides,
+)
+from repro.obs.registry import Registry
+from repro.obs.trace import FlightRecorder
+
+
+# -- Series: bounded retention, windows, rollups ------------------------------
+
+class TestBoundedSeries:
+    def test_unbounded_by_default(self):
+        series = Series("s")
+        for tick in range(1000):
+            series.record(tick, tick)
+        assert len(series) == 1000
+        assert series.evicted == 0
+
+    def test_cap_evicts_oldest_fifo(self):
+        series = Series("s", max_points=3)
+        for tick in range(5):
+            series.record(tick, tick * 10.0)
+        assert series.points == [(2.0, 20.0), (3.0, 30.0), (4.0, 40.0)]
+        assert series.evicted == 2
+        assert len(series) == 3
+
+    def test_window_shorter_than_series(self):
+        series = Series("s")
+        for tick in range(6):
+            series.record(tick, float(tick))
+        assert series.window(3) == [3.0, 4.0, 5.0]
+        assert series.window_mean(3) == pytest.approx(4.0)
+        assert series.window_max(3) == 5.0
+        assert series.window_min(3) == 3.0
+        assert series.window_sum(3) == 12.0
+
+    def test_window_wider_than_series_uses_what_exists(self):
+        series = Series("s")
+        series.record(0, 2.0)
+        assert series.window(10) == [2.0]
+        assert series.window_mean(10) == 2.0
+
+    def test_window_nonpositive_is_empty(self):
+        series = Series("s")
+        series.record(0, 1.0)
+        assert series.window(0) == []
+        assert series.window(-1) == []
+        assert series.window_mean(0) == 0.0
+
+    def test_window_points_keeps_x(self):
+        series = Series("s")
+        for tick in range(4):
+            series.record(tick, tick + 0.5)
+        assert series.window_points(2) == [(2.0, 2.5), (3.0, 3.5)]
+
+    def test_rollup_partitions_each_point_once(self):
+        series = Series("s")
+        for tick in range(10):
+            series.record(tick, 1.0)
+        rows = series.rollup(4)
+        assert sum(int(row["count"]) for row in rows) == 10
+        assert [row["start"] for row in rows] == [0.0, 4.0, 8.0]
+        assert rows[0]["end"] == 4.0
+
+    def test_rollup_omits_empty_buckets(self):
+        series = Series("s")
+        series.record(0, 1.0)
+        series.record(9, 3.0)
+        rows = series.rollup(2)
+        assert [row["start"] for row in rows] == [0.0, 8.0]
+        assert rows[1]["mean"] == 3.0
+
+    def test_rollup_rejects_nonpositive_width(self):
+        with pytest.raises(ValueError):
+            Series("s").rollup(0)
+
+    def test_summary_reports_eviction(self):
+        series = Series("s", max_points=2)
+        for tick in range(4):
+            series.record(tick, float(tick))
+        summary = series.summary()
+        assert summary == {"count": 2.0, "evicted": 2.0, "last": 3.0,
+                           "mean": 2.5, "min": 2.0, "max": 3.0}
+        json.dumps(summary)
+
+
+# -- burn-rate math -----------------------------------------------------------
+
+class TestBurnRate:
+    def test_exact_budget_burn_is_one(self):
+        # objective 0.99 -> budget 0.01; 1% bad burns at exactly 1x.
+        assert burn_rate([0.01, 0.01], 0.01) == pytest.approx(1.0)
+
+    def test_multiplier(self):
+        assert burn_rate([0.05], 0.01) == pytest.approx(5.0)
+
+    def test_empty_window_burns_nothing(self):
+        assert burn_rate([], 0.01) == 0.0
+
+    def test_zero_budget_infinite_when_bad(self):
+        assert burn_rate([0.5], 0.0) == math.inf
+        assert burn_rate([0.0], 0.0) == 0.0
+
+
+# -- rule and SLO validation --------------------------------------------------
+
+class TestSpecValidation:
+    def test_defaults_validate(self):
+        AlertRule().validate()
+        SloSpec(name="lag", sli="lag", objective=3.0).validate()
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(kind="bogus"),
+        dict(window_ticks=0),
+        dict(short_window_ticks=-1),
+        dict(window_ticks=4, short_window_ticks=5),
+        dict(threshold=0.0),
+        dict(min_samples=0),
+    ])
+    def test_bad_rules_rejected(self, kwargs):
+        with pytest.raises(ConfigError):
+            AlertRule(**kwargs).validate()
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(name="", sli="x", objective=1.0),
+        dict(name="a", sli="", objective=1.0),
+        dict(name="a", sli="x", objective=1.0, direction="sideways"),
+        dict(name="a", sli="x", objective=1.0, rules=()),
+    ])
+    def test_bad_slos_rejected(self, kwargs):
+        with pytest.raises(ConfigError):
+            SloSpec(**kwargs).validate()
+
+    def test_burn_rule_needs_fractional_objective(self):
+        slo = SloSpec(name="a", sli="x", objective=3.0,
+                      rules=(AlertRule(kind="burn_rate"),))
+        with pytest.raises(ConfigError):
+            slo.validate()
+        slo.with_objective(0.99).validate()
+
+    def test_rule_id_is_content_derived(self):
+        rule = AlertRule(window_ticks=5)
+        assert rule.rule_id("a") == AlertRule(window_ticks=5).rule_id("a")
+        assert rule.rule_id("a") != rule.rule_id("b")
+        assert rule.rule_id("a") != AlertRule(window_ticks=6).rule_id("a")
+
+    def test_budget_is_one_minus_objective(self):
+        assert SloSpec(name="a", sli="x",
+                       objective=0.95).budget == pytest.approx(0.05)
+
+
+class TestSloOverrides:
+    def test_parse_pairs(self):
+        assert parse_slo_overrides(["lag=4", "ready=0.5"]) == {
+            "lag": 4.0, "ready": 0.5}
+
+    @pytest.mark.parametrize("pair", ["lag", "=4", "lag=abc"])
+    def test_parse_rejects_malformed(self, pair):
+        with pytest.raises(ConfigError):
+            parse_slo_overrides([pair])
+
+    def test_plane_applies_override(self):
+        slo = SloSpec(name="lag", sli="lag", objective=3.0)
+        plane = HealthPlane(
+            [slo], HealthConfig(slo_overrides={"lag": 9.0}))
+        assert plane.slos[0].objective == 9.0
+
+    def test_plane_rejects_unknown_override(self):
+        slo = SloSpec(name="lag", sli="lag", objective=3.0)
+        with pytest.raises(ConfigError, match="names no known SLO"):
+            HealthPlane([slo],
+                        HealthConfig(slo_overrides={"latency": 1.0}))
+
+    def test_plane_rejects_duplicate_slo_names(self):
+        slo = SloSpec(name="lag", sli="lag", objective=3.0)
+        with pytest.raises(ConfigError, match="duplicate"):
+            HealthPlane([slo, slo])
+
+
+# -- the alert engine ---------------------------------------------------------
+
+def threshold_plane(objective=3.0, direction="upper", window=2,
+                    **config_kwargs):
+    slo = SloSpec(name="lag", sli="lag", objective=objective,
+                  direction=direction,
+                  rules=(AlertRule(window_ticks=window),))
+    return HealthPlane([slo], HealthConfig(**config_kwargs))
+
+
+class TestAlertEngine:
+    def test_upper_threshold_fires_and_resolves(self):
+        plane = threshold_plane()
+        plane.observe(0, {"lag": 1.0})
+        assert plane.states[0].state == ALERT_OK
+        plane.observe(1, {"lag": 9.0})
+        plane.observe(2, {"lag": 9.0})                # window mean 9 > 3
+        state = plane.states[0]
+        assert state.state == ALERT_FIRING
+        assert state.fires == 1
+        assert state.alert_id
+        plane.observe(3, {"lag": 0.0})
+        plane.observe(4, {"lag": 0.0})                # window mean 0
+        assert state.state == ALERT_OK
+        assert state.alert_id == ""
+        assert [t["to"] for t in state.transitions] == [
+            ALERT_FIRING, ALERT_OK]
+
+    def test_constant_at_bound_never_fires(self):
+        # Strict comparison: a series pinned at the objective is healthy.
+        plane = threshold_plane(objective=3.0)
+        for tick in range(10):
+            plane.observe(tick, {"lag": 3.0})
+        assert plane.states[0].fires == 0
+        assert plane.ok
+
+    def test_lower_direction_fires_below(self):
+        plane = threshold_plane(objective=0.5, direction="lower")
+        plane.observe(0, {"lag": 0.1})
+        plane.observe(1, {"lag": 0.1})
+        assert plane.states[0].state == ALERT_FIRING
+
+    def test_min_samples_gates_evaluation(self):
+        slo = SloSpec(name="lag", sli="lag", objective=1.0,
+                      rules=(AlertRule(window_ticks=2, min_samples=3),))
+        plane = HealthPlane([slo])
+        plane.observe(0, {"lag": 99.0})
+        plane.observe(1, {"lag": 99.0})
+        assert plane.states[0].state == ALERT_OK   # only 2 samples
+        plane.observe(2, {"lag": 99.0})
+        assert plane.states[0].state == ALERT_FIRING
+
+    def test_missing_sli_is_ignored(self):
+        plane = threshold_plane()
+        plane.observe(0, {"other": 1.0})
+        assert plane.states[0].state == ALERT_OK
+        assert plane.ticks_observed == 1
+
+    def test_burn_rule_needs_both_windows(self):
+        slo = SloSpec(
+            name="errs", sli="bad_ratio", objective=0.9,
+            rules=(AlertRule(kind="burn_rate", window_ticks=4,
+                             short_window_ticks=2, threshold=2.0),))
+        plane = HealthPlane([slo])
+        # Budget 0.1; bad ratio 0.5 burns at 5x: long window catches up
+        # slowly, short window immediately.
+        for tick in range(4):
+            plane.observe(tick, {"bad_ratio": 0.5})
+        assert plane.states[0].state == ALERT_FIRING
+        # Recovery: short window goes clean first, long still dirty —
+        # the multi-window guard resolves on the short window.
+        plane.observe(4, {"bad_ratio": 0.0})
+        plane.observe(5, {"bad_ratio": 0.0})
+        assert plane.states[0].state == ALERT_OK
+
+    def test_states_ordered_by_slo_then_rule_id(self):
+        slos = [
+            SloSpec(name="zeta", sli="z", objective=1.0),
+            SloSpec(name="alpha", sli="a", objective=1.0,
+                    rules=(AlertRule(window_ticks=2),
+                           AlertRule(window_ticks=4))),
+        ]
+        plane = HealthPlane(slos)
+        names = [state.slo.name for state in plane.states]
+        assert names == ["alpha", "alpha", "zeta"]
+        alpha_ids = [state.rule_id for state in plane.states[:2]]
+        assert alpha_ids == sorted(alpha_ids)
+
+
+class TestIncidents:
+    def make_firing_plane(self, flight=None, **config_kwargs):
+        plane = threshold_plane(**config_kwargs)
+        plane.flight = flight
+        evidence = TickEvidence(
+            tick=1,
+            chaos=[{"kind": "pod_kill", "fault": "worker-death",
+                    "pod": 3}],
+            scaling=[{"action": "up", "delta": 2}],
+            span_id="deadbeef00000000",
+            stats={"lag": 9.0},
+        )
+        plane.observe(0, {"lag": 1.0})
+        plane.observe(1, {"lag": 9.0}, evidence)
+        plane.observe(2, {"lag": 9.0})
+        return plane
+
+    def test_firing_opens_incident_with_evidence(self):
+        plane = self.make_firing_plane()
+        assert len(plane.incidents) == 1
+        incident = plane.incidents[0]
+        assert incident.open
+        assert incident.slo == "lag"
+        assert incident.severity == "page"
+        assert incident.opened_tick == 1     # mean(1, 9) = 5 > 3
+        evidence = incident.evidence
+        assert evidence["chaos"][0]["fault"] == "worker-death"
+        assert evidence["scaling"][0]["action"] == "up"
+        worst = evidence["worst_tick"]
+        assert worst["tick"] == 1
+        assert worst["value"] == 9.0
+        assert worst["span_id"] == "deadbeef00000000"
+        assert worst["stats"] == {"lag": 9.0}
+        assert not plane.ok
+
+    def test_recovery_closes_incident_with_resolution(self):
+        plane = self.make_firing_plane()
+        plane.observe(3, {"lag": 0.0})
+        plane.observe(4, {"lag": 0.5})
+        incident = plane.incidents[0]
+        assert not incident.open
+        assert incident.closed_tick == 4
+        assert incident.resolution == {
+            "closed_tick": 4, "duration_ticks": 3,
+            "recovered_value": 0.5}
+        assert plane.ok
+        assert plane.open_incidents() == []
+
+    def test_one_open_incident_per_slo(self):
+        slo = SloSpec(name="lag", sli="lag", objective=3.0,
+                      rules=(AlertRule(window_ticks=1),
+                             AlertRule(window_ticks=2)))
+        plane = HealthPlane([slo])
+        plane.observe(0, {"lag": 9.0})
+        plane.observe(1, {"lag": 9.0})
+        assert sum(s.state == ALERT_FIRING for s in plane.states) == 2
+        assert len(plane.incidents) == 1
+
+    def test_reopened_incident_gets_new_id(self):
+        plane = self.make_firing_plane()
+        plane.observe(3, {"lag": 0.0})
+        plane.observe(4, {"lag": 0.0})
+        plane.observe(5, {"lag": 9.0})
+        plane.observe(6, {"lag": 9.0})
+        assert len(plane.incidents) == 2
+        assert (plane.incidents[0].incident_id
+                != plane.incidents[1].incident_id)
+
+    def test_identical_runs_identical_ids(self):
+        first = self.make_firing_plane()
+        second = self.make_firing_plane()
+        assert (first.incidents[0].incident_id
+                == second.incidents[0].incident_id)
+        assert (first.states[0].alert_id == second.states[0].alert_id)
+
+    def test_flight_slice_lands_in_evidence(self):
+        flight = FlightRecorder(capacity=8)
+        for seq in range(5):
+            flight.record({"seq": seq, "ts": float(seq)})
+        plane = self.make_firing_plane(flight=flight,
+                                       flight_slice_limit=2)
+        slice_ = plane.incidents[0].evidence["flight_recorder"]
+        assert [e["seq"] for e in slice_] == [3, 4]   # newest two
+
+    def test_evidence_window_bounds_retention(self):
+        plane = threshold_plane(objective=100.0, evidence_window_ticks=2)
+        for tick in range(5):
+            plane.observe(tick, {"lag": 0.0},
+                          TickEvidence(tick=tick,
+                                       chaos=[{"tick": tick}]))
+        assert [e.tick for e in plane._evidence] == [3, 4]
+
+    def test_report_is_json_ready_and_versioned(self):
+        plane = self.make_firing_plane()
+        report = plane.report()
+        assert report["health_schema_version"] == HEALTH_SCHEMA_VERSION
+        assert report["ok"] is False
+        assert report["ticks_observed"] == 3
+        assert report["slos"][0]["name"] == "lag"
+        assert report["slos"][0]["worst"] == {"value": 9.0, "tick": 1}
+        assert report["incidents"][0]["open"] is True
+        assert "lag" in report["series"]
+        json.dumps(report, sort_keys=True)
+
+
+# -- Prometheus exposition (satellite: HELP/TYPE + escaping) ------------------
+
+def parse_exposition(text):
+    """Parse exposition text into {metric: (type, help, [sample lines])}."""
+    families = {}
+    current = None
+    for line in text.splitlines():
+        if line.startswith("# HELP "):
+            _, _, rest = line.partition("# HELP ")
+            metric, _, help_text = rest.partition(" ")
+            families[metric] = {"help": help_text, "type": None,
+                                "samples": []}
+            current = metric
+        elif line.startswith("# TYPE "):
+            _, _, rest = line.partition("# TYPE ")
+            metric, _, kind = rest.partition(" ")
+            assert metric == current, "TYPE must follow its HELP"
+            families[metric]["type"] = kind
+        elif line:
+            assert current is not None, f"sample before HELP: {line!r}"
+            families[current]["samples"].append(line)
+    return families
+
+
+class TestPrometheusText:
+    def test_every_family_has_help_and_type(self):
+        registry = Registry()
+        registry.counter("hive.ingests").inc(7)
+        registry.gauge("pods.ready").set(4)
+        registry.histogram("tick.lag").observe(2.0)
+        with registry.timer("round.time").time():
+            pass
+        families = parse_exposition(prometheus_text(registry))
+        assert families["repro_hive_ingests_total"]["type"] == "counter"
+        assert families["repro_pods_ready"]["type"] == "gauge"
+        assert families["repro_tick_lag"]["type"] == "summary"
+        assert families["repro_round_time"]["type"] == "summary"
+        for metric, family in families.items():
+            assert family["type"] is not None, metric
+            assert family["help"], metric
+            assert family["samples"], metric
+
+    def test_summary_keeps_quantiles_sum_count(self):
+        registry = Registry()
+        hist = registry.histogram("h")
+        for value in (1.0, 2.0, 3.0):
+            hist.observe(value)
+        families = parse_exposition(prometheus_text(registry))
+        samples = families["repro_h"]["samples"]
+        assert any('quantile="0.5"' in line for line in samples)
+        assert any(line.startswith("repro_h_sum") for line in samples)
+        assert "repro_h_count 3" in samples
+
+    def test_label_escaping_round_trips(self):
+        from repro.obs.export import _prom_escape
+        assert _prom_escape('a"b') == 'a\\"b'
+        assert _prom_escape("a\\b") == "a\\\\b"
+        assert _prom_escape("a\nb") == "a\\nb"
+        # Backslash first: a literal backslash-n stays distinguishable
+        # from a newline after escaping.
+        assert _prom_escape("a\\nb") == "a\\\\nb"
+        assert _prom_escape("a\nb") != _prom_escape("a\\nb")
+
+    def test_health_families_present(self):
+        registry = Registry()
+        plane = threshold_plane()
+        plane.observe(0, {"lag": 9.0})
+        plane.observe(1, {"lag": 9.0})
+        families = parse_exposition(prometheus_text(registry, plane))
+        assert families["repro_health_ok"]["samples"] == [
+            "repro_health_ok 0"]
+        sli = families["repro_health_sli"]["samples"]
+        assert any('sli="lag"' in line and 'stat="mean"' in line
+                   for line in sli)
+        firing = families["repro_health_alert_firing"]["samples"]
+        assert len(firing) == 1 and firing[0].endswith(" 1")
+        assert 'slo="lag"' in firing[0]
+        assert families["repro_health_incidents_total"]["samples"] == [
+            "repro_health_incidents_total 1"]
+
+    def test_empty_registry_renders_empty(self):
+        assert prometheus_text(Registry()) == ""
+
+
+class TestHealthJsonl:
+    def test_lines_cover_points_alerts_incidents(self):
+        plane = threshold_plane()
+        plane.observe(0, {"lag": 9.0})
+        plane.observe(1, {"lag": 9.0})
+        lines = [json.loads(line)
+                 for line in health_jsonl(plane).splitlines()]
+        kinds = [line["kind"] for line in lines]
+        assert kinds.count("sli") == 2
+        assert kinds.count("alert") == 1
+        assert kinds.count("incident") == 1
+        sli = [line for line in lines if line["kind"] == "sli"]
+        assert sli[0] == {"kind": "sli", "series": "lag",
+                          "x": 0.0, "y": 9.0}
+
+
+# -- FlightRecorder satellites ------------------------------------------------
+
+class TestFlightRecorderSlice:
+    def make_flight(self):
+        flight = FlightRecorder(capacity=4)
+        for seq in range(7):                  # wraps: retains ts 3..6
+            flight.record({"seq": seq, "ts": float(seq)})
+        return flight
+
+    def test_ring_bound_under_overflow(self):
+        flight = self.make_flight()
+        assert len(flight.events()) == 4
+        assert flight.total == 7
+        assert flight.dropped == 3
+
+    def test_events_deterministic_oldest_first_after_wrap(self):
+        flight = self.make_flight()
+        assert [e["seq"] for e in flight.events()] == [3, 4, 5, 6]
+
+    def test_slice_by_time_window(self):
+        flight = self.make_flight()
+        assert [e["seq"] for e in flight.slice(4.0, 5.0)] == [4, 5]
+
+    def test_slice_open_ends(self):
+        flight = self.make_flight()
+        assert [e["seq"] for e in flight.slice(ts_from=5.0)] == [5, 6]
+        assert [e["seq"] for e in flight.slice(ts_to=4.0)] == [3, 4]
+        assert [e["seq"] for e in flight.slice()] == [3, 4, 5, 6]
+
+    def test_slice_limit_keeps_newest(self):
+        flight = self.make_flight()
+        assert [e["seq"] for e in flight.slice(limit=2)] == [5, 6]
+        assert flight.slice(limit=0) == []
+
+    def test_slice_copies_events(self):
+        flight = self.make_flight()
+        flight.slice()[0]["seq"] = 999
+        assert [e["seq"] for e in flight.events()] == [3, 4, 5, 6]

@@ -459,3 +459,71 @@ class TestServiceEndToEnd:
         finally:
             set_tracer(Tracer(enabled=False))
             reset()
+
+
+# -- serve schema v2: lag attribution and the health plane ---------------------
+
+class TestServeSnapshotV2:
+    def run_service(self, **overrides):
+        config = dict(ticks=60, seed=3, backend="serial",
+                      enable_proofs=False)
+        config.update(overrides)
+        service = Service(crash_scenario(seed=config["seed"]),
+                          ServiceConfig(**config))
+        service.run()
+        return service
+
+    def test_max_lag_tick_points_at_the_worst_tick(self):
+        service = self.run_service()
+        block = service.snapshot()["ingest_lag"]
+        lags = {stats.tick: stats.ingest_lag_ticks
+                for stats in service.report.ticks}
+        assert block["max_ticks"] == max(lags.values())
+        assert lags[block["max_tick"]] == block["max_ticks"]
+        # First tick to reach the maximum (strict > while recording).
+        assert block["max_tick"] == min(
+            tick for tick, lag in lags.items()
+            if lag == block["max_ticks"])
+
+    def test_max_tick_stats_snapshot_that_ticks_row(self):
+        service = self.run_service()
+        block = service.snapshot()["ingest_lag"]
+        stats = block["max_tick_stats"]
+        assert stats is not None
+        assert stats["tick"] == block["max_tick"]
+        assert stats["ingest_lag_ticks"] == block["max_ticks"]
+
+    def test_health_block_default_on_with_schema(self):
+        service = self.run_service()
+        doc = service.snapshot()
+        assert doc["serve_schema_version"] == 2
+        health = doc["health"]
+        assert health["health_schema_version"] == 1
+        assert health["ticks_observed"] == 60
+        slo_names = [slo["name"] for slo in health["slos"]]
+        assert slo_names == sorted(slo_names)
+        assert "ingest-lag" in slo_names
+        assert "pod-ready" in slo_names
+
+    def test_no_health_leaves_block_none(self):
+        service = self.run_service(health=False, ticks=10)
+        assert service.health is None
+        assert service.snapshot()["health"] is None
+
+    def test_slo_override_reaches_the_plane(self):
+        service = self.run_service(
+            ticks=10, slo_overrides={"ingest-lag": 99.0})
+        lag = next(slo for slo in service.health.slos
+                   if slo.name == "ingest-lag")
+        assert lag.objective == 99.0
+
+    def test_unknown_slo_override_rejected(self):
+        with pytest.raises(ConfigError, match="names no known SLO"):
+            self.run_service(ticks=5,
+                             slo_overrides={"no-such-slo": 1.0})
+
+    def test_pump_counts_enqueued_frames(self):
+        service = self.run_service(ticks=30)
+        summary = service.pump.summary()
+        assert summary["frames_enqueued"] > 0
+        assert summary["frames_enqueued"] == service.pump.frames_enqueued
