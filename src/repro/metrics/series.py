@@ -123,7 +123,16 @@ class Series:
             raise ValueError("bucket_width must be > 0")
         buckets: Dict[int, List[float]] = {}
         for x, y in self.points:
-            buckets.setdefault(int(x // bucket_width), []).append(y)
+            index = int(x // bucket_width)
+            # Float `//` can land next to the true bucket for non-integer
+            # widths (e.g. x=4.0, width=0.8 floors to 4 while 5*0.8 == 4.0);
+            # nudge until membership agrees with the emitted bounds, which
+            # are computed as index * width below.
+            while x >= (index + 1) * bucket_width:
+                index += 1
+            while x < index * bucket_width:
+                index -= 1
+            buckets.setdefault(index, []).append(y)
         rows: List[Dict[str, float]] = []
         for index in sorted(buckets):
             ys = buckets[index]

@@ -579,13 +579,20 @@ class Service(Instrumented):
     # -- health plane ----------------------------------------------------------
 
     def _health_marks(self) -> tuple:
-        """Counter positions at tick start, so evidence and drop ratios
-        cover exactly this tick's events (cheap: five attribute reads)."""
+        """Counter positions at tick start, so evidence and per-tick
+        ratios cover exactly this tick's events (cheap attribute reads)."""
+        if self.solver_cache is not None:
+            cache_hits = self.solver_cache.stats.hits
+            cache_misses = self.solver_cache.stats.misses
+        else:
+            cache_hits = cache_misses = 0
         return (len(self.control.events),
                 len(self.pod_scaler.events),
                 len(self.ingest_scaler.events),
                 self.pump.frames_discarded,
-                self.pump.frames_enqueued)
+                self.pump.frames_enqueued,
+                cache_hits,
+                cache_misses)
 
     def _note_detection(self, record) -> None:
         """Ground-truth detection attribution (mirrors the round
@@ -602,7 +609,7 @@ class Service(Instrumented):
                         marks: tuple, killed: List[int]) -> None:
         """Feed the tick's SLI samples and correlation evidence."""
         (fleet_mark, pod_scale_mark, ingest_scale_mark,
-         lost_mark, offered_mark) = marks
+         lost_mark, offered_mark, hits_mark, misses_mark) = marks
         frames_lost = self.pump.frames_discarded - lost_mark
         frames_offered = frames_lost + (
             self.pump.frames_enqueued - offered_mark)
@@ -626,7 +633,14 @@ class Service(Instrumented):
         else:
             sample["family_detection_rate"] = 1.0
         if self.solver_cache is not None:
-            sample["solver_hit_rate"] = self.solver_cache.stats.hit_rate()
+            # Per-tick delta, not the cumulative rate: the SLO window
+            # should react to this tick's lookups. Lookup-free ticks emit
+            # no sample rather than a misleading 0.0.
+            tick_hits = self.solver_cache.stats.hits - hits_mark
+            tick_lookups = tick_hits + (
+                self.solver_cache.stats.misses - misses_mark)
+            if tick_lookups:
+                sample["solver_hit_rate"] = tick_hits / tick_lookups
 
         chaos = [{"kind": "pod_kill", "fault": "worker-death",
                   "profile": self._chaos_profile_name,

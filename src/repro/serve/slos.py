@@ -6,7 +6,7 @@ rules are windowed. The :class:`~repro.obs.health.HealthPlane` applies
 ``--slo NAME=TARGET`` overrides on top, so operators retarget an
 objective without redeclaring its rules.
 
-The SLIs themselves are emitted by :meth:`Service._health_sample`,
+The SLIs themselves are emitted by :meth:`Service._observe_health`,
 one sample per virtual-clock tick:
 
 ========================  ====================================================
@@ -17,7 +17,8 @@ SLI series                meaning (per tick)
 ``pump_backpressure``     1.0 when the outbox stalled admission, else 0.0
 ``pump_drop_ratio``       wire frames lost / frames offered (chaos)
 ``pod_ready_ratio``       ready replicas / desired replicas
-``solver_hit_rate``       constraint-cache hit share this tick (cache on)
+``solver_hit_rate``       hit share of this tick's cache lookups (no
+                          sample on lookup-free ticks; cache on)
 ``family_detection_rate``  min over bug families of (seen / seeded)
 ``detect.<family>``       per-family detection rate (series only, no SLO)
 ========================  ====================================================
