@@ -132,3 +132,34 @@ def test_e19_obs_overhead(benchmark, emit):
     # on jittery shared CI runners.
     assert overhead["tracing on"] < 1.0, \
         f"tracing-on overhead {overhead['tracing on']:.1%}"
+
+    # No-op allocation audit: with tracing disabled every
+    # instrumentation point hands out the shared singletons, shard
+    # recorders are the shared no-op (so results ship empty span
+    # tuples — lazy span shipping), and a hot loop of span/event
+    # traffic retains not one byte.
+    import gc
+    import tracemalloc
+
+    from repro.obs.trace import NULL_RECORDER, NULL_SPAN
+    tracer = Tracer(enabled=False)
+    assert tracer.span("audit", key=0) is NULL_SPAN
+    assert tracer.recorder() is NULL_RECORDER
+    assert NULL_RECORDER.span("audit", key=0) is NULL_SPAN
+    assert NULL_RECORDER.take() == ()
+    def _audit_loop():
+        # A function scope, so the loop's own locals die on return and
+        # the measurement sees only what the tracer retained.
+        for index in range(50_000):
+            with tracer.span("audit", key=index):
+                tracer.event("audit.event", index=index)
+
+    tracemalloc.start()
+    gc.collect()
+    before = tracemalloc.get_traced_memory()[0]
+    _audit_loop()
+    gc.collect()
+    retained = tracemalloc.get_traced_memory()[0] - before
+    tracemalloc.stop()
+    assert retained <= 0, \
+        f"disabled tracer retained {retained} bytes over 50k spans"

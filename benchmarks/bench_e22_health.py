@@ -137,3 +137,36 @@ def test_e22_health_overhead(benchmark, emit):
     # executions of real work).
     assert overhead <= 0.05, f"health-on overhead {overhead:.1%}"
     assert on["report"]["ticks_observed"] == ROUNDS
+
+    # No-op allocation audit (registry half): a disabled registry
+    # serves the shared null handles for every metric kind, and a hot
+    # loop of counter/timer/histogram traffic through them retains
+    # not one byte.
+    import gc
+    import tracemalloc
+
+    from repro.obs.registry import Registry
+    registry = Registry(enabled=False)
+    counter = registry.counter("audit.count")
+    histogram = registry.histogram("audit.hist")
+    timer = registry.timer("audit.timer")
+    assert counter is registry.counter("audit.other"), \
+        "disabled registry built per-name counter handles"
+    def _audit_loop():
+        # A function scope, so the loop's own locals die on return and
+        # the measurement sees only what the handles retained.
+        for index in range(50_000):
+            counter.inc()
+            histogram.observe(index)
+            with timer.time():
+                pass
+
+    tracemalloc.start()
+    gc.collect()
+    before = tracemalloc.get_traced_memory()[0]
+    _audit_loop()
+    gc.collect()
+    retained = tracemalloc.get_traced_memory()[0] - before
+    tracemalloc.stop()
+    assert retained <= 0, \
+        f"disabled registry retained {retained} bytes over 50k updates"

@@ -1,0 +1,170 @@
+"""E23 (extension) — hot-path compute overhaul.
+
+The PR-10 optimization bundle — expression interning + incremental
+slice keys, the pooled wire codec, the interpreter dispatch table,
+lazy span shipping, and batched multi-round dispatch — is only
+admissible because it is *identity-preserving*: every report stays
+bit-identical across backends and window sizes. This experiment pins
+the payoff side of that bargain against the recorded pre-overhaul
+baselines (measured on the same workload at the PR-9 tree):
+
+* serial rounds/sec on the E18 workload (the whole closed loop:
+  interpreter, capture, dedup, codec, replay, ingest) — pre-overhaul
+  **1.739 rounds/sec**; the floor demands >= 1.25x;
+* ``condition_slices`` probe rate on a 24-conjunct PathCondition (the
+  solver probes every slice at every fork, so this is the cache's
+  innermost loop) — pre-overhaul **1099 probes/sec**; the floor
+  demands >= 2x;
+* batched dispatch: process-backend rounds/sec at ``dispatch_rounds=4``
+  vs 1 on a round-trip-bound workload, with the two reports required
+  identical.
+
+Tables land in ``benchmarks/out/e23_hotpath.{txt,json}``; the flat CI
+document in ``benchmarks/out/BENCH_e23.json`` (floors in
+``benchmarks/floors.json``).
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.metrics.report import render_table
+from repro.platform import PlatformConfig, SoftBorgPlatform
+from repro.progmodel.ir import Const, Input
+from repro.symbolic.cache import condition_slices
+from repro.symbolic.pathcond import PathCondition
+from repro.workloads.scenarios import crash_scenario
+
+from schema import write_bench_json
+
+OUT_DIR = Path(__file__).parent / "out"
+
+#: Recorded at the PR-9 tree on the reference container (best of 3).
+BASELINE_SERIAL_RPS = 1.739
+BASELINE_PROBE_RPS = 1099.0
+
+SERIAL_ROUNDS = 3
+SERIAL_EXECUTIONS = 2000
+PROBE_ITERATIONS = 2000
+WINDOW_ROUNDS = 12
+WINDOW_EXECUTIONS = 100
+REPEATS = 3
+
+
+def _serial_leg():
+    """The E18 serial workload: elapsed seconds for the whole loop."""
+    platform = SoftBorgPlatform(
+        crash_scenario(n_users=60, volatility=0.5, seed=2),
+        PlatformConfig(n_pods=40, rounds=SERIAL_ROUNDS,
+                       executions_per_round=SERIAL_EXECUTIONS,
+                       fixing=False, enable_proofs=False, seed=2,
+                       backend="serial"))
+    start = time.perf_counter()
+    platform.run()
+    return time.perf_counter() - start
+
+
+def _probe_leg():
+    """Repeated slice probes over a grown PathCondition; probes/sec."""
+    cond = PathCondition()
+    for i in range(24):
+        expr = (Input(f"x{i % 8}") + Const(i)) > Const(i * 3)
+        cond = cond.extended(expr, i % 2 == 0)
+    start = time.perf_counter()
+    for _ in range(PROBE_ITERATIONS):
+        slices = condition_slices(cond)
+    elapsed = time.perf_counter() - start
+    assert slices, "probe workload produced no slices"
+    return PROBE_ITERATIONS / elapsed
+
+
+def _window_leg(dispatch_rounds):
+    """A round-trip-bound process run; (elapsed, report fingerprint)."""
+    platform = SoftBorgPlatform(
+        crash_scenario(seed=2),
+        PlatformConfig(n_pods=12, rounds=WINDOW_ROUNDS,
+                       executions_per_round=WINDOW_EXECUTIONS,
+                       fixing=False, enable_proofs=False, seed=2,
+                       backend="process", workers=2,
+                       dispatch_rounds=dispatch_rounds))
+    start = time.perf_counter()
+    report = platform.run()
+    elapsed = time.perf_counter() - start
+    fingerprint = json.dumps(report.as_dict(), default=str,
+                             sort_keys=True)
+    return elapsed, fingerprint
+
+
+def run_experiment():
+    serial_best = min(_serial_leg() for _ in range(REPEATS))
+    probe_rate = max(_probe_leg() for _ in range(REPEATS))
+    single_s, single_fp = min(
+        (_window_leg(1) for _ in range(REPEATS)),
+        key=lambda leg: leg[0])
+    windowed_s, windowed_fp = min(
+        (_window_leg(4) for _ in range(REPEATS)),
+        key=lambda leg: leg[0])
+    return {
+        "serial_rps": SERIAL_ROUNDS / serial_best,
+        "probe_rps": probe_rate,
+        "window_single_rps": WINDOW_ROUNDS / single_s,
+        "window_batched_rps": WINDOW_ROUNDS / windowed_s,
+        "windowed_identical": single_fp == windowed_fp,
+    }
+
+
+def test_e23_hotpath(benchmark, emit):
+    results = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+
+    serial_speedup = results["serial_rps"] / BASELINE_SERIAL_RPS
+    probe_speedup = results["probe_rps"] / BASELINE_PROBE_RPS
+    window_speedup = (results["window_batched_rps"]
+                      / results["window_single_rps"])
+    rows = [
+        ["serial loop (E18 workload)", f"{BASELINE_SERIAL_RPS:.2f}",
+         f"{results['serial_rps']:.2f}", f"{serial_speedup:.2f}x"],
+        ["slice probes (24 conjuncts)", f"{BASELINE_PROBE_RPS:.0f}",
+         f"{results['probe_rps']:.0f}", f"{probe_speedup:.1f}x"],
+        ["process rounds/sec, K=4 vs K=1",
+         f"{results['window_single_rps']:.2f}",
+         f"{results['window_batched_rps']:.2f}",
+         f"{window_speedup:.2f}x"],
+    ]
+    table = render_table(
+        ["hot path", "before", "after", "speedup"],
+        rows,
+        title=f"E23: hot-path overhaul vs pre-overhaul baselines"
+              f" (best of {REPEATS}, {os.cpu_count()} cores)")
+    emit("e23_hotpath", table)
+
+    OUT_DIR.mkdir(exist_ok=True)
+    with open(OUT_DIR / "e23_hotpath.json", "w",
+              encoding="utf-8") as handle:
+        json.dump({
+            "baseline_serial_rps": BASELINE_SERIAL_RPS,
+            "baseline_probe_rps": BASELINE_PROBE_RPS,
+            "serial_rounds_per_sec": results["serial_rps"],
+            "probe_per_sec": results["probe_rps"],
+            "window_single_rps": results["window_single_rps"],
+            "window_batched_rps": results["window_batched_rps"],
+            "windowed_identical": results["windowed_identical"],
+        }, handle, indent=2, sort_keys=True)
+    write_bench_json("e23", {
+        "serial_rounds_per_sec": results["serial_rps"],
+        "serial_speedup_vs_pre": serial_speedup,
+        "probe_per_sec": results["probe_rps"],
+        "probe_speedup_vs_pre": probe_speedup,
+        "window_speedup_4": window_speedup,
+        "windowed_identical": results["windowed_identical"],
+    })
+
+    # Identity first: batched dispatch must be invisible in the report.
+    assert results["windowed_identical"], \
+        "dispatch_rounds=4 changed the process-backend report"
+    # The acceptance bars (recorded margins are ~1.9x and ~150x, so
+    # these hold comfortably even on jittery shared runners).
+    assert serial_speedup >= 1.25, \
+        f"serial hot path regressed: {serial_speedup:.2f}x vs pre"
+    assert probe_speedup >= 2.0, \
+        f"slice-probe hot path regressed: {probe_speedup:.1f}x vs pre"

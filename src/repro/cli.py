@@ -66,6 +66,14 @@ def common_exec_flags() -> argparse.ArgumentParser:
     parent.add_argument("--batch-traces", type=int, default=0,
                         help="max traces per shard batch flush (0 = one"
                              " flush per round)")
+    parent.add_argument("--dispatch-rounds", type=int, default=1,
+                        help="ship up to K planned rounds per backend"
+                             " transaction (process backend: one pipe"
+                             " round-trip per window); applies only"
+                             " when fixing/guidance/collective-cache/"
+                             "chaos/invariants are all off — otherwise"
+                             " rounds dispatch one at a time. Reports"
+                             " stay bit-identical either way")
     parent.add_argument("--solver-cache", default="none",
                         choices=["none", "local", "collective"],
                         help="constraint recycling: local = per-engine"
@@ -239,6 +247,26 @@ def build_parser() -> argparse.ArgumentParser:
                                "prio_inversion", "lost_wakeup", "toctou",
                                "provenance"])
 
+    profile = sub.add_parser(
+        "profile", parents=[common_loop_flags(), common_exec_flags()],
+        help="run the closed loop under cProfile and print the top-N"
+             " hot functions; --out saves the raw .pstats artifact"
+             " (see docs/PERFORMANCE.md). The profiler observes this"
+             " process, so the serial backend gives the full picture"
+             " while thread/process runs profile the coordinator side")
+    profile.set_defaults(rounds=6, executions=200, backend="serial")
+    profile.add_argument("--guidance", action="store_true")
+    profile.add_argument("--no-fixing", action="store_true")
+    profile.add_argument("--top", type=int, default=25,
+                         help="rows of the hot-function table")
+    profile.add_argument("--sort", default="cumulative",
+                         choices=["cumulative", "tottime", "ncalls"],
+                         help="pstats sort key")
+    profile.add_argument("--out", metavar="PATH", default=None,
+                         help="dump raw cProfile stats to PATH (load"
+                              " with pstats or any flamegraph viewer"
+                              " that reads .pstats)")
+
     health = sub.add_parser(
         "health", help="render SLOs, alerts, and incident timelines"
                        " from a snapshot file; exit code is the SLO"
@@ -315,6 +343,7 @@ def _run_platform(args, fixing: bool = True, tracing: bool = False):
         backend=getattr(args, "backend", "auto"),
         workers=getattr(args, "workers", 0),
         batch_max_traces=getattr(args, "batch_traces", 0),
+        dispatch_rounds=getattr(args, "dispatch_rounds", 1),
         chaos_profile=getattr(args, "chaos", "none"),
         check_invariants=getattr(args, "check_invariants", False),
         solver_cache=getattr(args, "solver_cache", "none"),
@@ -810,6 +839,41 @@ def _cmd_registry(args) -> int:
     return 0 if healthy else 1
 
 
+def _cmd_profile(args) -> int:
+    """One closed-loop run under cProfile: where do the cycles go?
+
+    The table answers "what should the next optimization touch"; the
+    ``--out`` artifact keeps the full call graph for offline digging.
+    The run itself is an ordinary :func:`_run_platform` loop, so the
+    numbers profile exactly what ``repro run`` executes.
+    """
+    import cProfile
+    import io
+    import pstats
+    import time
+
+    profiler = cProfile.Profile()
+    started = time.perf_counter()
+    profiler.enable()
+    platform, report = _run_platform(args, fixing=not args.no_fixing)
+    profiler.disable()
+    wall = max(time.perf_counter() - started, 1e-9)
+    stream = io.StringIO()
+    stats = pstats.Stats(profiler, stream=stream)
+    stats.sort_stats(args.sort)
+    stats.print_stats(args.top)
+    print(f"profiled {args.rounds} rounds x {args.executions}"
+          f" executions on {platform.backend.name}"
+          f" ({args.scenario!r}, seed {args.seed}): {wall:.2f}s wall,"
+          f" {args.rounds / wall:.2f} rounds/sec,"
+          f" failure rate {report.failure_rate():.3f}")
+    print(stream.getvalue().rstrip())
+    if args.out:
+        stats.dump_stats(args.out)
+        print(f"pstats -> {args.out}")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
@@ -822,6 +886,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "explore": _cmd_explore,
         "fleet": _cmd_fleet,
         "show": _cmd_show,
+        "profile": _cmd_profile,
         "health": _cmd_health,
         "registry": _cmd_registry,
     }

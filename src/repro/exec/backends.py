@@ -117,6 +117,12 @@ class ExecutorBackend(Protocol):
     def run_round(self, plan: RoundPlan) -> List[ShardResult]:
         """Execute the plan; shard results ordered by shard id."""
 
+    def run_rounds(self, plans: Sequence[RoundPlan],
+                   ctxs: Optional[Sequence] = None,
+                   ) -> List[List[ShardResult]]:
+        """Execute K plans in one backend transaction; one shard-result
+        list per round, in plan order."""
+
     def publish(self, delta: SyncDelta) -> int:
         """Apply a state delta to every shard; returns the stamped
         epoch. A worker (re)spawned later replays the cumulative
@@ -214,6 +220,37 @@ class _BackendBase(Instrumented):
         with self._obs_round_time.time():
             results = self._run_round(plan, ctx)
         wall = max(time.perf_counter() - started, 1e-9)
+        self._account_round(results, wall)
+        return results
+
+    def run_rounds(self, plans: Sequence[RoundPlan],
+                   ctxs: Optional[Sequence] = None,
+                   ) -> List[List[ShardResult]]:
+        """Execute K planned rounds in one backend transaction.
+
+        ``ctxs`` carries one parent span context per round (the
+        coordinator pre-derives them — span ids are content-derived, so
+        the grafted tree is identical to K separate ``run_round``
+        calls). Rounds execute strictly in order on each shard, so pod
+        RNG streams and dedup state advance exactly as they would one
+        round at a time; only the pipe round-trips collapse. Counter
+        accounting matches K single rounds; the round-execute timer
+        observes the window once (timers are exempt from the
+        determinism contract).
+        """
+        import time
+        if ctxs is None:
+            ctxs = [None] * len(plans)
+        started = time.perf_counter()
+        with self._obs_round_time.time():
+            per_round = self._run_rounds(list(plans), list(ctxs))
+        wall = max(time.perf_counter() - started, 1e-9)
+        for results in per_round:
+            self._account_round(results, wall)
+        return per_round
+
+    def _account_round(self, results: List[ShardResult],
+                       wall: float) -> None:
         self._obs_rounds.inc()
         for result in results:
             if result.spans:
@@ -227,10 +264,16 @@ class _BackendBase(Instrumented):
                 self._obs_batch_traces.observe(len(batch))
                 self._obs_batch_bytes.observe(
                     sum(len(entry.payload) for entry in batch.entries))
-        return results
 
     def _run_round(self, plan: RoundPlan, ctx=None) -> List[ShardResult]:
         raise NotImplementedError
+
+    def _run_rounds(self, plans: List[RoundPlan],
+                    ctxs: List) -> List[List[ShardResult]]:
+        """Default window execution: in-process backends just loop —
+        their per-round cost has no pipe round-trip to amortize."""
+        return [self._run_round(plan, ctx)
+                for plan, ctx in zip(plans, ctxs)]
 
     def close(self) -> None:
         pass
@@ -485,6 +528,104 @@ class ProcessBackend(_BackendBase):
                                                   slices[shard_id], ctx)
         return results  # type: ignore[return-value]
 
+    def _run_rounds(self, plans: List[RoundPlan],
+                    ctxs: List) -> List[List[ShardResult]]:
+        """One pipe transaction per shard for the whole K-round window.
+
+        Each worker receives every round's slice of its own pods up
+        front, executes the rounds strictly in plan order — so pod RNG
+        streams and dedup state advance exactly as under K single
+        rounds — and replies once with all K packed results. This is
+        the batched-dispatch payoff: K-1 pipe round-trips disappear
+        from the critical path.
+
+        A worker that dies mid-window is respawned at the current
+        epoch and re-runs its *entire* window. That is safe for the
+        same reason single-round retry is: a real crash already loses
+        pod RNG position (streams restart from the pod seed), so real
+        crashes sit outside the bit-determinism contract either way;
+        see docs/CHAOS.md.
+        """
+        self._start()
+        window = len(plans)
+        slices_by_round = [partition_runs(plan.runs, self.workers)
+                           for plan in plans]
+        ctx_list = list(ctxs)
+        crashed: List[int] = []
+        for shard_id, pipe in enumerate(self._pipes):
+            packed = [pack_runs(slices_by_round[k][shard_id])
+                      for k in range(window)]
+            try:
+                pipe.send(("rounds", self._epoch, packed, ctx_list))
+            except (BrokenPipeError, OSError):
+                crashed.append(shard_id)
+        by_shard: List[Optional[List[ShardResult]]] = [None] * self.workers
+        for shard_id, pipe in enumerate(self._pipes):
+            if shard_id in crashed:
+                continue
+            try:
+                reply = pipe.recv()
+            except (EOFError, OSError):
+                crashed.append(shard_id)
+                continue
+            if reply[0] != "ok":
+                self.close()
+                raise RuntimeError(
+                    f"exec worker shard {shard_id} failed:\n{reply[1]}")
+            by_shard[shard_id] = [unpack_result(p) for p in reply[1]]
+            self._merge_counters(reply[2])
+        for shard_id in crashed:
+            by_shard[shard_id] = self._retry_window(
+                shard_id,
+                [slices_by_round[k][shard_id] for k in range(window)],
+                ctx_list)
+        # Transpose shard-major replies into the round-major shape the
+        # coordinator folds.
+        return [[by_shard[shard_id][k] for shard_id in range(self.workers)]
+                for k in range(window)]  # type: ignore[index]
+
+    def _retry_window(self, shard_id: int, run_slices,
+                      ctxs) -> List[ShardResult]:
+        """Window-shaped twin of :meth:`_retry_shard`: respawn with
+        capped backoff, re-send the whole window, collect all K."""
+        import time
+
+        from repro.obs import get_registry
+        registry = get_registry()
+        respawns = registry.counter("exec.worker_respawns")
+        attempts = registry.counter("retry.attempts")
+        backoffs = registry.histogram("retry.backoff_seconds",
+                                      unit="seconds")
+        for attempt in range(1, self._MAX_RESPAWNS + 1):
+            respawns.inc()
+            attempts.inc()
+            backoff = min(self._RESPAWN_BACKOFF_CAP,
+                          self._RESPAWN_BACKOFF_BASE
+                          * (2 ** (attempt - 1)))
+            backoffs.observe(backoff)
+            time.sleep(backoff)
+            self._respawn(shard_id)
+            pipe = self._pipes[shard_id]
+            try:
+                pipe.send(("rounds", self._epoch,
+                           [pack_runs(runs) for runs in run_slices],
+                           ctxs))
+                reply = pipe.recv()
+            except (EOFError, BrokenPipeError, OSError):
+                continue
+            if reply[0] != "ok":
+                self.close()
+                raise RuntimeError(
+                    f"exec worker shard {shard_id} failed after"
+                    f" respawn:\n{reply[1]}")
+            self._merge_counters(reply[2])
+            return [unpack_result(p) for p in reply[1]]
+        registry.counter("retry.giveups").inc()
+        self.close()
+        raise RuntimeError(
+            f"exec worker shard {shard_id} kept dying through"
+            f" {self._MAX_RESPAWNS} respawns")
+
     def _retry_shard(self, shard_id: int, runs, ctx=None) -> ShardResult:
         import time
 
@@ -627,6 +768,18 @@ def _process_worker_main(conn, shard_id: int, specs, program_blob: bytes,
                 ctx = message[3] if len(message) > 3 else None
                 result = shard.run_shard(unpack_runs(message[2]), ctx)
                 conn.send(("ok", pack_result(result), counter_deltas()))
+            elif kind == "rounds":
+                # Batched dispatch: K planned rounds in one message,
+                # executed strictly in order, one reply for the window.
+                if message[1] != epoch:
+                    raise RuntimeError(
+                        f"shard {shard_id} at epoch {epoch} received a"
+                        f" window stamped epoch {message[1]}")
+                packed_results = []
+                for packed, ctx in zip(message[2], message[3]):
+                    result = shard.run_shard(unpack_runs(packed), ctx)
+                    packed_results.append(pack_result(result))
+                conn.send(("ok", packed_results, counter_deltas()))
             elif kind == "publish":
                 epoch, hive_blob, rollout, cache = message[1:5]
                 if hive_blob is not None:

@@ -27,6 +27,8 @@ shard, not a pod uplink.
 
 from __future__ import annotations
 
+import struct
+import zlib
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -146,7 +148,32 @@ class ShardResult:
 
 # -- wire encoding ------------------------------------------------------------
 
+# Encode buffers are pooled: a flush-heavy round encodes thousands of
+# frames, and reusing a grown bytearray skips both the allocation and
+# the progressive reallocation as the frame fills. list.pop/append are
+# atomic under the GIL, so the thread backend's shards share the pool
+# safely; a miss just allocates.
+_BUFFER_POOL: List[bytearray] = []
+_BUFFER_POOL_MAX = 8
+
+
+def _acquire_buffer() -> bytearray:
+    try:
+        return _BUFFER_POOL.pop()
+    except IndexError:
+        return bytearray()
+
+
+def _release_buffer(buf: bytearray) -> None:
+    del buf[:]
+    if len(_BUFFER_POOL) < _BUFFER_POOL_MAX:
+        _BUFFER_POOL.append(buf)
+
+
 def _write_varint(out: bytearray, value: int) -> None:
+    if 0 <= value < 0x80:          # single-byte fast path (the common case)
+        out.append(value)
+        return
     if value < 0:
         raise TraceError(f"varint cannot encode negative value {value}")
     while True:
@@ -170,24 +197,33 @@ class _Reader:
 
     def __init__(self, data):
         self._data = data
+        self._len = len(data)
         self._pos = 0
 
     def varint(self) -> int:
+        data = self._data
+        pos = self._pos
+        if pos < self._len:
+            byte = data[pos]
+            if not byte & 0x80:        # single-byte fast path
+                self._pos = pos + 1
+                return byte
         shift = 0
         value = 0
         while True:
-            if self._pos >= len(self._data):
+            if pos >= self._len:
                 raise TraceError("truncated batch varint")
-            byte = self._data[self._pos]
-            self._pos += 1
+            byte = data[pos]
+            pos += 1
             value |= (byte & 0x7F) << shift
             if not byte & 0x80:
+                self._pos = pos
                 return value
             shift += 7
 
     def blob(self) -> bytes:
         length = self.varint()
-        if self._pos + length > len(self._data):
+        if self._pos + length > self._len:
             raise TraceError("truncated batch payload")
         chunk = self._data[self._pos:self._pos + length]
         self._pos += length
@@ -197,46 +233,59 @@ class _Reader:
         return self.blob().decode("utf-8")
 
     def done(self) -> bool:
-        return self._pos == len(self._data)
+        return self._pos == self._len
 
 
 def encode_batch(batch: TraceBatch) -> bytes:
     """Serialize the wire-visible part of a batch (indices + trace
     payloads + heartbeat digests); shard aggregates stay off the pod
-    uplink. The frame ends with a CRC32 of everything before it."""
-    import zlib
-    out = bytearray()
-    _write_varint(out, _BATCH_FORMAT_VERSION)
-    name = batch.program_name.encode("utf-8")
-    _write_varint(out, len(name))
-    out.extend(name)
-    _write_varint(out, batch.program_version)
-    _write_varint(out, batch.shard_id)
-    _write_varint(out, batch.sequence)
-    context = batch.trace_context
-    if context is None:
-        _write_varint(out, 0)
-    else:
-        _write_varint(out, 1)
-        for part in (context.trace_id, context.span_id):
-            blob = part.encode("utf-8")
-            _write_varint(out, len(blob))
-            out.extend(blob)
-    _write_varint(out, len(batch.entries))
-    for entry in batch.entries:
-        _write_varint(out, entry.global_index)
-        if entry.heartbeat is not None:
-            _write_varint(out, 1)
-            _write_varint(out, len(entry.heartbeat.digest))
-            out.extend(entry.heartbeat.digest)
-            _write_varint(out, entry.heartbeat.count)
+    uplink. The frame ends with a CRC32 of everything before it.
+
+    Single pass into a pooled ``bytearray``: varints are emitted
+    directly (one-byte fast path), the CRC is computed over the buffer
+    without an intermediate copy, and the footer lands via
+    ``struct.pack_into`` — the only whole-frame copy left is the final
+    immutable ``bytes`` the caller keeps.
+    """
+    out = _acquire_buffer()
+    try:
+        _write_varint(out, _BATCH_FORMAT_VERSION)
+        name = batch.program_name.encode("utf-8")
+        _write_varint(out, len(name))
+        out += name
+        _write_varint(out, batch.program_version)
+        _write_varint(out, batch.shard_id)
+        _write_varint(out, batch.sequence)
+        context = batch.trace_context
+        if context is None:
+            out.append(0)
         else:
-            _write_varint(out, 0)
-            _write_varint(out, len(entry.payload))
-            out.extend(entry.payload)
-    crc = zlib.crc32(bytes(out)) & 0xFFFFFFFF
-    out.extend(crc.to_bytes(_CHECKSUM_BYTES, "big"))
-    return bytes(out)
+            out.append(1)
+            for part in (context.trace_id, context.span_id):
+                blob = part.encode("utf-8")
+                _write_varint(out, len(blob))
+                out += blob
+        _write_varint(out, len(batch.entries))
+        for entry in batch.entries:
+            _write_varint(out, entry.global_index)
+            heartbeat = entry.heartbeat
+            if heartbeat is not None:
+                out.append(1)
+                _write_varint(out, len(heartbeat.digest))
+                out += heartbeat.digest
+                _write_varint(out, heartbeat.count)
+            else:
+                payload = entry.payload
+                out.append(0)
+                _write_varint(out, len(payload))
+                out += payload
+        crc = zlib.crc32(out) & 0xFFFFFFFF
+        body_len = len(out)
+        out += b"\x00\x00\x00\x00"
+        struct.pack_into(">I", out, body_len, crc)
+        return bytes(out)
+    finally:
+        _release_buffer(out)
 
 
 def decode_batch(data) -> TraceBatch:
@@ -251,7 +300,6 @@ def decode_batch(data) -> TraceBatch:
     mangled in transit raises :class:`~repro.errors.TraceError` before
     any entry is decoded, so callers discard it whole.
     """
-    import zlib
     if len(data) <= _CHECKSUM_BYTES:
         raise TraceError("batch too short to carry a checksum")
     view = data if isinstance(data, memoryview) else memoryview(data)

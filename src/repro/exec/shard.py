@@ -27,7 +27,7 @@ from repro.exec.batch import (
     BatchAccumulator, BatchEntry, ReplayProduct, RunRecord, ShardResult,
 )
 from repro.exec.plan import PlannedRun
-from repro.obs.trace import SpanContext, get_tracer
+from repro.obs.trace import NULL_SPAN, SpanContext, get_tracer
 from repro.pod.pod import Pod
 from repro.progmodel.interpreter import (
     ExecutionLimits, Interpreter, Outcome, ReplaySource,
@@ -125,6 +125,11 @@ class Shard:
         """
         started = time.perf_counter()
         recorder = self._tracer.recorder(ctx)
+        # Lazy span shipping: with tracing off the recorder is the
+        # shared no-op and ``tracing`` gates every span call site, so
+        # the hot loop allocates no span handles, no kwargs dicts, and
+        # the result carries an empty tuple across the worker pipe.
+        tracing = recorder.enabled
         accumulator = BatchAccumulator(
             self.shard_id, self.hive_program.name,
             self.hive_program.version, max_traces=self.batch_max_traces)
@@ -136,9 +141,11 @@ class Shard:
         records: List[RunRecord] = []
         for planned in runs:
             pod = self.pods[planned.pod_index]
-            with recorder.span("pod.run", key=planned.global_index,
-                               pod=planned.pod_index,
-                               guided=planned.guided) as span:
+            span = recorder.span("pod.run", key=planned.global_index,
+                                 pod=planned.pod_index,
+                                 guided=planned.guided) \
+                if tracing else NULL_SPAN
+            with span:
                 try:
                     run = pod.execute(planned.inputs,
                                       directive=planned.directive)
@@ -149,7 +156,8 @@ class Shard:
                     # move on.
                     from repro.obs import get_registry
                     get_registry().counter("exec.run_crashes").inc()
-                    span.set(outcome="crash", shipped=False)
+                    if tracing:
+                        span.set(outcome="crash", shipped=False)
                     records.append(RunRecord(
                         global_index=planned.global_index,
                         guided=planned.guided,
@@ -162,8 +170,9 @@ class Shard:
                     continue
                 trace = run.trace
                 failure = run.result.failure
-                span.set(outcome=run.result.outcome.value,
-                         shipped=planned.ship)
+                if tracing:
+                    span.set(outcome=run.result.outcome.value,
+                             shipped=planned.ship)
                 records.append(RunRecord(
                     global_index=planned.global_index,
                     guided=planned.guided,
@@ -176,7 +185,7 @@ class Shard:
                 if not planned.ship:
                     continue                   # lost on the wire
                 entry = self._collect(planned.global_index, trace, edges,
-                                      recorder)
+                                      recorder, tracing)
                 if entry is not None:
                     accumulator.add(entry)
                     if entry.product is not None:
@@ -225,16 +234,19 @@ class Shard:
 
     def _collect(self, global_index: int, trace: Trace,
                  edges: Optional[Dict],
-                 recorder) -> Optional[BatchEntry]:
+                 recorder, tracing: bool = True) -> Optional[BatchEntry]:
         if self._dedup:
             shipped, heartbeat = self._dedup[trace.pod_id].submit(trace)
             if shipped is None:
                 return BatchEntry(global_index=global_index,
                                   heartbeat=heartbeat)
             trace = shipped
-        with recorder.span("wire.encode", key=global_index) as span:
+        if tracing:
+            with recorder.span("wire.encode", key=global_index) as span:
+                payload = encode_trace(trace)
+                span.set(bytes=len(payload))
+        else:
             payload = encode_trace(trace)
-            span.set(bytes=len(payload))
         entry = BatchEntry(global_index=global_index, payload=payload)
         if self.replay_products:
             entry.product = self._replay(trace, edges)

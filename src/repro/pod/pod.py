@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass
 from typing import Dict, Optional
 
@@ -125,7 +126,6 @@ class Pod(Instrumented):
     # -- helpers ----------------------------------------------------------------
 
     def _spawn_rng(self, label: str):
-        import random
         return random.Random(self._rng.getrandbits(64))
 
     def _clamp_inputs(self, inputs: Dict[str, int]) -> Dict[str, int]:

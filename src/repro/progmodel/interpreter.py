@@ -23,6 +23,7 @@ during replay, for data derived from inputs the hive does not know.
 from __future__ import annotations
 
 import random
+import sys
 from dataclasses import dataclass, field
 from enum import Enum
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
@@ -90,7 +91,16 @@ Value = Tuple[Optional[int], bool, bool]
 # Events (the raw by-products; the tracing layer filters/encodes these)
 # --------------------------------------------------------------------------
 
-@dataclass
+# Events are allocated once per interpreter step on the hot path;
+# ``slots=True`` (3.10+) drops the per-instance dict. Field set,
+# equality, and repr are identical either way.
+if sys.version_info >= (3, 10):
+    _eventclass = dataclass(slots=True)
+else:  # pragma: no cover - 3.9 compatibility fallback
+    _eventclass = dataclass
+
+
+@_eventclass
 class BranchEvent:
     """One dynamic conditional decision.
 
@@ -116,7 +126,7 @@ class BranchEvent:
         return (self.thread, self.function, self.block)
 
 
-@dataclass
+@_eventclass
 class LockEvent:
     """op is "acquire" (granted), "release", or "request" (may block)."""
     thread: int
@@ -126,14 +136,14 @@ class LockEvent:
     block: str
 
 
-@dataclass
+@_eventclass
 class SyscallEvent:
     thread: int
     name: str
     value: int
 
 
-@dataclass
+@_eventclass
 class GlobalEvent:
     """One shared-variable access: op is "read" or "write".
 
@@ -150,7 +160,7 @@ class GlobalEvent:
     held_locks: Tuple[str, ...] = ()
 
 
-@dataclass
+@_eventclass
 class SchedEvent:
     """One scheduling decision: which thread ran the next step."""
     thread: int
@@ -374,13 +384,25 @@ class ReplaySource:
 # Interpreter internals
 # --------------------------------------------------------------------------
 
-@dataclass
 class _Frame:
-    function: str
-    block: str
-    index: int
-    locals: Dict[str, Value]
-    return_dst: Optional[str] = None
+    """One call frame. ``fn``/``code`` cache the resolved Function and
+    Block objects for the current position, updated at every control
+    transfer, so the step loop never re-resolves names."""
+
+    __slots__ = ("function", "block", "index", "locals", "return_dst",
+                 "fn", "code")
+
+    def __init__(self, function: str, block: str, index: int,
+                 locals: Dict[str, Value],
+                 return_dst: Optional[str] = None,
+                 fn=None, code=None):
+        self.function = function
+        self.block = block
+        self.index = index
+        self.locals = locals
+        self.return_dst = return_dst
+        self.fn = fn
+        self.code = code
 
 
 class _Thread:
@@ -408,6 +430,28 @@ class _RoundRobinScheduler:
 
     def pick(self, step: int, runnable: List[int]) -> int:
         return runnable[step % len(runnable)]
+
+
+# Total binary operators (no failure path), dispatched by table; ``//``
+# and ``%`` stay in :meth:`Interpreter._apply` because division by zero
+# is a program crash that needs the faulting site. Comparisons wrap in
+# int() — values must stay exactly ``int`` (a ``bool`` would leak into
+# reprs of globals/returns and change report bytes).
+_BINOPS = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "==": lambda a, b: int(a == b),
+    "!=": lambda a, b: int(a != b),
+    "<": lambda a, b: int(a < b),
+    "<=": lambda a, b: int(a <= b),
+    ">": lambda a, b: int(a > b),
+    ">=": lambda a, b: int(a >= b),
+    "and": lambda a, b: int(bool(a) and bool(b)),
+    "or": lambda a, b: int(bool(a) or bool(b)),
+    "min": lambda a, b: a if a <= b else b,
+    "max": lambda a, b: a if a >= b else b,
+}
 
 
 class Interpreter:
@@ -488,7 +532,11 @@ class Interpreter:
         threads = [_Thread(tid, entry) for tid, entry in enumerate(program.threads)]
         self._threads_snapshot = threads
         for thread in threads:
-            thread.frames[0].block = program.function(thread.frames[0].function).entry
+            frame = thread.frames[0]
+            fn = program.function(frame.function)
+            frame.fn = fn
+            frame.block = fn.entry
+            frame.code = fn.block(fn.entry)
 
         failure: Optional[FailureInfo] = None
         outcome: Optional[Outcome] = None
@@ -566,21 +614,23 @@ class Interpreter:
 
     def _step(self, thread, threads, globals_, lock_owner, events,
               environment, replay) -> Optional[FailureInfo]:
-        program = self.program
         frame = thread.frames[-1]
-        func = program.function(frame.function)
-        block = func.block(frame.block)
+        block = frame.code
 
-        if frame.index < len(block.instructions):
-            instr = block.instructions[frame.index]
-            return self._exec_instruction(
-                instr, thread, frame, globals_, lock_owner, events,
-                environment, replay)
+        instructions = block.instructions
+        if frame.index < len(instructions):
+            instr = instructions[frame.index]
+            handler = _INSTR_DISPATCH.get(type(instr))
+            if handler is None:
+                raise ExecutionError(f"unknown instruction {instr!r}")
+            return handler(self, instr, thread, frame, globals_, lock_owner,
+                           events, environment, replay)
 
         # Terminator
         term = block.terminator
         if isinstance(term, Jump):
             frame.block = term.target
+            frame.code = frame.fn.block(term.target)
             frame.index = 0
             return None
         if isinstance(term, Branch):
@@ -589,7 +639,9 @@ class Interpreter:
             events.append(BranchEvent(
                 thread.tid, frame.function, frame.block, taken, ext,
                 "branch", inp))
-            frame.block = term.then_block if taken else term.else_block
+            target = term.then_block if taken else term.else_block
+            frame.block = target
+            frame.code = frame.fn.block(target)
             frame.index = 0
             return None
         if isinstance(term, Return):
@@ -622,115 +674,132 @@ class Interpreter:
 
     def _exec_instruction(self, instr, thread, frame, globals_, lock_owner,
                           events, environment, replay) -> Optional[FailureInfo]:
-        if isinstance(instr, Assign):
-            frame.locals[instr.dst] = self._eval(
-                instr.expr, frame, thread, events, replay)
-            frame.index += 1
-            return None
+        """Type-dispatched instruction execution (kept as the one entry
+        point for subclasses/tests; the step loop uses the table
+        directly)."""
+        handler = _INSTR_DISPATCH.get(type(instr))
+        if handler is None:
+            raise ExecutionError(f"unknown instruction {instr!r}")
+        return handler(self, instr, thread, frame, globals_, lock_owner,
+                       events, environment, replay)
 
-        if isinstance(instr, StoreGlobal):
-            globals_[instr.name] = self._eval(
-                instr.expr, frame, thread, events, replay)
-            events.append(GlobalEvent(thread.tid, "write", instr.name,
-                                      frame.function, frame.block,
-                                      tuple(thread.held)))
-            frame.index += 1
-            return None
+    def _exec_assign(self, instr, thread, frame, globals_, lock_owner,
+                     events, environment, replay) -> None:
+        frame.locals[instr.dst] = self._eval(
+            instr.expr, frame, thread, events, replay)
+        frame.index += 1
+        return None
 
-        if isinstance(instr, LoadGlobal):
-            frame.locals[instr.dst] = globals_.get(instr.name, (0, False, False))
-            events.append(GlobalEvent(thread.tid, "read", instr.name,
-                                      frame.function, frame.block,
-                                      tuple(thread.held)))
-            frame.index += 1
-            return None
+    def _exec_store_global(self, instr, thread, frame, globals_, lock_owner,
+                           events, environment, replay) -> None:
+        globals_[instr.name] = self._eval(
+            instr.expr, frame, thread, events, replay)
+        events.append(GlobalEvent(thread.tid, "write", instr.name,
+                                  frame.function, frame.block,
+                                  tuple(thread.held)))
+        frame.index += 1
+        return None
 
-        if isinstance(instr, Lock):
-            owner = lock_owner.get(instr.lock_name)
-            if owner is None or owner == thread.tid:
-                if owner == thread.tid:
-                    # Re-acquiring a held lock self-deadlocks in this model.
-                    thread.status = "blocked"
-                    thread.blocked_on = instr.lock_name
-                    events.append(LockEvent(thread.tid, "request",
-                                            instr.lock_name, frame.function,
-                                            frame.block))
-                    return None
-                lock_owner[instr.lock_name] = thread.tid
-                thread.held.append(instr.lock_name)
-                events.append(LockEvent(thread.tid, "acquire", instr.lock_name,
-                                        frame.function, frame.block))
-                frame.index += 1
-            else:
+    def _exec_load_global(self, instr, thread, frame, globals_, lock_owner,
+                          events, environment, replay) -> None:
+        frame.locals[instr.dst] = globals_.get(instr.name, (0, False, False))
+        events.append(GlobalEvent(thread.tid, "read", instr.name,
+                                  frame.function, frame.block,
+                                  tuple(thread.held)))
+        frame.index += 1
+        return None
+
+    def _exec_lock(self, instr, thread, frame, globals_, lock_owner,
+                   events, environment, replay) -> None:
+        owner = lock_owner.get(instr.lock_name)
+        if owner is None or owner == thread.tid:
+            if owner == thread.tid:
+                # Re-acquiring a held lock self-deadlocks in this model.
                 thread.status = "blocked"
                 thread.blocked_on = instr.lock_name
-                events.append(LockEvent(thread.tid, "request", instr.lock_name,
-                                        frame.function, frame.block))
-            return None
-
-        if isinstance(instr, Unlock):
-            if lock_owner.get(instr.lock_name) != thread.tid:
-                return FailureInfo(
-                    Outcome.CRASH,
-                    f"unlock of lock {instr.lock_name!r} not held",
-                    thread.tid, frame.function, frame.block)
-            lock_owner[instr.lock_name] = None
-            thread.held.remove(instr.lock_name)
-            events.append(LockEvent(thread.tid, "release", instr.lock_name,
+                events.append(LockEvent(thread.tid, "request",
+                                        instr.lock_name, frame.function,
+                                        frame.block))
+                return None
+            lock_owner[instr.lock_name] = thread.tid
+            thread.held.append(instr.lock_name)
+            events.append(LockEvent(thread.tid, "acquire", instr.lock_name,
                                     frame.function, frame.block))
-            self._wake_waiters(instr.lock_name)
             frame.index += 1
-            return None
+        else:
+            thread.status = "blocked"
+            thread.blocked_on = instr.lock_name
+            events.append(LockEvent(thread.tid, "request", instr.lock_name,
+                                    frame.function, frame.block))
+        return None
 
-        if isinstance(instr, Syscall):
-            if replay is not None:
-                value = replay.next_syscall()
-            else:
-                args = []
-                for arg in instr.args:
-                    arg_value, _e, _i = self._eval(arg, frame, thread,
-                                                   events, replay)
-                    if arg_value is None:
-                        raise TraceError("syscall argument unknown during live run")
-                    args.append(arg_value)
-                value = environment.call(instr.name, args)
-            events.append(SyscallEvent(thread.tid, instr.name, value))
-            # Syscall results are program-external (ext) but travel in
-            # the trace, so the hive can reconstruct them (not inp).
-            frame.locals[instr.dst] = (value, True, False)
-            frame.index += 1
-            return None
+    def _exec_unlock(self, instr, thread, frame, globals_, lock_owner,
+                     events, environment, replay) -> Optional[FailureInfo]:
+        if lock_owner.get(instr.lock_name) != thread.tid:
+            return FailureInfo(
+                Outcome.CRASH,
+                f"unlock of lock {instr.lock_name!r} not held",
+                thread.tid, frame.function, frame.block)
+        lock_owner[instr.lock_name] = None
+        thread.held.remove(instr.lock_name)
+        events.append(LockEvent(thread.tid, "release", instr.lock_name,
+                                frame.function, frame.block))
+        self._wake_waiters(instr.lock_name)
+        frame.index += 1
+        return None
 
-        if isinstance(instr, Assert):
-            value, ext, inp = self._eval(instr.cond, frame, thread, events, replay)
-            passed = self._decide(value, inp, replay)
-            events.append(BranchEvent(
-                thread.tid, frame.function, frame.block, passed, ext,
-                "assert", inp))
-            if not passed:
-                return FailureInfo(Outcome.ASSERT, instr.message,
-                                   thread.tid, frame.function, frame.block)
-            frame.index += 1
-            return None
+    def _exec_syscall(self, instr, thread, frame, globals_, lock_owner,
+                      events, environment, replay) -> None:
+        if replay is not None:
+            value = replay.next_syscall()
+        else:
+            args = []
+            for arg in instr.args:
+                arg_value, _e, _i = self._eval(arg, frame, thread,
+                                               events, replay)
+                if arg_value is None:
+                    raise TraceError("syscall argument unknown during live run")
+                args.append(arg_value)
+            value = environment.call(instr.name, args)
+        events.append(SyscallEvent(thread.tid, instr.name, value))
+        # Syscall results are program-external (ext) but travel in
+        # the trace, so the hive can reconstruct them (not inp).
+        frame.locals[instr.dst] = (value, True, False)
+        frame.index += 1
+        return None
 
-        if isinstance(instr, Crash):
-            return FailureInfo(Outcome.CRASH, instr.message,
+    def _exec_assert(self, instr, thread, frame, globals_, lock_owner,
+                     events, environment, replay) -> Optional[FailureInfo]:
+        value, ext, inp = self._eval(instr.cond, frame, thread, events, replay)
+        passed = self._decide(value, inp, replay)
+        events.append(BranchEvent(
+            thread.tid, frame.function, frame.block, passed, ext,
+            "assert", inp))
+        if not passed:
+            return FailureInfo(Outcome.ASSERT, instr.message,
                                thread.tid, frame.function, frame.block)
+        frame.index += 1
+        return None
 
-        if isinstance(instr, Call):
-            if len(thread.frames) >= self.limits.max_call_depth:
-                return FailureInfo(Outcome.CRASH, "call depth exceeded",
-                                   thread.tid, frame.function, frame.block)
-            callee = self.program.function(instr.callee)
-            local_values = {}
-            for param, arg in zip(callee.params, instr.args):
-                local_values[param] = self._eval(arg, frame, thread, events, replay)
-            thread.frames.append(_Frame(
-                function=instr.callee, block=callee.entry, index=0,
-                locals=local_values, return_dst=instr.dst))
-            return None
+    def _exec_crash(self, instr, thread, frame, globals_, lock_owner,
+                    events, environment, replay) -> FailureInfo:
+        return FailureInfo(Outcome.CRASH, instr.message,
+                           thread.tid, frame.function, frame.block)
 
-        raise ExecutionError(f"unknown instruction {instr!r}")
+    def _exec_call(self, instr, thread, frame, globals_, lock_owner,
+                   events, environment, replay) -> Optional[FailureInfo]:
+        if len(thread.frames) >= self.limits.max_call_depth:
+            return FailureInfo(Outcome.CRASH, "call depth exceeded",
+                               thread.tid, frame.function, frame.block)
+        callee = self.program.function(instr.callee)
+        local_values = {}
+        for param, arg in zip(callee.params, instr.args):
+            local_values[param] = self._eval(arg, frame, thread, events, replay)
+        thread.frames.append(_Frame(
+            function=instr.callee, block=callee.entry, index=0,
+            locals=local_values, return_dst=instr.dst,
+            fn=callee, code=callee.block(callee.entry)))
+        return None
 
     def _wake_waiters(self, lock_name: str) -> None:
         # Threads blocked on this lock become runnable again; they will
@@ -765,9 +834,11 @@ class Interpreter:
     # -- expression evaluation ------------------------------------------------
 
     def _eval(self, expr: Expr, frame, thread, events, replay) -> Value:
-        if isinstance(expr, Const):
-            return (expr.value, False, False)
-        if isinstance(expr, Var):
+        # Exact-type tests ordered by dynamic frequency; the IR node
+        # classes are closed (no subclasses), so ``type(...) is`` is a
+        # faithful, faster isinstance.
+        kind = type(expr)
+        if kind is Var:
             try:
                 return frame.locals[expr.name]
             except KeyError:
@@ -775,11 +846,24 @@ class Interpreter:
                 # target language would after memset — keeps generated
                 # corpora robust.
                 return (0, False, False)
-        if isinstance(expr, Input):
+        if kind is Const:
+            return (expr.value, False, False)
+        if kind is BinOp:
+            left, le, li = self._eval(expr.left, frame, thread, events, replay)
+            right, re_, ri = self._eval(expr.right, frame, thread, events, replay)
+            if left is None or right is None:
+                return (None, True, True)
+            op = expr.op
+            fn = _BINOPS.get(op)
+            if fn is not None:
+                return (fn(left, right), le or re_, li or ri)
+            return (self._apply(op, left, right, thread, frame),
+                    le or re_, li or ri)
+        if kind is Input:
             if replay is not None:
                 return (None, True, True)
             return self._input_value(expr.name)
-        if isinstance(expr, UnOp):
+        if kind is UnOp:
             value, ext, inp = self._eval(expr.operand, frame, thread,
                                          events, replay)
             if value is None:
@@ -787,13 +871,6 @@ class Interpreter:
             if expr.op == "neg":
                 return (-value, ext, inp)
             return (int(value == 0), ext, inp)
-        if isinstance(expr, BinOp):
-            left, le, li = self._eval(expr.left, frame, thread, events, replay)
-            right, re_, ri = self._eval(expr.right, frame, thread, events, replay)
-            ext, inp = le or re_, li or ri
-            if left is None or right is None:
-                return (None, True, True)
-            return (self._apply(expr.op, left, right, thread, frame), ext, inp)
         raise ExecutionError(f"cannot evaluate {expr!r}")
 
     def _input_value(self, name: str) -> Value:
@@ -803,44 +880,16 @@ class Interpreter:
         return (value, True, True)
 
     def _apply(self, op: str, left: int, right: int, thread, frame) -> int:
-        if op == "+":
-            return left + right
-        if op == "-":
-            return left - right
-        if op == "*":
-            return left * right
-        if op == "//":
+        fn = _BINOPS.get(op)
+        if fn is not None:
+            return fn(left, right)
+        if op == "//" or op == "%":
             if right == 0:
                 raise _ProgramFailure(FailureInfo(
-                    Outcome.CRASH, "division by zero",
+                    Outcome.CRASH,
+                    "division by zero" if op == "//" else "modulo by zero",
                     thread.tid, frame.function, frame.block))
-            return left // right
-        if op == "%":
-            if right == 0:
-                raise _ProgramFailure(FailureInfo(
-                    Outcome.CRASH, "modulo by zero",
-                    thread.tid, frame.function, frame.block))
-            return left % right
-        if op == "==":
-            return int(left == right)
-        if op == "!=":
-            return int(left != right)
-        if op == "<":
-            return int(left < right)
-        if op == "<=":
-            return int(left <= right)
-        if op == ">":
-            return int(left > right)
-        if op == ">=":
-            return int(left >= right)
-        if op == "and":
-            return int(bool(left) and bool(right))
-        if op == "or":
-            return int(bool(left) or bool(right))
-        if op == "min":
-            return min(left, right)
-        if op == "max":
-            return max(left, right)
+            return left // right if op == "//" else left % right
         raise ExecutionError(f"unknown operator {op!r}")
 
     # The concrete input vector is installed by run(); kept as an
@@ -855,3 +904,18 @@ class _ProgramFailure(Exception):
     def __init__(self, info: FailureInfo):
         super().__init__(info.message)
         self.info = info
+
+
+# Instruction handlers keyed by exact IR node type — one dict hit per
+# step instead of a nine-way isinstance ladder.
+_INSTR_DISPATCH = {
+    Assign: Interpreter._exec_assign,
+    StoreGlobal: Interpreter._exec_store_global,
+    LoadGlobal: Interpreter._exec_load_global,
+    Lock: Interpreter._exec_lock,
+    Unlock: Interpreter._exec_unlock,
+    Syscall: Interpreter._exec_syscall,
+    Assert: Interpreter._exec_assert,
+    Crash: Interpreter._exec_crash,
+    Call: Interpreter._exec_call,
+}

@@ -92,7 +92,19 @@ class Expr:
     __hash__ = None  # type: ignore[assignment]
 
     def key(self) -> Tuple:
-        """A hashable structural key (used instead of __eq__/__hash__)."""
+        """A hashable structural key (used instead of __eq__/__hash__).
+
+        Memoized per node: expressions are immutable, and the hot
+        symbolic paths (path-condition dedup, canonical cache keys)
+        re-ask the same nodes constantly.
+        """
+        try:
+            return self._key
+        except AttributeError:
+            key = self._key = self._compute_key()
+            return key
+
+    def _compute_key(self) -> Tuple:
         raise NotImplementedError
 
     def children(self) -> Sequence["Expr"]:
@@ -105,20 +117,30 @@ class Expr:
             yield from child.walk()
 
     def inputs(self) -> Tuple[str, ...]:
-        """Names of :class:`Input` nodes referenced by this expression."""
-        names = []
-        for node in self.walk():
-            if isinstance(node, Input) and node.name not in names:
-                names.append(node.name)
-        return tuple(names)
+        """Names of :class:`Input` nodes referenced by this expression,
+        first-seen in pre-order (memoized, like :meth:`key`)."""
+        try:
+            return self._inputs
+        except AttributeError:
+            names = []
+            for node in self.walk():
+                if isinstance(node, Input) and node.name not in names:
+                    names.append(node.name)
+            inputs = self._inputs = tuple(names)
+            return inputs
 
     def variables(self) -> Tuple[str, ...]:
-        """Names of :class:`Var` nodes referenced by this expression."""
-        names = []
-        for node in self.walk():
-            if isinstance(node, Var) and node.name not in names:
-                names.append(node.name)
-        return tuple(names)
+        """Names of :class:`Var` nodes referenced by this expression
+        (memoized, like :meth:`key`)."""
+        try:
+            return self._variables
+        except AttributeError:
+            names = []
+            for node in self.walk():
+                if isinstance(node, Var) and node.name not in names:
+                    names.append(node.name)
+            variables = self._variables = tuple(names)
+            return variables
 
 
 class Const(Expr):
@@ -131,7 +153,7 @@ class Const(Expr):
             raise ProgramModelError(f"Const requires an int, got {value!r}")
         self.value = value
 
-    def key(self): return ("const", self.value)
+    def _compute_key(self): return ("const", self.value)
     def __repr__(self): return f"Const({self.value})"
 
 
@@ -143,7 +165,7 @@ class Var(Expr):
     def __init__(self, name: str):
         self.name = name
 
-    def key(self): return ("var", self.name)
+    def _compute_key(self): return ("var", self.name)
     def __repr__(self): return f"Var({self.name!r})"
 
 
@@ -161,7 +183,7 @@ class Input(Expr):
     def __init__(self, name: str):
         self.name = name
 
-    def key(self): return ("input", self.name)
+    def _compute_key(self): return ("input", self.name)
     def __repr__(self): return f"Input({self.name!r})"
 
 
@@ -175,7 +197,8 @@ class BinOp(Expr):
         self.left = left
         self.right = right
 
-    def key(self): return ("bin", self.op, self.left.key(), self.right.key())
+    def _compute_key(self):
+        return ("bin", self.op, self.left.key(), self.right.key())
     def children(self): return (self.left, self.right)
     def __repr__(self): return f"({self.left!r} {self.op} {self.right!r})"
 
@@ -189,7 +212,7 @@ class UnOp(Expr):
         self.op = op
         self.operand = operand
 
-    def key(self): return ("un", self.op, self.operand.key())
+    def _compute_key(self): return ("un", self.op, self.operand.key())
     def children(self): return (self.operand,)
     def __repr__(self): return f"{self.op}({self.operand!r})"
 

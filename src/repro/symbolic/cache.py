@@ -43,7 +43,10 @@ keeps cache-enabled runs bit-identical across backends.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+from typing import (
+    Dict, FrozenSet, Iterable, List, Mapping, NamedTuple, Optional,
+    Sequence, Set, Tuple,
+)
 
 from repro.config import BaseReport
 from repro.obs import Instrumented
@@ -52,6 +55,7 @@ from repro.progmodel.ir import Expr
 __all__ = [
     "SolverCacheStats", "ConstraintCache", "ConditionSlice",
     "canonical_slice_key", "condition_slices", "conjunct_slices",
+    "SliceMemo", "build_slice_memos", "extend_slice_memos",
 ]
 
 #: One conjunct: (folded expression, direction taken).
@@ -98,6 +102,20 @@ def _key_symbols(key: object, out: List[str]) -> None:
             _key_symbols(part, out)
 
 
+def _skeleton_of(expr: Expr) -> str:
+    """``repr(_masked(expr.key()))``, memoized on the (immutable) node.
+
+    The skeleton string is the sort key of every canonicalization; with
+    interning (``repro.symbolic.expr``) structurally repeated conjuncts
+    share one node and pay for the mask walk once.
+    """
+    try:
+        return expr._skeleton
+    except AttributeError:
+        skeleton = expr._skeleton = repr(_masked(expr.key()))
+        return skeleton
+
+
 def canonical_slice_key(
         conjuncts: Sequence[Conjunct]) -> Tuple[CanonicalKey, Tuple[str, ...]]:
     """Canonicalize one slice under symbol renaming.
@@ -106,15 +124,15 @@ def canonical_slice_key(
     conjunct sets and ``order[i]`` names the actual symbol bound to
     canonical index ``i`` in *this* condition.
     """
-    tagged = [(expr.key(), truth) for expr, truth in conjuncts]
-    ordered = sorted(tagged,
-                     key=lambda item: (repr(_masked(item[0])), item[1]))
+    tagged = [(_skeleton_of(expr), truth, expr.key())
+              for expr, truth in conjuncts]
+    tagged.sort(key=lambda item: (item[0], item[1]))
     order: List[str] = []
-    for key_tuple, _truth in ordered:
+    for _skeleton, _truth, key_tuple in tagged:
         _key_symbols(key_tuple, order)
     renaming = {name: index for index, name in enumerate(order)}
     key = tuple((_renamed(key_tuple, renaming), truth)
-                for key_tuple, truth in ordered)
+                for _skeleton, truth, key_tuple in tagged)
     return key, tuple(order)
 
 
@@ -194,8 +212,104 @@ def conjunct_slices(conjuncts: Sequence[Conjunct]) -> List[ConditionSlice]:
 
 
 def condition_slices(condition) -> List[ConditionSlice]:
-    """Slices of a :class:`~repro.symbolic.pathcond.PathCondition`."""
-    return conjunct_slices(condition.constraints)
+    """Slices of a :class:`~repro.symbolic.pathcond.PathCondition`.
+
+    Path conditions carry incrementally maintained slice memos
+    (:class:`SliceMemo`, updated per conjunct by
+    :meth:`~repro.symbolic.pathcond.PathCondition.extended`), so this
+    is O(slices) — the canonical keys were computed when each slice
+    last changed, not re-derived per probe. Conditions without memos
+    (plain duck-typed carriers) fall back to the batch grouping.
+    """
+    memos = getattr(condition, "slice_memos", None)
+    if memos is None:
+        return conjunct_slices(condition.constraints)
+    return [ConditionSlice(list(memo.conjuncts), memo.symbols,
+                           key=memo.key, order=memo.order)
+            for memo in memos()]
+
+
+# -- incremental slice memos --------------------------------------------------
+
+class SliceMemo(NamedTuple):
+    """One immutable, fully canonicalized slice of a path condition.
+
+    ``positions`` are the conjunct indices (in condition order) the
+    slice covers; memos are shared structurally between a condition and
+    its :meth:`extended` children, so extending a condition re-keys
+    only the slice(s) the new conjunct touches.
+    """
+
+    positions: Tuple[int, ...]
+    conjuncts: Tuple[Conjunct, ...]
+    symbols: Tuple[str, ...]
+    symbol_set: FrozenSet[str]
+    key: CanonicalKey
+    order: Tuple[str, ...]
+
+
+def _make_memo(positions: Tuple[int, ...],
+               conjuncts: Tuple[Conjunct, ...],
+               symbols: Tuple[str, ...]) -> SliceMemo:
+    key, order = canonical_slice_key(conjuncts)
+    return SliceMemo(positions, conjuncts, symbols, frozenset(symbols),
+                     key, order)
+
+
+def build_slice_memos(
+        conjuncts: Sequence[Conjunct]) -> Tuple[SliceMemo, ...]:
+    """Batch construction (conditions not grown via ``extended``)."""
+    memos: Tuple[SliceMemo, ...] = ()
+    for position, conjunct in enumerate(conjuncts):
+        memos = extend_slice_memos(memos, position, conjunct)
+    return memos
+
+
+def extend_slice_memos(memos: Tuple[SliceMemo, ...], position: int,
+                       conjunct: Conjunct) -> Tuple[SliceMemo, ...]:
+    """Memos after appending ``conjunct`` at ``position``.
+
+    Equivalent to regrouping from scratch — the new conjunct either
+    starts a fresh slice, joins the one slice it shares symbols with,
+    or fuses several — but only the affected slice is re-keyed; every
+    untouched memo is shared with the parent as-is. The list stays
+    ordered by first conjunct position, matching
+    :func:`conjunct_slices` exactly.
+    """
+    expr, _truth = conjunct
+    names = expr.inputs()
+    if not names:
+        # Constant conjuncts pool into one dedicated slice.
+        for index, memo in enumerate(memos):
+            if not memo.symbols:
+                merged = _make_memo(memo.positions + (position,),
+                                    memo.conjuncts + (conjunct,), ())
+                return memos[:index] + (merged,) + memos[index + 1:]
+        return memos + (_make_memo((position,), (conjunct,), ()),)
+    hits = [index for index, memo in enumerate(memos)
+            if not memo.symbol_set.isdisjoint(names)]
+    if not hits:
+        return memos + (_make_memo((position,), (conjunct,), names),)
+    pairs: List[Tuple[int, Conjunct]] = []
+    for index in hits:
+        pairs.extend(zip(memos[index].positions, memos[index].conjuncts))
+    pairs.append((position, conjunct))
+    pairs.sort(key=lambda pair: pair[0])
+    symbols: List[str] = []
+    seen: Set[str] = set()
+    for _position, (piece_expr, _piece_truth) in pairs:
+        for name in piece_expr.inputs():
+            if name not in seen:
+                seen.add(name)
+                symbols.append(name)
+    merged = _make_memo(tuple(p for p, _ in pairs),
+                        tuple(c for _, c in pairs), tuple(symbols))
+    hit_set = set(hits)
+    out = [memo for index, memo in enumerate(memos)
+           if index not in hit_set]
+    out.append(merged)
+    out.sort(key=lambda memo: memo.positions[0])
+    return tuple(out)
 
 
 # -- the cache ----------------------------------------------------------------

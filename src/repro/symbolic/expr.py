@@ -5,6 +5,18 @@ Symbolic values *are* IR expressions whose only non-constant leaves are
 symbols the engine mints for symbolic syscall returns). This module
 provides the shared operator semantics, constant folding, substitution,
 and concrete evaluation.
+
+**Interning.** The engine re-derives the same sub-expressions at every
+fork (``fold(substitute(...))`` per branch), so :func:`fold` and
+:func:`substitute` route every node they build through a hash-consing
+table keyed by the structural :meth:`~repro.progmodel.ir.Expr.key`.
+α-identical structures collapse to one shared node whose memoized
+``key()``/``inputs()``/skeleton are computed once, and both functions
+return the *original* node (identity fast path) whenever no rewrite
+applies. Interning changes object identity only — never structure,
+``key()`` output, or ``repr`` — so cache keys, dedup sets, and every
+deterministic report are byte-for-byte unaffected (see
+docs/PERFORMANCE.md for the invariant argument).
 """
 
 from __future__ import annotations
@@ -14,7 +26,43 @@ from typing import Dict, Mapping, Optional
 from repro.errors import SymbolicError
 from repro.progmodel.ir import BinOp, Const, Expr, Input, UnOp, Var
 
-__all__ = ["apply_op", "fold", "substitute", "eval_concrete", "is_const"]
+__all__ = ["apply_op", "fold", "substitute", "eval_concrete", "is_const",
+           "intern_expr"]
+
+# Hash-consing table: structural key -> canonical node. Bounded by a
+# wholesale clear (entries are pure caches; losing them loses sharing,
+# never correctness), sized far above any single program's expression
+# population so a clear only happens on pathological fleet churn.
+_INTERN: Dict[tuple, Expr] = {}
+_INTERN_MAX = 1 << 16
+
+# Small-integer constants are by far the most common leaves.
+_CONST_CACHE = {value: Const(value) for value in range(-16, 257)}
+
+
+def intern_expr(expr: Expr) -> Expr:
+    """The canonical shared node for ``expr``'s structure.
+
+    Identity-based fast paths elsewhere (``a is b``) are sound for any
+    two nodes that both came out of this table; the reverse direction
+    (distinct identity) proves nothing, callers still fall back to
+    ``key()`` comparison.
+    """
+    key = expr.key()
+    cached = _INTERN.get(key)
+    if cached is not None:
+        return cached
+    if len(_INTERN) >= _INTERN_MAX:
+        _INTERN.clear()
+    _INTERN[key] = expr
+    return expr
+
+
+def _const(value: int) -> Const:
+    node = _CONST_CACHE.get(value)
+    if node is not None:
+        return node
+    return intern_expr(Const(value))
 
 
 def apply_op(op: str, left: int, right: int) -> int:
@@ -66,23 +114,42 @@ def fold(expr: Expr) -> Expr:
     Folding is conservative: ``// 0`` and ``% 0`` on constants are left
     unfolded so the engine can turn them into crash paths rather than
     silently failing here.
+
+    The result is memoized on the node and interned, so re-folding a
+    shared (or structurally repeated) expression is O(1); a fixpoint
+    node folds to itself.
     """
+    try:
+        return expr._folded
+    except AttributeError:
+        pass
+    folded = _fold_inner(expr)
+    expr._folded = folded
+    folded._folded = folded
+    return folded
+
+
+def _fold_inner(expr: Expr) -> Expr:
     if isinstance(expr, (Const, Input, Var)):
         return expr
     if isinstance(expr, UnOp):
         operand = fold(expr.operand)
         if isinstance(operand, Const):
             if expr.op == "neg":
-                return Const(-operand.value)
-            return Const(int(operand.value == 0))
-        return UnOp(expr.op, operand)
+                return _const(-operand.value)
+            return _const(int(operand.value == 0))
+        if operand is expr.operand:
+            return intern_expr(expr)
+        return intern_expr(UnOp(expr.op, operand))
     if isinstance(expr, BinOp):
         left = fold(expr.left)
         right = fold(expr.right)
         if isinstance(left, Const) and isinstance(right, Const):
             if expr.op in ("//", "%") and right.value == 0:
-                return BinOp(expr.op, left, right)
-            return Const(apply_op(expr.op, left.value, right.value))
+                if left is expr.left and right is expr.right:
+                    return intern_expr(expr)
+                return intern_expr(BinOp(expr.op, left, right))
+            return _const(apply_op(expr.op, left.value, right.value))
         # Cheap algebraic identities keep path conditions small.
         #
         # Only *taint-faithful* rules are allowed: a rule may never turn
@@ -102,7 +169,9 @@ def fold(expr: Expr) -> Expr:
                 return right
             if expr.op == "*" and left.value == 1:
                 return right
-        return BinOp(expr.op, left, right)
+        if left is expr.left and right is expr.right:
+            return intern_expr(expr)
+        return intern_expr(BinOp(expr.op, left, right))
     raise SymbolicError(f"cannot fold {expr!r}")
 
 
@@ -112,22 +181,38 @@ def substitute(expr: Expr, variables: Mapping[str, Expr],
 
     Missing Var bindings default to Const(0), mirroring the concrete
     interpreter's uninitialised-local semantics.
+
+    Subtrees the substitution cannot touch are returned as-is (the
+    memoized ``variables()``/``inputs()`` make that check O(1) on
+    shared nodes); rebuilt nodes are interned.
     """
     if isinstance(expr, Const):
         return expr
     if isinstance(expr, Var):
-        return variables.get(expr.name, Const(0))
+        return variables.get(expr.name, _ZERO)
     if isinstance(expr, Input):
         if inputs is not None and expr.name in inputs:
             return inputs[expr.name]
         return expr
+    if not expr.variables() and (
+            inputs is None
+            or not any(name in inputs for name in expr.inputs())):
+        return expr
     if isinstance(expr, UnOp):
-        return UnOp(expr.op, substitute(expr.operand, variables, inputs))
+        operand = substitute(expr.operand, variables, inputs)
+        if operand is expr.operand:
+            return expr
+        return intern_expr(UnOp(expr.op, operand))
     if isinstance(expr, BinOp):
-        return BinOp(expr.op,
-                     substitute(expr.left, variables, inputs),
-                     substitute(expr.right, variables, inputs))
+        left = substitute(expr.left, variables, inputs)
+        right = substitute(expr.right, variables, inputs)
+        if left is expr.left and right is expr.right:
+            return expr
+        return intern_expr(BinOp(expr.op, left, right))
     raise SymbolicError(f"cannot substitute into {expr!r}")
+
+
+_ZERO = _const(0)
 
 
 def eval_concrete(expr: Expr, env: Mapping[str, int]) -> int:

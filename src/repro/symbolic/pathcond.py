@@ -2,13 +2,26 @@
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import FrozenSet, List, Mapping, Optional, Tuple
 
 from repro.progmodel.ir import Expr
+from repro.symbolic.cache import (
+    SliceMemo, build_slice_memos, extend_slice_memos,
+)
 from repro.symbolic.expr import eval_concrete
 
 __all__ = ["PathCondition"]
+
+#: Digest of the empty condition (any fixed constant works; blake2b of
+#: an empty payload keeps it content-derived like every other id).
+_EMPTY_DIGEST = hashlib.blake2b(b"", digest_size=16).hexdigest()
+
+
+def _extend_digest(parent: str, key: Tuple) -> str:
+    payload = parent.encode("ascii") + repr(key).encode("utf-8")
+    return hashlib.blake2b(payload, digest_size=16).hexdigest()
 
 
 @dataclass
@@ -20,11 +33,19 @@ class PathCondition:
     assignment iff every expression's truthiness matches its direction.
 
     Conditions are persistent: :meth:`extended` shares the parent's
-    derived state (symbol tuple, conjunct identity set) instead of
-    re-walking every constraint, and re-asserting a conjunct already
-    present returns the condition unchanged — loop branches re-take the
-    same decision with the same folded expression every iteration, and
-    the duplicate would only inflate virtual solve cost.
+    derived state (symbol tuple, conjunct identity set, slice memos,
+    structural digest) instead of re-walking every constraint, and
+    re-asserting a conjunct already present returns the condition
+    unchanged — loop branches re-take the same decision with the same
+    folded expression every iteration, and the duplicate would only
+    inflate virtual solve cost.
+
+    The incremental derived state is what makes cache probes cheap:
+    :meth:`slice_memos` holds fully canonicalized slices updated in
+    O(slice touched) per conjunct, so
+    :func:`repro.symbolic.cache.condition_slices` never re-sorts or
+    renumbers the whole condition, and :meth:`digest` is a structural
+    fingerprint folded forward in O(1) per conjunct.
     """
 
     constraints: List[Tuple[Expr, bool]] = field(default_factory=list)
@@ -32,6 +53,8 @@ class PathCondition:
     def __post_init__(self) -> None:
         self._symbols: Optional[Tuple[str, ...]] = None
         self._conjunct_keys: Optional[FrozenSet[Tuple]] = None
+        self._slices: Optional[Tuple[SliceMemo, ...]] = None
+        self._digest: Optional[str] = None
 
     def extended(self, expr: Expr, truth: bool) -> "PathCondition":
         """A new path condition with one more conjunct (persistent)."""
@@ -44,6 +67,9 @@ class PathCondition:
                       if name not in parent_symbols)
         child._symbols = parent_symbols + fresh
         child._conjunct_keys = self._keys() | {key}
+        child._slices = extend_slice_memos(
+            self.slice_memos(), len(self.constraints), (expr, truth))
+        child._digest = _extend_digest(self.digest(), key)
         return child
 
     def __len__(self) -> int:
@@ -71,6 +97,29 @@ class PathCondition:
                         names.append(name)
             self._symbols = tuple(names)
         return self._symbols
+
+    def slice_memos(self) -> Tuple[SliceMemo, ...]:
+        """Canonicalized connected-component slices, ordered by first
+        conjunct position — maintained incrementally by :meth:`extended`,
+        rebuilt once for conditions constructed from a raw list."""
+        if self._slices is None:
+            self._slices = build_slice_memos(self.constraints)
+        return self._slices
+
+    def digest(self) -> str:
+        """Structural fingerprint of the conjunct sequence.
+
+        Folded forward one conjunct at a time (order-sensitive, like
+        the condition itself); two conditions built from the same
+        branch decisions share it, regardless of how their expression
+        objects were derived.
+        """
+        if self._digest is None:
+            digest = _EMPTY_DIGEST
+            for expr, truth in self.constraints:
+                digest = _extend_digest(digest, (expr.key(), truth))
+            self._digest = digest
+        return self._digest
 
     def _keys(self) -> FrozenSet[Tuple]:
         if self._conjunct_keys is None:

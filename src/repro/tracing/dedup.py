@@ -45,7 +45,7 @@ def trace_digest(trace: Trace) -> TraceDigest:
     """Content digest over everything that defines the trace's
     information value (pod identity excluded: two users on the same
     path produce the same digest)."""
-    payload = encode_trace(trace.with_pod(""))
+    payload = encode_trace(trace, pod_override="")
     return hashlib.blake2b(payload, digest_size=16).digest()
 
 

@@ -25,6 +25,9 @@ _OUTCOMES = [Outcome.OK, Outcome.CRASH, Outcome.ASSERT, Outcome.DEADLOCK,
 # -- primitive writers -------------------------------------------------------
 
 def _write_varint(out: bytearray, value: int) -> None:
+    if 0 <= value < 0x80:          # single-byte fast path (the common case)
+        out.append(value)
+        return
     if value < 0:
         raise TraceError(f"varint cannot encode negative value {value}")
     while True:
@@ -66,18 +69,27 @@ def _write_bits(out: bytearray, bits: Tuple[bool, ...]) -> None:
 class _Reader:
     def __init__(self, data: bytes):
         self._data = data
+        self._len = len(data)
         self._pos = 0
 
     def varint(self) -> int:
+        data = self._data
+        pos = self._pos
+        if pos < self._len:
+            byte = data[pos]
+            if not byte & 0x80:        # single-byte fast path
+                self._pos = pos + 1
+                return byte
         shift = 0
         value = 0
         while True:
-            if self._pos >= len(self._data):
+            if pos >= self._len:
                 raise TraceError("truncated varint")
-            byte = self._data[self._pos]
-            self._pos += 1
+            byte = data[pos]
+            pos += 1
             value |= (byte & 0x7F) << shift
             if not byte & 0x80:
+                self._pos = pos
                 return value
             shift += 7
 
@@ -87,7 +99,7 @@ class _Reader:
 
     def string(self) -> str:
         length = self.varint()
-        if self._pos + length > len(self._data):
+        if self._pos + length > self._len:
             raise TraceError("truncated string")
         text = self._data[self._pos:self._pos + length].decode("utf-8")
         self._pos += length
@@ -96,7 +108,7 @@ class _Reader:
     def bits(self) -> Tuple[bool, ...]:
         count = self.varint()
         n_bytes = (count + 7) // 8
-        if self._pos + n_bytes > len(self._data):
+        if self._pos + n_bytes > self._len:
             raise TraceError("truncated bit vector")
         chunk = self._data[self._pos:self._pos + n_bytes]
         self._pos += n_bytes
@@ -104,13 +116,24 @@ class _Reader:
             bool(chunk[i // 8] >> (i % 8) & 1) for i in range(count))
 
     def done(self) -> bool:
-        return self._pos == len(self._data)
+        return self._pos == self._len
 
 
 # -- trace encoding -----------------------------------------------------------
 
-def encode_trace(trace: Trace) -> bytes:
-    """Serialize ``trace`` into a compact byte string."""
+def _encode_prefix(trace: Trace) -> bytes:
+    """Everything before the pod-id field, memoized on the trace.
+
+    Traces are frozen, so the wire prefix never changes; deduplication
+    encodes each trace twice (once for its digest with the pod id
+    blanked, once at full fidelity for the bandwidth ledger) and this
+    memo makes the second pass — and any re-submission of a shared
+    trace — a concatenation instead of a re-walk.
+    """
+    try:
+        return trace._enc_prefix
+    except AttributeError:
+        pass
     out = bytearray()
     _write_varint(out, _FORMAT_VERSION)
     _write_string(out, trace.program_name)
@@ -143,7 +166,20 @@ def encode_trace(trace: Trace) -> bytes:
         _write_varint(out, thread)
         _write_string(out, function)
         _write_string(out, block)
-    _write_string(out, trace.pod_id)
+    prefix = bytes(out)
+    object.__setattr__(trace, "_enc_prefix", prefix)
+    return prefix
+
+
+def encode_trace(trace: Trace, pod_override: Optional[str] = None) -> bytes:
+    """Serialize ``trace`` into a compact byte string.
+
+    ``pod_override`` substitutes the pod-id field on the wire without
+    building an intermediate Trace — content digests use it to blank
+    the pod id, which must not affect trace identity.
+    """
+    out = bytearray(_encode_prefix(trace))
+    _write_string(out, trace.pod_id if pod_override is None else pod_override)
     _write_varint(out, 1 if trace.guided else 0)
     return bytes(out)
 

@@ -1,0 +1,186 @@
+"""Batched-dispatch determinism grid: ``dispatch_rounds=K`` must be an
+invisible transport optimization. For every backend and window size the
+report fingerprint, the hive state, and — with tracing on — the
+canonical Chrome trace export must be byte-identical to the classic
+per-round path; with tracing off, no span crosses the worker boundary
+at all (lazy span shipping). Chaos, fixing, guidance, collective
+caching, and invariants all force the per-round fallback, and a real
+worker kill mid-window recovers through the window-shaped retry."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro import obs
+from repro.exec.backends import make_backend
+from repro.exec.plan import PlannedRun, RoundPlan
+from repro.exec.shard import Shard
+from repro.obs import Registry
+from repro.obs.export import chrome_trace
+from repro.obs.trace import FixedClock, Tracer, get_tracer, set_tracer
+from repro.platform import PlatformConfig, SoftBorgPlatform
+from repro.workloads.scenarios import crash_scenario
+
+pytestmark = pytest.mark.slow
+
+BACKENDS = ("serial", "thread", "process")
+WINDOWS = (1, 3, 8)
+
+ROUNDS = 4
+EXECUTIONS = 20
+
+
+def _config(backend, dispatch_rounds, **overrides):
+    base = dict(
+        n_pods=6, rounds=ROUNDS, executions_per_round=EXECUTIONS,
+        fixing=False, dedup=True, trace_loss_rate=0.25,
+        enable_proofs=True, seed=3, backend=backend, workers=2,
+        dispatch_rounds=dispatch_rounds)
+    base.update(overrides)
+    return PlatformConfig(**base)
+
+
+def _run(backend, dispatch_rounds, tracing=True, **overrides):
+    """One platform run under a fresh registry + FixedClock tracer;
+    returns (platform, report fingerprint, canonical chrome export)."""
+    previous = obs.set_registry(Registry())
+    previous_tracer = set_tracer(
+        Tracer(enabled=tracing, clock=FixedClock(0.0)))
+    try:
+        platform = SoftBorgPlatform(
+            crash_scenario(seed=3),
+            _config(backend, dispatch_rounds, **overrides))
+        report = platform.run()
+        fingerprint = json.dumps({
+            "report": report.as_dict(),
+            "hive": platform.hive.stats.as_dict(),
+            "paths": platform.hive.tree.canonical_paths(),
+            "scorecard": platform._scorecard_block(),
+        }, default=str, sort_keys=True)
+        trace = json.dumps(chrome_trace(get_tracer().log),
+                           sort_keys=True)
+        return platform, fingerprint, trace
+    finally:
+        obs.set_registry(previous)
+        set_tracer(previous_tracer)
+
+
+class TestWindowBitIdentity:
+    """K-round windows reproduce the per-round path byte for byte."""
+
+    def test_grid_matches_serial_single_round(self):
+        _p, base_fp, base_trace = _run("serial", 1)
+        for backend in BACKENDS:
+            for window in WINDOWS:
+                platform, fp, trace = _run(backend, window)
+                assert fp == base_fp, \
+                    f"{backend} K={window} report diverged"
+                assert trace == base_trace, \
+                    f"{backend} K={window} span export diverged"
+                if window > 1:
+                    assert platform._dispatch_window() == window
+
+    def test_tracing_off_reports_match_and_ship_no_spans(self):
+        _p, base_fp, _ = _run("serial", 1)
+        for backend in BACKENDS:
+            platform, fp, trace = _run(backend, 5, tracing=False)
+            assert fp == base_fp, f"{backend} K=5 untraced diverged"
+            assert json.loads(trace)["otherData"]["spans"] == 0
+
+    def test_repeat_window_run_is_identical(self):
+        _p1, first, trace1 = _run("process", 3)
+        _p2, second, trace2 = _run("process", 3)
+        assert first == second
+        assert trace1 == trace2
+
+
+class TestWindowGate:
+    """Anything with a between-round side effect forces K=1."""
+
+    @pytest.mark.parametrize("overrides", [
+        {"fixing": True},
+        {"guidance": True},
+        {"solver_cache": "collective"},
+        {"chaos_profile": "lossy-workers"},
+        {"check_invariants": True},
+    ])
+    def test_side_effecting_configs_fall_back(self, overrides):
+        previous = obs.set_registry(Registry())
+        try:
+            platform = SoftBorgPlatform(
+                crash_scenario(seed=3),
+                _config("serial", 4, **overrides))
+            assert platform._dispatch_window() == 1
+        finally:
+            obs.set_registry(previous)
+
+    def test_chaos_run_with_window_matches_chaos_baseline(self):
+        # The window knob must be inert under chaos: same fingerprint
+        # as the same chaos run without it.
+        _p, base_fp, _ = _run("serial", 1, tracing=False,
+                              chaos_profile="lossy-workers",
+                              trace_loss_rate=0.0, enable_proofs=False)
+        for backend in BACKENDS:
+            platform, fp, _ = _run(backend, 4, tracing=False,
+                                   chaos_profile="lossy-workers",
+                                   trace_loss_rate=0.0,
+                                   enable_proofs=False)
+            assert platform._dispatch_window() == 1
+            assert fp == base_fp, f"{backend} chaos+window diverged"
+
+
+class TestLazySpanShipping:
+    """With tracing off the shard allocates no recorder state and the
+    result carries an empty span tuple across the pipe."""
+
+    def test_shard_result_spans_empty_when_disabled(self):
+        demo = crash_scenario(seed=1)
+        previous_tracer = set_tracer(Tracer(enabled=False))
+        try:
+            from repro.pod.pod import Pod
+            pods = {0: Pod(pod_id="p0", program=demo.program, seed=1)}
+            shard = Shard(0, pods, demo.program)
+            plan = [PlannedRun(0, 0, {name: lo for name, (lo, _hi)
+                                      in demo.program.inputs.items()})]
+            result = shard.run_shard(plan)
+            assert result.spans == ()
+        finally:
+            set_tracer(previous_tracer)
+
+
+class TestWindowCrashRecovery:
+    """A real worker kill mid-window respawns and re-runs the whole
+    window (real crashes are outside the bit-determinism contract —
+    docs/CHAOS.md — but the window must complete and stay countable)."""
+
+    def _plan(self, program, round_index):
+        runs = [PlannedRun(i, i % 4, {name: lo for name, (lo, _hi)
+                                      in program.inputs.items()})
+                for i in range(8)]
+        return RoundPlan(round_index=round_index,
+                         hive_version=program.version, runs=runs)
+
+    def test_worker_kill_mid_window_recovers(self):
+        demo = crash_scenario(seed=1)
+        previous = obs.set_registry(Registry())
+        try:
+            from repro.pod.pod import Pod
+            pods = [Pod(pod_id=f"p{i}", program=demo.program, seed=i)
+                    for i in range(4)]
+            plans = [self._plan(demo.program, k) for k in range(3)]
+            with make_backend("process", pods, demo.program,
+                              workers=2) as backend:
+                # Prime the workers, then kill one outright so the
+                # window's send (or recv) hits a dead pipe.
+                backend.run_round(self._plan(demo.program, 99))
+                backend._procs[0].kill()
+                backend._procs[0].join()
+                per_round = backend.run_rounds(plans)
+            assert len(per_round) == 3
+            for results in per_round:
+                assert sum(len(r.records) for r in results) == 8
+            snapshot = obs.get_registry().snapshot()["counters"]
+            assert snapshot.get("exec.worker_respawns", 0) >= 1
+        finally:
+            obs.set_registry(previous)

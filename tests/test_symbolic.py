@@ -94,6 +94,35 @@ class TestPathCondition:
         cond = PathCondition().extended(Input("b") + Input("a") > 0, True)
         assert cond.symbols() == ("b", "a")
 
+    @settings(max_examples=100, deadline=None)
+    @given(steps=st.lists(
+        st.tuples(st.integers(0, 3), st.integers(0, 3),
+                  st.integers(-20, 20), st.sampled_from("><="),
+                  st.booleans()),
+        max_size=12))
+    def test_incremental_state_matches_from_scratch(self, steps):
+        """The derived state ``extended()`` folds forward — slice
+        memos, canonical keys, digest, symbol order — must equal what a
+        from-scratch rebuild over the same conjunct list computes.
+        Cache probes key on these bytes, so any divergence would make
+        the incremental fast path observable."""
+        from repro.symbolic.cache import condition_slices
+
+        ops = {">": lambda l, r: l > r, "<": lambda l, r: l < r,
+               "=": lambda l, r: l == r}
+        cond = PathCondition()
+        for left, right, k, op, truth in steps:
+            expr = ops[op](Input(f"x{left}") + Input(f"x{right}"),
+                           Const(k))
+            cond = cond.extended(expr, truth)
+
+        scratch = PathCondition(constraints=list(cond.constraints))
+        assert cond.digest() == scratch.digest()
+        assert cond.symbols() == scratch.symbols()
+        fast, slow = condition_slices(cond), condition_slices(scratch)
+        assert [(s.key, s.order, tuple(s.symbols)) for s in fast] == \
+               [(s.key, s.order, tuple(s.symbols)) for s in slow]
+
 
 class TestSolver:
     def test_simple_sat(self):
